@@ -1,0 +1,161 @@
+//! Property-class checkers for the classification of Figure 1.
+//!
+//! All checks are exhaustive over a finite verification box
+//! `{0, …, max}^Λ` (plus scalar multiples for ISM). They are therefore
+//! *refutation-complete* on the box: a property reported as, say,
+//! Cutoff(1) provably behaves as a Cutoff(1) property on every input in the
+//! box, and reported failures come with no false positives.
+
+use crate::Predicate;
+use wam_graph::LabelCount;
+
+/// The finest class of Figure 1 a predicate exhibits on the verification box.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PropertyClass {
+    /// Always true or always false.
+    Trivial,
+    /// Depends only on `⌈L⌉₁`.
+    CutoffOne,
+    /// Depends only on `⌈L⌉_K` for the given K ≥ 2.
+    Cutoff(u64),
+    /// No cutoff within the box (e.g. majority).
+    NoCutoff,
+}
+
+impl std::fmt::Display for PropertyClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PropertyClass::Trivial => write!(f, "Trivial"),
+            PropertyClass::CutoffOne => write!(f, "Cutoff(1)"),
+            PropertyClass::Cutoff(k) => write!(f, "Cutoff({k})"),
+            PropertyClass::NoCutoff => write!(f, "¬Cutoff"),
+        }
+    }
+}
+
+/// Whether `φ` is constant over the box `{0…max}^arity` (the paper's
+/// *trivial* properties, decided by halting classes). Inputs with fewer
+/// than one node are skipped: the model convention requires ≥ 3 nodes, but
+/// labelling properties are total, so we only skip the empty count.
+pub fn is_trivial(p: &Predicate, max: u64) -> bool {
+    let counts = box_counts(p.arity(), max);
+    let mut vals = counts.iter().map(|c| p.eval(c));
+    match vals.next() {
+        None => true,
+        Some(first) => vals.all(|v| v == first),
+    }
+}
+
+/// Whether `φ(L) = φ(⌈L⌉_K)` for every `L` in the box.
+pub fn is_cutoff(p: &Predicate, k: u64, max: u64) -> bool {
+    box_counts(p.arity(), max)
+        .iter()
+        .all(|c| p.eval(c) == p.eval(&c.cutoff(k)))
+}
+
+/// The least `K ≤ max_k` such that `φ` admits cutoff `K` on the box, if any.
+pub fn find_cutoff(p: &Predicate, max_k: u64, max: u64) -> Option<u64> {
+    (1..=max_k).find(|&k| is_cutoff(p, k, max))
+}
+
+/// Whether `φ` is invariant under scalar multiplication on the box:
+/// `φ(L) = φ(λ·L)` for all `λ ∈ {1…max_lambda}` and `L` in the box
+/// (the §6 upper bound for bounded-degree DAf).
+pub fn is_ism(p: &Predicate, max_lambda: u64, max: u64) -> bool {
+    box_counts(p.arity(), max).iter().all(|c| {
+        let v = p.eval(c);
+        (2..=max_lambda).all(|lam| p.eval(&(c.clone() * lam)) == v)
+    })
+}
+
+/// Classifies a predicate per Figure 1 on the box (cutoffs searched up to
+/// `max / 2` so that the box can actually refute candidate cutoffs).
+pub fn classify(p: &Predicate, max: u64) -> PropertyClass {
+    if is_trivial(p, max) {
+        return PropertyClass::Trivial;
+    }
+    match find_cutoff(p, max / 2, max) {
+        Some(1) => PropertyClass::CutoffOne,
+        Some(k) => PropertyClass::Cutoff(k),
+        None => PropertyClass::NoCutoff,
+    }
+}
+
+fn box_counts(arity: usize, max: u64) -> Vec<LabelCount> {
+    if arity == 0 {
+        return vec![LabelCount::from_vec(vec![])];
+    }
+    LabelCount::enumerate_box(arity, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_predicates() {
+        assert!(is_trivial(&Predicate::True, 5));
+        assert!(is_trivial(&Predicate::False, 5));
+        assert!(!is_trivial(&Predicate::majority(), 5));
+        // x₀ ≥ 0 is a tautology over ℕ.
+        assert!(is_trivial(&Predicate::linear(vec![1, 0], 0), 5));
+    }
+
+    #[test]
+    fn presence_is_cutoff_one() {
+        let p = Predicate::threshold(2, 0, 1);
+        assert_eq!(classify(&p, 8), PropertyClass::CutoffOne);
+    }
+
+    #[test]
+    fn threshold_three_is_cutoff_three() {
+        let p = Predicate::threshold(2, 0, 3);
+        assert_eq!(classify(&p, 10), PropertyClass::Cutoff(3));
+    }
+
+    #[test]
+    fn majority_has_no_cutoff() {
+        assert_eq!(classify(&Predicate::majority(), 10), PropertyClass::NoCutoff);
+    }
+
+    #[test]
+    fn modulo_has_no_cutoff_but_is_not_trivial() {
+        let p = Predicate::modulo(vec![1], 2, 0);
+        assert_eq!(classify(&p, 10), PropertyClass::NoCutoff);
+    }
+
+    #[test]
+    fn homogeneous_thresholds_are_ism() {
+        // a·x ≥ 0 is invariant under scaling (the §6.1 lower-bound family).
+        let p = Predicate::homogeneous(vec![1, -1]);
+        assert!(is_ism(&p, 5, 6));
+        // Majority (strict) is ISM as well.
+        assert!(is_ism(&Predicate::majority(), 5, 6));
+        // Non-homogeneous thresholds are not.
+        let q = Predicate::threshold(2, 0, 2);
+        assert!(!is_ism(&q, 5, 6));
+    }
+
+    #[test]
+    fn divisibility_is_ism_but_not_homogeneous_threshold() {
+        // x₀ ≡ 0 (mod 2) is NOT ISM (3·1 = 3 is odd while... careful:
+        // parity is not ISM: x=1 odd, 2x=2 even). The paper's ISM example
+        // is divisibility x | y, which our predicate language cannot state;
+        // check parity is indeed not ISM, witnessing the gap.
+        let p = Predicate::modulo(vec![1], 2, 0);
+        assert!(!is_ism(&p, 4, 5));
+    }
+
+    #[test]
+    fn boolean_combinations_classify() {
+        // (x₀ ≥ 1 ∧ x₁ ≥ 2) has cutoff 2.
+        let p = Predicate::threshold(2, 0, 1) & Predicate::threshold(2, 1, 2);
+        assert_eq!(classify(&p, 10), PropertyClass::Cutoff(2));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(PropertyClass::Cutoff(3).to_string(), "Cutoff(3)");
+        assert_eq!(PropertyClass::NoCutoff.to_string(), "¬Cutoff");
+    }
+}

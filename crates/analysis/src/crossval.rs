@@ -1,0 +1,106 @@
+//! Cross-validation of decision procedures against reference predicates.
+
+use crate::Predicate;
+use wam_core::Verdict;
+use wam_graph::{Graph, LabelCount};
+
+/// One disagreement between a decider and the reference predicate.
+#[derive(Debug, Clone)]
+pub struct Mismatch {
+    /// The label count of the offending input.
+    pub count: LabelCount,
+    /// What the reference predicate says.
+    pub expected: bool,
+    /// What the decider said.
+    pub got: Verdict,
+}
+
+/// Runs `decide` on one graph per label count (built by `graph_for`) and
+/// returns every disagreement with `predicate`, including non-verdicts.
+///
+/// `graph_for` may return `None` to skip counts it cannot realise (e.g.
+/// too few nodes for the ≥ 3 convention).
+pub fn cross_validate(
+    predicate: &Predicate,
+    counts: &[LabelCount],
+    mut graph_for: impl FnMut(&LabelCount) -> Option<Graph>,
+    mut decide: impl FnMut(&Graph) -> Verdict,
+) -> Vec<Mismatch> {
+    let mut out = Vec::new();
+    for count in counts {
+        let Some(graph) = graph_for(count) else {
+            continue;
+        };
+        let expected = predicate.eval(count);
+        let got = decide(&graph);
+        if got.decided() != Some(expected) {
+            out.push(Mismatch {
+                count: count.clone(),
+                expected,
+                got,
+            });
+        }
+    }
+    out
+}
+
+/// All label counts of the given arity whose components sum to at least
+/// `min_total` (≥ 3 keeps the model convention) and at most `max_total`.
+pub fn counts_with_totals(arity: usize, min_total: u64, max_total: u64) -> Vec<LabelCount> {
+    LabelCount::enumerate_box(arity, max_total)
+        .into_iter()
+        .filter(|c| {
+            let t = c.total();
+            t >= min_total.max(3) && t <= max_total
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wam_core::{decide_pseudo_stochastic, Machine, Output};
+    use wam_graph::generators;
+
+    #[test]
+    fn flood_cross_validates_against_presence() {
+        let m = Machine::new(
+            1,
+            |l: wam_graph::Label| l.0 == 1,
+            |&s: &bool, n| s || n.exists(|&t| t),
+            |&s| if s { Output::Accept } else { Output::Reject },
+        );
+        let p = Predicate::threshold(2, 1, 1);
+        let counts = counts_with_totals(2, 3, 5);
+        assert!(!counts.is_empty());
+        let mismatches = cross_validate(
+            &p,
+            &counts,
+            |c| Some(generators::labelled_cycle(c)),
+            |g| decide_pseudo_stochastic(&m, g, 100_000).unwrap(),
+        );
+        assert!(mismatches.is_empty(), "{mismatches:?}");
+    }
+
+    #[test]
+    fn mismatches_are_reported() {
+        // A decider that always accepts disagrees with "label 1 present"
+        // whenever label 1 is absent.
+        let p = Predicate::threshold(2, 1, 1);
+        let counts = counts_with_totals(2, 3, 4);
+        let mismatches = cross_validate(
+            &p,
+            &counts,
+            |c| Some(generators::labelled_cycle(c)),
+            |_| Verdict::Accepts,
+        );
+        assert!(mismatches.iter().all(|m| !m.expected));
+        assert!(!mismatches.is_empty());
+    }
+
+    #[test]
+    fn totals_filter() {
+        let counts = counts_with_totals(2, 3, 4);
+        assert!(counts.iter().all(|c| (3..=4).contains(&c.total())));
+    }
+}

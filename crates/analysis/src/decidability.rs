@@ -1,0 +1,152 @@
+//! Glue between predicate classification and the Figure 1 class lattice:
+//! given a predicate and a model class, does the paper say the class can
+//! decide it?
+
+use crate::{classify, is_ism, Predicate, PropertyClass};
+use wam_core::{ModelClass, PropertyClassBound};
+
+/// Verdict of [`decidable_by`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decidability {
+    /// The paper's characterisation says yes (within the checked box).
+    Decidable,
+    /// The paper's characterisation says no.
+    Undecidable,
+    /// The class's exact power is open (bounded-degree `DAf` between
+    /// homogeneous thresholds and ISM) and the predicate falls in the gap.
+    Open,
+}
+
+/// Whether `class` can decide `pred` per Figure 1, verified over the box
+/// `{0..max}^arity`. `bounded_degree` selects the right panel.
+///
+/// For bounded-degree `DAf` the paper leaves a gap: homogeneous thresholds
+/// are decidable, non-ISM properties are not, anything ISM in between is
+/// [`Decidability::Open`].
+pub fn decidable_by(
+    pred: &Predicate,
+    class: ModelClass,
+    bounded_degree: bool,
+    max: u64,
+) -> Decidability {
+    let power = if bounded_degree {
+        class.labelling_power_bounded_degree()
+    } else {
+        class.labelling_power_arbitrary()
+    };
+    let pc = classify(pred, max);
+    match power {
+        PropertyClassBound::Trivial => bool_to_dec(pc == PropertyClass::Trivial),
+        PropertyClassBound::CutoffOne => {
+            bool_to_dec(matches!(pc, PropertyClass::Trivial | PropertyClass::CutoffOne))
+        }
+        PropertyClassBound::Cutoff => bool_to_dec(pc != PropertyClass::NoCutoff),
+        PropertyClassBound::InvariantScalarMult => {
+            if !is_ism(pred, max / 2, max / 2) {
+                Decidability::Undecidable
+            } else if is_homogeneous_threshold(pred) {
+                Decidability::Decidable
+            } else {
+                Decidability::Open
+            }
+        }
+        // Everything our predicate language can express is in NL ⊆ NSPACE(n).
+        PropertyClassBound::NL | PropertyClassBound::NSpaceLinear => Decidability::Decidable,
+    }
+}
+
+fn bool_to_dec(b: bool) -> Decidability {
+    if b {
+        Decidability::Decidable
+    } else {
+        Decidability::Undecidable
+    }
+}
+
+/// Structural check: is the predicate literally a homogeneous threshold
+/// `a·x ≥ 0` (the §6.1 lower-bound family)?
+pub fn is_homogeneous_threshold(pred: &Predicate) -> bool {
+    matches!(pred, Predicate::Linear { constant: 0, .. })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn class(s: &str) -> ModelClass {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn majority_per_class_arbitrary() {
+        let maj = Predicate::majority();
+        assert_eq!(
+            decidable_by(&maj, class("DAF"), false, 10),
+            Decidability::Decidable
+        );
+        for c in ["daf", "dAf", "DAf", "dAF"] {
+            assert_eq!(
+                decidable_by(&maj, class(c), false, 10),
+                Decidability::Undecidable,
+                "{c}"
+            );
+        }
+    }
+
+    #[test]
+    fn majority_per_class_bounded() {
+        // Weak majority x₀ − x₁ ≥ 0 is a homogeneous threshold: DAf decides
+        // it on bounded degree.
+        let weak = Predicate::homogeneous(vec![1, -1]);
+        assert_eq!(
+            decidable_by(&weak, class("DAf"), true, 12),
+            Decidability::Decidable
+        );
+        assert_eq!(
+            decidable_by(&weak, class("dAF"), true, 12),
+            Decidability::Decidable
+        );
+        assert_eq!(
+            decidable_by(&weak, class("dAf"), true, 12),
+            Decidability::Undecidable
+        );
+    }
+
+    #[test]
+    fn parity_is_outside_ism() {
+        let parity = Predicate::modulo(vec![1, 0], 2, 0);
+        assert_eq!(
+            decidable_by(&parity, class("DAf"), true, 12),
+            Decidability::Undecidable
+        );
+        assert_eq!(
+            decidable_by(&parity, class("DAF"), true, 12),
+            Decidability::Decidable
+        );
+    }
+
+    #[test]
+    fn ism_gap_is_reported_open() {
+        // 2x₀ − 2x₁ ≥ 0 written as a conjunction is ISM but not literally a
+        // homogeneous threshold: the DAf bounded-degree power is open there.
+        let ism_combo = Predicate::homogeneous(vec![1, -1]) & Predicate::homogeneous(vec![1, -1]);
+        assert_eq!(
+            decidable_by(&ism_combo, class("DAf"), true, 12),
+            Decidability::Open
+        );
+    }
+
+    #[test]
+    fn trivial_everywhere() {
+        for c in ["daf", "Daf", "DaF"] {
+            assert_eq!(
+                decidable_by(&Predicate::True, class(c), false, 8),
+                Decidability::Decidable
+            );
+            assert_eq!(
+                decidable_by(&Predicate::threshold(2, 0, 1), class(c), false, 8),
+                Decidability::Undecidable
+            );
+        }
+    }
+}

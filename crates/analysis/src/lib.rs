@@ -1,0 +1,29 @@
+//! Labelling predicates, property-class checkers and star-configuration
+//! analysis — the "Presburger-lite" layer the experiments evaluate against.
+//!
+//! * [`predicate`] — an exact, self-contained representation of labelling
+//!   properties as boolean combinations of linear thresholds and modular
+//!   constraints, with an evaluator over [`LabelCount`](wam_graph::LabelCount).
+//! * [`classes`] — checkers for the property classes of Figure 1: Trivial,
+//!   Cutoff(1), Cutoff (with cutoff search), invariance under scalar
+//!   multiplication (ISM), and homogeneous thresholds, all verified
+//!   exhaustively over a finite box.
+//! * [`stars`] — the star-graph configuration algebra of Lemma 3.5:
+//!   exact exploration of machines on stars up to leaf-permutation symmetry,
+//!   stably-rejecting sets, and empirical cutoff extraction.
+//! * [`crossval`] — drive a decision procedure across label counts and graph
+//!   families and diff the verdicts against a reference predicate.
+
+pub mod classes;
+pub mod counter;
+pub mod decidability;
+pub mod crossval;
+pub mod predicate;
+pub mod stars;
+
+pub use classes::{classify, find_cutoff, is_cutoff, is_ism, is_trivial, PropertyClass};
+pub use counter::{node_count_is_prime, CounterProgram, Instr};
+pub use decidability::{decidable_by, is_homogeneous_threshold, Decidability};
+pub use crossval::{cross_validate, Mismatch};
+pub use predicate::Predicate;
+pub use stars::{minimal_elements, StarConfig, StarSystem};

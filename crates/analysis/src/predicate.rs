@@ -1,0 +1,267 @@
+//! Labelling predicates as boolean combinations of linear thresholds and
+//! modular constraints — enough "Presburger" for every property the paper
+//! discusses, with an exact evaluator.
+
+use std::fmt;
+use wam_graph::LabelCount;
+
+/// A labelling property `φ : ℕ^Λ → {0, 1}`.
+///
+/// # Example
+///
+/// ```
+/// use wam_analysis::Predicate;
+/// use wam_graph::LabelCount;
+///
+/// // Majority: x₀ > x₁  ⟺  x₀ − x₁ ≥ 1.
+/// let maj = Predicate::linear(vec![1, -1], 1);
+/// assert!(maj.eval(&LabelCount::from_vec(vec![3, 2])));
+/// assert!(!maj.eval(&LabelCount::from_vec(vec![2, 2])));
+///
+/// // "Some label-0 node and an even number of label-1 nodes."
+/// let both = Predicate::linear(vec![1, 0], 1) & Predicate::modulo(vec![0, 1], 2, 0);
+/// assert!(both.eval(&LabelCount::from_vec(vec![1, 4])));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Predicate {
+    /// Always true.
+    True,
+    /// Always false.
+    False,
+    /// `Σ aᵢ·xᵢ ≥ c`.
+    Linear {
+        /// Coefficients, one per label.
+        coeffs: Vec<i64>,
+        /// The constant threshold.
+        constant: i64,
+    },
+    /// `Σ aᵢ·xᵢ ≡ r (mod m)`.
+    Modulo {
+        /// Coefficients, one per label.
+        coeffs: Vec<i64>,
+        /// The modulus (≥ 1).
+        modulus: u64,
+        /// The remainder (< modulus).
+        remainder: u64,
+    },
+    /// Negation.
+    Not(Box<Predicate>),
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+}
+
+impl Predicate {
+    /// `Σ aᵢ·xᵢ ≥ c`.
+    pub fn linear(coeffs: Vec<i64>, constant: i64) -> Self {
+        Predicate::Linear { coeffs, constant }
+    }
+
+    /// `Σ aᵢ·xᵢ ≥ 0` — a homogeneous threshold (§6.1).
+    pub fn homogeneous(coeffs: Vec<i64>) -> Self {
+        Predicate::linear(coeffs, 0)
+    }
+
+    /// Majority: `x_a > x_b` on a two-label alphabet (`a` = label 0).
+    pub fn majority() -> Self {
+        Predicate::linear(vec![1, -1], 1)
+    }
+
+    /// `xᵢ ≥ k` for a single label.
+    pub fn threshold(arity: usize, label: usize, k: u64) -> Self {
+        let mut coeffs = vec![0i64; arity];
+        coeffs[label] = 1;
+        Predicate::linear(coeffs, k as i64)
+    }
+
+    /// `Σ aᵢ·xᵢ ≡ r (mod m)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus == 0` or `remainder ≥ modulus`.
+    pub fn modulo(coeffs: Vec<i64>, modulus: u64, remainder: u64) -> Self {
+        assert!(modulus >= 1, "modulus must be positive");
+        assert!(remainder < modulus, "remainder must be below the modulus");
+        Predicate::Modulo {
+            coeffs,
+            modulus,
+            remainder,
+        }
+    }
+
+    /// Evaluates the predicate on a label count.
+    pub fn eval(&self, count: &LabelCount) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::False => false,
+            Predicate::Linear { coeffs, constant } => {
+                dot(coeffs, count) >= *constant
+            }
+            Predicate::Modulo {
+                coeffs,
+                modulus,
+                remainder,
+            } => {
+                let m = *modulus as i64;
+                let v = dot(coeffs, count).rem_euclid(m);
+                v == *remainder as i64
+            }
+            Predicate::Not(p) => !p.eval(count),
+            Predicate::And(p, q) => p.eval(count) && q.eval(count),
+            Predicate::Or(p, q) => p.eval(count) || q.eval(count),
+        }
+    }
+
+    /// The number of labels this predicate mentions (maximum coefficient
+    /// vector length; boolean leaves report 0).
+    pub fn arity(&self) -> usize {
+        match self {
+            Predicate::True | Predicate::False => 0,
+            Predicate::Linear { coeffs, .. } | Predicate::Modulo { coeffs, .. } => coeffs.len(),
+            Predicate::Not(p) => p.arity(),
+            Predicate::And(p, q) | Predicate::Or(p, q) => p.arity().max(q.arity()),
+        }
+    }
+}
+
+fn dot(coeffs: &[i64], count: &LabelCount) -> i64 {
+    coeffs
+        .iter()
+        .zip(count.as_slice().iter().chain(std::iter::repeat(&0)))
+        .map(|(a, &x)| a * x as i64)
+        .sum()
+}
+
+impl std::ops::BitAnd for Predicate {
+    type Output = Predicate;
+    fn bitand(self, rhs: Predicate) -> Predicate {
+        Predicate::And(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::BitOr for Predicate {
+    type Output = Predicate;
+    fn bitor(self, rhs: Predicate) -> Predicate {
+        Predicate::Or(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Not for Predicate {
+    type Output = Predicate;
+    fn not(self) -> Predicate {
+        Predicate::Not(Box::new(self))
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::True => write!(f, "⊤"),
+            Predicate::False => write!(f, "⊥"),
+            Predicate::Linear { coeffs, constant } => {
+                write_sum(f, coeffs)?;
+                write!(f, " ≥ {constant}")
+            }
+            Predicate::Modulo {
+                coeffs,
+                modulus,
+                remainder,
+            } => {
+                write_sum(f, coeffs)?;
+                write!(f, " ≡ {remainder} (mod {modulus})")
+            }
+            Predicate::Not(p) => write!(f, "¬({p})"),
+            Predicate::And(p, q) => write!(f, "({p} ∧ {q})"),
+            Predicate::Or(p, q) => write!(f, "({p} ∨ {q})"),
+        }
+    }
+}
+
+fn write_sum(f: &mut fmt::Formatter<'_>, coeffs: &[i64]) -> fmt::Result {
+    let mut first = true;
+    for (i, a) in coeffs.iter().enumerate() {
+        if *a == 0 {
+            continue;
+        }
+        if first {
+            if *a == 1 {
+                write!(f, "x{i}")?;
+            } else if *a == -1 {
+                write!(f, "-x{i}")?;
+            } else {
+                write!(f, "{a}·x{i}")?;
+            }
+            first = false;
+        } else if *a > 0 {
+            if *a == 1 {
+                write!(f, " + x{i}")?;
+            } else {
+                write!(f, " + {a}·x{i}")?;
+            }
+        } else if *a == -1 {
+            write!(f, " - x{i}")?;
+        } else {
+            write!(f, " - {}·x{i}", -a)?;
+        }
+    }
+    if first {
+        write!(f, "0")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lc(v: Vec<u64>) -> LabelCount {
+        LabelCount::from_vec(v)
+    }
+
+    #[test]
+    fn majority_semantics() {
+        let p = Predicate::majority();
+        assert!(p.eval(&lc(vec![3, 2])));
+        assert!(!p.eval(&lc(vec![2, 2])));
+        assert!(!p.eval(&lc(vec![1, 2])));
+    }
+
+    #[test]
+    fn modulo_semantics_with_negative_sum() {
+        let p = Predicate::modulo(vec![1, -1], 3, 2);
+        // 1 - 2 = -1 ≡ 2 (mod 3).
+        assert!(p.eval(&lc(vec![1, 2])));
+        assert!(!p.eval(&lc(vec![2, 2])));
+    }
+
+    #[test]
+    fn boolean_operators() {
+        let p = Predicate::threshold(2, 0, 1) & !Predicate::threshold(2, 1, 1);
+        assert!(p.eval(&lc(vec![2, 0])));
+        assert!(!p.eval(&lc(vec![2, 1])));
+        let q = Predicate::False | Predicate::True;
+        assert!(q.eval(&lc(vec![0, 0])));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let p = Predicate::linear(vec![2, -1], 0);
+        assert_eq!(p.to_string(), "2·x0 - x1 ≥ 0");
+        let q = Predicate::modulo(vec![1, 1], 2, 1);
+        assert_eq!(q.to_string(), "x0 + x1 ≡ 1 (mod 2)");
+    }
+
+    #[test]
+    fn arity_bubbles_up() {
+        let p = Predicate::threshold(3, 2, 1) | Predicate::True;
+        assert_eq!(p.arity(), 3);
+    }
+
+    #[test]
+    fn shorter_counts_are_zero_extended() {
+        let p = Predicate::linear(vec![1, 1, 1], 2);
+        assert!(!p.eval(&lc(vec![1])));
+        assert!(p.eval(&lc(vec![2])));
+    }
+}

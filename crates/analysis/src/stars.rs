@@ -1,0 +1,348 @@
+//! The star-graph configuration algebra of Lemma 3.5.
+//!
+//! A configuration of a machine on a star is fully determined by the
+//! centre's state and the *state count* of the leaves, because leaves are
+//! interchangeable. [`StarSystem`] exploits this symmetry: its
+//! configurations are `(centre, leaf multiset)` pairs, which lets the exact
+//! deciders reach stars far larger than the node-explicit representation
+//! would allow — exactly the setting in which the paper proves the dAF
+//! cutoff lemma.
+
+use std::collections::BTreeMap;
+use wam_core::{Machine, Neighbourhood, Output, State, TransitionSystem};
+use wam_graph::Label;
+
+/// A symmetry-reduced configuration of a star: the centre's state plus the
+/// multiset of leaf states (`(C_ctr, C_sc)` in the paper).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StarConfig<S> {
+    /// State of the centre.
+    pub centre: S,
+    /// Number of leaves per state (no zero entries).
+    pub leaves: BTreeMap<S, u64>,
+}
+
+impl<S: State> StarConfig<S> {
+    /// Total number of leaves.
+    pub fn leaf_count(&self) -> u64 {
+        self.leaves.values().sum()
+    }
+
+    /// The configuration with one leaf in state `q` removed, if present
+    /// (the downward step of the Lemma 3.5 order `≼`).
+    pub fn remove_leaf(&self, q: &S) -> Option<StarConfig<S>> {
+        let mut leaves = self.leaves.clone();
+        match leaves.get_mut(q) {
+            Some(c) if *c > 1 => *c -= 1,
+            Some(_) => {
+                leaves.remove(q);
+            }
+            None => return None,
+        }
+        Some(StarConfig {
+            centre: self.centre.clone(),
+            leaves,
+        })
+    }
+
+    /// The configuration with one extra leaf in state `q`.
+    pub fn add_leaf(&self, q: S) -> StarConfig<S> {
+        let mut leaves = self.leaves.clone();
+        *leaves.entry(q).or_insert(0) += 1;
+        StarConfig {
+            centre: self.centre.clone(),
+            leaves,
+        }
+    }
+
+    /// The cutoff `⌈C⌉_m`: leaf counts capped at `m` (the paper's
+    /// `(C_ctr, ⌈C_sc⌉_m)`).
+    pub fn cutoff(&self, m: u64) -> StarConfig<S> {
+        StarConfig {
+            centre: self.centre.clone(),
+            leaves: self
+                .leaves
+                .iter()
+                .map(|(s, &c)| (s.clone(), c.min(m)))
+                .collect(),
+        }
+    }
+
+    /// The Lemma 3.5 order `self ≼ other`: same centre, same support, and
+    /// pointwise fewer-or-equal leaves — i.e. `other` is `self` with
+    /// duplicated leaves added (exactly the configurations claim (1) of the
+    /// proof can make mimic `self`). `Pre*` of the non-rejecting
+    /// configurations is upward closed in this order, so Dickson's Lemma
+    /// gives it a finite basis of [`minimal_elements`].
+    ///
+    /// The paper prints condition (b) as `C_sc ≥ D_sc`, but its own claim
+    /// (1) ("we can obtain C' from C by adding leaves in states which
+    /// already occur") uses the orientation implemented here.
+    pub fn preceq(&self, other: &StarConfig<S>) -> bool {
+        self.centre == other.centre
+            && self.leaves.keys().collect::<Vec<_>>() == other.leaves.keys().collect::<Vec<_>>()
+            && self
+                .leaves
+                .iter()
+                .all(|(s, &c)| other.leaves.get(s).copied().unwrap_or(0) >= c)
+    }
+}
+
+/// The `≼`-minimal elements of a set of star configurations (the finite
+/// basis Dickson's Lemma guarantees in the proof of Lemma 3.5).
+pub fn minimal_elements<S: State>(configs: &[StarConfig<S>]) -> Vec<StarConfig<S>> {
+    let mut out: Vec<StarConfig<S>> = Vec::new();
+    'next: for c in configs {
+        for d in configs {
+            // Skip c if some element lies strictly below it.
+            if d != c && d.preceq(c) && !c.preceq(d) {
+                continue 'next;
+            }
+        }
+        if !out.contains(c) {
+            out.push(c.clone());
+        }
+    }
+    out
+}
+
+/// The exclusive-selection transition system of a machine on a star graph,
+/// in the symmetry-reduced representation.
+#[derive(Debug)]
+pub struct StarSystem<'a, S: State> {
+    machine: &'a Machine<S>,
+    centre_label: Label,
+    /// Number of leaves per label.
+    leaf_labels: Vec<(Label, u64)>,
+}
+
+impl<'a, S: State> StarSystem<'a, S> {
+    /// A star whose centre carries `centre_label` and whose leaves carry
+    /// `leaf_labels` (label, multiplicity) — at least two leaves in total to
+    /// respect the ≥ 3 node convention.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two leaves are given.
+    pub fn new(machine: &'a Machine<S>, centre_label: Label, leaf_labels: Vec<(Label, u64)>) -> Self {
+        let total: u64 = leaf_labels.iter().map(|(_, c)| c).sum();
+        assert!(total >= 2, "stars need at least two leaves");
+        StarSystem {
+            machine,
+            centre_label,
+            leaf_labels,
+        }
+    }
+
+    /// The β-clipped view the centre has of the leaves.
+    pub fn centre_view(&self, c: &StarConfig<S>) -> Neighbourhood<S> {
+        Neighbourhood::from_counts(
+            c.leaves.iter().map(|(s, &n)| (s.clone(), n)),
+            self.machine.beta(),
+        )
+    }
+
+    /// The view a leaf has (just the centre).
+    pub fn leaf_view(&self, c: &StarConfig<S>) -> Neighbourhood<S> {
+        Neighbourhood::from_states([c.centre.clone()], self.machine.beta())
+    }
+}
+
+impl<S: State> TransitionSystem for StarSystem<'_, S> {
+    type C = StarConfig<S>;
+
+    fn initial_config(&self) -> StarConfig<S> {
+        let mut leaves = BTreeMap::new();
+        for (l, n) in &self.leaf_labels {
+            if *n > 0 {
+                *leaves.entry(self.machine.initial(*l)).or_insert(0) += n;
+            }
+        }
+        StarConfig {
+            centre: self.machine.initial(self.centre_label),
+            leaves,
+        }
+    }
+
+    fn successors(&self, c: &StarConfig<S>) -> Vec<StarConfig<S>> {
+        let mut out = Vec::new();
+        // Centre step.
+        let centre2 = self.machine.step(&c.centre, &self.centre_view(c));
+        if centre2 != c.centre {
+            out.push(StarConfig {
+                centre: centre2,
+                leaves: c.leaves.clone(),
+            });
+        }
+        // One leaf of each state steps.
+        let view = self.leaf_view(c);
+        for (q, _) in c.leaves.clone() {
+            let q2 = self.machine.step(&q, &view);
+            if q2 == q {
+                continue;
+            }
+            let moved = c
+                .remove_leaf(&q)
+                .expect("leaf state present by construction")
+                .add_leaf(q2);
+            if !out.contains(&moved) {
+                out.push(moved);
+            }
+        }
+        out
+    }
+
+    fn is_accepting(&self, c: &StarConfig<S>) -> bool {
+        self.machine.output(&c.centre) == Output::Accept
+            && c.leaves
+                .keys()
+                .all(|s| self.machine.output(s) == Output::Accept)
+    }
+
+    fn is_rejecting(&self, c: &StarConfig<S>) -> bool {
+        self.machine.output(&c.centre) == Output::Reject
+            && c.leaves
+                .keys()
+                .all(|s| self.machine.output(s) == Output::Reject)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wam_core::{decide_pseudo_stochastic, decide_system, Exploration, Machine, Verdict};
+    use wam_graph::{generators, LabelCount};
+
+    fn flood() -> Machine<bool> {
+        Machine::new(
+            1,
+            |l: Label| l.0 == 1,
+            |&s, n| s || n.exists(|&t| t),
+            |&s| if s { Output::Accept } else { Output::Reject },
+        )
+    }
+
+    #[test]
+    fn star_system_matches_node_explicit_decider() {
+        for (a, b) in [(3u64, 1u64), (4, 0), (2, 2)] {
+            let m = flood();
+            // Symmetry-reduced: centre takes the first expanded label, which
+            // for labelled_star(&[a, b]) is label 0 when a > 0.
+            let centre = if a > 0 { Label(0) } else { Label(1) };
+            let mut leaves = vec![];
+            if a > 0 {
+                leaves.push((Label(0), a - u64::from(a > 0 && centre == Label(0))));
+            }
+            leaves.push((Label(1), b));
+            let leaves: Vec<(Label, u64)> = leaves.into_iter().filter(|(_, c)| *c > 0).collect();
+            let sys = StarSystem::new(&m, centre, leaves);
+            let reduced = decide_system(&sys, 100_000).unwrap();
+
+            let g = generators::labelled_star(&LabelCount::from_vec(vec![a, b]));
+            let explicit = decide_pseudo_stochastic(&m, &g, 100_000).unwrap();
+            assert_eq!(reduced, explicit, "({a},{b})");
+        }
+    }
+
+    #[test]
+    fn symmetry_reduction_shrinks_the_space() {
+        let m = flood();
+        // 1 flagged leaf + 9 plain leaves: node-explicit space is large,
+        // reduced space is tiny.
+        let sys = StarSystem::new(&m, Label(0), vec![(Label(0), 9), (Label(1), 1)]);
+        let e = Exploration::explore(&sys, 10_000).unwrap();
+        assert!(e.len() <= 50, "expected a tiny reduced space, got {}", e.len());
+        assert_eq!(e.verdict(), Verdict::Accepts);
+    }
+
+    #[test]
+    fn remove_and_add_leaf_roundtrip() {
+        let mut leaves = BTreeMap::new();
+        leaves.insert(1u8, 2u64);
+        let c = StarConfig { centre: 0u8, leaves };
+        let smaller = c.remove_leaf(&1).unwrap();
+        assert_eq!(smaller.leaf_count(), 1);
+        assert_eq!(smaller.add_leaf(1), c);
+        assert!(c.remove_leaf(&9).is_none());
+    }
+
+    #[test]
+    fn cutoff_caps_leaf_counts() {
+        let mut leaves = BTreeMap::new();
+        leaves.insert(1u8, 7u64);
+        leaves.insert(2u8, 1u64);
+        let c = StarConfig { centre: 0u8, leaves };
+        let cut = c.cutoff(3);
+        assert_eq!(cut.leaves[&1], 3);
+        assert_eq!(cut.leaves[&2], 1);
+    }
+
+    #[test]
+    fn preceq_order_and_minimal_elements() {
+        let base = StarConfig {
+            centre: 0u8,
+            leaves: [(1u8, 1u64), (2u8, 1u64)].into_iter().collect(),
+        };
+        let bigger = base.add_leaf(1).add_leaf(2);
+        let new_state = base.add_leaf(3);
+        assert!(base.preceq(&bigger), "adding duplicates goes up in ≼");
+        assert!(!bigger.preceq(&base));
+        assert!(base.preceq(&base));
+        // Adding a leaf in a *new* state is incomparable (support differs).
+        assert!(!base.preceq(&new_state) && !new_state.preceq(&base));
+
+        let mins = minimal_elements(&[bigger.clone(), base.clone(), new_state.clone()]);
+        assert!(mins.contains(&base));
+        assert!(mins.contains(&new_state), "incomparable elements stay");
+        assert!(!mins.contains(&bigger));
+    }
+
+    #[test]
+    fn pre_star_of_non_rejecting_is_upward_closed_for_flood() {
+        // Lemma 3.5's key structural fact, checked on the explored space:
+        // if C can reach a non-rejecting configuration and C ≼ D (both
+        // explored), then D can too.
+        let m = flood();
+        let sys = StarSystem::new(&m, Label(0), vec![(Label(0), 3), (Label(1), 1)]);
+        let e = Exploration::explore(&sys, 100_000).unwrap();
+        let non_rejecting: Vec<bool> = (0..e.len()).map(|i| !e.is_rejecting(i)).collect();
+        let pre = e.pre_star(&non_rejecting);
+        for (i, ci) in e.configs().iter().enumerate() {
+            for (j, cj) in e.configs().iter().enumerate() {
+                if pre[i] && ci.preceq(cj) {
+                    assert!(pre[j], "upward closure violated: {ci:?} ≼ {cj:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stable_rejection_is_downward_closed_for_flood() {
+        // The key structural fact behind Lemma 3.5, checked on the explored
+        // space of the flooding machine: removing a duplicated leaf from a
+        // stably rejecting configuration stays stably rejecting.
+        let m = flood();
+        let sys = StarSystem::new(&m, Label(0), vec![(Label(0), 4)]);
+        let e = Exploration::explore(&sys, 100_000).unwrap();
+        let stably = e.stably_rejecting();
+        let index: std::collections::HashMap<_, _> = e
+            .configs()
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.clone(), i))
+            .collect();
+        for (i, c) in e.configs().iter().enumerate() {
+            if !stably[i] {
+                continue;
+            }
+            for (q, &n) in &c.leaves {
+                if n >= 2 {
+                    let smaller = c.remove_leaf(q).unwrap();
+                    if let Some(&j) = index.get(&smaller) {
+                        assert!(stably[j], "downward closure violated at {c:?}");
+                    }
+                }
+            }
+        }
+    }
+}

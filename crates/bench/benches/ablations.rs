@@ -1,0 +1,138 @@
+//! **E12 — ablations:** remove one ingredient at a time from the paper's
+//! constructions and watch the corresponding claim break.
+//!
+//! 1. *No resets* (§6.1 without the ⟨reset⟩ layer): multi-leader errors are
+//!    never repaired, so runs that hit the error state `⊥` stall.
+//! 2. *No fairness* (a scheduler that starves one node forever): even the
+//!    simple Cutoff(1) flooding machine stops deciding.
+//! 3. *Counting bound too small* (β < degree in `⟨cancel⟩`): the sum
+//!    invariant breaks, the very invariant the §6.1 correctness rests on.
+
+use wam_bench::Table;
+use wam_core::{
+    run_until_stable, Config, Machine, Output, RandomScheduler, Selection, StabilityOptions,
+};
+use wam_graph::{generators, Label, LabelCount};
+use wam_protocols::homogeneous::{cancel_update, DetectState};
+use wam_protocols::{cutoff_one_machine, majority_stack};
+use wam_sim::UnfairScheduler;
+
+fn main() {
+    no_resets();
+    no_fairness();
+    small_counting_bound();
+}
+
+/// §6.1 without ⟨reset⟩: drive the *bc* layer (which still reports errors
+/// via `⊥`) and count runs that got stuck with erroring agents.
+fn no_resets() {
+    let mut t = Table::new(["input (a,b)", "with resets", "without resets", "⊥ seen"]);
+    for (a, b) in [(2u64, 1u64), (1, 2)] {
+        let c = LabelCount::from_vec(vec![a, b]);
+        let g = generators::labelled_line(&c);
+        let opts = StabilityOptions::new(1_500_000, 5_000);
+
+        let stack = majority_stack(2);
+        let with = {
+            let flat = stack.flat();
+            let mut sched = RandomScheduler::exclusive(5);
+            run_until_stable(&flat, &g, &mut sched, opts).verdict
+        };
+        // Ablated: compile the bc layer only; ⊥ agents are absorbing
+        // because the reset broadcast that would rescue them is gone.
+        let ablated_machine = wam_extensions::compile_broadcasts(&stack.bc);
+        let mut sched = RandomScheduler::exclusive(5);
+        let report = run_until_stable(&ablated_machine, &g, &mut sched, opts);
+        let bot_seen = report
+            .final_config
+            .states()
+            .iter()
+            .any(|s| matches!(*s.base().base(), DetectState::Error));
+        t.row([
+            format!("({a},{b})"),
+            with.to_string(),
+            report.verdict.to_string(),
+            bot_seen.to_string(),
+        ]);
+    }
+    t.print("Ablation 1: §6.1 without the ⟨reset⟩ layer");
+    println!(
+        "Note: without resets a run can still succeed when no two leaders collide;\n\
+         the reset layer is what makes *every* fair run correct."
+    );
+}
+
+/// Unfair scheduling: the starved node never learns the flag, so the
+/// flooding machine never reaches consensus on inputs whose only witness
+/// is visible to the starved node's side.
+fn no_fairness() {
+    let m = cutoff_one_machine(2, |p| p[1]);
+    // Line: flag at node 0 (label 1 = x1), starved node = 4 at the far end
+    // is never selected, so it never picks the flag up.
+    let ab = wam_graph::Alphabet::anonymous(2);
+    let l0 = Label(0);
+    let l1 = Label(1);
+    let g = wam_graph::GraphBuilder::new(ab)
+        .nodes([l1, l0, l0, l0, l0])
+        .edge(0, 1)
+        .edge(1, 2)
+        .edge(2, 3)
+        .edge(3, 4)
+        .build()
+        .unwrap();
+    let opts = StabilityOptions::new(100_000, 1_000);
+    let fair = {
+        let mut sched = RandomScheduler::exclusive(1);
+        run_until_stable(&m, &g, &mut sched, opts).verdict
+    };
+    let unfair = {
+        let mut sched = UnfairScheduler::new(4);
+        run_until_stable(&m, &g, &mut sched, opts).verdict
+    };
+    let mut t = Table::new(["scheduler", "verdict (x₁ ≥ 1, truth = true)"]);
+    t.row(["fair random".into(), fair.to_string()]);
+    t.row(["unfair (starves node 4 forever)".into(), unfair.to_string()]);
+    t.print("Ablation 2: fairness is load-bearing even for flooding");
+    assert!(fair.is_accepting());
+    assert!(!unfair.is_accepting());
+}
+
+/// ⟨cancel⟩ with a counting bound smaller than the degree: neighbour counts
+/// clip, transfers desynchronise, and the conserved sum drifts.
+fn small_counting_bound() {
+    let coeffs = vec![4, -4];
+    let k = 4; // true degree bound of the star below
+    let e = wam_protocols::homogeneous::big_e(&coeffs, k);
+    let build = |beta: u32| {
+        let coeffs = coeffs.clone();
+        Machine::new(
+            beta,
+            move |l: Label| coeffs[l.index()],
+            move |&x, n| cancel_update(x, &n.project(|&y| Some(y)), k as i32, e),
+            |_| Output::Neutral,
+        )
+    };
+    let c = LabelCount::from_vec(vec![2, 3]);
+    let g = generators::labelled_star(&c); // centre degree = 4
+    let mut t = Table::new(["β", "initial Σ", "Σ after 50 sync steps", "invariant holds"]);
+    for beta in [4u32, 1] {
+        let m = build(beta);
+        let mut cfg = Config::initial(&m, &g);
+        let sum0: i32 = cfg.states().iter().sum();
+        let all = Selection::all(&g);
+        for _ in 0..50 {
+            cfg = cfg.successor(&m, &g, &all);
+        }
+        let sum: i32 = cfg.states().iter().sum();
+        t.row([
+            beta.to_string(),
+            sum0.to_string(),
+            sum.to_string(),
+            (sum == sum0).to_string(),
+        ]);
+        if beta as usize >= k {
+            assert_eq!(sum, sum0, "β ≥ degree must preserve the sum");
+        }
+    }
+    t.print("Ablation 3: ⟨cancel⟩ needs counting up to the degree bound");
+}

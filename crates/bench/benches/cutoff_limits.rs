@@ -1,0 +1,102 @@
+//! **E6 — Lemmas 3.4 + 3.5:** cutoff limits. (a) dAF verdicts on stars
+//! depend only on `⌈L⌉_K` for some machine-dependent K: we sweep leaf
+//! counts through the symmetry-reduced star decider and read the cutoff off
+//! the verdict series. (b) Majority admits no cutoff, which is why no
+//! dAF-automaton decides it (Corollary 3.6).
+
+use std::sync::Arc;
+use wam_analysis::{classify, find_cutoff, Predicate, PropertyClass};
+use wam_bench::Table;
+use wam_core::{decide_system, Machine, Output};
+use wam_extensions::{BroadcastMachine, BroadcastSystem, ResponseFn};
+use wam_graph::{generators, Label, LabelCount};
+
+fn main() {
+    star_cutoff_sweep();
+    predicate_cutoffs();
+}
+
+/// The plain Lemma C.5 ladder (states `0..=k` only, no estimate vectors):
+/// the minimal dAF machine for `x₀ ≥ k`, small enough for exhaustive star
+/// sweeps.
+fn ladder(k: u32) -> BroadcastMachine<u32> {
+    let machine = Machine::new(
+        1,
+        move |l: Label| if l.0 == 0 { 1 } else { 0 },
+        |&s: &u32, _| s,
+        move |&s| if s == k { Output::Accept } else { Output::Reject },
+    );
+    BroadcastMachine::new(
+        machine,
+        move |&s| s >= 1,
+        move |&s| {
+            if s == k {
+                (k, Arc::new(move |_: &u32| k) as ResponseFn<u32>)
+            } else {
+                (
+                    s,
+                    Arc::new(move |&r: &u32| if r == s && r < k { r + 1 } else { r })
+                        as ResponseFn<u32>,
+                )
+            }
+        },
+    )
+}
+
+/// Sweep leaf counts on stars for the dAF threshold machine (semantic weak
+/// broadcasts; Lemma 4.7 fidelity is asserted elsewhere) and observe the
+/// verdict stabilising — the empirical cutoff of Lemma 3.5.
+fn star_cutoff_sweep() {
+    for k in [1u32, 2, 3] {
+        let bm = ladder(k);
+        let mut t = Table::new(["leaves with label a", "verdict (x₀ ≥ k)"]);
+        let mut series = Vec::new();
+        for a in 0..=5u64 {
+            // Star with `a` label-a nodes and 3 label-b nodes.
+            let g = generators::labelled_star(&LabelCount::from_vec(vec![a, 3]));
+            let sys = BroadcastSystem::new(&bm, &g);
+            let v = decide_system(&sys, 1_000_000).unwrap();
+            series.push(v);
+            t.row([a.to_string(), v.to_string()]);
+        }
+        t.print(&format!("Lemma 3.5 sweep: star verdicts for x₀ ≥ {k}"));
+        // The verdict must stabilise at the latest once a ≥ k: empirical
+        // cutoff = position after which the series is constant.
+        let last = *series.last().unwrap();
+        let cutoff = series
+            .iter()
+            .rposition(|v| *v != last)
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        println!("empirical verdict cutoff on stars: {cutoff} (protocol threshold k = {k})");
+        assert_eq!(cutoff as u32, k, "verdict series must flip exactly at k");
+    }
+}
+
+/// Classify the paper's predicate families over a verification box: which
+/// admit cutoffs (dAF-decidable) and which do not.
+fn predicate_cutoffs() {
+    let preds: Vec<(&str, Predicate)> = vec![
+        ("x₀ ≥ 1 (presence)", Predicate::threshold(2, 0, 1)),
+        ("x₀ ≥ 3", Predicate::threshold(2, 0, 3)),
+        (
+            "x₀ ≥ 1 ∧ x₁ ≥ 2",
+            Predicate::threshold(2, 0, 1) & Predicate::threshold(2, 1, 2),
+        ),
+        ("majority x₀ > x₁", Predicate::majority()),
+        ("x₀ even", Predicate::modulo(vec![1, 0], 2, 0)),
+        ("x₀ − x₁ ≥ 0 (homogeneous)", Predicate::homogeneous(vec![1, -1])),
+    ];
+    let mut t = Table::new(["predicate", "class on box {0..12}²", "cutoff found"]);
+    for (name, p) in preds {
+        let class = classify(&p, 12);
+        let cutoff = find_cutoff(&p, 6, 12)
+            .map(|k| k.to_string())
+            .unwrap_or_else(|| "none ≤ 6".into());
+        t.row([name.into(), class.to_string(), cutoff]);
+        if name.starts_with("majority") {
+            assert_eq!(class, PropertyClass::NoCutoff);
+        }
+    }
+    t.print("Corollary 3.6: majority admits no cutoff ⇒ undecidable for DAf and dAF");
+}

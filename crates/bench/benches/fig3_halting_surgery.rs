@@ -1,0 +1,105 @@
+//! **E4 — Figure 3 / Lemma 3.1:** automata with halting acceptance cannot
+//! discriminate cyclic graphs. We build a halting automaton that "decides"
+//! all-a vs all-b on cycles, then perform the paper's surgery: the chained
+//! composite graph `GH` makes some nodes halt accepting and others halt
+//! rejecting — the consistency condition is violated, so no such automaton
+//! exists.
+
+use wam_bench::Table;
+use wam_core::{decide_synchronous, Config, Machine, Output, Selection};
+use wam_graph::surgery::{find_cycle_edge, halting_composite};
+use wam_graph::{generators, LabelCount};
+
+/// A halting automaton: after `delay` own-steps, halt with the verdict
+/// determined by the own label (accept for a, reject for b). Decides
+/// "all-a" vs "all-b" on homogeneous cycles — the best a halting automaton
+/// could hope for.
+fn halting_by_label(delay: u8) -> Machine<(u8, Option<bool>)> {
+    Machine::new(
+        1,
+        move |l: wam_graph::Label| (0u8, if l.0 == 0 { Some(true) } else { Some(false) }),
+        move |&(t, verdict), _| {
+            if t < delay {
+                (t + 1, verdict)
+            } else {
+                (t, verdict) // halted
+            }
+        },
+        move |&(t, verdict)| {
+            if t < delay {
+                Output::Neutral
+            } else if verdict == Some(true) {
+                Output::Accept
+            } else {
+                Output::Reject
+            }
+        },
+    )
+}
+
+fn main() {
+    let m = halting_by_label(3);
+
+    // G: all-a cycle (accepted); H: all-b cycle (rejected).
+    let g = generators::labelled_cycle(&LabelCount::from_vec(vec![4, 0]));
+    let h = generators::labelled_cycle(&LabelCount::from_vec(vec![0, 4]));
+    let vg = decide_synchronous(&m, &g, 10_000).unwrap();
+    let vh = decide_synchronous(&m, &h, 10_000).unwrap();
+
+    let mut t = Table::new(["graph", "nodes", "verdict"]);
+    t.row(["G = all-a cycle".into(), "4".into(), vg.to_string()]);
+    t.row(["H = all-b cycle".into(), "4".into(), vh.to_string()]);
+
+    // The surgery: 2g+1 copies of G, 2h+1 copies of H, chained (Figure 3).
+    let eg = find_cycle_edge(&g).unwrap();
+    let eh = find_cycle_edge(&h).unwrap();
+    let composite = halting_composite(&g, eg, 7, &h, eh, 7);
+    let vgh = decide_synchronous(&m, &composite.graph, 10_000).unwrap();
+    t.row([
+        "GH = surgery composite".into(),
+        composite.graph.node_count().to_string(),
+        vgh.to_string(),
+    ]);
+    t.print("Lemma 3.1: verdicts before and after the surgery");
+
+    // Show the per-node halt outputs on GH: G-copies halt accepting,
+    // H-copies halt rejecting — a permanent split consensus.
+    let mut c = Config::initial(&m, &composite.graph);
+    let all = Selection::all(&composite.graph);
+    for _ in 0..10 {
+        c = c.successor(&m, &composite.graph, &all);
+    }
+    let mut accepted_g = 0usize;
+    let mut rejected_g = 0usize;
+    let mut accepted_h = 0usize;
+    let mut rejected_h = 0usize;
+    for (v, prov) in composite.provenance.iter().enumerate() {
+        match (m.output(c.state(v)), prov.from_g) {
+            (Output::Accept, true) => accepted_g += 1,
+            (Output::Reject, true) => rejected_g += 1,
+            (Output::Accept, false) => accepted_h += 1,
+            (Output::Reject, false) => rejected_h += 1,
+            _ => {}
+        }
+    }
+    let mut t2 = Table::new(["provenance", "halted accepting", "halted rejecting"]);
+    t2.row([
+        "copies of G".into(),
+        accepted_g.to_string(),
+        rejected_g.to_string(),
+    ]);
+    t2.row([
+        "copies of H".into(),
+        accepted_h.to_string(),
+        rejected_h.to_string(),
+    ]);
+    t2.print("Lemma 3.1: halted outputs on GH by provenance");
+
+    assert!(vg.is_accepting() && vh.is_rejecting());
+    assert_eq!(vgh.decided(), None, "GH must fail to reach consensus");
+    assert!(accepted_g > 0 && rejected_h > 0, "split consensus expected");
+    println!(
+        "Conclusion: a halting automaton separating two cyclic graphs cannot satisfy\n\
+         the consistency condition — halting classes decide only trivial properties."
+    );
+}

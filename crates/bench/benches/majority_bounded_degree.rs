@@ -1,0 +1,76 @@
+//! **E9 — §6.1 headline:** the DAf majority stack on bounded-degree graphs
+//! under a battery of *adversarial* (fair but worst-case-ish) schedulers,
+//! plus a scaling series of steps-to-stabilisation.
+
+use wam_bench::Table;
+use wam_core::{
+    run_until_stable, RandomScheduler, RoundRobinScheduler, Scheduler, StabilityOptions, Verdict,
+};
+use wam_graph::{generators, LabelCount};
+use wam_protocols::majority_stack;
+use wam_sim::{StarvationScheduler, SweepScheduler};
+
+fn main() {
+    scheduler_battery();
+    scaling_series();
+}
+
+/// x₀ − x₁ ≥ 0 on random degree-≤3 graphs under four fair schedulers.
+fn scheduler_battery() {
+    let mut t = Table::new(["input (a,b)", "scheduler", "verdict", "truth", "steps"]);
+    for (a, b) in [(4u64, 2u64), (2, 4), (3, 3)] {
+        let expect = a >= b;
+        let c = LabelCount::from_vec(vec![a, b]);
+        let g = generators::random_degree_bounded(&c, 3, 2, 7);
+        let opts = StabilityOptions::new(3_000_000, 5_000);
+        let schedulers: Vec<(&str, Box<dyn Scheduler>)> = vec![
+            ("round-robin", Box::new(RoundRobinScheduler)),
+            ("sweep", Box::new(SweepScheduler)),
+            ("starvation(v0, 20)", Box::new(StarvationScheduler::new(0, 20))),
+            ("random", Box::new(RandomScheduler::exclusive(5))),
+        ];
+        for (name, mut sched) in schedulers {
+            let stack = majority_stack(3);
+            let flat = stack.flat();
+            let r = run_until_stable(&flat, &g, sched.as_mut(), opts);
+            t.row([
+                format!("({a},{b})"),
+                name.into(),
+                r.verdict.to_string(),
+                expect.to_string(),
+                r.steps.to_string(),
+            ]);
+            assert_eq!(
+                r.verdict.decided(),
+                Some(expect),
+                "({a},{b}) under {name}"
+            );
+        }
+    }
+    t.print("§6.1: majority under adversarial schedulers on degree-≤3 graphs");
+}
+
+/// Steps-to-stabilisation as the network grows (random exclusive schedule).
+fn scaling_series() {
+    let mut t = Table::new(["n", "input (a,b)", "verdict", "steps to stable"]);
+    for n in [6u64, 9, 12, 15] {
+        let a = n / 2 + 1;
+        let b = n - a;
+        let c = LabelCount::from_vec(vec![a, b]);
+        let g = generators::random_degree_bounded(&c, 3, 3, 13);
+        let stack = majority_stack(3);
+        let flat = stack.flat();
+        let mut sched = RandomScheduler::exclusive(21);
+        let r = run_until_stable(&flat, &g, &mut sched, StabilityOptions::new(8_000_000, 10_000));
+        t.row([
+            n.to_string(),
+            format!("({a},{b})"),
+            r.verdict.to_string(),
+            r.stabilised_at
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "—".into()),
+        ]);
+        assert_eq!(r.verdict, Verdict::Accepts, "n={n}");
+    }
+    t.print("§6.1: steps to stabilisation vs network size (majority, degree ≤ 3)");
+}

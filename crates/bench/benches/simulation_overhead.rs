@@ -1,0 +1,66 @@
+//! **E7 — simulation fidelity and overhead (criterion):** every simulation
+//! compiler (Lemmas 4.7, 4.9, 4.10) preserves verdicts; the price is a
+//! larger configuration space and longer runs. This bench measures exact
+//! decision time for semantic vs compiled models on a fixed input.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wam_core::{decide_pseudo_stochastic, decide_system};
+use wam_extensions::{
+    compile_broadcasts, compile_rendezvous, BroadcastSystem, GraphPopulationProtocol,
+    MajorityState, PopulationSystem,
+};
+use wam_graph::{generators, LabelCount};
+use wam_protocols::threshold_machine;
+
+fn bench_broadcast_compilation(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("lemma_4_7_broadcasts");
+    let c = LabelCount::from_vec(vec![2, 1]);
+    let g = generators::labelled_cycle(&c);
+    let bm = threshold_machine(2, 0, 2);
+    let flat = compile_broadcasts(&bm);
+
+    // Fidelity gate: both must agree before we measure anything.
+    let semantic = decide_system(&BroadcastSystem::new(&bm, &g), 1_000_000).unwrap();
+    let compiled = decide_pseudo_stochastic(&flat, &g, 3_000_000).unwrap();
+    assert_eq!(semantic, compiled);
+    println!("Lemma 4.7 fidelity: semantic = compiled = {semantic}");
+
+    group.bench_function("semantic_exact", |b| {
+        b.iter(|| {
+            black_box(decide_system(&BroadcastSystem::new(&bm, &g), 1_000_000).unwrap())
+        })
+    });
+    group.bench_function("compiled_exact", |b| {
+        b.iter(|| black_box(decide_pseudo_stochastic(&flat, &g, 3_000_000).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_rendezvous_compilation(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("lemma_4_10_rendezvous");
+    let pp = GraphPopulationProtocol::<MajorityState>::majority();
+    let flat = compile_rendezvous(&pp);
+    let c = LabelCount::from_vec(vec![2, 1]);
+    let g = generators::labelled_line(&c);
+
+    let semantic = decide_system(&PopulationSystem::new(&pp, &g), 1_000_000).unwrap();
+    let compiled = decide_pseudo_stochastic(&flat, &g, 3_000_000).unwrap();
+    assert_eq!(semantic, compiled);
+    println!("Lemma 4.10 fidelity: semantic = compiled = {semantic}");
+
+    group.bench_function("semantic_exact", |b| {
+        b.iter(|| black_box(decide_system(&PopulationSystem::new(&pp, &g), 1_000_000).unwrap()))
+    });
+    group.bench_function("compiled_exact", |b| {
+        b.iter(|| black_box(decide_pseudo_stochastic(&flat, &g, 3_000_000).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_broadcast_compilation, bench_rendezvous_compilation
+}
+criterion_main!(benches);

@@ -1,0 +1,378 @@
+//! The eight model classes `xyz ∈ {d,D} × {a,A} × {f,F}` and the paper's
+//! decision-power classification (Figure 1).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Detection capability: can nodes count neighbours up to a bound β > 1?
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Detection {
+    /// `d`: non-counting (β = 1) — only existence of neighbours in a state.
+    NonCounting,
+    /// `D`: counting up to some β ≥ 1.
+    Counting,
+}
+
+/// Acceptance condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Acceptance {
+    /// `a`: halting — accepting/rejecting states are absorbing.
+    Halting,
+    /// `A`: stable consensus — all nodes eventually agree forever.
+    StableConsensus,
+}
+
+/// Fairness constraint on schedules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Fairness {
+    /// `f`: adversarial — every node is selected infinitely often, nothing more.
+    Adversarial,
+    /// `F`: pseudo-stochastic — every finite selection sequence recurs.
+    PseudoStochastic,
+}
+
+/// Upper bounds on decidable labelling properties, per the paper's
+/// characterisation (Figure 1 middle and right panels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PropertyClassBound {
+    /// Only ∅ and ℕ^Λ.
+    Trivial,
+    /// Properties depending only on `⌈L⌉₁` (presence/absence of each label).
+    CutoffOne,
+    /// Properties depending only on `⌈L⌉_K` for some K.
+    Cutoff,
+    /// Properties invariant under scalar multiplication (bounded-degree DAf
+    /// upper bound; homogeneous thresholds are the proven lower bound).
+    InvariantScalarMult,
+    /// Labelling properties decidable in nondeterministic log space.
+    NL,
+    /// Labelling properties decidable in NSPACE(n) — the theoretical maximum
+    /// for constant memory per node.
+    NSpaceLinear,
+}
+
+impl fmt::Display for PropertyClassBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PropertyClassBound::Trivial => "Trivial",
+            PropertyClassBound::CutoffOne => "Cutoff(1)",
+            PropertyClassBound::Cutoff => "Cutoff",
+            PropertyClassBound::InvariantScalarMult => "ISM",
+            PropertyClassBound::NL => "NL",
+            PropertyClassBound::NSpaceLinear => "NSPACE(n)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One of the eight model classes `xyz`, e.g. `DAf` = counting, stable
+/// consensus, adversarial fairness.
+///
+/// Selection regime is deliberately absent: the paper's starting point
+/// ([16]) is that liberal / exclusive / synchronous selection does not change
+/// decision power, so classes are identified by the remaining three criteria.
+///
+/// # Example
+///
+/// ```
+/// use wam_core::{ModelClass, PropertyClassBound};
+/// let daf: ModelClass = "DAf".parse().unwrap();
+/// assert_eq!(daf.to_string(), "DAf");
+/// assert_eq!(daf.labelling_power_arbitrary(), PropertyClassBound::CutoffOne);
+/// assert_eq!(
+///     daf.labelling_power_bounded_degree(),
+///     PropertyClassBound::InvariantScalarMult
+/// );
+/// assert!(ModelClass::DAF.dominates(&daf));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModelClass {
+    /// Detection component (`d` / `D`).
+    pub detection: Detection,
+    /// Acceptance component (`a` / `A`).
+    pub acceptance: Acceptance,
+    /// Fairness component (`f` / `F`).
+    pub fairness: Fairness,
+}
+
+impl ModelClass {
+    /// `daf`: non-counting, halting, adversarial.
+    pub const DAF_LOWER: ModelClass = ModelClass::new(
+        Detection::NonCounting,
+        Acceptance::Halting,
+        Fairness::Adversarial,
+    );
+    /// `DAF`: counting, stable consensus, pseudo-stochastic.
+    pub const DAF: ModelClass = ModelClass::new(
+        Detection::Counting,
+        Acceptance::StableConsensus,
+        Fairness::PseudoStochastic,
+    );
+    /// `DAf`: counting, stable consensus, adversarial.
+    pub const DA_F_LOWER: ModelClass = ModelClass::new(
+        Detection::Counting,
+        Acceptance::StableConsensus,
+        Fairness::Adversarial,
+    );
+    /// `dAF`: non-counting, stable consensus, pseudo-stochastic.
+    pub const D_LOWER_AF: ModelClass = ModelClass::new(
+        Detection::NonCounting,
+        Acceptance::StableConsensus,
+        Fairness::PseudoStochastic,
+    );
+    /// `dAf`: non-counting, stable consensus, adversarial.
+    pub const D_LOWER_A_F_LOWER: ModelClass = ModelClass::new(
+        Detection::NonCounting,
+        Acceptance::StableConsensus,
+        Fairness::Adversarial,
+    );
+
+    /// Creates a class from its three components.
+    pub const fn new(detection: Detection, acceptance: Acceptance, fairness: Fairness) -> Self {
+        ModelClass {
+            detection,
+            acceptance,
+            fairness,
+        }
+    }
+
+    /// All eight classes, in lexicographic `xyz` order.
+    pub fn all() -> [ModelClass; 8] {
+        let mut out = [ModelClass::DAF; 8];
+        let mut i = 0;
+        for d in [Detection::NonCounting, Detection::Counting] {
+            for a in [Acceptance::Halting, Acceptance::StableConsensus] {
+                for f in [Fairness::Adversarial, Fairness::PseudoStochastic] {
+                    out[i] = ModelClass::new(d, a, f);
+                    i += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// The seven equivalence classes of Figure 1 (representatives):
+    /// `daf ≡ daF` collapse into one.
+    pub fn representatives() -> Vec<ModelClass> {
+        ModelClass::all()
+            .into_iter()
+            .filter(|c| {
+                !(c.detection == Detection::NonCounting
+                    && c.acceptance == Acceptance::Halting
+                    && c.fairness == Fairness::PseudoStochastic)
+            })
+            .collect()
+    }
+
+    /// The canonical representative of this class's equivalence class
+    /// (`daF ↦ daf`, all others map to themselves).
+    pub fn canonical(self) -> ModelClass {
+        if self.detection == Detection::NonCounting && self.acceptance == Acceptance::Halting {
+            ModelClass::new(self.detection, self.acceptance, Fairness::Adversarial)
+        } else {
+            self
+        }
+    }
+
+    /// Component-wise dominance: `self` has every capability of `other`.
+    /// This is a sound under-approximation of the decision-power order.
+    pub fn dominates(&self, other: &ModelClass) -> bool {
+        self.detection >= other.detection
+            && self.acceptance >= other.acceptance
+            && self.fairness >= other.fairness
+    }
+
+    /// The paper's exact characterisation of decidable labelling properties
+    /// on **arbitrary** communication graphs (Figure 1, middle panel).
+    pub fn labelling_power_arbitrary(&self) -> PropertyClassBound {
+        match (self.acceptance, self.detection, self.fairness) {
+            (Acceptance::Halting, _, _) => PropertyClassBound::Trivial,
+            (Acceptance::StableConsensus, _, Fairness::Adversarial) => {
+                PropertyClassBound::CutoffOne
+            }
+            (Acceptance::StableConsensus, Detection::NonCounting, Fairness::PseudoStochastic) => {
+                PropertyClassBound::Cutoff
+            }
+            (Acceptance::StableConsensus, Detection::Counting, Fairness::PseudoStochastic) => {
+                PropertyClassBound::NL
+            }
+        }
+    }
+
+    /// The paper's characterisation on **bounded-degree** graphs
+    /// (Figure 1, right panel). For `DAf` the exact power is open; the paper
+    /// proves the ISM upper bound and the homogeneous-threshold lower bound,
+    /// so this returns the upper bound.
+    pub fn labelling_power_bounded_degree(&self) -> PropertyClassBound {
+        match (self.acceptance, self.detection, self.fairness) {
+            (Acceptance::Halting, _, _) => PropertyClassBound::Trivial,
+            (Acceptance::StableConsensus, Detection::NonCounting, Fairness::Adversarial) => {
+                PropertyClassBound::CutoffOne
+            }
+            (Acceptance::StableConsensus, Detection::Counting, Fairness::Adversarial) => {
+                PropertyClassBound::InvariantScalarMult
+            }
+            (Acceptance::StableConsensus, _, Fairness::PseudoStochastic) => {
+                PropertyClassBound::NSpaceLinear
+            }
+        }
+    }
+
+    /// Whether automata of this class can decide majority on arbitrary graphs
+    /// (only `DAF` can — Corollary 3.6 plus the Figure 1 characterisation).
+    pub fn decides_majority_arbitrary(&self) -> bool {
+        self.labelling_power_arbitrary() == PropertyClassBound::NL
+    }
+
+    /// Whether automata of this class can decide majority on bounded-degree
+    /// graphs (`DAf`, `dAF`, `DAF` — the paper's second headline result).
+    pub fn decides_majority_bounded_degree(&self) -> bool {
+        matches!(
+            self.labelling_power_bounded_degree(),
+            PropertyClassBound::InvariantScalarMult
+                | PropertyClassBound::NL
+                | PropertyClassBound::NSpaceLinear
+        )
+    }
+}
+
+impl fmt::Display for ModelClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let d = match self.detection {
+            Detection::NonCounting => 'd',
+            Detection::Counting => 'D',
+        };
+        let a = match self.acceptance {
+            Acceptance::Halting => 'a',
+            Acceptance::StableConsensus => 'A',
+        };
+        let z = match self.fairness {
+            Fairness::Adversarial => 'f',
+            Fairness::PseudoStochastic => 'F',
+        };
+        write!(f, "{d}{a}{z}")
+    }
+}
+
+/// Error parsing a [`ModelClass`] string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseClassError(String);
+
+impl fmt::Display for ParseClassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid model class {:?} (expected e.g. \"DAf\")", self.0)
+    }
+}
+
+impl std::error::Error for ParseClassError {}
+
+impl FromStr for ModelClass {
+    type Err = ParseClassError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let chars: Vec<char> = s.chars().collect();
+        if chars.len() != 3 {
+            return Err(ParseClassError(s.to_string()));
+        }
+        let detection = match chars[0] {
+            'd' => Detection::NonCounting,
+            'D' => Detection::Counting,
+            _ => return Err(ParseClassError(s.to_string())),
+        };
+        let acceptance = match chars[1] {
+            'a' => Acceptance::Halting,
+            'A' => Acceptance::StableConsensus,
+            _ => return Err(ParseClassError(s.to_string())),
+        };
+        let fairness = match chars[2] {
+            'f' => Fairness::Adversarial,
+            'F' => Fairness::PseudoStochastic,
+            _ => return Err(ParseClassError(s.to_string())),
+        };
+        Ok(ModelClass::new(detection, acceptance, fairness))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_display_roundtrip() {
+        for c in ModelClass::all() {
+            let s = c.to_string();
+            assert_eq!(s.parse::<ModelClass>().unwrap(), c);
+        }
+        assert!("xyz".parse::<ModelClass>().is_err());
+        assert!("DA".parse::<ModelClass>().is_err());
+    }
+
+    #[test]
+    fn seven_equivalence_classes() {
+        assert_eq!(ModelClass::all().len(), 8);
+        assert_eq!(ModelClass::representatives().len(), 7);
+        let daf_upper: ModelClass = "daF".parse().unwrap();
+        assert_eq!(daf_upper.canonical().to_string(), "daf");
+        assert_eq!(ModelClass::DAF.canonical(), ModelClass::DAF);
+    }
+
+    #[test]
+    fn figure1_middle_panel() {
+        let power = |s: &str| {
+            s.parse::<ModelClass>()
+                .unwrap()
+                .labelling_power_arbitrary()
+        };
+        assert_eq!(power("daf"), PropertyClassBound::Trivial);
+        assert_eq!(power("Daf"), PropertyClassBound::Trivial);
+        assert_eq!(power("DaF"), PropertyClassBound::Trivial);
+        assert_eq!(power("dAf"), PropertyClassBound::CutoffOne);
+        assert_eq!(power("DAf"), PropertyClassBound::CutoffOne);
+        assert_eq!(power("dAF"), PropertyClassBound::Cutoff);
+        assert_eq!(power("DAF"), PropertyClassBound::NL);
+    }
+
+    #[test]
+    fn figure1_right_panel() {
+        let power = |s: &str| {
+            s.parse::<ModelClass>()
+                .unwrap()
+                .labelling_power_bounded_degree()
+        };
+        assert_eq!(power("daf"), PropertyClassBound::Trivial);
+        assert_eq!(power("dAf"), PropertyClassBound::CutoffOne);
+        assert_eq!(power("DAf"), PropertyClassBound::InvariantScalarMult);
+        assert_eq!(power("dAF"), PropertyClassBound::NSpaceLinear);
+        assert_eq!(power("DAF"), PropertyClassBound::NSpaceLinear);
+    }
+
+    #[test]
+    fn majority_headline_results() {
+        let majority_arbitrary: Vec<String> = ModelClass::representatives()
+            .into_iter()
+            .filter(|c| c.decides_majority_arbitrary())
+            .map(|c| c.to_string())
+            .collect();
+        assert_eq!(majority_arbitrary, vec!["DAF"]);
+
+        let majority_bounded: Vec<String> = ModelClass::representatives()
+            .into_iter()
+            .filter(|c| c.decides_majority_bounded_degree())
+            .map(|c| c.to_string())
+            .collect();
+        let mut majority_bounded = majority_bounded;
+        majority_bounded.sort();
+        assert_eq!(majority_bounded, vec!["DAF", "DAf", "dAF"]);
+    }
+
+    #[test]
+    fn dominance_is_componentwise() {
+        let daf: ModelClass = "dAf".parse().unwrap();
+        assert!(ModelClass::DAF.dominates(&daf));
+        assert!(!daf.dominates(&ModelClass::DAF));
+        let da_f: ModelClass = "DAf".parse().unwrap();
+        let d_af: ModelClass = "dAF".parse().unwrap();
+        assert!(!da_f.dominates(&d_af));
+        assert!(!d_af.dominates(&da_f));
+    }
+}

@@ -1,0 +1,205 @@
+//! Configurations `C : V → Q` and the step semantics.
+
+use crate::{Machine, Neighbourhood, Output, Selection, State};
+use std::collections::HashMap;
+use std::fmt;
+use wam_graph::{Graph, NodeId};
+
+/// A configuration of a machine on a graph: one state per node.
+///
+/// # Example
+///
+/// ```
+/// use wam_core::{Config, Machine, Output, Selection};
+/// use wam_graph::generators;
+///
+/// let g = generators::cycle(3);
+/// let m = Machine::new(
+///     1,
+///     |_| 0u32,
+///     |&s, n| s.max(n.count_where(|&t| t > s)),
+///     |_| Output::Neutral,
+/// );
+/// let c0 = Config::initial(&m, &g);
+/// assert_eq!(c0.states(), &[0, 0, 0]);
+/// let c1 = c0.successor(&m, &g, &Selection::exclusive(1));
+/// assert_eq!(c1.states(), &[0, 0, 0]); // silent step
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Config<S> {
+    states: Vec<S>,
+}
+
+impl<S: fmt::Debug> fmt::Debug for Config<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Config{:?}", self.states)
+    }
+}
+
+impl<S: State> Config<S> {
+    /// The initial configuration `C₀(v) = δ₀(λ(v))`.
+    pub fn initial(machine: &Machine<S>, graph: &Graph) -> Self {
+        Config {
+            states: graph.nodes().map(|v| machine.initial(graph.label(v))).collect(),
+        }
+    }
+
+    /// Builds a configuration from explicit per-node states.
+    pub fn from_states(states: Vec<S>) -> Self {
+        Config { states }
+    }
+
+    /// The per-node states, indexed by node id.
+    pub fn states(&self) -> &[S] {
+        &self.states
+    }
+
+    /// The state of node `v`.
+    pub fn state(&self, v: NodeId) -> &S {
+        &self.states[v]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the configuration is empty (never for valid graphs).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The β-clipped neighbourhood of node `v` in this configuration.
+    pub fn neighbourhood(&self, machine: &Machine<S>, graph: &Graph, v: NodeId) -> Neighbourhood<S> {
+        Neighbourhood::from_states(
+            graph.neighbours(v).iter().map(|&u| self.states[u].clone()),
+            machine.beta(),
+        )
+    }
+
+    /// The successor configuration `succ_δ(C, S)`: all nodes in the selection
+    /// evaluate δ simultaneously against this configuration; others idle.
+    pub fn successor(&self, machine: &Machine<S>, graph: &Graph, sel: &Selection) -> Self {
+        let mut next = self.states.clone();
+        for &v in sel.nodes() {
+            let n = self.neighbourhood(machine, graph, v);
+            next[v] = machine.step(&self.states[v], &n);
+        }
+        Config { states: next }
+    }
+
+    /// Steps a single node, returning the new state (does not modify `self`).
+    pub fn stepped_state(&self, machine: &Machine<S>, graph: &Graph, v: NodeId) -> S {
+        let n = self.neighbourhood(machine, graph, v);
+        machine.step(&self.states[v], &n)
+    }
+
+    /// Whether the configuration is accepting (every node's state in `Y`).
+    pub fn is_accepting(&self, machine: &Machine<S>) -> bool {
+        self.states.iter().all(|s| machine.output(s) == Output::Accept)
+    }
+
+    /// Whether the configuration is rejecting (every node's state in `N`).
+    pub fn is_rejecting(&self, machine: &Machine<S>) -> bool {
+        self.states.iter().all(|s| machine.output(s) == Output::Reject)
+    }
+
+    /// The consensus output, if all nodes agree.
+    pub fn consensus(&self, machine: &Machine<S>) -> Option<Output> {
+        let first = machine.output(&self.states[0]);
+        self.states[1..]
+            .iter()
+            .all(|s| machine.output(s) == first)
+            .then_some(first)
+    }
+
+    /// The multiset of states (state ↦ number of nodes occupying it).
+    pub fn state_count(&self) -> HashMap<S, usize> {
+        let mut m = HashMap::new();
+        for s in &self.states {
+            *m.entry(s.clone()).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Maps every node's state through `f`.
+    pub fn map<T: State>(&self, f: impl Fn(&S) -> T) -> Config<T> {
+        Config {
+            states: self.states.iter().map(f).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Output;
+    use wam_graph::generators;
+
+    fn flood() -> Machine<bool> {
+        Machine::new(
+            1,
+            |l| l.0 == 1,
+            |&s, n| s || n.exists(|&t| t),
+            |&s| if s { Output::Accept } else { Output::Reject },
+        )
+    }
+
+    #[test]
+    fn initial_uses_labels() {
+        let g = generators::labelled_line(&wam_graph::LabelCount::from_vec(vec![2, 1]));
+        let c = Config::initial(&flood(), &g);
+        assert_eq!(c.states(), &[false, false, true]);
+    }
+
+    #[test]
+    fn exclusive_step_flood() {
+        let g = generators::labelled_line(&wam_graph::LabelCount::from_vec(vec![2, 1]));
+        let m = flood();
+        let c0 = Config::initial(&m, &g);
+        let c1 = c0.successor(&m, &g, &Selection::exclusive(1));
+        assert_eq!(c1.states(), &[false, true, true]);
+        let c2 = c1.successor(&m, &g, &Selection::exclusive(0));
+        assert_eq!(c2.states(), &[true, true, true]);
+        assert!(c2.is_accepting(&m));
+        assert_eq!(c2.consensus(&m), Some(Output::Accept));
+    }
+
+    #[test]
+    fn synchronous_step_is_simultaneous() {
+        // On a line t-f-f-t, one synchronous step floods inward from both ends.
+        let g = generators::line(4);
+        let m = flood();
+        let c = Config::from_states(vec![true, false, false, true]);
+        let all = Selection::all(&g);
+        let c1 = c.successor(&m, &g, &all);
+        assert_eq!(c1.states(), &[true, true, true, true]);
+    }
+
+    #[test]
+    fn unselected_nodes_idle() {
+        let g = generators::line(3);
+        let m = flood();
+        let c = Config::from_states(vec![true, false, false]);
+        let c1 = c.successor(&m, &g, &Selection::exclusive(2));
+        // Node 2 sees only node 1 (false), so nothing changes.
+        assert_eq!(c1.states(), &[true, false, false]);
+    }
+
+    #[test]
+    fn state_count_aggregates() {
+        let c = Config::from_states(vec![1, 1, 2]);
+        let sc = c.state_count();
+        assert_eq!(sc[&1], 2);
+        assert_eq!(sc[&2], 1);
+    }
+
+    #[test]
+    fn no_consensus_when_mixed() {
+        let m = flood();
+        let c = Config::from_states(vec![true, false, false]);
+        assert_eq!(c.consensus(&m), None);
+        assert!(!c.is_accepting(&m));
+        assert!(!c.is_rejecting(&m));
+    }
+}

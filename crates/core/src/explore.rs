@@ -1,0 +1,708 @@
+//! Exact decision procedures on configuration graphs.
+//!
+//! On small graphs the configuration space of a machine (plain or extended)
+//! is finite and explorable, which lets us decide acceptance *exactly*
+//! instead of sampling:
+//!
+//! * **Pseudo-stochastic fairness**: the paper's own characterisation (used
+//!   in Prop. D.2) — the automaton accepts from `C₀` iff a *stably
+//!   accepting* configuration is reachable, i.e. a `C` all of whose reachable
+//!   configurations are accepting. [`Exploration`] computes reachability plus
+//!   the reverse closure, for any [`TransitionSystem`].
+//! * **Adversarial fairness**: a consistent automaton gives the same verdict
+//!   on every fair run, so it suffices to evaluate one concrete fair run.
+//!   Round-robin and synchronous runs are deterministic and therefore
+//!   ultimately periodic; [`decide_adversarial_round_robin`] and
+//!   [`decide_synchronous`] detect the lasso and read the verdict off the
+//!   loop. A `NoConsensus` result on these runs witnesses that the machine
+//!   is *not* a distributed automaton of the corresponding class for this
+//!   input (no stable consensus forms).
+//!
+//! Extended models (weak broadcasts, absence detection, rendez-vous, strong
+//! broadcasts) implement [`TransitionSystem`] in `wam-extensions` and reuse
+//! the same machinery.
+
+use crate::{Config, Machine, Selection, State};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::hash::Hash;
+use wam_graph::Graph;
+
+/// Outcome of an exact decision procedure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// Every fair run stabilises to an accepting consensus.
+    Accepts,
+    /// Every fair run stabilises to a rejecting consensus.
+    Rejects,
+    /// The evaluated run(s) do not stabilise to a consensus: the machine does
+    /// not decide this input (consistency fails or consensus never forms).
+    NoConsensus,
+    /// Both a stably accepting and a stably rejecting configuration are
+    /// reachable: the machine violates the consistency condition outright.
+    Inconsistent,
+}
+
+impl Verdict {
+    /// Whether the verdict is `Accepts`.
+    pub fn is_accepting(self) -> bool {
+        self == Verdict::Accepts
+    }
+
+    /// Whether the verdict is `Rejects`.
+    pub fn is_rejecting(self) -> bool {
+        self == Verdict::Rejects
+    }
+
+    /// `Some(true)` / `Some(false)` for accept / reject, `None` otherwise.
+    pub fn decided(self) -> Option<bool> {
+        match self {
+            Verdict::Accepts => Some(true),
+            Verdict::Rejects => Some(false),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Verdict::Accepts => "accepts",
+            Verdict::Rejects => "rejects",
+            Verdict::NoConsensus => "no consensus",
+            Verdict::Inconsistent => "inconsistent",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Error from an exact decision procedure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExploreError {
+    /// The reachable configuration space exceeded the caller's limit.
+    TooLarge {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+    /// A deterministic run did not close its lasso within the step limit.
+    NoLasso {
+        /// The step limit that was exhausted.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExploreError::TooLarge { limit } => {
+                write!(f, "configuration space exceeds limit of {limit}")
+            }
+            ExploreError::NoLasso { limit } => write!(f, "no lasso within {limit} steps"),
+        }
+    }
+}
+
+impl Error for ExploreError {}
+
+/// A finite-branching transition system over hashable configurations — the
+/// abstraction all exact deciders run on.
+///
+/// Plain machines (exclusive selection) implement this via
+/// [`ExclusiveSystem`]; the extended models of `wam-extensions` provide their
+/// own implementations whose `successors` enumerate the scheduler's
+/// nondeterministic choices (broadcast initiator sets, absence-detection
+/// covers, rendez-vous pairs, …).
+pub trait TransitionSystem {
+    /// The configuration type.
+    type C: Clone + Eq + Hash + fmt::Debug;
+
+    /// The initial configuration.
+    fn initial_config(&self) -> Self::C;
+
+    /// All configurations reachable in one **non-silent** step.
+    fn successors(&self, c: &Self::C) -> Vec<Self::C>;
+
+    /// Whether every node is in an accepting state.
+    fn is_accepting(&self, c: &Self::C) -> bool;
+
+    /// Whether every node is in a rejecting state.
+    fn is_rejecting(&self, c: &Self::C) -> bool;
+}
+
+/// The exclusive-selection transition system of a plain machine on a graph:
+/// one node steps at a time.
+#[derive(Debug)]
+pub struct ExclusiveSystem<'a, S: State> {
+    machine: &'a Machine<S>,
+    graph: &'a Graph,
+}
+
+impl<'a, S: State> ExclusiveSystem<'a, S> {
+    /// Wraps a machine and a graph.
+    pub fn new(machine: &'a Machine<S>, graph: &'a Graph) -> Self {
+        ExclusiveSystem { machine, graph }
+    }
+}
+
+impl<S: State> TransitionSystem for ExclusiveSystem<'_, S> {
+    type C = Config<S>;
+
+    fn initial_config(&self) -> Config<S> {
+        Config::initial(self.machine, self.graph)
+    }
+
+    fn successors(&self, c: &Config<S>) -> Vec<Config<S>> {
+        let mut out = Vec::new();
+        for v in self.graph.nodes() {
+            let stepped = c.stepped_state(self.machine, self.graph, v);
+            if stepped == *c.state(v) {
+                continue; // silent
+            }
+            let mut next = c.states().to_vec();
+            next[v] = stepped;
+            let next = Config::from_states(next);
+            if !out.contains(&next) {
+                out.push(next);
+            }
+        }
+        out
+    }
+
+    fn is_accepting(&self, c: &Config<S>) -> bool {
+        c.is_accepting(self.machine)
+    }
+
+    fn is_rejecting(&self, c: &Config<S>) -> bool {
+        c.is_rejecting(self.machine)
+    }
+}
+
+/// The liberal-selection transition system of a plain machine: one step may
+/// activate **any** nonempty node subset simultaneously. The successor set
+/// is exponential in `|V|`, so this is reserved for the smallest graphs —
+/// its purpose is to check the [16] selection-collapse exactly:
+/// verdicts under liberal selection match those under exclusive selection.
+#[derive(Debug)]
+pub struct LiberalSystem<'a, S: State> {
+    machine: &'a Machine<S>,
+    graph: &'a Graph,
+}
+
+impl<'a, S: State> LiberalSystem<'a, S> {
+    /// Wraps a machine and a graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has more than 16 nodes (2¹⁶ selections per step
+    /// is the sanity bound).
+    pub fn new(machine: &'a Machine<S>, graph: &'a Graph) -> Self {
+        assert!(
+            graph.node_count() <= 16,
+            "liberal exploration is limited to 16 nodes"
+        );
+        LiberalSystem { machine, graph }
+    }
+}
+
+impl<S: State> TransitionSystem for LiberalSystem<'_, S> {
+    type C = Config<S>;
+
+    fn initial_config(&self) -> Config<S> {
+        Config::initial(self.machine, self.graph)
+    }
+
+    fn successors(&self, c: &Config<S>) -> Vec<Config<S>> {
+        let n = self.graph.node_count();
+        // Precompute each node's stepped state once; a simultaneous step of
+        // set S applies exactly these (all against the same pre-step view).
+        let stepped: Vec<S> = self
+            .graph
+            .nodes()
+            .map(|v| c.stepped_state(self.machine, self.graph, v))
+            .collect();
+        let moving: Vec<usize> = (0..n).filter(|&v| stepped[v] != *c.state(v)).collect();
+        // Selections that differ only on silent nodes yield the same config,
+        // so it suffices to enumerate subsets of the moving nodes.
+        let mut out = Vec::new();
+        for mask in 1usize..(1 << moving.len()) {
+            let mut states = c.states().to_vec();
+            for (i, &v) in moving.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    states[v] = stepped[v].clone();
+                }
+            }
+            let next = Config::from_states(states);
+            if !out.contains(&next) {
+                out.push(next);
+            }
+        }
+        out
+    }
+
+    fn is_accepting(&self, c: &Config<S>) -> bool {
+        c.is_accepting(self.machine)
+    }
+
+    fn is_rejecting(&self, c: &Config<S>) -> bool {
+        c.is_rejecting(self.machine)
+    }
+}
+
+/// The explored configuration graph of a [`TransitionSystem`]: every
+/// configuration reachable from the initial one, with the non-silent step
+/// relation, acceptance flags, and `Pre*` machinery.
+#[derive(Debug)]
+pub struct Exploration<C> {
+    configs: Vec<C>,
+    /// `succs[i]` = indices reachable from `i` in one non-silent step.
+    succs: Vec<Vec<usize>>,
+    accepting: Vec<bool>,
+    rejecting: Vec<bool>,
+}
+
+impl<C: Clone + Eq + Hash + fmt::Debug> Exploration<C> {
+    /// Explores `system` from its initial configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ExploreError::TooLarge`] if more than `limit` configurations are
+    /// reachable.
+    pub fn explore<T: TransitionSystem<C = C>>(system: &T, limit: usize) -> Result<Self, ExploreError> {
+        Self::explore_from(system, system.initial_config(), limit)
+    }
+
+    /// Explores `system` from an arbitrary starting configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ExploreError::TooLarge`] if more than `limit` configurations are
+    /// reachable.
+    pub fn explore_from<T: TransitionSystem<C = C>>(
+        system: &T,
+        start: C,
+        limit: usize,
+    ) -> Result<Self, ExploreError> {
+        let mut index: HashMap<C, usize> = HashMap::new();
+        let mut configs = vec![start.clone()];
+        index.insert(start, 0);
+        let mut succs: Vec<Vec<usize>> = Vec::new();
+        let mut frontier = 0usize;
+        while frontier < configs.len() {
+            let current = configs[frontier].clone();
+            let mut out = Vec::new();
+            for next in system.successors(&current) {
+                let id = match index.get(&next) {
+                    Some(&id) => id,
+                    None => {
+                        if configs.len() >= limit {
+                            return Err(ExploreError::TooLarge { limit });
+                        }
+                        let id = configs.len();
+                        configs.push(next.clone());
+                        index.insert(next, id);
+                        id
+                    }
+                };
+                if !out.contains(&id) {
+                    out.push(id);
+                }
+            }
+            succs.push(out);
+            frontier += 1;
+        }
+        let accepting = configs.iter().map(|c| system.is_accepting(c)).collect();
+        let rejecting = configs.iter().map(|c| system.is_rejecting(c)).collect();
+        Ok(Exploration {
+            configs,
+            succs,
+            accepting,
+            rejecting,
+        })
+    }
+
+    /// All reachable configurations (index 0 is the start).
+    pub fn configs(&self) -> &[C] {
+        &self.configs
+    }
+
+    /// Number of reachable configurations.
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Whether the exploration is empty (never: the start is always present).
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+
+    /// Successor indices of configuration `i` (non-silent steps only).
+    pub fn successors(&self, i: usize) -> &[usize] {
+        &self.succs[i]
+    }
+
+    /// Whether configuration `i` is accepting.
+    pub fn is_accepting(&self, i: usize) -> bool {
+        self.accepting[i]
+    }
+
+    /// Whether configuration `i` is rejecting.
+    pub fn is_rejecting(&self, i: usize) -> bool {
+        self.rejecting[i]
+    }
+
+    /// Membership flags of `Pre*(targets)`: configurations that can reach a
+    /// configuration flagged in `targets` (targets included).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets.len()` differs from the number of configurations.
+    pub fn pre_star(&self, targets: &[bool]) -> Vec<bool> {
+        assert_eq!(targets.len(), self.configs.len());
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); self.configs.len()];
+        for (i, out) in self.succs.iter().enumerate() {
+            for &j in out {
+                preds[j].push(i);
+            }
+        }
+        let mut in_set = targets.to_vec();
+        let mut stack: Vec<usize> = in_set
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| i)
+            .collect();
+        while let Some(j) = stack.pop() {
+            for &i in &preds[j] {
+                if !in_set[i] {
+                    in_set[i] = true;
+                    stack.push(i);
+                }
+            }
+        }
+        in_set
+    }
+
+    /// Configurations that are *stably accepting*: every configuration
+    /// reachable from them (themselves included) is accepting.
+    pub fn stably_accepting(&self) -> Vec<bool> {
+        let non_accepting: Vec<bool> = self.accepting.iter().map(|&a| !a).collect();
+        self.pre_star(&non_accepting).iter().map(|&b| !b).collect()
+    }
+
+    /// Configurations that are *stably rejecting*.
+    pub fn stably_rejecting(&self) -> Vec<bool> {
+        let non_rejecting: Vec<bool> = self.rejecting.iter().map(|&r| !r).collect();
+        self.pre_star(&non_rejecting).iter().map(|&b| !b).collect()
+    }
+
+    /// The verdict under pseudo-stochastic fairness.
+    pub fn verdict(&self) -> Verdict {
+        let acc = self.stably_accepting().iter().any(|&b| b);
+        let rej = self.stably_rejecting().iter().any(|&b| b);
+        match (acc, rej) {
+            (true, true) => Verdict::Inconsistent,
+            (true, false) => Verdict::Accepts,
+            (false, true) => Verdict::Rejects,
+            (false, false) => Verdict::NoConsensus,
+        }
+    }
+}
+
+/// Decides any [`TransitionSystem`] under pseudo-stochastic fairness by
+/// exhaustive exploration.
+///
+/// # Errors
+///
+/// [`ExploreError::TooLarge`] if more than `limit` configurations are
+/// reachable.
+pub fn decide_system<T: TransitionSystem>(system: &T, limit: usize) -> Result<Verdict, ExploreError> {
+    Ok(Exploration::explore(system, limit)?.verdict())
+}
+
+/// Decides `machine` on `graph` under pseudo-stochastic fairness and
+/// exclusive selection, exactly, by exploring the configuration space.
+///
+/// # Errors
+///
+/// [`ExploreError::TooLarge`] if more than `limit` configurations are
+/// reachable.
+pub fn decide_pseudo_stochastic<S: State>(
+    machine: &Machine<S>,
+    graph: &Graph,
+    limit: usize,
+) -> Result<Verdict, ExploreError> {
+    decide_system(&ExclusiveSystem::new(machine, graph), limit)
+}
+
+fn decide_lasso<S: State>(
+    machine: &Machine<S>,
+    graph: &Graph,
+    selection_at: impl Fn(usize) -> Selection,
+    period: usize,
+    limit: usize,
+) -> Result<Verdict, ExploreError> {
+    // The run is deterministic; its state is (configuration, step mod period).
+    let mut seen: HashMap<(Config<S>, usize), usize> = HashMap::new();
+    let mut trace: Vec<Config<S>> = Vec::new();
+    let mut c = Config::initial(machine, graph);
+    for t in 0..limit {
+        let key = (c.clone(), t % period);
+        if let Some(&start) = seen.get(&key) {
+            // Lasso closed: the loop is trace[start..t].
+            let loop_configs = &trace[start..];
+            let all_acc = loop_configs.iter().all(|c| c.is_accepting(machine));
+            let all_rej = loop_configs.iter().all(|c| c.is_rejecting(machine));
+            return Ok(if all_acc {
+                Verdict::Accepts
+            } else if all_rej {
+                Verdict::Rejects
+            } else {
+                Verdict::NoConsensus
+            });
+        }
+        seen.insert(key, t);
+        trace.push(c.clone());
+        c = c.successor(machine, graph, &selection_at(t));
+    }
+    Err(ExploreError::NoLasso { limit })
+}
+
+/// Decides `machine` on `graph` along the round-robin exclusive run — a fair
+/// adversarial schedule. For a consistent automaton of an adversarial class
+/// this is the class verdict; `NoConsensus` witnesses failure to decide.
+///
+/// # Errors
+///
+/// [`ExploreError::NoLasso`] if the deterministic run does not become
+/// periodic within `limit` steps.
+pub fn decide_adversarial_round_robin<S: State>(
+    machine: &Machine<S>,
+    graph: &Graph,
+    limit: usize,
+) -> Result<Verdict, ExploreError> {
+    let n = graph.node_count();
+    decide_lasso(machine, graph, |t| Selection::exclusive(t % n), n, limit)
+}
+
+/// Decides `machine` on `graph` along the synchronous run (the unique fair
+/// schedule of synchronous selection; also a fair adversarial schedule of the
+/// liberal regime).
+///
+/// # Errors
+///
+/// [`ExploreError::NoLasso`] if the run does not become periodic within
+/// `limit` steps.
+pub fn decide_synchronous<S: State>(
+    machine: &Machine<S>,
+    graph: &Graph,
+    limit: usize,
+) -> Result<Verdict, ExploreError> {
+    let all = Selection::all(graph);
+    decide_lasso(machine, graph, |_| all.clone(), 1, limit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Machine, Output};
+    use wam_graph::{generators, LabelCount};
+
+    /// "Some node carries label x1", by flag flooding (a dAf machine).
+    fn flood() -> Machine<bool> {
+        Machine::new(
+            1,
+            |l| l.0 == 1,
+            |&s, n| s || n.exists(|&t| t),
+            |&s| if s { Output::Accept } else { Output::Reject },
+        )
+    }
+
+    #[test]
+    fn flood_accepts_when_label_present() {
+        let g = generators::labelled_cycle(&LabelCount::from_vec(vec![3, 1]));
+        assert_eq!(
+            decide_pseudo_stochastic(&flood(), &g, 10_000).unwrap(),
+            Verdict::Accepts
+        );
+        assert_eq!(
+            decide_adversarial_round_robin(&flood(), &g, 10_000).unwrap(),
+            Verdict::Accepts
+        );
+        assert_eq!(
+            decide_synchronous(&flood(), &g, 10_000).unwrap(),
+            Verdict::Accepts
+        );
+    }
+
+    #[test]
+    fn flood_rejects_when_label_absent() {
+        let g = generators::labelled_cycle(&LabelCount::from_vec(vec![4, 0]));
+        assert_eq!(
+            decide_pseudo_stochastic(&flood(), &g, 10_000).unwrap(),
+            Verdict::Rejects
+        );
+        assert_eq!(
+            decide_adversarial_round_robin(&flood(), &g, 10_000).unwrap(),
+            Verdict::Rejects
+        );
+    }
+
+    #[test]
+    fn exploration_counts_configs() {
+        let g = generators::labelled_line(&LabelCount::from_vec(vec![2, 1]));
+        let m = flood();
+        let sys = ExclusiveSystem::new(&m, &g);
+        let e = Exploration::explore(&sys, 1000).unwrap();
+        assert!(e.len() >= 3);
+        assert_eq!(e.verdict(), Verdict::Accepts);
+        assert!(e.stably_accepting().iter().any(|&b| b));
+    }
+
+    #[test]
+    fn limit_is_respected() {
+        let g = generators::labelled_line(&LabelCount::from_vec(vec![5, 1]));
+        let m = flood();
+        let sys = ExclusiveSystem::new(&m, &g);
+        let err = Exploration::explore(&sys, 2).unwrap_err();
+        assert_eq!(err, ExploreError::TooLarge { limit: 2 });
+    }
+
+    #[test]
+    fn toggling_machine_has_no_consensus() {
+        let m = Machine::new(
+            1,
+            |_| false,
+            |&s, _| !s,
+            |&s| if s { Output::Accept } else { Output::Reject },
+        );
+        let g = generators::cycle(3);
+        assert_eq!(
+            decide_synchronous(&m, &g, 10_000).unwrap(),
+            Verdict::NoConsensus
+        );
+        assert_eq!(
+            decide_pseudo_stochastic(&m, &g, 10_000).unwrap(),
+            Verdict::NoConsensus
+        );
+    }
+
+    #[test]
+    fn first_mover_locks_consensus() {
+        // A node moving with all-undecided neighbours locks Accept, and the
+        // lock floods: every fair run accepts.
+        let m = Machine::new(
+            1,
+            |_| 0u8,
+            |&s, n| {
+                if s == 0 {
+                    if n.exists(|&t| t == 1) {
+                        1
+                    } else {
+                        1
+                    }
+                } else {
+                    s
+                }
+            },
+            |&s| match s {
+                1 => Output::Accept,
+                _ => Output::Neutral,
+            },
+        );
+        let g = generators::cycle(3);
+        assert_eq!(
+            decide_pseudo_stochastic(&m, &g, 10_000).unwrap(),
+            Verdict::Accepts
+        );
+    }
+
+    #[test]
+    fn seeded_disagreement_never_reaches_consensus() {
+        // Locked accept-seed and reject-seed coexist: no consensus possible.
+        let m = Machine::new(
+            1,
+            |l| if l.0 == 0 { 1u8 } else { 2u8 },
+            |&s, _| s,
+            |&s| match s {
+                1 => Output::Accept,
+                _ => Output::Reject,
+            },
+        );
+        let g = generators::labelled_line(&LabelCount::from_vec(vec![1, 2]));
+        assert_eq!(
+            decide_pseudo_stochastic(&m, &g, 10_000).unwrap(),
+            Verdict::NoConsensus
+        );
+    }
+
+    #[test]
+    fn liberal_and_exclusive_verdicts_agree() {
+        // The [16] selection collapse, checked exactly on small inputs.
+        let m = flood();
+        for counts in [vec![3u64, 1], vec![4, 0], vec![2, 2]] {
+            let g = generators::labelled_cycle(&LabelCount::from_vec(counts.clone()));
+            let excl = decide_system(&ExclusiveSystem::new(&m, &g), 1_000_000).unwrap();
+            let lib = decide_system(&LiberalSystem::new(&m, &g), 1_000_000).unwrap();
+            assert_eq!(excl, lib, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn liberal_successors_include_simultaneous_moves() {
+        // On a t-f-f-t line, one liberal step can flood both inner nodes.
+        let m = flood();
+        let g = generators::labelled_line(&LabelCount::from_vec(vec![2, 2]));
+        let sys = LiberalSystem::new(&m, &g);
+        // Initial: labels x0 x0 x1 x1 → false false true true.
+        let c0 = sys.initial_config();
+        let both = Config::from_states(vec![false, true, true, true]);
+        let succ = sys.successors(&c0);
+        assert!(succ.contains(&both), "{succ:?}");
+    }
+
+    #[test]
+    fn lasso_limit_error() {
+        let m = Machine::new(1, |_| 0u64, |&s, _| s + 1, |_| Output::Neutral);
+        let g = generators::cycle(3);
+        let err = decide_synchronous(&m, &g, 50).unwrap_err();
+        assert_eq!(err, ExploreError::NoLasso { limit: 50 });
+    }
+
+    #[test]
+    fn inconsistent_machine_detected() {
+        // First mover's identity decides the consensus: node ids are not
+        // visible, but labels are; make label-0 nodes lock Accept and label-1
+        // nodes lock Reject when moving first, with locks flooding.
+        let m = Machine::new(
+            1,
+            |l| if l.0 == 0 { 10u8 } else { 20u8 },
+            |&s, n| {
+                if s >= 10 {
+                    // undecided (10 = would lock accept, 20 = would lock reject)
+                    if n.exists(|&t| t == 1) {
+                        1
+                    } else if n.exists(|&t| t == 2) {
+                        2
+                    } else if s == 10 {
+                        1
+                    } else {
+                        2
+                    }
+                } else {
+                    s
+                }
+            },
+            |&s| match s {
+                1 => Output::Accept,
+                2 => Output::Reject,
+                _ => Output::Neutral,
+            },
+        );
+        let g = generators::labelled_cycle(&LabelCount::from_vec(vec![2, 2]));
+        assert_eq!(
+            decide_pseudo_stochastic(&m, &g, 100_000).unwrap(),
+            Verdict::Inconsistent
+        );
+    }
+}

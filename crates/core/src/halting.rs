@@ -1,0 +1,121 @@
+//! Halting acceptance: absorption checks and the halting wrapper.
+//!
+//! A machine is *halting* if accepting and rejecting states are absorbing:
+//! `δ(q, P) = q` whenever `q ∈ Y ∪ N`. Halting acceptance is a special case
+//! of stable consensus. Absorption over *all* neighbourhood functions cannot
+//! be checked without enumerating `[β]^Q`, so this module offers (a) a
+//! runtime check over an explored configuration space, and (b) a wrapper
+//! that forces absorption, turning any machine into a halting one with the
+//! same Y/N sets.
+
+use crate::{Config, Exploration, Machine, Output, State};
+use wam_graph::{Graph, NodeId};
+
+/// A witnessed violation of the halting condition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HaltingViolation {
+    /// Index of the configuration (in the exploration) where it occurred.
+    pub config: usize,
+    /// The node that left an accepting/rejecting state.
+    pub node: NodeId,
+}
+
+/// Scans an explored configuration space for transitions in which a node
+/// leaves an accepting or rejecting state. Returns all violations found.
+///
+/// An empty result proves the machine halting *on the explored space* (which
+/// is what matters for the graph at hand); it is not a proof for all graphs.
+pub fn halting_violations<S: State>(
+    machine: &Machine<S>,
+    graph: &Graph,
+    exploration: &Exploration<Config<S>>,
+) -> Vec<HaltingViolation> {
+    let mut out = Vec::new();
+    for (i, config) in exploration.configs().iter().enumerate() {
+        for v in graph.nodes() {
+            let s = config.state(v);
+            if machine.output(s) == Output::Neutral {
+                continue;
+            }
+            let stepped = config.stepped_state(machine, graph, v);
+            if stepped != *s {
+                out.push(HaltingViolation { config: i, node: v });
+            }
+        }
+    }
+    out
+}
+
+/// Forces the halting condition: once a node's state is accepting or
+/// rejecting, it never moves again. Dynamics in neutral states are unchanged.
+///
+/// This is the canonical way to build `xaz`-class machines in this workspace:
+/// design the consensus dynamics, then wrap.
+pub fn make_halting<S: State>(machine: &Machine<S>) -> Machine<S> {
+    let inner = machine.clone();
+    let inner_out = machine.clone();
+    Machine::new(
+        machine.beta(),
+        {
+            let m = machine.clone();
+            move |l| m.initial(l)
+        },
+        move |s, n| {
+            if inner.output(s) != Output::Neutral {
+                s.clone()
+            } else {
+                inner.step(s, n)
+            }
+        },
+        move |s| inner_out.output(s),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{decide_pseudo_stochastic, Machine, Output, Verdict};
+    use wam_graph::generators;
+
+    /// A non-halting machine: accepting state 1 steps back to 0.
+    fn wobbly() -> Machine<u8> {
+        Machine::new(
+            1,
+            |_| 0u8,
+            |&s, _| if s == 0 { 1 } else { 0 },
+            |&s| if s == 1 { Output::Accept } else { Output::Neutral },
+        )
+    }
+
+    #[test]
+    fn violations_found_for_non_halting_machine() {
+        let g = generators::cycle(3);
+        let m = wobbly();
+        let sys = crate::ExclusiveSystem::new(&m, &g);
+        let e = Exploration::explore(&sys, 1000).unwrap();
+        let v = halting_violations(&m, &g, &e);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn wrapper_absorbs() {
+        let g = generators::cycle(3);
+        let m = make_halting(&wobbly());
+        let sys = crate::ExclusiveSystem::new(&m, &g);
+        let e = Exploration::explore(&sys, 1000).unwrap();
+        assert!(halting_violations(&m, &g, &e).is_empty());
+        // Once everyone halts in 1, the consensus is stable.
+        assert_eq!(
+            decide_pseudo_stochastic(&m, &g, 1000).unwrap(),
+            Verdict::Accepts
+        );
+    }
+
+    #[test]
+    fn wrapper_preserves_neutral_dynamics() {
+        let m = make_halting(&wobbly());
+        let n = crate::Neighbourhood::from_states(Vec::<u8>::new().into_iter(), 1);
+        assert_eq!(m.step(&0, &n), 1);
+        assert_eq!(m.step(&1, &n), 1); // absorbed
+    }
+}

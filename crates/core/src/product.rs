@@ -1,0 +1,162 @@
+//! Product machines: run two machines side by side and combine their
+//! outputs — the machine-level counterpart of "the set of decidable
+//! properties is closed under boolean combinations" (used by
+//! Propositions C.4 and C.6).
+
+use crate::{Machine, Output, State};
+
+/// How to combine two component outputs into one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Combine {
+    /// Accept iff both components accept (reject if either rejects).
+    And,
+    /// Accept iff either component accepts (reject if both reject).
+    Or,
+    /// Accept iff the components disagree decisively.
+    Xor,
+}
+
+impl Combine {
+    /// Combines two component outputs. `Neutral` inputs stay undecided.
+    pub fn apply(self, a: Output, b: Output) -> Output {
+        use Output::*;
+        match (self, a, b) {
+            (_, Neutral, _) | (_, _, Neutral) => Neutral,
+            (Combine::And, Accept, Accept) => Accept,
+            (Combine::And, _, _) => Reject,
+            (Combine::Or, Reject, Reject) => Reject,
+            (Combine::Or, _, _) => Accept,
+            (Combine::Xor, x, y) => {
+                if x != y {
+                    Accept
+                } else {
+                    Reject
+                }
+            }
+        }
+    }
+}
+
+/// Runs `left` and `right` in lock step on the same node and combines
+/// their outputs with `combine`. The counting bound is the maximum of the
+/// two; each component receives the clip-exact projection of the pair view
+/// onto its own state space.
+///
+/// Soundness note: each selected node steps **both** components at once,
+/// which corresponds to running the two automata under the *same*
+/// schedule. Since distributed automata are schedule-independent
+/// (consistency), the product decides the boolean combination whenever
+/// both components decide their properties.
+///
+/// # Example
+///
+/// ```
+/// use wam_core::{product, Combine, Machine, Output, decide_pseudo_stochastic};
+/// use wam_graph::{generators, LabelCount};
+///
+/// let has = |label: u16| Machine::new(
+///     1,
+///     move |l: wam_graph::Label| l.0 == label,
+///     |&s: &bool, n| s || n.exists(|&t| t),
+///     |&s| if s { Output::Accept } else { Output::Reject },
+/// );
+/// // "label 0 present AND label 1 present".
+/// let both = product(&has(0), &has(1), Combine::And);
+/// let g = generators::labelled_cycle(&LabelCount::from_vec(vec![2, 1]));
+/// assert!(decide_pseudo_stochastic(&both, &g, 100_000).unwrap().is_accepting());
+/// ```
+pub fn product<A: State, B: State>(
+    left: &Machine<A>,
+    right: &Machine<B>,
+    combine: Combine,
+) -> Machine<(A, B)> {
+    let beta = left.beta().max(right.beta());
+    let l_init = left.clone();
+    let r_init = right.clone();
+    let l_step = left.clone();
+    let r_step = right.clone();
+    let l_out = left.clone();
+    let r_out = right.clone();
+    Machine::new(
+        beta,
+        move |lab| (l_init.initial(lab), r_init.initial(lab)),
+        move |(a, b), n| {
+            let left_view = n.project(|(a2, _): &(A, B)| a2.clone());
+            let right_view = n.project(|(_, b2): &(A, B)| b2.clone());
+            (l_step.step(a, &left_view), r_step.step(b, &right_view))
+        },
+        move |(a, b)| combine.apply(l_out.output(a), r_out.output(b)),
+    )
+}
+
+/// Negates a machine's verdict (swaps accepting and rejecting states).
+pub fn negate<S: State>(machine: &Machine<S>) -> Machine<S> {
+    machine.clone().map_output({
+        let m = machine.clone();
+        move |s| match m.output(s) {
+            Output::Accept => Output::Reject,
+            Output::Reject => Output::Accept,
+            Output::Neutral => Output::Neutral,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{decide_adversarial_round_robin, decide_pseudo_stochastic, Machine, Output};
+    use wam_graph::{generators, Label, LabelCount};
+
+    fn has(label: u16) -> Machine<bool> {
+        Machine::new(
+            1,
+            move |l: Label| l.0 == label,
+            |&s, n| s || n.exists(|&t| t),
+            |&s| if s { Output::Accept } else { Output::Reject },
+        )
+    }
+
+    #[test]
+    fn combine_truth_tables() {
+        use Output::*;
+        assert_eq!(Combine::And.apply(Accept, Accept), Accept);
+        assert_eq!(Combine::And.apply(Accept, Reject), Reject);
+        assert_eq!(Combine::Or.apply(Reject, Accept), Accept);
+        assert_eq!(Combine::Or.apply(Reject, Reject), Reject);
+        assert_eq!(Combine::Xor.apply(Accept, Reject), Accept);
+        assert_eq!(Combine::Xor.apply(Accept, Accept), Reject);
+        assert_eq!(Combine::And.apply(Neutral, Accept), Neutral);
+    }
+
+    #[test]
+    fn conjunction_of_presence_machines() {
+        let both = product(&has(0), &has(1), Combine::And);
+        for (a, b, expect) in [(2u64, 1u64, true), (3, 0, false), (0, 3, false)] {
+            let g = generators::labelled_cycle(&LabelCount::from_vec(vec![a, b]));
+            let v = decide_pseudo_stochastic(&both, &g, 500_000).unwrap();
+            assert_eq!(v.decided(), Some(expect), "({a},{b})");
+            let v2 = decide_adversarial_round_robin(&both, &g, 500_000).unwrap();
+            assert_eq!(v2.decided(), Some(expect), "({a},{b}) rr");
+        }
+    }
+
+    #[test]
+    fn xor_and_negation() {
+        let xor = product(&has(0), &has(1), Combine::Xor);
+        let g = generators::labelled_cycle(&LabelCount::from_vec(vec![3, 0]));
+        assert!(decide_pseudo_stochastic(&xor, &g, 500_000)
+            .unwrap()
+            .is_accepting());
+        let neg = negate(&xor);
+        assert!(decide_pseudo_stochastic(&neg, &g, 500_000)
+            .unwrap()
+            .is_rejecting());
+    }
+
+    #[test]
+    fn product_beta_is_max() {
+        let m1 = Machine::new(2, |_: Label| 0u8, |&s, _| s, |_| Output::Neutral);
+        let m2 = Machine::new(5, |_: Label| 0u8, |&s, _| s, |_| Output::Neutral);
+        assert_eq!(product(&m1, &m2, Combine::And).beta(), 5);
+    }
+}

@@ -1,0 +1,241 @@
+//! Statistical runners for graphs too large for exact exploration.
+
+use crate::{Config, Machine, Output, Scheduler, Selection, State, Verdict};
+use wam_graph::Graph;
+
+/// Options controlling [`run_until_stable`].
+///
+/// A statistical run reports a verdict heuristically, via two clocks:
+///
+/// * **quiescence** — the configuration itself has not changed for
+///   [`window`](StabilityOptions::window) steps while the outputs are in
+///   consensus (protocols that go silent once decided exit here), or
+/// * **long consensus** — the output vector has been a constant non-neutral
+///   consensus for `consensus_factor × window` steps, even though states
+///   keep moving (protocols with perpetual silent motion, such as token
+///   walks, exit here).
+///
+/// Both clocks can misfire on adversarially slow protocols; exact verdicts
+/// come from the deciders in [`crate::explore`].
+#[derive(Debug, Clone, Copy)]
+pub struct StabilityOptions {
+    /// Hard cap on the number of steps.
+    pub max_steps: usize,
+    /// Quiescence window (steps without configuration change).
+    pub window: usize,
+    /// The long-consensus clock fires after `consensus_factor × window`
+    /// steps of unchanged output consensus.
+    pub consensus_factor: usize,
+}
+
+impl Default for StabilityOptions {
+    fn default() -> Self {
+        StabilityOptions {
+            max_steps: 200_000,
+            window: 2_000,
+            consensus_factor: 10,
+        }
+    }
+}
+
+impl StabilityOptions {
+    /// Convenience constructor with the default consensus factor.
+    pub fn new(max_steps: usize, window: usize) -> Self {
+        StabilityOptions {
+            max_steps,
+            window,
+            consensus_factor: 10,
+        }
+    }
+}
+
+/// Internal two-clock stability tracker shared by the statistical runners in
+/// this workspace.
+#[derive(Debug, Clone)]
+pub struct StabilityClock {
+    opts: StabilityOptions,
+    last_config_change: usize,
+    last_output_change: usize,
+    outputs: Vec<Output>,
+}
+
+impl StabilityClock {
+    /// Starts the clock from the initial output vector.
+    pub fn new(opts: StabilityOptions, outputs: Vec<Output>) -> Self {
+        StabilityClock {
+            opts,
+            last_config_change: 0,
+            last_output_change: 0,
+            outputs,
+        }
+    }
+
+    /// Records step `t`; `config_changed` says whether the configuration
+    /// moved, `outputs` is the post-step output vector.
+    pub fn record(&mut self, t: usize, config_changed: bool, outputs: &[Output]) {
+        if config_changed {
+            self.last_config_change = t + 1;
+        }
+        if outputs != self.outputs.as_slice() {
+            self.last_output_change = t + 1;
+            self.outputs = outputs.to_vec();
+        }
+    }
+
+    /// The stable verdict at step `t`, if either clock has fired.
+    pub fn verdict(&self, t: usize) -> Option<(Verdict, usize)> {
+        let first = self.outputs[0];
+        let consensus = first != Output::Neutral && self.outputs.iter().all(|&o| o == first);
+        if !consensus {
+            return None;
+        }
+        let quiescent = t.saturating_sub(self.last_config_change) >= self.opts.window;
+        let long_consensus = t.saturating_sub(self.last_output_change)
+            >= self.opts.window.saturating_mul(self.opts.consensus_factor);
+        if quiescent || long_consensus {
+            let v = match first {
+                Output::Accept => Verdict::Accepts,
+                Output::Reject => Verdict::Rejects,
+                Output::Neutral => unreachable!(),
+            };
+            Some((v, self.last_output_change))
+        } else {
+            None
+        }
+    }
+}
+
+/// Result of a statistical run.
+#[derive(Debug, Clone)]
+pub struct RunReport<S> {
+    /// The heuristic verdict: `Accepts` / `Rejects` if a consensus held for
+    /// the whole stability window, `NoConsensus` if the step budget ran out.
+    pub verdict: Verdict,
+    /// Steps executed before stopping.
+    pub steps: usize,
+    /// Step at which the final consensus was first reached (if any).
+    pub stabilised_at: Option<usize>,
+    /// The final configuration.
+    pub final_config: Config<S>,
+}
+
+/// Runs `machine` on `graph` under `scheduler` until the output vector is in
+/// consensus and unchanged for [`StabilityOptions::window`] steps, or until
+/// `max_steps`.
+///
+/// This verdict is heuristic (a longer run could still change it); exact
+/// verdicts on small graphs come from [`crate::decide_pseudo_stochastic`]
+/// and friends. Use this for scaling experiments.
+pub fn run_until_stable<S: State>(
+    machine: &Machine<S>,
+    graph: &Graph,
+    scheduler: &mut dyn Scheduler,
+    opts: StabilityOptions,
+) -> RunReport<S> {
+    let mut config = Config::initial(machine, graph);
+    let outputs: Vec<Output> = config.states().iter().map(|s| machine.output(s)).collect();
+    let mut clock = StabilityClock::new(opts, outputs);
+    for t in 0..opts.max_steps {
+        if let Some((verdict, since)) = clock.verdict(t) {
+            return RunReport {
+                verdict,
+                steps: t,
+                stabilised_at: Some(since),
+                final_config: config,
+            };
+        }
+        let sel = scheduler.next_selection(graph, t);
+        let next = config.successor(machine, graph, &sel);
+        let changed = next != config;
+        if changed {
+            config = next;
+        }
+        let outputs: Vec<Output> = config.states().iter().map(|s| machine.output(s)).collect();
+        clock.record(t, changed, &outputs);
+    }
+    RunReport {
+        verdict: Verdict::NoConsensus,
+        steps: opts.max_steps,
+        stabilised_at: None,
+        final_config: config,
+    }
+}
+
+/// Runs `machine` for exactly `steps` steps under `scheduler` and returns the
+/// visited configurations `C₀ … C_steps` (inclusive).
+pub fn run_schedule<S: State>(
+    machine: &Machine<S>,
+    graph: &Graph,
+    scheduler: &mut dyn Scheduler,
+    steps: usize,
+) -> Vec<Config<S>> {
+    let mut out = Vec::with_capacity(steps + 1);
+    let mut config = Config::initial(machine, graph);
+    out.push(config.clone());
+    for t in 0..steps {
+        let sel: Selection = scheduler.next_selection(graph, t);
+        config = config.successor(machine, graph, &sel);
+        out.push(config.clone());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Machine, Output, RandomScheduler, RoundRobinScheduler, SynchronousScheduler};
+    use wam_graph::{generators, LabelCount};
+
+    fn flood() -> Machine<bool> {
+        Machine::new(
+            1,
+            |l| l.0 == 1,
+            |&s, n| s || n.exists(|&t| t),
+            |&s| if s { Output::Accept } else { Output::Reject },
+        )
+    }
+
+    #[test]
+    fn flood_stabilises_accepting() {
+        let g = generators::labelled_cycle(&LabelCount::from_vec(vec![9, 1]));
+        let mut sched = RandomScheduler::exclusive(11);
+        let r = run_until_stable(&flood(), &g, &mut sched, StabilityOptions::default());
+        assert_eq!(r.verdict, Verdict::Accepts);
+        assert!(r.stabilised_at.is_some());
+    }
+
+    #[test]
+    fn flood_stabilises_rejecting_without_label() {
+        let g = generators::labelled_cycle(&LabelCount::from_vec(vec![6, 0]));
+        let mut sched = RoundRobinScheduler;
+        let r = run_until_stable(&flood(), &g, &mut sched, StabilityOptions::default());
+        assert_eq!(r.verdict, Verdict::Rejects);
+        // Already rejecting at the start.
+        assert_eq!(r.stabilised_at, Some(0));
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_no_consensus() {
+        let m = Machine::new(1, |_| 0u64, |&s, _| s + 1, |_| Output::Neutral);
+        let g = generators::cycle(3);
+        let mut sched = SynchronousScheduler;
+        let r = run_until_stable(
+            &m,
+            &g,
+            &mut sched,
+            StabilityOptions::new(100, 10),
+        );
+        assert_eq!(r.verdict, Verdict::NoConsensus);
+        assert_eq!(r.steps, 100);
+    }
+
+    #[test]
+    fn run_schedule_records_all_configs() {
+        let g = generators::labelled_line(&LabelCount::from_vec(vec![2, 1]));
+        let mut sched = SynchronousScheduler;
+        let configs = run_schedule(&flood(), &g, &mut sched, 3);
+        assert_eq!(configs.len(), 4);
+        // Synchronous flooding on the 3-line finishes in 2 steps.
+        assert!(configs[2].is_accepting(&flood()));
+    }
+}

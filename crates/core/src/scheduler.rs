@@ -1,0 +1,252 @@
+//! Schedulers: selection regimes, fairness, and concrete drivers.
+//!
+//! A scheduler `Σ = (s, f)` consists of a *selection constraint* (which node
+//! sets may move at each step) and a *fairness constraint*. The paper's
+//! regimes are [`SelectionRegime::Synchronous`] (all nodes),
+//! [`SelectionRegime::Exclusive`] (exactly one node) and
+//! [`SelectionRegime::Liberal`] (any nonempty set). Fairness is either
+//! *adversarial* (every node selected infinitely often) or
+//! *pseudo-stochastic* (every finite selection sequence occurs infinitely
+//! often).
+//!
+//! Pseudo-stochastic schedules are infinitary objects; exact verdicts under
+//! them are computed by [`decide_pseudo_stochastic`](crate::decide_pseudo_stochastic)
+//! on the configuration graph. The drivers here produce concrete finite
+//! schedules: seeded random schedules (the standard statistical surrogate for
+//! pseudo-stochastic fairness) and deterministic fair schedules (round-robin,
+//! synchronous) that witness adversarial fairness.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use wam_graph::{Graph, NodeId};
+
+/// A selection: the set of nodes activated at one step.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Selection {
+    nodes: Vec<NodeId>,
+}
+
+impl Selection {
+    /// A selection of exactly one node.
+    pub fn exclusive(v: NodeId) -> Self {
+        Selection { nodes: vec![v] }
+    }
+
+    /// The synchronous selection of all nodes of `g`.
+    pub fn all(g: &Graph) -> Self {
+        Selection {
+            nodes: g.nodes().collect(),
+        }
+    }
+
+    /// An arbitrary (liberal) selection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty (schedules select at least one node).
+    pub fn from_nodes(mut nodes: Vec<NodeId>) -> Self {
+        assert!(!nodes.is_empty(), "selections must be nonempty");
+        nodes.sort_unstable();
+        nodes.dedup();
+        Selection { nodes }
+    }
+
+    /// The selected nodes, sorted.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Number of selected nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the selection is empty (never, for constructed selections).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether `v` is selected.
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.nodes.binary_search(&v).is_ok()
+    }
+}
+
+/// The three selection regimes of the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SelectionRegime {
+    /// Every step selects all nodes.
+    Synchronous,
+    /// Every step selects exactly one node.
+    Exclusive,
+    /// Every step selects an arbitrary nonempty set of nodes.
+    Liberal,
+}
+
+/// A source of selections driving a run.
+///
+/// Implementations must be *fair*: every node is selected infinitely often in
+/// the limit. All drivers in this module are.
+pub trait Scheduler {
+    /// Produces the selection for step `t`.
+    fn next_selection(&mut self, graph: &Graph, t: usize) -> Selection;
+
+    /// The regime this scheduler's selections conform to.
+    fn regime(&self) -> SelectionRegime;
+}
+
+/// The synchronous scheduler: all nodes, every step. Under the synchronous
+/// regime adversarial and pseudo-stochastic fairness coincide (there is only
+/// one permitted schedule).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SynchronousScheduler;
+
+impl Scheduler for SynchronousScheduler {
+    fn next_selection(&mut self, graph: &Graph, _t: usize) -> Selection {
+        Selection::all(graph)
+    }
+
+    fn regime(&self) -> SelectionRegime {
+        SelectionRegime::Synchronous
+    }
+}
+
+/// Deterministic round-robin exclusive scheduler: node `t mod |V|` at step
+/// `t`. This is a fair adversarial schedule; its run is ultimately periodic,
+/// which the exact deciders exploit.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobinScheduler;
+
+impl Scheduler for RoundRobinScheduler {
+    fn next_selection(&mut self, graph: &Graph, t: usize) -> Selection {
+        Selection::exclusive(t % graph.node_count())
+    }
+
+    fn regime(&self) -> SelectionRegime {
+        SelectionRegime::Exclusive
+    }
+}
+
+/// Seeded uniform random scheduler, available in all three regimes.
+///
+/// Exclusive: a uniformly random node per step. Liberal: every node included
+/// independently with probability ½ (re-drawn if empty). Synchronous:
+/// degenerates to all nodes. Random schedules are fair with probability 1 and
+/// are the standard statistical surrogate for pseudo-stochastic fairness.
+#[derive(Debug)]
+pub struct RandomScheduler {
+    regime: SelectionRegime,
+    rng: StdRng,
+}
+
+impl RandomScheduler {
+    /// Creates a random scheduler with the given regime and seed.
+    pub fn new(regime: SelectionRegime, seed: u64) -> Self {
+        RandomScheduler {
+            regime,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Exclusive-regime convenience constructor.
+    pub fn exclusive(seed: u64) -> Self {
+        Self::new(SelectionRegime::Exclusive, seed)
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn next_selection(&mut self, graph: &Graph, _t: usize) -> Selection {
+        let n = graph.node_count();
+        match self.regime {
+            SelectionRegime::Synchronous => Selection::all(graph),
+            SelectionRegime::Exclusive => Selection::exclusive(self.rng.random_range(0..n)),
+            SelectionRegime::Liberal => loop {
+                let nodes: Vec<NodeId> = (0..n).filter(|_| self.rng.random_bool(0.5)).collect();
+                if !nodes.is_empty() {
+                    return Selection::from_nodes(nodes);
+                }
+            },
+        }
+    }
+
+    fn regime(&self) -> SelectionRegime {
+        self.regime
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wam_graph::generators;
+
+    #[test]
+    fn selection_constructors() {
+        let g = generators::cycle(4);
+        assert_eq!(Selection::exclusive(2).nodes(), &[2]);
+        assert_eq!(Selection::all(&g).len(), 4);
+        let s = Selection::from_nodes(vec![3, 1, 3]);
+        assert_eq!(s.nodes(), &[1, 3]);
+        assert!(s.contains(3));
+        assert!(!s.contains(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn empty_selection_rejected() {
+        Selection::from_nodes(vec![]);
+    }
+
+    #[test]
+    fn round_robin_is_fair_over_a_period() {
+        let g = generators::cycle(5);
+        let mut s = RoundRobinScheduler;
+        let mut hit = vec![false; 5];
+        for t in 0..5 {
+            let sel = s.next_selection(&g, t);
+            assert_eq!(sel.len(), 1);
+            hit[sel.nodes()[0]] = true;
+        }
+        assert!(hit.iter().all(|&h| h));
+    }
+
+    #[test]
+    fn random_exclusive_selects_single_nodes_reproducibly() {
+        let g = generators::cycle(6);
+        let mut s1 = RandomScheduler::exclusive(7);
+        let mut s2 = RandomScheduler::exclusive(7);
+        for t in 0..20 {
+            let a = s1.next_selection(&g, t);
+            let b = s2.next_selection(&g, t);
+            assert_eq!(a, b);
+            assert_eq!(a.len(), 1);
+        }
+    }
+
+    #[test]
+    fn random_liberal_nonempty() {
+        let g = generators::cycle(4);
+        let mut s = RandomScheduler::new(SelectionRegime::Liberal, 1);
+        for t in 0..50 {
+            assert!(!s.next_selection(&g, t).is_empty());
+        }
+    }
+
+    #[test]
+    fn random_exclusive_hits_every_node_eventually() {
+        let g = generators::cycle(5);
+        let mut s = RandomScheduler::exclusive(3);
+        let mut hit = vec![false; 5];
+        for t in 0..200 {
+            hit[s.next_selection(&g, t).nodes()[0]] = true;
+        }
+        assert!(hit.iter().all(|&h| h));
+    }
+
+    #[test]
+    fn synchronous_selects_all() {
+        let g = generators::cycle(3);
+        let mut s = SynchronousScheduler;
+        assert_eq!(s.next_selection(&g, 0), Selection::all(&g));
+        assert_eq!(s.regime(), SelectionRegime::Synchronous);
+    }
+}

@@ -1,0 +1,296 @@
+//! The Lemma 4.9 simulation: weak absence detection compiled to a
+//! DAf-automaton on bounded-degree graphs, via a three-phase protocol with a
+//! distance labelling that embeds a rooted forest.
+
+use crate::AbsenceMachine;
+use std::collections::BTreeSet;
+use wam_core::{Machine, Neighbourhood, State};
+
+/// A distance label `D = Z_{2k+1} ∪ {root}` (Definition B.13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Dist {
+    /// The label of absence-detection initiators.
+    Root,
+    /// A residue in `Z_{2k+1}`.
+    Mod(u16),
+}
+
+impl Dist {
+    /// The child label `d + 1` (with `root + 1 := 1`).
+    pub fn child(self, modulus: u16) -> Dist {
+        match self {
+            Dist::Root => Dist::Mod(1 % modulus),
+            Dist::Mod(i) => Dist::Mod((i + 1) % modulus),
+        }
+    }
+}
+
+/// A state of the compiled automaton.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AbsencePhased<S> {
+    /// Phase 0: an ordinary base state.
+    Zero(S),
+    /// Phase 1: δ already applied (`cur`), old state retained for
+    /// neighbours still in phase 0 (`old`), distance label assigned.
+    One {
+        /// The post-δ state.
+        cur: S,
+        /// The pre-δ state, visible to late phase-0 neighbours.
+        old: S,
+        /// Position in the propagation forest.
+        dist: Dist,
+    },
+    /// Phase 2: the set of states observed in this agent's subtree.
+    Two {
+        /// The post-δ state.
+        cur: S,
+        /// States seen by this agent and its descendants.
+        seen: BTreeSet<S>,
+    },
+}
+
+impl<S> AbsencePhased<S> {
+    /// The phase index.
+    pub fn phase(&self) -> u8 {
+        match self {
+            AbsencePhased::Zero(_) => 0,
+            AbsencePhased::One { .. } => 1,
+            AbsencePhased::Two { .. } => 2,
+        }
+    }
+
+    /// The current simulated base state.
+    pub fn base(&self) -> &S {
+        match self {
+            AbsencePhased::Zero(q) => q,
+            AbsencePhased::One { cur, .. } => cur,
+            AbsencePhased::Two { cur, .. } => cur,
+        }
+    }
+}
+
+/// Picks the child label for a phase-0 node joining the wave: the least
+/// `d' ∈ S` with `d' + 2 ∉ S` yields label `d' + 1` (Lemma B.14). Guaranteed
+/// to exist while `|S| ≤ k`.
+fn child_label(labels: &BTreeSet<Dist>, modulus: u16) -> Dist {
+    for &d in labels {
+        if !labels.contains(&d.child(modulus).child(modulus)) {
+            return d.child(modulus);
+        }
+    }
+    panic!(
+        "no usable child label among {labels:?}: \
+         the graph exceeds the degree bound the machine was compiled for"
+    )
+}
+
+/// Compiles a synchronous machine with weak absence detection into a
+/// DAf-automaton valid on graphs of maximum degree ≤ `k` (Lemma 4.9).
+///
+/// Phase 0 agents execute the synchronous δ against the *old* states of
+/// their neighbours (phase-1 neighbours expose their pre-δ state), entering
+/// phase 1 as roots (if the δ result initiates) or as children of an
+/// existing phase-1 neighbour. Phase-1 agents wait for their children to
+/// report, accumulate the union of observed state sets, and enter phase 2;
+/// once the wave has passed, roots apply the absence-detection transition
+/// and everyone returns to phase 0.
+///
+/// # Panics
+///
+/// The compiled machine panics (at run time) if executed on a graph whose
+/// degree exceeds `k`, because the distance labelling of Definition B.13 can
+/// then run out of labels.
+pub fn compile_absence<S: State>(am: &AbsenceMachine<S>, k: usize) -> Machine<AbsencePhased<S>> {
+    let modulus = (2 * k + 1) as u16;
+    let beta = am.machine().beta();
+    let init_am = am.clone();
+    let delta_am = am.clone();
+    let out_am = am.clone();
+    Machine::new(
+        beta,
+        move |l| AbsencePhased::Zero(init_am.initial(l)),
+        move |s: &AbsencePhased<S>, n: &Neighbourhood<AbsencePhased<S>>| {
+            step(&delta_am, modulus, s, n)
+        },
+        move |s| out_am.output(s.base()),
+    )
+}
+
+fn step<S: State>(
+    am: &AbsenceMachine<S>,
+    modulus: u16,
+    s: &AbsencePhased<S>,
+    n: &Neighbourhood<AbsencePhased<S>>,
+) -> AbsencePhased<S> {
+    match s {
+        AbsencePhased::Zero(q) => {
+            if n.exists(|t| t.phase() == 2) {
+                return s.clone(); // a neighbour is still finishing: wait.
+            }
+            // Old view: phase-0 neighbours as-is, phase-1 neighbours via
+            // their retained pre-δ state.
+            let old_view = n.project(|t| match t {
+                AbsencePhased::Zero(r) => r.clone(),
+                AbsencePhased::One { old, .. } => old.clone(),
+                AbsencePhased::Two { cur, .. } => cur.clone(), // unreachable
+            });
+            let q2 = am.machine().step(q, &old_view);
+            if am.initiates(&q2) {
+                // (1) initiate: become a root of the propagation forest.
+                AbsencePhased::One {
+                    cur: q2,
+                    old: q.clone(),
+                    dist: Dist::Root,
+                }
+            } else if n.exists(|t| t.phase() == 1) {
+                // (2) join as a child of some phase-1 neighbour.
+                let labels: BTreeSet<Dist> = n
+                    .states()
+                    .filter_map(|(t, _)| match t {
+                        AbsencePhased::One { dist, .. } => Some(*dist),
+                        _ => None,
+                    })
+                    .collect();
+                AbsencePhased::One {
+                    cur: q2,
+                    old: q.clone(),
+                    dist: child_label(&labels, modulus),
+                }
+            } else {
+                s.clone() // nothing happening: wait (synchronous hang).
+            }
+        }
+        AbsencePhased::One { cur, dist, .. } => {
+            // (3) once no phase-0 neighbour remains and no phase-1 neighbour
+            // holds this agent's child label, all children have reported.
+            let has_phase0 = n.exists(|t| t.phase() == 0);
+            let child = dist.child(modulus);
+            let has_pending_child = n.exists(|t| matches!(t, AbsencePhased::One { dist: d, .. } if *d == child));
+            if has_phase0 || has_pending_child {
+                return s.clone();
+            }
+            let mut seen: BTreeSet<S> = BTreeSet::new();
+            for (t, _) in n.states() {
+                if let AbsencePhased::Two { seen: s2, .. } = t {
+                    seen.extend(s2.iter().cloned());
+                }
+            }
+            seen.insert(cur.clone());
+            AbsencePhased::Two {
+                cur: cur.clone(),
+                seen,
+            }
+        }
+        AbsencePhased::Two { cur, seen } => {
+            // (4)/(5) once no phase-1 neighbour remains, complete the round.
+            if n.exists(|t| t.phase() == 1) {
+                return s.clone();
+            }
+            if am.initiates(cur) {
+                AbsencePhased::Zero(am.detect(cur, seen))
+            } else {
+                AbsencePhased::Zero(cur.clone())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AbsenceSystem;
+    use wam_core::{decide_pseudo_stochastic, decide_system, Machine, Output};
+    use wam_graph::{generators, Graph, Label, LabelCount};
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+    enum D {
+        A,
+        B,
+        Acc,
+        Rej,
+    }
+
+    fn detector() -> AbsenceMachine<D> {
+        let machine = Machine::new(
+            1,
+            |l: Label| if l.0 == 0 { D::A } else { D::B },
+            |&s, _| s,
+            |&s| match s {
+                D::A | D::Acc => Output::Accept,
+                D::B | D::Rej => Output::Reject,
+            },
+        );
+        AbsenceMachine::new(
+            machine,
+            |&s| s == D::A,
+            |_, supp| if supp.contains(&D::B) { D::Rej } else { D::Acc },
+        )
+    }
+
+    fn graphs(a: u64, b: u64) -> Vec<Graph> {
+        let c = LabelCount::from_vec(vec![a, b]);
+        vec![
+            generators::labelled_cycle(&c),
+            generators::labelled_line(&c),
+            generators::labelled_star(&c),
+        ]
+    }
+
+    #[test]
+    fn compiled_detector_matches_semantic_verdicts() {
+        for (a, b) in [(3u64, 0u64), (2, 1), (4, 0), (1, 2)] {
+            let am = detector();
+            for g in graphs(a, b) {
+                let k = g.max_degree();
+                let compiled = compile_absence(&am, k);
+                let semantic = decide_system(&AbsenceSystem::new(&am, &g), 200_000).unwrap();
+                let flat = decide_pseudo_stochastic(&compiled, &g, 500_000).unwrap();
+                assert_eq!(
+                    semantic, flat,
+                    "absence compilation diverged on ({a},{b}) {g:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn child_labels_avoid_collisions() {
+        // With labels {Root}, the child is Mod(1); with {Root, Mod(1)} the
+        // least d' with d'+2 free still yields a fresh label.
+        let m = 7; // k = 3
+        let mut labels = BTreeSet::new();
+        labels.insert(Dist::Root);
+        assert_eq!(child_label(&labels, m), Dist::Mod(1));
+        labels.insert(Dist::Mod(1));
+        let c = child_label(&labels, m);
+        assert!(matches!(c, Dist::Mod(_)));
+        assert!(!labels.contains(&c) || c == Dist::Mod(1));
+    }
+
+    #[test]
+    fn child_label_wraps_modulo() {
+        assert_eq!(Dist::Mod(6).child(7), Dist::Mod(0));
+        assert_eq!(Dist::Root.child(7), Dist::Mod(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "degree bound")]
+    fn exceeding_degree_bound_panics() {
+        // Saturate the label set so no child label is available.
+        let labels: BTreeSet<Dist> = (0..3).map(Dist::Mod).chain([Dist::Root]).collect();
+        // modulus 3 means k = 1; four labels exceed every gap.
+        child_label(&labels, 3);
+    }
+
+    #[test]
+    fn phases_progress_on_all_a_cycle() {
+        // On an all-A cycle every agent becomes a root simultaneously and the
+        // round completes within a few round-robin sweeps.
+        let am = detector();
+        let c = LabelCount::from_vec(vec![4, 0]);
+        let g = generators::labelled_cycle(&c);
+        let compiled = compile_absence(&am, 2);
+        let v = decide_pseudo_stochastic(&compiled, &g, 500_000).unwrap();
+        assert_eq!(v, wam_core::Verdict::Accepts);
+    }
+}

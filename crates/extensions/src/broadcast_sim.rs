@@ -1,0 +1,326 @@
+//! The Lemma 4.7 simulation: weak broadcasts compiled to plain
+//! neighbourhood transitions via a three-phase protocol (in the style of
+//! Awerbuch's α-synchroniser).
+
+use crate::BroadcastMachine;
+use wam_core::{Machine, Neighbourhood, State};
+
+/// A state of the compiled three-phase automaton.
+///
+/// * `Zero(q)` — phase 0, simulating base state `q`.
+/// * `One(q, b)` / `Two(q, b)` — phases 1 and 2; `q` is the already-updated
+///   base state, and `b` is the *initiator's pre-broadcast state*, which
+///   identifies the response function `f` being executed (the paper stores
+///   `f` itself; storing the initiating state is equivalent because
+///   `B : Q_B → Q × Q^Q` is a function).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phased<S> {
+    /// Phase 0: an ordinary base state.
+    Zero(S),
+    /// Phase 1: base state updated, broadcast `b` being propagated.
+    One(S, S),
+    /// Phase 2: waiting for the wave to finish.
+    Two(S, S),
+}
+
+impl<S> Phased<S> {
+    /// The phase index 0, 1 or 2.
+    pub fn phase(&self) -> u8 {
+        match self {
+            Phased::Zero(_) => 0,
+            Phased::One(..) => 1,
+            Phased::Two(..) => 2,
+        }
+    }
+
+    /// The simulated base state (already updated in phases 1 and 2).
+    pub fn base(&self) -> &S {
+        match self {
+            Phased::Zero(q) | Phased::One(q, _) | Phased::Two(q, _) => q,
+        }
+    }
+
+    /// The initiator state identifying the broadcast being executed, if in
+    /// phase 1 or 2.
+    pub fn initiator(&self) -> Option<&S> {
+        match self {
+            Phased::Zero(_) => None,
+            Phased::One(_, b) | Phased::Two(_, b) => Some(b),
+        }
+    }
+}
+
+/// Compiles a machine with weak broadcasts into an equivalent plain machine
+/// of the same class (Lemma 4.7).
+///
+/// The compiled machine implements transitions (1)–(5) of the paper:
+///
+/// 1. non-initiators with all-phase-0 neighbours run δ;
+/// 2. initiators with all-phase-0 neighbours start the broadcast, moving to
+///    phase 1 with their local update applied;
+/// 3. a phase-0 agent seeing a phase-1 neighbour joins that neighbour's
+///    broadcast, applying its response function (ties broken by the least
+///    initiator state — the paper's choice function `g`);
+/// 4. phase 1 → phase 2 once no neighbour is in phase 0;
+/// 5. phase 2 → phase 0 once no neighbour is in phase 1.
+///
+/// The counting bound is preserved, so a non-counting (`d…`) input yields a
+/// non-counting output; outputs are read off the carried base state, which
+/// realises the Lemma 4.4 acceptance transfer.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use wam_core::{decide_pseudo_stochastic, Machine, Output};
+/// use wam_extensions::{compile_broadcasts, BroadcastMachine, ResponseFn};
+/// use wam_graph::{generators, LabelCount};
+///
+/// // One broadcast floods acceptance from any label-0 node.
+/// let base = Machine::new(
+///     1,
+///     |l: wam_graph::Label| l.0 == 0,
+///     |&s: &bool, _| s,
+///     |&s| if s { Output::Accept } else { Output::Reject },
+/// );
+/// let bm = BroadcastMachine::new(
+///     base,
+///     |&s| s,
+///     |_| (true, Arc::new(|_: &bool| true) as ResponseFn<bool>),
+/// );
+/// let flat = compile_broadcasts(&bm); // plain neighbourhood transitions only
+/// let g = generators::labelled_cycle(&LabelCount::from_vec(vec![1, 3]));
+/// assert!(decide_pseudo_stochastic(&flat, &g, 100_000)?.is_accepting());
+/// # Ok::<(), wam_core::ExploreError>(())
+/// ```
+pub fn compile_broadcasts<S: State>(bm: &BroadcastMachine<S>) -> Machine<Phased<S>> {
+    let beta = bm.machine().beta();
+    let init_bm = bm.clone();
+    let delta_bm = bm.clone();
+    let out_bm = bm.clone();
+    Machine::new(
+        beta,
+        move |l| Phased::Zero(init_bm.initial(l)),
+        move |s: &Phased<S>, n: &Neighbourhood<Phased<S>>| step(&delta_bm, s, n),
+        move |s| out_bm.output(s.base()),
+    )
+}
+
+fn step<S: State>(
+    bm: &BroadcastMachine<S>,
+    s: &Phased<S>,
+    n: &Neighbourhood<Phased<S>>,
+) -> Phased<S> {
+    match s {
+        Phased::Zero(q) => {
+            let all_phase0 = n.all(|t| t.phase() == 0);
+            if all_phase0 {
+                if bm.initiates(q) {
+                    // (2) initiate: local update + enter phase 1.
+                    let (q2, _f) = bm.broadcast(q);
+                    Phased::One(q2, q.clone())
+                } else {
+                    // (1) ordinary neighbourhood transition.
+                    let base_view = n.project(|t| t.base().clone());
+                    Phased::Zero(bm.machine().step(q, &base_view))
+                }
+            } else if n.exists(|t| t.phase() == 2) {
+                // A neighbour is still one phase *behind* (phase 2 of the
+                // previous wave): stay silent, as condition (1) of
+                // Definition B.2 requires — the paper's transition (3)
+                // implicitly fires only once every such neighbour has
+                // wrapped around to phase 0.
+                s.clone()
+            } else {
+                // (3) join the least phase-1 broadcast, if any.
+                let g = n
+                    .states()
+                    .filter_map(|(t, _)| match t {
+                        Phased::One(_, b) => Some(b),
+                        _ => None,
+                    })
+                    .min();
+                match g {
+                    Some(b) => {
+                        let (_q2, f) = bm.broadcast(b);
+                        Phased::One(f(q), b.clone())
+                    }
+                    None => s.clone(),
+                }
+            }
+        }
+        Phased::One(q, b) => {
+            // (4) advance once no neighbour remains in phase 0.
+            if n.none(|t| t.phase() == 0) {
+                Phased::Two(q.clone(), b.clone())
+            } else {
+                s.clone()
+            }
+        }
+        Phased::Two(q, _) => {
+            // (5) return to phase 0 once no neighbour remains in phase 1.
+            if n.none(|t| t.phase() == 1) {
+                Phased::Zero(q.clone())
+            } else {
+                s.clone()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broadcast::ResponseFn;
+    use crate::{BroadcastMachine, BroadcastSystem};
+    use std::sync::Arc;
+    use wam_core::{
+        decide_adversarial_round_robin, decide_pseudo_stochastic, decide_system, Machine, Output,
+    };
+    use wam_graph::{generators, Graph, Label, LabelCount};
+
+    /// The Lemma C.5 threshold-k protocol as a broadcast machine (dAF class).
+    fn threshold(k: u32) -> BroadcastMachine<u32> {
+        let machine = Machine::new(
+            1,
+            move |l: Label| if l.0 == 0 { 1 } else { 0 },
+            |&s: &u32, _| s,
+            move |&s| if s == k { Output::Accept } else { Output::Reject },
+        );
+        BroadcastMachine::new(
+            machine,
+            move |&s| s >= 1,
+            move |&s| {
+                if s == k {
+                    (k, Arc::new(move |_: &u32| k) as ResponseFn<u32>)
+                } else {
+                    (
+                        s,
+                        Arc::new(move |&r: &u32| if r == s && r < k { r + 1 } else { r })
+                            as ResponseFn<u32>,
+                    )
+                }
+            },
+        )
+    }
+
+    fn graphs(a: u64, b: u64) -> Vec<Graph> {
+        let c = LabelCount::from_vec(vec![a, b]);
+        vec![
+            generators::labelled_cycle(&c),
+            generators::labelled_line(&c),
+            generators::labelled_star(&c),
+            generators::labelled_clique(&c),
+        ]
+    }
+
+    #[test]
+    fn compiled_threshold_matches_semantic_verdicts() {
+        for (a, b) in [(2u64, 1u64), (1, 2), (3, 1), (2, 2)] {
+            let bm = threshold(2);
+            let compiled = compile_broadcasts(&bm);
+            for g in graphs(a, b) {
+                let semantic = decide_system(&BroadcastSystem::new(&bm, &g), 500_000).unwrap();
+                let flat = decide_pseudo_stochastic(&compiled, &g, 500_000).unwrap();
+                assert_eq!(
+                    semantic, flat,
+                    "semantic vs compiled diverged on a={a}, b={b}, graph {g:?}"
+                );
+                assert_eq!(semantic.decided(), Some(a >= 2));
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_machine_preserves_counting_bound() {
+        let bm = threshold(3);
+        let compiled = compile_broadcasts(&bm);
+        assert_eq!(compiled.beta(), 1);
+        assert!(compiled.is_non_counting());
+    }
+
+    #[test]
+    fn example_4_6_wave_on_a_line() {
+        // The automaton of Example 4.6: states {a, b, x}; neighbourhood
+        // transition x → a if a neighbour is in a; broadcasts
+        // a ↦ a, {x ↦ a} and b ↦ b, {b ↦ a, a ↦ x}.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        enum E {
+            A,
+            B,
+            X,
+        }
+        let machine = Machine::new(
+            1,
+            |l: Label| if l.0 == 0 { E::A } else { E::B },
+            |&s, n| {
+                if s == E::X && n.exists(|&t| t == E::A) {
+                    E::A
+                } else {
+                    s
+                }
+            },
+            |&s| if s == E::A { Output::Accept } else { Output::Neutral },
+        );
+        let bm = BroadcastMachine::new(
+            machine,
+            |&s| matches!(s, E::A | E::B),
+            |&s| match s {
+                E::A => (
+                    E::A,
+                    Arc::new(|&r: &E| if r == E::X { E::A } else { r }) as ResponseFn<E>,
+                ),
+                E::B => (
+                    E::B,
+                    Arc::new(|&r: &E| match r {
+                        E::B => E::A,
+                        E::A => E::X,
+                        E::X => E::X,
+                    }) as ResponseFn<E>,
+                ),
+                E::X => (E::X, Arc::new(|r: &E| *r) as ResponseFn<E>),
+            },
+        );
+        // Line with labels a b a b a as in Figure 2 (alternating).
+        let c = LabelCount::from_vec(vec![3, 2]);
+        let _ = c;
+        let ab = wam_graph::Alphabet::new(["a", "b"]);
+        let la = ab.label("a").unwrap();
+        let lb = ab.label("b").unwrap();
+        let g = wam_graph::GraphBuilder::new(ab)
+            .nodes([la, lb, la, lb, la])
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(2, 3)
+            .edge(3, 4)
+            .build()
+            .unwrap();
+        let compiled = compile_broadcasts(&bm);
+        // The semantic and compiled systems must agree on the verdict.
+        let semantic = decide_system(&BroadcastSystem::new(&bm, &g), 2_000_000).unwrap();
+        let flat = decide_pseudo_stochastic(&compiled, &g, 2_000_000).unwrap();
+        assert_eq!(semantic, flat);
+    }
+
+    #[test]
+    fn compiled_machine_works_under_round_robin_for_threshold_one() {
+        // x ≥ 1 with broadcasts degenerates to flooding via ⟨accept⟩; it is
+        // decided even under adversarial scheduling.
+        for (a, expect) in [(2u64, true), (0, false)] {
+            let c = LabelCount::from_vec(vec![a, 3]);
+            let g = generators::labelled_cycle(&c);
+            let compiled = compile_broadcasts(&threshold(1));
+            let v = decide_adversarial_round_robin(&compiled, &g, 1_000_000).unwrap();
+            assert_eq!(v.decided(), Some(expect), "a={a}");
+        }
+    }
+
+    #[test]
+    fn phased_accessors() {
+        let p = Phased::One(3u8, 7u8);
+        assert_eq!(p.phase(), 1);
+        assert_eq!(*p.base(), 3);
+        assert_eq!(p.initiator(), Some(&7));
+        assert_eq!(Phased::Zero(1u8).initiator(), None);
+    }
+}

@@ -1,0 +1,276 @@
+//! The three-phase run theory of Appendix B.1, as checkable artefacts.
+//!
+//! The simulation proofs (Lemmas 4.7 and 4.9) rest on structural facts
+//! about *three-phase automata*: every state belongs to a phase 0/1/2,
+//! agents never step back a phase, and an agent with a neighbour in the
+//! previous phase stays silent. From these, the paper derives that
+//! adjacent nodes' *phase counts* differ by at most one (Lemma B.5) and
+//! that fair runs can be reordered into lock-step waves (Prop. B.4).
+//!
+//! This module provides the phase-count bookkeeping and empirical checkers
+//! used by the test-suite to validate the compiled machines against the
+//! theory: [`PhaseCounter`] tracks `pc(v, i)`, [`check_phase_discipline`]
+//! verifies Definition B.2's conditions along a concrete run, and
+//! [`project_phase0`] extracts the simulated base-machine run from a
+//! compiled run's all-phase-0 configurations.
+
+use wam_core::{Config, Machine, Scheduler, State};
+use wam_graph::{Graph, NodeId};
+
+/// Assigns phases to states of a (compiled) three-phase automaton.
+pub trait PhaseOf<S> {
+    /// The phase (0, 1 or 2) of a state.
+    fn phase_of(&self, s: &S) -> u8;
+}
+
+impl<S, F: Fn(&S) -> u8> PhaseOf<S> for F {
+    fn phase_of(&self, s: &S) -> u8 {
+        self(s)
+    }
+}
+
+/// Tracks the phase count `pc(v, i)` — the number of phase changes of each
+/// node — along a run (the smallest non-decreasing function with
+/// `C_i(v) ∈ Q_{pc(v,i) mod 3}`).
+#[derive(Debug, Clone)]
+pub struct PhaseCounter {
+    counts: Vec<u64>,
+}
+
+impl PhaseCounter {
+    /// Starts all nodes at phase count 0 (all states must be phase 0).
+    pub fn new(nodes: usize) -> Self {
+        PhaseCounter {
+            counts: vec![0; nodes],
+        }
+    }
+
+    /// Records a step: `old_phase → new_phase` for node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transition steps backwards (`new = old - 1 mod 3`),
+    /// which three-phase automata forbid.
+    pub fn record(&mut self, v: NodeId, old_phase: u8, new_phase: u8) {
+        if old_phase == new_phase {
+            return;
+        }
+        assert_eq!(
+            new_phase,
+            (old_phase + 1) % 3,
+            "node {v} stepped backwards: {old_phase} → {new_phase}"
+        );
+        self.counts[v] += 1;
+    }
+
+    /// The phase count of node `v`.
+    pub fn count(&self, v: NodeId) -> u64 {
+        self.counts[v]
+    }
+
+    /// Lemma B.5: adjacent nodes' phase counts differ by at most 1.
+    pub fn check_adjacent_bound(&self, graph: &Graph) -> Result<(), (NodeId, NodeId)> {
+        for &(u, v) in graph.edges() {
+            if self.counts[u].abs_diff(self.counts[v]) > 1 {
+                return Err((u, v));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Report of [`check_phase_discipline`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseReport {
+    /// Steps executed.
+    pub steps: usize,
+    /// Total phase changes across all nodes.
+    pub phase_changes: u64,
+    /// Number of configurations in which every node was in phase 0.
+    pub all_phase0_configs: usize,
+}
+
+/// Runs a compiled machine for `steps` steps under `scheduler`, verifying
+/// the three-phase discipline of Definition B.2 throughout:
+///
+/// 1. no node ever steps back a phase,
+/// 2. a node with a neighbour in its previous phase never moves,
+/// 3. adjacent phase counts never diverge by more than one (Lemma B.5).
+///
+/// # Panics
+///
+/// Panics on the first violation, with the offending node.
+pub fn check_phase_discipline<S: State>(
+    machine: &Machine<S>,
+    graph: &Graph,
+    scheduler: &mut dyn Scheduler,
+    phase: &impl PhaseOf<S>,
+    steps: usize,
+) -> PhaseReport {
+    let mut config = Config::initial(machine, graph);
+    for v in graph.nodes() {
+        assert_eq!(
+            phase.phase_of(config.state(v)),
+            0,
+            "initial states must be phase 0"
+        );
+    }
+    let mut counter = PhaseCounter::new(graph.node_count());
+    let mut all_phase0 = 1usize; // the initial configuration
+    for t in 0..steps {
+        let sel = scheduler.next_selection(graph, t);
+        let next = config.successor(machine, graph, &sel);
+        for v in graph.nodes() {
+            let old = phase.phase_of(config.state(v));
+            let new = phase.phase_of(next.state(v));
+            if old != new {
+                // Condition 1 of Def. B.2: a node with a previous-phase
+                // neighbour is silent.
+                let prev = (old + 2) % 3;
+                for &u in graph.neighbours(v) {
+                    assert_ne!(
+                        phase.phase_of(config.state(u)),
+                        prev,
+                        "node {v} moved with neighbour {u} a phase behind at step {t}"
+                    );
+                }
+            }
+            counter.record(v, old, new);
+        }
+        if let Err((u, v)) = counter.check_adjacent_bound(graph) {
+            panic!("Lemma B.5 violated between {u} and {v} at step {t}");
+        }
+        config = next;
+        if graph.nodes().all(|v| phase.phase_of(config.state(v)) == 0) {
+            all_phase0 += 1;
+        }
+    }
+    PhaseReport {
+        steps,
+        phase_changes: graph.nodes().map(|v| counter.count(v)).sum(),
+        all_phase0_configs: all_phase0,
+    }
+}
+
+/// Extracts the projected base-machine run: the subsequence of
+/// configurations in which every node is in phase 0, mapped through
+/// `base`. For a lock-step (reordered) run this is exactly the simulated
+/// run (Lemma B.10); for raw runs it is the observable prefix sequence the
+/// extension-of definition constrains.
+pub fn project_phase0<S: State, B: State>(
+    run: &[Config<S>],
+    phase: &impl PhaseOf<S>,
+    base: impl Fn(&S) -> B,
+) -> Vec<Config<B>> {
+    let mut out: Vec<Config<B>> = Vec::new();
+    for c in run {
+        if c.states().iter().all(|s| phase.phase_of(s) == 0) {
+            let projected = c.map(&base);
+            if out.last() != Some(&projected) {
+                out.push(projected);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile_broadcasts, BroadcastMachine, Phased, ResponseFn};
+    use std::sync::Arc;
+    use wam_core::{run_schedule, Machine, Output, RandomScheduler, RoundRobinScheduler};
+    use wam_graph::{generators, Label, LabelCount};
+
+    fn ladder(k: u32) -> BroadcastMachine<u32> {
+        let machine = Machine::new(
+            1,
+            move |l: Label| if l.0 == 0 { 1 } else { 0 },
+            |&s: &u32, _| s,
+            move |&s| if s == k { Output::Accept } else { Output::Reject },
+        );
+        BroadcastMachine::new(
+            machine,
+            move |&s| s >= 1,
+            move |&s| {
+                if s == k {
+                    (k, Arc::new(move |_: &u32| k) as ResponseFn<u32>)
+                } else {
+                    (
+                        s,
+                        Arc::new(move |&r: &u32| if r == s && r < k { r + 1 } else { r })
+                            as ResponseFn<u32>,
+                    )
+                }
+            },
+        )
+    }
+
+    fn phase_fn(p: &Phased<u32>) -> u8 {
+        p.phase()
+    }
+
+    #[test]
+    fn compiled_ladder_respects_phase_discipline() {
+        let flat = compile_broadcasts(&ladder(2));
+        let g = generators::labelled_cycle(&LabelCount::from_vec(vec![3, 2]));
+        let mut sched = RoundRobinScheduler;
+        let report = check_phase_discipline(&flat, &g, &mut sched, &phase_fn, 5_000);
+        assert!(report.phase_changes > 0, "waves must actually run");
+        assert!(report.all_phase0_configs > 1);
+    }
+
+    #[test]
+    fn discipline_holds_under_random_scheduling() {
+        let flat = compile_broadcasts(&ladder(3));
+        let g = generators::labelled_star(&LabelCount::from_vec(vec![3, 2]));
+        let mut sched = RandomScheduler::exclusive(11);
+        let report = check_phase_discipline(&flat, &g, &mut sched, &phase_fn, 10_000);
+        assert!(report.phase_changes > 0);
+    }
+
+    #[test]
+    fn projection_yields_monotone_ladder_run() {
+        // Along the projected phase-0 run of the compiled ladder, the
+        // maximum rung never decreases and rung occupancy stays sound
+        // (rung v occupied ⇒ rung v-1 occupied), mirroring Lemma C.5.
+        let flat = compile_broadcasts(&ladder(2));
+        let g = generators::labelled_line(&LabelCount::from_vec(vec![2, 1]));
+        let mut sched = RandomScheduler::exclusive(3);
+        let run = run_schedule(&flat, &g, &mut sched, 20_000);
+        let projected = project_phase0(&run, &phase_fn, |p| *p.base());
+        assert!(projected.len() >= 2, "the wave must complete at least once");
+        let mut last_max = 0u32;
+        for c in &projected {
+            let max = *c.states().iter().max().unwrap();
+            assert!(max >= last_max, "ladder regressed: {projected:?}");
+            // Rung occupancy (Lemma C.5's invariant) holds until ⟨accept⟩
+            // floods everyone to the top rung.
+            if max < 2 {
+                for v in 1..=max {
+                    assert!(
+                        c.states().iter().any(|&s| s == v),
+                        "occupancy gap below {v} in {c:?}"
+                    );
+                }
+            }
+            last_max = max;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stepped backwards")]
+    fn backward_steps_are_rejected() {
+        let mut pc = PhaseCounter::new(2);
+        pc.record(0, 1, 0);
+    }
+
+    #[test]
+    fn adjacent_bound_detects_divergence() {
+        let g = generators::line(3);
+        let mut pc = PhaseCounter::new(3);
+        pc.record(0, 0, 1);
+        pc.record(0, 1, 2);
+        assert_eq!(pc.check_adjacent_bound(&g), Err((0, 1)));
+    }
+}

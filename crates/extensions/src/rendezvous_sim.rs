@@ -1,0 +1,188 @@
+//! The Lemma 4.10 simulation: rendez-vous transitions compiled to a
+//! DAF-automaton via the search / answer / confirm gadget of Figure 4.
+
+use crate::GraphPopulationProtocol;
+use wam_core::{Machine, Neighbourhood, State};
+
+/// A state of the compiled rendez-vous automaton: the original state plus a
+/// hand-shake status.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rv<S> {
+    /// Waiting (`⌛`): an ordinary protocol state.
+    Wait(S),
+    /// Searching (`🔍`) for an interaction partner.
+    Search(S),
+    /// Answering (`📣`) a unique searcher.
+    Answer(S),
+    /// Confirming (`✓`): interaction committed; the second component is the
+    /// state this agent will assume once the partner has moved.
+    Confirm(S, S),
+}
+
+impl<S> Rv<S> {
+    /// The simulated protocol state (pre-transition for `Confirm`).
+    pub fn base(&self) -> &S {
+        match self {
+            Rv::Wait(q) | Rv::Search(q) | Rv::Answer(q) | Rv::Confirm(q, _) => q,
+        }
+    }
+
+    /// Whether the agent is in waiting status.
+    pub fn is_waiting(&self) -> bool {
+        matches!(self, Rv::Wait(_))
+    }
+}
+
+/// What an agent can deduce about its neighbourhood with counting bound 2:
+/// all neighbours waiting, exactly one non-waiting neighbour (with its
+/// state), or at least two non-waiting neighbours.
+enum Focus<S> {
+    AllWaiting,
+    Unique(Rv<S>),
+    Crowded,
+}
+
+fn focus<S: State>(n: &Neighbourhood<Rv<S>>) -> Focus<S> {
+    let nw = n.count_where(|t| !t.is_waiting());
+    match nw {
+        0 => Focus::AllWaiting,
+        1 => {
+            let unique = n
+                .states()
+                .find(|(t, _)| !t.is_waiting())
+                .map(|(t, _)| t.clone())
+                .expect("count_where said one non-waiting neighbour exists");
+            Focus::Unique(unique)
+        }
+        _ => Focus::Crowded,
+    }
+}
+
+/// Compiles a graph population protocol into a DAF-automaton (β = 2) that
+/// simulates it (Lemma 4.10, Figure 4).
+///
+/// A rendez-vous `p, q ↦ p', q'` is simulated by five exclusive selections
+/// `u v u v u`: `u` searches, `v` answers, `u` confirms (remembering `p'`),
+/// `v` applies `q'` and waits, `u` applies `p'`. Whenever an agent detects an
+/// irregularity (two non-waiting neighbours, stale partner), it cancels by
+/// reverting to waiting status with its original state.
+///
+/// # Example
+///
+/// ```
+/// use wam_core::decide_pseudo_stochastic;
+/// use wam_extensions::{compile_rendezvous, GraphPopulationProtocol, MajorityState};
+/// use wam_graph::{generators, LabelCount};
+///
+/// let pp = GraphPopulationProtocol::<MajorityState>::majority();
+/// let machine = compile_rendezvous(&pp); // a DAF-automaton, β = 2
+/// let g = generators::labelled_line(&LabelCount::from_vec(vec![2, 1]));
+/// assert!(decide_pseudo_stochastic(&machine, &g, 1_000_000)?.is_accepting());
+/// # Ok::<(), wam_core::ExploreError>(())
+/// ```
+pub fn compile_rendezvous<S: State>(pp: &GraphPopulationProtocol<S>) -> Machine<Rv<S>> {
+    let init_pp = pp.clone();
+    let delta_pp = pp.clone();
+    let out_pp = pp.clone();
+    Machine::new(
+        2,
+        move |l| Rv::Wait(init_pp.initial(l)),
+        move |s: &Rv<S>, n: &Neighbourhood<Rv<S>>| step(&delta_pp, s, n),
+        move |s| out_pp.output(s.base()),
+    )
+}
+
+fn step<S: State>(pp: &GraphPopulationProtocol<S>, s: &Rv<S>, n: &Neighbourhood<Rv<S>>) -> Rv<S> {
+    let f = focus(n);
+    match (s, f) {
+        // Wait → Search when everyone around is waiting.
+        (Rv::Wait(q), Focus::AllWaiting) => Rv::Search(q.clone()),
+        // Wait → Answer a unique searcher.
+        (Rv::Wait(q), Focus::Unique(Rv::Search(_))) => Rv::Answer(q.clone()),
+        // Search → Confirm on a unique answer; remember δ₁(q, q').
+        (Rv::Search(q), Focus::Unique(Rv::Answer(q2))) => {
+            let (p1, _) = pp.interact(q, &q2);
+            Rv::Confirm(q.clone(), p1)
+        }
+        // Answer → apply δ₂(q', q) once the searcher confirmed.
+        (Rv::Answer(q), Focus::Unique(Rv::Confirm(q1, _))) => {
+            let (_, p2) = pp.interact(&q1, q);
+            Rv::Wait(p2)
+        }
+        // Confirm → adopt the remembered state once the partner has moved.
+        (Rv::Confirm(_, q2), Focus::AllWaiting) => Rv::Wait(q2.clone()),
+        // A waiting agent with nothing to answer stays put (silent).
+        (Rv::Wait(q), _) => Rv::Wait(q.clone()),
+        // Everything else is an irregularity: cancel back to waiting with the
+        // original (first-component) state.
+        (Rv::Search(q), _) | (Rv::Answer(q), _) | (Rv::Confirm(q, _), _) => Rv::Wait(q.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::{MajorityState, PopulationSystem};
+    use crate::GraphPopulationProtocol;
+    use wam_core::{decide_pseudo_stochastic, decide_system, Config, Selection};
+    use wam_graph::{generators, LabelCount};
+
+    #[test]
+    fn compiled_majority_matches_semantic() {
+        let pp = GraphPopulationProtocol::<MajorityState>::majority();
+        let compiled = compile_rendezvous(&pp);
+        for (a, b) in [(2u64, 1u64), (1, 2), (2, 2)] {
+            let c = LabelCount::from_vec(vec![a, b]);
+            for g in [
+                generators::labelled_line(&c),
+                generators::labelled_clique(&c),
+            ] {
+                let semantic = decide_system(&PopulationSystem::new(&pp, &g), 500_000).unwrap();
+                let flat = decide_pseudo_stochastic(&compiled, &g, 2_000_000).unwrap();
+                assert_eq!(
+                    semantic, flat,
+                    "rendezvous compilation diverged on ({a},{b}) {g:?}"
+                );
+                assert_eq!(flat.decided(), Some(a > b));
+            }
+        }
+    }
+
+    #[test]
+    fn five_selection_dance_executes_one_rendezvous() {
+        // On a triangle with states P, M, M: schedule u v u v u with u = 0,
+        // v = 1 and check the pair interacted as δ(P, M) = (WeakP, WeakM).
+        use MajorityState::*;
+        let pp = GraphPopulationProtocol::<MajorityState>::majority();
+        let m = compile_rendezvous(&pp);
+        let c = LabelCount::from_vec(vec![1, 2]);
+        let g = generators::labelled_clique(&c);
+        let mut config = Config::initial(&m, &g);
+        for v in [0usize, 1, 0, 1, 0] {
+            config = config.successor(&m, &g, &Selection::exclusive(v));
+        }
+        assert_eq!(config.state(0), &Rv::Wait(WeakP));
+        assert_eq!(config.state(1), &Rv::Wait(WeakM));
+        assert_eq!(config.state(2), &Rv::Wait(M));
+    }
+
+    #[test]
+    fn crowded_neighbourhood_cancels() {
+        use MajorityState::*;
+        let pp = GraphPopulationProtocol::<MajorityState>::majority();
+        // An answering agent seeing two non-waiting neighbours reverts.
+        let n = wam_core::Neighbourhood::from_states(
+            [Rv::Search(P), Rv::Search(M), Rv::Wait(M)],
+            2,
+        );
+        let next = step(&pp, &Rv::Answer(M), &n);
+        assert_eq!(next, Rv::Wait(M));
+    }
+
+    #[test]
+    fn compiled_machine_is_counting_with_beta_two() {
+        let pp = GraphPopulationProtocol::<MajorityState>::majority();
+        let m = compile_rendezvous(&pp);
+        assert_eq!(m.beta(), 2);
+    }
+}

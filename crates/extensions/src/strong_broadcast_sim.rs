@@ -1,0 +1,215 @@
+//! The Lemma 5.1 simulation: strong broadcasts compiled to a DAF-automaton
+//! with weak broadcasts, via the token / ⟨step⟩ / ⟨reset⟩ layering.
+//!
+//! The construction stacks three layers:
+//!
+//! 1. **Token layer** — the graph population protocol `P_token` over
+//!    [`Token`] with rendez-vous transitions
+//!    `(L,L) ↦ (0,⊥)`, `(0,L) ↦ (L,0)`, `(L,0) ↦ (L',0)`,
+//!    compiled to a plain machine by [`compile_rendezvous`]. Agents in `L`
+//!    or `L'` hold a token; two meeting tokens annihilate into an error `⊥`.
+//! 2. **⟨step⟩ layer** — `P_step = P'_token × Q + ⟨step⟩`: an agent whose
+//!    token is `L'` fires a weak broadcast executing one strong-broadcast
+//!    step of the simulated protocol, and returns its token to `L`. With a
+//!    unique token the weak broadcast has a unique initiator and therefore
+//!    behaves exactly like a strong broadcast.
+//! 3. **⟨reset⟩ layer** — `P_reset = P'_step × Q + ⟨reset⟩`: agents whose
+//!    token reached `⊥` restart the computation from the stored initial
+//!    opinion `q₀` with strictly fewer tokens, until exactly one survives.
+//!
+//! The result is a [`BroadcastMachine`]; flatten it with
+//! [`compile_broadcasts`](crate::compile_broadcasts) to obtain a plain
+//! DAF-automaton.
+
+use crate::broadcast::ResponseFn;
+use crate::{compile_broadcasts, compile_rendezvous, BroadcastMachine, GraphPopulationProtocol, Phased, Rv, StrongBroadcastProtocol};
+use std::sync::Arc;
+use wam_core::{Machine, State};
+
+/// The token states of `P_token` (Lemma 5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Token {
+    /// No token.
+    Zero,
+    /// Holding a token (circulating).
+    L,
+    /// Holding a token, about to fire a ⟨step⟩ broadcast.
+    LPrime,
+    /// Error: two tokens met; triggers a ⟨reset⟩.
+    Bot,
+}
+
+/// The token-layer population protocol.
+pub fn token_protocol() -> GraphPopulationProtocol<Token> {
+    use Token::*;
+    GraphPopulationProtocol::new(
+        |_| L,
+        |&a, &b| match (a, b) {
+            (L, L) => (Zero, Bot),
+            (Zero, L) => (L, Zero),
+            (L, Zero) => (LPrime, Zero),
+            other => other,
+        },
+        |_| wam_core::Output::Neutral,
+    )
+}
+
+/// A state of the ⟨step⟩ layer: the compiled token state paired with the
+/// simulated protocol opinion.
+pub type StepState<Q> = (Rv<Token>, Q);
+
+/// A state of the ⟨reset⟩ layer: the (broadcast-compiled) ⟨step⟩ layer state
+/// paired with the stored initial opinion `q₀`.
+pub type ResetState<Q> = (Phased<StepState<Q>>, Q);
+
+/// The current token value of a ⟨reset⟩-layer state.
+pub fn token_of<Q: State>(s: &ResetState<Q>) -> Token {
+    *s.0.base().0.base()
+}
+
+/// The current simulated-protocol opinion of a ⟨reset⟩-layer state.
+pub fn opinion_of<Q: State>(s: &ResetState<Q>) -> &Q {
+    &s.0.base().1
+}
+
+/// Compiles a strong broadcast protocol into a DAF-automaton **with weak
+/// broadcasts** that simulates it (Lemma 5.1). Flatten with
+/// [`compile_broadcasts`](crate::compile_broadcasts) for a plain machine.
+///
+/// Acceptance is read off the simulated opinion `q` (the Lemma 4.4
+/// transfer): a node accepts iff `sb.output(q)` accepts, regardless of the
+/// transient token machinery.
+pub fn compile_strong_broadcast<Q: State>(
+    sb: &StrongBroadcastProtocol<Q>,
+) -> BroadcastMachine<ResetState<Q>> {
+    // Layer 1: the compiled token machine.
+    let token_machine: Machine<Rv<Token>> = compile_rendezvous(&token_protocol());
+
+    // Layer 2: P_step = P'_token × Q + ⟨step⟩.
+    let sb_init = sb.clone();
+    let sb_out = sb.clone();
+    let sb_bcast = sb.clone();
+    let tm = token_machine.clone();
+    let step_base: Machine<StepState<Q>> = Machine::new(
+        2,
+        move |l| (Rv::Wait(Token::L), sb_init.initial(l)),
+        move |(rv, q), n| {
+            let view = n.project(|(rv2, _): &StepState<Q>| rv2.clone());
+            (tm.step(rv, &view), q.clone())
+        },
+        move |(_, q)| sb_out.output(q),
+    );
+    let p_step: BroadcastMachine<StepState<Q>> = BroadcastMachine::new(
+        step_base,
+        |(rv, _)| *rv == Rv::Wait(Token::LPrime),
+        move |(_, q)| {
+            let (q2, f) = sb_bcast.broadcast(q);
+            (
+                (Rv::Wait(Token::L), q2),
+                Arc::new(move |(rv2, r): &StepState<Q>| (rv2.clone(), f(r)))
+                    as ResponseFn<StepState<Q>>,
+            )
+        },
+    );
+    let p_step_compiled: Machine<Phased<StepState<Q>>> = compile_broadcasts(&p_step);
+
+    // Layer 3: P_reset = P'_step × Q + ⟨reset⟩.
+    let sb_init2 = sb.clone();
+    let sb_out2 = sb.clone();
+    let psc = p_step_compiled.clone();
+    let reset_base: Machine<ResetState<Q>> = Machine::new(
+        2,
+        move |l| {
+            let q0 = sb_init2.initial(l);
+            (Phased::Zero((Rv::Wait(Token::L), q0.clone())), q0)
+        },
+        move |(ph, q0), n| {
+            let view = n.project(|(ph2, _): &ResetState<Q>| ph2.clone());
+            (psc.step(ph, &view), q0.clone())
+        },
+        move |s| sb_out2.output(opinion_of(s)),
+    );
+    BroadcastMachine::new(
+        reset_base,
+        |s| token_of(s) == Token::Bot,
+        |(_, q0)| {
+            let q0c = q0.clone();
+            (
+                (Phased::Zero((Rv::Wait(Token::L), q0.clone())), q0.clone()),
+                Arc::new(move |(_, r0): &ResetState<Q>| {
+                    let _ = &q0c;
+                    (Phased::Zero((Rv::Wait(Token::Zero), r0.clone())), r0.clone())
+                }) as ResponseFn<ResetState<Q>>,
+            )
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strong_broadcast::threshold_protocol;
+    use crate::{BroadcastSystem, StrongBroadcastSystem};
+    use wam_core::{decide_system, run_until_stable, RandomScheduler, StabilityOptions, Verdict};
+    use wam_graph::{generators, LabelCount};
+
+    #[test]
+    fn token_protocol_transitions() {
+        use Token::*;
+        let pp = token_protocol();
+        assert_eq!(pp.interact(&L, &L), (Zero, Bot));
+        assert_eq!(pp.interact(&Zero, &L), (L, Zero));
+        assert_eq!(pp.interact(&L, &Zero), (LPrime, Zero));
+        assert_eq!(pp.interact(&Zero, &Zero), (Zero, Zero));
+    }
+
+    #[test]
+    fn token_and_opinion_extraction() {
+        let s: ResetState<u32> = (Phased::Zero((Rv::Wait(Token::LPrime), 7u32)), 3u32);
+        assert_eq!(token_of(&s), Token::LPrime);
+        assert_eq!(*opinion_of(&s), 7);
+        let mid: ResetState<u32> = (
+            Phased::One((Rv::Search(Token::Bot), 1u32), (Rv::Wait(Token::L), 2u32)),
+            3u32,
+        );
+        assert_eq!(token_of(&mid), Token::Bot);
+    }
+
+    #[test]
+    fn compiled_strong_broadcast_threshold_semantic_agreement() {
+        // x ≥ 1 keeps the layered state space small enough for exact
+        // exploration of the weak-broadcast machine on a triangle.
+        for (a, b, expect) in [(1u64, 2u64, true), (0, 3, false)] {
+            let sb = threshold_protocol(1);
+            let c = LabelCount::from_vec(vec![a, b]);
+            let g = generators::labelled_clique(&c);
+            let semantic = decide_system(&StrongBroadcastSystem::new(&sb, &g), 100_000).unwrap();
+            assert_eq!(semantic.decided(), Some(expect));
+
+            let compiled = compile_strong_broadcast(&sb);
+            let sys = BroadcastSystem::new(&compiled, &g).with_choice_cap(1 << 18);
+            let v = decide_system(&sys, 3_000_000).unwrap();
+            assert_eq!(v, semantic, "Lemma 5.1 diverged on ({a},{b})");
+        }
+    }
+
+    #[test]
+    fn flattened_daf_automaton_runs_statistically() {
+        // The fully flat DAF machine (two compile_broadcasts deep plus the
+        // rendez-vous gadget) still stabilises to the right answer under a
+        // random exclusive scheduler.
+        let sb = threshold_protocol(2);
+        let compiled = compile_strong_broadcast(&sb);
+        let flat = crate::compile_broadcasts(&compiled);
+        let c = LabelCount::from_vec(vec![3, 1]);
+        let g = generators::labelled_cycle(&c);
+        let mut sched = RandomScheduler::exclusive(99);
+        let r = run_until_stable(
+            &flat,
+            &g,
+            &mut sched,
+            StabilityOptions::new(400_000, 4_000),
+        );
+        assert_eq!(r.verdict, Verdict::Accepts);
+    }
+}

@@ -1,0 +1,106 @@
+//! Small enumeration helpers shared by the semantic transition systems.
+
+/// Cartesian product over per-slot option lists, with a hard cap on the
+/// number of produced tuples.
+///
+/// Used by the semantic executors to enumerate the scheduler's independent
+/// per-agent choices (which signal each receiver hears, which support each
+/// initiator sees). The cap keeps exact exploration honest: exceeding it
+/// panics rather than silently truncating the successor set.
+///
+/// # Panics
+///
+/// Panics if the product would exceed `cap` tuples.
+pub fn cartesian_product<T: Clone>(options: &[Vec<T>], cap: usize) -> Vec<Vec<T>> {
+    let mut total: usize = 1;
+    for o in options {
+        assert!(!o.is_empty(), "every slot needs at least one option");
+        total = total.saturating_mul(o.len());
+        assert!(
+            total <= cap,
+            "choice enumeration exceeds cap of {cap} tuples; \
+             use a smaller instance or the statistical runner"
+        );
+    }
+    let mut out: Vec<Vec<T>> = vec![Vec::new()];
+    for o in options {
+        let mut next = Vec::with_capacity(out.len() * o.len());
+        for prefix in &out {
+            for item in o {
+                let mut row = prefix.clone();
+                row.push(item.clone());
+                next.push(row);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+/// All nonempty subsets of `items` that are independent in the given
+/// symmetric adjacency predicate, capped.
+///
+/// # Panics
+///
+/// Panics if more than `cap` subsets would be produced.
+pub fn independent_subsets<T: Clone>(
+    items: &[T],
+    mut adjacent: impl FnMut(&T, &T) -> bool,
+    cap: usize,
+) -> Vec<Vec<T>> {
+    let n = items.len();
+    assert!(n < usize::BITS as usize, "too many items to enumerate");
+    let mut out = Vec::new();
+    'mask: for mask in 1usize..(1 << n) {
+        let chosen: Vec<usize> = (0..n).filter(|i| mask & (1 << i) != 0).collect();
+        for (a, &i) in chosen.iter().enumerate() {
+            for &j in &chosen[a + 1..] {
+                if adjacent(&items[i], &items[j]) {
+                    continue 'mask;
+                }
+            }
+        }
+        out.push(chosen.into_iter().map(|i| items[i].clone()).collect());
+        assert!(
+            out.len() <= cap,
+            "independent-set enumeration exceeds cap of {cap}"
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn product_of_two_slots() {
+        let p = cartesian_product(&[vec![1, 2], vec![10, 20, 30]], 100);
+        assert_eq!(p.len(), 6);
+        assert!(p.contains(&vec![2, 30]));
+    }
+
+    #[test]
+    fn product_of_empty_slot_list_is_unit() {
+        let p: Vec<Vec<i32>> = cartesian_product(&[], 10);
+        assert_eq!(p, vec![Vec::<i32>::new()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds cap")]
+    fn product_cap_enforced() {
+        cartesian_product(&[vec![0; 10], vec![0; 10]], 50);
+    }
+
+    #[test]
+    fn independent_subsets_on_a_path() {
+        // Items 0-1-2 in a path: {0,2} independent, {0,1} not.
+        let items = [0usize, 1, 2];
+        let subs = independent_subsets(&items, |&a, &b| a.abs_diff(b) == 1, 100);
+        assert!(subs.contains(&vec![0, 2]));
+        assert!(!subs.contains(&vec![0, 1]));
+        assert!(subs.contains(&vec![1]));
+        // Independent sets of P3: {0},{1},{2},{0,2} = 4.
+        assert_eq!(subs.len(), 4);
+    }
+}

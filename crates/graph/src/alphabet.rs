@@ -1,0 +1,153 @@
+//! The finite label set Λ and interned labels.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A label `λ(v) ∈ Λ`, represented as an index into an [`Alphabet`].
+///
+/// Labels are plain indices so that [`LabelCount`](crate::LabelCount) can be a
+/// dense vector and configurations stay `Copy`-cheap. The owning alphabet maps
+/// indices back to human-readable names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Label(pub u16);
+
+impl Label {
+    /// Index of this label within its alphabet.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ℓ{}", self.0)
+    }
+}
+
+/// The finite set of labels Λ over which graphs are labelled.
+///
+/// Alphabets are cheap to clone (names are shared behind an [`Arc`]).
+///
+/// # Example
+///
+/// ```
+/// use wam_graph::Alphabet;
+/// let ab = Alphabet::new(["red", "blue"]);
+/// assert_eq!(ab.len(), 2);
+/// let red = ab.label("red").unwrap();
+/// assert_eq!(ab.name(red), "red");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Alphabet {
+    names: Arc<Vec<String>>,
+}
+
+impl Alphabet {
+    /// Creates an alphabet from label names, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `names` is empty, contains duplicates, or has more than
+    /// `u16::MAX` entries.
+    pub fn new<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        assert!(!names.is_empty(), "alphabet must be nonempty");
+        assert!(names.len() <= u16::MAX as usize, "alphabet too large");
+        for (i, n) in names.iter().enumerate() {
+            assert!(
+                !names[..i].contains(n),
+                "duplicate label name {n:?} in alphabet"
+            );
+        }
+        Alphabet {
+            names: Arc::new(names),
+        }
+    }
+
+    /// Creates an alphabet with `k` anonymous labels `x0, …, x(k-1)`.
+    pub fn anonymous(k: usize) -> Self {
+        Alphabet::new((0..k).map(|i| format!("x{i}")))
+    }
+
+    /// Number of labels |Λ|.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the alphabet is empty (never true for a constructed alphabet).
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Looks a label up by name.
+    pub fn label(&self, name: &str) -> Option<Label> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| Label(i as u16))
+    }
+
+    /// The name of `label`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` is out of range for this alphabet.
+    pub fn name(&self, label: Label) -> &str {
+        &self.names[label.index()]
+    }
+
+    /// Iterates over all labels in index order.
+    pub fn labels(&self) -> impl Iterator<Item = Label> + '_ {
+        (0..self.names.len()).map(|i| Label(i as u16))
+    }
+
+    /// Whether `label` belongs to this alphabet.
+    pub fn contains(&self, label: Label) -> bool {
+        label.index() < self.names.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_roundtrip() {
+        let ab = Alphabet::new(["a", "b", "c"]);
+        for name in ["a", "b", "c"] {
+            let l = ab.label(name).unwrap();
+            assert_eq!(ab.name(l), name);
+        }
+        assert_eq!(ab.label("d"), None);
+    }
+
+    #[test]
+    fn anonymous_names() {
+        let ab = Alphabet::anonymous(3);
+        assert_eq!(ab.len(), 3);
+        assert_eq!(ab.name(Label(1)), "x1");
+    }
+
+    #[test]
+    fn labels_iterate_in_order() {
+        let ab = Alphabet::new(["p", "q"]);
+        let ls: Vec<_> = ab.labels().collect();
+        assert_eq!(ls, vec![Label(0), Label(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_names_rejected() {
+        Alphabet::new(["a", "a"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn empty_rejected() {
+        Alphabet::new(Vec::<String>::new());
+    }
+}

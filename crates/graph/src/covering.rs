@@ -1,0 +1,265 @@
+//! Covering maps between labelled graphs (Lemma 3.2 / Corollary 3.3).
+//!
+//! `H` covers `G` when there is a surjection `f : V_H → V_G` that preserves
+//! labels and maps the neighbourhood of each `v ∈ V_H` *bijectively* onto the
+//! neighbourhood of `f(v)`. DAf-automata cannot discriminate a graph from a
+//! covering of it (Lemma 3.2), and every cycle labelling has a λ-fold cycle
+//! cover, which yields invariance of DAf-decidable labelling properties under
+//! scalar multiplication (Corollary 3.3).
+
+use crate::{Graph, NodeId};
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+/// Reasons a map fails to be a covering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoveringError {
+    /// The map's length does not match |V_H|.
+    WrongLength,
+    /// Some image is out of range for G.
+    OutOfRange {
+        /// Node of H whose image is invalid.
+        node: NodeId,
+    },
+    /// The map is not surjective onto V_G.
+    NotSurjective {
+        /// A node of G with empty preimage.
+        missed: NodeId,
+    },
+    /// A node's label differs from its image's label.
+    LabelMismatch {
+        /// The offending node of H.
+        node: NodeId,
+    },
+    /// The neighbourhood of `node` is not mapped bijectively onto the
+    /// neighbourhood of its image.
+    NotLocalBijection {
+        /// The offending node of H.
+        node: NodeId,
+    },
+    /// The two graphs use different alphabets.
+    AlphabetMismatch,
+}
+
+impl fmt::Display for CoveringError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoveringError::WrongLength => write!(f, "map length differs from |V_H|"),
+            CoveringError::OutOfRange { node } => write!(f, "image of node {node} out of range"),
+            CoveringError::NotSurjective { missed } => {
+                write!(f, "node {missed} of the base graph has no preimage")
+            }
+            CoveringError::LabelMismatch { node } => {
+                write!(f, "node {node} and its image carry different labels")
+            }
+            CoveringError::NotLocalBijection { node } => {
+                write!(f, "neighbourhood of node {node} is not mapped bijectively")
+            }
+            CoveringError::AlphabetMismatch => write!(f, "graphs use different alphabets"),
+        }
+    }
+}
+
+impl Error for CoveringError {}
+
+/// A verified covering map `f : V_H → V_G`.
+///
+/// # Example
+///
+/// ```
+/// use wam_graph::{generators, lambda_fold_cycle_cover, LabelCount};
+/// let base = generators::labelled_cycle(&LabelCount::from_vec(vec![2, 1]));
+/// let (cover, map) = lambda_fold_cycle_cover(&base, 3);
+/// assert_eq!(cover.node_count(), 9);
+/// assert_eq!(map.fold_degree(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoveringMap {
+    map: Vec<NodeId>,
+    base_nodes: usize,
+}
+
+impl CoveringMap {
+    /// Verifies `map` as a covering map from `cover` onto `base`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CoveringError`] discovered.
+    pub fn verify(cover: &Graph, base: &Graph, map: Vec<NodeId>) -> Result<Self, CoveringError> {
+        if cover.alphabet() != base.alphabet() {
+            return Err(CoveringError::AlphabetMismatch);
+        }
+        if map.len() != cover.node_count() {
+            return Err(CoveringError::WrongLength);
+        }
+        for (v, &img) in map.iter().enumerate() {
+            if img >= base.node_count() {
+                return Err(CoveringError::OutOfRange { node: v });
+            }
+            if cover.label(v) != base.label(img) {
+                return Err(CoveringError::LabelMismatch { node: v });
+            }
+        }
+        let mut hit = vec![false; base.node_count()];
+        for &img in &map {
+            hit[img] = true;
+        }
+        if let Some(missed) = hit.iter().position(|&h| !h) {
+            return Err(CoveringError::NotSurjective { missed });
+        }
+        for v in cover.nodes() {
+            // Images of v's neighbours must be exactly the neighbours of
+            // f(v), each hit exactly once.
+            let images: Vec<NodeId> = cover.neighbours(v).iter().map(|&u| map[u]).collect();
+            let distinct: BTreeSet<NodeId> = images.iter().copied().collect();
+            let expected: BTreeSet<NodeId> = base.neighbours(map[v]).iter().copied().collect();
+            if distinct.len() != images.len() || distinct != expected {
+                return Err(CoveringError::NotLocalBijection { node: v });
+            }
+        }
+        Ok(CoveringMap {
+            map,
+            base_nodes: base.node_count(),
+        })
+    }
+
+    /// The image of a cover node.
+    pub fn image(&self, v: NodeId) -> NodeId {
+        self.map[v]
+    }
+
+    /// The raw map as a slice indexed by cover node.
+    pub fn as_slice(&self) -> &[NodeId] {
+        &self.map
+    }
+
+    /// The fold degree (size of each fibre) if the covering is uniform,
+    /// i.e. |V_H| / |V_G| when all fibres have that size; otherwise the
+    /// size of the smallest fibre.
+    pub fn fold_degree(&self) -> usize {
+        let mut fibre = vec![0usize; self.base_nodes];
+        for &img in &self.map {
+            fibre[img] += 1;
+        }
+        fibre.into_iter().min().unwrap_or(0)
+    }
+}
+
+/// Checks whether `map` is a covering map from `cover` onto `base`.
+pub fn is_covering(cover: &Graph, base: &Graph, map: &[NodeId]) -> bool {
+    CoveringMap::verify(cover, base, map.to_vec()).is_ok()
+}
+
+/// Builds the λ-fold cover of a cycle: the cycle of length `λ·n` whose
+/// labelling repeats the base cycle's labelling λ times, together with the
+/// covering map `i ↦ i mod n` (the construction in Corollary 3.3).
+///
+/// # Panics
+///
+/// Panics if `base` is not a cycle (some node has degree ≠ 2) or `lambda == 0`.
+pub fn lambda_fold_cycle_cover(base: &Graph, lambda: usize) -> (Graph, CoveringMap) {
+    assert!(lambda >= 1, "fold degree must be positive");
+    let n = base.node_count();
+    assert!(
+        base.nodes().all(|v| base.degree(v) == 2) && base.edge_count() == n,
+        "base graph must be a cycle"
+    );
+    // Recover a cyclic order by walking the cycle.
+    let mut order = Vec::with_capacity(n);
+    let mut prev = usize::MAX;
+    let mut cur = 0usize;
+    for _ in 0..n {
+        order.push(cur);
+        let nbrs = base.neighbours(cur);
+        let next = if nbrs[0] != prev { nbrs[0] } else { nbrs[1] };
+        prev = cur;
+        cur = next;
+    }
+    let total = lambda * n;
+    let mut b = crate::GraphBuilder::new(base.alphabet().clone());
+    for i in 0..total {
+        b.node(base.label(order[i % n]));
+    }
+    for i in 0..total {
+        b.add_edge(i, (i + 1) % total);
+    }
+    let cover = b.build().expect("cycle cover construction failed");
+    let map: Vec<NodeId> = (0..total).map(|i| order[i % n]).collect();
+    let covering = CoveringMap::verify(&cover, base, map).expect("constructed map is a covering");
+    (cover, covering)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generators, Alphabet, GraphBuilder, LabelCount};
+
+    #[test]
+    fn identity_is_a_covering() {
+        let g = generators::cycle(5);
+        let map: Vec<NodeId> = g.nodes().collect();
+        assert!(is_covering(&g, &g, &map));
+    }
+
+    #[test]
+    fn cycle_cover_verifies() {
+        let base = generators::labelled_cycle(&LabelCount::from_vec(vec![2, 2]));
+        let (cover, map) = lambda_fold_cycle_cover(&base, 3);
+        assert_eq!(cover.node_count(), 12);
+        assert_eq!(map.fold_degree(), 3);
+        assert_eq!(cover.label_count(), base.label_count() * 3);
+    }
+
+    #[test]
+    fn single_fold_cover_is_isomorphic() {
+        let base = generators::labelled_cycle(&LabelCount::from_vec(vec![3, 1]));
+        let (cover, map) = lambda_fold_cycle_cover(&base, 1);
+        assert_eq!(cover.node_count(), base.node_count());
+        assert_eq!(map.fold_degree(), 1);
+    }
+
+    #[test]
+    fn label_mismatch_detected() {
+        let ab = Alphabet::new(["a", "b"]);
+        let a = ab.label("a").unwrap();
+        let b = ab.label("b").unwrap();
+        let base = GraphBuilder::new(ab.clone())
+            .nodes([a, a, a])
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(0, 2)
+            .build()
+            .unwrap();
+        let cover = GraphBuilder::new(ab)
+            .nodes([a, a, b])
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(0, 2)
+            .build()
+            .unwrap();
+        let err = CoveringMap::verify(&cover, &base, vec![0, 1, 2]).unwrap_err();
+        assert_eq!(err, CoveringError::LabelMismatch { node: 2 });
+    }
+
+    #[test]
+    fn collapsing_map_is_not_local_bijection() {
+        // Mapping a 4-cycle onto a triangle cannot be a covering.
+        let base = generators::cycle(3);
+        let cover = generators::cycle(4);
+        for map in [vec![0, 1, 2, 0], vec![0, 1, 0, 1]] {
+            assert!(!is_covering(&cover, &base, &map));
+        }
+    }
+
+    #[test]
+    fn non_surjective_detected() {
+        let base = generators::cycle(3);
+        let cover = generators::cycle(3);
+        let err = CoveringMap::verify(&cover, &base, vec![0, 1, 0]).unwrap_err();
+        assert!(matches!(
+            err,
+            CoveringError::NotSurjective { .. } | CoveringError::NotLocalBijection { .. }
+        ));
+    }
+}

@@ -1,0 +1,47 @@
+//! Error types for graph construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a [`GraphBuilder`](crate::GraphBuilder) cannot produce
+/// a graph satisfying the paper's standing convention (simple, connected,
+/// ≥ 3 nodes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The graph has fewer than three nodes.
+    TooSmall {
+        /// Number of nodes supplied.
+        nodes: usize,
+    },
+    /// The graph is not connected.
+    Disconnected,
+    /// An edge references a node that does not exist.
+    InvalidEdge {
+        /// The offending endpoint.
+        node: usize,
+        /// Number of nodes in the graph.
+        nodes: usize,
+    },
+    /// An edge is a self-loop, which simple graphs forbid.
+    SelfLoop {
+        /// The node with the self-loop.
+        node: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::TooSmall { nodes } => {
+                write!(f, "graph has {nodes} nodes but the model requires at least 3")
+            }
+            GraphError::Disconnected => write!(f, "graph is not connected"),
+            GraphError::InvalidEdge { node, nodes } => {
+                write!(f, "edge endpoint {node} out of range for {nodes} nodes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
+        }
+    }
+}
+
+impl Error for GraphError {}

@@ -1,0 +1,201 @@
+//! The Figure 3 graph surgery from the proof of Lemma 3.1.
+//!
+//! Given two cyclic graphs `G` and `H`, the construction takes `2g+1` copies
+//! of `G` and `2h+1` copies of `H`, removes one cycle edge in every copy, and
+//! chains all copies into a single connected graph `GH`. Nodes far from the
+//! chain edges behave exactly as in their original graph for a prescribed
+//! number of steps, which is what refutes halting discrimination.
+
+use crate::{Graph, GraphBuilder, NodeId};
+
+/// Provenance of a node of the composite graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CompositeNode {
+    /// `true` if the node comes from a copy of `G`, `false` for `H`.
+    pub from_g: bool,
+    /// Index of the copy the node belongs to.
+    pub copy: usize,
+    /// The node's id in the original graph.
+    pub original: NodeId,
+}
+
+/// Result of [`halting_composite`].
+#[derive(Debug, Clone)]
+pub struct Composite {
+    /// The chained graph `GH`.
+    pub graph: Graph,
+    /// Provenance of every node of `GH`.
+    pub provenance: Vec<CompositeNode>,
+}
+
+impl Composite {
+    /// Id in `GH` of the node with the given provenance.
+    pub fn node_of(&self, from_g: bool, copy: usize, original: NodeId) -> Option<NodeId> {
+        self.provenance.iter().position(|p| {
+            p.from_g == from_g && p.copy == copy && p.original == original
+        })
+    }
+}
+
+/// Finds an edge of `g` that lies on a cycle (i.e. is not a bridge), if any.
+pub fn find_cycle_edge(g: &Graph) -> Option<(NodeId, NodeId)> {
+    g.edges()
+        .iter()
+        .copied()
+        .find(|&(u, v)| !is_bridge(g, u, v))
+}
+
+fn is_bridge(g: &Graph, u: NodeId, v: NodeId) -> bool {
+    // BFS from u avoiding the edge {u, v}; the edge is a bridge iff v becomes
+    // unreachable.
+    let n = g.node_count();
+    let mut seen = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    seen[u] = true;
+    queue.push_back(u);
+    while let Some(x) = queue.pop_front() {
+        for &y in g.neighbours(x) {
+            if (x == u && y == v) || (x == v && y == u) {
+                continue;
+            }
+            if !seen[y] {
+                seen[y] = true;
+                queue.push_back(y);
+            }
+        }
+    }
+    !seen[v]
+}
+
+/// Builds the Lemma 3.1 composite `GH` out of `2g+1` copies of `G` and
+/// `2h+1` copies of `H`.
+///
+/// `eg = (u_G, v_G)` and `eh = (u_H, v_H)` must be edges on cycles of `G` and
+/// `H` respectively. In every copy the chosen edge is removed; copies are
+/// chained `v_G^i — u_G^{i+1}`, then `v_G^{2g} — u_H^0`, then
+/// `v_H^i — u_H^{i+1}` (exactly the edge set of Figure 3).
+///
+/// # Panics
+///
+/// Panics if either chosen edge is absent or is a bridge, or if the graphs
+/// use different alphabets.
+pub fn halting_composite(
+    g: &Graph,
+    eg: (NodeId, NodeId),
+    g_copies: usize,
+    h: &Graph,
+    eh: (NodeId, NodeId),
+    h_copies: usize,
+) -> Composite {
+    assert_eq!(g.alphabet(), h.alphabet(), "alphabets must match");
+    assert!(g.has_edge(eg.0, eg.1), "eg is not an edge of G");
+    assert!(h.has_edge(eh.0, eh.1), "eh is not an edge of H");
+    assert!(!is_bridge(g, eg.0, eg.1), "eg must lie on a cycle of G");
+    assert!(!is_bridge(h, eh.0, eh.1), "eh must lie on a cycle of H");
+    assert!(g_copies >= 1 && h_copies >= 1, "need at least one copy each");
+
+    let mut b = GraphBuilder::new(g.alphabet().clone());
+    let mut provenance = Vec::new();
+    let mut g_base = Vec::with_capacity(g_copies);
+    let mut h_base = Vec::with_capacity(h_copies);
+
+    for copy in 0..g_copies {
+        let base = b.node_count();
+        g_base.push(base);
+        for v in g.nodes() {
+            b.node(g.label(v));
+            provenance.push(CompositeNode { from_g: true, copy, original: v });
+        }
+        for &(u, v) in g.edges() {
+            let e = if u < v { (u, v) } else { (v, u) };
+            let cut = if eg.0 < eg.1 { eg } else { (eg.1, eg.0) };
+            if e != cut {
+                b.add_edge(base + u, base + v);
+            }
+        }
+    }
+    for copy in 0..h_copies {
+        let base = b.node_count();
+        h_base.push(base);
+        for v in h.nodes() {
+            b.node(h.label(v));
+            provenance.push(CompositeNode { from_g: false, copy, original: v });
+        }
+        for &(u, v) in h.edges() {
+            let e = if u < v { (u, v) } else { (v, u) };
+            let cut = if eh.0 < eh.1 { eh } else { (eh.1, eh.0) };
+            if e != cut {
+                b.add_edge(base + u, base + v);
+            }
+        }
+    }
+    // Chain: v_G^i — u_G^{i+1}, v_G^{last} — u_H^0, v_H^i — u_H^{i+1}.
+    for i in 0..g_copies - 1 {
+        b.add_edge(g_base[i] + eg.1, g_base[i + 1] + eg.0);
+    }
+    b.add_edge(g_base[g_copies - 1] + eg.1, h_base[0] + eh.0);
+    for i in 0..h_copies - 1 {
+        b.add_edge(h_base[i] + eh.1, h_base[i + 1] + eh.0);
+    }
+
+    let graph = b.build().expect("composite construction failed");
+    Composite { graph, provenance }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn cycle_edges_found() {
+        let g = generators::cycle(4);
+        assert!(find_cycle_edge(&g).is_some());
+        let t = generators::line(4);
+        assert!(find_cycle_edge(&t).is_none());
+    }
+
+    #[test]
+    fn composite_shape() {
+        let g = generators::cycle(3);
+        let h = generators::cycle(4);
+        let eg = find_cycle_edge(&g).unwrap();
+        let eh = find_cycle_edge(&h).unwrap();
+        let c = halting_composite(&g, eg, 3, &h, eh, 3);
+        // 3 copies of C3 + 3 copies of C4 = 21 nodes.
+        assert_eq!(c.graph.node_count(), 21);
+        // Each copy loses one edge, 5 chain edges are added:
+        // 3*3 + 3*4 - 6 + 5 = 20.
+        assert_eq!(c.graph.edge_count(), 20);
+        assert_eq!(c.provenance.len(), 21);
+    }
+
+    #[test]
+    fn interior_nodes_keep_their_degree() {
+        // Nodes not incident to the cut edges see the same degree as in the
+        // original graph, which is what makes them initially indistinguishable.
+        let g = generators::cycle(5);
+        let eg = (0, 1);
+        let h = generators::cycle(5);
+        let c = halting_composite(&g, eg, 1, &h, eg, 1);
+        let mid = c.node_of(true, 0, 3).unwrap();
+        assert_eq!(c.graph.degree(mid), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn bridge_edge_rejected() {
+        // Attach a pendant to a triangle; the pendant edge is a bridge.
+        let ab = crate::Alphabet::new(["a"]);
+        let a = ab.label("a").unwrap();
+        let g = crate::GraphBuilder::new(ab)
+            .nodes([a, a, a, a])
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(0, 2)
+            .edge(2, 3)
+            .build()
+            .unwrap();
+        halting_composite(&g, (2, 3), 1, &g, (0, 1), 1);
+    }
+}

@@ -1,0 +1,125 @@
+//! Additional bounded-degree graph families: trees and bipartite graphs.
+//!
+//! Trees are the acyclic extreme of the bounded-degree setting of §6 —
+//! useful both as protocol stress tests (no cycles to help token walks)
+//! and as the complement of the cyclic graphs Lemma 3.1 needs.
+
+use crate::{Alphabet, Graph, GraphBuilder, Label, LabelCount};
+
+fn expand(count: &LabelCount) -> (Alphabet, Vec<Label>) {
+    let ab = Alphabet::anonymous(count.arity());
+    let mut labels = Vec::with_capacity(count.total() as usize);
+    for (i, &c) in count.as_slice().iter().enumerate() {
+        for _ in 0..c {
+            labels.push(Label(i as u16));
+        }
+    }
+    (ab, labels)
+}
+
+/// A complete binary tree over the label multiset (heap order: node `v` has
+/// children `2v+1`, `2v+2`). Maximum degree 3.
+///
+/// # Panics
+///
+/// Panics if `count.total() < 3`.
+pub fn labelled_binary_tree(count: &LabelCount) -> Graph {
+    let (ab, labels) = expand(count);
+    let n = labels.len();
+    let mut b = GraphBuilder::new(ab).nodes(labels);
+    for v in 1..n {
+        b.add_edge(v, (v - 1) / 2);
+    }
+    b.build().expect("binary tree construction failed")
+}
+
+/// The complete bipartite graph `K_{m,n}`: the first `m` expanded labels on
+/// the left side, the rest on the right.
+///
+/// # Panics
+///
+/// Panics if `left == 0`, `left ≥ count.total()`, or the graph has fewer
+/// than 3 nodes.
+pub fn labelled_complete_bipartite(count: &LabelCount, left: usize) -> Graph {
+    let (ab, labels) = expand(count);
+    let n = labels.len();
+    assert!(left >= 1 && left < n, "both sides must be nonempty");
+    let mut b = GraphBuilder::new(ab).nodes(labels);
+    for u in 0..left {
+        for v in left..n {
+            b.add_edge(u, v);
+        }
+    }
+    b.build().expect("bipartite construction failed")
+}
+
+/// A "caterpillar": a spine path with one leaf hanging off each spine node.
+/// Degree ≤ 3, diameter ≈ n/2 — a slow-mixing bounded-degree family.
+///
+/// # Panics
+///
+/// Panics if `count.total() < 3`.
+pub fn labelled_caterpillar(count: &LabelCount) -> Graph {
+    let (ab, labels) = expand(count);
+    let n = labels.len();
+    let spine = n.div_ceil(2);
+    let mut b = GraphBuilder::new(ab).nodes(labels);
+    for s in 1..spine {
+        b.add_edge(s - 1, s);
+    }
+    for (i, v) in (spine..n).enumerate() {
+        b.add_edge(i, v);
+    }
+    b.build().expect("caterpillar construction failed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LabelCount;
+
+    fn count(n: u64) -> LabelCount {
+        LabelCount::from_vec(vec![n])
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let g = labelled_binary_tree(&count(7));
+        assert_eq!(g.edge_count(), 6);
+        assert!(g.is_degree_bounded(3));
+        assert!(!g.has_cycle());
+        assert_eq!(g.degree(0), 2);
+    }
+
+    #[test]
+    fn bipartite_shape() {
+        let g = labelled_complete_bipartite(&LabelCount::from_vec(vec![2, 3]), 2);
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(4), 2);
+        assert_eq!(g.diameter(), 2);
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let g = labelled_caterpillar(&count(8));
+        assert!(g.is_degree_bounded(3));
+        assert!(!g.has_cycle());
+        assert_eq!(g.node_count(), 8);
+        assert_eq!(g.edge_count(), 7);
+    }
+
+    #[test]
+    fn label_counts_preserved() {
+        let c = LabelCount::from_vec(vec![3, 2]);
+        assert_eq!(labelled_binary_tree(&c).label_count(), c);
+        assert_eq!(labelled_caterpillar(&c).label_count(), c);
+        assert_eq!(labelled_complete_bipartite(&c, 2).label_count(), c);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn degenerate_bipartite_rejected() {
+        labelled_complete_bipartite(&count(4), 4);
+    }
+}

@@ -1,0 +1,147 @@
+//! Cutoff(1) properties on arbitrary graphs (Proposition C.4): a single
+//! dAf machine flooding the set of labels present in the graph.
+
+use wam_core::{Machine, Output};
+use wam_graph::Label;
+
+/// Maximum alphabet size the presence-set machine supports (labels are
+/// packed into a `u32` bitmask).
+pub const MAX_ARITY: usize = 32;
+
+/// A dAf machine (β = 1, adversarial-ready) deciding an arbitrary Cutoff(1)
+/// property: `pred` receives the presence bitvector `⌈L_G⌉₁` (bit `i` set iff
+/// some node carries label `i`).
+///
+/// Each agent's state is the set of labels it knows to be present; states
+/// grow monotonically by union with neighbours' sets, so under any fair
+/// schedule every agent converges to the graph's full support and the
+/// outputs stabilise.
+///
+/// # Panics
+///
+/// Panics if `arity > 32`.
+///
+/// # Example
+///
+/// ```
+/// use wam_protocols::cutoff_one_machine;
+/// use wam_core::{decide_adversarial_round_robin, Verdict};
+/// use wam_graph::{generators, LabelCount};
+///
+/// // "label 0 present and label 1 absent".
+/// let m = cutoff_one_machine(2, |p| p[0] && !p[1]);
+/// let g = generators::labelled_cycle(&LabelCount::from_vec(vec![3, 0]));
+/// assert_eq!(
+///     decide_adversarial_round_robin(&m, &g, 100_000).unwrap(),
+///     Verdict::Accepts
+/// );
+/// ```
+pub fn cutoff_one_machine(
+    arity: usize,
+    pred: impl Fn(&[bool]) -> bool + Send + Sync + 'static,
+) -> Machine<u32> {
+    assert!(arity <= MAX_ARITY, "at most {MAX_ARITY} labels supported");
+    let eval = move |mask: u32| {
+        let bits: Vec<bool> = (0..arity).map(|i| mask & (1 << i) != 0).collect();
+        pred(&bits)
+    };
+    Machine::new(
+        1,
+        move |l: Label| {
+            assert!(
+                l.index() < arity,
+                "label {l} out of range for arity {arity}"
+            );
+            1u32 << l.index()
+        },
+        |&s, n| {
+            let mut acc = s;
+            for (t, _) in n.states() {
+                acc |= t;
+            }
+            acc
+        },
+        move |&s| {
+            if eval(s) {
+                Output::Accept
+            } else {
+                Output::Reject
+            }
+        },
+    )
+}
+
+/// The paper's base case ([16, Prop 12]): "some node carries `label`".
+pub fn exists_label(arity: usize, label: usize) -> Machine<u32> {
+    assert!(label < arity, "label index out of range");
+    cutoff_one_machine(arity, move |p| p[label])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wam_core::{
+        decide_adversarial_round_robin, decide_pseudo_stochastic, decide_synchronous,
+    };
+    use wam_graph::{generators, LabelCount};
+
+    #[test]
+    fn exists_label_all_deciders_agree() {
+        for (a, b, expect) in [(3u64, 1u64, true), (4, 0, false)] {
+            let m = exists_label(2, 1);
+            let c = LabelCount::from_vec(vec![a, b]);
+            for g in [
+                generators::labelled_cycle(&c),
+                generators::labelled_star(&c),
+                generators::labelled_clique(&c),
+            ] {
+                for v in [
+                    decide_pseudo_stochastic(&m, &g, 100_000).unwrap(),
+                    decide_adversarial_round_robin(&m, &g, 100_000).unwrap(),
+                    decide_synchronous(&m, &g, 100_000).unwrap(),
+                ] {
+                    assert_eq!(v.decided(), Some(expect), "({a},{b}) on {g:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn boolean_combination() {
+        // Accept iff (label 0 present) XOR (label 2 present).
+        let m = cutoff_one_machine(3, |p| p[0] ^ p[2]);
+        for (counts, expect) in [
+            (vec![1u64, 2, 0], true),
+            (vec![0, 2, 1], true),
+            (vec![1, 1, 1], false),
+            (vec![0, 3, 0], false),
+        ] {
+            let g = generators::labelled_cycle(&LabelCount::from_vec(counts.clone()));
+            let v = decide_adversarial_round_robin(&m, &g, 100_000).unwrap();
+            assert_eq!(v.decided(), Some(expect), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn verdict_depends_only_on_presence() {
+        // Cutoff(1): scaling counts must not change the verdict.
+        let m = cutoff_one_machine(2, |p| p[0] && p[1]);
+        let small = generators::labelled_cycle(&LabelCount::from_vec(vec![1, 2]));
+        let large = generators::labelled_cycle(&LabelCount::from_vec(vec![7, 5]));
+        assert_eq!(
+            decide_adversarial_round_robin(&m, &small, 100_000).unwrap(),
+            decide_adversarial_round_robin(&m, &large, 1_000_000).unwrap(),
+        );
+    }
+
+    #[test]
+    fn machine_is_non_counting() {
+        assert!(exists_label(2, 0).is_non_counting());
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn oversized_alphabet_rejected() {
+        cutoff_one_machine(33, |_| true);
+    }
+}

@@ -1,0 +1,489 @@
+//! The §6.1 construction: a bounded-degree **DAf**-automaton for every
+//! homogeneous threshold predicate `a₁x₁ + … + a_ℓx_ℓ ≥ 0` — in particular
+//! majority under *adversarial* scheduling, the paper's headline algorithm.
+//!
+//! The stack has four layers, each implemented and exposed separately:
+//!
+//! 1. **`⟨cancel⟩`** ([`cancel_machine`]) — synchronous local cancellation:
+//!    each agent holds a contribution in `[-E, E]`; agents with large
+//!    contributions push units to their neighbours. Preserves the sum,
+//!    never increases `Σ|x|`, and converges to "all small" or "all
+//!    negative" when the sum is negative (Lemma 6.1).
+//! 2. **`P_detect`** ([`HomogeneousStack::detect`]) — every agent initially
+//!    a *leader*; leaders use weak absence detection to test whether
+//!    `⟨cancel⟩` has converged, moving to `L_double` (all contributions
+//!    small) or `L_□` (all negative). Compiled to a DAf machine via
+//!    Lemma 4.9.
+//! 3. **`P_bc`** ([`HomogeneousStack::bc`]) — `⟨double⟩` doubles every small
+//!    contribution and returns the leader to `L`; `⟨reject⟩` floods the
+//!    rejecting state `□`. Either broadcast sends *other* leaders to the
+//!    error state `⊥`. Compiled via Lemma 4.7.
+//! 4. **`P_reset`** ([`HomogeneousStack::reset`]) — `⟨reset⟩` restarts the
+//!    computation from the stored initial contributions with the erroring
+//!    agents as the new (strictly smaller) leader set. [`HomogeneousStack::flat`]
+//!    compiles once more into a plain DAf machine.
+//!
+//! Deviation from the paper, recorded in DESIGN.md: the paper's `⟨double⟩`
+//! response doubles contributions in `{-k+1, …, k-1}` only; we double the
+//! full detected range `[-k, k]` (which `E ≥ 2k` accommodates) because
+//! leaving `±k` undoubled would break the sum invariant the correctness
+//! argument rests on.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use wam_core::{Machine, Neighbourhood, Output};
+use wam_extensions::{
+    compile_absence, compile_broadcasts, AbsenceMachine, AbsencePhased, BroadcastMachine, Phased,
+    ResponseFn,
+};
+use wam_graph::Label;
+
+/// Leadership tag of the detection layer (`Q_L = {0, L, L_double, L_□}`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Tag {
+    /// An ordinary agent (tag `0`).
+    Follower,
+    /// An active leader (`L`).
+    Leader,
+    /// A leader that detected convergence to small values (`L_double`).
+    LeaderDouble,
+    /// A leader that detected all-negative values (`L_□`).
+    LeaderReject,
+}
+
+/// A state of the detection layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DetectState {
+    /// A contribution with a leadership tag.
+    Val(i32, Tag),
+    /// The error state `⊥`: triggers a `⟨reset⟩`.
+    Error,
+    /// The rejecting state `□`.
+    Rejected,
+}
+
+impl DetectState {
+    /// The contribution value, if any.
+    pub fn value(&self) -> Option<i32> {
+        match self {
+            DetectState::Val(x, _) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Whether this state carries a leader tag (`L`, `L_double`, `L_□`).
+    pub fn is_leader(&self) -> bool {
+        matches!(
+            self,
+            DetectState::Val(_, Tag::Leader | Tag::LeaderDouble | Tag::LeaderReject)
+        )
+    }
+}
+
+/// The `⟨cancel⟩` value update (Section 6.1): `x` is the own contribution,
+/// `view` the β-clipped neighbour contributions (β = k makes the counts
+/// exact on k-degree-bounded graphs).
+pub fn cancel_update(x: i32, view: &Neighbourhood<Option<i32>>, k: i32, e: i32) -> i32 {
+    let cnt = |lo: i32, hi: i32| {
+        view.count_where(|y| matches!(y, Some(v) if lo <= *v && *v <= hi)) as i32
+    };
+    let next = if -k <= x && x <= k {
+        x - cnt(-e, -k - 1) + cnt(k + 1, e)
+    } else if x > k {
+        x - cnt(-e, k)
+    } else {
+        x + cnt(-k, e)
+    };
+    debug_assert!((-e..=e).contains(&next), "contribution escaped [-E, E]");
+    next
+}
+
+/// The pure `⟨cancel⟩` machine over raw contributions, for Lemma 6.1
+/// experiments: synchronous, output-free. β = k keeps the neighbour counts
+/// exact on k-degree-bounded graphs.
+pub fn cancel_machine(coeffs: Vec<i32>, k: usize) -> Machine<i32> {
+    let e = big_e(&coeffs, k);
+    let ki = k as i32;
+    Machine::new(
+        k as u32,
+        move |l: Label| coeffs[l.index()],
+        move |&x, n| cancel_update(x, &n.project(|&y| Some(y)), ki, e),
+        |_| Output::Neutral,
+    )
+}
+
+/// `E := max(max|aᵢ|, 2k)` — the contribution bound.
+pub fn big_e(coeffs: &[i32], k: usize) -> i32 {
+    coeffs
+        .iter()
+        .map(|a| a.abs())
+        .max()
+        .unwrap_or(0)
+        .max(2 * k as i32)
+}
+
+/// The reset-layer state: the broadcast-compiled detection layer paired with
+/// the stored initial contribution `q₀`.
+pub type HomState = (Phased<AbsencePhased<DetectState>>, i32);
+
+/// The fully flattened DAf state.
+pub type FlatState = Phased<HomState>;
+
+/// The current [`DetectState`] of a reset-layer state.
+pub fn detect_of(s: &HomState) -> DetectState {
+    *s.0.base().base()
+}
+
+/// All layers of the §6.1 construction for one homogeneous threshold
+/// predicate.
+#[derive(Debug, Clone)]
+pub struct HomogeneousStack {
+    /// The coefficients `a₁ … a_ℓ`.
+    pub coeffs: Vec<i32>,
+    /// The degree bound `k` the stack was built for.
+    pub degree_bound: usize,
+    /// The contribution bound `E`.
+    pub e: i32,
+    /// Layer 2: the absence-detection machine `P_detect`.
+    pub detect: AbsenceMachine<DetectState>,
+    /// Layer 3: `P_bc` — the compiled detection machine plus `⟨double⟩` /
+    /// `⟨reject⟩`.
+    pub bc: BroadcastMachine<AbsencePhased<DetectState>>,
+    /// Layer 4: `P_reset` — the compiled `P_bc` plus `⟨reset⟩`.
+    pub reset: BroadcastMachine<HomState>,
+}
+
+impl HomogeneousStack {
+    /// The final flat DAf machine (one more Lemma 4.7 compilation).
+    pub fn flat(&self) -> Machine<FlatState> {
+        compile_broadcasts(&self.reset)
+    }
+}
+
+/// Builds the §6.1 stack for `a·x ≥ 0` on graphs of maximum degree ≤ `k`.
+///
+/// # Panics
+///
+/// Panics if `coeffs` is empty or `k < 2`.
+///
+/// # Example
+///
+/// ```
+/// use wam_core::decide_adversarial_round_robin;
+/// use wam_graph::{generators, LabelCount};
+/// use wam_protocols::threshold_stack;
+///
+/// // 2·x₀ − x₁ ≥ 0 on a line (degree ≤ 2), under a deterministic
+/// // adversarial schedule — the §6.1 result in action.
+/// let machine = threshold_stack(vec![2, -1], 2).flat();
+/// let g = generators::labelled_line(&LabelCount::from_vec(vec![1, 2]));
+/// let verdict = decide_adversarial_round_robin(&machine, &g, 5_000_000)?;
+/// assert!(verdict.is_accepting()); // 2·1 − 2 = 0 ≥ 0
+/// # Ok::<(), wam_core::ExploreError>(())
+/// ```
+pub fn threshold_stack(coeffs: Vec<i32>, k: usize) -> HomogeneousStack {
+    assert!(!coeffs.is_empty(), "need at least one coefficient");
+    assert!(k >= 2, "degree bound must be at least 2");
+    let e = big_e(&coeffs, k);
+    let ki = k as i32;
+
+    // Layer 1+2: P_detect = (P_cancel × Q_L) with absence transitions.
+    let coeffs_init = coeffs.clone();
+    let base = Machine::new(
+        k as u32,
+        move |l: Label| DetectState::Val(coeffs_init[l.index()], Tag::Leader),
+        move |s: &DetectState, n| match s {
+            DetectState::Val(x, tag) => {
+                let view = n.project(|t: &DetectState| t.value());
+                DetectState::Val(cancel_update(*x, &view, ki, e), *tag)
+            }
+            other => *other,
+        },
+        |s| match s {
+            DetectState::Rejected => Output::Reject,
+            _ => Output::Accept,
+        },
+    );
+    let detect = AbsenceMachine::new(
+        base,
+        |s: &DetectState| matches!(s, DetectState::Val(_, Tag::Leader)),
+        move |s, supp: &BTreeSet<DetectState>| {
+            let DetectState::Val(x, Tag::Leader) = *s else {
+                unreachable!("only L-leaders initiate absence detection");
+            };
+            if supp.contains(&DetectState::Rejected) {
+                return DetectState::Error;
+            }
+            if supp.contains(&DetectState::Error) {
+                return DetectState::Val(x, Tag::Follower);
+            }
+            let plain = |t: &Tag| matches!(t, Tag::Follower | Tag::Leader);
+            let all_small = supp.iter().all(|q| match q {
+                DetectState::Val(y, t) => plain(t) && (-ki..=ki).contains(y),
+                _ => false,
+            });
+            let all_negative = supp.iter().all(|q| match q {
+                DetectState::Val(y, t) => plain(t) && (-e..=-1).contains(y),
+                _ => false,
+            });
+            // All-negative implies rejection takes priority (a small
+            // all-negative support satisfies both conditions; doubling
+            // forever would livelock).
+            if all_negative {
+                DetectState::Val(x, Tag::LeaderReject)
+            } else if all_small {
+                DetectState::Val(x, Tag::LeaderDouble)
+            } else {
+                DetectState::Val(x, Tag::Leader)
+            }
+        },
+    );
+
+    // Lemma 4.9: compile to a DAf machine.
+    let detect_compiled = compile_absence(&detect, k);
+
+    // Layer 3: P_bc = P'_detect + ⟨double⟩ / ⟨reject⟩.
+    let double_resp: ResponseFn<AbsencePhased<DetectState>> = Arc::new(move |r| {
+        let last = *r.base();
+        AbsencePhased::Zero(match last {
+            DetectState::Val(y, Tag::Follower) if (-ki..=ki).contains(&y) => {
+                DetectState::Val(2 * y, Tag::Follower)
+            }
+            DetectState::Val(_, Tag::Follower) => last, // stale: out of range
+            DetectState::Val(_, _) => DetectState::Error, // other leaders → ⊥
+            other => other,
+        })
+    });
+    let reject_resp: ResponseFn<AbsencePhased<DetectState>> = Arc::new(move |r| {
+        let last = *r.base();
+        AbsencePhased::Zero(match last {
+            DetectState::Val(y, Tag::Follower) if y <= -1 => DetectState::Rejected,
+            DetectState::Val(_, Tag::Follower) => last,
+            DetectState::Val(_, _) => DetectState::Error, // other leaders → ⊥
+            other => other,
+        })
+    });
+    let bc = BroadcastMachine::new(
+        detect_compiled,
+        |s: &AbsencePhased<DetectState>| {
+            matches!(
+                s.base(),
+                DetectState::Val(_, Tag::LeaderDouble | Tag::LeaderReject)
+            )
+        },
+        move |s| match *s.base() {
+            DetectState::Val(x, Tag::LeaderDouble) => (
+                AbsencePhased::Zero(DetectState::Val(2 * x, Tag::Leader)),
+                Arc::clone(&double_resp),
+            ),
+            DetectState::Val(_, Tag::LeaderReject) => (
+                AbsencePhased::Zero(DetectState::Rejected),
+                Arc::clone(&reject_resp),
+            ),
+            ref other => unreachable!("non-initiating state {other:?} fired a broadcast"),
+        },
+    );
+
+    // Lemma 4.7: compile P_bc, then add the reset layer.
+    let bc_compiled = compile_broadcasts(&bc);
+    let coeffs_init2 = coeffs.clone();
+    let bcc = bc_compiled.clone();
+    let reset_base: Machine<HomState> = Machine::new(
+        k as u32,
+        move |l: Label| {
+            let a = coeffs_init2[l.index()];
+            (
+                Phased::Zero(AbsencePhased::Zero(DetectState::Val(a, Tag::Leader))),
+                a,
+            )
+        },
+        move |(ph, q0), n| {
+            let view = n.project(|(p, _): &HomState| p.clone());
+            (bcc.step(ph, &view), *q0)
+        },
+        |s| match detect_of(s) {
+            DetectState::Rejected => Output::Reject,
+            _ => Output::Accept,
+        },
+    );
+    let reset = BroadcastMachine::new(
+        reset_base,
+        |s: &HomState| detect_of(s) == DetectState::Error,
+        |(_, q0): &HomState| {
+            let q0 = *q0;
+            (
+                (
+                    Phased::Zero(AbsencePhased::Zero(DetectState::Val(q0, Tag::Leader))),
+                    q0,
+                ),
+                Arc::new(move |(_, r0): &HomState| {
+                    (
+                        Phased::Zero(AbsencePhased::Zero(DetectState::Val(*r0, Tag::Follower))),
+                        *r0,
+                    )
+                }) as ResponseFn<HomState>,
+            )
+        },
+    );
+
+    HomogeneousStack {
+        coeffs,
+        degree_bound: k,
+        e,
+        detect,
+        bc,
+        reset,
+    }
+}
+
+/// The (weak) majority stack: `#(label 0) − #(label 1) ≥ 0`, ties accepted.
+///
+/// Homogeneous thresholds express non-strict comparisons; the paper's
+/// strict majority `x₀ > x₁` is the complement of `x₁ − x₀ ≥ 0`, obtainable
+/// as `wam_core::negate(&threshold_stack(vec![-1, 1], k).flat())`.
+pub fn majority_stack(k: usize) -> HomogeneousStack {
+    threshold_stack(vec![1, -1], k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wam_core::{
+        decide_system, run_until_stable, Config, RandomScheduler, StabilityOptions,
+        SynchronousScheduler, Verdict,
+    };
+    use wam_extensions::AbsenceSystem;
+    use wam_graph::{generators, LabelCount};
+
+    #[test]
+    fn cancel_preserves_sum_and_shrinks_mass() {
+        let k = 3;
+        let m = cancel_machine(vec![4, -4], k);
+        let c = LabelCount::from_vec(vec![3, 2]);
+        let g = generators::random_degree_bounded(&c, k, 3, 1);
+        let mut config = Config::initial(&m, &g);
+        let sum0: i32 = config.states().iter().sum();
+        let mass0: i32 = config.states().iter().map(|x| x.abs()).sum();
+        for _ in 0..200 {
+            let next = m_sync(&m, &g, &config);
+            let sum: i32 = next.states().iter().sum();
+            let mass: i32 = next.states().iter().map(|x| x.abs()).sum();
+            assert_eq!(sum, sum0, "⟨cancel⟩ must preserve the sum");
+            assert!(mass <= mass0, "⟨cancel⟩ must not increase Σ|x|");
+            config = next;
+        }
+    }
+
+    fn m_sync(m: &Machine<i32>, g: &wam_graph::Graph, c: &Config<i32>) -> Config<i32> {
+        let sel = wam_core::Selection::all(g);
+        c.successor(m, g, &sel)
+    }
+
+    #[test]
+    fn cancel_converges_negative_or_small() {
+        // Lemma 6.1: with Σ < 0 the run ends all-negative or all-small.
+        let k = 2;
+        let coeffs = vec![4, -4];
+        let e = big_e(&coeffs, k);
+        let m = cancel_machine(coeffs, k);
+        let c = LabelCount::from_vec(vec![2, 4]); // sum = 2·4 − 4·4 = −8 < 0
+        let g = generators::random_degree_bounded(&c, k, 2, 5);
+        let mut config = Config::initial(&m, &g);
+        for _ in 0..500 {
+            config = m_sync(&m, &g, &config);
+        }
+        let all_small = config.states().iter().all(|x| x.abs() <= k as i32);
+        let all_negative = config.states().iter().all(|x| (-e..=-1).contains(x));
+        assert!(
+            all_small || all_negative,
+            "cancel did not converge: {config:?}"
+        );
+    }
+
+    #[test]
+    fn detect_layer_semantic_verdicts() {
+        // Exact verdicts of P_detect + broadcasts are exercised through the
+        // flat machine below; here we check the absence layer alone reaches
+        // a doubling or rejecting leader state.
+        let stack = majority_stack(2);
+        let c = LabelCount::from_vec(vec![1, 2]);
+        let g = generators::labelled_line(&c);
+        let sys = AbsenceSystem::new(&stack.detect, &g).with_choice_cap(1 << 16);
+        let e = wam_core::Exploration::explore(&sys, 50_000).unwrap();
+        let saw_leader_decision = e.configs().iter().any(|cfg| {
+            cfg.states().iter().any(|s| {
+                matches!(
+                    s,
+                    DetectState::Val(_, Tag::LeaderDouble | Tag::LeaderReject)
+                )
+            })
+        });
+        assert!(saw_leader_decision);
+    }
+
+    #[test]
+    fn flat_majority_under_round_robin() {
+        // The headline: the flat DAf machine decides majority under the
+        // deterministic round-robin adversarial schedule.
+        for (a, b, expect) in [(2u64, 1u64, true), (1, 2, false), (2, 2, true)] {
+            let stack = majority_stack(2);
+            let flat = stack.flat();
+            let c = LabelCount::from_vec(vec![a, b]);
+            let g = generators::labelled_line(&c);
+            let v = wam_core::decide_adversarial_round_robin(&flat, &g, 3_000_000);
+            match v {
+                Ok(verdict) => {
+                    assert_eq!(verdict.decided(), Some(expect), "({a},{b})")
+                }
+                Err(e) => panic!("round robin did not lasso on ({a},{b}): {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn flat_majority_random_runs() {
+        for (a, b, expect) in [(4u64, 2u64, true), (2, 4, false), (3, 3, true)] {
+            let stack = majority_stack(3);
+            let flat = stack.flat();
+            let c = LabelCount::from_vec(vec![a, b]);
+            let g = generators::random_degree_bounded(&c, 3, 2, 11);
+            let mut sched = RandomScheduler::exclusive(17);
+            let r = run_until_stable(&flat, &g, &mut sched, StabilityOptions::new(2_000_000, 5_000));
+            assert_eq!(r.verdict.decided(), Some(expect), "({a},{b})");
+        }
+    }
+
+    #[test]
+    fn reset_layer_semantic_verdicts() {
+        // Exact exploration of P_reset (weak broadcasts, pre-flattening) on
+        // a tiny line.
+        for (a, b, expect) in [(2u64, 1u64, true), (1, 2, false)] {
+            let stack = majority_stack(2);
+            let c = LabelCount::from_vec(vec![a, b]);
+            let g = generators::labelled_line(&c);
+            let sys =
+                wam_extensions::BroadcastSystem::new(&stack.reset, &g).with_choice_cap(1 << 16);
+            let v = decide_system(&sys, 2_000_000);
+            match v {
+                Ok(verdict) => assert_eq!(verdict.decided(), Some(expect), "({a},{b})"),
+                Err(e) => panic!("exploration blew up on ({a},{b}): {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn synchronous_schedule_on_flat_machine() {
+        // Synchronous selection is also an adversarial-fair schedule of the
+        // liberal regime; the compiled machine is built for exclusive
+        // selection, so this documents behaviour rather than the theorem:
+        // the run must at least not reject a positive-majority input.
+        let stack = majority_stack(2);
+        let flat = stack.flat();
+        let c = LabelCount::from_vec(vec![2, 1]);
+        let g = generators::labelled_line(&c);
+        if let Ok(v) = wam_core::decide_synchronous(&flat, &g, 1_000_000) {
+            assert_ne!(v, Verdict::Rejects);
+        }
+        let _ = SynchronousScheduler;
+    }
+}

@@ -1,0 +1,297 @@
+//! Conversion of (clique) population protocols into strong broadcast
+//! protocols.
+//!
+//! The paper's Lemma 5.1 turns strong broadcast protocols into
+//! DAF-automata; strong broadcast protocols decide exactly NL ([11]).
+//! To obtain *executable* NL witnesses beyond thresholds, this module
+//! implements the classical removal of rendez-vous transitions: a
+//! rendez-vous `(p, q) ↦ (p', q')` is simulated by a **request / claim**
+//! broadcast pair with cancellation —
+//!
+//! 1. an idle agent in state `p` *requests* a partner in state `q`
+//!    (selected by a pointer that every broadcast rotates, giving the
+//!    scheduler access to all partner choices): it becomes the unique
+//!    waiter, every idle agent in state `q` becomes a candidate, and any
+//!    stale waiter/candidates are reverted;
+//! 2. a candidate *claims*: it applies `δ₂(p, q)` to itself, completes the
+//!    waiter with `δ₁(p, q)`, and reverts all other candidates.
+//!
+//! Invariant: a candidate exists only while its matching waiter does, so
+//! every claim performs exactly one faithful rendez-vous between two
+//! distinct agents. Partners are arbitrary (broadcasts are global), so the
+//! conversion realises **clique** semantics regardless of the communication
+//! graph — which is exactly what deciding a labelling predicate needs.
+
+use std::sync::Arc;
+use wam_core::State;
+use wam_extensions::{GraphPopulationProtocol, StrongBroadcastProtocol};
+
+/// A state of the converted protocol.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Converted<S> {
+    /// Not engaged; `ptr` indexes the partner-state universe and is rotated
+    /// by every broadcast, so the scheduler can steer any choice.
+    Idle {
+        /// The simulated protocol state.
+        state: S,
+        /// Partner-choice pointer.
+        ptr: u16,
+    },
+    /// The unique pending requester, committed to transition `(state, partner)`.
+    Wait {
+        /// The requester's simulated state `p`.
+        state: S,
+        /// The partner state `q` it committed to.
+        partner: S,
+    },
+    /// A candidate responder for the pending request.
+    Cand {
+        /// The candidate's simulated state `q`.
+        state: S,
+        /// The requester state `p` of the pending request.
+        requester: S,
+        /// The pointer to restore (plus one) when reverted.
+        ptr: u16,
+    },
+}
+
+impl<S> Converted<S> {
+    /// The simulated protocol state of this agent.
+    pub fn base(&self) -> &S {
+        match self {
+            Converted::Idle { state, .. }
+            | Converted::Wait { state, .. }
+            | Converted::Cand { state, .. } => state,
+        }
+    }
+}
+
+/// Converts a population protocol (with clique semantics) into a strong
+/// broadcast protocol deciding the same predicate. `universe` must list
+/// every state `δ` can produce or consume (partner choices rotate over it).
+///
+/// # Panics
+///
+/// The converted protocol panics at run time if it encounters a state
+/// outside `universe`.
+pub fn strong_broadcast_from_population<S: State>(
+    pp: &GraphPopulationProtocol<S>,
+    universe: Vec<S>,
+) -> StrongBroadcastProtocol<Converted<S>> {
+    let m = universe.len() as u16;
+    assert!(m > 0, "universe must be nonempty");
+    let uni = Arc::new(universe);
+    let pp_init = pp.clone();
+    let pp_b = pp.clone();
+    let pp_out = pp.clone();
+    let uni_b = Arc::clone(&uni);
+    StrongBroadcastProtocol::new(
+        move |l| Converted::Idle {
+            state: pp_init.initial(l),
+            ptr: 0,
+        },
+        move |s| match s.clone() {
+            Converted::Idle { state: p, ptr } => {
+                // Request: commit to partner q = universe[ptr].
+                let q = uni_b[ptr as usize].clone();
+                let post = Converted::Wait {
+                    state: p.clone(),
+                    partner: q.clone(),
+                };
+                let f = response_to_request(p, q, m);
+                (post, f)
+            }
+            Converted::Wait { state: p, partner: q } => {
+                // Refresh: re-recruit candidates for the pending request.
+                let post = Converted::Wait {
+                    state: p.clone(),
+                    partner: q.clone(),
+                };
+                let f = response_to_request(p, q, m);
+                (post, f)
+            }
+            Converted::Cand {
+                state: q,
+                requester: p,
+                ptr,
+            } => {
+                // Claim: perform the rendez-vous (p, q) ↦ δ(p, q).
+                let (p2, q2) = pp_b.interact(&p, &q);
+                let post = Converted::Idle {
+                    state: q2,
+                    ptr: (ptr + 1) % m,
+                };
+                let f = response_to_claim(p, q, p2, m);
+                (post, f)
+            }
+        },
+        move |s| pp_out.output(s.base()),
+    )
+}
+
+/// Response function shared by request and refresh broadcasts: recruit
+/// idle agents in state `q` as candidates, rotate the rest, cancel any
+/// other pending request, keep matching candidates.
+fn response_to_request<S: State>(
+    p: S,
+    q: S,
+    m: u16,
+) -> Arc<dyn Fn(&Converted<S>) -> Converted<S> + Send + Sync> {
+    Arc::new(move |r| match r.clone() {
+        Converted::Idle { state, ptr } => {
+            if state == q {
+                Converted::Cand {
+                    state,
+                    requester: p.clone(),
+                    ptr,
+                }
+            } else {
+                Converted::Idle {
+                    state,
+                    ptr: (ptr + 1) % m,
+                }
+            }
+        }
+        Converted::Wait { state, .. } => Converted::Idle { state, ptr: 0 },
+        Converted::Cand {
+            state,
+            requester,
+            ptr,
+        } => {
+            if state == q && requester == p {
+                Converted::Cand {
+                    state,
+                    requester,
+                    ptr,
+                }
+            } else {
+                Converted::Idle {
+                    state,
+                    ptr: (ptr + 1) % m,
+                }
+            }
+        }
+    })
+}
+
+/// Response function of a claim: complete the matching waiter with
+/// `δ₁(p, q) = p2`, revert all other candidates, rotate idle pointers.
+fn response_to_claim<S: State>(
+    p: S,
+    q: S,
+    p2: S,
+    m: u16,
+) -> Arc<dyn Fn(&Converted<S>) -> Converted<S> + Send + Sync> {
+    Arc::new(move |r| match r.clone() {
+        Converted::Idle { state, ptr } => Converted::Idle {
+            state,
+            ptr: (ptr + 1) % m,
+        },
+        Converted::Wait { state, partner } => {
+            if state == p && partner == q {
+                Converted::Idle {
+                    state: p2.clone(),
+                    ptr: 0,
+                }
+            } else {
+                Converted::Idle { state, ptr: 0 }
+            }
+        }
+        Converted::Cand { state, ptr, .. } => Converted::Idle {
+            state,
+            ptr: (ptr + 1) % m,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semilinear::{modulo_protocol, ModState};
+    use wam_core::{decide_system, Verdict};
+    use wam_extensions::{
+        GraphPopulationProtocol, MajorityState, PopulationSystem, StrongBroadcastSystem,
+    };
+    use wam_graph::{generators, LabelCount};
+
+    fn majority_universe() -> Vec<MajorityState> {
+        use MajorityState::*;
+        vec![P, M, WeakP, WeakM]
+    }
+
+    #[test]
+    fn converted_majority_matches_population_on_cliques() {
+        let pp = GraphPopulationProtocol::<MajorityState>::majority();
+        let sb = strong_broadcast_from_population(&pp, majority_universe());
+        for (a, b) in [(2u64, 1u64), (1, 2), (2, 2), (3, 1)] {
+            let c = LabelCount::from_vec(vec![a, b]);
+            let g = generators::labelled_clique(&c);
+            let pp_v = decide_system(&PopulationSystem::new(&pp, &g), 500_000).unwrap();
+            let sb_v = decide_system(&StrongBroadcastSystem::new(&sb, &g), 2_000_000).unwrap();
+            assert_eq!(pp_v, sb_v, "conversion diverged on ({a},{b})");
+            assert_eq!(sb_v.decided(), Some(a > b));
+        }
+    }
+
+    #[test]
+    fn converted_protocol_ignores_topology() {
+        // The conversion realises clique semantics: a line input gives the
+        // same verdict as a clique with the same label count.
+        let pp = GraphPopulationProtocol::<MajorityState>::majority();
+        let sb = strong_broadcast_from_population(&pp, majority_universe());
+        let c = LabelCount::from_vec(vec![3, 1]);
+        let line = generators::labelled_line(&c);
+        let v = decide_system(&StrongBroadcastSystem::new(&sb, &line), 2_000_000).unwrap();
+        assert_eq!(v, Verdict::Accepts);
+    }
+
+    #[test]
+    fn converted_modulo_protocol() {
+        let pp = modulo_protocol(vec![1, 0], 2, 1);
+        let universe = vec![
+            ModState::Active(0),
+            ModState::Active(1),
+            ModState::Passive(false),
+            ModState::Passive(true),
+        ];
+        let sb = strong_broadcast_from_population(&pp, universe);
+        for (a, b) in [(3u64, 1u64), (2, 2)] {
+            let c = LabelCount::from_vec(vec![a, b]);
+            let g = generators::labelled_clique(&c);
+            let v = decide_system(&StrongBroadcastSystem::new(&sb, &g), 2_000_000).unwrap();
+            assert_eq!(v.decided(), Some(a % 2 == 1), "({a},{b})");
+        }
+    }
+
+    #[test]
+    fn request_then_claim_performs_one_rendezvous() {
+        use MajorityState::*;
+        let pp = GraphPopulationProtocol::<MajorityState>::majority();
+        let sb = strong_broadcast_from_population(&pp, majority_universe());
+        // Manually: agent 0 (P, ptr rotated to M) requests, agent 1 (M)
+        // claims. Build the intermediate states by hand.
+        let s0 = Converted::Idle { state: P, ptr: 1 }; // universe[1] = M
+        let (post, f) = sb.broadcast(&s0);
+        assert_eq!(
+            post,
+            Converted::Wait {
+                state: P,
+                partner: M
+            }
+        );
+        let s1 = f(&Converted::Idle { state: M, ptr: 0 });
+        assert_eq!(
+            s1,
+            Converted::Cand {
+                state: M,
+                requester: P,
+                ptr: 0
+            }
+        );
+        // Claim by the candidate.
+        let (post1, g) = sb.broadcast(&s1);
+        assert_eq!(post1, Converted::Idle { state: WeakM, ptr: 1 });
+        let done = g(&post);
+        assert_eq!(done, Converted::Idle { state: WeakP, ptr: 0 });
+    }
+}

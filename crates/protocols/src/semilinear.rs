@@ -1,0 +1,132 @@
+//! Graph population protocols for semilinear predicates beyond majority:
+//! weighted modulo predicates `Σ w_ℓ·x_ℓ ≡ r (mod m)` with a walking
+//! accumulator token.
+//!
+//! Together with [`compile_rendezvous`](wam_extensions::compile_rendezvous)
+//! (Lemma 4.10) these yield DAF-automata, and together with
+//! [`strong_broadcast_from_population`](crate::strong_broadcast_from_population)
+//! plus Lemma 5.1 they yield the alternative broadcast-based route.
+
+use wam_core::Output;
+use wam_extensions::GraphPopulationProtocol;
+
+/// State of the modulo protocol: one *active* accumulator per surviving
+/// token, and *passive* agents remembering the last announced verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ModState {
+    /// Holds a partial sum (mod m).
+    Active(u16),
+    /// Passive, with the last verdict stamped by a passing active token.
+    Passive(bool),
+}
+
+/// A graph population protocol deciding `Σ w_ℓ · x_ℓ ≡ r (mod m)`.
+///
+/// Every agent starts active with its label's weight. Two adjacent active
+/// agents merge (summing mod `m`); an active agent walking over a passive
+/// one swaps position and stamps its current verdict. Eventually a single
+/// active accumulator holds the full weighted sum and stamps every passive
+/// agent with the correct verdict.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `r ≥ m`.
+pub fn modulo_protocol(weights: Vec<u16>, m: u16, r: u16) -> GraphPopulationProtocol<ModState> {
+    assert!(m >= 1, "modulus must be positive");
+    assert!(r < m, "remainder must be below the modulus");
+    GraphPopulationProtocol::new(
+        move |l| {
+            let w = weights
+                .get(l.index())
+                .copied()
+                .unwrap_or_else(|| panic!("label {l} has no weight"));
+            ModState::Active(w % m)
+        },
+        move |&a, &b| match (a, b) {
+            (ModState::Active(u), ModState::Active(v)) => {
+                let sum = (u + v) % m;
+                (ModState::Active(sum), ModState::Passive(sum == r))
+            }
+            (ModState::Active(u), ModState::Passive(_)) => {
+                // Walk and stamp.
+                (ModState::Passive(u == r), ModState::Active(u))
+            }
+            other => other,
+        },
+        move |&s| match s {
+            ModState::Active(u) => {
+                if u == r {
+                    Output::Accept
+                } else {
+                    Output::Reject
+                }
+            }
+            ModState::Passive(true) => Output::Accept,
+            ModState::Passive(false) => Output::Reject,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wam_core::{decide_pseudo_stochastic, decide_system};
+    use wam_extensions::{compile_rendezvous, PopulationSystem};
+    use wam_graph::{generators, LabelCount};
+
+    #[test]
+    fn parity_of_label_zero() {
+        // x₀ even?
+        let weights = vec![1u16, 0];
+        for (a, b, expect) in [(2u64, 1u64, true), (3, 1, false), (4, 1, true), (1, 2, false)] {
+            let pp = modulo_protocol(weights.clone(), 2, 0);
+            let c = LabelCount::from_vec(vec![a, b]);
+            for g in [
+                generators::labelled_clique(&c),
+                generators::labelled_line(&c),
+            ] {
+                let v = decide_system(&PopulationSystem::new(&pp, &g), 500_000).unwrap();
+                assert_eq!(v.decided(), Some(expect), "({a},{b}) on {g:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn total_size_mod_three() {
+        // |V| ≡ 0 (mod 3), all labels weighted 1.
+        for (n, expect) in [(3u64, true), (4, false), (6, true), (5, false)] {
+            let pp = modulo_protocol(vec![1], 3, 0);
+            let c = LabelCount::from_vec(vec![n]);
+            let g = generators::labelled_cycle(&c);
+            let v = decide_system(&PopulationSystem::new(&pp, &g), 500_000).unwrap();
+            assert_eq!(v.decided(), Some(expect), "n={n}");
+        }
+    }
+
+    #[test]
+    fn weighted_congruence() {
+        // 2·x₀ + x₁ ≡ 1 (mod 3).
+        for (a, b) in [(1u64, 2u64), (2, 1), (1, 2), (3, 1)] {
+            let pp = modulo_protocol(vec![2, 1], 3, 1);
+            let expect = (2 * a + b) % 3 == 1;
+            let c = LabelCount::from_vec(vec![a, b]);
+            let g = generators::labelled_star(&c);
+            let v = decide_system(&PopulationSystem::new(&pp, &g), 500_000).unwrap();
+            assert_eq!(v.decided(), Some(expect), "({a},{b})");
+        }
+    }
+
+    #[test]
+    fn compiled_daf_agrees() {
+        let pp = modulo_protocol(vec![1, 0], 2, 1);
+        let flat = compile_rendezvous(&pp);
+        for (a, b) in [(3u64, 1u64), (2, 1)] {
+            let c = LabelCount::from_vec(vec![a, b]);
+            let g = generators::labelled_line(&c);
+            let semantic = decide_system(&PopulationSystem::new(&pp, &g), 500_000).unwrap();
+            let compiled = decide_pseudo_stochastic(&flat, &g, 3_000_000).unwrap();
+            assert_eq!(semantic, compiled, "({a},{b})");
+            assert_eq!(semantic.decided(), Some(a % 2 == 1));
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Adversarial and stress schedulers beyond the basic drivers of `wam-core`.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use wam_core::{Scheduler, Selection, SelectionRegime};
+use wam_graph::{Graph, NodeId};
+
+/// Starves one node as hard as fairness allows: the victim is selected only
+/// every `period` steps; all other steps round-robin over the rest.
+///
+/// Fair (the victim is still selected infinitely often), but maximally slow
+/// for protocols that depend on the victim — a good stress test for the
+/// §6.1 leader machinery.
+#[derive(Debug, Clone, Copy)]
+pub struct StarvationScheduler {
+    victim: NodeId,
+    period: usize,
+}
+
+impl StarvationScheduler {
+    /// Starves `victim`, selecting it once every `period` steps (≥ 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period < 2`.
+    pub fn new(victim: NodeId, period: usize) -> Self {
+        assert!(period >= 2, "period must leave room for other nodes");
+        StarvationScheduler { victim, period }
+    }
+}
+
+impl Scheduler for StarvationScheduler {
+    fn next_selection(&mut self, graph: &Graph, t: usize) -> Selection {
+        let n = graph.node_count();
+        if t % self.period == self.period - 1 {
+            Selection::exclusive(self.victim % n)
+        } else {
+            // Round-robin over the non-victims.
+            let others: Vec<NodeId> = graph.nodes().filter(|&v| v != self.victim % n).collect();
+            Selection::exclusive(others[(t - t / self.period) % others.len()])
+        }
+    }
+
+    fn regime(&self) -> SelectionRegime {
+        SelectionRegime::Exclusive
+    }
+}
+
+/// Sweeps the nodes in increasing order, then decreasing, alternating —
+/// a deterministic fair schedule with strong spatial correlation (worst
+/// case for wave-style protocols).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepScheduler;
+
+impl Scheduler for SweepScheduler {
+    fn next_selection(&mut self, graph: &Graph, t: usize) -> Selection {
+        let n = graph.node_count();
+        let phase = t / n % 2;
+        let i = t % n;
+        Selection::exclusive(if phase == 0 { i } else { n - 1 - i })
+    }
+
+    fn regime(&self) -> SelectionRegime {
+        SelectionRegime::Exclusive
+    }
+}
+
+/// Selects nodes with geometrically skewed probabilities (node 0 hugely
+/// favoured). Fair with probability 1 but far from uniform — exposes
+/// protocols that implicitly assume uniform interaction rates.
+#[derive(Debug)]
+pub struct SkewedScheduler {
+    rng: StdRng,
+    bias: f64,
+}
+
+impl SkewedScheduler {
+    /// `bias ∈ (0, 1)`: each node is preferred over its successor by
+    /// roughly `1/bias`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < bias < 1`.
+    pub fn new(bias: f64, seed: u64) -> Self {
+        assert!(bias > 0.0 && bias < 1.0, "bias must be in (0, 1)");
+        SkewedScheduler {
+            rng: StdRng::seed_from_u64(seed),
+            bias,
+        }
+    }
+}
+
+impl Scheduler for SkewedScheduler {
+    fn next_selection(&mut self, graph: &Graph, _t: usize) -> Selection {
+        let n = graph.node_count();
+        let mut v = 0usize;
+        while v + 1 < n && self.rng.random_bool(self.bias) {
+            v += 1;
+        }
+        Selection::exclusive(v)
+    }
+
+    fn regime(&self) -> SelectionRegime {
+        SelectionRegime::Exclusive
+    }
+}
+
+/// **Unfair** failure-injection scheduler: never selects the victim.
+/// Violates the model's fairness requirement on purpose, to demonstrate
+/// that fairness is load-bearing for the protocols.
+#[derive(Debug, Clone, Copy)]
+pub struct UnfairScheduler {
+    victim: NodeId,
+}
+
+impl UnfairScheduler {
+    /// Never selects `victim`.
+    pub fn new(victim: NodeId) -> Self {
+        UnfairScheduler { victim }
+    }
+}
+
+impl Scheduler for UnfairScheduler {
+    fn next_selection(&mut self, graph: &Graph, t: usize) -> Selection {
+        let others: Vec<NodeId> = graph
+            .nodes()
+            .filter(|&v| v != self.victim % graph.node_count())
+            .collect();
+        Selection::exclusive(others[t % others.len()])
+    }
+
+    fn regime(&self) -> SelectionRegime {
+        SelectionRegime::Exclusive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wam_graph::generators;
+
+    #[test]
+    fn starvation_is_fair_but_slow() {
+        let g = generators::cycle(5);
+        let mut s = StarvationScheduler::new(2, 10);
+        let mut victim_hits = 0;
+        for t in 0..100 {
+            if s.next_selection(&g, t).contains(2) {
+                victim_hits += 1;
+            }
+        }
+        assert_eq!(victim_hits, 10);
+    }
+
+    #[test]
+    fn sweep_covers_all_nodes() {
+        let g = generators::cycle(4);
+        let mut s = SweepScheduler;
+        let mut hit = vec![false; 4];
+        for t in 0..8 {
+            hit[s.next_selection(&g, t).nodes()[0]] = true;
+        }
+        assert!(hit.iter().all(|&h| h));
+    }
+
+    #[test]
+    fn skewed_prefers_node_zero() {
+        let g = generators::cycle(6);
+        let mut s = SkewedScheduler::new(0.3, 1);
+        let mut counts = vec![0usize; 6];
+        for t in 0..3000 {
+            counts[s.next_selection(&g, t).nodes()[0]] += 1;
+        }
+        assert!(counts[0] > counts[3] * 3, "{counts:?}");
+    }
+
+    #[test]
+    fn unfair_never_selects_victim() {
+        let g = generators::cycle(4);
+        let mut s = UnfairScheduler::new(1);
+        for t in 0..50 {
+            assert!(!s.next_selection(&g, t).contains(1));
+        }
+    }
+}

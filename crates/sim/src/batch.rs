@@ -1,0 +1,173 @@
+//! Parallel seed sweeps over statistical runs.
+
+use crossbeam::thread;
+use parking_lot::Mutex;
+use wam_core::{run_until_stable, Machine, RandomScheduler, StabilityOptions, State, Verdict};
+use wam_graph::Graph;
+
+/// Configuration of a batch run.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// Number of independent seeded runs.
+    pub runs: usize,
+    /// Base seed; run `i` uses `base_seed + i`.
+    pub base_seed: u64,
+    /// Stability options for each run.
+    pub stability: StabilityOptions,
+    /// Worker threads (0 = one per available core, capped at `runs`).
+    pub threads: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            runs: 16,
+            base_seed: 0,
+            stability: StabilityOptions::default(),
+            threads: 0,
+        }
+    }
+}
+
+/// Aggregate results of a batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchSummary {
+    /// Runs that stabilised accepting.
+    pub accepts: usize,
+    /// Runs that stabilised rejecting.
+    pub rejects: usize,
+    /// Runs that exhausted their budget.
+    pub no_consensus: usize,
+    /// Steps to stabilisation per deciding run (sorted).
+    pub steps: Vec<usize>,
+}
+
+impl BatchSummary {
+    /// The unanimous verdict, if every run agreed and decided.
+    pub fn unanimous(&self) -> Option<Verdict> {
+        match (self.accepts, self.rejects, self.no_consensus) {
+            (a, 0, 0) if a > 0 => Some(Verdict::Accepts),
+            (0, r, 0) if r > 0 => Some(Verdict::Rejects),
+            _ => None,
+        }
+    }
+
+    /// Median steps-to-stabilisation over deciding runs.
+    pub fn median_steps(&self) -> Option<usize> {
+        if self.steps.is_empty() {
+            None
+        } else {
+            Some(self.steps[self.steps.len() / 2])
+        }
+    }
+}
+
+/// Runs `machine` on `graph` under independent random exclusive schedules in
+/// parallel and aggregates the outcomes.
+pub fn run_batch<S: State>(machine: &Machine<S>, graph: &Graph, config: BatchConfig) -> BatchSummary {
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(config.runs.max(1))
+    } else {
+        config.threads
+    };
+    let next = Mutex::new(0usize);
+    let results: Mutex<Vec<(Verdict, usize)>> = Mutex::new(Vec::with_capacity(config.runs));
+    thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = {
+                    let mut guard = next.lock();
+                    if *guard >= config.runs {
+                        break;
+                    }
+                    let i = *guard;
+                    *guard += 1;
+                    i
+                };
+                let mut sched = RandomScheduler::exclusive(config.base_seed + i as u64);
+                let report = run_until_stable(machine, graph, &mut sched, config.stability);
+                results.lock().push((report.verdict, report.steps));
+            });
+        }
+    })
+    .expect("batch worker panicked");
+    let mut accepts = 0;
+    let mut rejects = 0;
+    let mut no_consensus = 0;
+    let mut steps = Vec::new();
+    for (verdict, s) in results.into_inner() {
+        match verdict {
+            Verdict::Accepts => {
+                accepts += 1;
+                steps.push(s);
+            }
+            Verdict::Rejects => {
+                rejects += 1;
+                steps.push(s);
+            }
+            _ => no_consensus += 1,
+        }
+    }
+    steps.sort_unstable();
+    BatchSummary {
+        accepts,
+        rejects,
+        no_consensus,
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wam_core::{Machine, Output};
+    use wam_graph::{generators, LabelCount};
+
+    fn flood() -> Machine<bool> {
+        Machine::new(
+            1,
+            |l| l.0 == 1,
+            |&s, n| s || n.exists(|&t| t),
+            |&s| if s { Output::Accept } else { Output::Reject },
+        )
+    }
+
+    #[test]
+    fn batch_is_unanimous_for_flood() {
+        let g = generators::labelled_cycle(&LabelCount::from_vec(vec![7, 1]));
+        let summary = run_batch(
+            &flood(),
+            &g,
+            BatchConfig {
+                runs: 8,
+                base_seed: 3,
+                stability: StabilityOptions::new(100_000, 500),
+                threads: 0,
+            },
+        );
+        assert_eq!(summary.unanimous(), Some(Verdict::Accepts));
+        assert_eq!(summary.steps.len(), 8);
+        assert!(summary.median_steps().is_some());
+    }
+
+    #[test]
+    fn exhausted_runs_are_counted() {
+        let m = Machine::new(1, |_| 0u64, |&s, _| s + 1, |_| Output::Neutral);
+        let g = generators::cycle(3);
+        let summary = run_batch(
+            &m,
+            &g,
+            BatchConfig {
+                runs: 3,
+                base_seed: 0,
+                stability: StabilityOptions::new(200, 50),
+                threads: 2,
+            },
+        );
+        assert_eq!(summary.no_consensus, 3);
+        assert_eq!(summary.unanimous(), None);
+    }
+}

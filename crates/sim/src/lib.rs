@@ -1,0 +1,16 @@
+//! Experiment harness: adversarial schedulers, parallel batch runs,
+//! convergence statistics and serialisable traces.
+//!
+//! Everything here is built on the semantics of `wam-core`; this crate adds
+//! the machinery the benchmark suite needs: schedulers designed to *stress*
+//! protocols (starvation, sweeps, unfairness for failure injection), a
+//! crossbeam-parallel [`BatchRunner`](run_batch) for seed sweeps, and
+//! [`Trace`] recording for run inspection.
+
+mod adversary;
+mod batch;
+mod trace;
+
+pub use adversary::{SkewedScheduler, StarvationScheduler, SweepScheduler, UnfairScheduler};
+pub use batch::{run_batch, BatchConfig, BatchSummary};
+pub use trace::{record_trace, Trace, TraceStep};

@@ -1,0 +1,92 @@
+//! The Example 4.6 automaton on a five-node line (Figure 2): weak
+//! broadcasts executed atomically, and the same automaton compiled into a
+//! three-phase wave of plain neighbourhood transitions.
+//!
+//! ```sh
+//! cargo run --release --example broadcast_wave
+//! ```
+
+use std::sync::Arc;
+use weak_async_models::core::{Config, Machine, Output, Selection, TransitionSystem};
+use weak_async_models::extensions::{
+    compile_broadcasts, BroadcastMachine, BroadcastSystem, Phased, ResponseFn,
+};
+use weak_async_models::graph::{Alphabet, GraphBuilder};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+enum E {
+    A,
+    B,
+    X,
+}
+
+fn main() {
+    // States {a, b, x}; neighbourhood transition x → a next to an a;
+    // broadcasts a ↦ a, {x ↦ a} and b ↦ b, {b ↦ a, a ↦ x}.
+    let machine = Machine::new(
+        1,
+        |l: weak_async_models::graph::Label| if l.0 == 0 { E::A } else { E::B },
+        |&s, n| {
+            if s == E::X && n.exists(|&t| t == E::A) {
+                E::A
+            } else {
+                s
+            }
+        },
+        |&s| if s == E::A { Output::Accept } else { Output::Neutral },
+    );
+    let bm = BroadcastMachine::new(
+        machine,
+        |&s| matches!(s, E::A | E::B),
+        |&s| match s {
+            E::A => (
+                E::A,
+                Arc::new(|&r: &E| if r == E::X { E::A } else { r }) as ResponseFn<E>,
+            ),
+            E::B => (
+                E::B,
+                Arc::new(|&r: &E| match r {
+                    E::B => E::A,
+                    E::A => E::X,
+                    E::X => E::X,
+                }) as ResponseFn<E>,
+            ),
+            E::X => (E::X, Arc::new(|r: &E| *r) as ResponseFn<E>),
+        },
+    );
+
+    let ab = Alphabet::new(["a", "b"]);
+    let (la, lb) = (ab.label("a").unwrap(), ab.label("b").unwrap());
+    let line = GraphBuilder::new(ab)
+        .nodes([la, lb, la, lb, la])
+        .edge(0, 1)
+        .edge(1, 2)
+        .edge(2, 3)
+        .edge(3, 4)
+        .build()
+        .expect("five-node line");
+
+    println!("Atomic weak-broadcast successors of a b a b a:");
+    let system = BroadcastSystem::new(&bm, &line);
+    let initial = system.initial_config();
+    for successor in system.broadcast_successors(&initial).into_iter().take(5) {
+        println!("  {:?}", successor.states());
+    }
+
+    println!("\nCompiled three-phase wave under round-robin (phase in superscript):");
+    let compiled = compile_broadcasts(&bm);
+    let mut config = Config::initial(&compiled, &line);
+    for step in 0..15 {
+        let row: Vec<String> = config
+            .states()
+            .iter()
+            .map(|p| match p {
+                Phased::Zero(q) => format!("{q:?}"),
+                Phased::One(q, _) => format!("{q:?}¹"),
+                Phased::Two(q, _) => format!("{q:?}²"),
+            })
+            .collect();
+        println!("  t={step:<3} {}", row.join(" "));
+        config = config.successor(&compiled, &line, &Selection::exclusive(step % 5));
+    }
+}

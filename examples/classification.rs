@@ -1,0 +1,50 @@
+//! Regenerate the Figure 1 classification on the terminal, with live
+//! verdicts from witness protocols for the decidable cells.
+//!
+//! ```sh
+//! cargo run --release --example classification
+//! ```
+
+use weak_async_models::analysis::{classify, Predicate};
+use weak_async_models::core::{decide_pseudo_stochastic, ModelClass};
+use weak_async_models::extensions::{compile_rendezvous, GraphPopulationProtocol, MajorityState};
+use weak_async_models::graph::{generators, LabelCount};
+
+fn main() {
+    println!("The seven classes and their decision power (Figure 1):\n");
+    println!(
+        "{:<6} {:<22} {:<22} {}",
+        "class", "arbitrary graphs", "bounded degree", "majority?"
+    );
+    for class in ModelClass::representatives() {
+        println!(
+            "{:<6} {:<22} {:<22} arbitrary: {:<3} bounded: {}",
+            class.to_string(),
+            class.labelling_power_arbitrary().to_string(),
+            class.labelling_power_bounded_degree().to_string(),
+            if class.decides_majority_arbitrary() { "yes" } else { "no" },
+            if class.decides_majority_bounded_degree() { "yes" } else { "no" },
+        );
+    }
+
+    println!("\nPredicate classification over the box {{0..12}}²:");
+    for (name, p) in [
+        ("x₀ ≥ 1", Predicate::threshold(2, 0, 1)),
+        ("x₀ ≥ 3", Predicate::threshold(2, 0, 3)),
+        ("majority", Predicate::majority()),
+        ("x₀ even", Predicate::modulo(vec![1, 0], 2, 0)),
+    ] {
+        println!("  {name:<10} → {}", classify(&p, 12));
+    }
+
+    println!("\nLive witness: DAF decides majority exactly on every small graph shape.");
+    let pp = GraphPopulationProtocol::<MajorityState>::majority();
+    let machine = compile_rendezvous(&pp);
+    for (a, b) in [(3u64, 1u64), (2, 2), (1, 3)] {
+        let count = LabelCount::from_vec(vec![a, b]);
+        let graph = generators::labelled_cycle(&count);
+        let verdict = decide_pseudo_stochastic(&machine, &graph, 3_000_000)
+            .expect("small cycle fits the exact decider");
+        println!("  majority({a},{b}) on a cycle: {verdict} (truth: {})", a > b);
+    }
+}

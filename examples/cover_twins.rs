@@ -1,0 +1,59 @@
+//! Lemma 3.2 visualised: a labelled cycle and its 3-fold cover run in
+//! perfect lockstep under synchronous selection, so no automaton with
+//! adversarial selection can tell them apart — even though one satisfies
+//! `x₀ ≥ 2` and the other does not.
+//!
+//! ```sh
+//! cargo run --release --example cover_twins
+//! ```
+
+use weak_async_models::core::{decide_synchronous, Config, Selection};
+use weak_async_models::extensions::compile_broadcasts;
+use weak_async_models::graph::{generators, lambda_fold_cycle_cover, LabelCount};
+use weak_async_models::protocols::threshold_machine;
+
+fn main() {
+    let base = generators::labelled_cycle(&LabelCount::from_vec(vec![1, 2]));
+    let (cover, map) = lambda_fold_cycle_cover(&base, 3);
+    println!(
+        "base:  {} nodes, label count {} (x₀ ≥ 2 is FALSE)",
+        base.node_count(),
+        base.label_count()
+    );
+    println!(
+        "cover: {} nodes, label count {} (x₀ ≥ 2 is TRUE)",
+        cover.node_count(),
+        cover.label_count()
+    );
+
+    let machine = compile_broadcasts(&threshold_machine(2, 0, 2));
+
+    // Lockstep: every fibre node mirrors its base node, step for step.
+    let mut base_config = Config::initial(&machine, &base);
+    let mut cover_config = Config::initial(&machine, &cover);
+    let all_base = Selection::all(&base);
+    let all_cover = Selection::all(&cover);
+    for step in 0..100 {
+        for v in cover.nodes() {
+            assert_eq!(
+                cover_config.state(v),
+                base_config.state(map.image(v)),
+                "lockstep broke at step {step}, node {v}"
+            );
+        }
+        base_config = base_config.successor(&machine, &base, &all_base);
+        cover_config = cover_config.successor(&machine, &cover, &all_cover);
+    }
+    println!("lockstep held for 100 synchronous steps: every fibre mirrors its base node.");
+
+    let vb = decide_synchronous(&machine, &base, 1_000_000).expect("lasso");
+    let vc = decide_synchronous(&machine, &cover, 1_000_000).expect("lasso");
+    println!("synchronous verdict on base:  {vb}");
+    println!("synchronous verdict on cover: {vc}");
+    assert_eq!(vb, vc);
+    println!(
+        "\nSame verdict despite different truth values: adversarial-selection classes\n\
+         are blind to coverings (Lemma 3.2), hence invariant under scalar\n\
+         multiplication of the label count (Corollary 3.3)."
+    );
+}

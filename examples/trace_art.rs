@@ -1,0 +1,26 @@
+//! Visualise a run: record a trace of the flooding machine on a line and
+//! render the per-node output evolution as ASCII art.
+//!
+//! ```sh
+//! cargo run --release --example trace_art
+//! ```
+
+use weak_async_models::core::RoundRobinScheduler;
+use weak_async_models::graph::{generators, LabelCount};
+use weak_async_models::protocols::exists_label;
+use weak_async_models::sim::record_trace;
+
+fn main() {
+    // A 12-node line with the witness label at one end: watch acceptance
+    // flood across under round-robin scheduling.
+    let count = LabelCount::from_vec(vec![11, 1]);
+    let graph = generators::labelled_line(&count);
+    let machine = exists_label(2, 1);
+    let mut scheduler = RoundRobinScheduler;
+    let trace = record_trace(&machine, &graph, &mut scheduler, 150);
+    println!("█ = accepting, · = rejecting; one column per node\n");
+    println!("{}", trace.render_ascii(6));
+    if let Some(t) = trace.stabilisation_point() {
+        println!("stabilised at step {t}");
+    }
+}

@@ -1,0 +1,61 @@
+//! Closure of decidable properties under boolean combinations, at the
+//! machine level: products of compiled DAF protocols decide conjunctions,
+//! disjunctions and exclusive-ors of their predicates — exactly on graphs
+//! from several bounded-degree families, including the tree generators.
+
+use weak_async_models::analysis::Predicate;
+use weak_async_models::core::{decide_pseudo_stochastic, negate, product, Combine};
+use weak_async_models::extensions::{
+    compile_rendezvous, GraphPopulationProtocol, MajorityState,
+};
+use weak_async_models::graph::{generators, trees, Graph, LabelCount};
+use weak_async_models::protocols::modulo_protocol;
+
+fn family(c: &LabelCount) -> Vec<Graph> {
+    vec![
+        generators::labelled_cycle(c),
+        trees::labelled_binary_tree(c),
+        trees::labelled_caterpillar(c),
+    ]
+}
+
+#[test]
+fn majority_and_parity_product() {
+    let majority = compile_rendezvous(&GraphPopulationProtocol::<MajorityState>::majority());
+    let parity = compile_rendezvous(&modulo_protocol(vec![1, 0], 2, 0));
+    let both = product(&majority, &parity, Combine::And);
+    let pred = Predicate::majority() & Predicate::modulo(vec![1, 0], 2, 0);
+    for (a, b) in [(2u64, 1u64), (3, 1), (1, 2), (2, 2)] {
+        let c = LabelCount::from_vec(vec![a, b]);
+        for g in family(&c) {
+            let v = decide_pseudo_stochastic(&both, &g, 5_000_000).unwrap();
+            assert_eq!(v.decided(), Some(pred.eval(&c)), "({a},{b}) on {g:?}");
+        }
+    }
+}
+
+#[test]
+fn negated_majority_is_at_most() {
+    let majority = compile_rendezvous(&GraphPopulationProtocol::<MajorityState>::majority());
+    let at_most = negate(&majority);
+    for (a, b) in [(2u64, 1u64), (1, 2), (2, 2)] {
+        let c = LabelCount::from_vec(vec![a, b]);
+        let g = generators::labelled_cycle(&c);
+        let v = decide_pseudo_stochastic(&at_most, &g, 5_000_000).unwrap();
+        assert_eq!(v.decided(), Some(a <= b), "({a},{b})");
+    }
+}
+
+#[test]
+fn xor_of_independent_machines() {
+    let majority = compile_rendezvous(&GraphPopulationProtocol::<MajorityState>::majority());
+    let parity = compile_rendezvous(&modulo_protocol(vec![1, 0], 2, 0));
+    let xor = product(&majority, &parity, Combine::Xor);
+    for (a, b) in [(3u64, 1u64), (2, 1), (1, 2)] {
+        let c = LabelCount::from_vec(vec![a, b]);
+        let g = trees::labelled_binary_tree(&c);
+        let expect = (a > b) ^ (a % 2 == 0);
+        let v = decide_pseudo_stochastic(&xor, &g, 5_000_000).unwrap();
+        assert_eq!(v.decided(), Some(expect), "({a},{b})");
+    }
+}

@@ -1,0 +1,122 @@
+//! End-to-end classification checks: each class's witness protocol decides
+//! its predicate exactly, across graph shapes — the executable core of
+//! Figure 1.
+
+use weak_async_models::analysis::Predicate;
+use weak_async_models::core::{
+    decide_adversarial_round_robin, decide_pseudo_stochastic, decide_synchronous, ModelClass,
+    PropertyClassBound,
+};
+use weak_async_models::extensions::{
+    compile_broadcasts, compile_rendezvous, GraphPopulationProtocol, MajorityState,
+};
+use weak_async_models::graph::{generators, Graph, LabelCount};
+use weak_async_models::protocols::{cutoff_one_machine, modulo_protocol, threshold_machine};
+
+fn suite(c: &LabelCount) -> Vec<Graph> {
+    vec![
+        generators::labelled_cycle(c),
+        generators::labelled_line(c),
+        generators::labelled_star(c),
+        generators::labelled_clique(c),
+    ]
+}
+
+fn counts() -> Vec<LabelCount> {
+    [(3u64, 0u64), (2, 1), (1, 2), (2, 2), (3, 1), (0, 3)]
+        .into_iter()
+        .map(|(a, b)| LabelCount::from_vec(vec![a, b]))
+        .collect()
+}
+
+#[test]
+fn daf_lower_presence_under_all_adversarial_schedules() {
+    let m = cutoff_one_machine(2, |p| p[0]);
+    let pred = Predicate::threshold(2, 0, 1);
+    for c in counts() {
+        for g in suite(&c) {
+            let expect = Some(pred.eval(&c));
+            assert_eq!(
+                decide_adversarial_round_robin(&m, &g, 1_000_000)
+                    .unwrap()
+                    .decided(),
+                expect
+            );
+            assert_eq!(
+                decide_synchronous(&m, &g, 1_000_000).unwrap().decided(),
+                expect
+            );
+            assert_eq!(
+                decide_pseudo_stochastic(&m, &g, 1_000_000).unwrap().decided(),
+                expect
+            );
+        }
+    }
+}
+
+#[test]
+fn daf_upper_threshold_exact_under_pseudo_stochastic() {
+    let flat = compile_broadcasts(&threshold_machine(2, 0, 2));
+    let pred = Predicate::threshold(2, 0, 2);
+    for c in counts() {
+        for g in suite(&c) {
+            assert_eq!(
+                decide_pseudo_stochastic(&flat, &g, 3_000_000)
+                    .unwrap()
+                    .decided(),
+                Some(pred.eval(&c)),
+                "{c} on {g:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn daf_top_majority_and_parity_exact() {
+    let majority = compile_rendezvous(&GraphPopulationProtocol::<MajorityState>::majority());
+    let parity = compile_rendezvous(&modulo_protocol(vec![1, 0], 2, 0));
+    let maj_pred = Predicate::majority();
+    let par_pred = Predicate::modulo(vec![1, 0], 2, 0);
+    for c in counts() {
+        for g in suite(&c) {
+            assert_eq!(
+                decide_pseudo_stochastic(&majority, &g, 5_000_000)
+                    .unwrap()
+                    .decided(),
+                Some(maj_pred.eval(&c)),
+                "majority on {c}"
+            );
+            assert_eq!(
+                decide_pseudo_stochastic(&parity, &g, 5_000_000)
+                    .unwrap()
+                    .decided(),
+                Some(par_pred.eval(&c)),
+                "parity on {c}"
+            );
+        }
+    }
+}
+
+#[test]
+fn figure_one_panels_are_internally_consistent() {
+    for class in ModelClass::all() {
+        let arbitrary = class.labelling_power_arbitrary();
+        let bounded = class.labelling_power_bounded_degree();
+        // Bounded-degree power never shrinks.
+        let rank = |p: PropertyClassBound| match p {
+            PropertyClassBound::Trivial => 0,
+            PropertyClassBound::CutoffOne => 1,
+            PropertyClassBound::Cutoff => 2,
+            PropertyClassBound::InvariantScalarMult => 3,
+            PropertyClassBound::NL => 4,
+            PropertyClassBound::NSpaceLinear => 5,
+        };
+        assert!(rank(bounded) >= rank(arbitrary), "{class}");
+        // Equivalent classes agree.
+        assert_eq!(
+            class.canonical().labelling_power_arbitrary(),
+            arbitrary,
+            "{class}"
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Property-based simulation-fidelity tests: on random small graphs and
+//! random label counts, the Lemma 4.7 and 4.10 compilations agree with
+//! their semantic models under the exact pseudo-stochastic decider.
+
+use proptest::prelude::*;
+use weak_async_models::core::{decide_pseudo_stochastic, decide_system};
+use weak_async_models::extensions::{
+    compile_broadcasts, compile_rendezvous, BroadcastSystem, GraphPopulationProtocol,
+    MajorityState, PopulationSystem,
+};
+use weak_async_models::graph::{generators, LabelCount};
+use weak_async_models::protocols::threshold_machine;
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8, ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn broadcast_compilation_agrees_on_random_graphs(
+        a in 1u64..3,
+        b in 1u64..3,
+        seed in 0u64..100,
+    ) {
+        prop_assume!(a + b >= 3);
+        let c = LabelCount::from_vec(vec![a, b]);
+        let g = generators::random_degree_bounded(&c, 2, 1, seed);
+        let bm = threshold_machine(2, 0, 2);
+        let flat = compile_broadcasts(&bm);
+        let semantic = decide_system(&BroadcastSystem::new(&bm, &g), 1_000_000).unwrap();
+        let compiled = decide_pseudo_stochastic(&flat, &g, 3_000_000).unwrap();
+        prop_assert_eq!(semantic, compiled);
+    }
+
+    #[test]
+    fn rendezvous_compilation_agrees_on_random_graphs(
+        a in 1u64..3,
+        b in 1u64..3,
+        seed in 0u64..100,
+    ) {
+        prop_assume!(a + b >= 3);
+        let c = LabelCount::from_vec(vec![a, b]);
+        let g = generators::random_connected(&c, 0.3, seed);
+        let pp = GraphPopulationProtocol::<MajorityState>::majority();
+        let flat = compile_rendezvous(&pp);
+        let semantic = decide_system(&PopulationSystem::new(&pp, &g), 1_000_000).unwrap();
+        let compiled = decide_pseudo_stochastic(&flat, &g, 5_000_000).unwrap();
+        prop_assert_eq!(semantic, compiled);
+    }
+}

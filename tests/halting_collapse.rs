@@ -1,0 +1,76 @@
+//! The `daf ≡ daF` collapse: for halting automata, adversarial and
+//! pseudo-stochastic fairness give the same verdicts (once a node halts it
+//! never moves, so the extra recurrence of pseudo-stochastic schedules buys
+//! nothing). Verified for consistent halting machines across inputs.
+
+use weak_async_models::core::{
+    decide_adversarial_round_robin, decide_pseudo_stochastic, decide_synchronous, halting_violations,
+    make_halting, ExclusiveSystem, Exploration, Machine, Output,
+};
+use weak_async_models::graph::{generators, Label, LabelCount};
+
+/// Halt after `delay` steps with the verdict given by the own label.
+fn halting_by_label(delay: u8) -> Machine<(u8, bool)> {
+    Machine::new(
+        1,
+        move |l: Label| (0u8, l.0 == 0),
+        move |&(t, v), _| if t < delay { (t + 1, v) } else { (t, v) },
+        move |&(t, v)| {
+            if t < delay {
+                Output::Neutral
+            } else if v {
+                Output::Accept
+            } else {
+                Output::Reject
+            }
+        },
+    )
+}
+
+#[test]
+fn halting_verdicts_agree_across_fairness() {
+    let m = halting_by_label(2);
+    for (a, b) in [(4u64, 0u64), (0, 4)] {
+        let g = generators::labelled_cycle(&LabelCount::from_vec(vec![a, b]));
+        let ps = decide_pseudo_stochastic(&m, &g, 100_000).unwrap();
+        let rr = decide_adversarial_round_robin(&m, &g, 100_000).unwrap();
+        let sy = decide_synchronous(&m, &g, 100_000).unwrap();
+        assert_eq!(ps, rr, "({a},{b})");
+        assert_eq!(ps, sy, "({a},{b})");
+        assert_eq!(ps.decided(), Some(a > 0));
+    }
+}
+
+#[test]
+fn machine_is_verifiably_halting() {
+    let m = halting_by_label(2);
+    let g = generators::labelled_cycle(&LabelCount::from_vec(vec![2, 2]));
+    let sys = ExclusiveSystem::new(&m, &g);
+    let e = Exploration::explore(&sys, 100_000).unwrap();
+    assert!(halting_violations(&m, &g, &e).is_empty());
+}
+
+#[test]
+fn make_halting_wrapper_collapses_fairness_too() {
+    // Wrap the flooding machine: acceptance halts, rejection never does, so
+    // the wrapped machine decides presence but can no longer decide absence
+    // — verdicts still agree across fairness (both NoConsensus on absence).
+    let flood = Machine::new(
+        1,
+        |l: Label| l.0 == 1,
+        |&s: &bool, n| s || n.exists(|&t| t),
+        |&s| if s { Output::Accept } else { Output::Neutral },
+    );
+    let halted = make_halting(&flood);
+    for (a, b) in [(3u64, 1u64), (4, 0)] {
+        let g = generators::labelled_cycle(&LabelCount::from_vec(vec![a, b]));
+        let ps = decide_pseudo_stochastic(&halted, &g, 100_000).unwrap();
+        let rr = decide_adversarial_round_robin(&halted, &g, 100_000).unwrap();
+        assert_eq!(ps, rr, "({a},{b})");
+        if b > 0 {
+            assert!(ps.is_accepting());
+        } else {
+            assert_eq!(ps.decided(), None, "absence is undecidable by halting");
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! The §6.1 headline, end to end: the bounded-degree DAf majority stack
+//! decides `x₀ − x₁ ≥ 0` under adversarial schedulers, through every layer.
+
+use weak_async_models::core::{
+    decide_adversarial_round_robin, run_until_stable, Config, RandomScheduler, Selection,
+    StabilityOptions,
+};
+use weak_async_models::graph::{generators, LabelCount};
+use weak_async_models::protocols::homogeneous::{big_e, detect_of, DetectState};
+use weak_async_models::protocols::{cancel_machine, majority_stack, threshold_stack};
+use weak_async_models::sim::{StarvationScheduler, SweepScheduler};
+
+#[test]
+fn round_robin_decides_majority_exactly() {
+    for (a, b) in [(2u64, 1u64), (1, 2), (2, 2)] {
+        let stack = majority_stack(2);
+        let flat = stack.flat();
+        let g = generators::labelled_line(&LabelCount::from_vec(vec![a, b]));
+        let v = decide_adversarial_round_robin(&flat, &g, 5_000_000).unwrap();
+        assert_eq!(v.decided(), Some(a >= b), "({a},{b})");
+    }
+}
+
+#[test]
+fn stress_schedulers_still_decide() {
+    let c = LabelCount::from_vec(vec![3, 2]);
+    let g = generators::random_degree_bounded(&c, 3, 2, 5);
+    let opts = StabilityOptions::new(4_000_000, 5_000);
+    let stack = majority_stack(3);
+    let flat = stack.flat();
+
+    let mut sweep = SweepScheduler;
+    assert!(run_until_stable(&flat, &g, &mut sweep, opts).verdict.is_accepting());
+
+    let mut starve = StarvationScheduler::new(1, 25);
+    assert!(run_until_stable(&flat, &g, &mut starve, opts).verdict.is_accepting());
+}
+
+#[test]
+fn general_homogeneous_threshold() {
+    // 2·x₀ − 3·x₁ ≥ 0.
+    for (a, b) in [(3u64, 2u64), (2, 1), (2, 2)] {
+        let stack = threshold_stack(vec![2, -3], 2);
+        let flat = stack.flat();
+        let g = generators::labelled_line(&LabelCount::from_vec(vec![a, b]));
+        let mut sched = RandomScheduler::exclusive(9);
+        let r = run_until_stable(&flat, &g, &mut sched, StabilityOptions::new(4_000_000, 5_000));
+        let expect = 2 * a as i64 - 3 * b as i64 >= 0;
+        assert_eq!(r.verdict.decided(), Some(expect), "({a},{b})");
+    }
+}
+
+#[test]
+fn cancel_invariants_hold_on_random_graphs() {
+    for seed in 0..5 {
+        let k = 3;
+        let coeffs = vec![2, -3];
+        let m = cancel_machine(coeffs.clone(), k);
+        let c = LabelCount::from_vec(vec![4, 3]);
+        let g = generators::random_degree_bounded(&c, k, 4, seed);
+        let mut cfg = Config::initial(&m, &g);
+        let sum0: i32 = cfg.states().iter().sum();
+        let all = Selection::all(&g);
+        let e = big_e(&coeffs, k);
+        for _ in 0..100 {
+            cfg = cfg.successor(&m, &g, &all);
+            let sum: i32 = cfg.states().iter().sum();
+            assert_eq!(sum, sum0, "seed {seed}");
+            assert!(cfg.states().iter().all(|x| x.abs() <= e), "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn verdicts_are_invariant_under_scalar_multiplication() {
+    // Corollary 3.3 upper bound, witnessed from the inside: the §6.1 stack
+    // (a DAf automaton) gives the same verdict on λ-scaled inputs.
+    let base_counts = [(2u64, 1u64), (1, 2)];
+    for (a, b) in base_counts {
+        let mut verdicts = Vec::new();
+        for lambda in [1u64, 2, 3] {
+            let stack = majority_stack(3);
+            let flat = stack.flat();
+            let c = LabelCount::from_vec(vec![a * lambda, b * lambda]);
+            let g = generators::random_degree_bounded(&c, 3, 2, 31);
+            let mut sched = RandomScheduler::exclusive(13);
+            let r =
+                run_until_stable(&flat, &g, &mut sched, StabilityOptions::new(6_000_000, 5_000));
+            verdicts.push(r.verdict);
+        }
+        assert!(
+            verdicts.windows(2).all(|w| w[0] == w[1]),
+            "({a},{b}): {verdicts:?}"
+        );
+        assert_eq!(verdicts[0].decided(), Some(a >= b));
+    }
+}
+
+#[test]
+fn initial_configuration_is_all_leaders() {
+    let stack = majority_stack(2);
+    let flat = stack.flat();
+    let g = generators::labelled_line(&LabelCount::from_vec(vec![2, 1]));
+    let cfg = Config::initial(&flat, &g);
+    for s in cfg.states() {
+        // Flat state: Phased<HomState>; base() gives (inner, q0).
+        let hom = s.base();
+        match detect_of(hom) {
+            DetectState::Val(x, tag) => {
+                assert!(matches!(
+                    tag,
+                    weak_async_models::protocols::homogeneous::Tag::Leader
+                ));
+                assert!(x == 1 || x == -1);
+            }
+            other => panic!("unexpected initial state {other:?}"),
+        }
+    }
+}

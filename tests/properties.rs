@@ -1,0 +1,123 @@
+//! Property-based tests (proptest) over the workspace invariants.
+
+use proptest::prelude::*;
+use weak_async_models::analysis::Predicate;
+use weak_async_models::core::Neighbourhood;
+use weak_async_models::graph::{generators, is_covering, lambda_fold_cycle_cover, LabelCount};
+
+proptest! {
+    /// Cutoff is idempotent and monotone in K.
+    #[test]
+    fn cutoff_idempotent_and_monotone(
+        counts in prop::collection::vec(0u64..50, 1..5),
+        k1 in 1u64..10,
+        k2 in 1u64..10,
+    ) {
+        let l = LabelCount::from_vec(counts);
+        let (lo, hi) = (k1.min(k2), k1.max(k2));
+        prop_assert_eq!(l.cutoff(lo).cutoff(lo), l.cutoff(lo));
+        // Cutting at hi then lo equals cutting at lo.
+        prop_assert_eq!(l.cutoff(hi).cutoff(lo), l.cutoff(lo));
+        // Pointwise order.
+        prop_assert!(l.cutoff(lo).le_pointwise(&l.cutoff(hi)));
+        prop_assert!(l.cutoff(hi).le_pointwise(&l));
+    }
+
+    /// ⌈λ·L⌉_λ = λ·⌈L⌉₁ — the identity driving Proposition C.3.
+    #[test]
+    fn scalar_cutoff_identity(
+        counts in prop::collection::vec(0u64..20, 1..4),
+        lambda in 1u64..8,
+    ) {
+        let l = LabelCount::from_vec(counts);
+        prop_assert_eq!((l.clone() * lambda).cutoff(lambda), l.cutoff(1) * lambda);
+    }
+
+    /// Random degree-bounded graphs respect their bound, stay connected,
+    /// and preserve the label count.
+    #[test]
+    fn degree_bounded_generator_invariants(
+        a in 1u64..8,
+        b in 1u64..8,
+        k in 2usize..5,
+        extra in 0usize..6,
+        seed in 0u64..500,
+    ) {
+        prop_assume!(a + b >= 3);
+        let c = LabelCount::from_vec(vec![a, b]);
+        let g = generators::random_degree_bounded(&c, k, extra, seed);
+        prop_assert!(g.is_degree_bounded(k));
+        prop_assert_eq!(g.label_count(), c);
+        prop_assert!(g.bfs_distances(0).iter().all(|&d| d != usize::MAX));
+    }
+
+    /// λ-fold cycle covers verify as coverings and multiply label counts.
+    #[test]
+    fn cycle_covers_verify(
+        a in 1u64..5,
+        b in 1u64..5,
+        lambda in 1usize..5,
+    ) {
+        prop_assume!(a + b >= 3);
+        let base = generators::labelled_cycle(&LabelCount::from_vec(vec![a, b]));
+        let (cover, map) = lambda_fold_cycle_cover(&base, lambda);
+        prop_assert!(is_covering(&cover, &base, map.as_slice()));
+        prop_assert_eq!(cover.label_count(), base.label_count() * lambda as u64);
+    }
+
+    /// Neighbourhood projection is clip-exact: projecting a clipped view
+    /// equals clipping the projected multiset.
+    #[test]
+    fn projection_clip_exact(
+        pairs in prop::collection::vec((0u8..4, 0u8..3), 0..12),
+        beta in 1u32..5,
+    ) {
+        let n = Neighbourhood::from_states(pairs.iter().copied(), beta);
+        let projected = n.project(|&(x, _)| x);
+        let direct = Neighbourhood::from_states(pairs.iter().map(|&(x, _)| x), beta);
+        for x in 0u8..4 {
+            prop_assert_eq!(projected.count(&x), direct.count(&x));
+        }
+    }
+
+    /// Neighbourhood views are order-independent (functions of the multiset).
+    #[test]
+    fn neighbourhood_is_multiset_invariant(
+        mut states in prop::collection::vec(0u8..5, 0..10),
+        beta in 1u32..4,
+    ) {
+        let n1 = Neighbourhood::from_states(states.iter().copied(), beta);
+        states.reverse();
+        let n2 = Neighbourhood::from_states(states.iter().copied(), beta);
+        prop_assert_eq!(n1, n2);
+    }
+
+    /// Linear predicates are monotone in labels with positive coefficients.
+    #[test]
+    fn linear_predicate_monotonicity(
+        a in 0u64..20,
+        b in 0u64..20,
+        c in 0i64..10,
+    ) {
+        let p = Predicate::linear(vec![1, 0], c);
+        let low = LabelCount::from_vec(vec![a, b]);
+        let high = LabelCount::from_vec(vec![a + 1, b]);
+        if p.eval(&low) {
+            prop_assert!(p.eval(&high));
+        }
+    }
+
+    /// Modular predicates are invariant under adding the modulus.
+    #[test]
+    fn modulo_predicate_periodicity(
+        a in 0u64..30,
+        m in 1u64..7,
+        r in 0u64..7,
+    ) {
+        prop_assume!(r < m);
+        let p = Predicate::modulo(vec![1], m, r);
+        let x = LabelCount::from_vec(vec![a]);
+        let y = LabelCount::from_vec(vec![a + m]);
+        prop_assert_eq!(p.eval(&x), p.eval(&y));
+    }
+}

@@ -1,0 +1,58 @@
+//! Selection-regime spot checks: [16] proves the selection criterion does
+//! not affect decision power; here we confirm our runners agree across
+//! regimes on consistent machines, and that liberal selections are honest
+//! (nonempty, simultaneous evaluation).
+
+use weak_async_models::core::{
+    run_until_stable, Config, RandomScheduler, Selection, SelectionRegime, StabilityOptions,
+    Verdict,
+};
+use weak_async_models::graph::{generators, LabelCount};
+use weak_async_models::protocols::exists_label;
+
+#[test]
+fn verdicts_agree_across_selection_regimes() {
+    for (a, b, expect) in [(3u64, 1u64, true), (4, 0, false)] {
+        let m = exists_label(2, 1);
+        let c = LabelCount::from_vec(vec![a, b]);
+        let g = generators::labelled_cycle(&c);
+        for regime in [
+            SelectionRegime::Exclusive,
+            SelectionRegime::Liberal,
+            SelectionRegime::Synchronous,
+        ] {
+            let mut sched = RandomScheduler::new(regime, 77);
+            let r = run_until_stable(&m, &g, &mut sched, StabilityOptions::new(200_000, 1_000));
+            assert_eq!(
+                r.verdict.decided(),
+                Some(expect),
+                "({a},{b}) under {regime:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn liberal_steps_evaluate_simultaneously() {
+    // Two flagged ends flooding inward: selecting {1, 2} in one liberal step
+    // uses the *pre-step* configuration for both nodes.
+    let m = exists_label(2, 1);
+    let g = generators::labelled_line(&LabelCount::from_vec(vec![2, 2]));
+    // labels: x1 x1 x0 x0 → wait, labelled_line expands label 0 first:
+    // nodes 0,1 carry x0 and nodes 2,3 carry x1.
+    let c0 = Config::initial(&m, &g);
+    assert_eq!(c0.states(), &[1, 1, 2, 2]);
+    let c1 = c0.successor(&m, &g, &Selection::from_nodes(vec![1, 2]));
+    // Node 1 sees nodes 0 (1) and 2 (2): becomes 3. Node 2 sees 1 (1) and
+    // 3 (2): becomes 3. Both used the old configuration.
+    assert_eq!(c1.states(), &[1, 3, 3, 2]);
+}
+
+#[test]
+fn synchronous_regime_and_explicit_all_agree() {
+    let m = exists_label(2, 0);
+    let g = generators::labelled_cycle(&LabelCount::from_vec(vec![2, 2]));
+    let mut sched = RandomScheduler::new(SelectionRegime::Synchronous, 0);
+    let r = run_until_stable(&m, &g, &mut sched, StabilityOptions::new(10_000, 100));
+    assert_eq!(r.verdict, Verdict::Accepts);
+}

@@ -1,0 +1,168 @@
+//! Cross-crate simulation-fidelity tests: every compiler of Section 4
+//! (weak broadcasts, weak absence detection, rendez-vous, strong
+//! broadcasts) produces a machine whose exact verdict matches the semantic
+//! model on a shared input suite.
+
+use std::collections::BTreeSet;
+use weak_async_models::core::{decide_pseudo_stochastic, decide_system, Machine, Output};
+use weak_async_models::extensions::{
+    compile_absence, compile_broadcasts, compile_rendezvous, compile_strong_broadcast,
+    threshold_protocol, AbsenceMachine, AbsenceSystem, BroadcastSystem, PopulationSystem,
+    StrongBroadcastSystem,
+};
+use weak_async_models::graph::{generators, Graph, Label, LabelCount};
+use weak_async_models::protocols::{modulo_protocol, threshold_machine};
+
+fn small_inputs() -> Vec<(LabelCount, Vec<Graph>)> {
+    [(2u64, 1u64), (1, 2), (3, 1), (2, 2)]
+        .into_iter()
+        .map(|(a, b)| {
+            let c = LabelCount::from_vec(vec![a, b]);
+            let graphs = vec![
+                generators::labelled_cycle(&c),
+                generators::labelled_line(&c),
+                generators::labelled_star(&c),
+            ];
+            (c, graphs)
+        })
+        .collect()
+}
+
+#[test]
+fn lemma_4_7_broadcast_compilation_fidelity() {
+    for (c, graphs) in small_inputs() {
+        let bm = threshold_machine(2, 0, 2);
+        let flat = compile_broadcasts(&bm);
+        for g in graphs {
+            let semantic = decide_system(&BroadcastSystem::new(&bm, &g), 1_000_000).unwrap();
+            let compiled = decide_pseudo_stochastic(&flat, &g, 3_000_000).unwrap();
+            assert_eq!(semantic, compiled, "{c} on {g:?}");
+        }
+    }
+}
+
+#[test]
+fn lemma_4_9_absence_compilation_fidelity() {
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+    enum D {
+        A,
+        B,
+        Acc,
+        Rej,
+    }
+    let base = Machine::new(
+        1,
+        |l: Label| if l.0 == 0 { D::A } else { D::B },
+        |&s, _| s,
+        |&s| match s {
+            D::A | D::Acc => Output::Accept,
+            D::B | D::Rej => Output::Reject,
+        },
+    );
+    let am = AbsenceMachine::new(
+        base,
+        |&s| s == D::A,
+        |_, supp: &BTreeSet<D>| if supp.contains(&D::B) { D::Rej } else { D::Acc },
+    );
+    for (c, graphs) in small_inputs() {
+        for g in graphs {
+            let compiled = compile_absence(&am, g.max_degree());
+            let semantic = decide_system(&AbsenceSystem::new(&am, &g), 500_000).unwrap();
+            let flat = decide_pseudo_stochastic(&compiled, &g, 1_000_000).unwrap();
+            assert_eq!(semantic, flat, "{c} on {g:?}");
+        }
+    }
+}
+
+#[test]
+fn lemma_4_10_rendezvous_compilation_fidelity() {
+    let pp = modulo_protocol(vec![1, 0], 2, 1);
+    let flat = compile_rendezvous(&pp);
+    for (c, graphs) in small_inputs() {
+        for g in graphs {
+            let semantic = decide_system(&PopulationSystem::new(&pp, &g), 1_000_000).unwrap();
+            let compiled = decide_pseudo_stochastic(&flat, &g, 5_000_000).unwrap();
+            assert_eq!(semantic, compiled, "{c} on {g:?}");
+        }
+    }
+}
+
+#[test]
+fn lemma_5_1_strong_broadcast_compilation_fidelity() {
+    // Exact equivalence on the smallest inputs (the stacked state space is
+    // deep); larger inputs are covered statistically in the bench suite.
+    for (a, b) in [(1u64, 2u64), (0, 3)] {
+        let sb = threshold_protocol(1);
+        let c = LabelCount::from_vec(vec![a, b]);
+        let g = generators::labelled_clique(&c);
+        let semantic = decide_system(&StrongBroadcastSystem::new(&sb, &g), 500_000).unwrap();
+        let compiled = compile_strong_broadcast(&sb);
+        let sys = BroadcastSystem::new(&compiled, &g).with_choice_cap(1 << 18);
+        let v = decide_system(&sys, 3_000_000).unwrap();
+        assert_eq!(semantic, v, "({a},{b})");
+    }
+}
+
+#[test]
+fn lemma_4_9_on_tree_families() {
+    // The distance labelling must embed a forest correctly on graphs with
+    // branching (trees stress the child-label choice more than cycles).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+    enum D {
+        A,
+        B,
+        Acc,
+        Rej,
+    }
+    let base = Machine::new(
+        1,
+        |l: Label| if l.0 == 0 { D::A } else { D::B },
+        |&s, _| s,
+        |&s| match s {
+            D::A | D::Acc => Output::Accept,
+            D::B | D::Rej => Output::Reject,
+        },
+    );
+    let am = AbsenceMachine::new(
+        base,
+        |&s| s == D::A,
+        |_, supp: &BTreeSet<D>| if supp.contains(&D::B) { D::Rej } else { D::Acc },
+    );
+    for c in [
+        LabelCount::from_vec(vec![4, 0]),
+        LabelCount::from_vec(vec![3, 1]),
+    ] {
+        for g in [
+            weak_async_models::graph::trees::labelled_binary_tree(&c),
+            weak_async_models::graph::trees::labelled_caterpillar(&c),
+        ] {
+            let compiled = compile_absence(&am, g.max_degree());
+            let semantic = decide_system(&AbsenceSystem::new(&am, &g), 500_000).unwrap();
+            let flat = decide_pseudo_stochastic(&compiled, &g, 1_000_000).unwrap();
+            assert_eq!(semantic, flat, "{c} on {g:?}");
+        }
+    }
+}
+
+#[test]
+fn compilers_preserve_detection_class() {
+    // Lemma 4.7 preserves β (a dAF machine stays non-counting).
+    let bm = threshold_machine(2, 0, 3);
+    assert!(compile_broadcasts(&bm).is_non_counting());
+    // Lemma 4.10 produces a counting machine with β = 2 as in the paper.
+    let pp = modulo_protocol(vec![1], 3, 0);
+    assert_eq!(compile_rendezvous(&pp).beta(), 2);
+}
+
+#[test]
+fn response_functions_are_shareable() {
+    // BroadcastMachine responses are Arc-shared; cloning machines must not
+    // change behaviour.
+    let bm = threshold_machine(2, 0, 2);
+    let bm2 = bm.clone();
+    let s = bm.initial(Label(0));
+    let (q, f) = bm.broadcast(&s);
+    let (q2, f2) = bm2.broadcast(&s);
+    assert_eq!(q, q2);
+    assert_eq!(f(&s), f2(&s));
+}

@@ -1,0 +1,53 @@
+//! Symmetry-reduced star deciders vs node-explicit deciders on a heavier
+//! machine: the compiled rendez-vous majority automaton. The reduction must
+//! be verdict-preserving (leaves are interchangeable), and it must shrink
+//! the explored space.
+
+use weak_async_models::analysis::StarSystem;
+use weak_async_models::core::{
+    decide_pseudo_stochastic, decide_system, ExclusiveSystem, Exploration,
+};
+use weak_async_models::extensions::{compile_rendezvous, GraphPopulationProtocol, MajorityState};
+use weak_async_models::graph::{generators, Label, LabelCount};
+
+#[test]
+fn reduced_and_explicit_verdicts_agree_on_majority_machine() {
+    let machine = compile_rendezvous(&GraphPopulationProtocol::<MajorityState>::majority());
+    for (a_leaves, b_leaves) in [(2u64, 1u64), (1, 2)] {
+        // Reduced: centre carries label 0, leaves split a/b.
+        let sys = StarSystem::new(
+            &machine,
+            Label(0),
+            vec![(Label(0), a_leaves), (Label(1), b_leaves)],
+        );
+        let reduced = decide_system(&sys, 3_000_000).unwrap();
+
+        // Explicit star with the same label count (centre gets label 0,
+        // which labelled_star assigns to the first expanded label).
+        let c = LabelCount::from_vec(vec![a_leaves + 1, b_leaves]);
+        let g = generators::labelled_star(&c);
+        let explicit = decide_pseudo_stochastic(&machine, &g, 5_000_000).unwrap();
+        assert_eq!(reduced, explicit, "({a_leaves},{b_leaves})");
+        // Majority of label 0: (a_leaves + 1) vs b_leaves.
+        assert_eq!(reduced.decided(), Some(a_leaves + 1 > b_leaves));
+    }
+}
+
+#[test]
+fn reduction_shrinks_the_space() {
+    let machine = compile_rendezvous(&GraphPopulationProtocol::<MajorityState>::majority());
+    let sys = StarSystem::new(&machine, Label(0), vec![(Label(0), 2), (Label(1), 1)]);
+    let reduced = Exploration::explore(&sys, 3_000_000).unwrap();
+
+    let c = LabelCount::from_vec(vec![3, 1]);
+    let g = generators::labelled_star(&c);
+    let explicit_sys = ExclusiveSystem::new(&machine, &g);
+    let explicit = Exploration::explore(&explicit_sys, 5_000_000).unwrap();
+
+    assert!(
+        reduced.len() < explicit.len(),
+        "reduced {} vs explicit {}",
+        reduced.len(),
+        explicit.len()
+    );
+}

@@ -1,0 +1,25 @@
+//! Strict majority `x₀ > x₁` from the §6.1 machinery: the complement of the
+//! homogeneous threshold `x₁ − x₀ ≥ 0`, via output negation — matching the
+//! reference predicate exactly on bounded-degree inputs.
+
+use weak_async_models::analysis::Predicate;
+use weak_async_models::core::{negate, run_until_stable, RandomScheduler, StabilityOptions};
+use weak_async_models::graph::{generators, LabelCount};
+use weak_async_models::protocols::threshold_stack;
+
+#[test]
+fn strict_majority_via_negation() {
+    let pred = Predicate::majority(); // x₀ > x₁
+    for (a, b) in [(2u64, 1u64), (1, 2), (2, 2), (3, 2)] {
+        let machine = negate(&threshold_stack(vec![-1, 1], 3).flat());
+        let c = LabelCount::from_vec(vec![a, b]);
+        let g = generators::random_degree_bounded(&c, 3, 1, 23);
+        let mut sched = RandomScheduler::exclusive(41);
+        let r = run_until_stable(&machine, &g, &mut sched, StabilityOptions::new(6_000_000, 5_000));
+        assert_eq!(
+            r.verdict.decided(),
+            Some(pred.eval(&c)),
+            "strict majority ({a},{b})"
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Appendix B.1 discipline on the compiled machines: both the broadcast
+//! compiler (Lemma 4.7) and the absence compiler (Lemma 4.9) must produce
+//! three-phase automata in the sense of Definition B.2, with Lemma B.5's
+//! adjacent phase-count bound holding along concrete fair runs.
+
+use std::collections::BTreeSet;
+use weak_async_models::core::{Machine, Output, RandomScheduler, RoundRobinScheduler};
+use weak_async_models::extensions::{
+    check_phase_discipline, compile_absence, compile_broadcasts, AbsenceMachine, AbsencePhased,
+    Phased,
+};
+use weak_async_models::graph::{generators, Label, LabelCount};
+use weak_async_models::protocols::threshold_machine;
+
+#[test]
+fn broadcast_compiler_discipline_on_many_graphs() {
+    let flat = compile_broadcasts(&threshold_machine(2, 0, 2));
+    let phase = |p: &Phased<weak_async_models::protocols::CutoffState>| p.phase();
+    for c in [
+        LabelCount::from_vec(vec![3, 1]),
+        LabelCount::from_vec(vec![2, 2]),
+    ] {
+        for g in [
+            generators::labelled_cycle(&c),
+            generators::labelled_star(&c),
+            weak_async_models::graph::trees::labelled_binary_tree(&c),
+        ] {
+            let mut sched = RoundRobinScheduler;
+            let report = check_phase_discipline(&flat, &g, &mut sched, &phase, 3_000);
+            assert!(report.phase_changes > 0, "{g:?}");
+        }
+    }
+}
+
+#[test]
+fn absence_compiler_discipline() {
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+    enum D {
+        A,
+        B,
+        Acc,
+        Rej,
+    }
+    let base = Machine::new(
+        1,
+        |l: Label| if l.0 == 0 { D::A } else { D::B },
+        |&s, _| s,
+        |&s| match s {
+            D::A | D::Acc => Output::Accept,
+            D::B | D::Rej => Output::Reject,
+        },
+    );
+    let am = AbsenceMachine::new(
+        base,
+        |&s| s == D::A,
+        |_, supp: &BTreeSet<D>| if supp.contains(&D::B) { D::Rej } else { D::Acc },
+    );
+    let phase = |p: &AbsencePhased<D>| p.phase();
+    for c in [
+        LabelCount::from_vec(vec![4, 0]),
+        LabelCount::from_vec(vec![3, 1]),
+    ] {
+        for g in [
+            generators::labelled_cycle(&c),
+            generators::labelled_line(&c),
+        ] {
+            let compiled = compile_absence(&am, g.max_degree());
+            let mut sched = RandomScheduler::exclusive(7);
+            let report = check_phase_discipline(&compiled, &g, &mut sched, &phase, 5_000);
+            // On all-A inputs the detection wave must run at least one full
+            // round; with a B present the first wave still starts.
+            assert!(report.phase_changes > 0, "{c} on {g:?}");
+            assert!(report.all_phase0_configs >= 1);
+        }
+    }
+}
