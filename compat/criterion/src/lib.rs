@@ -1,0 +1,219 @@
+//! Offline drop-in subset of the `criterion` benchmarking API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of `criterion` its benches use: `criterion_group!` /
+//! `criterion_main!` (including the `name = ..; config = ..; targets = ..`
+//! form), [`Criterion::benchmark_group`], `bench_function` /
+//! `bench_with_input`, and [`Bencher::iter`].
+//!
+//! Measurement model: each benchmark warms up briefly, then runs
+//! `sample_size` timed samples and reports min / median / mean wall-clock
+//! time per iteration to stdout. No plots, no statistics beyond that —
+//! enough to compare implementations and feed the repo's perf records.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group: {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function(&mut self, id: impl fmt::Display, f: impl FnMut(&mut Bencher)) {
+        run_bench(&id.to_string(), self.sample_size, f);
+    }
+}
+
+/// A named collection of benchmarks sharing a group prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_bench(&label, self.criterion.sample_size, f);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_bench(&label, self.criterion.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; this shim prints
+    /// eagerly, so it is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Identifier for a parameterised benchmark.
+#[derive(Debug)]
+pub struct BenchmarkId {
+    repr: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            repr: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id made of a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            repr: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.repr)
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Measures `f`, running it enough times per sample to be readable on
+    /// a monotonic clock.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm-up and calibration: aim for samples of >= ~1 ms.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(50));
+        let iters = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        self.iters_per_sample = iters;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.samples.push(start.elapsed());
+    }
+}
+
+fn run_bench(label: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut per_iter: Vec<Duration> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher::default();
+        f(&mut b);
+        for s in &b.samples {
+            per_iter.push(*s / b.iters_per_sample.max(1) as u32);
+        }
+    }
+    if per_iter.is_empty() {
+        println!("{label}: no samples (bencher.iter never called)");
+        return;
+    }
+    per_iter.sort_unstable();
+    let min = per_iter[0];
+    let median = per_iter[per_iter.len() / 2];
+    let mean = per_iter.iter().sum::<Duration>() / per_iter.len() as u32;
+    println!(
+        "{label}: min {min:?}  median {median:?}  mean {mean:?}  ({} samples)",
+        per_iter.len()
+    );
+}
+
+/// Declares a group of benchmark functions, mirroring upstream's two
+/// accepted forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(criterion: &mut Criterion) {
+        let mut group = criterion.benchmark_group("shim");
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u32, |b, &n| {
+            b.iter(|| black_box(n * n))
+        });
+        group.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = tiny
+    }
+
+    #[test]
+    fn group_runs() {
+        benches();
+    }
+}

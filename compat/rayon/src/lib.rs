@@ -1,0 +1,404 @@
+//! Offline drop-in subset of the `rayon` data-parallelism API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of `rayon` it uses: `par_iter()` / `into_par_iter()`
+//! with `map` / `for_each` / `collect`, [`current_num_threads`], and
+//! [`ThreadPoolBuilder`] + [`ThreadPool::install`] for bounding
+//! parallelism per call site.
+//!
+//! Execution model: each parallel call splits its input into at most
+//! `current_num_threads()` contiguous chunks and runs them on scoped OS
+//! threads (`std::thread::scope`), with the first chunk executed inline on
+//! the caller. There is no persistent work-stealing pool; callers are
+//! expected to gate tiny inputs (the exploration engine's
+//! `frontier_threshold` does exactly that). Results are always assembled
+//! in input order, so output is deterministic and independent of the
+//! thread count.
+
+use std::cell::Cell;
+use std::fmt;
+use std::ops::Range;
+
+thread_local! {
+    /// Per-thread override installed by [`ThreadPool::install`].
+    static NUM_THREADS_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The number of threads parallel calls on this thread may use.
+///
+/// Resolution order: innermost [`ThreadPool::install`] override, then the
+/// `RAYON_NUM_THREADS` environment variable, then the machine's available
+/// parallelism.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = NUM_THREADS_OVERRIDE.with(Cell::get) {
+        return n.max(1);
+    }
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `chunks` tasks, task `i` computing `f(i)`, on up to
+/// `current_num_threads()` OS threads; results in index order.
+fn run_tasks<R: Send>(chunks: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    match chunks {
+        0 => return Vec::new(),
+        1 => return vec![f(0)],
+        _ => {}
+    }
+    let mut out: Vec<Option<R>> = (0..chunks).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let (first, rest) = out.split_first_mut().expect("chunks >= 2");
+        for (off, slot) in rest.iter_mut().enumerate() {
+            let f = &f;
+            scope.spawn(move || *slot = Some(f(off + 1)));
+        }
+        *first = Some(f(0));
+    });
+    out.into_iter()
+        .map(|r| r.expect("task completed"))
+        .collect()
+}
+
+/// Splits `len` items into at most `current_num_threads()` contiguous
+/// chunks and returns the chunk boundaries.
+fn chunk_bounds(len: usize) -> Vec<Range<usize>> {
+    let threads = current_num_threads().min(len).max(1);
+    let base = len / threads;
+    let extra = len % threads;
+    let mut bounds = Vec::with_capacity(threads);
+    let mut start = 0;
+    for i in 0..threads {
+        let size = base + usize::from(i < extra);
+        bounds.push(start..start + size);
+        start += size;
+    }
+    bounds
+}
+
+/// A parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps each element through `f` (evaluated on `collect`/`for_each`).
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            slice: self.slice,
+            f,
+        }
+    }
+
+    /// Applies `f` to every element in parallel.
+    pub fn for_each<F: Fn(&'a T) + Sync>(self, f: F) {
+        let bounds = chunk_bounds(self.slice.len());
+        run_tasks(bounds.len(), |i| {
+            for item in &self.slice[bounds[i].clone()] {
+                f(item);
+            }
+        });
+    }
+}
+
+/// A mapped parallel slice iterator.
+pub struct ParMap<'a, T, F> {
+    slice: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Runs the map in parallel and collects results in input order.
+    pub fn collect<R, B>(self) -> B
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+        B: FromIterator<R>,
+    {
+        let bounds = chunk_bounds(self.slice.len());
+        let f = &self.f;
+        run_tasks(bounds.len(), |i| {
+            self.slice[bounds[i].clone()]
+                .iter()
+                .map(f)
+                .collect::<Vec<R>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+}
+
+/// A parallel iterator over an index range.
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParRange {
+    /// Maps each index through `f` (evaluated on `collect`/`for_each`).
+    pub fn map<R, F>(self, f: F) -> ParRangeMap<F>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        ParRangeMap {
+            range: self.range,
+            f,
+        }
+    }
+
+    /// Applies `f` to every index in parallel.
+    pub fn for_each<F: Fn(usize) + Sync>(self, f: F) {
+        let start = self.range.start;
+        let bounds = chunk_bounds(self.range.len());
+        run_tasks(bounds.len(), |i| {
+            for idx in bounds[i].clone() {
+                f(start + idx);
+            }
+        });
+    }
+}
+
+/// A mapped parallel range iterator.
+pub struct ParRangeMap<F> {
+    range: Range<usize>,
+    f: F,
+}
+
+impl<F> ParRangeMap<F> {
+    /// Runs the map in parallel and collects results in input order.
+    pub fn collect<R, B>(self) -> B
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+        B: FromIterator<R>,
+    {
+        let start = self.range.start;
+        let bounds = chunk_bounds(self.range.len());
+        let f = &self.f;
+        run_tasks(bounds.len(), |i| {
+            bounds[i]
+                .clone()
+                .map(|idx| f(start + idx))
+                .collect::<Vec<R>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+}
+
+/// A parallel iterator over mutable slice elements.
+pub struct ParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Applies `f` to every element in parallel (disjoint `&mut` access).
+    pub fn for_each<F: Fn(&mut T) + Sync>(self, f: F) {
+        let len = self.slice.len();
+        let bounds = chunk_bounds(len);
+        if bounds.len() <= 1 {
+            for item in self.slice {
+                f(item);
+            }
+            return;
+        }
+        let mut rest = self.slice;
+        std::thread::scope(|scope| {
+            let f = &f;
+            let mut prev_end = 0;
+            for b in bounds {
+                let (chunk, tail) = rest.split_at_mut(b.end - prev_end);
+                prev_end = b.end;
+                rest = tail;
+                scope.spawn(move || {
+                    for item in chunk {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// `par_iter_mut()` on slices (and anything that derefs to one).
+pub trait ParallelSliceMut<T: Send> {
+    /// A parallel iterator over mutable references to the elements.
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// `par_iter()` on slices (and anything that derefs to one).
+pub trait ParallelSlice<T: Sync> {
+    /// A parallel iterator over the elements.
+    fn par_iter(&self) -> ParIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { slice: self }
+    }
+}
+
+/// The common imports, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+/// Error building a [`ThreadPool`] (never produced by this shim).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a bounded [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bounds the pool at `n` threads (0 = the environment default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in this shim; the `Result` mirrors the upstream API.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            NUM_THREADS_OVERRIDE.with(Cell::get).unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A virtual pool: a bound on the parallelism of calls run under
+/// [`install`](ThreadPool::install). (This shim spawns scoped threads per
+/// call rather than keeping persistent workers.)
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's thread bound.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Runs `f` with parallel calls bounded to this pool's thread count.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = NUM_THREADS_OVERRIDE.with(|c| c.replace(Some(self.num_threads)));
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                NUM_THREADS_OVERRIDE.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        f()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_map_collect() {
+        let squares: Vec<usize> = (10..20).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, (10..20).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        let count = AtomicUsize::new(0);
+        let v: Vec<u32> = (0..137).collect();
+        v.par_iter().for_each(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 137);
+    }
+
+    #[test]
+    fn install_bounds_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.install(|| assert_eq!(current_num_threads(), 2));
+        let pool1 = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let out: Vec<usize> = pool1.install(|| (0..10).into_par_iter().map(|i| i).collect());
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let v: Vec<u32> = Vec::new();
+        let out: Vec<u32> = v.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+        #[allow(clippy::reversed_empty_ranges)]
+        let out2: Vec<usize> = (5..5).into_par_iter().map(|i| i).collect();
+        assert!(out2.is_empty());
+    }
+}

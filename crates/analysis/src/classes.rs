@@ -115,7 +115,10 @@ mod tests {
 
     #[test]
     fn majority_has_no_cutoff() {
-        assert_eq!(classify(&Predicate::majority(), 10), PropertyClass::NoCutoff);
+        assert_eq!(
+            classify(&Predicate::majority(), 10),
+            PropertyClass::NoCutoff
+        );
     }
 
     #[test]

@@ -111,7 +111,7 @@ impl CounterProgram {
         b.dec(0);
         b.jmp_if_zero(0, "reject_restore1");
         b.inc(0); // restore
-        // d = 1.
+                  // d = 1.
         b.inc(1);
         b.label("outer");
         // d += 1.
@@ -199,7 +199,8 @@ impl ProgramBuilder {
         self.instrs.push(BuilderInstr::JmpLabel(l.to_string()));
     }
     fn jmp_if_zero(&mut self, c: usize, l: &str) {
-        self.instrs.push(BuilderInstr::JmpIfZeroLabel(c, l.to_string()));
+        self.instrs
+            .push(BuilderInstr::JmpIfZeroLabel(c, l.to_string()));
     }
     /// `dst += src; src = 0` then restore `src` from `dst` is wrong; this
     /// macro performs `dst = src` preserving `src`, using `scratch` (must be
@@ -287,7 +288,7 @@ fn is_prime_direct(n: u64) -> bool {
     }
     let mut d = 2;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             return false;
         }
         d += 1;
@@ -319,10 +320,7 @@ mod tests {
     fn interpreter_basics() {
         use Instr::*;
         // c0 + c1 into c0.
-        let p = CounterProgram::new(
-            2,
-            vec![JmpIfZero(1, 4), Dec(1), Inc(0), Jmp(0), Halt(true)],
-        );
+        let p = CounterProgram::new(2, vec![JmpIfZero(1, 4), Dec(1), Inc(0), Jmp(0), Halt(true)]);
         assert_eq!(p.run(&[2, 3], 10, 1000), Some(true));
         // Non-halting program times out.
         let loopy = CounterProgram::new(1, vec![Jmp(0), Halt(true)]);

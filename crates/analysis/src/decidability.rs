@@ -37,9 +37,10 @@ pub fn decidable_by(
     let pc = classify(pred, max);
     match power {
         PropertyClassBound::Trivial => bool_to_dec(pc == PropertyClass::Trivial),
-        PropertyClassBound::CutoffOne => {
-            bool_to_dec(matches!(pc, PropertyClass::Trivial | PropertyClass::CutoffOne))
-        }
+        PropertyClassBound::CutoffOne => bool_to_dec(matches!(
+            pc,
+            PropertyClass::Trivial | PropertyClass::CutoffOne
+        )),
         PropertyClassBound::Cutoff => bool_to_dec(pc != PropertyClass::NoCutoff),
         PropertyClassBound::InvariantScalarMult => {
             if !is_ism(pred, max / 2, max / 2) {

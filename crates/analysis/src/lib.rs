@@ -16,14 +16,14 @@
 
 pub mod classes;
 pub mod counter;
-pub mod decidability;
 pub mod crossval;
+pub mod decidability;
 pub mod predicate;
 pub mod stars;
 
 pub use classes::{classify, find_cutoff, is_cutoff, is_ism, is_trivial, PropertyClass};
 pub use counter::{node_count_is_prime, CounterProgram, Instr};
-pub use decidability::{decidable_by, is_homogeneous_threshold, Decidability};
 pub use crossval::{cross_validate, Mismatch};
+pub use decidability::{decidable_by, is_homogeneous_threshold, Decidability};
 pub use predicate::Predicate;
 pub use stars::{minimal_elements, StarConfig, StarSystem};

@@ -95,9 +95,7 @@ impl Predicate {
         match self {
             Predicate::True => true,
             Predicate::False => false,
-            Predicate::Linear { coeffs, constant } => {
-                dot(coeffs, count) >= *constant
-            }
+            Predicate::Linear { coeffs, constant } => dot(coeffs, count) >= *constant,
             Predicate::Modulo {
                 coeffs,
                 modulus,

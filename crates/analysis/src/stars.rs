@@ -124,7 +124,11 @@ impl<'a, S: State> StarSystem<'a, S> {
     /// # Panics
     ///
     /// Panics if fewer than two leaves are given.
-    pub fn new(machine: &'a Machine<S>, centre_label: Label, leaf_labels: Vec<(Label, u64)>) -> Self {
+    pub fn new(
+        machine: &'a Machine<S>,
+        centre_label: Label,
+        leaf_labels: Vec<(Label, u64)>,
+    ) -> Self {
         let total: u64 = leaf_labels.iter().map(|(_, c)| c).sum();
         assert!(total >= 2, "stars need at least two leaves");
         StarSystem {
@@ -251,7 +255,11 @@ mod tests {
         // reduced space is tiny.
         let sys = StarSystem::new(&m, Label(0), vec![(Label(0), 9), (Label(1), 1)]);
         let e = Exploration::explore(&sys, 10_000).unwrap();
-        assert!(e.len() <= 50, "expected a tiny reduced space, got {}", e.len());
+        assert!(
+            e.len() <= 50,
+            "expected a tiny reduced space, got {}",
+            e.len()
+        );
         assert_eq!(e.verdict(), Verdict::Accepts);
     }
 
@@ -259,7 +267,10 @@ mod tests {
     fn remove_and_add_leaf_roundtrip() {
         let mut leaves = BTreeMap::new();
         leaves.insert(1u8, 2u64);
-        let c = StarConfig { centre: 0u8, leaves };
+        let c = StarConfig {
+            centre: 0u8,
+            leaves,
+        };
         let smaller = c.remove_leaf(&1).unwrap();
         assert_eq!(smaller.leaf_count(), 1);
         assert_eq!(smaller.add_leaf(1), c);
@@ -271,7 +282,10 @@ mod tests {
         let mut leaves = BTreeMap::new();
         leaves.insert(1u8, 7u64);
         leaves.insert(2u8, 1u64);
-        let c = StarConfig { centre: 0u8, leaves };
+        let c = StarConfig {
+            centre: 0u8,
+            leaves,
+        };
         let cut = c.cutoff(3);
         assert_eq!(cut.leaves[&1], 3);
         assert_eq!(cut.leaves[&2], 1);
@@ -325,12 +339,6 @@ mod tests {
         let sys = StarSystem::new(&m, Label(0), vec![(Label(0), 4)]);
         let e = Exploration::explore(&sys, 100_000).unwrap();
         let stably = e.stably_rejecting();
-        let index: std::collections::HashMap<_, _> = e
-            .configs()
-            .iter()
-            .enumerate()
-            .map(|(i, c)| (c.clone(), i))
-            .collect();
         for (i, c) in e.configs().iter().enumerate() {
             if !stably[i] {
                 continue;
@@ -338,7 +346,7 @@ mod tests {
             for (q, &n) in &c.leaves {
                 if n >= 2 {
                     let smaller = c.remove_leaf(q).unwrap();
-                    if let Some(&j) = index.get(&smaller) {
+                    if let Some(j) = e.index_of(&smaller) {
                         assert!(stably[j], "downward closure violated at {c:?}");
                     }
                 }

@@ -18,7 +18,13 @@ fn plain_ladder(k: u32) -> BroadcastMachine<u32> {
         1,
         move |l: Label| if l.0 == 0 { 1 } else { 0 },
         |&s: &u32, _| s,
-        move |&s| if s == k { Output::Accept } else { Output::Reject },
+        move |&s| {
+            if s == k {
+                Output::Accept
+            } else {
+                Output::Reject
+            }
+        },
     );
     BroadcastMachine::new(
         machine,
@@ -49,7 +55,12 @@ fn main() {
     let vb = decide_synchronous(&flat, &base, 1_000_000).unwrap();
     let vc = decide_synchronous(&flat, &cover, 1_000_000).unwrap();
 
-    let mut t = Table::new(["graph", "label count", "x₀ ≥ 2 truth", "synchronous verdict"]);
+    let mut t = Table::new([
+        "graph",
+        "label count",
+        "x₀ ≥ 2 truth",
+        "synchronous verdict",
+    ]);
     t.row([
         "base cycle".into(),
         base.label_count().to_string(),
@@ -72,9 +83,7 @@ fn main() {
     let all_c = Selection::all(&cover);
     let mut lockstep_steps = 0usize;
     for _ in 0..200 {
-        let aligned = cover
-            .nodes()
-            .all(|v| cc.state(v) == cb.state(map.image(v)));
+        let aligned = cover.nodes().all(|v| cc.state(v) == cb.state(map.image(v)));
         if !aligned {
             break;
         }
@@ -92,12 +101,16 @@ fn main() {
     // the 9-node cover stays tractable; Lemma 4.7 fidelity of the compiled
     // machine is asserted separately in the test suite.)
     let ladder = plain_ladder(2);
-    let vb_f =
-        wam_core::decide_system(&wam_extensions::BroadcastSystem::new(&ladder, &base), 2_000_000)
-            .unwrap();
-    let vc_f =
-        wam_core::decide_system(&wam_extensions::BroadcastSystem::new(&ladder, &cover), 2_000_000)
-            .unwrap();
+    let vb_f = wam_core::decide_system(
+        &wam_extensions::BroadcastSystem::new(&ladder, &base),
+        2_000_000,
+    )
+    .unwrap();
+    let vc_f = wam_core::decide_system(
+        &wam_extensions::BroadcastSystem::new(&ladder, &cover),
+        2_000_000,
+    )
+    .unwrap();
     let mut t2 = Table::new(["fairness", "base verdict", "cover verdict", "separated?"]);
     t2.row([
         "adversarial (synchronous run)".into(),
@@ -109,7 +122,11 @@ fn main() {
         "pseudo-stochastic (exact)".into(),
         vb_f.to_string(),
         vc_f.to_string(),
-        if vb_f != vc_f { "yes".into() } else { "no".into() },
+        if vb_f != vc_f {
+            "yes".into()
+        } else {
+            "no".into()
+        },
     ]);
     t2.print("Fairness is what separates the classes");
 

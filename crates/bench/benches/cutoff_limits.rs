@@ -24,7 +24,13 @@ fn ladder(k: u32) -> BroadcastMachine<u32> {
         1,
         move |l: Label| if l.0 == 0 { 1 } else { 0 },
         |&s: &u32, _| s,
-        move |&s| if s == k { Output::Accept } else { Output::Reject },
+        move |&s| {
+            if s == k {
+                Output::Accept
+            } else {
+                Output::Reject
+            }
+        },
     );
     BroadcastMachine::new(
         machine,
@@ -85,7 +91,10 @@ fn predicate_cutoffs() {
         ),
         ("majority x₀ > x₁", Predicate::majority()),
         ("x₀ even", Predicate::modulo(vec![1, 0], 2, 0)),
-        ("x₀ − x₁ ≥ 0 (homogeneous)", Predicate::homogeneous(vec![1, -1])),
+        (
+            "x₀ − x₁ ≥ 0 (homogeneous)",
+            Predicate::homogeneous(vec![1, -1]),
+        ),
     ];
     let mut t = Table::new(["predicate", "class on box {0..12}²", "cutoff found"]);
     for (name, p) in preds {

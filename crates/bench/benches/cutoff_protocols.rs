@@ -13,10 +13,16 @@ fn main() {
     cutoff_family();
 }
 
+/// A predicate on presence vectors, boxed for the test-family tables.
+type PresencePred = Box<dyn Fn(&[bool]) -> bool + Send + Sync>;
+
+/// A predicate on count vectors, boxed for the test-family tables.
+type CountPred = Box<dyn Fn(&[u8]) -> bool + Send + Sync>;
+
 /// Proposition C.4: every Cutoff(1) predicate has a dAf machine — checked
 /// for a family of boolean combinations, under round-robin (adversarial).
 fn cutoff_one_family() {
-    let family: Vec<(&str, Predicate, Box<dyn Fn(&[bool]) -> bool + Send + Sync>)> = vec![
+    let family: Vec<(&str, Predicate, PresencePred)> = vec![
         (
             "x₀ ≥ 1",
             Predicate::threshold(2, 0, 1),
@@ -68,7 +74,7 @@ fn cutoff_one_family() {
 /// Proposition C.6: Cutoff predicates via the generalised ⟨level⟩ ladder,
 /// exact under pseudo-stochastic fairness.
 fn cutoff_family() {
-    let family: Vec<(&str, Predicate, u8, Box<dyn Fn(&[u8]) -> bool + Send + Sync>)> = vec![
+    let family: Vec<(&str, Predicate, u8, CountPred)> = vec![
         (
             "x₀ ≥ 2",
             Predicate::threshold(2, 0, 2),

@@ -22,7 +22,12 @@ fn main() {
 /// Exact verdicts: the semantic strong-broadcast protocol vs the Lemma 5.1
 /// weak-broadcast compilation, explored exhaustively on a triangle.
 fn exact_layer_agreement() {
-    let mut t = Table::new(["input (a,b)", "x₀ ≥ 1 truth", "strong (exact)", "Lemma 5.1 (exact)"]);
+    let mut t = Table::new([
+        "input (a,b)",
+        "x₀ ≥ 1 truth",
+        "strong (exact)",
+        "Lemma 5.1 (exact)",
+    ]);
     for (a, b) in [(1u64, 2u64), (0, 3)] {
         let sb = threshold_protocol(1);
         let c = LabelCount::from_vec(vec![a, b]);
@@ -67,7 +72,12 @@ fn flattened_statistical() {
 /// The generic NL route: population protocol → strong broadcast protocol
 /// (request/claim conversion) → exact verdicts, for majority.
 fn pp_route() {
-    let mut t = Table::new(["predicate", "input (a,b)", "truth", "converted strong verdict"]);
+    let mut t = Table::new([
+        "predicate",
+        "input (a,b)",
+        "truth",
+        "converted strong verdict",
+    ]);
     let maj = GraphPopulationProtocol::<MajorityState>::majority();
     let uni = vec![
         MajorityState::P,

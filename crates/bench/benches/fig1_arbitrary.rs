@@ -5,10 +5,10 @@
 
 use wam_analysis::Predicate;
 use wam_bench::{small_graph_suite, Table};
-use wam_core::{
-    decide_adversarial_round_robin, decide_pseudo_stochastic, ModelClass, Verdict,
+use wam_core::{decide_adversarial_round_robin, decide_pseudo_stochastic, ModelClass, Verdict};
+use wam_extensions::{
+    compile_broadcasts, compile_rendezvous, GraphPopulationProtocol, MajorityState,
 };
-use wam_extensions::{compile_broadcasts, compile_rendezvous, GraphPopulationProtocol, MajorityState};
 use wam_graph::LabelCount;
 use wam_protocols::{cutoff_one_machine, modulo_protocol, threshold_machine};
 
@@ -19,7 +19,11 @@ fn main() {
 
 /// The classification itself, straight from the paper's characterisation.
 fn theory_table() {
-    let mut t = Table::new(["class", "labelling power (arbitrary graphs)", "decides majority?"]);
+    let mut t = Table::new([
+        "class",
+        "labelling power (arbitrary graphs)",
+        "decides majority?",
+    ]);
     for class in ModelClass::representatives() {
         t.row([
             class.to_string(),
@@ -36,7 +40,13 @@ fn theory_table() {
 
 /// Executable witnesses: protocols whose exact verdicts reproduce each cell.
 fn witness_table() {
-    let mut t = Table::new(["class", "predicate", "witness protocol", "inputs", "correct"]);
+    let mut t = Table::new([
+        "class",
+        "predicate",
+        "witness protocol",
+        "inputs",
+        "correct",
+    ]);
 
     // dAf ⊇ Cutoff(1): the presence-set machine under round-robin.
     {
@@ -107,8 +117,16 @@ fn witness_table() {
 
     // Limitations (no protocol can exist):
     for (class, pred, lemma) in [
-        ("daf/Daf/DaF", "anything non-trivial", "Lemma 3.1 (→ bench fig3_halting_surgery)"),
-        ("DAf", "x₀ ≥ 2, majority", "Lemma 3.2/3.4 (→ bench cover_indistinguishability)"),
+        (
+            "daf/Daf/DaF",
+            "anything non-trivial",
+            "Lemma 3.1 (→ bench fig3_halting_surgery)",
+        ),
+        (
+            "DAf",
+            "x₀ ≥ 2, majority",
+            "Lemma 3.2/3.4 (→ bench cover_indistinguishability)",
+        ),
         ("dAF", "majority", "Lemma 3.5 (→ bench cutoff_limits)"),
     ] {
         t.row([

@@ -35,7 +35,13 @@ fn theory_table() {
 }
 
 fn witness_table() {
-    let mut t = Table::new(["class", "predicate", "witness protocol", "inputs", "correct"]);
+    let mut t = Table::new([
+        "class",
+        "predicate",
+        "witness protocol",
+        "inputs",
+        "correct",
+    ]);
     let counts = [
         LabelCount::from_vec(vec![2, 1]),
         LabelCount::from_vec(vec![1, 2]),

@@ -39,7 +39,13 @@ fn example_automaton() -> BroadcastMachine<E> {
                 s
             }
         },
-        |&s| if s == E::A { Output::Accept } else { Output::Neutral },
+        |&s| {
+            if s == E::A {
+                Output::Accept
+            } else {
+                Output::Neutral
+            }
+        },
     );
     BroadcastMachine::new(
         machine,
@@ -102,8 +108,18 @@ fn main() {
     // Pick the broadcast successor where both end broadcasts fire; the a at
     // node 0 re-labels x's, the b's convert: enumerate and display the first
     // few distinct broadcast successors.
-    for (i, succ) in sys.broadcast_successors(&c0).into_iter().take(4).enumerate() {
-        show(&mut t, &format!("1.{i}"), &succ, "a weak-broadcast successor");
+    for (i, succ) in sys
+        .broadcast_successors(&c0)
+        .into_iter()
+        .take(4)
+        .enumerate()
+    {
+        show(
+            &mut t,
+            &format!("1.{i}"),
+            &succ,
+            "a weak-broadcast successor",
+        );
     }
     t.print("Figure 2(a): weak-broadcast successors of the initial line");
 

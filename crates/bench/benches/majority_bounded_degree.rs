@@ -26,7 +26,10 @@ fn scheduler_battery() {
         let schedulers: Vec<(&str, Box<dyn Scheduler>)> = vec![
             ("round-robin", Box::new(RoundRobinScheduler)),
             ("sweep", Box::new(SweepScheduler)),
-            ("starvation(v0, 20)", Box::new(StarvationScheduler::new(0, 20))),
+            (
+                "starvation(v0, 20)",
+                Box::new(StarvationScheduler::new(0, 20)),
+            ),
             ("random", Box::new(RandomScheduler::exclusive(5))),
         ];
         for (name, mut sched) in schedulers {
@@ -40,11 +43,7 @@ fn scheduler_battery() {
                 expect.to_string(),
                 r.steps.to_string(),
             ]);
-            assert_eq!(
-                r.verdict.decided(),
-                Some(expect),
-                "({a},{b}) under {name}"
-            );
+            assert_eq!(r.verdict.decided(), Some(expect), "({a},{b}) under {name}");
         }
     }
     t.print("§6.1: majority under adversarial schedulers on degree-≤3 graphs");
@@ -61,7 +60,12 @@ fn scaling_series() {
         let stack = majority_stack(3);
         let flat = stack.flat();
         let mut sched = RandomScheduler::exclusive(21);
-        let r = run_until_stable(&flat, &g, &mut sched, StabilityOptions::new(8_000_000, 10_000));
+        let r = run_until_stable(
+            &flat,
+            &g,
+            &mut sched,
+            StabilityOptions::new(8_000_000, 10_000),
+        );
         t.row([
             n.to_string(),
             format!("({a},{b})"),

@@ -27,9 +27,7 @@ fn bench_broadcast_compilation(criterion: &mut Criterion) {
     println!("Lemma 4.7 fidelity: semantic = compiled = {semantic}");
 
     group.bench_function("semantic_exact", |b| {
-        b.iter(|| {
-            black_box(decide_system(&BroadcastSystem::new(&bm, &g), 1_000_000).unwrap())
-        })
+        b.iter(|| black_box(decide_system(&BroadcastSystem::new(&bm, &g), 1_000_000).unwrap()))
     });
     group.bench_function("compiled_exact", |b| {
         b.iter(|| black_box(decide_pseudo_stochastic(&flat, &g, 3_000_000).unwrap()))

@@ -1,12 +1,23 @@
-//! **E13 (supplementary) — configuration-space growth:** the quantitative
-//! backdrop of the `NSPACE(n)` bound — reachable configuration counts grow
-//! exponentially with the network size, per machine and per simulation
-//! layer, which is why exact deciders are confined to small graphs and the
-//! paper's characterisations matter.
+//! **E13 (supplementary) — configuration-space growth and engine timing:**
+//! the quantitative backdrop of the `NSPACE(n)` bound — reachable
+//! configuration counts grow exponentially with the network size, per
+//! machine and per simulation layer, which is why exact deciders are
+//! confined to small graphs and the paper's characterisations matter.
+//!
+//! The second half benchmarks the exploration engine itself: the
+//! interned/CSR engine (sequential and frontier-parallel) against a
+//! faithful replica of the original `HashMap`-per-config explorer, on the
+//! largest workloads of the growth table. Results go to stdout and to
+//! `BENCH_explore.json` at the repository root.
 
+use std::time::Instant;
 use wam_bench::Table;
-use wam_core::{ExclusiveSystem, Exploration, Machine, Output};
-use wam_extensions::{compile_broadcasts, compile_rendezvous, GraphPopulationProtocol, MajorityState};
+use wam_core::{
+    ExclusiveSystem, Exploration, ExploreOptions, Machine, Output, TransitionSystem, Verdict,
+};
+use wam_extensions::{
+    compile_broadcasts, compile_rendezvous, GraphPopulationProtocol, MajorityState,
+};
 use wam_graph::{generators, Label, LabelCount};
 use wam_protocols::threshold_machine;
 
@@ -19,6 +30,209 @@ fn flood() -> Machine<bool> {
     )
 }
 
+/// Faithful replica of the pre-interning exploration engine, kept here as
+/// the timing baseline: `HashMap<C, usize>` (SipHash) visited set cloning
+/// each configuration twice, `Vec<Vec<usize>>` adjacency with
+/// `contains`-based duplicate scans, and a `verdict` that rebuilds the
+/// predecessor lists once per `Pre*` query.
+mod baseline {
+    use std::collections::HashMap;
+    use std::collections::VecDeque;
+    use wam_core::{TransitionSystem, Verdict};
+
+    pub struct BaselineExploration<C> {
+        pub configs: Vec<C>,
+        succs: Vec<Vec<usize>>,
+        accepting: Vec<bool>,
+        rejecting: Vec<bool>,
+    }
+
+    impl<C: Clone + Eq + std::hash::Hash + std::fmt::Debug> BaselineExploration<C> {
+        pub fn explore<T: TransitionSystem<C = C>>(system: &T, limit: usize) -> Option<Self> {
+            let start = system.initial_config();
+            let mut index: HashMap<C, usize> = HashMap::new();
+            let mut configs = vec![start.clone()];
+            index.insert(start, 0);
+            let mut succs: Vec<Vec<usize>> = Vec::new();
+            let mut queue = VecDeque::from([0usize]);
+            while let Some(i) = queue.pop_front() {
+                let mut out = Vec::new();
+                for next in system.successors(&configs[i]) {
+                    let id = match index.get(&next) {
+                        Some(&id) => id,
+                        None => {
+                            let id = configs.len();
+                            if id >= limit {
+                                return None;
+                            }
+                            configs.push(next.clone());
+                            index.insert(next, id);
+                            queue.push_back(id);
+                            id
+                        }
+                    };
+                    if !out.contains(&id) {
+                        out.push(id);
+                    }
+                }
+                succs.push(out);
+            }
+            let accepting = configs.iter().map(|c| system.is_accepting(c)).collect();
+            let rejecting = configs.iter().map(|c| system.is_rejecting(c)).collect();
+            Some(BaselineExploration {
+                configs,
+                succs,
+                accepting,
+                rejecting,
+            })
+        }
+
+        fn pre_star(&self, targets: &[bool]) -> Vec<bool> {
+            // Rebuilds the predecessor lists on every call, as the original
+            // engine did.
+            let mut preds: Vec<Vec<usize>> = vec![Vec::new(); self.configs.len()];
+            for (i, out) in self.succs.iter().enumerate() {
+                for &j in out {
+                    preds[j].push(i);
+                }
+            }
+            let mut in_set = targets.to_vec();
+            let mut stack: Vec<usize> = (0..targets.len()).filter(|&i| targets[i]).collect();
+            while let Some(j) = stack.pop() {
+                for &i in &preds[j] {
+                    if !in_set[i] {
+                        in_set[i] = true;
+                        stack.push(i);
+                    }
+                }
+            }
+            in_set
+        }
+
+        fn stably(&self, good: &[bool]) -> bool {
+            let bad: Vec<bool> = good.iter().map(|&b| !b).collect();
+            let reach_bad = self.pre_star(&bad);
+            reach_bad.iter().any(|&b| !b)
+        }
+
+        pub fn verdict(&self) -> Verdict {
+            let acc = self.stably(&self.accepting);
+            let rej = self.stably(&self.rejecting);
+            match (acc, rej) {
+                (true, true) => Verdict::Inconsistent,
+                (true, false) => Verdict::Accepts,
+                (false, true) => Verdict::Rejects,
+                (false, false) => Verdict::NoConsensus,
+            }
+        }
+    }
+}
+
+struct Timing {
+    name: String,
+    nodes: u64,
+    configs: usize,
+    edges: usize,
+    verdict: Verdict,
+    baseline_ms: f64,
+    sequential_ms: f64,
+    parallel_ms: f64,
+}
+
+/// Best-of-`reps` wall time of `f`, in milliseconds.
+fn time_ms<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        out = Some(r);
+    }
+    (best, out.unwrap())
+}
+
+fn time_workload<T>(name: &str, nodes: u64, sys: &T, limit: usize, reps: usize) -> Timing
+where
+    T: TransitionSystem + Sync,
+    T::C: Clone + Send + Sync,
+{
+    let (baseline_ms, bv) = time_ms(reps, || {
+        let e = baseline::BaselineExploration::explore(sys, limit).expect("baseline within limit");
+        (e.verdict(), e.configs.len())
+    });
+    let (sequential_ms, sv) = time_ms(reps, || {
+        let e = Exploration::explore_with(
+            sys,
+            sys.initial_config(),
+            ExploreOptions {
+                threads: 1,
+                ..ExploreOptions::with_limit(limit)
+            },
+        )
+        .expect("within limit");
+        (
+            e.verdict(),
+            e.len(),
+            (0..e.len()).map(|i| e.successors(i).len()).sum::<usize>(),
+        )
+    });
+    let (parallel_ms, pv) = time_ms(reps, || {
+        let e =
+            Exploration::explore_with(sys, sys.initial_config(), ExploreOptions::with_limit(limit))
+                .expect("within limit");
+        e.verdict()
+    });
+    assert_eq!(bv.0, sv.0, "baseline and engine verdicts must agree");
+    assert_eq!(sv.0, pv, "sequential and parallel verdicts must agree");
+    assert_eq!(bv.1, sv.1, "reachable counts must agree");
+    Timing {
+        name: name.to_string(),
+        nodes,
+        configs: sv.1,
+        edges: sv.2,
+        verdict: sv.0,
+        baseline_ms,
+        sequential_ms,
+        parallel_ms,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_report(timings: &[Timing]) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut rows = String::new();
+    for (i, t) in timings.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\n      \"workload\": \"{}\",\n      \"nodes\": {},\n      \"configs\": {},\n      \"edges\": {},\n      \"verdict\": \"{}\",\n      \"baseline_ms\": {:.3},\n      \"sequential_ms\": {:.3},\n      \"parallel_ms\": {:.3},\n      \"speedup_sequential_vs_baseline\": {:.2},\n      \"speedup_parallel_vs_baseline\": {:.2}\n    }}",
+            json_escape(&t.name),
+            t.nodes,
+            t.configs,
+            t.edges,
+            t.verdict,
+            t.baseline_ms,
+            t.sequential_ms,
+            t.parallel_ms,
+            t.baseline_ms / t.sequential_ms,
+            t.baseline_ms / t.parallel_ms,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"state_space\",\n  \"baseline\": \"seed HashMap/Vec<Vec> explorer (SipHash, per-query predecessor rebuild)\",\n  \"engine\": \"interned CSR explorer (FxHash shards, bitset Pre*, cached reverse CSR)\",\n  \"cores\": {cores},\n  \"timing\": \"best of repetitions, milliseconds, explore + verdict\",\n  \"workloads\": [\n{rows}\n  ]\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_explore.json");
+    std::fs::write(path, &json).expect("write BENCH_explore.json");
+    println!("\nwrote {path}");
+}
+
 fn main() {
     let mut t = Table::new(["machine", "n", "reachable configurations"]);
     for n in [4u64, 6, 8, 10] {
@@ -27,7 +241,11 @@ fn main() {
         let m = flood();
         let sys = ExclusiveSystem::new(&m, &g);
         let e = Exploration::explore(&sys, 10_000_000).unwrap();
-        t.row(["flood (2 states)".into(), n.to_string(), e.len().to_string()]);
+        t.row([
+            "flood (2 states)".into(),
+            n.to_string(),
+            e.len().to_string(),
+        ]);
     }
     for n in [4u64, 5, 6] {
         let a = n / 2 + 1;
@@ -67,4 +285,64 @@ fn main() {
         "Per-node memory is constant, so the configuration space is exponential in n —\n\
          the resource that NSPACE(n) measures and that the simulation layers multiply."
     );
+
+    // ── Engine timing: seed-baseline vs interned CSR engine ────────────────
+    let mut timings = Vec::new();
+
+    {
+        let c = LabelCount::from_vec(vec![13, 1]);
+        let g = generators::labelled_cycle(&c);
+        let m = flood();
+        let sys = ExclusiveSystem::new(&m, &g);
+        timings.push(time_workload("flood cycle", 14, &sys, 10_000_000, 3));
+    }
+    {
+        let c = LabelCount::from_vec(vec![4, 2]);
+        let g = generators::labelled_cycle(&c);
+        let m = compile_rendezvous(&GraphPopulationProtocol::<MajorityState>::majority());
+        let sys = ExclusiveSystem::new(&m, &g);
+        timings.push(time_workload(
+            "majority via Lemma 4.10 cycle",
+            6,
+            &sys,
+            10_000_000,
+            3,
+        ));
+    }
+    {
+        let c = LabelCount::from_vec(vec![4, 1]);
+        let g = generators::labelled_line(&c);
+        let m = compile_broadcasts(&threshold_machine(2, 0, 2));
+        let sys = ExclusiveSystem::new(&m, &g);
+        timings.push(time_workload(
+            "x₀ ≥ 2 via Lemma 4.7 line",
+            5,
+            &sys,
+            10_000_000,
+            3,
+        ));
+    }
+
+    let mut tt = Table::new([
+        "workload",
+        "configs",
+        "baseline ms",
+        "sequential ms",
+        "parallel ms",
+        "seq speedup",
+        "par speedup",
+    ]);
+    for t in &timings {
+        tt.row([
+            t.name.clone(),
+            t.configs.to_string(),
+            format!("{:.1}", t.baseline_ms),
+            format!("{:.1}", t.sequential_ms),
+            format!("{:.1}", t.parallel_ms),
+            format!("{:.2}x", t.baseline_ms / t.sequential_ms),
+            format!("{:.2}x", t.baseline_ms / t.parallel_ms),
+        ]);
+    }
+    tt.print("Exploration engine: seed baseline vs interned CSR engine (explore + verdict)");
+    write_report(&timings);
 }

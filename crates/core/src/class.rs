@@ -260,7 +260,11 @@ pub struct ParseClassError(String);
 
 impl fmt::Display for ParseClassError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid model class {:?} (expected e.g. \"DAf\")", self.0)
+        write!(
+            f,
+            "invalid model class {:?} (expected e.g. \"DAf\")",
+            self.0
+        )
     }
 }
 
@@ -318,11 +322,7 @@ mod tests {
 
     #[test]
     fn figure1_middle_panel() {
-        let power = |s: &str| {
-            s.parse::<ModelClass>()
-                .unwrap()
-                .labelling_power_arbitrary()
-        };
+        let power = |s: &str| s.parse::<ModelClass>().unwrap().labelling_power_arbitrary();
         assert_eq!(power("daf"), PropertyClassBound::Trivial);
         assert_eq!(power("Daf"), PropertyClassBound::Trivial);
         assert_eq!(power("DaF"), PropertyClassBound::Trivial);

@@ -40,7 +40,10 @@ impl<S: State> Config<S> {
     /// The initial configuration `C₀(v) = δ₀(λ(v))`.
     pub fn initial(machine: &Machine<S>, graph: &Graph) -> Self {
         Config {
-            states: graph.nodes().map(|v| machine.initial(graph.label(v))).collect(),
+            states: graph
+                .nodes()
+                .map(|v| machine.initial(graph.label(v)))
+                .collect(),
         }
     }
 
@@ -70,7 +73,12 @@ impl<S: State> Config<S> {
     }
 
     /// The β-clipped neighbourhood of node `v` in this configuration.
-    pub fn neighbourhood(&self, machine: &Machine<S>, graph: &Graph, v: NodeId) -> Neighbourhood<S> {
+    pub fn neighbourhood(
+        &self,
+        machine: &Machine<S>,
+        graph: &Graph,
+        v: NodeId,
+    ) -> Neighbourhood<S> {
         Neighbourhood::from_states(
             graph.neighbours(v).iter().map(|&u| self.states[u].clone()),
             machine.beta(),
@@ -96,12 +104,16 @@ impl<S: State> Config<S> {
 
     /// Whether the configuration is accepting (every node's state in `Y`).
     pub fn is_accepting(&self, machine: &Machine<S>) -> bool {
-        self.states.iter().all(|s| machine.output(s) == Output::Accept)
+        self.states
+            .iter()
+            .all(|s| machine.output(s) == Output::Accept)
     }
 
     /// Whether the configuration is rejecting (every node's state in `N`).
     pub fn is_rejecting(&self, machine: &Machine<S>) -> bool {
-        self.states.iter().all(|s| machine.output(s) == Output::Reject)
+        self.states
+            .iter()
+            .all(|s| machine.output(s) == Output::Reject)
     }
 
     /// The consensus output, if all nodes agree.

@@ -21,12 +21,35 @@
 //! Extended models (weak broadcasts, absence detection, rendez-vous, strong
 //! broadcasts) implement [`TransitionSystem`] in `wam-extensions` and reuse
 //! the same machinery.
+//!
+//! # Engine architecture
+//!
+//! The explorer is a level-synchronous BFS over hash-consed configurations:
+//!
+//! * every configuration is interned exactly once into a dense `u32` id by
+//!   a sharded FxHash [`Interner`](crate::Interner) — BFS, lasso detection
+//!   and all `Pre*` machinery pass ids, never configuration values;
+//! * when a frontier is at least [`ExploreOptions::frontier_threshold`]
+//!   wide (and more than one thread is available), successor generation and
+//!   per-shard deduplication run in parallel under `rayon`; below the
+//!   threshold successors are interned item-by-item with no bucketing or
+//!   thread overhead. The parallel merge assigns ids in arrival order by
+//!   construction, so ids, edges and verdicts are bit-identical either way;
+//! * the step relation is stored as a compact CSR (offsets + `u32`
+//!   targets); [`Exploration::pre_star`] and the stable-consensus queries
+//!   run bitset fixpoints over a lazily built, cached reverse CSR, so
+//!   [`Exploration::verdict`] transposes the edge list once, not twice;
+//! * successor id lists are deduplicated by sort + dedup instead of the
+//!   quadratic membership scans of the original implementation.
 
-use crate::{Config, Machine, Selection, State};
-use std::collections::HashMap;
+use crate::bitset::BitSet;
+use crate::{Config, Interner, Machine, Selection, State};
+use rayon::prelude::*;
+use rustc_hash::FxHashMap;
 use std::error::Error;
 use std::fmt;
 use std::hash::Hash;
+use std::sync::OnceLock;
 use wam_graph::Graph;
 
 /// Outcome of an exact decision procedure.
@@ -120,7 +143,10 @@ pub trait TransitionSystem {
     /// The initial configuration.
     fn initial_config(&self) -> Self::C;
 
-    /// All configurations reachable in one **non-silent** step.
+    /// All configurations reachable in one **non-silent** step. The list
+    /// may contain duplicates; the exploration engine deduplicates after
+    /// interning (sort + dedup on dense ids), which is cheaper than
+    /// scanning for duplicates configuration-by-configuration here.
     fn successors(&self, c: &Self::C) -> Vec<Self::C>;
 
     /// Whether every node is in an accepting state.
@@ -161,10 +187,7 @@ impl<S: State> TransitionSystem for ExclusiveSystem<'_, S> {
             }
             let mut next = c.states().to_vec();
             next[v] = stepped;
-            let next = Config::from_states(next);
-            if !out.contains(&next) {
-                out.push(next);
-            }
+            out.push(Config::from_states(next));
         }
         out
     }
@@ -223,8 +246,9 @@ impl<S: State> TransitionSystem for LiberalSystem<'_, S> {
             .collect();
         let moving: Vec<usize> = (0..n).filter(|&v| stepped[v] != *c.state(v)).collect();
         // Selections that differ only on silent nodes yield the same config,
-        // so it suffices to enumerate subsets of the moving nodes.
-        let mut out = Vec::new();
+        // so it suffices to enumerate subsets of the moving nodes. Distinct
+        // masks yield distinct configurations, so no dedup is needed.
+        let mut out = Vec::with_capacity((1usize << moving.len()).saturating_sub(1));
         for mask in 1usize..(1 << moving.len()) {
             let mut states = c.states().to_vec();
             for (i, &v) in moving.iter().enumerate() {
@@ -232,10 +256,7 @@ impl<S: State> TransitionSystem for LiberalSystem<'_, S> {
                     states[v] = stepped[v].clone();
                 }
             }
-            let next = Config::from_states(states);
-            if !out.contains(&next) {
-                out.push(next);
-            }
+            out.push(Config::from_states(states));
         }
         out
     }
@@ -249,27 +270,77 @@ impl<S: State> TransitionSystem for LiberalSystem<'_, S> {
     }
 }
 
-/// The explored configuration graph of a [`TransitionSystem`]: every
-/// configuration reachable from the initial one, with the non-silent step
-/// relation, acceptance flags, and `Pre*` machinery.
-#[derive(Debug)]
-pub struct Exploration<C> {
-    configs: Vec<C>,
-    /// `succs[i]` = indices reachable from `i` in one non-silent step.
-    succs: Vec<Vec<usize>>,
-    accepting: Vec<bool>,
-    rejecting: Vec<bool>,
+/// Tuning knobs for [`Exploration::explore_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreOptions {
+    /// Worker threads for frontier-parallel BFS. `0` uses the rayon
+    /// default (the machine's available parallelism, or the
+    /// `RAYON_NUM_THREADS` environment variable); `1` forces the
+    /// sequential path.
+    pub threads: usize,
+    /// Minimum frontier width before a BFS level is processed in
+    /// parallel; narrower levels take the sequential path, so small
+    /// explorations never pay thread overhead.
+    pub frontier_threshold: usize,
+    /// Maximum number of reachable configurations before
+    /// [`ExploreError::TooLarge`].
+    pub limit: usize,
 }
 
-impl<C: Clone + Eq + Hash + fmt::Debug> Exploration<C> {
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            threads: 0,
+            frontier_threshold: 128,
+            limit: 1_000_000,
+        }
+    }
+}
+
+impl ExploreOptions {
+    /// Default options with the given configuration-count limit.
+    pub fn with_limit(limit: usize) -> Self {
+        ExploreOptions {
+            limit,
+            ..ExploreOptions::default()
+        }
+    }
+}
+
+/// The explored configuration graph of a [`TransitionSystem`]: every
+/// configuration reachable from the initial one (hash-consed to dense
+/// `u32` ids), the non-silent step relation in CSR form, acceptance flags
+/// as bitsets, and `Pre*` machinery over a cached reverse CSR.
+#[derive(Debug)]
+pub struct Exploration<C> {
+    interner: Interner<C>,
+    /// CSR offsets: the successor ids of configuration `i` are
+    /// `succ_ids[succ_off[i]..succ_off[i + 1]]`, sorted and deduplicated.
+    succ_off: Vec<u32>,
+    succ_ids: Vec<u32>,
+    accepting: BitSet,
+    rejecting: BitSet,
+    /// Reverse CSR (predecessors), built on first `Pre*` query and shared
+    /// by every subsequent one.
+    rev: OnceLock<(Vec<u32>, Vec<u32>)>,
+}
+
+impl<C: Clone + Eq + Hash + fmt::Debug + Send + Sync> Exploration<C> {
     /// Explores `system` from its initial configuration.
     ///
     /// # Errors
     ///
     /// [`ExploreError::TooLarge`] if more than `limit` configurations are
     /// reachable.
-    pub fn explore<T: TransitionSystem<C = C>>(system: &T, limit: usize) -> Result<Self, ExploreError> {
-        Self::explore_from(system, system.initial_config(), limit)
+    pub fn explore<T: TransitionSystem<C = C> + Sync>(
+        system: &T,
+        limit: usize,
+    ) -> Result<Self, ExploreError> {
+        Self::explore_with(
+            system,
+            system.initial_config(),
+            ExploreOptions::with_limit(limit),
+        )
     }
 
     /// Explores `system` from an arbitrary starting configuration.
@@ -278,77 +349,212 @@ impl<C: Clone + Eq + Hash + fmt::Debug> Exploration<C> {
     ///
     /// [`ExploreError::TooLarge`] if more than `limit` configurations are
     /// reachable.
-    pub fn explore_from<T: TransitionSystem<C = C>>(
+    pub fn explore_from<T: TransitionSystem<C = C> + Sync>(
         system: &T,
         start: C,
         limit: usize,
     ) -> Result<Self, ExploreError> {
-        let mut index: HashMap<C, usize> = HashMap::new();
-        let mut configs = vec![start.clone()];
-        index.insert(start, 0);
-        let mut succs: Vec<Vec<usize>> = Vec::new();
-        let mut frontier = 0usize;
-        while frontier < configs.len() {
-            let current = configs[frontier].clone();
-            let mut out = Vec::new();
-            for next in system.successors(&current) {
-                let id = match index.get(&next) {
-                    Some(&id) => id,
-                    None => {
-                        if configs.len() >= limit {
-                            return Err(ExploreError::TooLarge { limit });
-                        }
-                        let id = configs.len();
-                        configs.push(next.clone());
-                        index.insert(next, id);
-                        id
-                    }
-                };
-                if !out.contains(&id) {
-                    out.push(id);
-                }
-            }
-            succs.push(out);
-            frontier += 1;
-        }
-        let accepting = configs.iter().map(|c| system.is_accepting(c)).collect();
-        let rejecting = configs.iter().map(|c| system.is_rejecting(c)).collect();
-        Ok(Exploration {
-            configs,
-            succs,
-            accepting,
-            rejecting,
-        })
+        Self::explore_with(system, start, ExploreOptions::with_limit(limit))
     }
 
+    /// Explores `system` from `start` under explicit [`ExploreOptions`].
+    ///
+    /// The result — ids, edges, flags, verdicts — is a pure function of
+    /// the transition system and `start`: it does not depend on `threads`
+    /// or `frontier_threshold`, which only steer how the work is executed.
+    ///
+    /// # Errors
+    ///
+    /// [`ExploreError::TooLarge`] if more than `options.limit`
+    /// configurations are reachable.
+    pub fn explore_with<T: TransitionSystem<C = C> + Sync>(
+        system: &T,
+        start: C,
+        options: ExploreOptions,
+    ) -> Result<Self, ExploreError> {
+        if options.threads == 1 {
+            return Self::explore_impl(system, start, options, 1);
+        }
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(options.threads)
+            .build()
+            .expect("thread pool");
+        let threads = pool.current_num_threads();
+        pool.install(|| Self::explore_impl(system, start, options, threads))
+    }
+
+    fn explore_impl<T: TransitionSystem<C = C> + Sync>(
+        system: &T,
+        start: C,
+        options: ExploreOptions,
+        threads: usize,
+    ) -> Result<Self, ExploreError> {
+        let mut interner = Interner::new();
+        let (start_id, _) = interner.intern(start);
+        debug_assert_eq!(start_id, 0);
+        let mut succ_off = vec![0u32];
+        let mut succ_ids: Vec<u32> = Vec::new();
+        let mut acc_flags: Vec<bool> = Vec::new();
+        let mut rej_flags: Vec<bool> = Vec::new();
+        let mut lo = 0usize;
+        let mut row_scratch: Vec<u32> = Vec::new();
+        while lo < interner.len() {
+            let hi = interner.len();
+            let parallel = threads > 1 && hi - lo >= options.frontier_threshold.max(2);
+
+            if parallel {
+                // Frontier-parallel: generate successors under rayon, then
+                // hash-cons the level with the sharded parallel merge. The
+                // merge assigns ids in arrival order — the same ids the
+                // sequential path below would produce.
+                let configs = interner.configs();
+                let level: Vec<Vec<C>> = (lo..hi)
+                    .into_par_iter()
+                    .map(|i| system.successors(&configs[i]))
+                    .collect();
+                for mut row in interner.intern_level(level, true) {
+                    row.sort_unstable();
+                    row.dedup();
+                    succ_ids.extend_from_slice(&row);
+                    succ_off.push(succ_ids.len() as u32);
+                }
+            } else {
+                // Sequential: intern each successor as it is generated — no
+                // level materialisation, no bucketing, one scratch row.
+                for i in lo..hi {
+                    let succs = system.successors(interner.get(i));
+                    row_scratch.clear();
+                    for s in succs {
+                        row_scratch.push(interner.intern(s).0);
+                    }
+                    row_scratch.sort_unstable();
+                    row_scratch.dedup();
+                    succ_ids.extend_from_slice(&row_scratch);
+                    succ_off.push(succ_ids.len() as u32);
+                }
+            }
+            if interner.len() > options.limit {
+                return Err(ExploreError::TooLarge {
+                    limit: options.limit,
+                });
+            }
+
+            // Acceptance flags for the configurations discovered this level
+            // (and, on the first level, the start configuration).
+            let fresh = &interner.configs()[acc_flags.len()..];
+            if parallel {
+                let flags: Vec<(bool, bool)> = fresh
+                    .par_iter()
+                    .map(|c| (system.is_accepting(c), system.is_rejecting(c)))
+                    .collect();
+                for (a, r) in flags {
+                    acc_flags.push(a);
+                    rej_flags.push(r);
+                }
+            } else {
+                for c in fresh {
+                    acc_flags.push(system.is_accepting(c));
+                    rej_flags.push(system.is_rejecting(c));
+                }
+            }
+            lo = hi;
+        }
+        Ok(Exploration {
+            interner,
+            succ_off,
+            succ_ids,
+            accepting: BitSet::from_bools(&acc_flags),
+            rejecting: BitSet::from_bools(&rej_flags),
+            rev: OnceLock::new(),
+        })
+    }
+}
+
+impl<C: Clone + Eq + Hash + fmt::Debug> Exploration<C> {
     /// All reachable configurations (index 0 is the start).
     pub fn configs(&self) -> &[C] {
-        &self.configs
+        self.interner.configs()
     }
 
     /// Number of reachable configurations.
     pub fn len(&self) -> usize {
-        self.configs.len()
+        self.interner.len()
     }
 
     /// Whether the exploration is empty (never: the start is always present).
     pub fn is_empty(&self) -> bool {
-        self.configs.is_empty()
+        self.interner.is_empty()
     }
 
-    /// Successor indices of configuration `i` (non-silent steps only).
-    pub fn successors(&self, i: usize) -> &[usize] {
-        &self.succs[i]
+    /// The dense id of configuration `c`, if it is reachable.
+    pub fn index_of(&self, c: &C) -> Option<usize> {
+        self.interner.index_of(c)
+    }
+
+    /// Successor ids of configuration `i` (non-silent steps only), sorted
+    /// ascending and duplicate-free.
+    pub fn successors(&self, i: usize) -> &[u32] {
+        &self.succ_ids[self.succ_off[i] as usize..self.succ_off[i + 1] as usize]
     }
 
     /// Whether configuration `i` is accepting.
     pub fn is_accepting(&self, i: usize) -> bool {
-        self.accepting[i]
+        self.accepting.contains(i)
     }
 
     /// Whether configuration `i` is rejecting.
     pub fn is_rejecting(&self, i: usize) -> bool {
-        self.rejecting[i]
+        self.rejecting.contains(i)
+    }
+
+    /// The reverse step relation in CSR form, built once and cached.
+    fn reverse_csr(&self) -> &(Vec<u32>, Vec<u32>) {
+        self.rev.get_or_init(|| {
+            let n = self.len();
+            let mut off = vec![0u32; n + 1];
+            for &t in &self.succ_ids {
+                off[t as usize + 1] += 1;
+            }
+            for i in 0..n {
+                off[i + 1] += off[i];
+            }
+            let mut cursor: Vec<u32> = off[..n].to_vec();
+            let mut tgt = vec![0u32; self.succ_ids.len()];
+            for i in 0..n {
+                for &t in self.successors(i) {
+                    let c = &mut cursor[t as usize];
+                    tgt[*c as usize] = i as u32;
+                    *c += 1;
+                }
+            }
+            (off, tgt)
+        })
+    }
+
+    /// `Pre*` as a bitset fixpoint over the cached reverse CSR.
+    fn pre_star_bits(&self, targets: &BitSet) -> BitSet {
+        let (off, tgt) = self.reverse_csr();
+        let mut in_set = targets.clone();
+        let mut stack: Vec<u32> = targets.iter_ones().map(|i| i as u32).collect();
+        while let Some(j) = stack.pop() {
+            let preds = &tgt[off[j as usize] as usize..off[j as usize + 1] as usize];
+            for &i in preds {
+                if in_set.insert(i as usize) {
+                    stack.push(i);
+                }
+            }
+        }
+        in_set
+    }
+
+    /// Configurations from which only `good`-flagged configurations are
+    /// reachable: the complement of `Pre*(¬good)`.
+    fn stably_bits(&self, good: &BitSet) -> BitSet {
+        let mut bad = good.clone();
+        bad.negate();
+        let mut out = self.pre_star_bits(&bad);
+        out.negate();
+        out
     }
 
     /// Membership flags of `Pre*(targets)`: configurations that can reach a
@@ -358,48 +564,25 @@ impl<C: Clone + Eq + Hash + fmt::Debug> Exploration<C> {
     ///
     /// Panics if `targets.len()` differs from the number of configurations.
     pub fn pre_star(&self, targets: &[bool]) -> Vec<bool> {
-        assert_eq!(targets.len(), self.configs.len());
-        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); self.configs.len()];
-        for (i, out) in self.succs.iter().enumerate() {
-            for &j in out {
-                preds[j].push(i);
-            }
-        }
-        let mut in_set = targets.to_vec();
-        let mut stack: Vec<usize> = in_set
-            .iter()
-            .enumerate()
-            .filter(|(_, &b)| b)
-            .map(|(i, _)| i)
-            .collect();
-        while let Some(j) = stack.pop() {
-            for &i in &preds[j] {
-                if !in_set[i] {
-                    in_set[i] = true;
-                    stack.push(i);
-                }
-            }
-        }
-        in_set
+        assert_eq!(targets.len(), self.len());
+        self.pre_star_bits(&BitSet::from_bools(targets)).to_bools()
     }
 
     /// Configurations that are *stably accepting*: every configuration
     /// reachable from them (themselves included) is accepting.
     pub fn stably_accepting(&self) -> Vec<bool> {
-        let non_accepting: Vec<bool> = self.accepting.iter().map(|&a| !a).collect();
-        self.pre_star(&non_accepting).iter().map(|&b| !b).collect()
+        self.stably_bits(&self.accepting).to_bools()
     }
 
     /// Configurations that are *stably rejecting*.
     pub fn stably_rejecting(&self) -> Vec<bool> {
-        let non_rejecting: Vec<bool> = self.rejecting.iter().map(|&r| !r).collect();
-        self.pre_star(&non_rejecting).iter().map(|&b| !b).collect()
+        self.stably_bits(&self.rejecting).to_bools()
     }
 
     /// The verdict under pseudo-stochastic fairness.
     pub fn verdict(&self) -> Verdict {
-        let acc = self.stably_accepting().iter().any(|&b| b);
-        let rej = self.stably_rejecting().iter().any(|&b| b);
+        let acc = self.stably_bits(&self.accepting).any();
+        let rej = self.stably_bits(&self.rejecting).any();
         match (acc, rej) {
             (true, true) => Verdict::Inconsistent,
             (true, false) => Verdict::Accepts,
@@ -416,7 +599,13 @@ impl<C: Clone + Eq + Hash + fmt::Debug> Exploration<C> {
 ///
 /// [`ExploreError::TooLarge`] if more than `limit` configurations are
 /// reachable.
-pub fn decide_system<T: TransitionSystem>(system: &T, limit: usize) -> Result<Verdict, ExploreError> {
+pub fn decide_system<T: TransitionSystem + Sync>(
+    system: &T,
+    limit: usize,
+) -> Result<Verdict, ExploreError>
+where
+    T::C: Send + Sync,
+{
     Ok(Exploration::explore(system, limit)?.verdict())
 }
 
@@ -442,17 +631,25 @@ fn decide_lasso<S: State>(
     period: usize,
     limit: usize,
 ) -> Result<Verdict, ExploreError> {
-    // The run is deterministic; its state is (configuration, step mod period).
-    let mut seen: HashMap<(Config<S>, usize), usize> = HashMap::new();
-    let mut trace: Vec<Config<S>> = Vec::new();
+    // The run is deterministic; its state is (configuration, step mod
+    // period). Configurations are interned, so the walk stores and hashes
+    // dense ids instead of cloning the configuration at every step.
+    let mut interner: Interner<Config<S>> = Interner::new();
+    let mut seen: FxHashMap<(u32, u32), usize> = FxHashMap::default();
+    let mut trace: Vec<u32> = Vec::new();
     let mut c = Config::initial(machine, graph);
     for t in 0..limit {
-        let key = (c.clone(), t % period);
+        let (id, _) = interner.intern(c);
+        let key = (id, (t % period) as u32);
         if let Some(&start) = seen.get(&key) {
             // Lasso closed: the loop is trace[start..t].
-            let loop_configs = &trace[start..];
-            let all_acc = loop_configs.iter().all(|c| c.is_accepting(machine));
-            let all_rej = loop_configs.iter().all(|c| c.is_rejecting(machine));
+            let loop_ids = &trace[start..];
+            let all_acc = loop_ids
+                .iter()
+                .all(|&i| interner.get(i as usize).is_accepting(machine));
+            let all_rej = loop_ids
+                .iter()
+                .all(|&i| interner.get(i as usize).is_rejecting(machine));
             return Ok(if all_acc {
                 Verdict::Accepts
             } else if all_rej {
@@ -462,8 +659,10 @@ fn decide_lasso<S: State>(
             });
         }
         seen.insert(key, t);
-        trace.push(c.clone());
-        c = c.successor(machine, graph, &selection_at(t));
+        trace.push(id);
+        c = interner
+            .get(id as usize)
+            .successor(machine, graph, &selection_at(t));
     }
     Err(ExploreError::NoLasso { limit })
 }
@@ -594,17 +793,7 @@ mod tests {
         let m = Machine::new(
             1,
             |_| 0u8,
-            |&s, n| {
-                if s == 0 {
-                    if n.exists(|&t| t == 1) {
-                        1
-                    } else {
-                        1
-                    }
-                } else {
-                    s
-                }
-            },
+            |&s, _| if s == 0 { 1 } else { s },
             |&s| match s {
                 1 => Output::Accept,
                 _ => Output::Neutral,
@@ -704,5 +893,69 @@ mod tests {
             decide_pseudo_stochastic(&m, &g, 100_000).unwrap(),
             Verdict::Inconsistent
         );
+    }
+
+    #[test]
+    fn index_of_finds_every_reachable_config() {
+        let g = generators::labelled_cycle(&LabelCount::from_vec(vec![3, 1]));
+        let m = flood();
+        let sys = ExclusiveSystem::new(&m, &g);
+        let e = Exploration::explore(&sys, 10_000).unwrap();
+        for (i, c) in e.configs().iter().enumerate() {
+            assert_eq!(e.index_of(c), Some(i));
+        }
+        let unreachable = Config::from_states(vec![true, false, true, false]);
+        assert_eq!(e.index_of(&unreachable), None);
+    }
+
+    #[test]
+    fn successor_ids_are_sorted_and_unique() {
+        let g = generators::labelled_cycle(&LabelCount::from_vec(vec![2, 2]));
+        let m = flood();
+        let sys = ExclusiveSystem::new(&m, &g);
+        let e = Exploration::explore(&sys, 10_000).unwrap();
+        for i in 0..e.len() {
+            let row = e.successors(i);
+            assert!(row.windows(2).all(|w| w[0] < w[1]), "row {i}: {row:?}");
+            for &j in row {
+                assert!((j as usize) < e.len());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_options_give_identical_exploration() {
+        // Same ids, edges, flags and verdict regardless of thread count or
+        // frontier threshold — the engine is deterministic by construction.
+        let g = generators::labelled_cycle(&LabelCount::from_vec(vec![3, 2]));
+        let m = flood();
+        let sys = ExclusiveSystem::new(&m, &g);
+        let seq = Exploration::explore_with(
+            &sys,
+            sys.initial_config(),
+            ExploreOptions {
+                threads: 1,
+                ..ExploreOptions::with_limit(100_000)
+            },
+        )
+        .unwrap();
+        let par = Exploration::explore_with(
+            &sys,
+            sys.initial_config(),
+            ExploreOptions {
+                threads: 4,
+                frontier_threshold: 1,
+                ..ExploreOptions::with_limit(100_000)
+            },
+        )
+        .unwrap();
+        assert_eq!(seq.configs(), par.configs());
+        assert_eq!(seq.len(), par.len());
+        for i in 0..seq.len() {
+            assert_eq!(seq.successors(i), par.successors(i));
+            assert_eq!(seq.is_accepting(i), par.is_accepting(i));
+            assert_eq!(seq.is_rejecting(i), par.is_rejecting(i));
+        }
+        assert_eq!(seq.verdict(), par.verdict());
     }
 }

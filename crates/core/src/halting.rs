@@ -83,7 +83,13 @@ mod tests {
             1,
             |_| 0u8,
             |&s, _| if s == 0 { 1 } else { 0 },
-            |&s| if s == 1 { Output::Accept } else { Output::Neutral },
+            |&s| {
+                if s == 1 {
+                    Output::Accept
+                } else {
+                    Output::Neutral
+                }
+            },
         )
     }
 
@@ -114,7 +120,7 @@ mod tests {
     #[test]
     fn wrapper_preserves_neutral_dynamics() {
         let m = make_halting(&wobbly());
-        let n = crate::Neighbourhood::from_states(Vec::<u8>::new().into_iter(), 1);
+        let n = crate::Neighbourhood::from_states(Vec::<u8>::new(), 1);
         assert_eq!(m.step(&0, &n), 1);
         assert_eq!(m.step(&1, &n), 1); // absorbed
     }

@@ -1,0 +1,454 @@
+//! Hash-consing of configurations into dense `u32` ids.
+//!
+//! The exploration engine never passes configurations around by value:
+//! every configuration is interned exactly once into a dense id, and BFS,
+//! lasso detection and the `Pre*` machinery work on ids. The interner is
+//! **sharded** — a configuration's FxHash picks one of [`SHARDS`]
+//! open-addressing tables — so a whole BFS level can be deduplicated in
+//! parallel, one thread per shard, while ids stay dense and deterministic:
+//! the parallel level merge assigns ids in first-occurrence arrival order,
+//! exactly as item-by-item [`Interner::intern`] calls would, so parallel
+//! and sequential exploration produce bit-identical results.
+//!
+//! Memory layout: each configuration is owned once, in the dense
+//! `configs` vector; the shard tables store only `(hash, id)` pairs and
+//! resolve collisions by comparing against `configs[id]`. This is roughly
+//! half the footprint of the classic `HashMap<Config, usize>` + `Vec<Config>`
+//! pair (which clones every configuration into the map key), and the
+//! tables stay cache-friendly.
+
+use rayon::prelude::*;
+use std::hash::{Hash, Hasher};
+
+/// Number of shards (must be a power of two).
+const SHARDS: usize = 32;
+const SHARD_BITS: u32 = SHARDS.trailing_zeros();
+
+/// Tag bit marking a provisional id local to an in-progress level merge.
+const FRESH_BIT: u32 = 1 << 31;
+
+/// Vacant-slot marker in the shard tables.
+const EMPTY: u32 = u32::MAX;
+
+/// The FxHash of a value (the workspace's standard fast hash).
+#[inline]
+pub(crate) fn fx_hash<C: Hash>(c: &C) -> u64 {
+    let mut hasher = rustc_hash::FxHasher::default();
+    c.hash(&mut hasher);
+    hasher.finish()
+}
+
+#[inline]
+fn shard_of(hash: u64) -> usize {
+    (hash >> (64 - SHARD_BITS)) as usize
+}
+
+/// Maps a hash to a table slot: a multiplicative remix so that the probe
+/// position is independent of the bits used for shard selection.
+#[inline]
+fn spread(hash: u64, bits: u32) -> usize {
+    (hash.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - bits)) as usize
+}
+
+enum Probe {
+    Found(u32),
+    Inserted,
+}
+
+/// One shard: an open-addressing `(hash, id)` table with linear probing.
+/// Configurations themselves live in the interner's dense vector; `eq`
+/// closures resolve ids back to configurations for collision checks.
+#[derive(Debug, Clone)]
+struct RawTable {
+    entries: Vec<(u64, u32)>,
+    live: usize,
+    bits: u32,
+}
+
+impl RawTable {
+    fn new() -> Self {
+        const INITIAL_BITS: u32 = 6;
+        RawTable {
+            entries: vec![(0, EMPTY); 1 << INITIAL_BITS],
+            live: 0,
+            bits: INITIAL_BITS,
+        }
+    }
+
+    /// Finds the id whose entry matches `hash` and `eq`, or inserts
+    /// `new_id` into the first vacant probe slot.
+    fn find_or_insert(&mut self, hash: u64, new_id: u32, eq: impl Fn(u32) -> bool) -> Probe {
+        self.maybe_grow();
+        let mask = self.entries.len() - 1;
+        let mut idx = spread(hash, self.bits) & mask;
+        loop {
+            let (h, id) = self.entries[idx];
+            if id == EMPTY {
+                self.entries[idx] = (hash, new_id);
+                self.live += 1;
+                return Probe::Inserted;
+            }
+            if h == hash && eq(id) {
+                return Probe::Found(id);
+            }
+            idx = (idx + 1) & mask;
+        }
+    }
+
+    /// Finds the id matching `hash` and `eq` without inserting.
+    fn find(&self, hash: u64, eq: impl Fn(u32) -> bool) -> Option<u32> {
+        let mask = self.entries.len() - 1;
+        let mut idx = spread(hash, self.bits) & mask;
+        loop {
+            let (h, id) = self.entries[idx];
+            if id == EMPTY {
+                return None;
+            }
+            if h == hash && eq(id) {
+                return Some(id);
+            }
+            idx = (idx + 1) & mask;
+        }
+    }
+
+    /// Rewrites every provisional (`FRESH_BIT`-tagged) id through `f`.
+    fn fixup_fresh(&mut self, f: impl Fn(u32) -> u32) {
+        for (_, id) in &mut self.entries {
+            if *id != EMPTY && *id & FRESH_BIT != 0 {
+                *id = f(*id & !FRESH_BIT);
+            }
+        }
+    }
+
+    /// Doubles the table when the load factor would exceed 7/8.
+    fn maybe_grow(&mut self) {
+        if (self.live + 1) * 8 <= self.entries.len() * 7 {
+            return;
+        }
+        let bits = self.bits + 1;
+        let mut next = vec![(0u64, EMPTY); 1 << bits];
+        let mask = next.len() - 1;
+        for &(h, id) in &self.entries {
+            if id == EMPTY {
+                continue;
+            }
+            let mut idx = spread(h, bits) & mask;
+            while next[idx].1 != EMPTY {
+                idx = (idx + 1) & mask;
+            }
+            next[idx] = (h, id);
+        }
+        self.entries = next;
+        self.bits = bits;
+    }
+}
+
+/// A candidate successor flowing through a level merge: its position in
+/// the level (`row`, `col`), its hash, the configuration itself (dropped
+/// as soon as it turns out to be a duplicate), and the resolved id.
+struct Candidate<C> {
+    row: u32,
+    col: u32,
+    hash: u64,
+    cfg: Option<C>,
+    id: u32,
+}
+
+/// Per-shard working state for one level merge.
+struct ShardWork<'a, C> {
+    table: &'a mut RawTable,
+    configs: &'a [C],
+    bucket: Vec<Candidate<C>>,
+    /// Bucket positions of this shard's fresh configurations, in
+    /// first-occurrence order; a fresh candidate's provisional id is its
+    /// index in this list, tagged with `FRESH_BIT`.
+    fresh: Vec<u32>,
+}
+
+impl<C: Eq> ShardWork<'_, C> {
+    /// Deduplicates the shard's bucket against the global table and
+    /// against itself, assigning provisional ids to fresh configurations.
+    fn run(&mut self) {
+        let ShardWork {
+            table,
+            configs,
+            bucket,
+            fresh,
+        } = self;
+        for i in 0..bucket.len() {
+            let hash = bucket[i].hash;
+            let tag = FRESH_BIT | fresh.len() as u32;
+            let probe = {
+                let bucket = &*bucket;
+                let fresh = &*fresh;
+                table.find_or_insert(hash, tag, |id| {
+                    let candidate = bucket[i].cfg.as_ref().expect("candidate still owned");
+                    if id & FRESH_BIT != 0 {
+                        let pos = fresh[(id & !FRESH_BIT) as usize] as usize;
+                        bucket[pos].cfg.as_ref().expect("fresh config owned") == candidate
+                    } else {
+                        &configs[id as usize] == candidate
+                    }
+                })
+            };
+            match probe {
+                Probe::Found(id) => {
+                    bucket[i].id = id;
+                    bucket[i].cfg = None;
+                }
+                Probe::Inserted => {
+                    bucket[i].id = tag;
+                    fresh.push(i as u32);
+                }
+            }
+        }
+    }
+}
+
+/// A sharded hash-consing interner: configurations in, dense `u32` ids out.
+#[derive(Debug)]
+pub struct Interner<C> {
+    tables: Vec<RawTable>,
+    configs: Vec<C>,
+}
+
+impl<C: Eq + Hash> Default for Interner<C> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<C: Eq + Hash> Interner<C> {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Interner {
+            tables: (0..SHARDS).map(|_| RawTable::new()).collect(),
+            configs: Vec::new(),
+        }
+    }
+
+    /// Number of interned configurations.
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Whether nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+
+    /// The configuration with dense id `id`.
+    pub fn get(&self, id: usize) -> &C {
+        &self.configs[id]
+    }
+
+    /// All interned configurations, dense by id.
+    pub fn configs(&self) -> &[C] {
+        &self.configs
+    }
+
+    /// The dense id of `c`, if it has been interned.
+    pub fn index_of(&self, c: &C) -> Option<usize> {
+        let hash = fx_hash(c);
+        self.tables[shard_of(hash)]
+            .find(hash, |id| &self.configs[id as usize] == c)
+            .map(|id| id as usize)
+    }
+
+    /// Interns `c`, returning its dense id and whether it was new.
+    pub fn intern(&mut self, c: C) -> (u32, bool) {
+        let hash = fx_hash(&c);
+        let new_id = self.configs.len() as u32;
+        assert!(
+            new_id < FRESH_BIT,
+            "interner overflow: > 2^31 configurations"
+        );
+        let table = &mut self.tables[shard_of(hash)];
+        let configs = &self.configs;
+        match table.find_or_insert(hash, new_id, |id| configs[id as usize] == c) {
+            Probe::Found(id) => (id, false),
+            Probe::Inserted => {
+                self.configs.push(c);
+                (new_id, true)
+            }
+        }
+    }
+
+    /// Interns one BFS level: `level[k]` is the successor list of the
+    /// `k`-th frontier configuration. Returns the id lists aligned with
+    /// `level`; fresh configurations are appended to the dense store.
+    ///
+    /// Candidates are routed to their shard and deduplicated per shard —
+    /// in parallel when `parallel` is set — then fresh configurations
+    /// receive dense ids in first-occurrence `(row, col)` order: **exactly
+    /// the ids item-by-item [`intern`](Self::intern) calls would assign**.
+    /// The parallel exploration engine relies on this equivalence — its
+    /// sequential path interns successors directly, with none of the
+    /// bucketing machinery, and still produces bit-identical results.
+    pub fn intern_level(&mut self, level: Vec<Vec<C>>, parallel: bool) -> Vec<Vec<u32>>
+    where
+        C: Send + Sync,
+    {
+        let mut out: Vec<Vec<u32>> = level.iter().map(|row| vec![0; row.len()]).collect();
+
+        // Route candidates to shard buckets in deterministic (row, col) order.
+        let mut buckets: Vec<Vec<Candidate<C>>> = (0..SHARDS).map(|_| Vec::new()).collect();
+        for (row, succs) in level.into_iter().enumerate() {
+            for (col, cfg) in succs.into_iter().enumerate() {
+                let hash = fx_hash(&cfg);
+                buckets[shard_of(hash)].push(Candidate {
+                    row: row as u32,
+                    col: col as u32,
+                    hash,
+                    cfg: Some(cfg),
+                    id: 0,
+                });
+            }
+        }
+
+        // Per-shard dedup, optionally one thread per shard.
+        let configs = &self.configs;
+        let mut works: Vec<ShardWork<'_, C>> = self
+            .tables
+            .iter_mut()
+            .zip(buckets)
+            .map(|(table, bucket)| ShardWork {
+                table,
+                configs,
+                bucket,
+                fresh: Vec::new(),
+            })
+            .collect();
+        if parallel {
+            works.par_iter_mut().for_each(|work| work.run());
+        } else {
+            for work in &mut works {
+                work.run();
+            }
+        }
+
+        // Dense id assignment in first-occurrence (row, col) order — the
+        // arrival order of an item-by-item intern() walk. Each fresh
+        // candidate has a unique (row, col), so the sort is a total order.
+        let base = self.configs.len() as u32;
+        let mut fresh_all: Vec<(u32, u32, u32, u32)> = Vec::new();
+        for (shard, work) in works.iter().enumerate() {
+            for (local, &pos) in work.fresh.iter().enumerate() {
+                let cand = &work.bucket[pos as usize];
+                fresh_all.push((cand.row, cand.col, shard as u32, local as u32));
+            }
+        }
+        fresh_all.sort_unstable();
+        assert!(
+            base as usize + fresh_all.len() < FRESH_BIT as usize,
+            "interner overflow: > 2^31 configurations"
+        );
+
+        // Resolve each shard's provisional ids to final dense ids, and move
+        // fresh configurations into the dense store in id order.
+        let mut final_ids: Vec<Vec<u32>> = works.iter().map(|w| vec![0; w.fresh.len()]).collect();
+        let mut fresh_cfgs: Vec<C> = Vec::with_capacity(fresh_all.len());
+        for (k, &(_, _, shard, local)) in fresh_all.iter().enumerate() {
+            final_ids[shard as usize][local as usize] = base + k as u32;
+            let pos = works[shard as usize].fresh[local as usize] as usize;
+            let cfg = works[shard as usize].bucket[pos]
+                .cfg
+                .take()
+                .expect("fresh config owned");
+            fresh_cfgs.push(cfg);
+        }
+        for (work, ids) in works.iter_mut().zip(&final_ids) {
+            work.table.fixup_fresh(|local| ids[local as usize]);
+            for cand in &work.bucket {
+                let id = if cand.id & FRESH_BIT != 0 {
+                    ids[(cand.id & !FRESH_BIT) as usize]
+                } else {
+                    cand.id
+                };
+                out[cand.row as usize][cand.col as usize] = id;
+            }
+        }
+        drop(works);
+        self.configs.append(&mut fresh_cfgs);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_dedups_and_is_dense() {
+        let mut interner: Interner<Vec<u8>> = Interner::new();
+        let (a, new_a) = interner.intern(vec![1, 2]);
+        let (b, new_b) = interner.intern(vec![3]);
+        let (a2, new_a2) = interner.intern(vec![1, 2]);
+        assert_eq!((a, new_a), (0, true));
+        assert_eq!((b, new_b), (1, true));
+        assert_eq!((a2, new_a2), (0, false));
+        assert_eq!(interner.len(), 2);
+        assert_eq!(interner.get(1), &vec![3]);
+        assert_eq!(interner.index_of(&vec![1, 2]), Some(0));
+        assert_eq!(interner.index_of(&vec![9]), None);
+    }
+
+    #[test]
+    fn many_inserts_force_growth() {
+        let mut interner: Interner<u64> = Interner::new();
+        for i in 0..10_000u64 {
+            let (id, fresh) = interner.intern(i);
+            assert_eq!(id as u64, i);
+            assert!(fresh);
+        }
+        for i in 0..10_000u64 {
+            assert_eq!(interner.index_of(&i), Some(i as usize));
+            let (_, fresh) = interner.intern(i);
+            assert!(!fresh);
+        }
+    }
+
+    #[test]
+    fn level_merge_matches_item_interning() {
+        // A level merge must assign exactly the ids an item-by-item
+        // intern() walk assigns — including for duplicates.
+        let level: Vec<Vec<u64>> = vec![vec![5, 6, 5], vec![6, 7], vec![8, 5]];
+        let mut by_level: Interner<u64> = Interner::new();
+        let ids = by_level.intern_level(level.clone(), false);
+        let mut by_item: Interner<u64> = Interner::new();
+        let item_ids: Vec<Vec<u32>> = level
+            .iter()
+            .map(|row| row.iter().map(|&c| by_item.intern(c).0).collect())
+            .collect();
+        assert_eq!(ids, item_ids);
+        assert_eq!(by_level.configs(), by_item.configs());
+        assert_eq!(ids[0][0], ids[0][2], "dup within a row");
+        assert_eq!(ids[0][1], ids[1][0], "dup across rows");
+        assert_eq!(by_level.len(), 4);
+        for (row, id_row) in level.iter().zip(&ids) {
+            for (c, &id) in row.iter().zip(id_row) {
+                assert_eq!(by_level.get(id as usize), c);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_merges_agree() {
+        let level: Vec<Vec<u32>> = (0..50)
+            .map(|k| (0..20).map(|j| (k * 7 + j * 13) % 97).collect())
+            .collect();
+        let mut seq: Interner<u32> = Interner::new();
+        let mut par: Interner<u32> = Interner::new();
+        let mut item: Interner<u32> = Interner::new();
+        let ids_seq = seq.intern_level(level.clone(), false);
+        let ids_par = par.intern_level(level.clone(), true);
+        let ids_item: Vec<Vec<u32>> = level
+            .iter()
+            .map(|row| row.iter().map(|&c| item.intern(c).0).collect())
+            .collect();
+        assert_eq!(ids_seq, ids_par);
+        assert_eq!(ids_seq, ids_item);
+        assert_eq!(seq.configs(), par.configs());
+        assert_eq!(seq.configs(), item.configs());
+    }
+}

@@ -40,10 +40,12 @@
 //! assert!(verdict.is_accepting());
 //! ```
 
+mod bitset;
 mod class;
 mod config;
 mod explore;
 mod halting;
+mod intern;
 mod machine;
 mod neighbourhood;
 mod product;
@@ -54,9 +56,11 @@ pub use class::{Acceptance, Detection, Fairness, ModelClass, PropertyClassBound}
 pub use config::Config;
 pub use explore::{
     decide_adversarial_round_robin, decide_pseudo_stochastic, decide_synchronous, decide_system,
-    ExclusiveSystem, ExploreError, Exploration, LiberalSystem, TransitionSystem, Verdict,
+    ExclusiveSystem, Exploration, ExploreError, ExploreOptions, LiberalSystem, TransitionSystem,
+    Verdict,
 };
 pub use halting::{halting_violations, make_halting};
+pub use intern::Interner;
 pub use machine::{Machine, Output, State};
 pub use neighbourhood::Neighbourhood;
 pub use product::{negate, product, Combine};

@@ -45,9 +45,12 @@ pub enum Output {
 pub struct Machine<S: State> {
     beta: u32,
     init: Arc<dyn Fn(Label) -> S + Send + Sync>,
-    delta: Arc<dyn Fn(&S, &Neighbourhood<S>) -> S + Send + Sync>,
+    delta: DeltaFn<S>,
     output: Arc<dyn Fn(&S) -> Output + Send + Sync>,
 }
+
+/// A shared transition function `δ : Q × [β]^Q → Q`.
+type DeltaFn<S> = Arc<dyn Fn(&S, &Neighbourhood<S>) -> S + Send + Sync>;
 
 impl<S: State> Clone for Machine<S> {
     fn clone(&self) -> Self {
@@ -190,7 +193,13 @@ mod tests {
             2,
             |l: Label| l.0 as i32,
             |&s, n| n.states().map(|(t, _)| *t).chain([s]).max().unwrap(),
-            |&s| if s > 0 { Output::Accept } else { Output::Reject },
+            |&s| {
+                if s > 0 {
+                    Output::Accept
+                } else {
+                    Output::Reject
+                }
+            },
         )
     }
 
@@ -231,10 +240,7 @@ mod tests {
         enum Wrap {
             V(i32),
         }
-        let m = max_machine().map_states(
-            |&s| Wrap::V(s),
-            |Wrap::V(s)| *s,
-        );
+        let m = max_machine().map_states(|&s| Wrap::V(s), |Wrap::V(s)| *s);
         let n = Neighbourhood::from_states([Wrap::V(9)], 2);
         assert_eq!(m.step(&Wrap::V(1), &n), Wrap::V(9));
         assert_eq!(m.output(&Wrap::V(0)), Output::Reject);

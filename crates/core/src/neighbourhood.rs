@@ -211,7 +211,10 @@ mod tests {
     #[test]
     fn projection_clip_exact_under_saturation() {
         // 4 + 4 neighbours project onto one state; β = 3 saturates both ways.
-        let raw: Vec<(u8, u8)> = (0..4).map(|_| (1, 0)).chain((0..4).map(|_| (1, 1))).collect();
+        let raw: Vec<(u8, u8)> = (0..4)
+            .map(|_| (1, 0))
+            .chain((0..4).map(|_| (1, 1)))
+            .collect();
         let n = Neighbourhood::from_states(raw.iter().copied(), 3);
         let p = n.project(|&(x, _)| x);
         assert_eq!(p.count(&1), 3);

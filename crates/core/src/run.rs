@@ -219,12 +219,7 @@ mod tests {
         let m = Machine::new(1, |_| 0u64, |&s, _| s + 1, |_| Output::Neutral);
         let g = generators::cycle(3);
         let mut sched = SynchronousScheduler;
-        let r = run_until_stable(
-            &m,
-            &g,
-            &mut sched,
-            StabilityOptions::new(100, 10),
-        );
+        let r = run_until_stable(&m, &g, &mut sched, StabilityOptions::new(100, 10));
         assert_eq!(r.verdict, Verdict::NoConsensus);
         assert_eq!(r.steps, 100);
     }

@@ -200,7 +200,7 @@ mod tests {
     fn round_robin_is_fair_over_a_period() {
         let g = generators::cycle(5);
         let mut s = RoundRobinScheduler;
-        let mut hit = vec![false; 5];
+        let mut hit = [false; 5];
         for t in 0..5 {
             let sel = s.next_selection(&g, t);
             assert_eq!(sel.len(), 1);
@@ -235,7 +235,7 @@ mod tests {
     fn random_exclusive_hits_every_node_eventually() {
         let g = generators::cycle(5);
         let mut s = RandomScheduler::exclusive(3);
-        let mut hit = vec![false; 5];
+        let mut hit = [false; 5];
         for t in 0..200 {
             hit[s.next_selection(&g, t).nodes()[0]] = true;
         }

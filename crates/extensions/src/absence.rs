@@ -8,7 +8,9 @@ use rand::{RngExt, SeedableRng};
 use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
-use wam_core::{Config, Machine, Output, RunReport, StabilityOptions, State, TransitionSystem, Verdict};
+use wam_core::{
+    Config, Machine, Output, RunReport, StabilityOptions, State, TransitionSystem, Verdict,
+};
 use wam_graph::{Graph, Label, NodeId};
 
 /// A distributed machine with weak absence detection
@@ -24,8 +26,11 @@ use wam_graph::{Graph, Label, NodeId};
 pub struct AbsenceMachine<S: State> {
     machine: Machine<S>,
     initiates: Arc<dyn Fn(&S) -> bool + Send + Sync>,
-    detect: Arc<dyn Fn(&S, &BTreeSet<S>) -> S + Send + Sync>,
+    detect: DetectFn<S>,
 }
+
+/// A shared absence-detection map `A : Q_A × 2^Q → Q`.
+type DetectFn<S> = Arc<dyn Fn(&S, &BTreeSet<S>) -> S + Send + Sync>;
 
 impl<S: State> Clone for AbsenceMachine<S> {
     fn clone(&self) -> Self {
@@ -365,12 +370,7 @@ mod tests {
         let c = LabelCount::from_vec(vec![5, 0]);
         let g = generators::labelled_cycle(&c);
         let am = detector();
-        let r = run_absence_until_stable(
-            &am,
-            &g,
-            9,
-            StabilityOptions::new(10_000, 10),
-        );
+        let r = run_absence_until_stable(&am, &g, 9, StabilityOptions::new(10_000, 10));
         assert_eq!(r.verdict, Verdict::Accepts);
     }
 }

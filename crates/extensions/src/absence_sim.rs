@@ -165,7 +165,8 @@ fn step<S: State>(
             // holds this agent's child label, all children have reported.
             let has_phase0 = n.exists(|t| t.phase() == 0);
             let child = dist.child(modulus);
-            let has_pending_child = n.exists(|t| matches!(t, AbsencePhased::One { dist: d, .. } if *d == child));
+            let has_pending_child =
+                n.exists(|t| matches!(t, AbsencePhased::One { dist: d, .. } if *d == child));
             if has_phase0 || has_pending_child {
                 return s.clone();
             }

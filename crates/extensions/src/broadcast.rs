@@ -6,7 +6,9 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::fmt;
 use std::sync::Arc;
-use wam_core::{Config, Machine, Output, RunReport, StabilityOptions, State, TransitionSystem, Verdict};
+use wam_core::{
+    Config, Machine, Output, RunReport, StabilityOptions, State, TransitionSystem, Verdict,
+};
 use wam_graph::{Graph, Label, NodeId};
 
 /// A response function `f : Q → Q` of a weak broadcast, shared and cheap to
@@ -29,8 +31,11 @@ pub type ResponseFn<S> = Arc<dyn Fn(&S) -> S + Send + Sync>;
 pub struct BroadcastMachine<S: State> {
     machine: Machine<S>,
     initiates: Arc<dyn Fn(&S) -> bool + Send + Sync>,
-    broadcast: Arc<dyn Fn(&S) -> (S, ResponseFn<S>) + Send + Sync>,
+    broadcast: BroadcastFn<S>,
 }
+
+/// A shared broadcast map `B : Q_B → Q × (Q → Q)`.
+type BroadcastFn<S> = Arc<dyn Fn(&S) -> (S, ResponseFn<S>) + Send + Sync>;
 
 impl<S: State> Clone for BroadcastMachine<S> {
     fn clone(&self) -> Self {
@@ -143,8 +148,10 @@ impl<'a, S: State> BroadcastSystem<'a, S> {
             // Per-receiver options: each non-initiator may apply any fired
             // signal's response function. Deduplicate per node by resulting
             // state.
-            let responses: Vec<ResponseFn<S>> =
-                set.iter().map(|&v| self.bm.broadcast(c.state(v)).1).collect();
+            let responses: Vec<ResponseFn<S>> = set
+                .iter()
+                .map(|&v| self.bm.broadcast(c.state(v)).1)
+                .collect();
             let mut options: Vec<Vec<S>> = Vec::with_capacity(c.len());
             for v in self.graph.nodes() {
                 if set.contains(&v) {
@@ -322,7 +329,13 @@ mod tests {
             1,
             move |l: Label| if l.0 == 0 { 1 } else { 0 },
             |&s: &u32, _| s, // no neighbourhood transitions
-            move |&s| if s == k { Output::Accept } else { Output::Reject },
+            move |&s| {
+                if s == k {
+                    Output::Accept
+                } else {
+                    Output::Reject
+                }
+            },
         );
         BroadcastMachine::new(
             machine,
@@ -344,8 +357,8 @@ mod tests {
     #[test]
     fn threshold_protocol_exact_verdicts() {
         for (a, b, expect) in [
-            (3u64, 2u64, true),  // 3 ≥ 3
-            (2, 3, false),       // 2 < 3
+            (3u64, 2u64, true), // 3 ≥ 3
+            (2, 3, false),      // 2 < 3
             (4, 1, true),
             (1, 3, false),
         ] {
@@ -353,11 +366,7 @@ mod tests {
             let bm = threshold(3);
             let sys = BroadcastSystem::new(&bm, &g);
             let v = decide_system(&sys, 200_000).unwrap();
-            assert_eq!(
-                v.decided(),
-                Some(expect),
-                "x≥3 on a={a}, b={b} gave {v:?}"
-            );
+            assert_eq!(v.decided(), Some(expect), "x≥3 on a={a}, b={b} gave {v:?}");
         }
     }
 
@@ -386,25 +395,14 @@ mod tests {
     fn statistical_runner_matches_exact() {
         let g = generators::labelled_cycle(&LabelCount::from_vec(vec![3, 2]));
         let bm = threshold(3);
-        let r = run_broadcast_until_stable(
-            &bm,
-            &g,
-            0.3,
-            42,
-            StabilityOptions::new(50_000, 500),
-        );
+        let r = run_broadcast_until_stable(&bm, &g, 0.3, 42, StabilityOptions::new(50_000, 500));
         assert_eq!(r.verdict, Verdict::Accepts);
     }
 
     #[test]
     fn initiators_cannot_take_neighbourhood_steps() {
         // A machine whose δ would move initiators if it could.
-        let machine = Machine::new(
-            1,
-            |_| 0u8,
-            |&s, _| s + 1,
-            |_| Output::Neutral,
-        );
+        let machine = Machine::new(1, |_| 0u8, |&s, _| s + 1, |_| Output::Neutral);
         let bm = BroadcastMachine::new(
             machine,
             |&s| s == 0,

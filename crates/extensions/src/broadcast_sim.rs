@@ -185,7 +185,13 @@ mod tests {
             1,
             move |l: Label| if l.0 == 0 { 1 } else { 0 },
             |&s: &u32, _| s,
-            move |&s| if s == k { Output::Accept } else { Output::Reject },
+            move |&s| {
+                if s == k {
+                    Output::Accept
+                } else {
+                    Output::Reject
+                }
+            },
         );
         BroadcastMachine::new(
             machine,
@@ -260,7 +266,13 @@ mod tests {
                     s
                 }
             },
-            |&s| if s == E::A { Output::Accept } else { Output::Neutral },
+            |&s| {
+                if s == E::A {
+                    Output::Accept
+                } else {
+                    Output::Neutral
+                }
+            },
         );
         let bm = BroadcastMachine::new(
             machine,

@@ -187,7 +187,13 @@ mod tests {
             1,
             move |l: Label| if l.0 == 0 { 1 } else { 0 },
             |&s: &u32, _| s,
-            move |&s| if s == k { Output::Accept } else { Output::Reject },
+            move |&s| {
+                if s == k {
+                    Output::Accept
+                } else {
+                    Output::Reject
+                }
+            },
         );
         BroadcastMachine::new(
             machine,
@@ -248,10 +254,7 @@ mod tests {
             // floods everyone to the top rung.
             if max < 2 {
                 for v in 1..=max {
-                    assert!(
-                        c.states().iter().any(|&s| s == v),
-                        "occupancy gap below {v} in {c:?}"
-                    );
+                    assert!(c.states().contains(&v), "occupancy gap below {v} in {c:?}");
                 }
             }
             last_max = max;

@@ -16,9 +16,12 @@ use wam_graph::{Graph, Label};
 /// that the paper reuses.
 pub struct GraphPopulationProtocol<S: State> {
     init: Arc<dyn Fn(Label) -> S + Send + Sync>,
-    delta: Arc<dyn Fn(&S, &S) -> (S, S) + Send + Sync>,
+    delta: RendezvousFn<S>,
     output: Arc<dyn Fn(&S) -> Output + Send + Sync>,
 }
+
+/// A shared rendez-vous transition function `δ : Q² → Q²`.
+type RendezvousFn<S> = Arc<dyn Fn(&S, &S) -> (S, S) + Send + Sync>;
 
 impl<S: State> Clone for GraphPopulationProtocol<S> {
     fn clone(&self) -> Self {
@@ -161,11 +164,15 @@ impl<S: State> TransitionSystem for PopulationSystem<'_, S> {
     }
 
     fn is_accepting(&self, c: &Config<S>) -> bool {
-        c.states().iter().all(|s| self.pp.output(s) == Output::Accept)
+        c.states()
+            .iter()
+            .all(|s| self.pp.output(s) == Output::Accept)
     }
 
     fn is_rejecting(&self, c: &Config<S>) -> bool {
-        c.states().iter().all(|s| self.pp.output(s) == Output::Reject)
+        c.states()
+            .iter()
+            .all(|s| self.pp.output(s) == Output::Reject)
     }
 }
 
@@ -247,12 +254,11 @@ mod tests {
         let pp = GraphPopulationProtocol::<MajorityState>::majority();
         let c = LabelCount::from_vec(vec![12, 8]);
         let g = generators::random_degree_bounded(&c, 3, 5, 7);
-        let r = run_population_until_stable(
-            &pp,
-            &g,
-            123,
-            StabilityOptions::new(2_000_000, 20_000),
-        );
+        // The step budget is stream-dependent: under the vendored SplitMix64
+        // `StdRng` this (graph, seed) pair stabilises around 6.8M steps, so
+        // give it 10M. Other nearby seeds converge within 2M.
+        let r =
+            run_population_until_stable(&pp, &g, 123, StabilityOptions::new(10_000_000, 20_000));
         assert_eq!(r.verdict, Verdict::Accepts);
     }
 

@@ -171,10 +171,8 @@ mod tests {
         use MajorityState::*;
         let pp = GraphPopulationProtocol::<MajorityState>::majority();
         // An answering agent seeing two non-waiting neighbours reverts.
-        let n = wam_core::Neighbourhood::from_states(
-            [Rv::Search(P), Rv::Search(M), Rv::Wait(M)],
-            2,
-        );
+        let n =
+            wam_core::Neighbourhood::from_states([Rv::Search(P), Rv::Search(M), Rv::Wait(M)], 2);
         let next = step(&pp, &Rv::Answer(M), &n);
         assert_eq!(next, Rv::Wait(M));
     }

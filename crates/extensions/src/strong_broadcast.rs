@@ -19,9 +19,12 @@ pub type ResponseFn<S> = Arc<dyn Fn(&S) -> S + Send + Sync>;
 /// States whose broadcast is silent (`q ↦ q, id`) simply pass their turn.
 pub struct StrongBroadcastProtocol<S: State> {
     init: Arc<dyn Fn(Label) -> S + Send + Sync>,
-    broadcast: Arc<dyn Fn(&S) -> (S, ResponseFn<S>) + Send + Sync>,
+    broadcast: BroadcastFn<S>,
     output: Arc<dyn Fn(&S) -> Output + Send + Sync>,
 }
+
+/// A shared broadcast map `B : Q → Q × (Q → Q)`.
+type BroadcastFn<S> = Arc<dyn Fn(&S) -> (S, ResponseFn<S>) + Send + Sync>;
 
 impl<S: State> Clone for StrongBroadcastProtocol<S> {
     fn clone(&self) -> Self {
@@ -116,11 +119,15 @@ impl<S: State> TransitionSystem for StrongBroadcastSystem<'_, S> {
     }
 
     fn is_accepting(&self, c: &Config<S>) -> bool {
-        c.states().iter().all(|s| self.sb.output(s) == Output::Accept)
+        c.states()
+            .iter()
+            .all(|s| self.sb.output(s) == Output::Accept)
     }
 
     fn is_rejecting(&self, c: &Config<S>) -> bool {
-        c.states().iter().all(|s| self.sb.output(s) == Output::Reject)
+        c.states()
+            .iter()
+            .all(|s| self.sb.output(s) == Output::Reject)
     }
 }
 
@@ -149,7 +156,13 @@ pub fn run_strong_broadcast_until_stable<S: State>(
         let (q2, f) = sb.broadcast(config.state(v));
         let states: Vec<S> = graph
             .nodes()
-            .map(|u| if u == v { q2.clone() } else { f(config.state(u)) })
+            .map(|u| {
+                if u == v {
+                    q2.clone()
+                } else {
+                    f(config.state(u))
+                }
+            })
             .collect();
         let next = Config::from_states(states);
         let changed = next != config;
@@ -186,7 +199,13 @@ pub fn threshold_protocol(k: u32) -> StrongBroadcastProtocol<u32> {
                 (s, Arc::new(|&r: &u32| r) as ResponseFn<u32>)
             }
         },
-        move |&s| if s == k { Output::Accept } else { Output::Reject },
+        move |&s| {
+            if s == k {
+                Output::Accept
+            } else {
+                Output::Reject
+            }
+        },
     )
 }
 
@@ -198,7 +217,12 @@ mod tests {
 
     #[test]
     fn threshold_exact_verdicts() {
-        for (a, b, expect) in [(3u64, 1u64, true), (2, 2, true), (1, 3, false), (4, 0, true)] {
+        for (a, b, expect) in [
+            (3u64, 1u64, true),
+            (2, 2, true),
+            (1, 3, false),
+            (4, 0, true),
+        ] {
             let sb = threshold_protocol(2);
             let c = LabelCount::from_vec(vec![a, b]);
             let g = generators::labelled_cycle(&c);
@@ -213,12 +237,8 @@ mod tests {
         let sb = threshold_protocol(3);
         let c = LabelCount::from_vec(vec![5, 2]);
         let g = generators::labelled_clique(&c);
-        let r = run_strong_broadcast_until_stable(
-            &sb,
-            &g,
-            3,
-            StabilityOptions::new(100_000, 1_000),
-        );
+        let r =
+            run_strong_broadcast_until_stable(&sb, &g, 3, StabilityOptions::new(100_000, 1_000));
         assert_eq!(r.verdict, Verdict::Accepts);
     }
 

@@ -22,7 +22,10 @@
 //! DAF-automaton.
 
 use crate::broadcast::ResponseFn;
-use crate::{compile_broadcasts, compile_rendezvous, BroadcastMachine, GraphPopulationProtocol, Phased, Rv, StrongBroadcastProtocol};
+use crate::{
+    compile_broadcasts, compile_rendezvous, BroadcastMachine, GraphPopulationProtocol, Phased, Rv,
+    StrongBroadcastProtocol,
+};
 use std::sync::Arc;
 use wam_core::{Machine, State};
 
@@ -138,7 +141,10 @@ pub fn compile_strong_broadcast<Q: State>(
                 (Phased::Zero((Rv::Wait(Token::L), q0.clone())), q0.clone()),
                 Arc::new(move |(_, r0): &ResetState<Q>| {
                     let _ = &q0c;
-                    (Phased::Zero((Rv::Wait(Token::Zero), r0.clone())), r0.clone())
+                    (
+                        Phased::Zero((Rv::Wait(Token::Zero), r0.clone())),
+                        r0.clone(),
+                    )
                 }) as ResponseFn<ResetState<Q>>,
             )
         },
@@ -204,12 +210,7 @@ mod tests {
         let c = LabelCount::from_vec(vec![3, 1]);
         let g = generators::labelled_cycle(&c);
         let mut sched = RandomScheduler::exclusive(99);
-        let r = run_until_stable(
-            &flat,
-            &g,
-            &mut sched,
-            StabilityOptions::new(400_000, 4_000),
-        );
+        let r = run_until_stable(&flat, &g, &mut sched, StabilityOptions::new(400_000, 4_000));
         assert_eq!(r.verdict, Verdict::Accepts);
     }
 }

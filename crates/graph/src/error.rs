@@ -33,7 +33,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::TooSmall { nodes } => {
-                write!(f, "graph has {nodes} nodes but the model requires at least 3")
+                write!(
+                    f,
+                    "graph has {nodes} nodes but the model requires at least 3"
+                )
             }
             GraphError::Disconnected => write!(f, "graph is not connected"),
             GraphError::InvalidEdge { node, nodes } => {

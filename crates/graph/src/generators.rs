@@ -98,7 +98,11 @@ pub fn labelled_star_over(ab: &Alphabet, count: &LabelCount) -> Graph {
 pub fn labelled_grid(count: &LabelCount, rows: usize, cols: usize) -> Graph {
     let ab = Alphabet::anonymous(count.arity());
     let labels = expand_labels(count);
-    assert_eq!(labels.len(), rows * cols, "grid dimensions must match count");
+    assert_eq!(
+        labels.len(),
+        rows * cols,
+        "grid dimensions must match count"
+    );
     let mut edges = Vec::new();
     for r in 0..rows {
         for c in 0..cols {
@@ -118,7 +122,11 @@ pub fn labelled_grid(count: &LabelCount, rows: usize, cols: usize) -> Graph {
 pub fn labelled_torus(count: &LabelCount, rows: usize, cols: usize) -> Graph {
     let ab = Alphabet::anonymous(count.arity());
     let labels = expand_labels(count);
-    assert_eq!(labels.len(), rows * cols, "torus dimensions must match count");
+    assert_eq!(
+        labels.len(),
+        rows * cols,
+        "torus dimensions must match count"
+    );
     assert!(rows >= 3 && cols >= 3, "torus needs rows, cols ≥ 3");
     let mut edges = Vec::new();
     for r in 0..rows {

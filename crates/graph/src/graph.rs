@@ -294,7 +294,7 @@ impl GraphBuilder {
             adj,
             edges: self.edges.into_iter().collect(),
         };
-        if graph.bfs_distances(0).iter().any(|&d| d == usize::MAX) {
+        if graph.bfs_distances(0).contains(&usize::MAX) {
             return Err(GraphError::Disconnected);
         }
         Ok(graph)

@@ -31,9 +31,9 @@ pub struct Composite {
 impl Composite {
     /// Id in `GH` of the node with the given provenance.
     pub fn node_of(&self, from_g: bool, copy: usize, original: NodeId) -> Option<NodeId> {
-        self.provenance.iter().position(|p| {
-            p.from_g == from_g && p.copy == copy && p.original == original
-        })
+        self.provenance
+            .iter()
+            .position(|p| p.from_g == from_g && p.copy == copy && p.original == original)
     }
 }
 
@@ -92,7 +92,10 @@ pub fn halting_composite(
     assert!(h.has_edge(eh.0, eh.1), "eh is not an edge of H");
     assert!(!is_bridge(g, eg.0, eg.1), "eg must lie on a cycle of G");
     assert!(!is_bridge(h, eh.0, eh.1), "eh must lie on a cycle of H");
-    assert!(g_copies >= 1 && h_copies >= 1, "need at least one copy each");
+    assert!(
+        g_copies >= 1 && h_copies >= 1,
+        "need at least one copy each"
+    );
 
     let mut b = GraphBuilder::new(g.alphabet().clone());
     let mut provenance = Vec::new();
@@ -104,7 +107,11 @@ pub fn halting_composite(
         g_base.push(base);
         for v in g.nodes() {
             b.node(g.label(v));
-            provenance.push(CompositeNode { from_g: true, copy, original: v });
+            provenance.push(CompositeNode {
+                from_g: true,
+                copy,
+                original: v,
+            });
         }
         for &(u, v) in g.edges() {
             let e = if u < v { (u, v) } else { (v, u) };
@@ -119,7 +126,11 @@ pub fn halting_composite(
         h_base.push(base);
         for v in h.nodes() {
             b.node(h.label(v));
-            provenance.push(CompositeNode { from_g: false, copy, original: v });
+            provenance.push(CompositeNode {
+                from_g: false,
+                copy,
+                original: v,
+            });
         }
         for &(u, v) in h.edges() {
             let e = if u < v { (u, v) } else { (v, u) };

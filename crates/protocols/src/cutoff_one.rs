@@ -80,9 +80,7 @@ pub fn exists_label(arity: usize, label: usize) -> Machine<u32> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wam_core::{
-        decide_adversarial_round_robin, decide_pseudo_stochastic, decide_synchronous,
-    };
+    use wam_core::{decide_adversarial_round_robin, decide_pseudo_stochastic, decide_synchronous};
     use wam_graph::{generators, LabelCount};
 
     #[test]

@@ -448,7 +448,12 @@ mod tests {
             let c = LabelCount::from_vec(vec![a, b]);
             let g = generators::random_degree_bounded(&c, 3, 2, 11);
             let mut sched = RandomScheduler::exclusive(17);
-            let r = run_until_stable(&flat, &g, &mut sched, StabilityOptions::new(2_000_000, 5_000));
+            let r = run_until_stable(
+                &flat,
+                &g,
+                &mut sched,
+                StabilityOptions::new(2_000_000, 5_000),
+            );
             assert_eq!(r.verdict.decided(), Some(expect), "({a},{b})");
         }
     }

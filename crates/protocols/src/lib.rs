@@ -22,7 +22,9 @@ pub mod homogeneous;
 pub mod pp_to_strong;
 pub mod semilinear;
 
-pub use cutoff::{cutoff_machine, exact_count_machine, interval_machine, threshold_machine, CutoffState};
+pub use cutoff::{
+    cutoff_machine, exact_count_machine, interval_machine, threshold_machine, CutoffState,
+};
 pub use cutoff_one::{cutoff_one_machine, exists_label};
 pub use homogeneous::{cancel_machine, majority_stack, threshold_stack, HomogeneousStack};
 pub use pp_to_strong::{strong_broadcast_from_population, Converted};

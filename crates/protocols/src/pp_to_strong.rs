@@ -24,7 +24,7 @@
 
 use std::sync::Arc;
 use wam_core::State;
-use wam_extensions::{GraphPopulationProtocol, StrongBroadcastProtocol};
+use wam_extensions::{GraphPopulationProtocol, ResponseFn, StrongBroadcastProtocol};
 
 /// A state of the converted protocol.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -101,7 +101,10 @@ pub fn strong_broadcast_from_population<S: State>(
                 let f = response_to_request(p, q, m);
                 (post, f)
             }
-            Converted::Wait { state: p, partner: q } => {
+            Converted::Wait {
+                state: p,
+                partner: q,
+            } => {
                 // Refresh: re-recruit candidates for the pending request.
                 let post = Converted::Wait {
                     state: p.clone(),
@@ -132,11 +135,7 @@ pub fn strong_broadcast_from_population<S: State>(
 /// Response function shared by request and refresh broadcasts: recruit
 /// idle agents in state `q` as candidates, rotate the rest, cancel any
 /// other pending request, keep matching candidates.
-fn response_to_request<S: State>(
-    p: S,
-    q: S,
-    m: u16,
-) -> Arc<dyn Fn(&Converted<S>) -> Converted<S> + Send + Sync> {
+fn response_to_request<S: State>(p: S, q: S, m: u16) -> ResponseFn<Converted<S>> {
     Arc::new(move |r| match r.clone() {
         Converted::Idle { state, ptr } => {
             if state == q {
@@ -176,12 +175,7 @@ fn response_to_request<S: State>(
 
 /// Response function of a claim: complete the matching waiter with
 /// `δ₁(p, q) = p2`, revert all other candidates, rotate idle pointers.
-fn response_to_claim<S: State>(
-    p: S,
-    q: S,
-    p2: S,
-    m: u16,
-) -> Arc<dyn Fn(&Converted<S>) -> Converted<S> + Send + Sync> {
+fn response_to_claim<S: State>(p: S, q: S, p2: S, m: u16) -> ResponseFn<Converted<S>> {
     Arc::new(move |r| match r.clone() {
         Converted::Idle { state, ptr } => Converted::Idle {
             state,
@@ -290,8 +284,20 @@ mod tests {
         );
         // Claim by the candidate.
         let (post1, g) = sb.broadcast(&s1);
-        assert_eq!(post1, Converted::Idle { state: WeakM, ptr: 1 });
+        assert_eq!(
+            post1,
+            Converted::Idle {
+                state: WeakM,
+                ptr: 1
+            }
+        );
         let done = g(&post);
-        assert_eq!(done, Converted::Idle { state: WeakP, ptr: 0 });
+        assert_eq!(
+            done,
+            Converted::Idle {
+                state: WeakP,
+                ptr: 0
+            }
+        );
     }
 }

@@ -78,7 +78,12 @@ mod tests {
     fn parity_of_label_zero() {
         // x₀ even?
         let weights = vec![1u16, 0];
-        for (a, b, expect) in [(2u64, 1u64, true), (3, 1, false), (4, 1, true), (1, 2, false)] {
+        for (a, b, expect) in [
+            (2u64, 1u64, true),
+            (3, 1, false),
+            (4, 1, true),
+            (1, 2, false),
+        ] {
             let pp = modulo_protocol(weights.clone(), 2, 0);
             let c = LabelCount::from_vec(vec![a, b]);
             for g in [

@@ -156,7 +156,7 @@ mod tests {
     fn sweep_covers_all_nodes() {
         let g = generators::cycle(4);
         let mut s = SweepScheduler;
-        let mut hit = vec![false; 4];
+        let mut hit = [false; 4];
         for t in 0..8 {
             hit[s.next_selection(&g, t).nodes()[0]] = true;
         }

@@ -1,7 +1,6 @@
 //! Parallel seed sweeps over statistical runs.
 
-use crossbeam::thread;
-use parking_lot::Mutex;
+use rayon::prelude::*;
 use wam_core::{run_until_stable, Machine, RandomScheduler, StabilityOptions, State, Verdict};
 use wam_graph::Graph;
 
@@ -63,42 +62,41 @@ impl BatchSummary {
 }
 
 /// Runs `machine` on `graph` under independent random exclusive schedules in
-/// parallel and aggregates the outcomes.
-pub fn run_batch<S: State>(machine: &Machine<S>, graph: &Graph, config: BatchConfig) -> BatchSummary {
+/// parallel and aggregates the outcomes. Each run `i` derives its own seed
+/// (`base_seed + i`), so the summary is independent of scheduling order and
+/// thread count.
+pub fn run_batch<S: State>(
+    machine: &Machine<S>,
+    graph: &Graph,
+    config: BatchConfig,
+) -> BatchSummary {
     let threads = if config.threads == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4)
-            .min(config.runs.max(1))
     } else {
         config.threads
-    };
-    let next = Mutex::new(0usize);
-    let results: Mutex<Vec<(Verdict, usize)>> = Mutex::new(Vec::with_capacity(config.runs));
-    thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = {
-                    let mut guard = next.lock();
-                    if *guard >= config.runs {
-                        break;
-                    }
-                    let i = *guard;
-                    *guard += 1;
-                    i
-                };
+    }
+    .min(config.runs.max(1));
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("batch thread pool");
+    let results: Vec<(Verdict, usize)> = pool.install(|| {
+        (0..config.runs)
+            .into_par_iter()
+            .map(|i| {
                 let mut sched = RandomScheduler::exclusive(config.base_seed + i as u64);
                 let report = run_until_stable(machine, graph, &mut sched, config.stability);
-                results.lock().push((report.verdict, report.steps));
-            });
-        }
-    })
-    .expect("batch worker panicked");
+                (report.verdict, report.steps)
+            })
+            .collect()
+    });
     let mut accepts = 0;
     let mut rejects = 0;
     let mut no_consensus = 0;
     let mut steps = Vec::new();
-    for (verdict, s) in results.into_inner() {
+    for (verdict, s) in results {
         match verdict {
             Verdict::Accepts => {
                 accepts += 1;

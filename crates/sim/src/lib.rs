@@ -1,11 +1,11 @@
 //! Experiment harness: adversarial schedulers, parallel batch runs,
-//! convergence statistics and serialisable traces.
+//! convergence statistics and recorded traces.
 //!
 //! Everything here is built on the semantics of `wam-core`; this crate adds
 //! the machinery the benchmark suite needs: schedulers designed to *stress*
 //! protocols (starvation, sweeps, unfairness for failure injection), a
-//! crossbeam-parallel [`BatchRunner`](run_batch) for seed sweeps, and
-//! [`Trace`] recording for run inspection.
+//! rayon-parallel [`run_batch`] for seed sweeps with per-run seed
+//! derivation, and [`Trace`] recording for run inspection.
 
 mod adversary;
 mod batch;

@@ -1,11 +1,10 @@
-//! Serialisable run traces for inspection and plotting.
+//! Recorded run traces for inspection and plotting.
 
-use serde::{Deserialize, Serialize};
 use wam_core::{Config, Machine, Output, Scheduler, State};
 use wam_graph::Graph;
 
 /// One recorded step.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceStep {
     /// Nodes selected at this step.
     pub selection: Vec<usize>,
@@ -16,7 +15,7 @@ pub struct TraceStep {
 }
 
 /// A recorded run: initial outputs plus one entry per step.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Trace {
     /// Number of nodes.
     pub nodes: usize,
@@ -149,18 +148,25 @@ mod tests {
         assert_eq!(trace.steps.len(), 50);
         let point = trace.stabilisation_point().expect("flood must stabilise");
         assert!(point < 50);
-        assert!(trace.steps[point..].iter().all(|s| s.outputs.iter().all(|&o| o == 1)));
+        assert!(trace.steps[point..]
+            .iter()
+            .all(|s| s.outputs.iter().all(|&o| o == 1)));
     }
 
     #[test]
     fn no_stabilisation_without_consensus() {
-        let m = Machine::new(1, |_| false, |&s, _| !s, |&s| {
-            if s {
-                Output::Accept
-            } else {
-                Output::Reject
-            }
-        });
+        let m = Machine::new(
+            1,
+            |_| false,
+            |&s, _| !s,
+            |&s| {
+                if s {
+                    Output::Accept
+                } else {
+                    Output::Reject
+                }
+            },
+        );
         let g = generators::cycle(3);
         let mut sched = wam_core::SynchronousScheduler;
         let trace = record_trace(&m, &g, &mut sched, 20);
@@ -186,11 +192,10 @@ mod tests {
     }
 
     #[test]
-    fn traces_serialise() {
+    fn traces_clone_and_compare() {
         let g = generators::labelled_cycle(&LabelCount::from_vec(vec![2, 1]));
         let mut sched = RoundRobinScheduler;
         let trace = record_trace(&flood(), &g, &mut sched, 5);
-        // Round-trip through serde's token representation using the derive.
         let cloned = trace.clone();
         assert_eq!(trace, cloned);
     }

@@ -33,7 +33,13 @@ fn main() {
                 s
             }
         },
-        |&s| if s == E::A { Output::Accept } else { Output::Neutral },
+        |&s| {
+            if s == E::A {
+                Output::Accept
+            } else {
+                Output::Neutral
+            }
+        },
     );
     let bm = BroadcastMachine::new(
         machine,

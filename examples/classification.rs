@@ -13,8 +13,8 @@ use weak_async_models::graph::{generators, LabelCount};
 fn main() {
     println!("The seven classes and their decision power (Figure 1):\n");
     println!(
-        "{:<6} {:<22} {:<22} {}",
-        "class", "arbitrary graphs", "bounded degree", "majority?"
+        "{:<6} {:<22} {:<22} majority?",
+        "class", "arbitrary graphs", "bounded degree"
     );
     for class in ModelClass::representatives() {
         println!(
@@ -22,8 +22,16 @@ fn main() {
             class.to_string(),
             class.labelling_power_arbitrary().to_string(),
             class.labelling_power_bounded_degree().to_string(),
-            if class.decides_majority_arbitrary() { "yes" } else { "no" },
-            if class.decides_majority_bounded_degree() { "yes" } else { "no" },
+            if class.decides_majority_arbitrary() {
+                "yes"
+            } else {
+                "no"
+            },
+            if class.decides_majority_bounded_degree() {
+                "yes"
+            } else {
+                "no"
+            },
         );
     }
 
@@ -45,6 +53,9 @@ fn main() {
         let graph = generators::labelled_cycle(&count);
         let verdict = decide_pseudo_stochastic(&machine, &graph, 3_000_000)
             .expect("small cycle fits the exact decider");
-        println!("  majority({a},{b}) on a cycle: {verdict} (truth: {})", a > b);
+        println!(
+            "  majority({a},{b}) on a cycle: {verdict} (truth: {})",
+            a > b
+        );
     }
 }

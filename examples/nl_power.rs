@@ -7,9 +7,7 @@
 //! cargo run --release --example nl_power
 //! ```
 
-use weak_async_models::core::{
-    decide_system, run_until_stable, RandomScheduler, StabilityOptions,
-};
+use weak_async_models::core::{decide_system, run_until_stable, RandomScheduler, StabilityOptions};
 use weak_async_models::extensions::{
     compile_broadcasts, compile_strong_broadcast, threshold_protocol, GraphPopulationProtocol,
     MajorityState, StrongBroadcastSystem,

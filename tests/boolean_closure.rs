@@ -5,9 +5,7 @@
 
 use weak_async_models::analysis::Predicate;
 use weak_async_models::core::{decide_pseudo_stochastic, negate, product, Combine};
-use weak_async_models::extensions::{
-    compile_rendezvous, GraphPopulationProtocol, MajorityState,
-};
+use weak_async_models::extensions::{compile_rendezvous, GraphPopulationProtocol, MajorityState};
 use weak_async_models::graph::{generators, trees, Graph, LabelCount};
 use weak_async_models::protocols::modulo_protocol;
 

@@ -47,7 +47,9 @@ fn daf_lower_presence_under_all_adversarial_schedules() {
                 expect
             );
             assert_eq!(
-                decide_pseudo_stochastic(&m, &g, 1_000_000).unwrap().decided(),
+                decide_pseudo_stochastic(&m, &g, 1_000_000)
+                    .unwrap()
+                    .decided(),
                 expect
             );
         }

@@ -4,8 +4,8 @@
 //! nothing). Verified for consistent halting machines across inputs.
 
 use weak_async_models::core::{
-    decide_adversarial_round_robin, decide_pseudo_stochastic, decide_synchronous, halting_violations,
-    make_halting, ExclusiveSystem, Exploration, Machine, Output,
+    decide_adversarial_round_robin, decide_pseudo_stochastic, decide_synchronous,
+    halting_violations, make_halting, ExclusiveSystem, Exploration, Machine, Output,
 };
 use weak_async_models::graph::{generators, Label, LabelCount};
 

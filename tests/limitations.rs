@@ -79,7 +79,13 @@ fn star_verdicts_admit_cutoffs() {
             1,
             move |l: Label| if l.0 == 0 { 1u32 } else { 0 },
             |&s: &u32, _| s,
-            move |&s| if s == k { Output::Accept } else { Output::Reject },
+            move |&s| {
+                if s == k {
+                    Output::Accept
+                } else {
+                    Output::Reject
+                }
+            },
         );
         let bm = BroadcastMachine::new(
             base,
@@ -131,7 +137,10 @@ fn star_system_agrees_with_explicit_on_compiled_machine() {
 /// Corollary 3.6 backdrop: majority admits no cutoff, presence does.
 #[test]
 fn predicate_classes_match_paper() {
-    assert_eq!(classify(&Predicate::majority(), 10), PropertyClass::NoCutoff);
+    assert_eq!(
+        classify(&Predicate::majority(), 10),
+        PropertyClass::NoCutoff
+    );
     assert_eq!(
         classify(&Predicate::threshold(2, 0, 1), 10),
         PropertyClass::CutoffOne

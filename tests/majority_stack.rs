@@ -30,10 +30,14 @@ fn stress_schedulers_still_decide() {
     let flat = stack.flat();
 
     let mut sweep = SweepScheduler;
-    assert!(run_until_stable(&flat, &g, &mut sweep, opts).verdict.is_accepting());
+    assert!(run_until_stable(&flat, &g, &mut sweep, opts)
+        .verdict
+        .is_accepting());
 
     let mut starve = StarvationScheduler::new(1, 25);
-    assert!(run_until_stable(&flat, &g, &mut starve, opts).verdict.is_accepting());
+    assert!(run_until_stable(&flat, &g, &mut starve, opts)
+        .verdict
+        .is_accepting());
 }
 
 #[test]
@@ -44,7 +48,12 @@ fn general_homogeneous_threshold() {
         let flat = stack.flat();
         let g = generators::labelled_line(&LabelCount::from_vec(vec![a, b]));
         let mut sched = RandomScheduler::exclusive(9);
-        let r = run_until_stable(&flat, &g, &mut sched, StabilityOptions::new(4_000_000, 5_000));
+        let r = run_until_stable(
+            &flat,
+            &g,
+            &mut sched,
+            StabilityOptions::new(4_000_000, 5_000),
+        );
         let expect = 2 * a as i64 - 3 * b as i64 >= 0;
         assert_eq!(r.verdict.decided(), Some(expect), "({a},{b})");
     }
@@ -84,8 +93,12 @@ fn verdicts_are_invariant_under_scalar_multiplication() {
             let c = LabelCount::from_vec(vec![a * lambda, b * lambda]);
             let g = generators::random_degree_bounded(&c, 3, 2, 31);
             let mut sched = RandomScheduler::exclusive(13);
-            let r =
-                run_until_stable(&flat, &g, &mut sched, StabilityOptions::new(6_000_000, 5_000));
+            let r = run_until_stable(
+                &flat,
+                &g,
+                &mut sched,
+                StabilityOptions::new(6_000_000, 5_000),
+            );
             verdicts.push(r.verdict);
         }
         assert!(

@@ -15,7 +15,12 @@ fn strict_majority_via_negation() {
         let c = LabelCount::from_vec(vec![a, b]);
         let g = generators::random_degree_bounded(&c, 3, 1, 23);
         let mut sched = RandomScheduler::exclusive(41);
-        let r = run_until_stable(&machine, &g, &mut sched, StabilityOptions::new(6_000_000, 5_000));
+        let r = run_until_stable(
+            &machine,
+            &g,
+            &mut sched,
+            StabilityOptions::new(6_000_000, 5_000),
+        );
         assert_eq!(
             r.verdict.decided(),
             Some(pred.eval(&c)),
