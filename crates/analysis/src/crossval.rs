@@ -1,6 +1,9 @@
-//! Cross-validation of decision procedures against reference predicates.
+//! Cross-validation of decision procedures against reference predicates,
+//! with an exploration memo so sweeps stop re-deciding identical spaces.
 
 use crate::Predicate;
+use rustc_hash::FxHashMap;
+use std::hash::{Hash, Hasher};
 use wam_core::Verdict;
 use wam_graph::{Graph, LabelCount};
 
@@ -42,6 +45,111 @@ pub fn cross_validate(
         }
     }
     out
+}
+
+/// The canonical form of a graph for memoisation: the label vector plus the
+/// sorted, endpoint-normalised edge list. Two graphs that are equal *as
+/// built* (same node order, labels and edge set) share a key — which is
+/// exactly what Figure-1 sweeps produce, where the generator families
+/// coincide on small counts (the 3-cycle and the 3-clique are the same
+/// triangle, the 3-star and the 3-line the same path).
+type GraphKey = (Vec<u16>, Vec<(usize, usize)>);
+
+fn graph_key(graph: &Graph) -> GraphKey {
+    let labels: Vec<u16> = graph.labels().iter().map(|l| l.0).collect();
+    let mut edges: Vec<(usize, usize)> = graph
+        .edges()
+        .iter()
+        .map(|&(u, v)| (u.min(v), u.max(v)))
+        .collect();
+    edges.sort_unstable();
+    edges.dedup();
+    (labels, edges)
+}
+
+/// A stable fingerprint for a decider/system, derived from a caller-chosen
+/// name. Memo entries from different systems never collide as long as their
+/// names differ.
+pub fn system_fingerprint(name: &str) -> u64 {
+    let mut h = rustc_hash::FxHasher::default();
+    name.hash(&mut h);
+    h.finish()
+}
+
+/// A verdict memo keyed by `(system fingerprint, canonical graph)`.
+///
+/// Exact decisions depend only on the system and the graph, so sweeps that
+/// revisit the same `(system, graph)` pair — Figure-1 tables iterate
+/// several generator families over the same counts, and the families
+/// coincide on small graphs — can reuse the verdict instead of re-exploring
+/// the configuration space.
+#[derive(Debug, Default)]
+pub struct DecisionMemo {
+    cache: FxHashMap<(u64, GraphKey), Verdict>,
+    hits: usize,
+    misses: usize,
+}
+
+impl DecisionMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        DecisionMemo::default()
+    }
+
+    /// The memoised verdict of `decide` on `graph` for the system identified
+    /// by `fingerprint` (see [`system_fingerprint`]); `decide` runs only on
+    /// a miss.
+    pub fn decide(
+        &mut self,
+        fingerprint: u64,
+        graph: &Graph,
+        decide: impl FnOnce(&Graph) -> Verdict,
+    ) -> Verdict {
+        let key = (fingerprint, graph_key(graph));
+        if let Some(&v) = self.cache.get(&key) {
+            self.hits += 1;
+            return v;
+        }
+        self.misses += 1;
+        let v = decide(graph);
+        self.cache.insert(key, v);
+        v
+    }
+
+    /// Lookups answered from the cache.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Lookups that ran the decider.
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// Distinct `(system, graph)` pairs decided so far.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Whether the memo is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+}
+
+/// [`cross_validate`] with a [`DecisionMemo`]: verdicts for repeated
+/// `(system, graph)` pairs are reused across calls sharing the memo.
+pub fn cross_validate_memo(
+    predicate: &Predicate,
+    counts: &[LabelCount],
+    mut graph_for: impl FnMut(&LabelCount) -> Option<Graph>,
+    mut decide: impl FnMut(&Graph) -> Verdict,
+    memo: &mut DecisionMemo,
+    fingerprint: u64,
+) -> Vec<Mismatch> {
+    cross_validate(predicate, counts, &mut graph_for, |g| {
+        memo.decide(fingerprint, g, &mut decide)
+    })
 }
 
 /// All label counts of the given arity whose components sum to at least
@@ -102,5 +210,63 @@ mod tests {
     fn totals_filter() {
         let counts = counts_with_totals(2, 3, 4);
         assert!(counts.iter().all(|c| (3..=4).contains(&c.total())));
+    }
+
+    #[test]
+    fn memo_dedups_coinciding_generator_families() {
+        // The 3-cycle and the 3-clique are the same triangle; the memo must
+        // answer the second family's sweep from the first's entries.
+        let m = Machine::new(
+            1,
+            |l: wam_graph::Label| l.0 == 1,
+            |&s: &bool, n| s || n.exists(|&t| t),
+            |&s| if s { Output::Accept } else { Output::Reject },
+        );
+        let p = Predicate::threshold(2, 1, 1);
+        let counts: Vec<LabelCount> = counts_with_totals(2, 3, 3);
+        let mut memo = DecisionMemo::new();
+        let fp = system_fingerprint("flood");
+        let mut decided = 0usize;
+        for build in [generators::labelled_cycle, generators::labelled_clique] {
+            let mismatches = cross_validate_memo(
+                &p,
+                &counts,
+                |c| Some(build(c)),
+                |g| {
+                    decided += 1;
+                    decide_pseudo_stochastic(&m, g, 100_000).unwrap()
+                },
+                &mut memo,
+                fp,
+            );
+            assert!(mismatches.is_empty(), "{mismatches:?}");
+        }
+        assert_eq!(memo.hits(), counts.len());
+        assert_eq!(memo.misses(), counts.len());
+        assert_eq!(decided, counts.len());
+        assert_eq!(memo.len(), counts.len());
+    }
+
+    #[test]
+    fn memo_separates_systems_by_fingerprint() {
+        let g = generators::labelled_cycle(&LabelCount::from_vec(vec![2, 1]));
+        let mut memo = DecisionMemo::new();
+        let a = memo.decide(system_fingerprint("always-accept"), &g, |_| {
+            Verdict::Accepts
+        });
+        let b = memo.decide(system_fingerprint("always-reject"), &g, |_| {
+            Verdict::Rejects
+        });
+        assert_eq!(a, Verdict::Accepts);
+        assert_eq!(b, Verdict::Rejects);
+        assert_eq!(memo.misses(), 2);
+        assert_eq!(memo.hits(), 0);
+        // Same fingerprint, same graph: served from cache even if the
+        // decider would now disagree.
+        let c = memo.decide(system_fingerprint("always-accept"), &g, |_| {
+            Verdict::Rejects
+        });
+        assert_eq!(c, Verdict::Accepts);
+        assert_eq!(memo.hits(), 1);
     }
 }

@@ -23,7 +23,9 @@ pub mod stars;
 
 pub use classes::{classify, find_cutoff, is_cutoff, is_ism, is_trivial, PropertyClass};
 pub use counter::{node_count_is_prime, CounterProgram, Instr};
-pub use crossval::{cross_validate, Mismatch};
+pub use crossval::{
+    cross_validate, cross_validate_memo, system_fingerprint, DecisionMemo, Mismatch,
+};
 pub use decidability::{decidable_by, is_homogeneous_threshold, Decidability};
 pub use predicate::Predicate;
 pub use stars::{minimal_elements, StarConfig, StarSystem};

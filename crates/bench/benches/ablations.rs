@@ -10,7 +10,7 @@
 
 use wam_bench::Table;
 use wam_core::{
-    run_until_stable, Config, Machine, Output, RandomScheduler, Selection, StabilityOptions,
+    run_machine_until_stable, Config, Machine, Output, RandomScheduler, Selection, StabilityOptions,
 };
 use wam_graph::{generators, Label, LabelCount};
 use wam_protocols::homogeneous::{cancel_update, DetectState};
@@ -36,13 +36,13 @@ fn no_resets() {
         let with = {
             let flat = stack.flat();
             let mut sched = RandomScheduler::exclusive(5);
-            run_until_stable(&flat, &g, &mut sched, opts).verdict
+            run_machine_until_stable(&flat, &g, &mut sched, opts).verdict
         };
         // Ablated: compile the bc layer only; ⊥ agents are absorbing
         // because the reset broadcast that would rescue them is gone.
         let ablated_machine = wam_extensions::compile_broadcasts(&stack.bc);
         let mut sched = RandomScheduler::exclusive(5);
-        let report = run_until_stable(&ablated_machine, &g, &mut sched, opts);
+        let report = run_machine_until_stable(&ablated_machine, &g, &mut sched, opts);
         let bot_seen = report
             .final_config
             .states()
@@ -83,11 +83,11 @@ fn no_fairness() {
     let opts = StabilityOptions::new(100_000, 1_000);
     let fair = {
         let mut sched = RandomScheduler::exclusive(1);
-        run_until_stable(&m, &g, &mut sched, opts).verdict
+        run_machine_until_stable(&m, &g, &mut sched, opts).verdict
     };
     let unfair = {
         let mut sched = UnfairScheduler::new(4);
-        run_until_stable(&m, &g, &mut sched, opts).verdict
+        run_machine_until_stable(&m, &g, &mut sched, opts).verdict
     };
     let mut t = Table::new(["scheduler", "verdict (x₁ ≥ 1, truth = true)"]);
     t.row(["fair random".into(), fair.to_string()]);

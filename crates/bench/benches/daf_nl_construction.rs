@@ -5,7 +5,7 @@
 
 use wam_analysis::Predicate;
 use wam_bench::Table;
-use wam_core::{decide_system, run_until_stable, RandomScheduler, StabilityOptions};
+use wam_core::{decide_system, run_machine_until_stable, RandomScheduler, StabilityOptions};
 use wam_extensions::{
     compile_broadcasts, compile_strong_broadcast, threshold_protocol, BroadcastSystem,
     GraphPopulationProtocol, MajorityState, StrongBroadcastSystem,
@@ -57,7 +57,8 @@ fn flattened_statistical() {
         let c = LabelCount::from_vec(vec![a, b]);
         let g = generators::labelled_cycle(&c);
         let mut sched = RandomScheduler::exclusive(2024);
-        let r = run_until_stable(&flat, &g, &mut sched, StabilityOptions::new(600_000, 4_000));
+        let r =
+            run_machine_until_stable(&flat, &g, &mut sched, StabilityOptions::new(600_000, 4_000));
         t.row([
             format!("({a},{b})"),
             (a >= 2).to_string(),

@@ -3,7 +3,7 @@
 //! witness protocol for every decidable cell and the blocking lemma for
 //! every undecidable one.
 
-use wam_analysis::Predicate;
+use wam_analysis::{system_fingerprint, DecisionMemo, Predicate};
 use wam_bench::{small_graph_suite, Table};
 use wam_core::{decide_adversarial_round_robin, decide_pseudo_stochastic, ModelClass, Verdict};
 use wam_extensions::{
@@ -48,11 +48,16 @@ fn witness_table() {
         "correct",
     ]);
 
+    // Sweeps over the small-graph suite revisit identical graphs (the
+    // 3-cycle is the 3-clique, the 3-star the 3-line); the memo answers
+    // those repeats without re-exploring the configuration space.
+    let mut memo = DecisionMemo::new();
+
     // dAf ⊇ Cutoff(1): the presence-set machine under round-robin.
     {
         let m = cutoff_one_machine(2, |p| p[1]);
         let pred = Predicate::threshold(2, 1, 1);
-        let (total, ok) = check(&pred, |g| {
+        let (total, ok) = check(&pred, &mut memo, system_fingerprint("dAf-presence"), |g| {
             decide_adversarial_round_robin(&m, g, 500_000).unwrap()
         });
         t.row([
@@ -69,7 +74,7 @@ fn witness_table() {
     {
         let flat = compile_broadcasts(&threshold_machine(2, 0, 2));
         let pred = Predicate::threshold(2, 0, 2);
-        let (total, ok) = check(&pred, |g| {
+        let (total, ok) = check(&pred, &mut memo, system_fingerprint("dAF-ladder"), |g| {
             decide_pseudo_stochastic(&flat, g, 3_000_000).unwrap()
         });
         t.row([
@@ -86,7 +91,7 @@ fn witness_table() {
         let pp = GraphPopulationProtocol::<MajorityState>::majority();
         let flat = compile_rendezvous(&pp);
         let pred = Predicate::majority();
-        let (total, ok) = check(&pred, |g| {
+        let (total, ok) = check(&pred, &mut memo, system_fingerprint("DAF-majority"), |g| {
             decide_pseudo_stochastic(&flat, g, 3_000_000).unwrap()
         });
         t.row([
@@ -103,7 +108,7 @@ fn witness_table() {
         let pp = modulo_protocol(vec![1, 0], 2, 1);
         let flat = compile_rendezvous(&pp);
         let pred = Predicate::modulo(vec![1, 0], 2, 1);
-        let (total, ok) = check(&pred, |g| {
+        let (total, ok) = check(&pred, &mut memo, system_fingerprint("DAF-parity"), |g| {
             decide_pseudo_stochastic(&flat, g, 3_000_000).unwrap()
         });
         t.row([
@@ -139,9 +144,19 @@ fn witness_table() {
     }
 
     t.print("Figure 1 (middle): executable witnesses");
+    println!(
+        "exploration memo: {} distinct (system, graph) pairs decided, {} repeats served from cache",
+        memo.misses(),
+        memo.hits()
+    );
 }
 
-fn check(pred: &Predicate, mut decide: impl FnMut(&wam_graph::Graph) -> Verdict) -> (usize, usize) {
+fn check(
+    pred: &Predicate,
+    memo: &mut DecisionMemo,
+    fingerprint: u64,
+    mut decide: impl FnMut(&wam_graph::Graph) -> Verdict,
+) -> (usize, usize) {
     let counts = [
         LabelCount::from_vec(vec![3, 0]),
         LabelCount::from_vec(vec![2, 1]),
@@ -154,7 +169,7 @@ fn check(pred: &Predicate, mut decide: impl FnMut(&wam_graph::Graph) -> Verdict)
     for c in &counts {
         for (_, g) in small_graph_suite(c) {
             total += 1;
-            if decide(&g).decided() == Some(pred.eval(c)) {
+            if memo.decide(fingerprint, &g, &mut decide).decided() == Some(pred.eval(c)) {
                 ok += 1;
             }
         }

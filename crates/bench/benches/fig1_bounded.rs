@@ -2,7 +2,7 @@
 //! graphs. The headline cell is DAf deciding majority under adversarial
 //! scheduling via the §6.1 stack.
 
-use wam_analysis::Predicate;
+use wam_analysis::{system_fingerprint, DecisionMemo, Predicate};
 use wam_bench::Table;
 use wam_core::{decide_adversarial_round_robin, decide_pseudo_stochastic, ModelClass};
 use wam_extensions::compile_rendezvous;
@@ -49,17 +49,24 @@ fn witness_table() {
         LabelCount::from_vec(vec![3, 1]),
     ];
 
+    // Verdicts are memoised per (system, graph); lines coincide with stars
+    // on three nodes, so broader sweeps reuse entries for free.
+    let mut memo = DecisionMemo::new();
+
     // dAf = Cutoff(1) also on bounded degree: presence flooding on lines.
     {
         let m = cutoff_one_machine(2, |p| p[1]);
         let pred = Predicate::threshold(2, 1, 1);
+        let fp = system_fingerprint("dAf-presence-line");
         let mut total = 0;
         let mut ok = 0;
         for c in &counts {
             let g = generators::labelled_line(c);
             total += 1;
-            if decide_adversarial_round_robin(&m, &g, 500_000)
-                .unwrap()
+            if memo
+                .decide(fp, &g, |g| {
+                    decide_adversarial_round_robin(&m, g, 500_000).unwrap()
+                })
                 .decided()
                 == Some(pred.eval(c))
             {
@@ -79,6 +86,7 @@ fn witness_table() {
     // deterministic round-robin adversarial schedule, exactly.
     {
         let pred = Predicate::linear(vec![1, -1], 0); // ties accept: a·x ≥ 0
+        let fp = system_fingerprint("DAf-majority-stack");
         let mut total = 0;
         let mut ok = 0;
         for c in &counts {
@@ -86,9 +94,12 @@ fn witness_table() {
             let flat = stack.flat();
             let g = generators::labelled_line(c);
             total += 1;
-            if decide_adversarial_round_robin(&flat, &g, 5_000_000)
-                .map(|v| v.decided())
-                .unwrap_or(None)
+            if memo
+                .decide(fp, &g, |g| {
+                    decide_adversarial_round_robin(&flat, g, 5_000_000)
+                        .unwrap_or(wam_core::Verdict::NoConsensus)
+                })
+                .decided()
                 == Some(pred.eval(c))
             {
                 ok += 1;
@@ -109,13 +120,16 @@ fn witness_table() {
         let pp = modulo_protocol(vec![1, 0], 2, 1);
         let flat = compile_rendezvous(&pp);
         let pred = Predicate::modulo(vec![1, 0], 2, 1);
+        let fp = system_fingerprint("DAF-parity-line");
         let mut total = 0;
         let mut ok = 0;
         for c in &counts {
             let g = generators::labelled_line(c);
             total += 1;
-            if decide_pseudo_stochastic(&flat, &g, 3_000_000)
-                .unwrap()
+            if memo
+                .decide(fp, &g, |g| {
+                    decide_pseudo_stochastic(&flat, g, 3_000_000).unwrap()
+                })
                 .decided()
                 == Some(pred.eval(c))
             {
@@ -140,4 +154,9 @@ fn witness_table() {
     ]);
 
     t.print("Figure 1 (right): executable witnesses");
+    println!(
+        "exploration memo: {} distinct (system, graph) pairs decided, {} repeats served from cache",
+        memo.misses(),
+        memo.hits()
+    );
 }

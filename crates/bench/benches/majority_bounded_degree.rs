@@ -4,7 +4,8 @@
 
 use wam_bench::Table;
 use wam_core::{
-    run_until_stable, RandomScheduler, RoundRobinScheduler, Scheduler, StabilityOptions, Verdict,
+    run_machine_until_stable, RandomScheduler, RoundRobinScheduler, Scheduler, StabilityOptions,
+    Verdict,
 };
 use wam_graph::{generators, LabelCount};
 use wam_protocols::majority_stack;
@@ -35,7 +36,7 @@ fn scheduler_battery() {
         for (name, mut sched) in schedulers {
             let stack = majority_stack(3);
             let flat = stack.flat();
-            let r = run_until_stable(&flat, &g, sched.as_mut(), opts);
+            let r = run_machine_until_stable(&flat, &g, sched.as_mut(), opts);
             t.row([
                 format!("({a},{b})"),
                 name.into(),
@@ -60,7 +61,7 @@ fn scaling_series() {
         let stack = majority_stack(3);
         let flat = stack.flat();
         let mut sched = RandomScheduler::exclusive(21);
-        let r = run_until_stable(
+        let r = run_machine_until_stable(
             &flat,
             &g,
             &mut sched,

@@ -16,7 +16,8 @@ use wam_core::{
     ExclusiveSystem, Exploration, ExploreOptions, Machine, Output, TransitionSystem, Verdict,
 };
 use wam_extensions::{
-    compile_broadcasts, compile_rendezvous, GraphPopulationProtocol, MajorityState,
+    compile_broadcasts, compile_rendezvous, BroadcastSystem, GraphPopulationProtocol,
+    MajorityState, PopulationSystem,
 };
 use wam_graph::{generators, Label, LabelCount};
 use wam_protocols::threshold_machine;
@@ -317,6 +318,38 @@ fn main() {
         timings.push(time_workload(
             "x₀ ≥ 2 via Lemma 4.7 line",
             5,
+            &sys,
+            10_000_000,
+            3,
+        ));
+    }
+    // Two native (uncompiled) model families: the broadcast and population
+    // transition systems explored directly, not through a plain-machine
+    // simulation layer.
+    // The broadcast graph stays small: every broadcast step fans out into
+    // |set|^(n-|set|) receiver assignments, so successor enumeration — not
+    // the explorer — dominates beyond a handful of nodes.
+    {
+        let c = LabelCount::from_vec(vec![4, 1]);
+        let g = generators::labelled_cycle(&c);
+        let bm = threshold_machine(2, 0, 2);
+        let sys = BroadcastSystem::new(&bm, &g);
+        timings.push(time_workload(
+            "x₀ ≥ 2 native broadcasts cycle",
+            5,
+            &sys,
+            10_000_000,
+            3,
+        ));
+    }
+    {
+        let c = LabelCount::from_vec(vec![8, 6]);
+        let g = generators::labelled_cycle(&c);
+        let pp = GraphPopulationProtocol::<MajorityState>::majority();
+        let sys = PopulationSystem::new(&pp, &g);
+        timings.push(time_workload(
+            "majority native rendez-vous cycle",
+            14,
             &sys,
             10_000_000,
             3,

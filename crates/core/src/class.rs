@@ -69,7 +69,7 @@ impl fmt::Display for PropertyClassBound {
 /// consensus, adversarial fairness.
 ///
 /// Selection regime is deliberately absent: the paper's starting point
-/// ([16]) is that liberal / exclusive / synchronous selection does not change
+/// (\[16\]) is that liberal / exclusive / synchronous selection does not change
 /// decision power, so classes are identified by the remaining three criteria.
 ///
 /// # Example

@@ -169,6 +169,16 @@ impl<'a, S: State> ExclusiveSystem<'a, S> {
     pub fn new(machine: &'a Machine<S>, graph: &'a Graph) -> Self {
         ExclusiveSystem { machine, graph }
     }
+
+    /// The wrapped machine.
+    pub fn machine(&self) -> &'a Machine<S> {
+        self.machine
+    }
+
+    /// The communication graph.
+    pub fn graph(&self) -> &'a Graph {
+        self.graph
+    }
 }
 
 impl<S: State> TransitionSystem for ExclusiveSystem<'_, S> {
@@ -204,7 +214,7 @@ impl<S: State> TransitionSystem for ExclusiveSystem<'_, S> {
 /// The liberal-selection transition system of a plain machine: one step may
 /// activate **any** nonempty node subset simultaneously. The successor set
 /// is exponential in `|V|`, so this is reserved for the smallest graphs —
-/// its purpose is to check the [16] selection-collapse exactly:
+/// its purpose is to check the \[16\] selection-collapse exactly:
 /// verdicts under liberal selection match those under exclusive selection.
 #[derive(Debug)]
 pub struct LiberalSystem<'a, S: State> {
@@ -225,6 +235,16 @@ impl<'a, S: State> LiberalSystem<'a, S> {
             "liberal exploration is limited to 16 nodes"
         );
         LiberalSystem { machine, graph }
+    }
+
+    /// The wrapped machine.
+    pub fn machine(&self) -> &'a Machine<S> {
+        self.machine
+    }
+
+    /// The communication graph.
+    pub fn graph(&self) -> &'a Graph {
+        self.graph
     }
 }
 

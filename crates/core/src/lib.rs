@@ -51,6 +51,7 @@ mod neighbourhood;
 mod product;
 mod run;
 mod scheduler;
+mod system;
 
 pub use class::{Acceptance, Detection, Fairness, ModelClass, PropertyClassBound};
 pub use config::Config;
@@ -64,8 +65,12 @@ pub use intern::Interner;
 pub use machine::{Machine, Output, State};
 pub use neighbourhood::Neighbourhood;
 pub use product::{negate, product, Combine};
-pub use run::{run_schedule, run_until_stable, RunReport, StabilityClock, StabilityOptions};
+pub use run::{
+    drive_until_stable, run_machine_until_stable, run_schedule, run_until_stable, RunReport,
+    StabilityClock, StabilityOptions,
+};
 pub use scheduler::{
     RandomScheduler, RoundRobinScheduler, Scheduler, Selection, SelectionRegime,
     SynchronousScheduler,
 };
+pub use system::{ScheduledSystem, StepOutcome};

@@ -1,6 +1,21 @@
 //! Statistical runners for graphs too large for exact exploration.
+//!
+//! One driver serves every model family: [`run_until_stable`] takes any
+//! [`ScheduledSystem`] (plain machines, weak broadcasts, absence detection,
+//! population protocols, strong broadcasts) and repeatedly samples scheduler
+//! steps until the two-clock stability detector fires, the system hangs, or
+//! the budget runs out. [`run_machine_until_stable`] is the plain-machine
+//! entry point for *deterministic* schedulers (round-robin, synchronous,
+//! sweeps); it drives the same loop through a [`Scheduler`] instead of the
+//! system's sampled step. Both share [`drive_until_stable`], which the
+//! adversarial runners of `wam-sim` also build on.
 
-use crate::{Config, Machine, Output, Scheduler, Selection, State, Verdict};
+use crate::{
+    Config, ExclusiveSystem, Machine, Output, ScheduledSystem, Scheduler, Selection, State,
+    StepOutcome, Verdict,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use wam_graph::Graph;
 
 /// Options controlling [`run_until_stable`].
@@ -16,7 +31,7 @@ use wam_graph::Graph;
 ///   walks, exit here).
 ///
 /// Both clocks can misfire on adversarially slow protocols; exact verdicts
-/// come from the deciders in [`crate::explore`].
+/// come from the deciders such as [`decide_system`](crate::decide_system).
 #[derive(Debug, Clone, Copy)]
 pub struct StabilityOptions {
     /// Hard cap on the number of steps.
@@ -82,6 +97,11 @@ impl StabilityClock {
         }
     }
 
+    /// The step after which the output vector last changed.
+    pub fn last_output_change(&self) -> usize {
+        self.last_output_change
+    }
+
     /// The stable verdict at step `t`, if either clock has fired.
     pub fn verdict(&self, t: usize) -> Option<(Verdict, usize)> {
         let first = self.outputs[0];
@@ -105,36 +125,40 @@ impl StabilityClock {
     }
 }
 
-/// Result of a statistical run.
+/// Result of a statistical run, generic over the configuration type of the
+/// system that produced it (`Config<S>` for plain machines, the extension
+/// crates' configuration types for the other families).
 #[derive(Debug, Clone)]
-pub struct RunReport<S> {
+pub struct RunReport<C> {
     /// The heuristic verdict: `Accepts` / `Rejects` if a consensus held for
-    /// the whole stability window, `NoConsensus` if the step budget ran out.
+    /// the whole stability window (or the system hung in consensus),
+    /// `NoConsensus` if the step budget ran out or the system hung without
+    /// consensus.
     pub verdict: Verdict,
     /// Steps executed before stopping.
     pub steps: usize,
     /// Step at which the final consensus was first reached (if any).
     pub stabilised_at: Option<usize>,
     /// The final configuration.
-    pub final_config: Config<S>,
+    pub final_config: C,
 }
 
-/// Runs `machine` on `graph` under `scheduler` until the output vector is in
-/// consensus and unchanged for [`StabilityOptions::window`] steps, or until
-/// `max_steps`.
+/// The shared driver loop: repeatedly asks `step` for the next configuration
+/// and watches the two-clock stability detector.
 ///
-/// This verdict is heuristic (a longer run could still change it); exact
-/// verdicts on small graphs come from [`crate::decide_pseudo_stochastic`]
-/// and friends. Use this for scaling experiments.
-pub fn run_until_stable<S: State>(
-    machine: &Machine<S>,
-    graph: &Graph,
-    scheduler: &mut dyn Scheduler,
-    opts: StabilityOptions,
-) -> RunReport<S> {
-    let mut config = Config::initial(machine, graph);
-    let outputs: Vec<Output> = config.states().iter().map(|s| machine.output(s)).collect();
-    let mut clock = StabilityClock::new(opts, outputs);
+/// `step(system, config, t)` produces the outcome of step `t`; returning
+/// [`StepOutcome::Hung`] declares the configuration frozen forever, which
+/// resolves the verdict immediately from its consensus. [`run_until_stable`]
+/// supplies sampled steps, [`run_machine_until_stable`] scheduler-driven
+/// ones, and `wam-sim`'s adversarial runner picks from enumerated
+/// successors; all three share this loop.
+pub fn drive_until_stable<Y, F>(system: &Y, opts: StabilityOptions, mut step: F) -> RunReport<Y::C>
+where
+    Y: ScheduledSystem + ?Sized,
+    F: FnMut(&Y, &Y::C, usize) -> StepOutcome<Y::C>,
+{
+    let mut config = system.initial_config();
+    let mut clock = StabilityClock::new(opts, system.outputs(&config));
     for t in 0..opts.max_steps {
         if let Some((verdict, since)) = clock.verdict(t) {
             return RunReport {
@@ -144,14 +168,29 @@ pub fn run_until_stable<S: State>(
                 final_config: config,
             };
         }
-        let sel = scheduler.next_selection(graph, t);
-        let next = config.successor(machine, graph, &sel);
-        let changed = next != config;
-        if changed {
-            config = next;
+        match step(system, &config, t) {
+            StepOutcome::Stepped(next) => {
+                let changed = next != config;
+                if changed {
+                    config = next;
+                }
+                let outputs = system.outputs(&config);
+                clock.record(t, changed, &outputs);
+            }
+            StepOutcome::Hung => {
+                let verdict = match system.consensus(&config) {
+                    Some(Output::Accept) => Verdict::Accepts,
+                    Some(Output::Reject) => Verdict::Rejects,
+                    _ => Verdict::NoConsensus,
+                };
+                return RunReport {
+                    verdict,
+                    steps: t,
+                    stabilised_at: verdict.decided().map(|_| clock.last_output_change()),
+                    final_config: config,
+                };
+            }
         }
-        let outputs: Vec<Output> = config.states().iter().map(|s| machine.output(s)).collect();
-        clock.record(t, changed, &outputs);
     }
     RunReport {
         verdict: Verdict::NoConsensus,
@@ -159,6 +198,43 @@ pub fn run_until_stable<S: State>(
         stabilised_at: None,
         final_config: config,
     }
+}
+
+/// Runs any [`ScheduledSystem`] under its natural seeded random scheduler
+/// until the output vector is in consensus and unchanged for
+/// [`StabilityOptions::window`] steps, or until `max_steps`.
+///
+/// This verdict is heuristic (a longer run could still change it); exact
+/// verdicts on small graphs come from [`crate::decide_pseudo_stochastic`]
+/// and friends. Use this for scaling experiments.
+pub fn run_until_stable<Y: ScheduledSystem + ?Sized>(
+    system: &Y,
+    seed: u64,
+    opts: StabilityOptions,
+) -> RunReport<Y::C> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    drive_until_stable(system, opts, move |sys, c, _t| {
+        sys.sampled_step(c, &mut rng)
+    })
+}
+
+/// Runs `machine` on `graph` under an explicit [`Scheduler`] until stable.
+///
+/// This is the plain-machine entry point for deterministic fair schedules
+/// (round-robin, synchronous, the sweeps and starvation adversaries of
+/// `wam-sim`). For seeded random runs — of this or any other model family —
+/// prefer [`run_until_stable`] on the corresponding system.
+pub fn run_machine_until_stable<S: State>(
+    machine: &Machine<S>,
+    graph: &Graph,
+    scheduler: &mut dyn Scheduler,
+    opts: StabilityOptions,
+) -> RunReport<Config<S>> {
+    let system = ExclusiveSystem::new(machine, graph);
+    drive_until_stable(&system, opts, |sys, c, t| {
+        let sel = scheduler.next_selection(sys.graph(), t);
+        StepOutcome::Stepped(c.successor(sys.machine(), sys.graph(), &sel))
+    })
 }
 
 /// Runs `machine` for exactly `steps` steps under `scheduler` and returns the
@@ -183,7 +259,9 @@ pub fn run_schedule<S: State>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Machine, Output, RandomScheduler, RoundRobinScheduler, SynchronousScheduler};
+    use crate::{
+        LiberalSystem, Machine, Output, RandomScheduler, RoundRobinScheduler, SynchronousScheduler,
+    };
     use wam_graph::{generators, LabelCount};
 
     fn flood() -> Machine<bool> {
@@ -198,17 +276,46 @@ mod tests {
     #[test]
     fn flood_stabilises_accepting() {
         let g = generators::labelled_cycle(&LabelCount::from_vec(vec![9, 1]));
-        let mut sched = RandomScheduler::exclusive(11);
-        let r = run_until_stable(&flood(), &g, &mut sched, StabilityOptions::default());
+        let m = flood();
+        let sys = ExclusiveSystem::new(&m, &g);
+        let r = run_until_stable(&sys, 11, StabilityOptions::default());
         assert_eq!(r.verdict, Verdict::Accepts);
         assert!(r.stabilised_at.is_some());
+    }
+
+    #[test]
+    fn generic_driver_matches_machine_driver_on_random_runs() {
+        // The sampled step of `ExclusiveSystem` replicates the draw stream of
+        // `RandomScheduler::exclusive`, so the two entry points agree run for
+        // run, step for step.
+        let g = generators::labelled_cycle(&LabelCount::from_vec(vec![9, 1]));
+        let m = flood();
+        let sys = ExclusiveSystem::new(&m, &g);
+        for seed in 0..8 {
+            let generic = run_until_stable(&sys, seed, StabilityOptions::default());
+            let mut sched = RandomScheduler::exclusive(seed);
+            let classic = run_machine_until_stable(&m, &g, &mut sched, StabilityOptions::default());
+            assert_eq!(generic.verdict, classic.verdict);
+            assert_eq!(generic.steps, classic.steps);
+            assert_eq!(generic.stabilised_at, classic.stabilised_at);
+            assert_eq!(generic.final_config, classic.final_config);
+        }
+    }
+
+    #[test]
+    fn liberal_system_runs_to_acceptance() {
+        let g = generators::labelled_cycle(&LabelCount::from_vec(vec![5, 1]));
+        let m = flood();
+        let sys = LiberalSystem::new(&m, &g);
+        let r = run_until_stable(&sys, 3, StabilityOptions::default());
+        assert_eq!(r.verdict, Verdict::Accepts);
     }
 
     #[test]
     fn flood_stabilises_rejecting_without_label() {
         let g = generators::labelled_cycle(&LabelCount::from_vec(vec![6, 0]));
         let mut sched = RoundRobinScheduler;
-        let r = run_until_stable(&flood(), &g, &mut sched, StabilityOptions::default());
+        let r = run_machine_until_stable(&flood(), &g, &mut sched, StabilityOptions::default());
         assert_eq!(r.verdict, Verdict::Rejects);
         // Already rejecting at the start.
         assert_eq!(r.stabilised_at, Some(0));
@@ -219,9 +326,34 @@ mod tests {
         let m = Machine::new(1, |_| 0u64, |&s, _| s + 1, |_| Output::Neutral);
         let g = generators::cycle(3);
         let mut sched = SynchronousScheduler;
-        let r = run_until_stable(&m, &g, &mut sched, StabilityOptions::new(100, 10));
+        let r = run_machine_until_stable(&m, &g, &mut sched, StabilityOptions::new(100, 10));
         assert_eq!(r.verdict, Verdict::NoConsensus);
         assert_eq!(r.steps, 100);
+    }
+
+    #[test]
+    fn hung_system_resolves_verdict_from_consensus() {
+        // A driver step that immediately hangs resolves the verdict from the
+        // initial configuration: flood on an unlabelled cycle starts (and
+        // stays) all-rejecting.
+        let g = generators::labelled_cycle(&LabelCount::from_vec(vec![4, 0]));
+        let m = flood();
+        let sys = ExclusiveSystem::new(&m, &g);
+        let r = drive_until_stable(&sys, StabilityOptions::default(), |_, _, _| {
+            StepOutcome::Hung
+        });
+        assert_eq!(r.verdict, Verdict::Rejects);
+        assert_eq!(r.steps, 0);
+        assert_eq!(r.stabilised_at, Some(0));
+
+        // With a labelled node the initial outputs disagree: no consensus.
+        let g = generators::labelled_cycle(&LabelCount::from_vec(vec![3, 1]));
+        let sys = ExclusiveSystem::new(&m, &g);
+        let r = drive_until_stable(&sys, StabilityOptions::default(), |_, _, _| {
+            StepOutcome::Hung
+        });
+        assert_eq!(r.verdict, Verdict::NoConsensus);
+        assert_eq!(r.stabilised_at, None);
     }
 
     #[test]

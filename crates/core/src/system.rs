@@ -1,0 +1,201 @@
+//! The scheduled-run view of a transition system: the one interface every
+//! statistical runner, adversary, batch sweep and trace recorder drives.
+//!
+//! PR 2 unified the *exact* layer — every exhaustive decider funnels through
+//! [`TransitionSystem`] and the interned [`Exploration`](crate::Exploration)
+//! engine. [`ScheduledSystem`] does the same for the *run-time* layer: it
+//! extends `TransitionSystem` with
+//!
+//! * a **per-node output view** ([`outputs`](ScheduledSystem::outputs) /
+//!   [`consensus`](ScheduledSystem::consensus)), which the two-clock
+//!   stability detector of [`run_until_stable`](crate::run_until_stable)
+//!   watches, and
+//! * a **seeded sampled step** ([`sampled_step`](ScheduledSystem::sampled_step)),
+//!   one draw from the model family's natural random scheduler (uniform
+//!   node for exclusive selection, random independent initiator sets plus
+//!   signal attribution for weak broadcasts, random covers for absence
+//!   detection, random adjacent ordered pairs for rendez-vous, a uniform
+//!   speaker for strong broadcasts).
+//!
+//! The *enumerate-selections* view is inherited from `TransitionSystem`:
+//! [`successors`](TransitionSystem::successors) lists every distinct
+//! non-silent one-step choice the scheduler could make, which is what the
+//! adversaries of `wam-sim` pick from.
+//!
+//! `wam-core` implements the trait for the two plain-machine systems
+//! ([`ExclusiveSystem`], [`LiberalSystem`]); `wam-extensions` implements it
+//! for the broadcast, absence-detection, population and strong-broadcast
+//! systems, so one generic driver serves all five model families the paper
+//! classifies.
+
+use crate::{ExclusiveSystem, LiberalSystem, Output, State, TransitionSystem};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// The result of one sampled (or adversarial) scheduler step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepOutcome<C> {
+    /// The run moved to this configuration. A silent step returns the
+    /// predecessor unchanged; the driver detects that by comparison.
+    Stepped(C),
+    /// No step applies now or ever again (e.g. an absence-detection
+    /// configuration without initiators): the configuration is frozen, and
+    /// the driver resolves the verdict from its consensus immediately.
+    Hung,
+}
+
+/// A transition system equipped with the run-time view: per-node outputs
+/// plus one seeded sampled scheduler step.
+///
+/// Implementations must keep the three views consistent:
+/// [`sampled_step`](ScheduledSystem::sampled_step) must return (possibly
+/// silently) configurations whose non-silent cases are reachable via
+/// [`successors`](TransitionSystem::successors), and
+/// [`outputs`](ScheduledSystem::outputs) must agree with
+/// [`is_accepting`](TransitionSystem::is_accepting) /
+/// [`is_rejecting`](TransitionSystem::is_rejecting) (all-accept ⇔ accepting,
+/// all-reject ⇔ rejecting).
+pub trait ScheduledSystem: TransitionSystem {
+    /// Number of agents (the length of every output vector).
+    fn node_count(&self) -> usize;
+
+    /// The per-node output classification of a configuration.
+    fn outputs(&self, c: &Self::C) -> Vec<Output>;
+
+    /// The consensus output, if every node agrees.
+    fn consensus(&self, c: &Self::C) -> Option<Output> {
+        let outputs = self.outputs(c);
+        let (&first, rest) = outputs.split_first()?;
+        rest.iter().all(|&o| o == first).then_some(first)
+    }
+
+    /// One step sampled from the model family's natural random scheduler.
+    ///
+    /// The draw sequence on `rng` is part of each implementation's contract:
+    /// seeded runs are reproducible, and the differential suite pins the
+    /// streams against the pre-unification runners.
+    fn sampled_step(&self, c: &Self::C, rng: &mut StdRng) -> StepOutcome<Self::C>;
+}
+
+impl<S: State> ScheduledSystem for ExclusiveSystem<'_, S> {
+    fn node_count(&self) -> usize {
+        self.graph().node_count()
+    }
+
+    fn outputs(&self, c: &Self::C) -> Vec<Output> {
+        c.states()
+            .iter()
+            .map(|s| self.machine().output(s))
+            .collect()
+    }
+
+    /// One uniformly random node applies δ (one `random_range` draw per
+    /// step — the stream of `RandomScheduler::exclusive`).
+    fn sampled_step(&self, c: &Self::C, rng: &mut StdRng) -> StepOutcome<Self::C> {
+        let v = rng.random_range(0..self.graph().node_count());
+        let stepped = c.stepped_state(self.machine(), self.graph(), v);
+        if stepped == *c.state(v) {
+            return StepOutcome::Stepped(c.clone());
+        }
+        let mut states = c.states().to_vec();
+        states[v] = stepped;
+        StepOutcome::Stepped(crate::Config::from_states(states))
+    }
+}
+
+impl<S: State> ScheduledSystem for LiberalSystem<'_, S> {
+    fn node_count(&self) -> usize {
+        self.graph().node_count()
+    }
+
+    fn outputs(&self, c: &Self::C) -> Vec<Output> {
+        c.states()
+            .iter()
+            .map(|s| self.machine().output(s))
+            .collect()
+    }
+
+    /// Every node is selected independently with probability ½, redrawing
+    /// empty selections (the stream of the liberal `RandomScheduler`); the
+    /// selected set applies δ simultaneously against the pre-step view.
+    fn sampled_step(&self, c: &Self::C, rng: &mut StdRng) -> StepOutcome<Self::C> {
+        let n = self.graph().node_count();
+        let sel = loop {
+            let nodes: Vec<usize> = (0..n).filter(|_| rng.random_bool(0.5)).collect();
+            if !nodes.is_empty() {
+                break crate::Selection::from_nodes(nodes);
+            }
+        };
+        StepOutcome::Stepped(c.successor(self.machine(), self.graph(), &sel))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Machine, Output, RandomScheduler, Scheduler, SelectionRegime};
+    use rand::SeedableRng;
+    use wam_graph::{generators, LabelCount};
+
+    fn flood() -> Machine<bool> {
+        Machine::new(
+            1,
+            |l| l.0 == 1,
+            |&s, n| s || n.exists(|&t| t),
+            |&s| if s { Output::Accept } else { Output::Reject },
+        )
+    }
+
+    #[test]
+    fn exclusive_sampled_step_matches_random_scheduler_stream() {
+        let g = generators::labelled_cycle(&LabelCount::from_vec(vec![4, 1]));
+        let m = flood();
+        let sys = ExclusiveSystem::new(&m, &g);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut sched = RandomScheduler::exclusive(9);
+        let mut via_system = sys.initial_config();
+        let mut via_scheduler = sys.initial_config();
+        for t in 0..200 {
+            match sys.sampled_step(&via_system, &mut rng) {
+                StepOutcome::Stepped(next) => via_system = next,
+                StepOutcome::Hung => panic!("exclusive systems never hang"),
+            }
+            let sel = sched.next_selection(&g, t);
+            via_scheduler = via_scheduler.successor(&m, &g, &sel);
+            assert_eq!(via_system, via_scheduler, "diverged at step {t}");
+        }
+    }
+
+    #[test]
+    fn liberal_sampled_step_matches_random_scheduler_stream() {
+        let g = generators::labelled_cycle(&LabelCount::from_vec(vec![3, 1]));
+        let m = flood();
+        let sys = LiberalSystem::new(&m, &g);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut sched = RandomScheduler::new(SelectionRegime::Liberal, 5);
+        let mut via_system = sys.initial_config();
+        let mut via_scheduler = sys.initial_config();
+        for t in 0..100 {
+            match sys.sampled_step(&via_system, &mut rng) {
+                StepOutcome::Stepped(next) => via_system = next,
+                StepOutcome::Hung => panic!("liberal systems never hang"),
+            }
+            let sel = sched.next_selection(&g, t);
+            via_scheduler = via_scheduler.successor(&m, &g, &sel);
+            assert_eq!(via_system, via_scheduler, "diverged at step {t}");
+        }
+    }
+
+    #[test]
+    fn outputs_and_consensus_agree_with_flags() {
+        let g = generators::labelled_cycle(&LabelCount::from_vec(vec![3, 1]));
+        let m = flood();
+        let sys = ExclusiveSystem::new(&m, &g);
+        let c0 = sys.initial_config();
+        assert_eq!(sys.outputs(&c0).len(), sys.node_count());
+        assert_eq!(sys.consensus(&c0), None);
+        let all = crate::Config::from_states(vec![true; 4]);
+        assert_eq!(sys.consensus(&all), Some(Output::Accept));
+        assert!(sys.is_accepting(&all));
+    }
+}

@@ -4,12 +4,13 @@
 
 use crate::util::cartesian_product;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::RngExt;
 use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
 use wam_core::{
-    Config, Machine, Output, RunReport, StabilityOptions, State, TransitionSystem, Verdict,
+    run_until_stable, Config, Machine, Output, RunReport, ScheduledSystem, StabilityOptions, State,
+    StepOutcome, TransitionSystem,
 };
 use wam_graph::{Graph, Label, NodeId};
 
@@ -199,51 +200,30 @@ impl<S: State> TransitionSystem for AbsenceSystem<'_, S> {
     }
 }
 
-/// Runs an absence machine statistically: each synchronous step assigns every
-/// node to a uniformly random initiator, realising a random cover.
-pub fn run_absence_until_stable<S: State>(
-    am: &AbsenceMachine<S>,
-    graph: &Graph,
-    seed: u64,
-    opts: StabilityOptions,
-) -> RunReport<S> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut config = Config::initial(am.machine(), graph);
-    let outputs: Vec<Output> = config.states().iter().map(|s| am.output(s)).collect();
-    let mut clock = wam_core::StabilityClock::new(opts, outputs);
-    let mut last_output_change = 0usize;
-    for t in 0..opts.max_steps {
-        if let Some((verdict, since)) = clock.verdict(t) {
-            return RunReport {
-                verdict,
-                steps: t,
-                stabilised_at: Some(since),
-                final_config: config,
-            };
-        }
-        let c1 = am.sync_step(graph, &config);
-        let initiators: Vec<NodeId> = graph
+impl<S: State> ScheduledSystem for AbsenceSystem<'_, S> {
+    fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    fn outputs(&self, c: &Config<S>) -> Vec<Output> {
+        c.states().iter().map(|s| self.am.output(s)).collect()
+    }
+
+    /// One synchronous step with a random cover: every node is assigned to a
+    /// uniformly random initiator. A configuration without initiators hangs
+    /// (`C'' = C` forever).
+    fn sampled_step(&self, c: &Config<S>, rng: &mut StdRng) -> StepOutcome<Config<S>> {
+        let c1 = self.am.sync_step(self.graph, c);
+        let initiators: Vec<NodeId> = self
+            .graph
             .nodes()
-            .filter(|&v| am.initiates(c1.state(v)))
+            .filter(|&v| self.am.initiates(c1.state(v)))
             .collect();
         if initiators.is_empty() {
-            // Hang: nothing will ever change again, so the current consensus
-            // (if any) is the final verdict.
-            let verdict = match config.consensus(am.machine()) {
-                Some(Output::Accept) => Verdict::Accepts,
-                Some(Output::Reject) => Verdict::Rejects,
-                _ => Verdict::NoConsensus,
-            };
-            return RunReport {
-                verdict,
-                steps: t,
-                stabilised_at: verdict.decided().map(|_| last_output_change),
-                final_config: config,
-            };
+            return StepOutcome::Hung;
         }
-        // Random cover: each node assigned to a random initiator.
         let mut observed: Vec<BTreeSet<S>> = vec![BTreeSet::new(); initiators.len()];
-        for v in graph.nodes() {
+        for v in self.graph.nodes() {
             let i = rng.random_range(0..initiators.len());
             observed[i].insert(c1.state(v).clone());
         }
@@ -252,36 +232,31 @@ pub fn run_absence_until_stable<S: State>(
         }
         let mut states = c1.states().to_vec();
         for (i, &v) in initiators.iter().enumerate() {
-            states[v] = am.detect(c1.state(v), &observed[i]);
+            states[v] = self.am.detect(c1.state(v), &observed[i]);
         }
-        let next = Config::from_states(states);
-        let changed = next != config;
-        if changed {
-            let changed_outputs = next
-                .states()
-                .iter()
-                .zip(config.states())
-                .any(|(a, b)| am.output(a) != am.output(b));
-            if changed_outputs {
-                last_output_change = t + 1;
-            }
-            config = next;
-        }
-        let outputs: Vec<Output> = config.states().iter().map(|s| am.output(s)).collect();
-        clock.record(t, changed, &outputs);
+        StepOutcome::Stepped(Config::from_states(states))
     }
-    RunReport {
-        verdict: Verdict::NoConsensus,
-        steps: opts.max_steps,
-        stabilised_at: None,
-        final_config: config,
-    }
+}
+
+/// Runs an absence machine statistically under the sampled scheduler of
+/// [`AbsenceSystem`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `wam_core::run_until_stable` on an `AbsenceSystem`"
+)]
+pub fn run_absence_until_stable<S: State>(
+    am: &AbsenceMachine<S>,
+    graph: &Graph,
+    seed: u64,
+    opts: StabilityOptions,
+) -> RunReport<Config<S>> {
+    run_until_stable(&AbsenceSystem::new(am, graph), seed, opts)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wam_core::{decide_system, Machine};
+    use wam_core::{decide_system, Machine, Verdict};
     use wam_graph::{generators, LabelCount};
 
     /// One-shot "is state B absent" detector: label-0 agents start in `A`
@@ -359,10 +334,11 @@ mod tests {
         let sys = AbsenceSystem::new(&am, &g);
         let c0 = sys.initial_config();
         assert!(sys.successors(&c0).is_empty());
-        let r = run_absence_until_stable(&am, &g, 5, StabilityOptions::default());
+        let r = run_until_stable(&sys, 5, StabilityOptions::default());
         // All-B hangs immediately, and the hung configuration is a rejecting
         // consensus, so the runner resolves the verdict at the hang.
         assert_eq!(r.verdict, Verdict::Rejects);
+        assert_eq!(r.steps, 0);
     }
 
     #[test]
@@ -370,7 +346,22 @@ mod tests {
         let c = LabelCount::from_vec(vec![5, 0]);
         let g = generators::labelled_cycle(&c);
         let am = detector();
-        let r = run_absence_until_stable(&am, &g, 9, StabilityOptions::new(10_000, 10));
+        let sys = AbsenceSystem::new(&am, &g);
+        let r = run_until_stable(&sys, 9, StabilityOptions::new(10_000, 10));
         assert_eq!(r.verdict, Verdict::Accepts);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_agrees_with_generic_runner() {
+        let c = LabelCount::from_vec(vec![3, 1]);
+        let g = generators::labelled_cycle(&c);
+        let am = detector();
+        let opts = StabilityOptions::new(10_000, 10);
+        let shim = run_absence_until_stable(&am, &g, 2, opts);
+        let generic = run_until_stable(&AbsenceSystem::new(&am, &g), 2, opts);
+        assert_eq!(shim.verdict, generic.verdict);
+        assert_eq!(shim.steps, generic.steps);
+        assert_eq!(shim.final_config, generic.final_config);
     }
 }

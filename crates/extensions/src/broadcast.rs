@@ -3,11 +3,12 @@
 
 use crate::util::{cartesian_product, independent_subsets};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::RngExt;
 use std::fmt;
 use std::sync::Arc;
 use wam_core::{
-    Config, Machine, Output, RunReport, StabilityOptions, State, TransitionSystem, Verdict,
+    run_until_stable, Config, Machine, Output, RunReport, ScheduledSystem, StabilityOptions, State,
+    StepOutcome, TransitionSystem,
 };
 use wam_graph::{Graph, Label, NodeId};
 
@@ -101,27 +102,39 @@ impl<S: State> BroadcastMachine<S> {
 ///
 /// Exhaustive by construction; panics (via [`cartesian_product`]) if the
 /// instance is too large for exact treatment — use
-/// [`run_broadcast_until_stable`] for those.
+/// [`run_until_stable`](wam_core::run_until_stable) for those.
 #[derive(Debug)]
 pub struct BroadcastSystem<'a, S: State> {
     bm: &'a BroadcastMachine<S>,
     graph: &'a Graph,
     choice_cap: usize,
+    broadcast_prob: f64,
 }
 
 impl<'a, S: State> BroadcastSystem<'a, S> {
-    /// Wraps a broadcast machine and a graph with the default choice cap.
+    /// Wraps a broadcast machine and a graph with the default choice cap and
+    /// a sampled broadcast probability of 0.3.
     pub fn new(bm: &'a BroadcastMachine<S>, graph: &'a Graph) -> Self {
         BroadcastSystem {
             bm,
             graph,
             choice_cap: 1 << 14,
+            broadcast_prob: 0.3,
         }
     }
 
     /// Overrides the per-step choice-enumeration cap.
     pub fn with_choice_cap(mut self, cap: usize) -> Self {
         self.choice_cap = cap;
+        self
+    }
+
+    /// Overrides the probability that a sampled step fires a broadcast when
+    /// initiators exist (see
+    /// [`sampled_step`](ScheduledSystem::sampled_step)). Only the sampled
+    /// runner uses it; the exact successor enumeration does not.
+    pub fn with_broadcast_prob(mut self, p: f64) -> Self {
+        self.broadcast_prob = p;
         self
     }
 
@@ -226,48 +239,33 @@ impl<S: State> TransitionSystem for BroadcastSystem<'_, S> {
     }
 }
 
-/// Runs a broadcast machine statistically: each step is a random
-/// neighbourhood step or (with probability `broadcast_prob` when initiators
-/// exist) a random weak broadcast with a greedy random independent initiator
-/// set and uniform signal attribution.
-///
-/// Stops per the two-clock rule of [`StabilityOptions`].
-pub fn run_broadcast_until_stable<S: State>(
-    bm: &BroadcastMachine<S>,
-    graph: &Graph,
-    broadcast_prob: f64,
-    seed: u64,
-    opts: StabilityOptions,
-) -> RunReport<S> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut config = Config::initial(bm.machine(), graph);
-    let outputs: Vec<Output> = config.states().iter().map(|s| bm.output(s)).collect();
-    let mut clock = wam_core::StabilityClock::new(opts, outputs);
-    for t in 0..opts.max_steps {
-        if let Some((verdict, since)) = clock.verdict(t) {
-            return RunReport {
-                verdict,
-                steps: t,
-                stabilised_at: Some(since),
-                final_config: config,
-            };
-        }
-        let initiators: Vec<NodeId> = graph
-            .nodes()
-            .filter(|&v| bm.initiates(config.state(v)))
-            .collect();
-        let next = if !initiators.is_empty() && rng.random_bool(broadcast_prob) {
+impl<S: State> ScheduledSystem for BroadcastSystem<'_, S> {
+    fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    fn outputs(&self, c: &Config<S>) -> Vec<Output> {
+        c.states().iter().map(|s| self.bm.output(s)).collect()
+    }
+
+    /// A random neighbourhood step, or (with probability
+    /// [`broadcast_prob`](BroadcastSystem::with_broadcast_prob) when
+    /// initiators exist) a random weak broadcast with a greedy random
+    /// independent initiator set and uniform signal attribution.
+    fn sampled_step(&self, c: &Config<S>, rng: &mut StdRng) -> StepOutcome<Config<S>> {
+        let initiators = self.initiators(c);
+        if !initiators.is_empty() && rng.random_bool(self.broadcast_prob) {
             // Random nonempty independent set of initiators: shuffle, keep
             // the first element, then include further compatible initiators
             // with probability ½ each (maximal sets alone would starve
             // protocols that need singleton broadcasts to make progress).
-            let mut order = initiators.clone();
+            let mut order = initiators;
             for i in (1..order.len()).rev() {
                 order.swap(i, rng.random_range(0..=i));
             }
             let mut set: Vec<NodeId> = Vec::new();
             for v in order {
-                if set.iter().all(|&u| !graph.has_edge(u, v))
+                if set.iter().all(|&u| !self.graph.has_edge(u, v))
                     && (set.is_empty() || rng.random_bool(0.5))
                 {
                     set.push(v);
@@ -275,44 +273,51 @@ pub fn run_broadcast_until_stable<S: State>(
             }
             let responses: Vec<ResponseFn<S>> = set
                 .iter()
-                .map(|&v| bm.broadcast(config.state(v)).1)
+                .map(|&v| self.bm.broadcast(c.state(v)).1)
                 .collect();
-            let states: Vec<S> = graph
+            let states: Vec<S> = self
+                .graph
                 .nodes()
                 .map(|v| {
                     if set.contains(&v) {
-                        bm.broadcast(config.state(v)).0
+                        self.bm.broadcast(c.state(v)).0
                     } else {
                         let f = &responses[rng.random_range(0..responses.len())];
-                        f(config.state(v))
+                        f(c.state(v))
                     }
                 })
                 .collect();
-            Config::from_states(states)
+            StepOutcome::Stepped(Config::from_states(states))
         } else {
-            // Random single-agent neighbourhood step.
-            let v = rng.random_range(0..graph.node_count());
-            if bm.initiates(config.state(v)) {
-                continue;
+            // Random single-agent neighbourhood step; a selected initiator
+            // passes (initiating agents take no neighbourhood steps).
+            let v = rng.random_range(0..self.graph.node_count());
+            if self.bm.initiates(c.state(v)) {
+                return StepOutcome::Stepped(c.clone());
             }
-            let stepped = config.stepped_state(bm.machine(), graph, v);
-            let mut states = config.states().to_vec();
+            let stepped = c.stepped_state(self.bm.machine(), self.graph, v);
+            let mut states = c.states().to_vec();
             states[v] = stepped;
-            Config::from_states(states)
-        };
-        let changed = next != config;
-        if changed {
-            config = next;
+            StepOutcome::Stepped(Config::from_states(states))
         }
-        let outputs: Vec<Output> = config.states().iter().map(|s| bm.output(s)).collect();
-        clock.record(t, changed, &outputs);
     }
-    RunReport {
-        verdict: Verdict::NoConsensus,
-        steps: opts.max_steps,
-        stabilised_at: None,
-        final_config: config,
-    }
+}
+
+/// Runs a broadcast machine statistically under the sampled scheduler of
+/// [`BroadcastSystem`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `wam_core::run_until_stable` on a `BroadcastSystem` (with `with_broadcast_prob`)"
+)]
+pub fn run_broadcast_until_stable<S: State>(
+    bm: &BroadcastMachine<S>,
+    graph: &Graph,
+    broadcast_prob: f64,
+    seed: u64,
+    opts: StabilityOptions,
+) -> RunReport<Config<S>> {
+    let sys = BroadcastSystem::new(bm, graph).with_broadcast_prob(broadcast_prob);
+    run_until_stable(&sys, seed, opts)
 }
 
 #[cfg(test)]
@@ -395,8 +400,23 @@ mod tests {
     fn statistical_runner_matches_exact() {
         let g = generators::labelled_cycle(&LabelCount::from_vec(vec![3, 2]));
         let bm = threshold(3);
-        let r = run_broadcast_until_stable(&bm, &g, 0.3, 42, StabilityOptions::new(50_000, 500));
-        assert_eq!(r.verdict, Verdict::Accepts);
+        let sys = BroadcastSystem::new(&bm, &g);
+        let r = run_until_stable(&sys, 42, StabilityOptions::new(50_000, 500));
+        assert_eq!(r.verdict, wam_core::Verdict::Accepts);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_agrees_with_generic_runner() {
+        let g = generators::labelled_cycle(&LabelCount::from_vec(vec![3, 2]));
+        let bm = threshold(3);
+        let opts = StabilityOptions::new(50_000, 500);
+        let shim = run_broadcast_until_stable(&bm, &g, 0.4, 7, opts);
+        let sys = BroadcastSystem::new(&bm, &g).with_broadcast_prob(0.4);
+        let generic = run_until_stable(&sys, 7, opts);
+        assert_eq!(shim.verdict, generic.verdict);
+        assert_eq!(shim.steps, generic.steps);
+        assert_eq!(shim.final_config, generic.final_config);
     }
 
     #[test]

@@ -2,10 +2,13 @@
 //! between adjacent nodes under pseudo-stochastic pair selection.
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::RngExt;
 use std::fmt;
 use std::sync::Arc;
-use wam_core::{Config, Output, RunReport, StabilityOptions, State, TransitionSystem, Verdict};
+use wam_core::{
+    run_until_stable, Config, Output, RunReport, ScheduledSystem, StabilityOptions, State,
+    StepOutcome, TransitionSystem,
+};
 use wam_graph::{Graph, Label};
 
 /// A population protocol on graphs: `(Q, δ)` with total rendez-vous
@@ -176,56 +179,54 @@ impl<S: State> TransitionSystem for PopulationSystem<'_, S> {
     }
 }
 
-/// Runs a population protocol statistically with uniformly random ordered
-/// adjacent pairs, stopping on a stable non-neutral consensus.
+impl<S: State> ScheduledSystem for PopulationSystem<'_, S> {
+    fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    fn outputs(&self, c: &Config<S>) -> Vec<Output> {
+        c.states().iter().map(|s| self.pp.output(s)).collect()
+    }
+
+    /// One rendez-vous between a uniformly random ordered adjacent pair. An
+    /// edgeless graph hangs (no pair will ever be selectable).
+    fn sampled_step(&self, c: &Config<S>, rng: &mut StdRng) -> StepOutcome<Config<S>> {
+        let edges = self.graph.edges();
+        if edges.is_empty() {
+            return StepOutcome::Hung;
+        }
+        let &(u, v) = &edges[rng.random_range(0..edges.len())];
+        let (a, b) = if rng.random_bool(0.5) { (u, v) } else { (v, u) };
+        let (pa, pb) = self.pp.interact(c.state(a), c.state(b));
+        if pa == *c.state(a) && pb == *c.state(b) {
+            return StepOutcome::Stepped(c.clone());
+        }
+        let mut states = c.states().to_vec();
+        states[a] = pa;
+        states[b] = pb;
+        StepOutcome::Stepped(Config::from_states(states))
+    }
+}
+
+/// Runs a population protocol statistically under the sampled scheduler of
+/// [`PopulationSystem`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `wam_core::run_until_stable` on a `PopulationSystem`"
+)]
 pub fn run_population_until_stable<S: State>(
     pp: &GraphPopulationProtocol<S>,
     graph: &Graph,
     seed: u64,
     opts: StabilityOptions,
-) -> RunReport<S> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let edges = graph.edges();
-    let mut config = {
-        let sys = PopulationSystem::new(pp, graph);
-        sys.initial_config()
-    };
-    let outputs: Vec<Output> = config.states().iter().map(|s| pp.output(s)).collect();
-    let mut clock = wam_core::StabilityClock::new(opts, outputs);
-    for t in 0..opts.max_steps {
-        if let Some((verdict, since)) = clock.verdict(t) {
-            return RunReport {
-                verdict,
-                steps: t,
-                stabilised_at: Some(since),
-                final_config: config,
-            };
-        }
-        let &(u, v) = &edges[rng.random_range(0..edges.len())];
-        let (a, b) = if rng.random_bool(0.5) { (u, v) } else { (v, u) };
-        let (pa, pb) = pp.interact(config.state(a), config.state(b));
-        let changed = pa != *config.state(a) || pb != *config.state(b);
-        if changed {
-            let mut states = config.states().to_vec();
-            states[a] = pa;
-            states[b] = pb;
-            config = Config::from_states(states);
-        }
-        let outputs: Vec<Output> = config.states().iter().map(|s| pp.output(s)).collect();
-        clock.record(t, changed, &outputs);
-    }
-    RunReport {
-        verdict: Verdict::NoConsensus,
-        steps: opts.max_steps,
-        stabilised_at: None,
-        final_config: config,
-    }
+) -> RunReport<Config<S>> {
+    run_until_stable(&PopulationSystem::new(pp, graph), seed, opts)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wam_core::decide_system;
+    use wam_core::{decide_system, Verdict};
     use wam_graph::{generators, LabelCount};
 
     #[test]
@@ -254,12 +255,26 @@ mod tests {
         let pp = GraphPopulationProtocol::<MajorityState>::majority();
         let c = LabelCount::from_vec(vec![12, 8]);
         let g = generators::random_degree_bounded(&c, 3, 5, 7);
+        let sys = PopulationSystem::new(&pp, &g);
         // The step budget is stream-dependent: under the vendored SplitMix64
         // `StdRng` this (graph, seed) pair stabilises around 6.8M steps, so
         // give it 10M. Other nearby seeds converge within 2M.
-        let r =
-            run_population_until_stable(&pp, &g, 123, StabilityOptions::new(10_000_000, 20_000));
+        let r = run_until_stable(&sys, 123, StabilityOptions::new(10_000_000, 20_000));
         assert_eq!(r.verdict, Verdict::Accepts);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_agrees_with_generic_runner() {
+        let pp = GraphPopulationProtocol::<MajorityState>::majority();
+        let c = LabelCount::from_vec(vec![3, 1]);
+        let g = generators::labelled_cycle(&c);
+        let opts = StabilityOptions::new(100_000, 1_000);
+        let shim = run_population_until_stable(&pp, &g, 11, opts);
+        let generic = run_until_stable(&PopulationSystem::new(&pp, &g), 11, opts);
+        assert_eq!(shim.verdict, generic.verdict);
+        assert_eq!(shim.steps, generic.steps);
+        assert_eq!(shim.final_config, generic.final_config);
     }
 
     #[test]

@@ -3,10 +3,13 @@
 //! in NL. The paper's Lemma 5.1 compiles them to DAF-automata.
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::RngExt;
 use std::fmt;
 use std::sync::Arc;
-use wam_core::{Config, Output, RunReport, StabilityOptions, State, TransitionSystem, Verdict};
+use wam_core::{
+    run_until_stable, Config, Output, RunReport, ScheduledSystem, StabilityOptions, State,
+    StepOutcome, TransitionSystem,
+};
 use wam_graph::{Graph, Label};
 
 /// A response function of a strong broadcast.
@@ -131,53 +134,41 @@ impl<S: State> TransitionSystem for StrongBroadcastSystem<'_, S> {
     }
 }
 
+impl<S: State> ScheduledSystem for StrongBroadcastSystem<'_, S> {
+    fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    fn outputs(&self, c: &Config<S>) -> Vec<Output> {
+        c.states().iter().map(|s| self.sb.output(s)).collect()
+    }
+
+    /// A uniformly random speaker broadcasts; every other agent applies the
+    /// response function.
+    fn sampled_step(&self, c: &Config<S>, rng: &mut StdRng) -> StepOutcome<Config<S>> {
+        let v = rng.random_range(0..self.graph.node_count());
+        let (q2, f) = self.sb.broadcast(c.state(v));
+        let states: Vec<S> = self
+            .graph
+            .nodes()
+            .map(|u| if u == v { q2.clone() } else { f(c.state(u)) })
+            .collect();
+        StepOutcome::Stepped(Config::from_states(states))
+    }
+}
+
 /// Runs a strong broadcast protocol statistically (uniform random speaker).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `wam_core::run_until_stable` on a `StrongBroadcastSystem`"
+)]
 pub fn run_strong_broadcast_until_stable<S: State>(
     sb: &StrongBroadcastProtocol<S>,
     graph: &Graph,
     seed: u64,
     opts: StabilityOptions,
-) -> RunReport<S> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let sys = StrongBroadcastSystem::new(sb, graph);
-    let mut config = sys.initial_config();
-    let outputs: Vec<Output> = config.states().iter().map(|s| sb.output(s)).collect();
-    let mut clock = wam_core::StabilityClock::new(opts, outputs);
-    for t in 0..opts.max_steps {
-        if let Some((verdict, since)) = clock.verdict(t) {
-            return RunReport {
-                verdict,
-                steps: t,
-                stabilised_at: Some(since),
-                final_config: config,
-            };
-        }
-        let v = rng.random_range(0..graph.node_count());
-        let (q2, f) = sb.broadcast(config.state(v));
-        let states: Vec<S> = graph
-            .nodes()
-            .map(|u| {
-                if u == v {
-                    q2.clone()
-                } else {
-                    f(config.state(u))
-                }
-            })
-            .collect();
-        let next = Config::from_states(states);
-        let changed = next != config;
-        if changed {
-            config = next;
-        }
-        let outputs: Vec<Output> = config.states().iter().map(|s| sb.output(s)).collect();
-        clock.record(t, changed, &outputs);
-    }
-    RunReport {
-        verdict: Verdict::NoConsensus,
-        steps: opts.max_steps,
-        stabilised_at: None,
-        final_config: config,
-    }
+) -> RunReport<Config<S>> {
+    run_until_stable(&StrongBroadcastSystem::new(sb, graph), seed, opts)
 }
 
 /// The Lemma C.5-style threshold protocol `#(label 0) ≥ k` as a strong
@@ -212,7 +203,7 @@ pub fn threshold_protocol(k: u32) -> StrongBroadcastProtocol<u32> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wam_core::decide_system;
+    use wam_core::{decide_system, Verdict};
     use wam_graph::{generators, LabelCount};
 
     #[test]
@@ -237,9 +228,23 @@ mod tests {
         let sb = threshold_protocol(3);
         let c = LabelCount::from_vec(vec![5, 2]);
         let g = generators::labelled_clique(&c);
-        let r =
-            run_strong_broadcast_until_stable(&sb, &g, 3, StabilityOptions::new(100_000, 1_000));
+        let sys = StrongBroadcastSystem::new(&sb, &g);
+        let r = run_until_stable(&sys, 3, StabilityOptions::new(100_000, 1_000));
         assert_eq!(r.verdict, Verdict::Accepts);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_agrees_with_generic_runner() {
+        let sb = threshold_protocol(2);
+        let c = LabelCount::from_vec(vec![3, 1]);
+        let g = generators::labelled_cycle(&c);
+        let opts = StabilityOptions::new(100_000, 1_000);
+        let shim = run_strong_broadcast_until_stable(&sb, &g, 8, opts);
+        let generic = run_until_stable(&StrongBroadcastSystem::new(&sb, &g), 8, opts);
+        assert_eq!(shim.verdict, generic.verdict);
+        assert_eq!(shim.steps, generic.steps);
+        assert_eq!(shim.final_config, generic.final_config);
     }
 
     #[test]

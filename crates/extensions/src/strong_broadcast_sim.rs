@@ -156,7 +156,9 @@ mod tests {
     use super::*;
     use crate::strong_broadcast::threshold_protocol;
     use crate::{BroadcastSystem, StrongBroadcastSystem};
-    use wam_core::{decide_system, run_until_stable, RandomScheduler, StabilityOptions, Verdict};
+    use wam_core::{
+        decide_system, run_machine_until_stable, RandomScheduler, StabilityOptions, Verdict,
+    };
     use wam_graph::{generators, LabelCount};
 
     #[test]
@@ -210,7 +212,8 @@ mod tests {
         let c = LabelCount::from_vec(vec![3, 1]);
         let g = generators::labelled_cycle(&c);
         let mut sched = RandomScheduler::exclusive(99);
-        let r = run_until_stable(&flat, &g, &mut sched, StabilityOptions::new(400_000, 4_000));
+        let r =
+            run_machine_until_stable(&flat, &g, &mut sched, StabilityOptions::new(400_000, 4_000));
         assert_eq!(r.verdict, Verdict::Accepts);
     }
 }

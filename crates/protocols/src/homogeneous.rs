@@ -349,7 +349,7 @@ pub fn majority_stack(k: usize) -> HomogeneousStack {
 mod tests {
     use super::*;
     use wam_core::{
-        decide_system, run_until_stable, Config, RandomScheduler, StabilityOptions,
+        decide_system, run_machine_until_stable, Config, RandomScheduler, StabilityOptions,
         SynchronousScheduler, Verdict,
     };
     use wam_extensions::AbsenceSystem;
@@ -448,7 +448,7 @@ mod tests {
             let c = LabelCount::from_vec(vec![a, b]);
             let g = generators::random_degree_bounded(&c, 3, 2, 11);
             let mut sched = RandomScheduler::exclusive(17);
-            let r = run_until_stable(
+            let r = run_machine_until_stable(
                 &flat,
                 &g,
                 &mut sched,

@@ -2,7 +2,7 @@
 //! protocols.
 //!
 //! The paper's Lemma 5.1 turns strong broadcast protocols into
-//! DAF-automata; strong broadcast protocols decide exactly NL ([11]).
+//! DAF-automata; strong broadcast protocols decide exactly NL (\[11\]).
 //! To obtain *executable* NL witnesses beyond thresholds, this module
 //! implements the classical removal of rendez-vous transitions: a
 //! rendez-vous `(p, q) ↦ (p', q')` is simulated by a **request / claim**

@@ -1,8 +1,21 @@
 //! Adversarial and stress schedulers beyond the basic drivers of `wam-core`.
+//!
+//! Two layers:
+//!
+//! * **Stress [`Scheduler`]s** for plain machines (starvation, sweeps, skew,
+//!   deliberate unfairness), driven through
+//!   [`run_machine_until_stable`](wam_core::run_machine_until_stable).
+//! * A model-generic [`Adversary`] trait that picks among the *enumerated*
+//!   one-step choices of any [`ScheduledSystem`] — the run-time counterpart
+//!   of adversarial fairness, available to every model family via
+//!   [`run_adversarial_until_stable`].
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use wam_core::{Scheduler, Selection, SelectionRegime};
+use wam_core::{
+    drive_until_stable, RunReport, ScheduledSystem, Scheduler, Selection, SelectionRegime,
+    StabilityOptions, StepOutcome,
+};
 use wam_graph::{Graph, NodeId};
 
 /// Starves one node as hard as fairness allows: the victim is selected only
@@ -134,6 +147,99 @@ impl Scheduler for UnfairScheduler {
     }
 }
 
+/// An adversary picks one of the enumerated one-step choices of a
+/// [`ScheduledSystem`] at each step.
+///
+/// `choices` is the system's non-silent successor list
+/// ([`successors`](wam_core::TransitionSystem::successors)); returning
+/// `Some(i)` steps to `choices[i]`, returning `None` passes (a silent step —
+/// an adversary that passes forever stalls the run until a clock or the
+/// budget fires). An empty choice list never reaches the adversary: the
+/// runner hangs the run and resolves the verdict from the frozen
+/// configuration.
+pub trait Adversary<Y: ScheduledSystem + ?Sized> {
+    /// Chooses the index of the successor to step to (`None` = pass).
+    fn choose(&mut self, system: &Y, c: &Y::C, choices: &[Y::C], t: usize) -> Option<usize>;
+}
+
+/// Rotates through the choice list by step index — a deterministic fair-ish
+/// baseline adversary.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RotatingAdversary;
+
+impl<Y: ScheduledSystem + ?Sized> Adversary<Y> for RotatingAdversary {
+    fn choose(&mut self, _system: &Y, _c: &Y::C, choices: &[Y::C], t: usize) -> Option<usize> {
+        Some(t % choices.len())
+    }
+}
+
+/// Always picks the successor with the fewest output changes (ties broken
+/// towards the earliest choice): the adversary that slows convergence as
+/// much as one-step lookahead allows.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProcrastinatingAdversary;
+
+impl<Y: ScheduledSystem + ?Sized> Adversary<Y> for ProcrastinatingAdversary {
+    fn choose(&mut self, system: &Y, c: &Y::C, choices: &[Y::C], _t: usize) -> Option<usize> {
+        let current = system.outputs(c);
+        let flips = |next: &Y::C| -> usize {
+            system
+                .outputs(next)
+                .iter()
+                .zip(&current)
+                .filter(|(a, b)| a != b)
+                .count()
+        };
+        (0..choices.len()).min_by_key(|&i| flips(&choices[i]))
+    }
+}
+
+/// Picks a uniformly random choice from a seeded stream.
+#[derive(Debug)]
+pub struct SeededAdversary {
+    rng: StdRng,
+}
+
+impl SeededAdversary {
+    /// Creates a seeded uniform adversary.
+    pub fn new(seed: u64) -> Self {
+        SeededAdversary {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl<Y: ScheduledSystem + ?Sized> Adversary<Y> for SeededAdversary {
+    fn choose(&mut self, _system: &Y, _c: &Y::C, choices: &[Y::C], _t: usize) -> Option<usize> {
+        Some(self.rng.random_range(0..choices.len()))
+    }
+}
+
+/// Runs any [`ScheduledSystem`] with the adversary choosing among the
+/// enumerated successors at every step, until the two-clock stability rule
+/// fires, the system runs out of non-silent steps (hang), or the budget is
+/// exhausted.
+pub fn run_adversarial_until_stable<Y, A>(
+    system: &Y,
+    adversary: &mut A,
+    opts: StabilityOptions,
+) -> RunReport<Y::C>
+where
+    Y: ScheduledSystem + ?Sized,
+    A: Adversary<Y> + ?Sized,
+{
+    drive_until_stable(system, opts, |sys, c, t| {
+        let choices = sys.successors(c);
+        if choices.is_empty() {
+            return StepOutcome::Hung;
+        }
+        match adversary.choose(sys, c, &choices, t) {
+            Some(i) => StepOutcome::Stepped(choices[i].clone()),
+            None => StepOutcome::Stepped(c.clone()),
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,6 +286,89 @@ mod tests {
         let mut s = UnfairScheduler::new(1);
         for t in 0..50 {
             assert!(!s.next_selection(&g, t).contains(1));
+        }
+    }
+
+    mod generic {
+        use super::super::*;
+        use wam_core::{ExclusiveSystem, Machine, Output, Verdict};
+        use wam_extensions::{
+            threshold_protocol, GraphPopulationProtocol, MajorityState, PopulationSystem,
+            StrongBroadcastSystem,
+        };
+        use wam_graph::{generators, LabelCount};
+
+        fn flood() -> Machine<bool> {
+            Machine::new(
+                1,
+                |l| l.0 == 1,
+                |&s, n| s || n.exists(|&t| t),
+                |&s| if s { Output::Accept } else { Output::Reject },
+            )
+        }
+
+        #[test]
+        fn rotating_adversary_floods_plain_machine() {
+            let g = generators::labelled_cycle(&LabelCount::from_vec(vec![5, 1]));
+            let m = flood();
+            let sys = ExclusiveSystem::new(&m, &g);
+            let mut adv = RotatingAdversary;
+            let r = run_adversarial_until_stable(&sys, &mut adv, StabilityOptions::new(10_000, 50));
+            assert_eq!(r.verdict, Verdict::Accepts);
+        }
+
+        #[test]
+        fn flood_hangs_accepting_once_saturated() {
+            // Flooding is monotone: once every node carries the flag there
+            // are no non-silent successors, so the adversarial runner hangs
+            // in an accepting consensus well before the window fires.
+            let g = generators::labelled_cycle(&LabelCount::from_vec(vec![3, 1]));
+            let m = flood();
+            let sys = ExclusiveSystem::new(&m, &g);
+            let mut adv = RotatingAdversary;
+            let r =
+                run_adversarial_until_stable(&sys, &mut adv, StabilityOptions::new(10_000, 1_000));
+            assert_eq!(r.verdict, Verdict::Accepts);
+            assert!(r.steps < 1_000, "hang should beat the window: {}", r.steps);
+        }
+
+        #[test]
+        fn procrastinator_stalls_majority_but_not_flood() {
+            // The procrastinator is deliberately unfair: on the majority
+            // protocol it can loop zero-output-flip swap transitions forever
+            // and never let the cancellations happen.
+            let pp = GraphPopulationProtocol::<MajorityState>::majority();
+            let c = LabelCount::from_vec(vec![3, 1]);
+            let g = generators::labelled_cycle(&c);
+            let sys = PopulationSystem::new(&pp, &g);
+            let mut adv = ProcrastinatingAdversary;
+            let r =
+                run_adversarial_until_stable(&sys, &mut adv, StabilityOptions::new(20_000, 200));
+            assert_eq!(r.verdict, Verdict::NoConsensus);
+
+            // Flooding is monotone — every non-silent step flips an output —
+            // so even the procrastinator cannot avoid acceptance.
+            let g = generators::labelled_cycle(&LabelCount::from_vec(vec![4, 1]));
+            let m = flood();
+            let sys = ExclusiveSystem::new(&m, &g);
+            let r = run_adversarial_until_stable(
+                &sys,
+                &mut ProcrastinatingAdversary,
+                StabilityOptions::new(20_000, 200),
+            );
+            assert_eq!(r.verdict, Verdict::Accepts);
+        }
+
+        #[test]
+        fn seeded_adversary_drives_strong_broadcasts() {
+            let sb = threshold_protocol(2);
+            let c = LabelCount::from_vec(vec![3, 1]);
+            let g = generators::labelled_clique(&c);
+            let sys = StrongBroadcastSystem::new(&sb, &g);
+            let mut adv = SeededAdversary::new(4);
+            let r =
+                run_adversarial_until_stable(&sys, &mut adv, StabilityOptions::new(50_000, 200));
+            assert_eq!(r.verdict, Verdict::Accepts);
         }
     }
 }

@@ -1,7 +1,12 @@
-//! Parallel seed sweeps over statistical runs.
+//! Parallel seed sweeps over statistical runs of any [`ScheduledSystem`].
 
 use rayon::prelude::*;
-use wam_core::{run_until_stable, Machine, RandomScheduler, StabilityOptions, State, Verdict};
+use rayon::ThreadPool;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+use wam_core::{
+    run_until_stable, ExclusiveSystem, Machine, ScheduledSystem, StabilityOptions, State, Verdict,
+};
 use wam_graph::Graph;
 
 /// Configuration of a batch run.
@@ -13,7 +18,7 @@ pub struct BatchConfig {
     pub base_seed: u64,
     /// Stability options for each run.
     pub stability: StabilityOptions,
-    /// Worker threads (0 = one per available core, capped at `runs`).
+    /// Worker threads (0 = rayon's current thread count, capped at `runs`).
     pub threads: usize,
 }
 
@@ -61,37 +66,51 @@ impl BatchSummary {
     }
 }
 
-/// Runs `machine` on `graph` under independent random exclusive schedules in
+/// Lazily-initialised shared thread pools, one per requested thread count.
+/// Batch sweeps are called in hot loops (Figure-1 tables run thousands of
+/// them), so pools are built once and reused instead of constructed per
+/// call. The set of distinct thread counts is small and bounded by the
+/// machine, so the leak is bounded too.
+fn shared_pool(threads: usize) -> &'static ThreadPool {
+    static POOLS: OnceLock<Mutex<HashMap<usize, &'static ThreadPool>>> = OnceLock::new();
+    let mut pools = POOLS
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .expect("batch pool registry");
+    pools.entry(threads).or_insert_with(|| {
+        Box::leak(Box::new(
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("batch thread pool"),
+        ))
+    })
+}
+
+/// Runs any [`ScheduledSystem`] under independent seeded sampled schedules in
 /// parallel and aggregates the outcomes. Each run `i` derives its own seed
 /// (`base_seed + i`), so the summary is independent of scheduling order and
-/// thread count.
-pub fn run_batch<S: State>(
-    machine: &Machine<S>,
-    graph: &Graph,
-    config: BatchConfig,
-) -> BatchSummary {
+/// thread count. With one worker thread the sweep runs inline on the caller's
+/// thread.
+pub fn run_batch<Y>(system: &Y, config: BatchConfig) -> BatchSummary
+where
+    Y: ScheduledSystem + Sync + ?Sized,
+{
     let threads = if config.threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
+        rayon::current_num_threads()
     } else {
         config.threads
     }
     .min(config.runs.max(1));
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(threads)
-        .build()
-        .expect("batch thread pool");
-    let results: Vec<(Verdict, usize)> = pool.install(|| {
-        (0..config.runs)
-            .into_par_iter()
-            .map(|i| {
-                let mut sched = RandomScheduler::exclusive(config.base_seed + i as u64);
-                let report = run_until_stable(machine, graph, &mut sched, config.stability);
-                (report.verdict, report.steps)
-            })
-            .collect()
-    });
+    let one = |i: usize| {
+        let report = run_until_stable(system, config.base_seed + i as u64, config.stability);
+        (report.verdict, report.steps)
+    };
+    let results: Vec<(Verdict, usize)> = if threads <= 1 {
+        (0..config.runs).map(one).collect()
+    } else {
+        shared_pool(threads).install(|| (0..config.runs).into_par_iter().map(one).collect())
+    };
     let mut accepts = 0;
     let mut rejects = 0;
     let mut no_consensus = 0;
@@ -118,10 +137,21 @@ pub fn run_batch<S: State>(
     }
 }
 
+/// Convenience wrapper: batch-runs a plain machine on a graph under random
+/// exclusive schedules (the [`ExclusiveSystem`] view of the machine).
+pub fn run_machine_batch<S: State>(
+    machine: &Machine<S>,
+    graph: &Graph,
+    config: BatchConfig,
+) -> BatchSummary {
+    run_batch(&ExclusiveSystem::new(machine, graph), config)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use wam_core::{Machine, Output};
+    use wam_extensions::{GraphPopulationProtocol, MajorityState, PopulationSystem};
     use wam_graph::{generators, LabelCount};
 
     fn flood() -> Machine<bool> {
@@ -136,7 +166,7 @@ mod tests {
     #[test]
     fn batch_is_unanimous_for_flood() {
         let g = generators::labelled_cycle(&LabelCount::from_vec(vec![7, 1]));
-        let summary = run_batch(
+        let summary = run_machine_batch(
             &flood(),
             &g,
             BatchConfig {
@@ -152,10 +182,45 @@ mod tests {
     }
 
     #[test]
+    fn summary_is_independent_of_thread_count() {
+        let g = generators::labelled_cycle(&LabelCount::from_vec(vec![7, 1]));
+        let m = flood();
+        let base = BatchConfig {
+            runs: 6,
+            base_seed: 21,
+            stability: StabilityOptions::new(100_000, 500),
+            threads: 1,
+        };
+        let sequential = run_machine_batch(&m, &g, base);
+        for threads in [2, 3, 0] {
+            let parallel = run_machine_batch(&m, &g, BatchConfig { threads, ..base });
+            assert_eq!(sequential, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn batch_runs_population_protocols() {
+        let pp = GraphPopulationProtocol::<MajorityState>::majority();
+        let c = LabelCount::from_vec(vec![4, 2]);
+        let g = generators::labelled_cycle(&c);
+        let sys = PopulationSystem::new(&pp, &g);
+        let summary = run_batch(
+            &sys,
+            BatchConfig {
+                runs: 6,
+                base_seed: 1,
+                stability: StabilityOptions::new(200_000, 2_000),
+                threads: 2,
+            },
+        );
+        assert_eq!(summary.unanimous(), Some(Verdict::Accepts));
+    }
+
+    #[test]
     fn exhausted_runs_are_counted() {
         let m = Machine::new(1, |_| 0u64, |&s, _| s + 1, |_| Output::Neutral);
         let g = generators::cycle(3);
-        let summary = run_batch(
+        let summary = run_machine_batch(
             &m,
             &g,
             BatchConfig {

@@ -1,16 +1,23 @@
 //! Experiment harness: adversarial schedulers, parallel batch runs,
 //! convergence statistics and recorded traces.
 //!
-//! Everything here is built on the semantics of `wam-core`; this crate adds
-//! the machinery the benchmark suite needs: schedulers designed to *stress*
-//! protocols (starvation, sweeps, unfairness for failure injection), a
-//! rayon-parallel [`run_batch`] for seed sweeps with per-run seed
-//! derivation, and [`Trace`] recording for run inspection.
+//! Everything here is built on the run-time layer of `wam-core`
+//! ([`ScheduledSystem`](wam_core::ScheduledSystem)), so it serves every
+//! model family — plain machines, weak broadcasts, absence detection,
+//! population protocols and strong broadcasts — through one API: stress
+//! [`Scheduler`](wam_core::Scheduler)s (starvation, sweeps, unfairness for
+//! failure injection), a model-generic [`Adversary`] trait with
+//! [`run_adversarial_until_stable`], a rayon-parallel [`run_batch`] for seed
+//! sweeps with per-run seed derivation over a lazily-initialised shared
+//! thread pool, and [`Trace`] recording for run inspection.
 
 mod adversary;
 mod batch;
 mod trace;
 
-pub use adversary::{SkewedScheduler, StarvationScheduler, SweepScheduler, UnfairScheduler};
-pub use batch::{run_batch, BatchConfig, BatchSummary};
-pub use trace::{record_trace, Trace, TraceStep};
+pub use adversary::{
+    run_adversarial_until_stable, Adversary, ProcrastinatingAdversary, RotatingAdversary,
+    SeededAdversary, SkewedScheduler, StarvationScheduler, SweepScheduler, UnfairScheduler,
+};
+pub use batch::{run_batch, run_machine_batch, BatchConfig, BatchSummary};
+pub use trace::{record_machine_trace, record_trace, Trace, TraceStep};

@@ -1,13 +1,18 @@
-//! Recorded run traces for inspection and plotting.
+//! Recorded run traces for inspection and plotting, for any
+//! [`ScheduledSystem`].
 
-use wam_core::{Config, Machine, Output, Scheduler, State};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wam_core::{Config, Machine, Output, ScheduledSystem, Scheduler, State, StepOutcome};
 use wam_graph::Graph;
 
 /// One recorded step.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceStep {
-    /// Nodes selected at this step.
-    pub selection: Vec<usize>,
+    /// Nodes active at this step: the scheduler's selection for
+    /// machine traces ([`record_machine_trace`]), the nodes whose output
+    /// changed for sampled traces ([`record_trace`]).
+    pub active: Vec<usize>,
     /// Whether the configuration changed.
     pub changed: bool,
     /// Per-node outputs after the step (0 = reject, 1 = accept, 2 = neutral).
@@ -23,6 +28,8 @@ pub struct Trace {
     pub initial_outputs: Vec<u8>,
     /// The recorded steps.
     pub steps: Vec<TraceStep>,
+    /// Whether the run hung (froze forever) before exhausting its budget.
+    pub hung: bool,
 }
 
 fn encode(o: Output) -> u8 {
@@ -52,12 +59,10 @@ impl Trace {
         }
         Some(point)
     }
-}
 
-impl Trace {
     /// Renders the output evolution as ASCII art: one row per sampled step,
     /// one column per node (`█` accept, `·` reject, `?` neutral; the
-    /// selected nodes are marked on the right). `stride` samples every
+    /// active nodes are marked on the right). `stride` samples every
     /// n-th step to keep long traces readable.
     ///
     /// # Panics
@@ -81,15 +86,57 @@ impl Trace {
             out.push_str(&format!("t={:<5}", i + 1));
             out.push(' ');
             out.extend(s.outputs.iter().map(glyph));
-            out.push_str(&format!("  sel={:?}", s.selection));
+            out.push_str(&format!("  act={:?}", s.active));
             out.push('\n');
         }
         out
     }
 }
 
-/// Runs `machine` for `steps` steps and records selections and outputs.
-pub fn record_trace<S: State>(
+/// Runs any [`ScheduledSystem`] under its seeded sampled scheduler for at
+/// most `steps` steps and records the output evolution. The `active` set of
+/// each recorded step lists the nodes whose output changed (the
+/// configuration type is opaque here, so state-level activity is not
+/// observable in general). Recording stops early if the system hangs.
+pub fn record_trace<Y: ScheduledSystem + ?Sized>(system: &Y, seed: u64, steps: usize) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut config = system.initial_config();
+    let mut outputs: Vec<u8> = system.outputs(&config).iter().map(|&o| encode(o)).collect();
+    let mut out = Trace {
+        nodes: system.node_count(),
+        initial_outputs: outputs.clone(),
+        steps: Vec::with_capacity(steps),
+        hung: false,
+    };
+    for _ in 0..steps {
+        match system.sampled_step(&config, &mut rng) {
+            StepOutcome::Stepped(next) => {
+                let changed = next != config;
+                config = next;
+                let next_outputs: Vec<u8> =
+                    system.outputs(&config).iter().map(|&o| encode(o)).collect();
+                let active: Vec<usize> = (0..out.nodes)
+                    .filter(|&v| next_outputs[v] != outputs[v])
+                    .collect();
+                outputs = next_outputs;
+                out.steps.push(TraceStep {
+                    active,
+                    changed,
+                    outputs: outputs.clone(),
+                });
+            }
+            StepOutcome::Hung => {
+                out.hung = true;
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Runs `machine` for `steps` steps under an explicit scheduler and records
+/// selections and outputs (`active` = the scheduler's selection).
+pub fn record_machine_trace<S: State>(
     machine: &Machine<S>,
     graph: &Graph,
     scheduler: &mut dyn Scheduler,
@@ -105,6 +152,7 @@ pub fn record_trace<S: State>(
         nodes: graph.node_count(),
         initial_outputs,
         steps: Vec::with_capacity(steps),
+        hung: false,
     };
     for t in 0..steps {
         let sel = scheduler.next_selection(graph, t);
@@ -112,7 +160,7 @@ pub fn record_trace<S: State>(
         let changed = next != config;
         config = next;
         out.steps.push(TraceStep {
-            selection: sel.nodes().to_vec(),
+            active: sel.nodes().to_vec(),
             changed,
             outputs: config
                 .states()
@@ -127,7 +175,8 @@ pub fn record_trace<S: State>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wam_core::{Machine, Output, RoundRobinScheduler};
+    use wam_core::{ExclusiveSystem, Machine, Output, RoundRobinScheduler};
+    use wam_extensions::{threshold_protocol, StrongBroadcastSystem};
     use wam_graph::{generators, LabelCount};
 
     fn flood() -> Machine<bool> {
@@ -143,14 +192,40 @@ mod tests {
     fn trace_records_convergence() {
         let g = generators::labelled_cycle(&LabelCount::from_vec(vec![4, 1]));
         let mut sched = RoundRobinScheduler;
-        let trace = record_trace(&flood(), &g, &mut sched, 50);
+        let trace = record_machine_trace(&flood(), &g, &mut sched, 50);
         assert_eq!(trace.nodes, 5);
         assert_eq!(trace.steps.len(), 50);
+        assert!(!trace.hung);
         let point = trace.stabilisation_point().expect("flood must stabilise");
         assert!(point < 50);
         assert!(trace.steps[point..]
             .iter()
             .all(|s| s.outputs.iter().all(|&o| o == 1)));
+    }
+
+    #[test]
+    fn sampled_trace_stabilises_too() {
+        let g = generators::labelled_cycle(&LabelCount::from_vec(vec![4, 1]));
+        let m = flood();
+        let sys = ExclusiveSystem::new(&m, &g);
+        let trace = record_trace(&sys, 5, 400);
+        assert_eq!(trace.nodes, 5);
+        let point = trace.stabilisation_point().expect("flood must stabilise");
+        assert!(point < 400);
+        // Active nodes are exactly the output flips; the step at the
+        // stabilisation point records the final flip, and nothing flips
+        // afterwards.
+        assert!(trace.steps[point + 1..].iter().all(|s| s.active.is_empty()));
+    }
+
+    #[test]
+    fn sampled_trace_covers_strong_broadcasts() {
+        let sb = threshold_protocol(2);
+        let c = LabelCount::from_vec(vec![3, 1]);
+        let g = generators::labelled_clique(&c);
+        let sys = StrongBroadcastSystem::new(&sb, &g);
+        let trace = record_trace(&sys, 1, 200);
+        assert!(trace.stabilisation_point().is_some());
     }
 
     #[test]
@@ -169,7 +244,7 @@ mod tests {
         );
         let g = generators::cycle(3);
         let mut sched = wam_core::SynchronousScheduler;
-        let trace = record_trace(&m, &g, &mut sched, 20);
+        let trace = record_machine_trace(&m, &g, &mut sched, 20);
         // Synchronous toggling never yields 21 identical tail outputs... the
         // last step is a uniform vector (all toggled together), so the trace
         // *does* end in consensus but stabilises only at the final step.
@@ -182,10 +257,11 @@ mod tests {
     fn ascii_render_shows_flood() {
         let g = generators::labelled_line(&LabelCount::from_vec(vec![3, 1]));
         let mut sched = RoundRobinScheduler;
-        let trace = record_trace(&flood(), &g, &mut sched, 20);
+        let trace = record_machine_trace(&flood(), &g, &mut sched, 20);
         let art = trace.render_ascii(1);
         assert!(art.starts_with("t=0"));
         assert!(art.contains('█') && art.contains('·'));
+        assert!(art.contains("act="));
         // The last rendered row is all-accepting.
         let last = art.lines().last().unwrap();
         assert!(!last.contains('·'), "{art}");
@@ -195,7 +271,7 @@ mod tests {
     fn traces_clone_and_compare() {
         let g = generators::labelled_cycle(&LabelCount::from_vec(vec![2, 1]));
         let mut sched = RoundRobinScheduler;
-        let trace = record_trace(&flood(), &g, &mut sched, 5);
+        let trace = record_machine_trace(&flood(), &g, &mut sched, 5);
         let cloned = trace.clone();
         assert_eq!(trace, cloned);
     }

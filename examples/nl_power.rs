@@ -7,7 +7,9 @@
 //! cargo run --release --example nl_power
 //! ```
 
-use weak_async_models::core::{decide_system, run_until_stable, RandomScheduler, StabilityOptions};
+use weak_async_models::core::{
+    decide_system, run_machine_until_stable, RandomScheduler, StabilityOptions,
+};
 use weak_async_models::extensions::{
     compile_broadcasts, compile_strong_broadcast, threshold_protocol, GraphPopulationProtocol,
     MajorityState, StrongBroadcastSystem,
@@ -26,7 +28,7 @@ fn main() {
         let count = LabelCount::from_vec(vec![a, b]);
         let graph = generators::labelled_cycle(&count);
         let mut scheduler = RandomScheduler::exclusive(7);
-        let report = run_until_stable(
+        let report = run_machine_until_stable(
             &flat,
             &graph,
             &mut scheduler,

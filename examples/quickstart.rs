@@ -6,7 +6,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use weak_async_models::core::{run_until_stable, RoundRobinScheduler, StabilityOptions};
+use weak_async_models::core::{run_machine_until_stable, RoundRobinScheduler, StabilityOptions};
 use weak_async_models::graph::{generators, LabelCount};
 use weak_async_models::protocols::majority_stack;
 
@@ -34,7 +34,7 @@ fn main() {
     // Round-robin is a *fair adversarial* schedule: no randomness helps the
     // protocol here. That majority is still decided is the paper's point.
     let mut scheduler = RoundRobinScheduler;
-    let report = run_until_stable(
+    let report = run_machine_until_stable(
         &machine,
         &graph,
         &mut scheduler,

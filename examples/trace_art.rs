@@ -8,7 +8,7 @@
 use weak_async_models::core::RoundRobinScheduler;
 use weak_async_models::graph::{generators, LabelCount};
 use weak_async_models::protocols::exists_label;
-use weak_async_models::sim::record_trace;
+use weak_async_models::sim::record_machine_trace;
 
 fn main() {
     // A 12-node line with the witness label at one end: watch acceptance
@@ -17,7 +17,7 @@ fn main() {
     let graph = generators::labelled_line(&count);
     let machine = exists_label(2, 1);
     let mut scheduler = RoundRobinScheduler;
-    let trace = record_trace(&machine, &graph, &mut scheduler, 150);
+    let trace = record_machine_trace(&machine, &graph, &mut scheduler, 150);
     println!("█ = accepting, · = rejecting; one column per node\n");
     println!("{}", trace.render_ascii(6));
     if let Some(t) = trace.stabilisation_point() {

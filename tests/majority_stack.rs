@@ -2,7 +2,7 @@
 //! decides `x₀ − x₁ ≥ 0` under adversarial schedulers, through every layer.
 
 use weak_async_models::core::{
-    decide_adversarial_round_robin, run_until_stable, Config, RandomScheduler, Selection,
+    decide_adversarial_round_robin, run_machine_until_stable, Config, RandomScheduler, Selection,
     StabilityOptions,
 };
 use weak_async_models::graph::{generators, LabelCount};
@@ -30,12 +30,12 @@ fn stress_schedulers_still_decide() {
     let flat = stack.flat();
 
     let mut sweep = SweepScheduler;
-    assert!(run_until_stable(&flat, &g, &mut sweep, opts)
+    assert!(run_machine_until_stable(&flat, &g, &mut sweep, opts)
         .verdict
         .is_accepting());
 
     let mut starve = StarvationScheduler::new(1, 25);
-    assert!(run_until_stable(&flat, &g, &mut starve, opts)
+    assert!(run_machine_until_stable(&flat, &g, &mut starve, opts)
         .verdict
         .is_accepting());
 }
@@ -48,7 +48,7 @@ fn general_homogeneous_threshold() {
         let flat = stack.flat();
         let g = generators::labelled_line(&LabelCount::from_vec(vec![a, b]));
         let mut sched = RandomScheduler::exclusive(9);
-        let r = run_until_stable(
+        let r = run_machine_until_stable(
             &flat,
             &g,
             &mut sched,
@@ -93,7 +93,7 @@ fn verdicts_are_invariant_under_scalar_multiplication() {
             let c = LabelCount::from_vec(vec![a * lambda, b * lambda]);
             let g = generators::random_degree_bounded(&c, 3, 2, 31);
             let mut sched = RandomScheduler::exclusive(13);
-            let r = run_until_stable(
+            let r = run_machine_until_stable(
                 &flat,
                 &g,
                 &mut sched,

@@ -4,8 +4,8 @@
 //! (nonempty, simultaneous evaluation).
 
 use weak_async_models::core::{
-    run_until_stable, Config, RandomScheduler, Selection, SelectionRegime, StabilityOptions,
-    Verdict,
+    run_machine_until_stable, Config, RandomScheduler, Selection, SelectionRegime,
+    StabilityOptions, Verdict,
 };
 use weak_async_models::graph::{generators, LabelCount};
 use weak_async_models::protocols::exists_label;
@@ -22,7 +22,8 @@ fn verdicts_agree_across_selection_regimes() {
             SelectionRegime::Synchronous,
         ] {
             let mut sched = RandomScheduler::new(regime, 77);
-            let r = run_until_stable(&m, &g, &mut sched, StabilityOptions::new(200_000, 1_000));
+            let r =
+                run_machine_until_stable(&m, &g, &mut sched, StabilityOptions::new(200_000, 1_000));
             assert_eq!(
                 r.verdict.decided(),
                 Some(expect),
@@ -53,6 +54,6 @@ fn synchronous_regime_and_explicit_all_agree() {
     let m = exists_label(2, 0);
     let g = generators::labelled_cycle(&LabelCount::from_vec(vec![2, 2]));
     let mut sched = RandomScheduler::new(SelectionRegime::Synchronous, 0);
-    let r = run_until_stable(&m, &g, &mut sched, StabilityOptions::new(10_000, 100));
+    let r = run_machine_until_stable(&m, &g, &mut sched, StabilityOptions::new(10_000, 100));
     assert_eq!(r.verdict, Verdict::Accepts);
 }

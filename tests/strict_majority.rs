@@ -3,7 +3,9 @@
 //! reference predicate exactly on bounded-degree inputs.
 
 use weak_async_models::analysis::Predicate;
-use weak_async_models::core::{negate, run_until_stable, RandomScheduler, StabilityOptions};
+use weak_async_models::core::{
+    negate, run_machine_until_stable, RandomScheduler, StabilityOptions,
+};
 use weak_async_models::graph::{generators, LabelCount};
 use weak_async_models::protocols::threshold_stack;
 
@@ -15,7 +17,7 @@ fn strict_majority_via_negation() {
         let c = LabelCount::from_vec(vec![a, b]);
         let g = generators::random_degree_bounded(&c, 3, 1, 23);
         let mut sched = RandomScheduler::exclusive(41);
-        let r = run_until_stable(
+        let r = run_machine_until_stable(
             &machine,
             &g,
             &mut sched,
