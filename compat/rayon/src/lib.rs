@@ -28,21 +28,27 @@ thread_local! {
 ///
 /// Resolution order: innermost [`ThreadPool::install`] override, then the
 /// `RAYON_NUM_THREADS` environment variable, then the machine's available
-/// parallelism.
+/// parallelism. The environment lookup and the parallelism syscall are
+/// resolved once per process (real rayon likewise sizes its global pool
+/// once), so hot callers — the explorer asks before every exploration —
+/// pay a single atomic load.
 pub fn current_num_threads() -> usize {
     if let Some(n) = NUM_THREADS_OVERRIDE.with(Cell::get) {
         return n.max(1);
     }
-    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            if n > 0 {
-                return n;
+    static DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
             }
         }
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 /// Runs `chunks` tasks, task `i` computing `f(i)`, on up to

@@ -47,24 +47,20 @@ pub fn cross_validate(
     out
 }
 
-/// The canonical form of a graph for memoisation: the label vector plus the
-/// sorted, endpoint-normalised edge list. Two graphs that are equal *as
-/// built* (same node order, labels and edge set) share a key — which is
-/// exactly what Figure-1 sweeps produce, where the generator families
-/// coincide on small counts (the 3-cycle and the 3-clique are the same
-/// triangle, the 3-star and the 3-line the same path).
-type GraphKey = (Vec<u16>, Vec<(usize, usize)>);
+/// The memo key of a graph: its isomorphism-canonical form from
+/// [`wam_graph::canonical_form`]. Exact decisions are invariant under
+/// graph isomorphism (relabelling nodes relabels the whole configuration
+/// space), so two *isomorphic* graphs share a key even when built with
+/// different node orders — the 3-star and the 3-line of a Figure-1 sweep
+/// are the same path and now hit the same entry. When the canonical-form
+/// search falls back to the identity relabelling (`exact == false`, huge
+/// automorphism groups), keys still only collide on isomorphic graphs —
+/// an exact form is itself a relabelled copy of its input — so mixing
+/// exact and fallback keys in one memo stays sound.
+type GraphKey = (Vec<u16>, Vec<(u32, u32)>);
 
 fn graph_key(graph: &Graph) -> GraphKey {
-    let labels: Vec<u16> = graph.labels().iter().map(|l| l.0).collect();
-    let mut edges: Vec<(usize, usize)> = graph
-        .edges()
-        .iter()
-        .map(|&(u, v)| (u.min(v), u.max(v)))
-        .collect();
-    edges.sort_unstable();
-    edges.dedup();
-    (labels, edges)
+    wam_graph::canonical_form(graph).key()
 }
 
 /// A stable fingerprint for a decider/system, derived from a caller-chosen
@@ -78,11 +74,11 @@ pub fn system_fingerprint(name: &str) -> u64 {
 
 /// A verdict memo keyed by `(system fingerprint, canonical graph)`.
 ///
-/// Exact decisions depend only on the system and the graph, so sweeps that
-/// revisit the same `(system, graph)` pair — Figure-1 tables iterate
-/// several generator families over the same counts, and the families
-/// coincide on small graphs — can reuse the verdict instead of re-exploring
-/// the configuration space.
+/// Exact decisions depend only on the system and the graph *up to
+/// isomorphism*, so sweeps that revisit the same `(system, graph)` pair —
+/// Figure-1 tables iterate several generator families over the same
+/// counts, and the families produce isomorphic graphs on small counts —
+/// can reuse the verdict instead of re-exploring the configuration space.
 #[derive(Debug, Default)]
 pub struct DecisionMemo {
     cache: FxHashMap<(u64, GraphKey), Verdict>,
@@ -245,6 +241,27 @@ mod tests {
         assert_eq!(memo.misses(), counts.len());
         assert_eq!(decided, counts.len());
         assert_eq!(memo.len(), counts.len());
+    }
+
+    #[test]
+    fn memo_hits_across_isomorphic_graphs() {
+        // A 3-node star and a 3-node line over the same counts are the same
+        // labelled path, but built with different node orders and edge
+        // lists; the canonical key makes the second lookup a hit.
+        let c = LabelCount::from_vec(vec![2, 1]);
+        let star = generators::labelled_star(&c);
+        let line = generators::labelled_line(&c);
+        assert_ne!(star.edges(), line.edges(), "identity keys would differ");
+        let mut memo = DecisionMemo::new();
+        let fp = system_fingerprint("flood");
+        let a = memo.decide(fp, &star, |_| Verdict::Accepts);
+        let b = memo.decide(fp, &line, |_| {
+            panic!("isomorphic graph must be served from the memo")
+        });
+        assert_eq!(a, b);
+        assert_eq!(memo.hits(), 1);
+        assert_eq!(memo.misses(), 1);
+        assert_eq!(memo.len(), 1);
     }
 
     #[test]

@@ -25,7 +25,7 @@ use wam_graph::{Graph, NodeId};
 /// let c1 = c0.successor(&m, &g, &Selection::exclusive(1));
 /// assert_eq!(c1.states(), &[0, 0, 0]); // silent step
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Config<S> {
     states: Vec<S>,
 }

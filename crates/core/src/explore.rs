@@ -30,11 +30,16 @@
 //!   a sharded FxHash [`Interner`](crate::Interner) — BFS, lasso detection
 //!   and all `Pre*` machinery pass ids, never configuration values;
 //! * when a frontier is at least [`ExploreOptions::frontier_threshold`]
-//!   wide (and more than one thread is available), successor generation and
-//!   per-shard deduplication run in parallel under `rayon`; below the
-//!   threshold successors are interned item-by-item with no bucketing or
-//!   thread overhead. The parallel merge assigns ids in arrival order by
-//!   construction, so ids, edges and verdicts are bit-identical either way;
+//!   wide **and** its estimated work (width × observed average out-degree)
+//!   clears a multiple of that threshold (and more than one thread is
+//!   available), successor generation — chunked per thread, hashed at the
+//!   source, flat buffers instead of per-row vectors — and per-shard
+//!   deduplication run in parallel under `rayon`; below the gate,
+//!   successors are interned item-by-item with no bucketing or thread
+//!   overhead, and explorations whose levels never clear it skip thread-
+//!   pool construction entirely. The parallel merge assigns ids in arrival
+//!   order by construction, so ids, edges and verdicts are bit-identical
+//!   either way;
 //! * the step relation is stored as a compact CSR (offsets + `u32`
 //!   targets); [`Exploration::pre_star`] and the stable-consensus queries
 //!   run bitset fixpoints over a lazily built, cached reverse CSR, so
@@ -53,6 +58,11 @@ use std::sync::OnceLock;
 use wam_graph::Graph;
 
 /// Outcome of an exact decision procedure.
+///
+/// The type is `#[must_use]` (rather than each decider function, which
+/// would trip `clippy::double_must_use` on the `Result`-returning ones):
+/// computing a verdict is always expensive, so dropping one is a bug.
+#[must_use]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Verdict {
     /// Every fair run stabilises to an accepting consensus.
@@ -290,6 +300,27 @@ impl<S: State> TransitionSystem for LiberalSystem<'_, S> {
     }
 }
 
+/// Whether a decider should explore the orbit quotient of the
+/// configuration space under the communication graph's automorphism group
+/// (see [`decide_symmetric`](crate::decide_symmetric) and the
+/// `wam-core::symmetry` module).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Symmetry {
+    /// Reduce when the structural automorphism group is non-trivial and was
+    /// enumerated completely within [`ExploreOptions::symmetry_cap`];
+    /// otherwise explore the full space. The right default: reduction is
+    /// sound whenever it applies, and `Auto` never pays canonicalisation
+    /// overhead on rigid graphs.
+    #[default]
+    Auto,
+    /// Always canonicalise, even under a trivial group (useful for testing
+    /// the quotient machinery itself; a trivial group makes it a no-op
+    /// semantically but still exercises the wrapper).
+    On,
+    /// Never reduce: explore the full configuration space.
+    Off,
+}
+
 /// Tuning knobs for [`Exploration::explore_with`].
 #[derive(Debug, Clone, Copy)]
 pub struct ExploreOptions {
@@ -303,8 +334,19 @@ pub struct ExploreOptions {
     /// explorations never pay thread overhead.
     pub frontier_threshold: usize,
     /// Maximum number of reachable configurations before
-    /// [`ExploreError::TooLarge`].
+    /// [`ExploreError::TooLarge`]. Under symmetry reduction this bounds the
+    /// number of *orbit representatives*, which is what is interned.
     pub limit: usize,
+    /// Orbit-quotient reduction policy. [`Exploration`] itself never
+    /// canonicalises — the option is consumed by
+    /// [`decide_symmetric`](crate::decide_symmetric) (and through it by
+    /// [`decide_pseudo_stochastic`]), which wraps the system in a
+    /// [`QuotientSystem`](crate::QuotientSystem) before exploring.
+    pub symmetry: Symmetry,
+    /// Cap on the order of the enumerated automorphism group; larger groups
+    /// fall back to no reduction (see
+    /// [`wam_graph::automorphism_group`](wam_graph::automorphism_group)).
+    pub symmetry_cap: usize,
 }
 
 impl Default for ExploreOptions {
@@ -313,6 +355,8 @@ impl Default for ExploreOptions {
             threads: 0,
             frontier_threshold: 128,
             limit: 1_000_000,
+            symmetry: Symmetry::default(),
+            symmetry_cap: wam_graph::DEFAULT_GROUP_CAP,
         }
     }
 }
@@ -344,6 +388,11 @@ pub struct Exploration<C> {
     /// by every subsequent one.
     rev: OnceLock<(Vec<u32>, Vec<u32>)>,
 }
+
+/// Per-worker output of one parallel BFS level: the per-frontier-row
+/// successor counts plus the flat `(hash, configuration)` buffer the
+/// sharded merge consumes.
+type LevelPart<C> = (Vec<u32>, Vec<(u64, C)>);
 
 impl<C: Clone + Eq + Hash + fmt::Debug + Send + Sync> Exploration<C> {
     /// Explores `system` from its initial configuration.
@@ -392,15 +441,26 @@ impl<C: Clone + Eq + Hash + fmt::Debug + Send + Sync> Exploration<C> {
         start: C,
         options: ExploreOptions,
     ) -> Result<Self, ExploreError> {
-        if options.threads == 1 {
-            return Self::explore_impl(system, start, options, 1);
+        match options.threads {
+            1 => Self::explore_impl(system, start, options, 1),
+            // The rayon default needs no dedicated pool: asking for the
+            // global thread count up front avoids paying pool construction
+            // on explorations whose levels never clear the parallel gate
+            // (the "flood cycle" regression: thread-pool setup cost on a
+            // 92-configuration space).
+            0 => {
+                let threads = rayon::current_num_threads();
+                Self::explore_impl(system, start, options, threads)
+            }
+            t => {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(t)
+                    .build()
+                    .expect("thread pool");
+                let threads = pool.current_num_threads();
+                pool.install(|| Self::explore_impl(system, start, options, threads))
+            }
         }
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(options.threads)
-            .build()
-            .expect("thread pool");
-        let threads = pool.current_num_threads();
-        pool.install(|| Self::explore_impl(system, start, options, threads))
     }
 
     fn explore_impl<T: TransitionSystem<C = C> + Sync>(
@@ -418,24 +478,59 @@ impl<C: Clone + Eq + Hash + fmt::Debug + Send + Sync> Exploration<C> {
         let mut rej_flags: Vec<bool> = Vec::new();
         let mut lo = 0usize;
         let mut row_scratch: Vec<u32> = Vec::new();
+        // A level is parallelised only when it carries enough *work*, not
+        // merely enough rows: width × (observed average out-degree + 1)
+        // must clear WORK_FACTOR× the frontier threshold, so low-branching
+        // systems with wide-but-cheap levels stay on the sequential path.
+        const WORK_FACTOR: usize = 8;
         while lo < interner.len() {
             let hi = interner.len();
-            let parallel = threads > 1 && hi - lo >= options.frontier_threshold.max(2);
+            let width = hi - lo;
+            let avg_out = 1 + succ_ids.len() / lo.max(1);
+            let parallel = threads > 1
+                && width >= options.frontier_threshold.max(2)
+                && width * avg_out >= WORK_FACTOR * options.frontier_threshold;
 
             if parallel {
-                // Frontier-parallel: generate successors under rayon, then
-                // hash-cons the level with the sharded parallel merge. The
-                // merge assigns ids in arrival order — the same ids the
-                // sequential path below would produce.
+                // Frontier-parallel: split the frontier into one contiguous
+                // chunk per thread; each worker generates and hashes its
+                // chunk's successors into one flat reusable buffer (no
+                // per-row allocation), then the sharded merge hash-conses
+                // the level. The merge assigns ids in arrival order — the
+                // same ids the sequential path below would produce.
                 let configs = interner.configs();
-                let level: Vec<Vec<C>> = (lo..hi)
+                let nchunks = threads.min(width);
+                let chunk = width.div_ceil(nchunks);
+                let parts: Vec<LevelPart<C>> = (0..nchunks)
                     .into_par_iter()
-                    .map(|i| system.successors(&configs[i]))
+                    .map(|k| {
+                        let begin = (lo + k * chunk).min(hi);
+                        let end = (begin + chunk).min(hi);
+                        let mut lens: Vec<u32> = Vec::with_capacity(end - begin);
+                        let mut flat: Vec<(u64, C)> = Vec::new();
+                        for c in &configs[begin..end] {
+                            let succs = system.successors(c);
+                            lens.push(succs.len() as u32);
+                            flat.extend(succs.into_iter().map(|s| (crate::intern::fx_hash(&s), s)));
+                        }
+                        (lens, flat)
+                    })
                     .collect();
-                for mut row in interner.intern_level(level, true) {
-                    row.sort_unstable();
-                    row.dedup();
-                    succ_ids.extend_from_slice(&row);
+                let mut lens: Vec<u32> = Vec::with_capacity(width);
+                let mut flats: Vec<Vec<(u64, C)>> = Vec::with_capacity(nchunks);
+                for (l, f) in parts {
+                    lens.extend_from_slice(&l);
+                    flats.push(f);
+                }
+                let flat_ids = interner.intern_hashed_level(flats, true);
+                let mut cursor = 0usize;
+                for &len in &lens {
+                    row_scratch.clear();
+                    row_scratch.extend_from_slice(&flat_ids[cursor..cursor + len as usize]);
+                    cursor += len as usize;
+                    row_scratch.sort_unstable();
+                    row_scratch.dedup();
+                    succ_ids.extend_from_slice(&row_scratch);
                     succ_off.push(succ_ids.len() as u32);
                 }
             } else {
@@ -613,7 +708,12 @@ impl<C: Clone + Eq + Hash + fmt::Debug> Exploration<C> {
 }
 
 /// Decides any [`TransitionSystem`] under pseudo-stochastic fairness by
-/// exhaustive exploration.
+/// exhaustive exploration of the **full** configuration space — this entry
+/// point has no graph to take automorphisms of. Systems that expose their
+/// graph (every model family in the workspace, via
+/// [`NodeSymmetric`](crate::NodeSymmetric)) should prefer
+/// [`decide_symmetric`](crate::decide_symmetric), which explores the orbit
+/// quotient under `Aut(G)` when profitable.
 ///
 /// # Errors
 ///
@@ -630,18 +730,25 @@ where
 }
 
 /// Decides `machine` on `graph` under pseudo-stochastic fairness and
-/// exclusive selection, exactly, by exploring the configuration space.
+/// exclusive selection, exactly, by exploring the configuration space —
+/// reduced to its orbit quotient under `Aut(graph)` when the group is
+/// non-trivial (the [`Symmetry::Auto`] policy; use
+/// [`decide_symmetric`](crate::decide_symmetric) with explicit
+/// [`ExploreOptions`] to control this).
 ///
 /// # Errors
 ///
-/// [`ExploreError::TooLarge`] if more than `limit` configurations are
-/// reachable.
+/// [`ExploreError::TooLarge`] if the explored space (orbit representatives
+/// under reduction) exceeds `limit` configurations.
 pub fn decide_pseudo_stochastic<S: State>(
     machine: &Machine<S>,
     graph: &Graph,
     limit: usize,
 ) -> Result<Verdict, ExploreError> {
-    decide_system(&ExclusiveSystem::new(machine, graph), limit)
+    crate::symmetry::decide_symmetric(
+        &ExclusiveSystem::new(machine, graph),
+        ExploreOptions::with_limit(limit),
+    )
 }
 
 fn decide_lasso<S: State>(

@@ -143,12 +143,11 @@ impl RawTable {
     }
 }
 
-/// A candidate successor flowing through a level merge: its position in
-/// the level (`row`, `col`), its hash, the configuration itself (dropped
-/// as soon as it turns out to be a duplicate), and the resolved id.
+/// A candidate successor flowing through a level merge: its flat position
+/// in the level, its hash, the configuration itself (dropped as soon as it
+/// turns out to be a duplicate), and the resolved id.
 struct Candidate<C> {
-    row: u32,
-    col: u32,
+    pos: u32,
     hash: u64,
     cfg: Option<C>,
     id: u32,
@@ -278,31 +277,64 @@ impl<C: Eq + Hash> Interner<C> {
     /// `k`-th frontier configuration. Returns the id lists aligned with
     /// `level`; fresh configurations are appended to the dense store.
     ///
-    /// Candidates are routed to their shard and deduplicated per shard —
-    /// in parallel when `parallel` is set — then fresh configurations
-    /// receive dense ids in first-occurrence `(row, col)` order: **exactly
-    /// the ids item-by-item [`intern`](Self::intern) calls would assign**.
-    /// The parallel exploration engine relies on this equivalence — its
-    /// sequential path interns successors directly, with none of the
-    /// bucketing machinery, and still produces bit-identical results.
+    /// A convenience wrapper over [`Self::intern_hashed_level`]: hashes
+    /// every configuration, merges the flat level, and splits the flat id
+    /// vector back into rows.
     pub fn intern_level(&mut self, level: Vec<Vec<C>>, parallel: bool) -> Vec<Vec<u32>>
     where
         C: Send + Sync,
     {
-        let mut out: Vec<Vec<u32>> = level.iter().map(|row| vec![0; row.len()]).collect();
+        let lens: Vec<usize> = level.iter().map(Vec::len).collect();
+        let flat: Vec<(u64, C)> = level
+            .into_iter()
+            .flatten()
+            .map(|cfg| (fx_hash(&cfg), cfg))
+            .collect();
+        let ids = self.intern_hashed_level(vec![flat], parallel);
+        let mut cursor = 0usize;
+        lens.iter()
+            .map(|&len| {
+                let row = ids[cursor..cursor + len].to_vec();
+                cursor += len;
+                row
+            })
+            .collect()
+    }
 
-        // Route candidates to shard buckets in deterministic (row, col) order.
+    /// Interns one BFS level whose candidates arrive **pre-hashed** in flat
+    /// per-chunk buffers (the exploration engine hashes successors on the
+    /// worker threads that generate them, so the single-threaded routing
+    /// pass below does no hashing and touches no per-row allocations).
+    /// Returns the dense ids of the concatenation of `parts`, in input
+    /// order.
+    ///
+    /// Candidates are routed to their shard and deduplicated per shard —
+    /// in parallel when `parallel` is set — then fresh configurations
+    /// receive dense ids in first-occurrence order: **exactly the ids
+    /// item-by-item [`intern`](Self::intern) calls would assign**. The
+    /// parallel exploration engine relies on this equivalence — its
+    /// sequential path interns successors directly, with none of the
+    /// bucketing machinery, and still produces bit-identical results.
+    pub fn intern_hashed_level(&mut self, parts: Vec<Vec<(u64, C)>>, parallel: bool) -> Vec<u32>
+    where
+        C: Send + Sync,
+    {
+        let total: usize = parts.iter().map(Vec::len).sum();
+        let mut out: Vec<u32> = vec![0; total];
+
+        // Route candidates to shard buckets in deterministic flat order.
         let mut buckets: Vec<Vec<Candidate<C>>> = (0..SHARDS).map(|_| Vec::new()).collect();
-        for (row, succs) in level.into_iter().enumerate() {
-            for (col, cfg) in succs.into_iter().enumerate() {
-                let hash = fx_hash(&cfg);
+        let mut pos = 0u32;
+        for part in parts {
+            for (hash, cfg) in part {
+                debug_assert_eq!(hash, fx_hash(&cfg), "candidate arrived mis-hashed");
                 buckets[shard_of(hash)].push(Candidate {
-                    row: row as u32,
-                    col: col as u32,
+                    pos,
                     hash,
                     cfg: Some(cfg),
                     id: 0,
                 });
+                pos += 1;
             }
         }
 
@@ -327,15 +359,15 @@ impl<C: Eq + Hash> Interner<C> {
             }
         }
 
-        // Dense id assignment in first-occurrence (row, col) order — the
-        // arrival order of an item-by-item intern() walk. Each fresh
-        // candidate has a unique (row, col), so the sort is a total order.
+        // Dense id assignment in first-occurrence flat order — the arrival
+        // order of an item-by-item intern() walk. Each fresh candidate has
+        // a unique position, so the sort is a total order.
         let base = self.configs.len() as u32;
-        let mut fresh_all: Vec<(u32, u32, u32, u32)> = Vec::new();
+        let mut fresh_all: Vec<(u32, u32, u32)> = Vec::new();
         for (shard, work) in works.iter().enumerate() {
-            for (local, &pos) in work.fresh.iter().enumerate() {
-                let cand = &work.bucket[pos as usize];
-                fresh_all.push((cand.row, cand.col, shard as u32, local as u32));
+            for (local, &bucket_pos) in work.fresh.iter().enumerate() {
+                let cand = &work.bucket[bucket_pos as usize];
+                fresh_all.push((cand.pos, shard as u32, local as u32));
             }
         }
         fresh_all.sort_unstable();
@@ -348,10 +380,10 @@ impl<C: Eq + Hash> Interner<C> {
         // fresh configurations into the dense store in id order.
         let mut final_ids: Vec<Vec<u32>> = works.iter().map(|w| vec![0; w.fresh.len()]).collect();
         let mut fresh_cfgs: Vec<C> = Vec::with_capacity(fresh_all.len());
-        for (k, &(_, _, shard, local)) in fresh_all.iter().enumerate() {
+        for (k, &(_, shard, local)) in fresh_all.iter().enumerate() {
             final_ids[shard as usize][local as usize] = base + k as u32;
-            let pos = works[shard as usize].fresh[local as usize] as usize;
-            let cfg = works[shard as usize].bucket[pos]
+            let bucket_pos = works[shard as usize].fresh[local as usize] as usize;
+            let cfg = works[shard as usize].bucket[bucket_pos]
                 .cfg
                 .take()
                 .expect("fresh config owned");
@@ -365,7 +397,7 @@ impl<C: Eq + Hash> Interner<C> {
                 } else {
                     cand.id
                 };
-                out[cand.row as usize][cand.col as usize] = id;
+                out[cand.pos as usize] = id;
             }
         }
         drop(works);
@@ -430,6 +462,27 @@ mod tests {
                 assert_eq!(by_level.get(id as usize), c);
             }
         }
+    }
+
+    #[test]
+    fn hashed_level_matches_item_interning_across_parts() {
+        // Chunked pre-hashed input must behave exactly like one flat
+        // item-by-item intern() walk over the concatenation.
+        let parts: Vec<Vec<u64>> = vec![vec![5, 6, 5], vec![6, 7, 8, 5], vec![], vec![9, 9]];
+        let mut by_level: Interner<u64> = Interner::new();
+        let hashed: Vec<Vec<(u64, u64)>> = parts
+            .iter()
+            .map(|p| p.iter().map(|&c| (fx_hash(&c), c)).collect())
+            .collect();
+        let ids = by_level.intern_hashed_level(hashed, false);
+        let mut by_item: Interner<u64> = Interner::new();
+        let item_ids: Vec<u32> = parts
+            .iter()
+            .flatten()
+            .map(|&c| by_item.intern(c).0)
+            .collect();
+        assert_eq!(ids, item_ids);
+        assert_eq!(by_level.configs(), by_item.configs());
     }
 
     #[test]

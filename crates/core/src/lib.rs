@@ -51,14 +51,15 @@ mod neighbourhood;
 mod product;
 mod run;
 mod scheduler;
+mod symmetry;
 mod system;
 
 pub use class::{Acceptance, Detection, Fairness, ModelClass, PropertyClassBound};
 pub use config::Config;
 pub use explore::{
     decide_adversarial_round_robin, decide_pseudo_stochastic, decide_synchronous, decide_system,
-    ExclusiveSystem, Exploration, ExploreError, ExploreOptions, LiberalSystem, TransitionSystem,
-    Verdict,
+    ExclusiveSystem, Exploration, ExploreError, ExploreOptions, LiberalSystem, Symmetry,
+    TransitionSystem, Verdict,
 };
 pub use halting::{halting_violations, make_halting};
 pub use intern::Interner;
@@ -73,4 +74,5 @@ pub use scheduler::{
     RandomScheduler, RoundRobinScheduler, Scheduler, Selection, SelectionRegime,
     SynchronousScheduler,
 };
+pub use symmetry::{decide_symmetric, NodeSymmetric, PermuteNodes, QuotientSystem};
 pub use system::{ScheduledSystem, StepOutcome};

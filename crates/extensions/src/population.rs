@@ -6,8 +6,8 @@ use rand::RngExt;
 use std::fmt;
 use std::sync::Arc;
 use wam_core::{
-    run_until_stable, Config, Output, RunReport, ScheduledSystem, StabilityOptions, State,
-    StepOutcome, TransitionSystem,
+    run_until_stable, Config, NodeSymmetric, Output, RunReport, ScheduledSystem, StabilityOptions,
+    State, StepOutcome, TransitionSystem,
 };
 use wam_graph::{Graph, Label};
 
@@ -131,6 +131,16 @@ impl<'a, S: State> PopulationSystem<'a, S> {
     /// Wraps a protocol and a graph.
     pub fn new(pp: &'a GraphPopulationProtocol<S>, graph: &'a Graph) -> Self {
         PopulationSystem { pp, graph }
+    }
+}
+
+/// The step relation reads states and adjacency only (labels seed the
+/// initial configuration, nothing else), so it commutes with every
+/// structural automorphism of the graph: orbit-quotient exploration
+/// applies (see `wam_core::QuotientSystem`).
+impl<S: State> NodeSymmetric for PopulationSystem<'_, S> {
+    fn symmetry_graph(&self) -> &Graph {
+        self.graph
     }
 }
 

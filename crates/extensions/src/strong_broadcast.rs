@@ -7,8 +7,8 @@ use rand::RngExt;
 use std::fmt;
 use std::sync::Arc;
 use wam_core::{
-    run_until_stable, Config, Output, RunReport, ScheduledSystem, StabilityOptions, State,
-    StepOutcome, TransitionSystem,
+    run_until_stable, Config, NodeSymmetric, Output, RunReport, ScheduledSystem, StabilityOptions,
+    State, StepOutcome, TransitionSystem,
 };
 use wam_graph::{Graph, Label};
 
@@ -89,6 +89,16 @@ impl<'a, S: State> StrongBroadcastSystem<'a, S> {
     /// Wraps a protocol and a graph.
     pub fn new(sb: &'a StrongBroadcastProtocol<S>, graph: &'a Graph) -> Self {
         StrongBroadcastSystem { sb, graph }
+    }
+}
+
+/// The step relation reads states and adjacency only (labels seed the
+/// initial configuration, nothing else), so it commutes with every
+/// structural automorphism of the graph: orbit-quotient exploration
+/// applies (see `wam_core::QuotientSystem`).
+impl<S: State> NodeSymmetric for StrongBroadcastSystem<'_, S> {
+    fn symmetry_graph(&self) -> &Graph {
+        self.graph
     }
 }
 

@@ -1,0 +1,660 @@
+//! Automorphism groups and canonical forms of labelled graphs.
+//!
+//! The configuration spaces explored by `wam-core` live on the witness
+//! graphs of the paper's constructions — cycles, lines, stars, cliques —
+//! which are maximally symmetric: a cycle of `n` nodes has a dihedral
+//! automorphism group of order `2n`, a clique's is the full symmetric
+//! group. Every graph automorphism commutes with the (node-anonymous) step
+//! relation of the models, so the reachable configuration space factors
+//! through the orbits of the group: this module supplies the group, and
+//! `wam-core::symmetry` builds the orbit quotient on top of it.
+//!
+//! Two services are provided, both exact at the ≤ 20-node sizes the exact
+//! deciders handle:
+//!
+//! * [`automorphism_group`] / [`labelled_automorphism_group`] — the full
+//!   automorphism group as an explicit, closed element list (plus a small
+//!   generating set via [`AutomorphismGroup::generators`]), computed by
+//!   colour refinement (1-WL) followed by backtracking over the refined
+//!   colour classes. Enumeration is *capped*: if the group is larger than
+//!   the cap (or the search exceeds its node budget), the **trivial group
+//!   is returned instead**, flagged incomplete — a truncated element list
+//!   would not be closed under composition, and orbit reduction with a
+//!   non-group is unsound.
+//! * [`canonical_form`] — a canonical relabelling of a labelled graph
+//!   (equal for isomorphic graphs), computed by a lex-least certificate
+//!   search pruned by refined colours and by the orbits of the labelled
+//!   automorphism group. Falls back to the identity relabelling (flagged
+//!   inexact) when the search is infeasible; either form is sound as a
+//!   memoisation key, because keys coincide only on isomorphic graphs.
+
+use crate::Graph;
+use std::cmp::Ordering;
+use std::collections::HashSet;
+
+/// Default cap on the order of an enumerated automorphism group.
+///
+/// Orbit canonicalisation costs one state-vector comparison per group
+/// element per discovered configuration, so enormous groups (large cliques
+/// and stars, where the order is factorial) are worth skipping: exceeding
+/// the cap yields the trivial group, i.e. no reduction — never an unsound
+/// one.
+pub const DEFAULT_GROUP_CAP: usize = 10_000;
+
+/// Budget on backtracking search nodes for both the group enumeration and
+/// the canonical-form search. Exceeding it triggers the same sound
+/// fallbacks as exceeding the group cap.
+const SEARCH_BUDGET: usize = 1_000_000;
+
+/// The automorphism group of a graph, as an explicit element list closed
+/// under composition and inverse (the identity is always element 0 — the
+/// list is sorted and the identity is the lexicographically least
+/// permutation array).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AutomorphismGroup {
+    perms: Vec<Vec<u32>>,
+    complete: bool,
+}
+
+impl AutomorphismGroup {
+    /// The trivial group on `n` nodes, flagged incomplete: the marker that
+    /// enumeration was capped. Orbit reduction with it is a no-op.
+    fn truncated(n: usize) -> Self {
+        AutomorphismGroup {
+            perms: vec![identity(n)],
+            complete: false,
+        }
+    }
+
+    /// Number of group elements (≥ 1: the identity is always present).
+    pub fn order(&self) -> usize {
+        self.perms.len()
+    }
+
+    /// Whether the group contains only the identity.
+    pub fn is_trivial(&self) -> bool {
+        self.perms.len() <= 1
+    }
+
+    /// Whether the element list is the *complete* group. `false` means
+    /// enumeration hit the cap and the list was replaced by the trivial
+    /// group (a truncated list is not closed under composition, so it must
+    /// not be used for orbit reduction).
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// Number of nodes the group acts on.
+    pub fn node_count(&self) -> usize {
+        self.perms[0].len()
+    }
+
+    /// All group elements as permutation arrays (`perm[v]` is the image of
+    /// node `v`), sorted; the identity comes first.
+    pub fn elements(&self) -> &[Vec<u32>] {
+        &self.perms
+    }
+
+    /// A small generating set (greedy: adds elements until their closure
+    /// is the whole group). Empty for the trivial group.
+    pub fn generators(&self) -> Vec<Vec<u32>> {
+        let id = identity(self.node_count());
+        let mut gens: Vec<Vec<u32>> = Vec::new();
+        let mut closure: HashSet<Vec<u32>> = HashSet::from([id]);
+        for p in &self.perms {
+            if closure.contains(p) {
+                continue;
+            }
+            gens.push(p.clone());
+            let mut frontier: Vec<Vec<u32>> = closure.iter().cloned().collect();
+            while let Some(q) = frontier.pop() {
+                for g in &gens {
+                    let prod = compose(&q, g);
+                    if closure.insert(prod.clone()) {
+                        frontier.push(prod);
+                    }
+                }
+            }
+            if closure.len() == self.perms.len() {
+                break;
+            }
+        }
+        gens
+    }
+}
+
+/// The identity permutation on `n` nodes.
+fn identity(n: usize) -> Vec<u32> {
+    (0..n as u32).collect()
+}
+
+/// Composition `(a ∘ b)[v] = a[b[v]]`.
+fn compose(a: &[u32], b: &[u32]) -> Vec<u32> {
+    b.iter().map(|&v| a[v as usize]).collect()
+}
+
+/// Colour refinement (1-WL): repeatedly re-colour every node by its
+/// `(colour, sorted neighbour-colour multiset)` signature until the
+/// partition stops splitting. Colour ids are ranks of the sorted signature
+/// list, so they are invariant under isomorphism — two isomorphic graphs
+/// refine to identical colour vectors up to the isomorphism.
+fn refine(g: &Graph, mut colours: Vec<u32>) -> Vec<u32> {
+    let n = g.node_count();
+    loop {
+        let classes = colours.iter().collect::<HashSet<_>>().len();
+        let sigs: Vec<(u32, Vec<u32>)> = (0..n)
+            .map(|v| {
+                let mut nb: Vec<u32> = g.neighbours(v).iter().map(|&u| colours[u]).collect();
+                nb.sort_unstable();
+                (colours[v], nb)
+            })
+            .collect();
+        let mut sorted: Vec<&(u32, Vec<u32>)> = sigs.iter().collect();
+        sorted.sort();
+        sorted.dedup();
+        let next: Vec<u32> = sigs
+            .iter()
+            .map(|s| sorted.binary_search(&s).expect("own signature") as u32)
+            .collect();
+        if sorted.len() == classes {
+            return next;
+        }
+        colours = next;
+    }
+}
+
+/// Initial colours from node labels, ranked so that they are invariant
+/// across graphs over the same alphabet.
+fn label_colours(g: &Graph) -> Vec<u32> {
+    let mut values: Vec<u16> = g.labels().iter().map(|l| l.0).collect();
+    values.sort_unstable();
+    values.dedup();
+    g.labels()
+        .iter()
+        .map(|l| values.binary_search(&l.0).expect("own label") as u32)
+        .collect()
+}
+
+/// Backtracking enumeration of all colour-preserving automorphisms.
+/// Returns `None` if more than `cap` automorphisms exist or the search
+/// budget is exhausted.
+struct Enumerate<'a> {
+    g: &'a Graph,
+    colours: &'a [u32],
+    /// BFS order from node 0: every vertex after the first is adjacent to
+    /// an earlier one, so the adjacency constraint bites immediately.
+    order: &'a [usize],
+    img: Vec<u32>,
+    used: Vec<bool>,
+    out: Vec<Vec<u32>>,
+    cap: usize,
+    nodes: usize,
+    overflow: bool,
+}
+
+impl Enumerate<'_> {
+    fn compatible(&self, d: usize, v: usize, u: usize) -> bool {
+        self.order[..d]
+            .iter()
+            .all(|&w| self.g.has_edge(v, w) == self.g.has_edge(u, self.img[w] as usize))
+    }
+
+    fn dfs(&mut self, d: usize) {
+        self.nodes += 1;
+        if self.nodes > SEARCH_BUDGET {
+            self.overflow = true;
+            return;
+        }
+        if d == self.order.len() {
+            if self.out.len() >= self.cap {
+                self.overflow = true;
+            } else {
+                self.out.push(self.img.clone());
+            }
+            return;
+        }
+        let v = self.order[d];
+        for u in 0..self.g.node_count() {
+            if self.used[u] || self.colours[u] != self.colours[v] || !self.compatible(d, v, u) {
+                continue;
+            }
+            self.img[v] = u as u32;
+            self.used[u] = true;
+            self.dfs(d + 1);
+            self.used[u] = false;
+            if self.overflow {
+                return;
+            }
+        }
+    }
+}
+
+/// BFS visit order from node 0 (graphs are connected by construction).
+fn bfs_order(g: &Graph) -> Vec<usize> {
+    let mut order = Vec::with_capacity(g.node_count());
+    let mut seen = vec![false; g.node_count()];
+    let mut queue = std::collections::VecDeque::from([0usize]);
+    seen[0] = true;
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for &u in g.neighbours(v) {
+            if !seen[u] {
+                seen[u] = true;
+                queue.push_back(u);
+            }
+        }
+    }
+    order
+}
+
+fn group_with_colours(g: &Graph, init: Vec<u32>, cap: usize) -> AutomorphismGroup {
+    let colours = refine(g, init);
+    let order = bfs_order(g);
+    let n = g.node_count();
+    let mut search = Enumerate {
+        g,
+        colours: &colours,
+        order: &order,
+        img: vec![0; n],
+        used: vec![false; n],
+        out: Vec::new(),
+        cap,
+        nodes: 0,
+        overflow: false,
+    };
+    search.dfs(0);
+    if search.overflow {
+        return AutomorphismGroup::truncated(n);
+    }
+    let mut perms = search.out;
+    perms.sort_unstable();
+    AutomorphismGroup {
+        perms,
+        complete: true,
+    }
+}
+
+/// The automorphism group of the unlabelled graph *structure* (labels
+/// ignored), up to `cap` elements; the trivial (incomplete) group beyond.
+///
+/// This is the group the orbit-quotient exploration of `wam-core` uses:
+/// the step relations of all model families read states and adjacency
+/// only — labels enter solely through the initial configuration, and the
+/// quotient construction accounts for that (see `wam-core::symmetry`).
+///
+/// # Example
+///
+/// ```
+/// use wam_graph::{automorphism_group, generators};
+///
+/// let g = generators::cycle(6);
+/// let aut = automorphism_group(&g, 1000);
+/// assert_eq!(aut.order(), 12); // dihedral: 6 rotations × 2 reflections
+/// assert!(aut.is_complete());
+/// ```
+pub fn automorphism_group(g: &Graph, cap: usize) -> AutomorphismGroup {
+    group_with_colours(g, vec![0; g.node_count()], cap)
+}
+
+/// The label-preserving automorphism group (a subgroup of
+/// [`automorphism_group`]), up to `cap` elements.
+pub fn labelled_automorphism_group(g: &Graph, cap: usize) -> AutomorphismGroup {
+    group_with_colours(g, label_colours(g), cap)
+}
+
+/// A canonical relabelling of a labelled graph: isomorphic graphs have
+/// equal forms when `exact` is set.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CanonicalForm {
+    /// Node labels in canonical position order.
+    pub labels: Vec<u16>,
+    /// Edges as `(position, position)` pairs with the smaller endpoint
+    /// first, sorted.
+    pub edges: Vec<(u32, u32)>,
+    /// `true` for a true canonical form (equal across isomorphic graphs);
+    /// `false` for the identity-relabelling fallback taken when the
+    /// labelled automorphism group exceeds the cap or the certificate
+    /// search exhausts its budget. Mixing the two in one memo is sound:
+    /// an exact form is itself a graph (a relabelled copy of the input),
+    /// so any key collision — exact/exact, exact/fallback or
+    /// fallback/fallback — exhibits an isomorphism.
+    pub exact: bool,
+}
+
+impl CanonicalForm {
+    /// The form as a hashable map key.
+    pub fn key(&self) -> (Vec<u16>, Vec<(u32, u32)>) {
+        (self.labels.clone(), self.edges.clone())
+    }
+}
+
+fn identity_form(g: &Graph) -> CanonicalForm {
+    CanonicalForm {
+        labels: g.labels().iter().map(|l| l.0).collect(),
+        edges: g
+            .edges()
+            .iter()
+            .map(|&(u, v)| (u as u32, v as u32))
+            .collect(),
+        exact: false,
+    }
+}
+
+/// Lex-least certificate search. A node ordering induces the certificate
+/// sequence `(refined colour, adjacency bitmask to earlier positions)`;
+/// the search extends orderings position by position, branching only on
+/// candidates attaining the position-minimal certificate entry and
+/// skipping candidates equivalent under the stabiliser (in the labelled
+/// automorphism group) of the already-placed vertices.
+struct Canonical<'a> {
+    g: &'a Graph,
+    colours: &'a [u32],
+    group: &'a AutomorphismGroup,
+    n: usize,
+    used: Vec<bool>,
+    placed: Vec<usize>,
+    cur: Vec<u128>,
+    best: Option<Vec<u128>>,
+    best_order: Vec<usize>,
+    nodes: usize,
+}
+
+impl Canonical<'_> {
+    fn key_of(&self, u: usize) -> u128 {
+        let mut mask = 0u64;
+        for (j, &w) in self.placed.iter().enumerate() {
+            if self.g.has_edge(u, w) {
+                mask |= 1 << j;
+            }
+        }
+        ((self.colours[u] as u128) << 64) | mask as u128
+    }
+
+    /// Returns `true` when the node budget is exhausted (abort the search).
+    fn dfs(&mut self, stab: &[u32]) -> bool {
+        self.nodes += 1;
+        if self.nodes > SEARCH_BUDGET {
+            return true;
+        }
+        let d = self.placed.len();
+        if d == self.n {
+            if self.best.as_ref().is_none_or(|b| self.cur < *b) {
+                self.best = Some(self.cur.clone());
+                self.best_order.clone_from(&self.placed);
+            }
+            return false;
+        }
+        let mut min_key = u128::MAX;
+        let mut tied: Vec<usize> = Vec::new();
+        for u in 0..self.n {
+            if self.used[u] {
+                continue;
+            }
+            let key = self.key_of(u);
+            match key.cmp(&min_key) {
+                Ordering::Less => {
+                    min_key = key;
+                    tied.clear();
+                    tied.push(u);
+                }
+                Ordering::Equal => tied.push(u),
+                Ordering::Greater => {}
+            }
+        }
+        if let Some(best) = &self.best {
+            let prefix = self.cur.iter().chain(std::iter::once(&min_key));
+            if prefix.cmp(best[..=d].iter()) == Ordering::Greater {
+                return false; // no completion can beat the incumbent
+            }
+        }
+        let elements = self.group.elements();
+        let mut covered = 0u64;
+        for &u in &tied {
+            if covered >> u & 1 == 1 {
+                continue; // same stabiliser orbit as an explored sibling
+            }
+            let mut child_stab = Vec::new();
+            for &ei in stab {
+                let image = elements[ei as usize][u] as usize;
+                covered |= 1 << image;
+                if image == u {
+                    child_stab.push(ei);
+                }
+            }
+            self.used[u] = true;
+            self.placed.push(u);
+            self.cur.push(min_key);
+            let abort = self.dfs(&child_stab);
+            self.cur.pop();
+            self.placed.pop();
+            self.used[u] = false;
+            if abort {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// The canonical form of a labelled graph with an explicit group cap (see
+/// [`canonical_form`]).
+pub fn canonical_form_capped(g: &Graph, cap: usize) -> CanonicalForm {
+    let n = g.node_count();
+    if n > 64 {
+        return identity_form(g);
+    }
+    let group = labelled_automorphism_group(g, cap);
+    if !group.is_complete() {
+        // No orbit pruning available: exactly the graphs with enormous
+        // groups, where the certificate search would blow up. Fall back.
+        return identity_form(g);
+    }
+    let colours = refine(g, label_colours(g));
+    let mut search = Canonical {
+        g,
+        colours: &colours,
+        group: &group,
+        n,
+        used: vec![false; n],
+        placed: Vec::with_capacity(n),
+        cur: Vec::with_capacity(n),
+        best: None,
+        best_order: Vec::new(),
+        nodes: 0,
+    };
+    let all: Vec<u32> = (0..group.order() as u32).collect();
+    if search.dfs(&all) || search.best.is_none() {
+        return identity_form(g);
+    }
+    let order = search.best_order;
+    let mut pos = vec![0u32; n];
+    for (p, &v) in order.iter().enumerate() {
+        pos[v] = p as u32;
+    }
+    let labels = order.iter().map(|&v| g.label(v).0).collect();
+    let mut edges: Vec<(u32, u32)> = g
+        .edges()
+        .iter()
+        .map(|&(u, v)| {
+            let (a, b) = (pos[u], pos[v]);
+            (a.min(b), a.max(b))
+        })
+        .collect();
+    edges.sort_unstable();
+    CanonicalForm {
+        labels,
+        edges,
+        exact: true,
+    }
+}
+
+/// The canonical form of a labelled graph under [`DEFAULT_GROUP_CAP`]:
+/// isomorphic graphs map to equal forms (when `exact`), so the form is the
+/// memoisation key that lets `wam-analysis::DecisionMemo` reuse verdicts
+/// across isomorphic witness graphs.
+///
+/// # Example
+///
+/// ```
+/// use wam_graph::{canonical_form, generators, LabelCount};
+///
+/// // A 3-node star and a 3-node line are the same labelled path.
+/// let c = LabelCount::from_vec(vec![2, 1]);
+/// let star = generators::labelled_star(&c);
+/// let line = generators::labelled_line(&c);
+/// assert_eq!(canonical_form(&star), canonical_form(&line));
+/// ```
+pub fn canonical_form(g: &Graph) -> CanonicalForm {
+    canonical_form_capped(g, DEFAULT_GROUP_CAP)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generators, GraphBuilder, LabelCount};
+
+    fn is_automorphism(g: &Graph, p: &[u32]) -> bool {
+        let mut seen = vec![false; g.node_count()];
+        for &img in p {
+            seen[img as usize] = true;
+        }
+        seen.iter().all(|&s| s)
+            && g.edges()
+                .iter()
+                .all(|&(u, v)| g.has_edge(p[u] as usize, p[v] as usize))
+    }
+
+    #[test]
+    fn cycle_group_is_dihedral() {
+        for n in [3usize, 6, 14] {
+            let g = generators::cycle(n);
+            let aut = automorphism_group(&g, 1000);
+            assert!(aut.is_complete());
+            assert_eq!(aut.order(), 2 * n, "dihedral group of the {n}-cycle");
+            for p in aut.elements() {
+                assert!(is_automorphism(&g, p));
+            }
+        }
+    }
+
+    #[test]
+    fn line_group_is_reversal() {
+        let g = generators::line(5);
+        let aut = automorphism_group(&g, 1000);
+        assert!(aut.is_complete());
+        assert_eq!(aut.order(), 2);
+    }
+
+    #[test]
+    fn clique_and_star_groups_are_symmetric_groups() {
+        let clique = generators::clique(4);
+        assert_eq!(automorphism_group(&clique, 1000).order(), 24);
+        let star = generators::star(5); // centre + 4 leaves
+        assert_eq!(automorphism_group(&star, 1000).order(), 24);
+    }
+
+    #[test]
+    fn labels_shrink_the_group() {
+        // AAAABB around a 6-cycle: only one reflection survives.
+        let g = generators::labelled_cycle(&LabelCount::from_vec(vec![4, 2]));
+        let aut = labelled_automorphism_group(&g, 1000);
+        assert!(aut.is_complete());
+        assert_eq!(aut.order(), 2);
+        // The structural group ignores the labels entirely.
+        assert_eq!(automorphism_group(&g, 1000).order(), 12);
+        // AAAAB on a line: reversal moves the B, so only the identity.
+        let line = generators::labelled_line(&LabelCount::from_vec(vec![4, 1]));
+        assert!(labelled_automorphism_group(&line, 1000).is_trivial());
+    }
+
+    #[test]
+    fn group_is_closed_and_contains_identity() {
+        let g = generators::cycle(5);
+        let aut = automorphism_group(&g, 1000);
+        let set: HashSet<&Vec<u32>> = aut.elements().iter().collect();
+        assert!(set.contains(&identity(5)));
+        assert_eq!(aut.elements()[0], identity(5), "identity sorts first");
+        for a in aut.elements() {
+            for b in aut.elements() {
+                assert!(set.contains(&compose(a, b)), "closure violated");
+            }
+        }
+    }
+
+    #[test]
+    fn cap_yields_incomplete_trivial_group() {
+        let g = generators::clique(8); // |Aut| = 8! = 40320
+        let aut = automorphism_group(&g, 100);
+        assert!(!aut.is_complete());
+        assert!(aut.is_trivial());
+        assert_eq!(aut.order(), 1);
+    }
+
+    #[test]
+    fn generators_generate_the_group() {
+        let g = generators::cycle(6);
+        let aut = automorphism_group(&g, 1000);
+        let gens = aut.generators();
+        assert!(gens.len() <= 3, "dihedral groups need two generators");
+        let mut closure: HashSet<Vec<u32>> = HashSet::from([identity(6)]);
+        let mut frontier: Vec<Vec<u32>> = vec![identity(6)];
+        while let Some(q) = frontier.pop() {
+            for gen in &gens {
+                let prod = compose(&q, gen);
+                if closure.insert(prod.clone()) {
+                    frontier.push(prod);
+                }
+            }
+        }
+        assert_eq!(closure.len(), aut.order());
+    }
+
+    #[test]
+    fn canonical_form_is_isomorphism_invariant() {
+        // The same labelled 5-cycle built with nodes in rotated order.
+        let c = LabelCount::from_vec(vec![3, 2]);
+        let g = generators::labelled_cycle(&c);
+        let ab = g.alphabet().clone();
+        let n = g.node_count();
+        let perm = [2usize, 4, 1, 0, 3]; // position of node v in the rebuilt graph
+        let mut builder = GraphBuilder::new(ab);
+        let mut slots = vec![g.label(0); n];
+        for v in g.nodes() {
+            slots[perm[v]] = g.label(v);
+        }
+        for l in slots {
+            builder.node(l);
+        }
+        for &(u, v) in g.edges() {
+            builder.add_edge(perm[u], perm[v]);
+        }
+        let h = builder.build().unwrap();
+        let (fg, fh) = (canonical_form(&g), canonical_form(&h));
+        assert!(fg.exact && fh.exact);
+        assert_eq!(fg, fh);
+    }
+
+    #[test]
+    fn canonical_form_separates_non_isomorphic() {
+        let c = LabelCount::from_vec(vec![3, 1]);
+        let line = generators::labelled_line(&c);
+        let star = generators::labelled_star(&c);
+        assert_ne!(canonical_form(&line), canonical_form(&star));
+    }
+
+    #[test]
+    fn canonical_form_falls_back_on_huge_groups() {
+        let g = generators::clique(8);
+        let f = canonical_form(&g);
+        assert!(!f.exact);
+        assert_eq!(f, identity_form(&g));
+    }
+
+    #[test]
+    fn refinement_separates_degrees() {
+        let g = generators::star(4);
+        let colours = refine(&g, vec![0; 4]);
+        assert_ne!(colours[0], colours[1], "centre vs leaf");
+        assert_eq!(colours[1], colours[2]);
+    }
+}

@@ -1,0 +1,317 @@
+//! Schema check for `BENCH_explore.json`: the engine benchmark report at
+//! the repository root must stay parseable and keep the fields that the
+//! documentation (EXPERIMENTS.md E13/E16) and downstream tooling read.
+//! The parser is a ~60-line hand-rolled recursive descent — the workspace
+//! deliberately has no JSON dependency — strict enough to reject the
+//! usual hand-editing accidents (trailing commas, unquoted keys,
+//! truncated files).
+
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            s: s.as_bytes(),
+            i: 0,
+        }
+    }
+
+    fn ws(&mut self) {
+        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> u8 {
+        self.ws();
+        assert!(self.i < self.s.len(), "unexpected end of input");
+        self.s[self.i]
+    }
+
+    fn eat(&mut self, c: u8) {
+        assert_eq!(
+            self.peek(),
+            c,
+            "expected {:?} at byte {}",
+            c as char,
+            self.i
+        );
+        self.i += 1;
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Json {
+        assert!(
+            self.s[self.i..].starts_with(word.as_bytes()),
+            "bad literal at byte {}",
+            self.i
+        );
+        self.i += word.len();
+        v
+    }
+
+    fn value(&mut self) -> Json {
+        match self.peek() {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Json::Str(self.string()),
+            b't' => self.lit("true", Json::Bool(true)),
+            b'f' => self.lit("false", Json::Bool(false)),
+            b'n' => self.lit("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn object(&mut self) -> Json {
+        self.eat(b'{');
+        let mut map = BTreeMap::new();
+        if self.peek() == b'}' {
+            self.i += 1;
+            return Json::Obj(map);
+        }
+        loop {
+            self.ws();
+            let key = self.string();
+            self.eat(b':');
+            map.insert(key, self.value());
+            match self.peek() {
+                b',' => self.i += 1,
+                b'}' => {
+                    self.i += 1;
+                    return Json::Obj(map);
+                }
+                c => panic!("expected ',' or '}}', got {:?}", c as char),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Json {
+        self.eat(b'[');
+        let mut out = Vec::new();
+        if self.peek() == b']' {
+            self.i += 1;
+            return Json::Arr(out);
+        }
+        loop {
+            out.push(self.value());
+            match self.peek() {
+                b',' => self.i += 1,
+                b']' => {
+                    self.i += 1;
+                    return Json::Arr(out);
+                }
+                c => panic!("expected ',' or ']', got {:?}", c as char),
+            }
+        }
+    }
+
+    fn string(&mut self) -> String {
+        self.eat(b'"');
+        let mut out = String::new();
+        loop {
+            assert!(self.i < self.s.len(), "unterminated string");
+            match self.s[self.i] {
+                b'"' => {
+                    self.i += 1;
+                    return out;
+                }
+                b'\\' => {
+                    self.i += 1;
+                    let e = self.s[self.i];
+                    self.i += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex =
+                                std::str::from_utf8(&self.s[self.i..self.i + 4]).expect("hex");
+                            self.i += 4;
+                            let cp = u32::from_str_radix(hex, 16).expect("hex escape");
+                            out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                        }
+                        c => panic!("bad escape {:?}", c as char),
+                    }
+                }
+                _ => {
+                    // Copy the full UTF-8 scalar, not byte by byte.
+                    let rest = std::str::from_utf8(&self.s[self.i..]).expect("utf-8");
+                    let ch = rest.chars().next().expect("char");
+                    out.push(ch);
+                    self.i += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Json {
+        self.ws();
+        let start = self.i;
+        while self.i < self.s.len()
+            && matches!(
+                self.s[self.i],
+                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
+            )
+        {
+            self.i += 1;
+        }
+        let text = std::str::from_utf8(&self.s[start..self.i]).expect("utf-8");
+        Json::Num(
+            text.parse()
+                .unwrap_or_else(|_| panic!("bad number {text:?}")),
+        )
+    }
+
+    fn parse(mut self) -> Json {
+        let v = self.value();
+        self.ws();
+        assert_eq!(self.i, self.s.len(), "trailing garbage after JSON value");
+        v
+    }
+}
+
+fn parse(s: &str) -> Json {
+    Parser::new(s).parse()
+}
+
+impl Json {
+    fn get(&self, key: &str) -> &Json {
+        match self {
+            Json::Obj(m) => m.get(key).unwrap_or_else(|| panic!("missing key {key:?}")),
+            _ => panic!("{key:?} looked up on a non-object"),
+        }
+    }
+
+    fn num(&self) -> f64 {
+        match self {
+            Json::Num(n) => *n,
+            _ => panic!("expected a number, got {self:?}"),
+        }
+    }
+
+    fn str(&self) -> &str {
+        match self {
+            Json::Str(s) => s,
+            _ => panic!("expected a string, got {self:?}"),
+        }
+    }
+
+    fn arr(&self) -> &[Json] {
+        match self {
+            Json::Arr(v) => v,
+            _ => panic!("expected an array, got {self:?}"),
+        }
+    }
+}
+
+#[test]
+fn bench_explore_json_matches_schema() {
+    let raw = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_explore.json"))
+        .expect("BENCH_explore.json at the repository root");
+    let doc = parse(&raw);
+
+    assert_eq!(doc.get("bench").str(), "state_space");
+    doc.get("baseline").str();
+    doc.get("engine").str();
+    doc.get("timing").str();
+    assert!(doc.get("cores").num() >= 1.0);
+
+    let workloads = doc.get("workloads").arr();
+    assert!(!workloads.is_empty(), "engine-timing section is empty");
+    for w in workloads {
+        assert!(!w.get("workload").str().is_empty());
+        for key in [
+            "nodes",
+            "configs",
+            "edges",
+            "baseline_ms",
+            "sequential_ms",
+            "parallel_ms",
+            "speedup_sequential_vs_baseline",
+            "speedup_parallel_vs_baseline",
+        ] {
+            assert!(w.get(key).num() > 0.0, "{key} must be positive");
+        }
+        assert!(matches!(
+            w.get("verdict").str(),
+            "accepts" | "rejects" | "no consensus" | "inconsistent"
+        ));
+    }
+
+    let symmetry = doc.get("symmetry");
+    assert!(symmetry.get("group_cap").num() >= 1.0);
+    symmetry.get("note").str();
+    let sym_workloads = symmetry.get("workloads").arr();
+    assert!(!sym_workloads.is_empty(), "symmetry section is empty");
+    let mut max_reduction = 0.0f64;
+    for w in sym_workloads {
+        assert!(!w.get("workload").str().is_empty());
+        for key in [
+            "nodes",
+            "aut_order",
+            "configs_full",
+            "configs_quotient",
+            "reduction",
+            "full_ms",
+            "quotient_ms",
+            "speedup",
+        ] {
+            assert!(w.get(key).num() > 0.0, "{key} must be positive");
+        }
+        // The quotient is a quotient: never more configurations than the
+        // full space, and the orbit count divides out at most |Aut(G)|.
+        let full = w.get("configs_full").num();
+        let quot = w.get("configs_quotient").num();
+        assert!(quot <= full, "quotient larger than full space");
+        assert!(full / quot <= w.get("aut_order").num() + 1e-9);
+        max_reduction = max_reduction.max(full / quot);
+    }
+    assert!(
+        max_reduction >= 5.0,
+        "the report must demonstrate a >= 5x reduction on some workload"
+    );
+}
+
+#[test]
+fn parser_rejects_malformed_documents() {
+    for bad in [
+        "",
+        "{",
+        "{\"a\": 1,}",
+        "{\"a\" 1}",
+        "[1, 2",
+        "{\"a\": 1} trailing",
+        "\"unterminated",
+    ] {
+        let caught = std::panic::catch_unwind(|| parse(bad));
+        assert!(caught.is_err(), "parser accepted malformed input {bad:?}");
+    }
+}
+
+#[test]
+fn parser_handles_escapes_and_unicode() {
+    let v = parse(r#"{"k": "x₀ \"q\" \\ ₀", "n": -1.5e2, "b": [true, false, null]}"#);
+    assert_eq!(v.get("k").str(), "x₀ \"q\" \\ ₀");
+    assert_eq!(v.get("n").num(), -150.0);
+    assert_eq!(v.get("b").arr().len(), 3);
+    assert_eq!(v.get("b").arr()[2], Json::Null);
+}
