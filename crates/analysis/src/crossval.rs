@@ -4,6 +4,8 @@
 use crate::Predicate;
 use rustc_hash::FxHashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+use wam_certify::{Certificate, CertifiedVerdict};
 use wam_core::Verdict;
 use wam_graph::{Graph, LabelCount};
 
@@ -110,6 +112,110 @@ impl DecisionMemo {
         let v = decide(graph);
         self.cache.insert(key, v);
         v
+    }
+
+    /// Lookups answered from the cache.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Lookups that ran the decider.
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// Distinct `(system, graph)` pairs decided so far.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Whether the memo is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+}
+
+/// One memoised certified decision: the verdict, the certificate that
+/// justifies it, and the graph the certificate was *emitted* on.
+///
+/// Certificates are concrete objects — their configurations name the nodes
+/// of one specific graph. When the memo answers a lookup for an isomorphic
+/// but differently-labelled graph, the *verdict* transfers (exact decisions
+/// are isomorphism-invariant), but the certificate is deliberately **not**
+/// relabelled: it remains verifiable against [`CertifiedDecision::graph`],
+/// and callers who need a proof for their own node order should re-decide.
+#[derive(Debug)]
+pub struct CertifiedDecision<C> {
+    /// The memoised verdict.
+    pub verdict: Verdict,
+    /// The certificate backing the verdict, shared across lookups.
+    pub certificate: Arc<Certificate<C>>,
+    /// The graph the certificate was emitted on — verify against this one,
+    /// not against the (possibly merely isomorphic) lookup graph.
+    pub graph: Graph,
+}
+
+// Manual impl: the certificate is behind an `Arc`, so cloning a decision
+// never needs `C: Clone`.
+impl<C> Clone for CertifiedDecision<C> {
+    fn clone(&self) -> Self {
+        CertifiedDecision {
+            verdict: self.verdict,
+            certificate: Arc::clone(&self.certificate),
+            graph: self.graph.clone(),
+        }
+    }
+}
+
+/// A [`DecisionMemo`] that also keeps the verdict's *certificate*, so sweeps
+/// can hand every reused verdict's proof to an independent checker without
+/// re-running the decision procedure.
+#[derive(Debug)]
+pub struct CertifiedMemo<C> {
+    cache: FxHashMap<(u64, GraphKey), CertifiedDecision<C>>,
+    hits: usize,
+    misses: usize,
+}
+
+impl<C> Default for CertifiedMemo<C> {
+    fn default() -> Self {
+        CertifiedMemo::new()
+    }
+}
+
+impl<C> CertifiedMemo<C> {
+    /// An empty memo.
+    pub fn new() -> Self {
+        CertifiedMemo {
+            cache: FxHashMap::default(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The memoised certified decision of `decide` on `graph` for the system
+    /// identified by `fingerprint`; `decide` runs only on a miss, and its
+    /// certificate is stored together with the emission graph.
+    pub fn decide(
+        &mut self,
+        fingerprint: u64,
+        graph: &Graph,
+        decide: impl FnOnce(&Graph) -> CertifiedVerdict<C>,
+    ) -> CertifiedDecision<C> {
+        let key = (fingerprint, graph_key(graph));
+        if let Some(d) = self.cache.get(&key) {
+            self.hits += 1;
+            return d.clone();
+        }
+        self.misses += 1;
+        let out = decide(graph);
+        let decision = CertifiedDecision {
+            verdict: out.verdict,
+            certificate: Arc::new(out.certificate),
+            graph: graph.clone(),
+        };
+        self.cache.insert(key, decision.clone());
+        decision
     }
 
     /// Lookups answered from the cache.
@@ -262,6 +368,47 @@ mod tests {
         assert_eq!(memo.hits(), 1);
         assert_eq!(memo.misses(), 1);
         assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn certified_memo_reuses_certificates_across_isomorphic_graphs() {
+        use wam_certify::{decide_pseudo_stochastic_certified, verify_machine, VerifyOptions};
+
+        let m = Machine::new(
+            1,
+            |l: wam_graph::Label| l.0 == 1,
+            |&s: &bool, n| s || n.exists(|&t| t),
+            |&s| if s { Output::Accept } else { Output::Reject },
+        );
+        let c = LabelCount::from_vec(vec![2, 1]);
+        let star = generators::labelled_star(&c);
+        let line = generators::labelled_line(&c);
+        let mut memo = CertifiedMemo::new();
+        let fp = system_fingerprint("flood");
+        let first = memo.decide(fp, &star, |g| {
+            decide_pseudo_stochastic_certified(&m, g, 100_000).unwrap()
+        });
+        let second = memo.decide(fp, &line, |_| {
+            panic!("isomorphic graph must be served from the memo")
+        });
+        assert_eq!(first.verdict, Verdict::Accepts);
+        assert_eq!(second.verdict, Verdict::Accepts);
+        assert_eq!(memo.hits(), 1);
+        assert_eq!(memo.misses(), 1);
+        assert_eq!(memo.len(), 1);
+        assert!(!memo.is_empty());
+        assert!(Arc::ptr_eq(&first.certificate, &second.certificate));
+        // The cached certificate stays valid against its *emission* graph —
+        // even when the lookup graph merely shared the isomorphism class.
+        assert_eq!(second.graph, star);
+        let v = verify_machine(
+            &m,
+            &second.graph,
+            &second.certificate,
+            &VerifyOptions::default(),
+        )
+        .expect("cached certificate must verify against its emission graph");
+        assert_eq!(v, second.verdict);
     }
 
     #[test]

@@ -24,7 +24,8 @@ pub mod stars;
 pub use classes::{classify, find_cutoff, is_cutoff, is_ism, is_trivial, PropertyClass};
 pub use counter::{node_count_is_prime, CounterProgram, Instr};
 pub use crossval::{
-    cross_validate, cross_validate_memo, system_fingerprint, DecisionMemo, Mismatch,
+    cross_validate, cross_validate_memo, system_fingerprint, CertifiedDecision, CertifiedMemo,
+    DecisionMemo, Mismatch,
 };
 pub use decidability::{decidable_by, is_homogeneous_threshold, Decidability};
 pub use predicate::Predicate;

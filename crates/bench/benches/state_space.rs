@@ -15,9 +15,15 @@
 
 use std::time::Instant;
 use wam_bench::Table;
+use wam_certify::{
+    certificate_to_json, decide_adversarial_round_robin_certified,
+    decide_pseudo_stochastic_certified, verify_machine, CertifiedVerdict, StateTable,
+    VerifyOptions,
+};
 use wam_core::{
-    ExclusiveSystem, Exploration, ExploreOptions, Machine, NodeSymmetric, Output, PermuteNodes,
-    QuotientSystem, TransitionSystem, Verdict,
+    decide_adversarial_round_robin, decide_pseudo_stochastic, Config, ExclusiveSystem, Exploration,
+    ExploreOptions, Machine, NodeSymmetric, Output, PermuteNodes, QuotientSystem, State,
+    TransitionSystem, Verdict,
 };
 use wam_extensions::{
     compile_broadcasts, compile_rendezvous, BroadcastSystem, GraphPopulationProtocol,
@@ -290,11 +296,62 @@ where
     }
 }
 
+struct CertTiming {
+    name: String,
+    nodes: u64,
+    verdict: Verdict,
+    kind: &'static str,
+    transported: bool,
+    cert_configs: usize,
+    json_bytes: usize,
+    plain_ms: f64,
+    certified_ms: f64,
+    verify_ms: f64,
+}
+
+/// Times a plain decider against its certificate-emitting counterpart and
+/// the independent verifier on the emitted certificate: the three numbers
+/// the "certified verdicts" subsystem trades on — emission overhead on top
+/// of the plain decision, certificate size, and the (much cheaper)
+/// re-validation by direct step semantics.
+fn time_certified<S: State>(
+    name: &str,
+    nodes: u64,
+    machine: &Machine<S>,
+    graph: &wam_graph::Graph,
+    reps: usize,
+    plain: impl Fn() -> Verdict,
+    certified: impl Fn() -> CertifiedVerdict<Config<S>>,
+) -> CertTiming {
+    let (plain_ms, pv) = time_ms(reps, &plain);
+    let (certified_ms, out) = time_ms(reps, &certified);
+    assert_eq!(pv, out.verdict, "certified decider changed the verdict");
+    let (verify_ms, vv) = time_ms(reps, || {
+        verify_machine(machine, graph, &out.certificate, &VerifyOptions::default())
+            .expect("emitted certificate must verify")
+    });
+    assert_eq!(vv, out.verdict, "verifier disagreed with the decider");
+    let table = StateTable::from_certificate(&out.certificate);
+    let json_bytes = certificate_to_json(&out.certificate, &table).len();
+    CertTiming {
+        name: name.to_string(),
+        nodes,
+        verdict: out.verdict,
+        kind: out.certificate.kind(),
+        transported: out.certificate.has_transport(),
+        cert_configs: out.certificate.config_count(),
+        json_bytes,
+        plain_ms,
+        certified_ms,
+        verify_ms,
+    }
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-fn write_report(timings: &[Timing], symmetry: &[SymTiming]) {
+fn write_report(timings: &[Timing], symmetry: &[SymTiming], certificates: &[CertTiming]) {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -335,8 +392,28 @@ fn write_report(timings: &[Timing], symmetry: &[SymTiming]) {
             s.full_ms / s.quotient_ms,
         ));
     }
+    let mut cert_rows = String::new();
+    for (i, c) in certificates.iter().enumerate() {
+        if i > 0 {
+            cert_rows.push_str(",\n");
+        }
+        cert_rows.push_str(&format!(
+            "      {{\n        \"workload\": \"{}\",\n        \"nodes\": {},\n        \"verdict\": \"{}\",\n        \"kind\": \"{}\",\n        \"transported\": {},\n        \"cert_configs\": {},\n        \"json_bytes\": {},\n        \"plain_ms\": {:.3},\n        \"certified_ms\": {:.3},\n        \"verify_ms\": {:.3},\n        \"emission_overhead\": {:.2}\n      }}",
+            json_escape(&c.name),
+            c.nodes,
+            c.verdict,
+            c.kind,
+            c.transported,
+            c.cert_configs,
+            c.json_bytes,
+            c.plain_ms,
+            c.certified_ms,
+            c.verify_ms,
+            c.certified_ms / c.plain_ms,
+        ));
+    }
     let json = format!(
-        "{{\n  \"bench\": \"state_space\",\n  \"baseline\": \"seed HashMap/Vec<Vec> explorer (SipHash, per-query predecessor rebuild)\",\n  \"engine\": \"interned CSR explorer (FxHash shards, bitset Pre*, cached reverse CSR)\",\n  \"cores\": {cores},\n  \"timing\": \"best of repetitions, milliseconds, explore + verdict\",\n  \"workloads\": [\n{rows}\n  ],\n  \"symmetry\": {{\n    \"group_cap\": {DEFAULT_GROUP_CAP},\n    \"note\": \"full vs orbit-quotient exploration, both sequential; quotient timing includes computing Aut(G); the structural (label-free) group applies because labels only seed the initial configuration\",\n    \"workloads\": [\n{sym_rows}\n    ]\n  }}\n}}\n"
+        "{{\n  \"bench\": \"state_space\",\n  \"baseline\": \"seed HashMap/Vec<Vec> explorer (SipHash, per-query predecessor rebuild)\",\n  \"engine\": \"interned CSR explorer (FxHash shards, bitset Pre*, cached reverse CSR)\",\n  \"cores\": {cores},\n  \"timing\": \"best of repetitions, milliseconds, explore + verdict\",\n  \"workloads\": [\n{rows}\n  ],\n  \"symmetry\": {{\n    \"group_cap\": {DEFAULT_GROUP_CAP},\n    \"note\": \"full vs orbit-quotient exploration, both sequential; quotient timing includes computing Aut(G); the structural (label-free) group applies because labels only seed the initial configuration\",\n    \"workloads\": [\n{sym_rows}\n    ]\n  }},\n  \"certificates\": {{\n    \"note\": \"plain decider vs certificate-emitting decider vs independent verifier; emission_overhead = certified_ms / plain_ms; json_bytes is the serialised certificate size; transported rows were emitted from an orbit-quotient run\",\n    \"workloads\": [\n{cert_rows}\n    ]\n  }}\n}}\n"
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_explore.json");
     std::fs::write(path, &json).expect("write BENCH_explore.json");
@@ -614,5 +691,94 @@ fn main() {
     }
     st.print("Orbit-quotient exploration: full space vs Aut(G) quotient (sequential)");
 
-    write_report(&timings, &symmetry);
+    // ── Certified verdicts: emission overhead, size, verification time ─────
+    let mut certificates = Vec::new();
+
+    {
+        let g = generators::labelled_cycle(&LabelCount::from_vec(vec![13, 1]));
+        let m = flood();
+        certificates.push(time_certified(
+            "flood cycle (pseudo-stochastic)",
+            14,
+            &m,
+            &g,
+            9,
+            || decide_pseudo_stochastic(&m, &g, 10_000_000).unwrap(),
+            || decide_pseudo_stochastic_certified(&m, &g, 10_000_000).unwrap(),
+        ));
+    }
+    {
+        // Star with 7 leaves: |Aut| = 5040, the auto policy explores the
+        // quotient, so this certificate carries symmetry transport.
+        let g = generators::labelled_star(&LabelCount::from_vec(vec![7, 1]));
+        let m = flood();
+        certificates.push(time_certified(
+            "flood star (quotient)",
+            8,
+            &m,
+            &g,
+            9,
+            || decide_pseudo_stochastic(&m, &g, 10_000_000).unwrap(),
+            || decide_pseudo_stochastic_certified(&m, &g, 10_000_000).unwrap(),
+        ));
+    }
+    {
+        let g = generators::labelled_line(&LabelCount::from_vec(vec![4, 1]));
+        let m = compile_broadcasts(&threshold_machine(2, 0, 2));
+        certificates.push(time_certified(
+            "x₀ ≥ 2 via Lemma 4.7 line (pseudo-stochastic)",
+            5,
+            &m,
+            &g,
+            3,
+            || decide_pseudo_stochastic(&m, &g, 10_000_000).unwrap(),
+            || decide_pseudo_stochastic_certified(&m, &g, 10_000_000).unwrap(),
+        ));
+    }
+    {
+        // Deterministic round-robin on the same flood workload: lasso
+        // certificates replay a concrete schedule instead of a stability
+        // invariant, so they stay small regardless of the space.
+        let g = generators::labelled_cycle(&LabelCount::from_vec(vec![13, 1]));
+        let m = flood();
+        certificates.push(time_certified(
+            "flood cycle (round-robin lasso)",
+            14,
+            &m,
+            &g,
+            9,
+            || decide_adversarial_round_robin(&m, &g, 10_000_000).unwrap(),
+            || decide_adversarial_round_robin_certified(&m, &g, 10_000_000).unwrap(),
+        ));
+    }
+
+    let mut ct = Table::new([
+        "workload",
+        "kind",
+        "cert configs",
+        "json bytes",
+        "plain ms",
+        "certified ms",
+        "verify ms",
+        "overhead",
+    ]);
+    for c in &certificates {
+        ct.row([
+            c.name.clone(),
+            if c.transported {
+                format!("{} (transported)", c.kind)
+            } else {
+                c.kind.to_string()
+            },
+            c.cert_configs.to_string(),
+            c.json_bytes.to_string(),
+            format!("{:.1}", c.plain_ms),
+            format!("{:.1}", c.certified_ms),
+            format!("{:.2}", c.verify_ms),
+            format!("{:.2}x", c.certified_ms / c.plain_ms),
+        ]);
+    }
+    ct.print("Certified verdicts: emission overhead and verification cost");
+
+    write_report(&timings, &symmetry, &certificates);
 }

@@ -1,0 +1,627 @@
+//! Certificate emission: the engine-facing half of the subsystem.
+//!
+//! Unlike [`crate::verify`], this module may (and does) use the exploration
+//! engine — [`Exploration`]'s id space and CSR — because nothing here is
+//! trusted: a bug in emission produces a certificate the independent
+//! checker rejects, never a wrongly accepted one.
+//!
+//! The `decide_*_certified` functions mirror the plain deciders of
+//! `wam-core` ([`wam_core::decide_system`], [`wam_core::decide_symmetric`],
+//! [`wam_core::decide_pseudo_stochastic`],
+//! [`wam_core::decide_adversarial_round_robin`],
+//! [`wam_core::decide_synchronous`]) — same inputs, same verdicts — but
+//! additionally return a [`Certificate`] witnessing the verdict.
+//!
+//! # Quotient concretisation
+//!
+//! When the orbit quotient is active, the explored ids are orbit
+//! representatives. Reachability paths are *concretised* on the fly: with
+//! the action `(π · c)(v) = c(π(v))` and `σᵢ` the accumulated permutation
+//! satisfying `rᵢ = σᵢ · dᵢ` (representative `rᵢ`, concrete `dᵢ`), a
+//! quotient edge `rᵢ → rᵢ₊₁ = q · s` with `s ∈ succ(rᵢ)` lifts to the
+//! concrete step `dᵢ₊₁ = σᵢ⁻¹ · s` and `σᵢ₊₁ = σᵢ ∘ q`. Invariant and
+//! space sections stay in representatives and carry the canonicalising
+//! permutation per re-executed successor ([`InvariantTransport`] /
+//! [`SpaceTransport`]), which is what the checker replays.
+
+use crate::certificate::{
+    Certificate, Escape, InvariantTransport, LassoCertificate, LassoSchedule,
+    NoConsensusCertificate, PathStep, Perm, Polarity, ReachPath, SpaceTransport,
+    StabilityInvariant, StableCertificate, StepSelection,
+};
+use rustc_hash::FxHashMap;
+use std::collections::VecDeque;
+use wam_core::{
+    Config, ExclusiveSystem, Exploration, ExploreError, ExploreOptions, Machine, NodeSymmetric,
+    PermuteNodes, QuotientSystem, Selection, State, Symmetry, TransitionSystem, Verdict,
+};
+use wam_graph::{automorphism_group, Graph};
+
+/// A verdict together with its machine-checkable witness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CertifiedVerdict<C> {
+    /// The decider's verdict.
+    pub verdict: Verdict,
+    /// The witness; `certificate.verdict()` always equals `verdict`.
+    pub certificate: Certificate<C>,
+}
+
+/// Identity permutation on `n` nodes.
+fn identity(n: usize) -> Perm {
+    (0..n as u32).collect()
+}
+
+/// `compose(f, g)[v] = f[g[v]]` — the permutation applying `g` first under
+/// the `(π · c)(v) = c(π(v))` action: `f · (g · c) = compose(g, f) · c`,
+/// i.e. accumulating "then permute by `q`" is `compose(σ, q)`.
+fn compose(f: &[u32], g: &[u32]) -> Perm {
+    g.iter().map(|&v| f[v as usize]).collect()
+}
+
+fn invert(p: &[u32]) -> Perm {
+    let mut inv = vec![0u32; p.len()];
+    for (i, &v) in p.iter().enumerate() {
+        inv[v as usize] = i as u32;
+    }
+    inv
+}
+
+/// The orbit minimum of `c` together with the permutation reaching it:
+/// returns `(rep, p)` with `rep = p · c`, matching
+/// [`PermuteNodes::min_under`]'s choice of representative exactly.
+fn min_perm<C: PermuteNodes>(c: &C, elements: &[Vec<u32>]) -> (C, Perm) {
+    let mut best: Option<&Vec<u32>> = None;
+    for p in elements {
+        let candidate_is_less = {
+            let current = |v: usize| match best {
+                Some(b) => c.permuted_entry(b, v),
+                None => c.permuted_entry_id(v),
+            };
+            (0..c.node_count_for_permute())
+                .map(|v| c.permuted_entry(p, v).cmp(current(v)))
+                .find(|o| *o != std::cmp::Ordering::Equal)
+                == Some(std::cmp::Ordering::Less)
+        };
+        if candidate_is_less {
+            best = Some(p);
+        }
+    }
+    match best {
+        None => (c.clone(), identity(c.node_count_for_permute())),
+        Some(p) => (c.permute(p), p.clone()),
+    }
+}
+
+/// BFS over the explored CSR from id 0 to the nearest id flagged in
+/// `targets`; returns the id path (inclusive). Panics if no target is
+/// reachable — emission only calls this when the verdict guarantees one.
+fn path_ids<C: Clone + Eq + std::hash::Hash + std::fmt::Debug>(
+    e: &Exploration<C>,
+    targets: &[bool],
+) -> Vec<u32> {
+    if targets[0] {
+        return vec![0];
+    }
+    let mut parent: Vec<u32> = vec![u32::MAX; e.len()];
+    parent[0] = 0;
+    let mut queue = VecDeque::from([0u32]);
+    while let Some(i) = queue.pop_front() {
+        for &j in e.successors(i as usize) {
+            if parent[j as usize] != u32::MAX {
+                continue;
+            }
+            parent[j as usize] = i;
+            if targets[j as usize] {
+                let mut path = vec![j];
+                let mut cur = j;
+                while cur != 0 {
+                    cur = parent[cur as usize];
+                    path.push(cur);
+                }
+                path.reverse();
+                return path;
+            }
+            queue.push_back(j);
+        }
+    }
+    panic!("no flagged configuration reachable — verdict/flags disagree");
+}
+
+/// Ids forward-reachable from `start` (inclusive), ascending.
+fn reach_ids<C: Clone + Eq + std::hash::Hash + std::fmt::Debug>(
+    e: &Exploration<C>,
+    start: u32,
+) -> Vec<u32> {
+    let mut seen = vec![false; e.len()];
+    seen[start as usize] = true;
+    let mut stack = vec![start];
+    while let Some(i) = stack.pop() {
+        for &j in e.successors(i as usize) {
+            if !seen[j as usize] {
+                seen[j as usize] = true;
+                stack.push(j);
+            }
+        }
+    }
+    (0..e.len() as u32).filter(|&i| seen[i as usize]).collect()
+}
+
+/// Escape pointers for every id: `Here` where `bad` holds, otherwise `Via`
+/// a successor resolved in an earlier relaxation round (so chains are
+/// acyclic by construction). Panics if some id cannot escape — emission
+/// only calls this when no stably-good configuration exists.
+fn escape_pointers<C: Clone + Eq + std::hash::Hash + std::fmt::Debug>(
+    e: &Exploration<C>,
+    bad: impl Fn(usize) -> bool,
+) -> Vec<Escape> {
+    let n = e.len();
+    let mut esc: Vec<Option<Escape>> = (0..n)
+        .map(|i| if bad(i) { Some(Escape::Here) } else { None })
+        .collect();
+    loop {
+        let mut changed = false;
+        for i in 0..n {
+            if esc[i].is_some() {
+                continue;
+            }
+            if let Some(&j) = e.successors(i).iter().find(|&&j| esc[j as usize].is_some()) {
+                esc[i] = Some(Escape::Via(j));
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    esc.into_iter()
+        .map(|o| o.expect("every configuration escapes — verdict/flags disagree"))
+        .collect()
+}
+
+/// The `Choice` index of `next` among `successors(cur)`.
+fn choice_of<C: PartialEq + std::fmt::Debug>(succs: &[C], next: &C) -> u32 {
+    succs
+        .iter()
+        .position(|s| s == next)
+        .expect("recorded step is not an enumerated successor") as u32
+}
+
+// ---------------------------------------------------------------------------
+// Full-space emission
+// ---------------------------------------------------------------------------
+
+fn stable_full<T: TransitionSystem>(
+    system: &T,
+    e: &Exploration<T::C>,
+    polarity: Polarity,
+    stably: &[bool],
+) -> StableCertificate<T::C> {
+    let ids = path_ids(e, stably);
+    let configs = e.configs();
+    let mut steps = Vec::with_capacity(ids.len() - 1);
+    for w in ids.windows(2) {
+        let succs = system.successors(&configs[w[0] as usize]);
+        let to = configs[w[1] as usize].clone();
+        let selection = StepSelection::Choice(choice_of(&succs, &to));
+        steps.push(PathStep { to, selection });
+    }
+    let endpoint = *ids.last().expect("path is never empty");
+    let members = reach_ids(e, endpoint)
+        .into_iter()
+        .map(|i| configs[i as usize].clone())
+        .collect();
+    StableCertificate {
+        polarity,
+        path: ReachPath {
+            start: configs[0].clone(),
+            steps,
+        },
+        invariant: StabilityInvariant {
+            members,
+            transport: None,
+        },
+    }
+}
+
+fn no_consensus_full<T: TransitionSystem>(
+    _system: &T,
+    e: &Exploration<T::C>,
+) -> NoConsensusCertificate<T::C> {
+    NoConsensusCertificate {
+        space: e.configs().to_vec(),
+        transport: None,
+        escape_accepting: escape_pointers(e, |i| !e.is_accepting(i)),
+        escape_rejecting: escape_pointers(e, |i| !e.is_rejecting(i)),
+    }
+}
+
+/// Builds the certificate for a completed full-space exploration. The
+/// verdict is read with [`Exploration::verdict`]; the certificate is
+/// assembled so that the independent checker re-derives the same verdict.
+pub fn certify_exploration<T: TransitionSystem>(
+    system: &T,
+    e: &Exploration<T::C>,
+) -> CertifiedVerdict<T::C> {
+    let verdict = e.verdict();
+    let certificate = match verdict {
+        Verdict::Accepts => Certificate::Stable(stable_full(
+            system,
+            e,
+            Polarity::Accepting,
+            &e.stably_accepting(),
+        )),
+        Verdict::Rejects => Certificate::Stable(stable_full(
+            system,
+            e,
+            Polarity::Rejecting,
+            &e.stably_rejecting(),
+        )),
+        Verdict::Inconsistent => Certificate::Inconsistent(
+            Box::new(stable_full(
+                system,
+                e,
+                Polarity::Accepting,
+                &e.stably_accepting(),
+            )),
+            Box::new(stable_full(
+                system,
+                e,
+                Polarity::Rejecting,
+                &e.stably_rejecting(),
+            )),
+        ),
+        Verdict::NoConsensus => Certificate::NoConsensus(no_consensus_full(system, e)),
+    };
+    CertifiedVerdict {
+        verdict,
+        certificate,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Quotient emission
+// ---------------------------------------------------------------------------
+
+fn transported_closure<T>(
+    system: &T,
+    quotient: &QuotientSystem<'_, T>,
+    members: &[T::C],
+) -> Vec<Vec<Perm>>
+where
+    T: NodeSymmetric,
+    T::C: PermuteNodes,
+{
+    let elements = quotient.group().elements();
+    members
+        .iter()
+        .map(|m| {
+            system
+                .successors(m)
+                .iter()
+                .map(|s| min_perm(s, elements).1)
+                .collect()
+        })
+        .collect()
+}
+
+fn stable_quotient<T>(
+    system: &T,
+    quotient: &QuotientSystem<'_, T>,
+    e: &Exploration<T::C>,
+    polarity: Polarity,
+    stably: &[bool],
+) -> StableCertificate<T::C>
+where
+    T: NodeSymmetric,
+    T::C: PermuteNodes,
+{
+    let elements = quotient.group().elements();
+    let ids = path_ids(e, stably);
+    let reps = e.configs();
+    // Concretise: d₀ is the true initial configuration, σ₀ · d₀ = r₀.
+    let start = system.initial_config();
+    let (r0, sigma0) = min_perm(&start, elements);
+    debug_assert_eq!(r0, reps[0]);
+    let mut sigma = sigma0;
+    let mut concrete = start.clone();
+    let mut steps = Vec::with_capacity(ids.len() - 1);
+    for w in ids.windows(2) {
+        let rep_succs = system.successors(&reps[w[0] as usize]);
+        let target = &reps[w[1] as usize];
+        let (s, q) = rep_succs
+            .iter()
+            .find_map(|s| {
+                let (rep, q) = min_perm(s, elements);
+                (rep == *target).then_some((s.clone(), q))
+            })
+            .expect("quotient edge has no witnessing successor");
+        let next = s.permute(&invert(&sigma));
+        let succs = system.successors(&concrete);
+        let selection = StepSelection::Choice(choice_of(&succs, &next));
+        steps.push(PathStep {
+            to: next.clone(),
+            selection,
+        });
+        concrete = next;
+        sigma = compose(&sigma, &q);
+    }
+    let endpoint = *ids.last().expect("path is never empty");
+    let members: Vec<T::C> = reach_ids(e, endpoint)
+        .into_iter()
+        .map(|i| reps[i as usize].clone())
+        .collect();
+    let closure = transported_closure(system, quotient, &members);
+    StableCertificate {
+        polarity,
+        path: ReachPath { start, steps },
+        invariant: StabilityInvariant {
+            members,
+            transport: Some(InvariantTransport {
+                closure,
+                endpoint: sigma,
+            }),
+        },
+    }
+}
+
+fn no_consensus_quotient<T>(
+    system: &T,
+    quotient: &QuotientSystem<'_, T>,
+    e: &Exploration<T::C>,
+) -> NoConsensusCertificate<T::C>
+where
+    T: NodeSymmetric,
+    T::C: PermuteNodes,
+{
+    let space = e.configs().to_vec();
+    let initial = min_perm(&system.initial_config(), quotient.group().elements()).1;
+    NoConsensusCertificate {
+        escape_accepting: escape_pointers(e, |i| !e.is_accepting(i)),
+        escape_rejecting: escape_pointers(e, |i| !e.is_rejecting(i)),
+        transport: Some(SpaceTransport {
+            closure: transported_closure(system, quotient, &space),
+            initial,
+        }),
+        space,
+    }
+}
+
+fn certify_quotient<T>(
+    system: &T,
+    quotient: &QuotientSystem<'_, T>,
+    e: &Exploration<T::C>,
+) -> CertifiedVerdict<T::C>
+where
+    T: NodeSymmetric,
+    T::C: PermuteNodes,
+{
+    let verdict = e.verdict();
+    let certificate = match verdict {
+        Verdict::Accepts => Certificate::Stable(stable_quotient(
+            system,
+            quotient,
+            e,
+            Polarity::Accepting,
+            &e.stably_accepting(),
+        )),
+        Verdict::Rejects => Certificate::Stable(stable_quotient(
+            system,
+            quotient,
+            e,
+            Polarity::Rejecting,
+            &e.stably_rejecting(),
+        )),
+        Verdict::Inconsistent => Certificate::Inconsistent(
+            Box::new(stable_quotient(
+                system,
+                quotient,
+                e,
+                Polarity::Accepting,
+                &e.stably_accepting(),
+            )),
+            Box::new(stable_quotient(
+                system,
+                quotient,
+                e,
+                Polarity::Rejecting,
+                &e.stably_rejecting(),
+            )),
+        ),
+        Verdict::NoConsensus => {
+            Certificate::NoConsensus(no_consensus_quotient(system, quotient, e))
+        }
+    };
+    CertifiedVerdict {
+        verdict,
+        certificate,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Certified deciders
+// ---------------------------------------------------------------------------
+
+/// Certified counterpart of [`wam_core::decide_system`]: decides any
+/// [`TransitionSystem`] by full exploration and emits the witness.
+///
+/// # Errors
+///
+/// [`ExploreError::TooLarge`] if more than `limit` configurations are
+/// reachable.
+pub fn decide_system_certified<T: TransitionSystem + Sync>(
+    system: &T,
+    limit: usize,
+) -> Result<CertifiedVerdict<T::C>, ExploreError>
+where
+    T::C: Send + Sync,
+{
+    let e = Exploration::explore(system, limit)?;
+    Ok(certify_exploration(system, &e))
+}
+
+/// Certified counterpart of [`wam_core::decide_symmetric`]: same reduction
+/// policy ([`Symmetry::Auto`]/`On`/`Off` via [`ExploreOptions::symmetry`]),
+/// and when the orbit quotient is active the emitted certificate carries
+/// symmetry transport.
+///
+/// # Errors
+///
+/// [`ExploreError::TooLarge`] if the explored space exceeds
+/// `options.limit`.
+pub fn decide_symmetric_certified<T>(
+    system: &T,
+    options: ExploreOptions,
+) -> Result<CertifiedVerdict<T::C>, ExploreError>
+where
+    T: NodeSymmetric + Sync,
+    T::C: PermuteNodes + Send + Sync,
+{
+    let full = |options: ExploreOptions| -> Result<CertifiedVerdict<T::C>, ExploreError> {
+        let e = Exploration::explore_with(system, system.initial_config(), options)?;
+        Ok(certify_exploration(system, &e))
+    };
+    if options.symmetry == Symmetry::Off {
+        return full(options);
+    }
+    let group = automorphism_group(system.symmetry_graph(), options.symmetry_cap);
+    let reduce = match options.symmetry {
+        Symmetry::Off => unreachable!("handled above"),
+        Symmetry::On => true,
+        Symmetry::Auto => group.is_complete() && !group.is_trivial(),
+    };
+    if !reduce {
+        return full(options);
+    }
+    let quotient = QuotientSystem::new(system, group);
+    let e = Exploration::explore_with(&quotient, quotient.initial_config(), options)?;
+    Ok(certify_quotient(system, &quotient, &e))
+}
+
+/// Rewrites the `Choice` selections of an exclusive-selection certificate
+/// to `Node` selections by diffing consecutive configurations — exclusive
+/// steps change exactly one node, and `Node` steps are replayable by
+/// [`Config::successor`](wam_core::Config::successor) alone.
+fn relabel_exclusive_path<S: State>(cert: &mut Certificate<Config<S>>) {
+    let relabel = |s: &mut StableCertificate<Config<S>>| {
+        let mut prev = s.path.start.clone();
+        for step in &mut s.path.steps {
+            if let Some(v) = (0..prev.len()).find(|&v| prev.state(v) != step.to.state(v)) {
+                step.selection = StepSelection::Node(v as u32);
+            }
+            prev = step.to.clone();
+        }
+    };
+    match cert {
+        Certificate::Stable(s) => relabel(s),
+        Certificate::Inconsistent(acc, rej) => {
+            relabel(acc);
+            relabel(rej);
+        }
+        _ => {}
+    }
+}
+
+/// Certified counterpart of [`wam_core::decide_pseudo_stochastic`]: decides
+/// `machine` on `graph` under pseudo-stochastic fairness and exclusive
+/// selection (orbit-reduced when profitable, per [`Symmetry::Auto`]) and
+/// emits a certificate whose path steps are `Node` selections, verifiable
+/// by [`crate::verify_machine`].
+///
+/// # Errors
+///
+/// [`ExploreError::TooLarge`] if the explored space exceeds `limit`.
+pub fn decide_pseudo_stochastic_certified<S: State>(
+    machine: &Machine<S>,
+    graph: &Graph,
+    limit: usize,
+) -> Result<CertifiedVerdict<Config<S>>, ExploreError> {
+    let system = ExclusiveSystem::new(machine, graph);
+    let mut out = decide_symmetric_certified(&system, ExploreOptions::with_limit(limit))?;
+    relabel_exclusive_path(&mut out.certificate);
+    Ok(out)
+}
+
+fn certify_lasso<S: State>(
+    machine: &Machine<S>,
+    graph: &Graph,
+    schedule: LassoSchedule,
+    selection_at: impl Fn(usize) -> Selection,
+    period: usize,
+    limit: usize,
+) -> Result<CertifiedVerdict<Config<S>>, ExploreError> {
+    let mut seen: FxHashMap<(Config<S>, u32), usize> = FxHashMap::default();
+    let mut trace: Vec<Config<S>> = Vec::new();
+    let mut c = Config::initial(machine, graph);
+    for t in 0..limit {
+        let key = (c.clone(), (t % period) as u32);
+        if let Some(&start) = seen.get(&key) {
+            let cycle: Vec<Config<S>> = trace[start..].to_vec();
+            let verdict = if cycle.iter().all(|c| c.is_accepting(machine)) {
+                Verdict::Accepts
+            } else if cycle.iter().all(|c| c.is_rejecting(machine)) {
+                Verdict::Rejects
+            } else {
+                Verdict::NoConsensus
+            };
+            return Ok(CertifiedVerdict {
+                verdict,
+                certificate: Certificate::Lasso(LassoCertificate {
+                    schedule,
+                    verdict,
+                    stem_len: start,
+                    cycle,
+                }),
+            });
+        }
+        seen.insert(key, t);
+        trace.push(c.clone());
+        c = c.successor(machine, graph, &selection_at(t));
+    }
+    Err(ExploreError::NoLasso { limit })
+}
+
+/// Certified counterpart of [`wam_core::decide_adversarial_round_robin`]:
+/// walks the deterministic round-robin run to its lasso and emits the
+/// stem + cycle witness.
+///
+/// # Errors
+///
+/// [`ExploreError::NoLasso`] if the run does not become periodic within
+/// `limit` steps.
+pub fn decide_adversarial_round_robin_certified<S: State>(
+    machine: &Machine<S>,
+    graph: &Graph,
+    limit: usize,
+) -> Result<CertifiedVerdict<Config<S>>, ExploreError> {
+    let n = graph.node_count();
+    certify_lasso(
+        machine,
+        graph,
+        LassoSchedule::RoundRobin,
+        |t| Selection::exclusive(t % n),
+        n,
+        limit,
+    )
+}
+
+/// Certified counterpart of [`wam_core::decide_synchronous`].
+///
+/// # Errors
+///
+/// [`ExploreError::NoLasso`] if the run does not become periodic within
+/// `limit` steps.
+pub fn decide_synchronous_certified<S: State>(
+    machine: &Machine<S>,
+    graph: &Graph,
+    limit: usize,
+) -> Result<CertifiedVerdict<Config<S>>, ExploreError> {
+    let all = Selection::all(graph);
+    certify_lasso(
+        machine,
+        graph,
+        LassoSchedule::Synchronous,
+        |_| all.clone(),
+        1,
+        limit,
+    )
+}

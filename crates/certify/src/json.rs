@@ -1,0 +1,777 @@
+//! Serde-free JSON export/import for certificates.
+//!
+//! The workspace deliberately has no JSON dependency; this module carries
+//! its own ~100-line recursive-descent parser (the same style as the
+//! schema check in `tests/bench_schema.rs`, but returning `Result` instead
+//! of panicking) and a small writer.
+//!
+//! # Why configurations need a codec
+//!
+//! A [`Machine`](wam_core::Machine)'s states are arbitrary Rust values
+//! (products, enums, closure-built tags) with no canonical serial form, so
+//! a certificate cannot be decoded without machine-specific shared
+//! context. The [`ConfigCodec`] trait supplies that context; the stock
+//! implementation [`StateTable`] enumerates the distinct states occurring
+//! in a certificate (states are `Ord`, so the table is deterministic) and
+//! encodes every configuration as an array of table indices. The exporting
+//! and importing side must construct the codec from the same machine
+//! context — typically by building the [`StateTable`] from the certificate
+//! before export and shipping it alongside, as
+//! `examples/certified_verdict.rs` does. A `sidecar` object with `Debug`
+//! renderings of the table is embedded for human consumption and as a
+//! mismatch tripwire (the importer checks the table length).
+
+use crate::certificate::{
+    Certificate, Escape, InvariantTransport, LassoCertificate, LassoSchedule,
+    NoConsensusCertificate, PathStep, Perm, Polarity, ReachPath, SpaceTransport,
+    StabilityInvariant, StableCertificate, StepSelection,
+};
+use crate::verify::CertError;
+use std::fmt::Write as _;
+use wam_core::{Config, State, Verdict};
+
+/// A JSON value. Objects preserve insertion order (emission order is part
+/// of the readable format; lookup is linear, which is fine at certificate
+/// scale).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (certificates only use nonnegative integers within the
+    /// exact `f64` range).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object (ordered key–value pairs).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// [`CertError::Json`] on malformed input (including trailing garbage).
+    pub fn parse(text: &str) -> Result<Json, CertError> {
+        let mut p = Parser {
+            s: text.as_bytes(),
+            i: 0,
+        };
+        let v = p.value()?;
+        p.ws();
+        if p.i != p.s.len() {
+            return Err(err("trailing garbage after JSON value"));
+        }
+        Ok(v)
+    }
+
+    /// Renders the value as compact JSON text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+            Json::Str(s) => write_string(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn field(&self, key: &str) -> Result<&Json, CertError> {
+        self.get(key)
+            .ok_or_else(|| err(&format!("missing key {key:?}")))
+    }
+
+    fn num(&self) -> Result<f64, CertError> {
+        match self {
+            Json::Num(n) => Ok(*n),
+            _ => Err(err("expected a number")),
+        }
+    }
+
+    fn index(&self) -> Result<usize, CertError> {
+        let n = self.num()?;
+        if n < 0.0 || n.fract() != 0.0 {
+            return Err(err("expected a nonnegative integer"));
+        }
+        Ok(n as usize)
+    }
+
+    fn str(&self) -> Result<&str, CertError> {
+        match self {
+            Json::Str(s) => Ok(s),
+            _ => Err(err("expected a string")),
+        }
+    }
+
+    fn arr(&self) -> Result<&[Json], CertError> {
+        match self {
+            Json::Arr(v) => Ok(v),
+            _ => Err(err("expected an array")),
+        }
+    }
+}
+
+fn err(msg: &str) -> CertError {
+    CertError::Json(msg.to_string())
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, CertError> {
+        self.ws();
+        self.s
+            .get(self.i)
+            .copied()
+            .ok_or_else(|| err("unexpected end of input"))
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), CertError> {
+        if self.peek()? != c {
+            return Err(err(&format!("expected {:?} at byte {}", c as char, self.i)));
+        }
+        self.i += 1;
+        Ok(())
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, CertError> {
+        if !self.s[self.i..].starts_with(word.as_bytes()) {
+            return Err(err(&format!("bad literal at byte {}", self.i)));
+        }
+        self.i += word.len();
+        Ok(v)
+    }
+
+    fn value(&mut self) -> Result<Json, CertError> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.lit("true", Json::Bool(true)),
+            b'f' => self.lit("false", Json::Bool(false)),
+            b'n' => self.lit("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, CertError> {
+        self.eat(b'{')?;
+        let mut pairs = Vec::new();
+        if self.peek()? == b'}' {
+            self.i += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.eat(b':')?;
+            pairs.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.i += 1,
+                b'}' => {
+                    self.i += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                c => return Err(err(&format!("expected ',' or '}}', got {:?}", c as char))),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, CertError> {
+        self.eat(b'[')?;
+        let mut out = Vec::new();
+        if self.peek()? == b']' {
+            self.i += 1;
+            return Ok(Json::Arr(out));
+        }
+        loop {
+            out.push(self.value()?);
+            match self.peek()? {
+                b',' => self.i += 1,
+                b']' => {
+                    self.i += 1;
+                    return Ok(Json::Arr(out));
+                }
+                c => return Err(err(&format!("expected ',' or ']', got {:?}", c as char))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, CertError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .s
+                .get(self.i)
+                .ok_or_else(|| err("unterminated string"))?;
+            match b {
+                b'"' => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.i += 1;
+                    let e = *self.s.get(self.i).ok_or_else(|| err("truncated escape"))?;
+                    self.i += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .s
+                                .get(self.i..self.i + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| err("truncated \\u escape"))?;
+                            self.i += 4;
+                            let cp =
+                                u32::from_str_radix(hex, 16).map_err(|_| err("bad \\u escape"))?;
+                            out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                        }
+                        c => return Err(err(&format!("bad escape {:?}", c as char))),
+                    }
+                }
+                _ => {
+                    let rest =
+                        std::str::from_utf8(&self.s[self.i..]).map_err(|_| err("invalid UTF-8"))?;
+                    let ch = rest
+                        .chars()
+                        .next()
+                        .ok_or_else(|| err("empty string tail"))?;
+                    out.push(ch);
+                    self.i += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, CertError> {
+        self.ws();
+        let start = self.i;
+        while self.i < self.s.len()
+            && matches!(
+                self.s[self.i],
+                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
+            )
+        {
+            self.i += 1;
+        }
+        let text = std::str::from_utf8(&self.s[start..self.i]).map_err(|_| err("invalid UTF-8"))?;
+        text.parse()
+            .map(Json::Num)
+            .map_err(|_| err(&format!("bad number {text:?}")))
+    }
+}
+
+/// Machine-specific shared context for encoding configurations.
+pub trait ConfigCodec<C> {
+    /// Encodes one configuration.
+    fn encode_config(&self, c: &C) -> Json;
+
+    /// Decodes one configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`CertError::Json`] when the value does not decode under this codec.
+    fn decode_config(&self, v: &Json) -> Result<C, CertError>;
+
+    /// An optional object embedded under `"sidecar"` in the export —
+    /// human-readable context plus whatever the codec wants as a mismatch
+    /// tripwire.
+    fn sidecar(&self) -> Option<Json> {
+        None
+    }
+
+    /// Checks a parsed sidecar against this codec on import.
+    ///
+    /// # Errors
+    ///
+    /// [`CertError::Json`] when the sidecar reveals a codec mismatch.
+    fn check_sidecar(&self, _v: &Json) -> Result<(), CertError> {
+        Ok(())
+    }
+}
+
+/// The stock codec for `Config<S>`: a sorted, deduplicated table of the
+/// distinct states occurring in a certificate; configurations are encoded
+/// as arrays of table indices. Both sides of an exchange derive the same
+/// table from the same certificate, because [`State`] is `Ord`.
+#[derive(Debug, Clone)]
+pub struct StateTable<S> {
+    states: Vec<S>,
+}
+
+impl<S: State> StateTable<S> {
+    /// Builds the table of distinct states stored in `cert`.
+    pub fn from_certificate(cert: &Certificate<Config<S>>) -> Self {
+        let mut states: Vec<S> = Vec::new();
+        cert.for_each_config(|c| states.extend(c.states().iter().cloned()));
+        states.sort();
+        states.dedup();
+        StateTable { states }
+    }
+
+    /// The table entries, sorted.
+    pub fn states(&self) -> &[S] {
+        &self.states
+    }
+
+    /// Number of distinct states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+}
+
+impl<S: State> ConfigCodec<Config<S>> for StateTable<S> {
+    fn encode_config(&self, c: &Config<S>) -> Json {
+        Json::Arr(
+            c.states()
+                .iter()
+                .map(|s| {
+                    let i = self
+                        .states
+                        .binary_search(s)
+                        .expect("state missing from the table built for this certificate");
+                    Json::Num(i as f64)
+                })
+                .collect(),
+        )
+    }
+
+    fn decode_config(&self, v: &Json) -> Result<Config<S>, CertError> {
+        let mut states = Vec::new();
+        for item in v.arr()? {
+            let i = item.index()?;
+            let s = self
+                .states
+                .get(i)
+                .ok_or_else(|| err("state index out of table range"))?;
+            states.push(s.clone());
+        }
+        Ok(Config::from_states(states))
+    }
+
+    fn sidecar(&self) -> Option<Json> {
+        Some(Json::Obj(vec![
+            ("encoding".to_string(), Json::Str("state-table".to_string())),
+            (
+                "state_count".to_string(),
+                Json::Num(self.states.len() as f64),
+            ),
+            (
+                "states".to_string(),
+                Json::Arr(
+                    self.states
+                        .iter()
+                        .map(|s| Json::Str(format!("{s:?}")))
+                        .collect(),
+                ),
+            ),
+        ]))
+    }
+
+    fn check_sidecar(&self, v: &Json) -> Result<(), CertError> {
+        let n = v.field("state_count")?.index()?;
+        if n != self.states.len() {
+            return Err(err(&format!(
+                "state table size mismatch: document has {n}, codec has {}",
+                self.states.len()
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn verdict_str(v: Verdict) -> Json {
+    Json::Str(v.to_string())
+}
+
+fn parse_verdict(v: &Json) -> Result<Verdict, CertError> {
+    match v.str()? {
+        "accepts" => Ok(Verdict::Accepts),
+        "rejects" => Ok(Verdict::Rejects),
+        "no consensus" => Ok(Verdict::NoConsensus),
+        "inconsistent" => Ok(Verdict::Inconsistent),
+        other => Err(err(&format!("unknown verdict {other:?}"))),
+    }
+}
+
+fn perm_json(p: &Perm) -> Json {
+    Json::Arr(p.iter().map(|&v| Json::Num(v as f64)).collect())
+}
+
+fn parse_perm(v: &Json) -> Result<Perm, CertError> {
+    v.arr()?.iter().map(|x| Ok(x.index()? as u32)).collect()
+}
+
+fn selection_json(sel: &StepSelection) -> Json {
+    match sel {
+        StepSelection::Node(v) => Json::Obj(vec![("node".to_string(), Json::Num(*v as f64))]),
+        StepSelection::Choice(j) => Json::Obj(vec![("choice".to_string(), Json::Num(*j as f64))]),
+        StepSelection::All => Json::Str("all".to_string()),
+    }
+}
+
+fn parse_selection(v: &Json) -> Result<StepSelection, CertError> {
+    match v {
+        Json::Str(s) if s == "all" => Ok(StepSelection::All),
+        Json::Obj(_) => {
+            if let Some(n) = v.get("node") {
+                Ok(StepSelection::Node(n.index()? as u32))
+            } else if let Some(c) = v.get("choice") {
+                Ok(StepSelection::Choice(c.index()? as u32))
+            } else {
+                Err(err("selection object needs \"node\" or \"choice\""))
+            }
+        }
+        _ => Err(err("bad selection")),
+    }
+}
+
+fn escape_json(e: &Escape) -> Json {
+    match e {
+        Escape::Here => Json::Str("here".to_string()),
+        Escape::Via(j) => Json::Obj(vec![("via".to_string(), Json::Num(*j as f64))]),
+    }
+}
+
+fn parse_escape(v: &Json) -> Result<Escape, CertError> {
+    match v {
+        Json::Str(s) if s == "here" => Ok(Escape::Here),
+        Json::Obj(_) => Ok(Escape::Via(v.field("via")?.index()? as u32)),
+        _ => Err(err("bad escape")),
+    }
+}
+
+fn closure_json(closure: &[Vec<Perm>]) -> Json {
+    Json::Arr(
+        closure
+            .iter()
+            .map(|row| Json::Arr(row.iter().map(perm_json).collect()))
+            .collect(),
+    )
+}
+
+fn parse_closure(v: &Json) -> Result<Vec<Vec<Perm>>, CertError> {
+    v.arr()?
+        .iter()
+        .map(|row| row.arr()?.iter().map(parse_perm).collect())
+        .collect()
+}
+
+fn configs_json<C>(configs: &[C], codec: &dyn ConfigCodec<C>) -> Json {
+    Json::Arr(configs.iter().map(|c| codec.encode_config(c)).collect())
+}
+
+fn parse_configs<C>(v: &Json, codec: &dyn ConfigCodec<C>) -> Result<Vec<C>, CertError> {
+    v.arr()?.iter().map(|c| codec.decode_config(c)).collect()
+}
+
+fn stable_json<C>(s: &StableCertificate<C>, codec: &dyn ConfigCodec<C>) -> Json {
+    let mut pairs = vec![
+        (
+            "polarity".to_string(),
+            Json::Str(
+                match s.polarity {
+                    Polarity::Accepting => "accepting",
+                    Polarity::Rejecting => "rejecting",
+                }
+                .to_string(),
+            ),
+        ),
+        (
+            "path".to_string(),
+            Json::Obj(vec![
+                ("start".to_string(), codec.encode_config(&s.path.start)),
+                (
+                    "steps".to_string(),
+                    Json::Arr(
+                        s.path
+                            .steps
+                            .iter()
+                            .map(|step| {
+                                Json::Obj(vec![
+                                    ("to".to_string(), codec.encode_config(&step.to)),
+                                    ("selection".to_string(), selection_json(&step.selection)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+        (
+            "members".to_string(),
+            configs_json(&s.invariant.members, codec),
+        ),
+    ];
+    if let Some(t) = &s.invariant.transport {
+        pairs.push((
+            "transport".to_string(),
+            Json::Obj(vec![
+                ("closure".to_string(), closure_json(&t.closure)),
+                ("endpoint".to_string(), perm_json(&t.endpoint)),
+            ]),
+        ));
+    }
+    Json::Obj(pairs)
+}
+
+fn parse_stable<C>(
+    v: &Json,
+    codec: &dyn ConfigCodec<C>,
+) -> Result<StableCertificate<C>, CertError> {
+    let polarity = match v.field("polarity")?.str()? {
+        "accepting" => Polarity::Accepting,
+        "rejecting" => Polarity::Rejecting,
+        other => return Err(err(&format!("unknown polarity {other:?}"))),
+    };
+    let path_v = v.field("path")?;
+    let start = codec.decode_config(path_v.field("start")?)?;
+    let steps = path_v
+        .field("steps")?
+        .arr()?
+        .iter()
+        .map(|step| {
+            Ok(PathStep {
+                to: codec.decode_config(step.field("to")?)?,
+                selection: parse_selection(step.field("selection")?)?,
+            })
+        })
+        .collect::<Result<Vec<_>, CertError>>()?;
+    let members = parse_configs(v.field("members")?, codec)?;
+    let transport = match v.get("transport") {
+        None => None,
+        Some(t) => Some(InvariantTransport {
+            closure: parse_closure(t.field("closure")?)?,
+            endpoint: parse_perm(t.field("endpoint")?)?,
+        }),
+    };
+    Ok(StableCertificate {
+        polarity,
+        path: ReachPath { start, steps },
+        invariant: StabilityInvariant { members, transport },
+    })
+}
+
+/// Exports a certificate as a JSON document.
+pub fn certificate_to_json<C>(cert: &Certificate<C>, codec: &dyn ConfigCodec<C>) -> String {
+    let mut pairs = vec![
+        ("format".to_string(), Json::Str("wam-certify".to_string())),
+        ("version".to_string(), Json::Num(1.0)),
+        ("kind".to_string(), Json::Str(cert.kind().to_string())),
+        ("verdict".to_string(), verdict_str(cert.verdict())),
+    ];
+    match cert {
+        Certificate::Stable(s) => pairs.push(("stable".to_string(), stable_json(s, codec))),
+        Certificate::Inconsistent(acc, rej) => {
+            pairs.push(("accepting".to_string(), stable_json(acc, codec)));
+            pairs.push(("rejecting".to_string(), stable_json(rej, codec)));
+        }
+        Certificate::NoConsensus(n) => {
+            let mut body = vec![("space".to_string(), configs_json(&n.space, codec))];
+            if let Some(t) = &n.transport {
+                body.push((
+                    "transport".to_string(),
+                    Json::Obj(vec![
+                        ("closure".to_string(), closure_json(&t.closure)),
+                        ("initial".to_string(), perm_json(&t.initial)),
+                    ]),
+                ));
+            }
+            body.push((
+                "escape_accepting".to_string(),
+                Json::Arr(n.escape_accepting.iter().map(escape_json).collect()),
+            ));
+            body.push((
+                "escape_rejecting".to_string(),
+                Json::Arr(n.escape_rejecting.iter().map(escape_json).collect()),
+            ));
+            pairs.push(("no_consensus".to_string(), Json::Obj(body)));
+        }
+        Certificate::Lasso(l) => {
+            pairs.push((
+                "lasso".to_string(),
+                Json::Obj(vec![
+                    (
+                        "schedule".to_string(),
+                        Json::Str(
+                            match l.schedule {
+                                LassoSchedule::RoundRobin => "round-robin",
+                                LassoSchedule::Synchronous => "synchronous",
+                            }
+                            .to_string(),
+                        ),
+                    ),
+                    ("stem_len".to_string(), Json::Num(l.stem_len as f64)),
+                    ("cycle".to_string(), configs_json(&l.cycle, codec)),
+                ]),
+            ));
+        }
+    }
+    if let Some(sidecar) = codec.sidecar() {
+        pairs.push(("sidecar".to_string(), sidecar));
+    }
+    Json::Obj(pairs).render()
+}
+
+/// Imports a certificate from a JSON document.
+///
+/// # Errors
+///
+/// [`CertError::Json`] on malformed documents, unknown versions or codec
+/// mismatches.
+pub fn certificate_from_json<C>(
+    text: &str,
+    codec: &dyn ConfigCodec<C>,
+) -> Result<Certificate<C>, CertError> {
+    let doc = Json::parse(text)?;
+    if doc.field("format")?.str()? != "wam-certify" {
+        return Err(err("not a wam-certify document"));
+    }
+    if doc.field("version")?.index()? != 1 {
+        return Err(err("unsupported wam-certify version"));
+    }
+    if let Some(sidecar) = doc.get("sidecar") {
+        codec.check_sidecar(sidecar)?;
+    }
+    let claimed = parse_verdict(doc.field("verdict")?)?;
+    let cert = match doc.field("kind")?.str()? {
+        "stable" => Certificate::Stable(parse_stable(doc.field("stable")?, codec)?),
+        "inconsistent" => Certificate::Inconsistent(
+            Box::new(parse_stable(doc.field("accepting")?, codec)?),
+            Box::new(parse_stable(doc.field("rejecting")?, codec)?),
+        ),
+        "no-consensus" => {
+            let body = doc.field("no_consensus")?;
+            let space = parse_configs(body.field("space")?, codec)?;
+            let transport = match body.get("transport") {
+                None => None,
+                Some(t) => Some(SpaceTransport {
+                    closure: parse_closure(t.field("closure")?)?,
+                    initial: parse_perm(t.field("initial")?)?,
+                }),
+            };
+            let escape_accepting = body
+                .field("escape_accepting")?
+                .arr()?
+                .iter()
+                .map(parse_escape)
+                .collect::<Result<Vec<_>, _>>()?;
+            let escape_rejecting = body
+                .field("escape_rejecting")?
+                .arr()?
+                .iter()
+                .map(parse_escape)
+                .collect::<Result<Vec<_>, _>>()?;
+            Certificate::NoConsensus(NoConsensusCertificate {
+                space,
+                transport,
+                escape_accepting,
+                escape_rejecting,
+            })
+        }
+        "lasso" => {
+            let body = doc.field("lasso")?;
+            let schedule = match body.field("schedule")?.str()? {
+                "round-robin" => LassoSchedule::RoundRobin,
+                "synchronous" => LassoSchedule::Synchronous,
+                other => return Err(err(&format!("unknown schedule {other:?}"))),
+            };
+            Certificate::Lasso(LassoCertificate {
+                schedule,
+                verdict: claimed,
+                stem_len: body.field("stem_len")?.index()?,
+                cycle: parse_configs(body.field("cycle")?, codec)?,
+            })
+        }
+        other => return Err(err(&format!("unknown certificate kind {other:?}"))),
+    };
+    if cert.verdict() != claimed {
+        return Err(err("document verdict disagrees with certificate body"));
+    }
+    Ok(cert)
+}

@@ -1,0 +1,59 @@
+//! Verdict certificates and an independent proof-checking subsystem.
+//!
+//! Every classification claim of the reproduction (the Figure 1 / E1 grid
+//! verdicts) is produced by a three-layer engine: parallel interned BFS,
+//! orbit-quotient reduction, decision memoisation. Those layers validate
+//! each other differentially, but no artefact lets anyone check a verdict
+//! without re-trusting the engine. Since the general verification problem
+//! for these models is undecidable, *per-instance* machine-checkable
+//! witnesses are the right correctness artefact — and the paper's own
+//! Prop. D.2 characterisation (accept ⇔ a stably-accepting configuration
+//! is reachable) makes them small:
+//!
+//! * [`certificate`] — the data model: reachability paths, stability
+//!   invariants, no-consensus escape tables, deterministic lassos, and
+//!   symmetry transport for quotient-mode runs.
+//! * [`verify`] — the deliberately small checker that re-validates every
+//!   claim by direct re-execution of the step semantics. It never touches
+//!   the engine (enforced by an import-grepping test), so engine bugs
+//!   cannot survive verification.
+//! * [`emit`] — the engine-facing emitters: `decide_*_certified`
+//!   counterparts of the exact deciders that return the verdict *plus* its
+//!   witness.
+//! * [`json`] — serde-free JSON export/import with a pluggable
+//!   configuration codec ([`StateTable`]).
+//!
+//! ```
+//! use wam_certify::{decide_pseudo_stochastic_certified, verify_machine, VerifyOptions};
+//! use wam_core::{Machine, Output};
+//! use wam_graph::{generators, LabelCount};
+//!
+//! let m = Machine::new(
+//!     1,
+//!     |l: wam_graph::Label| l.0 == 1,
+//!     |&s: &bool, n| s || n.exists(|&t| t),
+//!     |&s| if s { Output::Accept } else { Output::Reject },
+//! );
+//! let g = generators::labelled_cycle(&LabelCount::from_vec(vec![3, 1]));
+//! let out = decide_pseudo_stochastic_certified(&m, &g, 100_000).unwrap();
+//! let rechecked = verify_machine(&m, &g, &out.certificate, &VerifyOptions::default()).unwrap();
+//! assert_eq!(rechecked, out.verdict);
+//! ```
+
+pub mod certificate;
+pub mod emit;
+pub mod json;
+pub mod verify;
+
+pub use certificate::{
+    Certificate, Escape, InvariantTransport, LassoCertificate, LassoSchedule,
+    NoConsensusCertificate, PathStep, Perm, Polarity, ReachPath, SpaceTransport,
+    StabilityInvariant, StableCertificate, StepSelection,
+};
+pub use emit::{
+    certify_exploration, decide_adversarial_round_robin_certified,
+    decide_pseudo_stochastic_certified, decide_symmetric_certified, decide_synchronous_certified,
+    decide_system_certified, CertifiedVerdict,
+};
+pub use json::{certificate_from_json, certificate_to_json, ConfigCodec, Json, StateTable};
+pub use verify::{verify_machine, verify_symmetric, verify_system, CertError, VerifyOptions};

@@ -1,0 +1,943 @@
+//! The independent certificate checker.
+//!
+//! # Trust argument
+//!
+//! This module is the trusted computing base of the certificate subsystem,
+//! and it is deliberately small: every claim in a [`Certificate`] is
+//! re-validated by **direct re-execution of the step semantics** — the
+//! [`TransitionSystem::successors`] enumeration or
+//! [`Config::successor`](wam_core::Config::successor) on a [`Machine`] —
+//! plus plain set membership over the configurations stored in the
+//! certificate. Nothing here touches the engine that emitted the
+//! certificate: no hash-consed id spaces, no CSR edge arrays, no reverse
+//! reachability machinery, no memoisation (a test in
+//! `tests/independence.rs` greps this file's imports to keep it that way).
+//! A bug in the engine therefore cannot hide in a certificate that this
+//! module accepts — the only shared code is the step function itself, which
+//! *defines* the semantics being certified.
+//!
+//! For quotient-mode certificates the invariant/space members are orbit
+//! representatives and carry transport permutations. The checker validates
+//! each recorded permutation from first principles (it is a bijection on
+//! the node set and a structural automorphism of the communication graph,
+//! checked edge by edge) and then uses it only through
+//! [`PermuteNodes::permute`]. Soundness of the quotient additionally rests
+//! on *equivariance* of the step relation under graph automorphisms —
+//! a structural property of node-anonymous semantics (DESIGN §3a) that no
+//! per-instance artefact can fully discharge; the checker spot-checks it on
+//! the certificate's own configurations
+//! ([`VerifyOptions::equivariance_samples`]) and the differential test
+//! suite checks it statistically.
+//!
+//! # What each certificate kind establishes
+//!
+//! * [`Certificate::Stable`]: the path re-executes from the initial
+//!   configuration; the invariant contains the endpoint (after transport),
+//!   is uniformly accepting/rejecting, and is closed under every enumerated
+//!   successor (after transport). With `W` the union of orbits of the
+//!   members, `W` is then closed under steps and output-uniform, and a
+//!   member of `W` is reachable — exactly Prop. D.2's "a stably
+//!   accepting/rejecting configuration is reachable".
+//! * [`Certificate::Inconsistent`]: one accepting and one rejecting such
+//!   witness from the same initial configuration.
+//! * [`Certificate::NoConsensus`]: the space contains the initial
+//!   configuration (after transport) and is closed under steps, so it
+//!   over-approximates the reachable set; every member's escape chain
+//!   reaches a non-accepting (resp. non-rejecting) configuration through
+//!   validated successor steps, so *no* reachable configuration is stably
+//!   accepting or stably rejecting.
+//! * [`Certificate::Lasso`]: replaying the deterministic schedule from the
+//!   initial configuration reaches `cycle[0]` after `stem_len` steps, the
+//!   cycle steps back into itself with period-aligned length, so the run's
+//!   limit behaviour is the cycle; the verdict is the consensus over the
+//!   cycle's outputs.
+
+use crate::certificate::{
+    Certificate, Escape, LassoCertificate, LassoSchedule, NoConsensusCertificate, Polarity,
+    StableCertificate, StepSelection,
+};
+use rustc_hash::FxHashMap;
+use std::fmt;
+use std::hash::Hash;
+use wam_core::{
+    Config, ExclusiveSystem, Machine, NodeSymmetric, PermuteNodes, Selection, State,
+    TransitionSystem, Verdict,
+};
+use wam_graph::Graph;
+
+/// Tuning knobs for the checker.
+#[derive(Debug, Clone, Copy)]
+pub struct VerifyOptions {
+    /// Number of (member, successor, permutation) instances on which to
+    /// spot-check step equivariance for transported certificates. `0`
+    /// disables the spot check (the permutations are still validated as
+    /// automorphisms).
+    pub equivariance_samples: usize,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> Self {
+        VerifyOptions {
+            equivariance_samples: 8,
+        }
+    }
+}
+
+/// Why a certificate was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CertError {
+    /// The path does not start at the system's initial configuration.
+    WrongStart,
+    /// Re-executing step `index` did not produce the recorded configuration.
+    PathStepMismatch {
+        /// Index of the offending step.
+        index: usize,
+    },
+    /// A `Choice` selection index is out of range for the enumerated
+    /// successors.
+    BadChoice {
+        /// Index of the offending step.
+        index: usize,
+        /// The recorded choice.
+        choice: u32,
+        /// How many successors the system enumerates at that point.
+        available: usize,
+    },
+    /// The checker entry point cannot re-execute this selection kind (e.g.
+    /// a `Node` selection handed to the generic system checker).
+    UnsupportedSelection {
+        /// Index of the offending step.
+        index: usize,
+    },
+    /// A stability invariant with no members proves nothing.
+    EmptyInvariant,
+    /// The path endpoint (after transport) is not an invariant member.
+    EndpointNotInInvariant,
+    /// Invariant member `index` does not have the claimed output polarity.
+    NotUniform {
+        /// Index of the offending member.
+        index: usize,
+    },
+    /// A successor of member `index` (after transport) leaves the set.
+    ClosureEscape {
+        /// Index of the offending member.
+        index: usize,
+        /// Which enumerated successor escapes.
+        successor: usize,
+    },
+    /// The certificate carries transport but this entry point has no
+    /// communication graph / permutation action to replay it with.
+    TransportUnsupported,
+    /// A transport table's shape does not match the members/successors.
+    TransportArity {
+        /// Index of the offending member (or `usize::MAX` for the
+        /// top-level tables).
+        index: usize,
+    },
+    /// A recorded permutation is not a bijection on the node set.
+    NotAPermutation {
+        /// Index of the offending member.
+        index: usize,
+    },
+    /// A recorded permutation does not preserve the graph's edges.
+    NotAnAutomorphism {
+        /// Index of the offending member.
+        index: usize,
+    },
+    /// An equivariance spot check failed: the step relation does not
+    /// commute with a recorded automorphism.
+    NotEquivariant {
+        /// Index of the offending member.
+        index: usize,
+    },
+    /// An `Inconsistent` certificate must pair an accepting and a
+    /// rejecting witness.
+    WrongPolarities,
+    /// A no-consensus space with no members cannot contain the initial
+    /// configuration.
+    EmptySpace,
+    /// The initial configuration (after transport) is not in the space.
+    InitialNotInSpace,
+    /// An escape table's length does not match the space.
+    EscapeArity,
+    /// The terminal configuration of an escape chain does not violate the
+    /// polarity it should escape.
+    EscapeNotViolating {
+        /// Index of the offending member.
+        index: usize,
+    },
+    /// An escape pointer names a member that is not an enumerated
+    /// successor (after transport).
+    EscapeNotASuccessor {
+        /// Index of the offending member.
+        index: usize,
+        /// The pointer's target.
+        via: u32,
+    },
+    /// An escape chain loops and never reaches a violating configuration.
+    EscapeCycle {
+        /// Index of the member where the loop closed.
+        index: usize,
+    },
+    /// A lasso with an empty cycle proves nothing.
+    EmptyCycle,
+    /// The cycle length is not a multiple of the schedule period, so the
+    /// `(configuration, step mod period)` pair never recurs.
+    CycleNotPeriodAligned {
+        /// The recorded cycle length.
+        cycle: usize,
+        /// The schedule period.
+        period: usize,
+    },
+    /// Replaying the stem did not arrive at `cycle[0]`.
+    StemMismatch,
+    /// Replaying cycle step `index` did not produce the next cycle entry.
+    CycleMismatch {
+        /// Index of the offending cycle step.
+        index: usize,
+    },
+    /// The certificate's claimed verdict differs from the one the checker
+    /// derives.
+    VerdictMismatch {
+        /// What the certificate claims.
+        claimed: Verdict,
+        /// What re-checking derives.
+        derived: Verdict,
+    },
+    /// A lasso certificate was handed to an entry point without a machine
+    /// to replay the deterministic schedule on.
+    LassoNeedsMachine,
+    /// A JSON import failed (malformed text or codec mismatch).
+    Json(String),
+}
+
+impl fmt::Display for CertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertError::WrongStart => write!(f, "path does not start at the initial configuration"),
+            CertError::PathStepMismatch { index } => {
+                write!(
+                    f,
+                    "re-executed step {index} does not match the recorded one"
+                )
+            }
+            CertError::BadChoice {
+                index,
+                choice,
+                available,
+            } => write!(
+                f,
+                "step {index}: choice {choice} out of range ({available} successors)"
+            ),
+            CertError::UnsupportedSelection { index } => {
+                write!(f, "step {index}: selection kind not replayable here")
+            }
+            CertError::EmptyInvariant => write!(f, "stability invariant is empty"),
+            CertError::EndpointNotInInvariant => {
+                write!(f, "path endpoint is not in the stability invariant")
+            }
+            CertError::NotUniform { index } => {
+                write!(f, "invariant member {index} lacks the claimed output")
+            }
+            CertError::ClosureEscape { index, successor } => write!(
+                f,
+                "successor {successor} of member {index} leaves the certified set"
+            ),
+            CertError::TransportUnsupported => {
+                write!(
+                    f,
+                    "certificate carries symmetry transport but this entry point cannot replay it"
+                )
+            }
+            CertError::TransportArity { index } => {
+                write!(f, "transport table shape mismatch at member {index}")
+            }
+            CertError::NotAPermutation { index } => {
+                write!(f, "transport entry at member {index} is not a permutation")
+            }
+            CertError::NotAnAutomorphism { index } => {
+                write!(
+                    f,
+                    "transport entry at member {index} is not a graph automorphism"
+                )
+            }
+            CertError::NotEquivariant { index } => {
+                write!(f, "equivariance spot check failed at member {index}")
+            }
+            CertError::WrongPolarities => {
+                write!(
+                    f,
+                    "inconsistency witness must pair accepting and rejecting halves"
+                )
+            }
+            CertError::EmptySpace => write!(f, "no-consensus space is empty"),
+            CertError::InitialNotInSpace => {
+                write!(f, "initial configuration is not in the certified space")
+            }
+            CertError::EscapeArity => write!(f, "escape table length differs from the space"),
+            CertError::EscapeNotViolating { index } => {
+                write!(
+                    f,
+                    "escape chain from member {index} ends without violating the output"
+                )
+            }
+            CertError::EscapeNotASuccessor { index, via } => {
+                write!(
+                    f,
+                    "escape pointer {via} of member {index} is not a successor"
+                )
+            }
+            CertError::EscapeCycle { index } => {
+                write!(f, "escape chain loops at member {index}")
+            }
+            CertError::EmptyCycle => write!(f, "lasso cycle is empty"),
+            CertError::CycleNotPeriodAligned { cycle, period } => write!(
+                f,
+                "cycle length {cycle} is not a multiple of the schedule period {period}"
+            ),
+            CertError::StemMismatch => write!(f, "stem replay does not reach the cycle entry"),
+            CertError::CycleMismatch { index } => {
+                write!(f, "cycle replay diverges at step {index}")
+            }
+            CertError::VerdictMismatch { claimed, derived } => {
+                write!(
+                    f,
+                    "certificate claims {claimed} but re-checking derives {derived}"
+                )
+            }
+            CertError::LassoNeedsMachine => {
+                write!(
+                    f,
+                    "lasso certificates need a machine-level entry point to replay"
+                )
+            }
+            CertError::Json(msg) => write!(f, "JSON import failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CertError {}
+
+/// The re-execution surface a checker entry point provides. Private: the
+/// public API is the three `verify_*` functions below.
+trait Checker {
+    type C: Clone + Eq + Hash + fmt::Debug;
+
+    fn initial(&self) -> Self::C;
+    fn successors(&self, c: &Self::C) -> Vec<Self::C>;
+    fn is_accepting(&self, c: &Self::C) -> bool;
+    fn is_rejecting(&self, c: &Self::C) -> bool;
+
+    /// Re-executes one recorded path step by direct semantics.
+    fn apply(&self, c: &Self::C, sel: &StepSelection, index: usize) -> Result<Self::C, CertError>;
+
+    /// The graph whose automorphisms transported certificates refer to,
+    /// when this entry point has one.
+    fn graph(&self) -> Option<&Graph> {
+        None
+    }
+
+    /// The permutation action, when this entry point supports transport.
+    fn permute(&self, _c: &Self::C, _perm: &[u32]) -> Option<Self::C> {
+        None
+    }
+
+    /// Resolves a `Choice` selection against the enumerated successors —
+    /// shared by every checker.
+    fn choose(&self, c: &Self::C, choice: u32, index: usize) -> Result<Self::C, CertError> {
+        let succs = self.successors(c);
+        succs
+            .get(choice as usize)
+            .cloned()
+            .ok_or(CertError::BadChoice {
+                index,
+                choice,
+                available: succs.len(),
+            })
+    }
+}
+
+/// Checker over any [`TransitionSystem`]: replays `Choice` selections only
+/// and rejects transported certificates (no graph to validate permutations
+/// against).
+struct SystemChecker<'a, T: TransitionSystem>(&'a T);
+
+impl<T: TransitionSystem> Checker for SystemChecker<'_, T> {
+    type C = T::C;
+
+    fn initial(&self) -> T::C {
+        self.0.initial_config()
+    }
+
+    fn successors(&self, c: &T::C) -> Vec<T::C> {
+        self.0.successors(c)
+    }
+
+    fn is_accepting(&self, c: &T::C) -> bool {
+        self.0.is_accepting(c)
+    }
+
+    fn is_rejecting(&self, c: &T::C) -> bool {
+        self.0.is_rejecting(c)
+    }
+
+    fn apply(&self, c: &T::C, sel: &StepSelection, index: usize) -> Result<T::C, CertError> {
+        match sel {
+            StepSelection::Choice(j) => self.choose(c, *j, index),
+            _ => Err(CertError::UnsupportedSelection { index }),
+        }
+    }
+}
+
+/// Checker over a [`NodeSymmetric`] system whose configurations carry a
+/// permutation action: additionally replays symmetry transport.
+struct SymmetricChecker<'a, T: NodeSymmetric>(&'a T)
+where
+    T::C: PermuteNodes;
+
+impl<T: NodeSymmetric> Checker for SymmetricChecker<'_, T>
+where
+    T::C: PermuteNodes,
+{
+    type C = T::C;
+
+    fn initial(&self) -> T::C {
+        self.0.initial_config()
+    }
+
+    fn successors(&self, c: &T::C) -> Vec<T::C> {
+        self.0.successors(c)
+    }
+
+    fn is_accepting(&self, c: &T::C) -> bool {
+        self.0.is_accepting(c)
+    }
+
+    fn is_rejecting(&self, c: &T::C) -> bool {
+        self.0.is_rejecting(c)
+    }
+
+    fn apply(&self, c: &T::C, sel: &StepSelection, index: usize) -> Result<T::C, CertError> {
+        match sel {
+            StepSelection::Choice(j) => self.choose(c, *j, index),
+            _ => Err(CertError::UnsupportedSelection { index }),
+        }
+    }
+
+    fn graph(&self) -> Option<&Graph> {
+        Some(self.0.symmetry_graph())
+    }
+
+    fn permute(&self, c: &T::C, perm: &[u32]) -> Option<T::C> {
+        Some(c.permute(perm))
+    }
+}
+
+/// Checker over a plain machine under exclusive selection: replays `Node`,
+/// `All` and `Choice` selections and symmetry transport. The successor
+/// enumeration is [`ExclusiveSystem`]'s — the direct one-node-steps
+/// semantics, not anything engine-derived.
+struct MachineChecker<'a, S: State> {
+    machine: &'a Machine<S>,
+    graph: &'a Graph,
+    system: ExclusiveSystem<'a, S>,
+}
+
+impl<'a, S: State> MachineChecker<'a, S> {
+    fn new(machine: &'a Machine<S>, graph: &'a Graph) -> Self {
+        MachineChecker {
+            machine,
+            graph,
+            system: ExclusiveSystem::new(machine, graph),
+        }
+    }
+}
+
+impl<S: State> Checker for MachineChecker<'_, S> {
+    type C = Config<S>;
+
+    fn initial(&self) -> Config<S> {
+        Config::initial(self.machine, self.graph)
+    }
+
+    fn successors(&self, c: &Config<S>) -> Vec<Config<S>> {
+        self.system.successors(c)
+    }
+
+    fn is_accepting(&self, c: &Config<S>) -> bool {
+        c.is_accepting(self.machine)
+    }
+
+    fn is_rejecting(&self, c: &Config<S>) -> bool {
+        c.is_rejecting(self.machine)
+    }
+
+    fn apply(
+        &self,
+        c: &Config<S>,
+        sel: &StepSelection,
+        index: usize,
+    ) -> Result<Config<S>, CertError> {
+        match sel {
+            StepSelection::Node(v) => {
+                Ok(c.successor(self.machine, self.graph, &Selection::exclusive(*v as usize)))
+            }
+            StepSelection::All => {
+                Ok(c.successor(self.machine, self.graph, &Selection::all(self.graph)))
+            }
+            StepSelection::Choice(j) => self.choose(c, *j, index),
+        }
+    }
+
+    fn graph(&self) -> Option<&Graph> {
+        Some(self.graph)
+    }
+
+    fn permute(&self, c: &Config<S>, perm: &[u32]) -> Option<Config<S>> {
+        Some(c.permute(perm))
+    }
+}
+
+/// Validates that `perm` is a bijection on `0..n` and a structural
+/// automorphism of `graph` (edge-preserving; a bijection preserving all
+/// edges of a finite graph into the same edge set is automatically
+/// edge-reflecting too).
+fn check_automorphism(graph: &Graph, perm: &[u32], index: usize) -> Result<(), CertError> {
+    let n = graph.node_count();
+    if perm.len() != n {
+        return Err(CertError::NotAPermutation { index });
+    }
+    let mut seen = vec![false; n];
+    for &v in perm {
+        let v = v as usize;
+        if v >= n || seen[v] {
+            return Err(CertError::NotAPermutation { index });
+        }
+        seen[v] = true;
+    }
+    for &(u, v) in graph.edges() {
+        if !graph.has_edge(perm[u] as usize, perm[v] as usize) {
+            return Err(CertError::NotAnAutomorphism { index });
+        }
+    }
+    Ok(())
+}
+
+fn is_identity(perm: &[u32]) -> bool {
+    perm.iter().enumerate().all(|(i, &v)| v as usize == i)
+}
+
+/// Multiset equality of `successors(π · c)` and `π · successors(c)` — one
+/// equivariance instance, checked from first principles.
+fn equivariant_at<K: Checker>(ck: &K, c: &K::C, perm: &[u32]) -> bool {
+    let permuted = match ck.permute(c, perm) {
+        Some(p) => p,
+        None => return false,
+    };
+    let mut lhs: FxHashMap<K::C, usize> = FxHashMap::default();
+    for s in ck.successors(&permuted) {
+        *lhs.entry(s).or_insert(0) += 1;
+    }
+    let mut rhs: FxHashMap<K::C, usize> = FxHashMap::default();
+    for s in ck.successors(c) {
+        if let Some(p) = ck.permute(&s, perm) {
+            *rhs.entry(p).or_insert(0) += 1;
+        }
+    }
+    lhs == rhs
+}
+
+/// Budgeted equivariance spot-checking shared by the stable and
+/// no-consensus checks.
+struct EquivarianceBudget {
+    remaining: usize,
+}
+
+impl EquivarianceBudget {
+    fn check<K: Checker>(
+        &mut self,
+        ck: &K,
+        c: &K::C,
+        perm: &[u32],
+        index: usize,
+    ) -> Result<(), CertError> {
+        if self.remaining == 0 || is_identity(perm) {
+            return Ok(());
+        }
+        self.remaining -= 1;
+        if equivariant_at(ck, c, perm) {
+            Ok(())
+        } else {
+            Err(CertError::NotEquivariant { index })
+        }
+    }
+}
+
+/// Checks one closure row: every enumerated successor of `member` must land
+/// back in `members` (after transport when `maps` is present). Returns the
+/// member indices of the mapped successors, which the no-consensus escape
+/// check consumes as the validated adjacency.
+fn check_closure_row<K: Checker>(
+    ck: &K,
+    member_index: &FxHashMap<K::C, u32>,
+    member: &K::C,
+    i: usize,
+    maps: Option<&[Vec<u32>]>,
+    budget: &mut EquivarianceBudget,
+) -> Result<Vec<u32>, CertError> {
+    let succs = ck.successors(member);
+    let mut adjacent = Vec::with_capacity(succs.len());
+    match maps {
+        None => {
+            for (j, s) in succs.iter().enumerate() {
+                match member_index.get(s) {
+                    Some(&idx) => adjacent.push(idx),
+                    None => {
+                        return Err(CertError::ClosureEscape {
+                            index: i,
+                            successor: j,
+                        })
+                    }
+                }
+            }
+        }
+        Some(maps) => {
+            let graph = ck.graph().ok_or(CertError::TransportUnsupported)?;
+            if maps.len() != succs.len() {
+                return Err(CertError::TransportArity { index: i });
+            }
+            for (j, (s, p)) in succs.iter().zip(maps).enumerate() {
+                check_automorphism(graph, p, i)?;
+                budget.check(ck, s, p, i)?;
+                let mapped = ck.permute(s, p).ok_or(CertError::TransportUnsupported)?;
+                match member_index.get(&mapped) {
+                    Some(&idx) => adjacent.push(idx),
+                    None => {
+                        return Err(CertError::ClosureEscape {
+                            index: i,
+                            successor: j,
+                        })
+                    }
+                }
+            }
+        }
+    }
+    Ok(adjacent)
+}
+
+/// Replays a reachability path from the initial configuration, returning
+/// the concrete endpoint.
+fn check_path<K: Checker>(
+    ck: &K,
+    path: &crate::certificate::ReachPath<K::C>,
+) -> Result<K::C, CertError> {
+    if path.start != ck.initial() {
+        return Err(CertError::WrongStart);
+    }
+    let mut cur = path.start.clone();
+    for (index, step) in path.steps.iter().enumerate() {
+        let next = ck.apply(&cur, &step.selection, index)?;
+        if next != step.to {
+            return Err(CertError::PathStepMismatch { index });
+        }
+        cur = next;
+    }
+    Ok(cur)
+}
+
+fn check_stable<K: Checker>(
+    ck: &K,
+    cert: &StableCertificate<K::C>,
+    options: &VerifyOptions,
+) -> Result<Verdict, CertError> {
+    let endpoint = check_path(ck, &cert.path)?;
+    let inv = &cert.invariant;
+    if inv.members.is_empty() {
+        return Err(CertError::EmptyInvariant);
+    }
+    let member_index: FxHashMap<K::C, u32> = inv
+        .members
+        .iter()
+        .enumerate()
+        .map(|(i, m)| (m.clone(), i as u32))
+        .collect();
+
+    // Endpoint membership, through the endpoint transport when present.
+    let contained = match &inv.transport {
+        None => member_index.contains_key(&endpoint),
+        Some(t) => {
+            let graph = ck.graph().ok_or(CertError::TransportUnsupported)?;
+            check_automorphism(graph, &t.endpoint, usize::MAX)?;
+            let rep = ck
+                .permute(&endpoint, &t.endpoint)
+                .ok_or(CertError::TransportUnsupported)?;
+            member_index.contains_key(&rep)
+        }
+    };
+    if !contained {
+        return Err(CertError::EndpointNotInInvariant);
+    }
+
+    if let Some(t) = &inv.transport {
+        if t.closure.len() != inv.members.len() {
+            return Err(CertError::TransportArity { index: usize::MAX });
+        }
+    }
+    let mut budget = EquivarianceBudget {
+        remaining: options.equivariance_samples,
+    };
+    for (i, m) in inv.members.iter().enumerate() {
+        let uniform = match cert.polarity {
+            Polarity::Accepting => ck.is_accepting(m),
+            Polarity::Rejecting => ck.is_rejecting(m),
+        };
+        if !uniform {
+            return Err(CertError::NotUniform { index: i });
+        }
+        let maps = inv.transport.as_ref().map(|t| t.closure[i].as_slice());
+        check_closure_row(ck, &member_index, m, i, maps, &mut budget)?;
+    }
+    Ok(cert.polarity.verdict())
+}
+
+/// Follows every escape chain through the validated adjacency, memoising
+/// resolved members and rejecting loops.
+fn check_escapes<C>(
+    space: &[C],
+    adjacency: &[Vec<u32>],
+    escapes: &[Escape],
+    violates: impl Fn(&C) -> bool,
+) -> Result<(), CertError> {
+    if escapes.len() != space.len() {
+        return Err(CertError::EscapeArity);
+    }
+    // 0 = unvisited, 1 = on the current chain, 2 = known good.
+    let mut state = vec![0u8; space.len()];
+    for start in 0..space.len() {
+        if state[start] == 2 {
+            continue;
+        }
+        let mut chain = vec![start];
+        state[start] = 1;
+        loop {
+            let i = *chain.last().expect("chain is never empty");
+            match escapes[i] {
+                Escape::Here => {
+                    if !violates(&space[i]) {
+                        return Err(CertError::EscapeNotViolating { index: i });
+                    }
+                    break;
+                }
+                Escape::Via(j) => {
+                    if !adjacency[i].contains(&j) {
+                        return Err(CertError::EscapeNotASuccessor { index: i, via: j });
+                    }
+                    let j = j as usize;
+                    match state[j] {
+                        2 => break,
+                        1 => return Err(CertError::EscapeCycle { index: j }),
+                        _ => {
+                            state[j] = 1;
+                            chain.push(j);
+                        }
+                    }
+                }
+            }
+        }
+        for i in chain {
+            state[i] = 2;
+        }
+    }
+    Ok(())
+}
+
+fn check_no_consensus<K: Checker>(
+    ck: &K,
+    cert: &NoConsensusCertificate<K::C>,
+    options: &VerifyOptions,
+) -> Result<Verdict, CertError> {
+    if cert.space.is_empty() {
+        return Err(CertError::EmptySpace);
+    }
+    let member_index: FxHashMap<K::C, u32> = cert
+        .space
+        .iter()
+        .enumerate()
+        .map(|(i, m)| (m.clone(), i as u32))
+        .collect();
+
+    let initial = ck.initial();
+    let contained = match &cert.transport {
+        None => member_index.contains_key(&initial),
+        Some(t) => {
+            let graph = ck.graph().ok_or(CertError::TransportUnsupported)?;
+            check_automorphism(graph, &t.initial, usize::MAX)?;
+            let rep = ck
+                .permute(&initial, &t.initial)
+                .ok_or(CertError::TransportUnsupported)?;
+            member_index.contains_key(&rep)
+        }
+    };
+    if !contained {
+        return Err(CertError::InitialNotInSpace);
+    }
+
+    if let Some(t) = &cert.transport {
+        if t.closure.len() != cert.space.len() {
+            return Err(CertError::TransportArity { index: usize::MAX });
+        }
+    }
+    let mut budget = EquivarianceBudget {
+        remaining: options.equivariance_samples,
+    };
+    let mut adjacency = Vec::with_capacity(cert.space.len());
+    for (i, m) in cert.space.iter().enumerate() {
+        let maps = cert.transport.as_ref().map(|t| t.closure[i].as_slice());
+        adjacency.push(check_closure_row(
+            ck,
+            &member_index,
+            m,
+            i,
+            maps,
+            &mut budget,
+        )?);
+    }
+
+    check_escapes(&cert.space, &adjacency, &cert.escape_accepting, |c| {
+        !ck.is_accepting(c)
+    })?;
+    check_escapes(&cert.space, &adjacency, &cert.escape_rejecting, |c| {
+        !ck.is_rejecting(c)
+    })?;
+    Ok(Verdict::NoConsensus)
+}
+
+fn check_certificate<K: Checker>(
+    ck: &K,
+    cert: &Certificate<K::C>,
+    options: &VerifyOptions,
+) -> Result<Verdict, CertError> {
+    match cert {
+        Certificate::Stable(s) => check_stable(ck, s, options),
+        Certificate::Inconsistent(acc, rej) => {
+            if acc.polarity != Polarity::Accepting || rej.polarity != Polarity::Rejecting {
+                return Err(CertError::WrongPolarities);
+            }
+            let _ = check_stable(ck, acc, options)?;
+            let _ = check_stable(ck, rej, options)?;
+            Ok(Verdict::Inconsistent)
+        }
+        Certificate::NoConsensus(n) => check_no_consensus(ck, n, options),
+        Certificate::Lasso(_) => Err(CertError::LassoNeedsMachine),
+    }
+}
+
+fn check_lasso<S: State>(
+    machine: &Machine<S>,
+    graph: &Graph,
+    cert: &LassoCertificate<Config<S>>,
+) -> Result<Verdict, CertError> {
+    if cert.cycle.is_empty() {
+        return Err(CertError::EmptyCycle);
+    }
+    let n = graph.node_count();
+    let all = Selection::all(graph);
+    let period = match cert.schedule {
+        LassoSchedule::RoundRobin => n,
+        LassoSchedule::Synchronous => 1,
+    };
+    let selection_at = |t: usize| match cert.schedule {
+        LassoSchedule::RoundRobin => Selection::exclusive(t % n),
+        LassoSchedule::Synchronous => all.clone(),
+    };
+    if !cert.cycle.len().is_multiple_of(period) {
+        return Err(CertError::CycleNotPeriodAligned {
+            cycle: cert.cycle.len(),
+            period,
+        });
+    }
+    let mut c = Config::initial(machine, graph);
+    for t in 0..cert.stem_len {
+        c = c.successor(machine, graph, &selection_at(t));
+    }
+    if c != cert.cycle[0] {
+        return Err(CertError::StemMismatch);
+    }
+    for (k, cur) in cert.cycle.iter().enumerate() {
+        let next = cur.successor(machine, graph, &selection_at(cert.stem_len + k));
+        if next != cert.cycle[(k + 1) % cert.cycle.len()] {
+            return Err(CertError::CycleMismatch { index: k });
+        }
+    }
+    let derived = if cert.cycle.iter().all(|c| c.is_accepting(machine)) {
+        Verdict::Accepts
+    } else if cert.cycle.iter().all(|c| c.is_rejecting(machine)) {
+        Verdict::Rejects
+    } else {
+        Verdict::NoConsensus
+    };
+    if derived != cert.verdict {
+        return Err(CertError::VerdictMismatch {
+            claimed: cert.verdict,
+            derived,
+        });
+    }
+    Ok(derived)
+}
+
+/// Verifies a certificate against any [`TransitionSystem`] by direct
+/// re-execution of its `successors` semantics.
+///
+/// This entry point replays `Choice` selections only and has no graph, so
+/// it rejects transported (quotient-mode) and lasso certificates — use
+/// [`verify_symmetric`] / [`verify_machine`] for those.
+///
+/// # Errors
+///
+/// A [`CertError`] describing the first check that failed.
+pub fn verify_system<T: TransitionSystem>(
+    system: &T,
+    cert: &Certificate<T::C>,
+) -> Result<Verdict, CertError> {
+    check_certificate(&SystemChecker(system), cert, &VerifyOptions::default())
+}
+
+/// Verifies a certificate against a [`NodeSymmetric`] system, replaying
+/// symmetry transport: recorded permutations are validated as structural
+/// automorphisms of [`NodeSymmetric::symmetry_graph`] and applied through
+/// [`PermuteNodes::permute`], with equivariance spot checks per
+/// [`VerifyOptions`].
+///
+/// # Errors
+///
+/// A [`CertError`] describing the first check that failed.
+pub fn verify_symmetric<T: NodeSymmetric>(
+    system: &T,
+    cert: &Certificate<T::C>,
+    options: &VerifyOptions,
+) -> Result<Verdict, CertError>
+where
+    T::C: PermuteNodes,
+{
+    check_certificate(&SymmetricChecker(system), cert, options)
+}
+
+/// Verifies a certificate for a plain machine under exclusive selection:
+/// replays `Node` / `All` / `Choice` selections via
+/// [`Config::successor`](wam_core::Config::successor), handles symmetry
+/// transport, and replays lasso certificates deterministically.
+///
+/// # Errors
+///
+/// A [`CertError`] describing the first check that failed.
+pub fn verify_machine<S: State>(
+    machine: &Machine<S>,
+    graph: &Graph,
+    cert: &Certificate<Config<S>>,
+    options: &VerifyOptions,
+) -> Result<Verdict, CertError> {
+    match cert {
+        Certificate::Lasso(l) => check_lasso(machine, graph, l),
+        _ => check_certificate(&MachineChecker::new(machine, graph), cert, options),
+    }
+}

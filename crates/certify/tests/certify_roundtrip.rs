@@ -1,0 +1,219 @@
+//! End-to-end exercises of the certificate subsystem on small machines:
+//! every verdict kind is emitted, independently verified, round-tripped
+//! through JSON and re-verified — including quotient-mode certificates
+//! with symmetry transport.
+
+use wam_certify::{
+    certificate_from_json, certificate_to_json, decide_adversarial_round_robin_certified,
+    decide_pseudo_stochastic_certified, decide_symmetric_certified, decide_synchronous_certified,
+    decide_system_certified, verify_machine, verify_symmetric, verify_system, Certificate,
+    StateTable, VerifyOptions,
+};
+use wam_core::{
+    decide_pseudo_stochastic, ExclusiveSystem, ExploreOptions, Machine, Output, Symmetry, Verdict,
+};
+use wam_graph::{generators, Label, LabelCount};
+
+/// "Some node carries label x1", by flag flooding.
+fn flood() -> Machine<bool> {
+    Machine::new(
+        1,
+        |l: Label| l.0 == 1,
+        |&s, n| s || n.exists(|&t| t),
+        |&s| if s { Output::Accept } else { Output::Reject },
+    )
+}
+
+/// Never stabilises: every node toggles forever.
+fn toggler() -> Machine<bool> {
+    Machine::new(
+        1,
+        |_| false,
+        |&s, _| !s,
+        |&s| if s { Output::Accept } else { Output::Reject },
+    )
+}
+
+/// First mover's label decides the (flooding) consensus — inconsistent on
+/// mixed-label inputs (same machine as the explore test suite uses).
+fn first_mover_by_label() -> Machine<u8> {
+    Machine::new(
+        1,
+        |l| if l.0 == 0 { 10u8 } else { 20u8 },
+        |&s, n| {
+            if s >= 10 {
+                if n.exists(|&t| t == 1) {
+                    1
+                } else if n.exists(|&t| t == 2) {
+                    2
+                } else if s == 10 {
+                    1
+                } else {
+                    2
+                }
+            } else {
+                s
+            }
+        },
+        |&s| match s {
+            1 => Output::Accept,
+            2 => Output::Reject,
+            _ => Output::Neutral,
+        },
+    )
+}
+
+fn roundtrip_machine(
+    m: &Machine<bool>,
+    cert: &Certificate<wam_core::Config<bool>>,
+    g: &wam_graph::Graph,
+    expected: Verdict,
+) {
+    let table = StateTable::from_certificate(cert);
+    let json = certificate_to_json(cert, &table);
+    let back = certificate_from_json(&json, &table).expect("JSON import");
+    assert_eq!(back, *cert, "JSON round-trip must be lossless");
+    assert_eq!(
+        verify_machine(m, g, &back, &VerifyOptions::default()).expect("re-verify"),
+        expected
+    );
+}
+
+#[test]
+fn stable_accept_and_reject_certificates_verify() {
+    let m = flood();
+    for (counts, expected) in [
+        (vec![3u64, 1], Verdict::Accepts),
+        (vec![4, 0], Verdict::Rejects),
+    ] {
+        let g = generators::labelled_cycle(&LabelCount::from_vec(counts));
+        let out = decide_pseudo_stochastic_certified(&m, &g, 100_000).unwrap();
+        assert_eq!(out.verdict, expected);
+        assert_eq!(out.verdict, out.certificate.verdict());
+        assert_eq!(
+            decide_pseudo_stochastic(&m, &g, 100_000).unwrap(),
+            out.verdict,
+            "certified and plain deciders must agree"
+        );
+        let v = verify_machine(&m, &g, &out.certificate, &VerifyOptions::default()).unwrap();
+        assert_eq!(v, expected);
+        roundtrip_machine(&m, &out.certificate, &g, expected);
+    }
+}
+
+#[test]
+fn quotient_certificates_carry_and_replay_transport() {
+    // A 6-cycle has |Aut| = 12; Symmetry::On forces the quotient even for
+    // the mixed labelling, so the certificate must carry transport.
+    let m = flood();
+    let g = generators::labelled_cycle(&LabelCount::from_vec(vec![5, 1]));
+    let sys = ExclusiveSystem::new(&m, &g);
+    let options = ExploreOptions {
+        symmetry: Symmetry::On,
+        ..ExploreOptions::with_limit(100_000)
+    };
+    let out = decide_symmetric_certified(&sys, options).unwrap();
+    assert_eq!(out.verdict, Verdict::Accepts);
+    assert!(
+        out.certificate.has_transport(),
+        "quotient-mode emission must record transport"
+    );
+    let v = verify_symmetric(&sys, &out.certificate, &VerifyOptions::default()).unwrap();
+    assert_eq!(v, Verdict::Accepts);
+    // The generic checker has no graph, so it must refuse the transported
+    // certificate rather than wrongly accept it.
+    assert!(verify_system(&sys, &out.certificate).is_err());
+    // Machine-level verification handles transport too (after the
+    // Node-selection relabelling done by the pseudo-stochastic decider).
+    let out2 = decide_pseudo_stochastic_certified(&m, &g, 100_000).unwrap();
+    assert!(out2.certificate.has_transport());
+    roundtrip_machine(&m, &out2.certificate, &g, Verdict::Accepts);
+}
+
+#[test]
+fn no_consensus_certificate_verifies() {
+    let m = toggler();
+    let g = generators::cycle(3);
+    let out = decide_pseudo_stochastic_certified(&m, &g, 100_000).unwrap();
+    assert_eq!(out.verdict, Verdict::NoConsensus);
+    roundtrip_machine(&m, &out.certificate, &g, Verdict::NoConsensus);
+}
+
+#[test]
+fn inconsistent_certificate_verifies() {
+    let m = first_mover_by_label();
+    let g = generators::labelled_cycle(&LabelCount::from_vec(vec![2, 2]));
+    let out = decide_pseudo_stochastic_certified(&m, &g, 100_000).unwrap();
+    assert_eq!(out.verdict, Verdict::Inconsistent);
+    let table = StateTable::from_certificate(&out.certificate);
+    let json = certificate_to_json(&out.certificate, &table);
+    let back = certificate_from_json(&json, &table).unwrap();
+    assert_eq!(back, out.certificate);
+    assert_eq!(
+        verify_machine(&m, &g, &back, &VerifyOptions::default()).unwrap(),
+        Verdict::Inconsistent
+    );
+}
+
+#[test]
+fn lasso_certificates_verify_for_both_schedules() {
+    let m = flood();
+    let g = generators::labelled_cycle(&LabelCount::from_vec(vec![3, 1]));
+    let rr = decide_adversarial_round_robin_certified(&m, &g, 100_000).unwrap();
+    assert_eq!(rr.verdict, Verdict::Accepts);
+    roundtrip_machine(&m, &rr.certificate, &g, Verdict::Accepts);
+    let sy = decide_synchronous_certified(&m, &g, 100_000).unwrap();
+    assert_eq!(sy.verdict, Verdict::Accepts);
+    roundtrip_machine(&m, &sy.certificate, &g, Verdict::Accepts);
+    // The toggler has a no-consensus synchronous lasso.
+    let t = toggler();
+    let g3 = generators::cycle(3);
+    let nc = decide_synchronous_certified(&t, &g3, 100_000).unwrap();
+    assert_eq!(nc.verdict, Verdict::NoConsensus);
+    roundtrip_machine(&t, &nc.certificate, &g3, Verdict::NoConsensus);
+}
+
+#[test]
+fn generic_system_certificates_verify_without_a_graph() {
+    let m = flood();
+    let g = generators::labelled_line(&LabelCount::from_vec(vec![2, 1]));
+    let sys = ExclusiveSystem::new(&m, &g);
+    let out = decide_system_certified(&sys, 100_000).unwrap();
+    assert_eq!(out.verdict, Verdict::Accepts);
+    // Choice-selection certificates need no graph and no permutation
+    // action — the fully generic entry point suffices.
+    assert_eq!(verify_system(&sys, &out.certificate).unwrap(), out.verdict);
+}
+
+#[test]
+fn certificate_summaries_mention_kind_and_sizes() {
+    let m = flood();
+    let g = generators::labelled_cycle(&LabelCount::from_vec(vec![3, 1]));
+    let stable = decide_pseudo_stochastic_certified(&m, &g, 100_000).unwrap();
+    assert!(stable.certificate.summary().contains("stable"));
+    let lasso = decide_synchronous_certified(&m, &g, 100_000).unwrap();
+    assert!(lasso.certificate.summary().contains("lasso"));
+    assert!(stable.certificate.config_count() >= 2);
+}
+
+#[test]
+fn json_import_rejects_malformed_and_mismatched_documents() {
+    let m = flood();
+    let g = generators::labelled_cycle(&LabelCount::from_vec(vec![3, 1]));
+    let out = decide_pseudo_stochastic_certified(&m, &g, 100_000).unwrap();
+    let table = StateTable::from_certificate(&out.certificate);
+    let json = certificate_to_json(&out.certificate, &table);
+    // Malformed syntax.
+    for bad in ["", "{", "{\"a\": 1,}", "[1, 2", "\"unterminated"] {
+        assert!(certificate_from_json::<wam_core::Config<bool>>(bad, &table).is_err());
+    }
+    // Wrong format tag.
+    assert!(certificate_from_json::<wam_core::Config<bool>>(
+        &json.replacen("wam-certify", "not-certify", 1),
+        &table
+    )
+    .is_err());
+    // Verdict flipped at the document level must be caught at import.
+    let flipped = json.replacen("\"accepts\"", "\"rejects\"", 1);
+    assert!(certificate_from_json::<wam_core::Config<bool>>(&flipped, &table).is_err());
+}

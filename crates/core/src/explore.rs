@@ -117,6 +117,14 @@ pub enum ExploreError {
     TooLarge {
         /// The limit that was exceeded.
         limit: usize,
+        /// How many configurations had been interned when the limit
+        /// tripped (always `> limit`; tells callers how far over budget
+        /// the level that tripped it went).
+        interned: usize,
+        /// The number of completed BFS levels — the depth at which the
+        /// exploration was abandoned (level 0 is the start configuration
+        /// alone, so after the first expansion `depth` is 1).
+        depth: usize,
     },
     /// A deterministic run did not close its lasso within the step limit.
     NoLasso {
@@ -128,8 +136,16 @@ pub enum ExploreError {
 impl fmt::Display for ExploreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ExploreError::TooLarge { limit } => {
-                write!(f, "configuration space exceeds limit of {limit}")
+            ExploreError::TooLarge {
+                limit,
+                interned,
+                depth,
+            } => {
+                write!(
+                    f,
+                    "configuration space exceeds limit of {limit} \
+                     ({interned} configurations interned, BFS depth {depth})"
+                )
             }
             ExploreError::NoLasso { limit } => write!(f, "no lasso within {limit} steps"),
         }
@@ -477,6 +493,7 @@ impl<C: Clone + Eq + Hash + fmt::Debug + Send + Sync> Exploration<C> {
         let mut acc_flags: Vec<bool> = Vec::new();
         let mut rej_flags: Vec<bool> = Vec::new();
         let mut lo = 0usize;
+        let mut depth = 0usize;
         let mut row_scratch: Vec<u32> = Vec::new();
         // A level is parallelised only when it carries enough *work*, not
         // merely enough rows: width × (observed average out-degree + 1)
@@ -548,9 +565,12 @@ impl<C: Clone + Eq + Hash + fmt::Debug + Send + Sync> Exploration<C> {
                     succ_off.push(succ_ids.len() as u32);
                 }
             }
+            depth += 1;
             if interner.len() > options.limit {
                 return Err(ExploreError::TooLarge {
                     limit: options.limit,
+                    interned: interner.len(),
+                    depth,
                 });
             }
 
@@ -891,7 +911,24 @@ mod tests {
         let m = flood();
         let sys = ExclusiveSystem::new(&m, &g);
         let err = Exploration::explore(&sys, 2).unwrap_err();
-        assert_eq!(err, ExploreError::TooLarge { limit: 2 });
+        // The diagnostic fields surface in the Display rendering that
+        // `decide_*` callers propagate.
+        let msg = err.to_string();
+        assert!(msg.contains("limit of 2"), "{msg}");
+        assert!(msg.contains("interned"), "{msg}");
+        assert!(msg.contains("depth"), "{msg}");
+        match err {
+            ExploreError::TooLarge {
+                limit,
+                interned,
+                depth,
+            } => {
+                assert_eq!(limit, 2);
+                assert!(interned > limit, "interned count must exceed the limit");
+                assert!(depth >= 1, "at least one BFS level completed");
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
     }
 
     #[test]

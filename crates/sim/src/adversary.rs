@@ -13,7 +13,7 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use wam_core::{
-    drive_until_stable, RunReport, ScheduledSystem, Scheduler, Selection, SelectionRegime,
+    drive_until_stable, Config, RunReport, ScheduledSystem, Scheduler, Selection, SelectionRegime,
     StabilityOptions, StepOutcome,
 };
 use wam_graph::{Graph, NodeId};
@@ -191,6 +191,80 @@ impl<Y: ScheduledSystem + ?Sized> Adversary<Y> for ProcrastinatingAdversary {
                 .count()
         };
         (0..choices.len()).min_by_key(|&i| flips(&choices[i]))
+    }
+}
+
+/// Starvation-maximal adversary with one-step lookahead over a caller
+/// score: every step takes the successor *minimising* `score(current, next)`
+/// (ties towards the earliest choice), so whatever activity the score
+/// measures — leader movement, output flips, progress of a particular
+/// subprotocol — is starved as hard as the enumerated choices allow.
+///
+/// A fairness valve keeps the schedule honest: every `period`-th step falls
+/// back to the rotating baseline (`t % choices.len()`), so no enumerated
+/// transition is avoided forever and the run still satisfies the model's
+/// fairness requirement in the limit. [`relentless`](Self::relentless)
+/// drops the valve, yielding a deliberately *unfair* adversary — useful to
+/// demonstrate that a protocol's convergence argument actually leans on
+/// fairness.
+#[derive(Debug, Clone)]
+pub struct SmartStarvationAdversary<F> {
+    score: F,
+    valve: Option<usize>,
+}
+
+impl<F> SmartStarvationAdversary<F> {
+    /// Starves by `score`, with the fairness valve opening every `period`
+    /// steps (≥ 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period < 2` (the valve would override every step).
+    pub fn new(score: F, period: usize) -> Self {
+        assert!(period >= 2, "period must leave room for starvation");
+        SmartStarvationAdversary {
+            score,
+            valve: Some(period),
+        }
+    }
+
+    /// Starves by `score` with **no** fairness valve: the minimising choice
+    /// is taken at every single step. Unfair on purpose.
+    pub fn relentless(score: F) -> Self {
+        SmartStarvationAdversary { score, valve: None }
+    }
+}
+
+impl<Y, F> Adversary<Y> for SmartStarvationAdversary<F>
+where
+    Y: ScheduledSystem + ?Sized,
+    F: FnMut(&Y::C, &Y::C) -> usize,
+{
+    fn choose(&mut self, _system: &Y, c: &Y::C, choices: &[Y::C], t: usize) -> Option<usize> {
+        if let Some(p) = self.valve {
+            if t % p == p - 1 {
+                return Some(t % choices.len());
+            }
+        }
+        let score = &mut self.score;
+        (0..choices.len()).min_by_key(|&i| score(c, &choices[i]))
+    }
+}
+
+/// The leader-starving score for node-state configurations: a step costs
+/// one per node that changes state while `critical` before or after the
+/// step. Feeding this to [`SmartStarvationAdversary`] with a predicate like
+/// "carries a leader tag" yields the classic anti-leader adversary — it
+/// routes activity around the critical nodes whenever any choice lets it.
+pub fn critical_change_score<S: wam_core::State>(
+    critical: impl Fn(&S) -> bool,
+) -> impl FnMut(&Config<S>, &Config<S>) -> usize {
+    move |c, next| {
+        c.states()
+            .iter()
+            .zip(next.states())
+            .filter(|(a, b)| a != b && (critical(a) || critical(b)))
+            .count()
     }
 }
 

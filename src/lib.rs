@@ -19,6 +19,7 @@
 //! * [`sim`] — the experiment harness: adversaries, batch runners, statistics.
 
 pub use wam_analysis as analysis;
+pub use wam_certify as certify;
 pub use wam_core as core;
 pub use wam_extensions as extensions;
 pub use wam_graph as graph;

@@ -289,6 +289,40 @@ fn bench_explore_json_matches_schema() {
         max_reduction >= 5.0,
         "the report must demonstrate a >= 5x reduction on some workload"
     );
+
+    let certificates = doc.get("certificates");
+    certificates.get("note").str();
+    let cert_workloads = certificates.get("workloads").arr();
+    assert!(!cert_workloads.is_empty(), "certificates section is empty");
+    let mut any_transported = false;
+    for w in cert_workloads {
+        assert!(!w.get("workload").str().is_empty());
+        assert!(matches!(
+            w.get("verdict").str(),
+            "accepts" | "rejects" | "no consensus" | "inconsistent"
+        ));
+        assert!(matches!(
+            w.get("kind").str(),
+            "stable" | "inconsistent" | "no-consensus" | "lasso"
+        ));
+        any_transported |= matches!(w.get("transported"), Json::Bool(true));
+        for key in ["nodes", "cert_configs", "json_bytes"] {
+            assert!(w.get(key).num() >= 1.0, "{key} must be at least 1");
+        }
+        for key in ["plain_ms", "certified_ms", "verify_ms", "emission_overhead"] {
+            assert!(w.get(key).num() > 0.0, "{key} must be positive");
+        }
+        // Verification re-executes only the certificate's configurations,
+        // never the whole space: it must not dwarf the certified decision.
+        assert!(
+            w.get("verify_ms").num() <= w.get("certified_ms").num(),
+            "verification slower than emitting the certificate"
+        );
+    }
+    assert!(
+        any_transported,
+        "the report must include a quotient-emitted (transported) certificate"
+    );
 }
 
 #[test]

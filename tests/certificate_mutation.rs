@@ -1,0 +1,250 @@
+//! Adversarial mutation testing of the certificate verifier: corrupt valid
+//! certificates in targeted ways and check that the independent verifier
+//! rejects every corruption — or, where a mutation can accidentally produce
+//! another *genuinely valid* witness (dropping a path step may leave a
+//! shortcut the semantics really allows), re-establish validity by direct
+//! re-execution in the test itself, without trusting the verifier.
+
+use proptest::prelude::*;
+use weak_async_models::certify::{
+    decide_pseudo_stochastic_certified, decide_synchronous_certified, verify_machine, Certificate,
+    Polarity, StepSelection, VerifyOptions,
+};
+use weak_async_models::core::{Config, Machine, Output, Selection, Verdict};
+use weak_async_models::graph::{generators, Graph, LabelCount};
+
+/// "Some node carries label x1", by flag flooding.
+fn flood() -> Machine<bool> {
+    Machine::new(
+        1,
+        |l| l.0 == 1,
+        |&s, n| s || n.exists(|&t| t),
+        |&s| if s { Output::Accept } else { Output::Reject },
+    )
+}
+
+fn verify(
+    m: &Machine<bool>,
+    g: &Graph,
+    cert: &Certificate<Config<bool>>,
+) -> Result<Verdict, String> {
+    verify_machine(m, g, cert, &VerifyOptions::default()).map_err(|e| e.to_string())
+}
+
+/// Replays one recorded step by direct machine semantics — the test's own
+/// ground truth, independent of the verifier's implementation.
+fn direct_step(
+    m: &Machine<bool>,
+    g: &Graph,
+    c: &Config<bool>,
+    sel: &StepSelection,
+) -> Config<bool> {
+    match sel {
+        StepSelection::Node(v) => c.successor(m, g, &Selection::exclusive(*v as usize)),
+        StepSelection::All => c.successor(m, g, &Selection::all(g)),
+        StepSelection::Choice(_) => panic!("machine-level certificates use node selections"),
+    }
+}
+
+/// Whether `path` is genuinely valid by direct re-execution.
+fn path_replays(m: &Machine<bool>, g: &Graph, cert: &Certificate<Config<bool>>) -> bool {
+    let Certificate::Stable(s) = cert else {
+        return false;
+    };
+    let mut cur = s.path.start.clone();
+    for step in &s.path.steps {
+        cur = direct_step(m, g, &cur, &step.selection);
+        if cur != step.to {
+            return false;
+        }
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 16, ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn flipped_polarity_is_rejected(a in 1u64..4, b in 1u64..3) {
+        prop_assume!(a + b >= 3);
+        let m = flood();
+        let g = generators::labelled_cycle(&LabelCount::from_vec(vec![a, b]));
+        let out = decide_pseudo_stochastic_certified(&m, &g, 200_000).unwrap();
+        let Certificate::Stable(mut s) = out.certificate else {
+            panic!("flood on mixed labels yields a stable certificate");
+        };
+        s.polarity = match s.polarity {
+            Polarity::Accepting => Polarity::Rejecting,
+            Polarity::Rejecting => Polarity::Accepting,
+        };
+        prop_assert!(
+            verify(&m, &g, &Certificate::Stable(s)).is_err(),
+            "a flipped polarity must never verify"
+        );
+    }
+
+    #[test]
+    fn removed_invariant_member_is_rejected(
+        a in 1u64..4,
+        b in 1u64..3,
+        pick in 0usize..64,
+    ) {
+        prop_assume!(a + b >= 3);
+        let m = flood();
+        let g = generators::labelled_cycle(&LabelCount::from_vec(vec![a, b]));
+        let out = decide_pseudo_stochastic_certified(&m, &g, 200_000).unwrap();
+        let Certificate::Stable(mut s) = out.certificate else {
+            panic!("expected a stable certificate");
+        };
+        let i = pick % s.invariant.members.len();
+        s.invariant.members.remove(i);
+        if let Some(t) = s.invariant.transport.as_mut() {
+            t.closure.remove(i);
+        }
+        // Every member of the emitted invariant is reachable from the
+        // endpoint, so it is either the endpoint itself or the target of a
+        // closure edge: removal must break the endpoint check or the
+        // closure check.
+        prop_assert!(
+            verify(&m, &g, &Certificate::Stable(s)).is_err(),
+            "removing any invariant member must break closure"
+        );
+    }
+
+    #[test]
+    fn corrupted_path_config_is_rejected(
+        a in 1u64..4,
+        b in 1u64..3,
+        step_pick in 0usize..64,
+        node_pick in 0usize..64,
+    ) {
+        prop_assume!(a + b >= 3);
+        let m = flood();
+        let g = generators::labelled_cycle(&LabelCount::from_vec(vec![a, b]));
+        let out = decide_pseudo_stochastic_certified(&m, &g, 200_000).unwrap();
+        let Certificate::Stable(mut s) = out.certificate else {
+            panic!("expected a stable certificate");
+        };
+        prop_assume!(!s.path.steps.is_empty());
+        let i = step_pick % s.path.steps.len();
+        let v = node_pick % g.node_count();
+        // Flip one node's state in a recorded intermediate configuration:
+        // the recorded selection derives a unique successor, so any flip
+        // diverges from it.
+        let mut states = s.path.steps[i].to.states().to_vec();
+        states[v] = !states[v];
+        s.path.steps[i].to = Config::from_states(states);
+        prop_assert!(
+            verify(&m, &g, &Certificate::Stable(s)).is_err(),
+            "a corrupted path configuration must never verify"
+        );
+    }
+
+    #[test]
+    fn dropped_path_step_is_rejected_or_genuinely_valid(
+        a in 1u64..4,
+        b in 1u64..3,
+        step_pick in 0usize..64,
+    ) {
+        prop_assume!(a + b >= 3);
+        let m = flood();
+        let g = generators::labelled_cycle(&LabelCount::from_vec(vec![a, b]));
+        let out = decide_pseudo_stochastic_certified(&m, &g, 200_000).unwrap();
+        let Certificate::Stable(mut s) = out.certificate else {
+            panic!("expected a stable certificate");
+        };
+        prop_assume!(!s.path.steps.is_empty());
+        let i = step_pick % s.path.steps.len();
+        s.path.steps.remove(i);
+        let mutated = Certificate::Stable(s);
+        // Rejection is always sound here: even when the shortened path
+        // still replays (dropping the *last* step does that), the endpoint
+        // moved away from the invariant, which the verifier is right to
+        // refuse. Dropping a step may instead leave a shortcut the
+        // semantics genuinely allows (the skipped node's update was
+        // independent); in that case re-execution in the test must agree
+        // with the verifier.
+        if let Ok(v) = verify(&m, &g, &mutated) {
+            prop_assert_eq!(v, out.verdict);
+            prop_assert!(
+                path_replays(&m, &g, &mutated),
+                "verifier accepted a path that direct replay refutes"
+            );
+        }
+    }
+
+    #[test]
+    fn swapped_transport_perm_is_rejected_or_still_an_automorphism(
+        i_pick in 0usize..64,
+        j_pick in 0usize..64,
+        x_pick in 0usize..64,
+        y_pick in 0usize..64,
+    ) {
+        // A 6-cycle with one marked node under forced quotient exploration:
+        // the certificate carries transport permutations.
+        use weak_async_models::certify::decide_symmetric_certified;
+        use weak_async_models::core::{ExclusiveSystem, ExploreOptions, Symmetry};
+        let m = flood();
+        let g = generators::labelled_cycle(&LabelCount::from_vec(vec![5, 1]));
+        let sys = ExclusiveSystem::new(&m, &g);
+        let options = ExploreOptions {
+            symmetry: Symmetry::On,
+            ..ExploreOptions::with_limit(200_000)
+        };
+        let out = decide_symmetric_certified(&sys, options).unwrap();
+        let Certificate::Stable(mut s) = out.certificate else {
+            panic!("expected a stable certificate");
+        };
+        let t = s.invariant.transport.as_mut().expect("quotient run carries transport");
+        prop_assume!(!t.closure.is_empty());
+        let i = i_pick % t.closure.len();
+        prop_assume!(!t.closure[i].is_empty());
+        let j = j_pick % t.closure[i].len();
+        let perm = &mut t.closure[i][j];
+        let n = perm.len();
+        let (x, y) = (x_pick % n, y_pick % n);
+        prop_assume!(x != y);
+        perm.swap(x, y);
+        let swapped: Vec<u32> = perm.clone();
+        let mutated = Certificate::Stable(s);
+        if let Ok(v) =
+            weak_async_models::certify::verify_symmetric(&sys, &mutated, &VerifyOptions::default())
+        {
+            // The swap kept the map a bijection; acceptance is only
+            // legitimate if it is *still* a structural automorphism —
+            // checked here directly against the edge relation.
+            prop_assert_eq!(v, out.verdict);
+            let is_auto = g.nodes().all(|u| {
+                g.neighbours(u)
+                    .iter()
+                    .all(|&w| g.has_edge(swapped[u] as usize, swapped[w] as usize))
+            });
+            prop_assert!(
+                is_auto,
+                "verifier accepted a transport perm that does not \
+                 preserve the edge relation"
+            );
+        }
+    }
+
+    #[test]
+    fn flipped_lasso_verdict_is_rejected(a in 1u64..4, b in 0u64..3) {
+        prop_assume!(a + b >= 3);
+        let m = flood();
+        let g = generators::labelled_cycle(&LabelCount::from_vec(vec![a, b]));
+        let out = decide_synchronous_certified(&m, &g, 200_000).unwrap();
+        let Certificate::Lasso(mut l) = out.certificate else {
+            panic!("synchronous decider emits lasso certificates");
+        };
+        l.verdict = match l.verdict {
+            Verdict::Accepts => Verdict::Rejects,
+            _ => Verdict::Accepts,
+        };
+        prop_assert!(
+            verify(&m, &g, &Certificate::Lasso(l)).is_err(),
+            "a flipped lasso verdict must never verify"
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! **E1, certified:** every verdict of the Figure-1 witness protocols on
+//! the small-graph suite is emitted together with a certificate, checked by
+//! the independent verifier, round-tripped through JSON and re-verified —
+//! including the quotient-active runs, whose certificates carry symmetry
+//! transport. The certified sweeps also run through [`CertifiedMemo`], so
+//! repeated isomorphism classes are served with their cached proofs.
+
+use weak_async_models::analysis::{system_fingerprint, CertifiedMemo, Predicate};
+use weak_async_models::certify::{
+    certificate_from_json, certificate_to_json, decide_adversarial_round_robin_certified,
+    decide_pseudo_stochastic_certified, verify_machine, CertifiedVerdict, StateTable,
+    VerifyOptions,
+};
+use weak_async_models::core::{Config, Machine, State};
+use weak_async_models::extensions::{
+    compile_broadcasts, compile_rendezvous, GraphPopulationProtocol, MajorityState,
+};
+use weak_async_models::graph::{generators, Graph, LabelCount};
+use weak_async_models::protocols::{cutoff_one_machine, modulo_protocol, threshold_machine};
+
+fn suite(c: &LabelCount) -> Vec<Graph> {
+    vec![
+        generators::labelled_cycle(c),
+        generators::labelled_line(c),
+        generators::labelled_star(c),
+        generators::labelled_clique(c),
+    ]
+}
+
+fn counts() -> Vec<LabelCount> {
+    [(3u64, 0u64), (2, 1), (1, 2), (2, 2), (3, 1)]
+        .into_iter()
+        .map(|(a, b)| LabelCount::from_vec(vec![a, b]))
+        .collect()
+}
+
+/// Runs one witness family over the whole grid: every verdict must match
+/// the predicate, every certificate must verify (before and after a JSON
+/// round-trip), and the memo must serve the suite's repeated isomorphism
+/// classes from cache. Returns the number of transported certificates.
+fn certified_grid<S: State>(
+    machine: &Machine<S>,
+    pred: &Predicate,
+    name: &str,
+    mut decide: impl FnMut(&Graph) -> CertifiedVerdict<Config<S>>,
+) -> usize {
+    let mut memo = CertifiedMemo::new();
+    let fp = system_fingerprint(name);
+    let mut transports = 0;
+    for c in counts() {
+        for g in suite(&c) {
+            let d = memo.decide(fp, &g, |g| decide(g));
+            assert_eq!(
+                d.verdict.decided(),
+                Some(pred.eval(&c)),
+                "{name} on {c}: wrong verdict"
+            );
+            assert_eq!(d.verdict, d.certificate.verdict());
+            // The cached certificate is verified against its *emission*
+            // graph (isomorphic to `g`, possibly differently labelled).
+            let v = verify_machine(machine, &d.graph, &d.certificate, &VerifyOptions::default())
+                .unwrap_or_else(|e| panic!("{name} on {c}: verifier rejected: {e}"));
+            assert_eq!(v, d.verdict);
+            if d.certificate.has_transport() {
+                transports += 1;
+            }
+            let table = StateTable::from_certificate(&d.certificate);
+            let json = certificate_to_json(&d.certificate, &table);
+            let back = certificate_from_json(&json, &table)
+                .unwrap_or_else(|e| panic!("{name} on {c}: JSON import failed: {e}"));
+            assert_eq!(back, *d.certificate, "{name} on {c}: lossy round-trip");
+            assert_eq!(
+                verify_machine(machine, &d.graph, &back, &VerifyOptions::default()).unwrap(),
+                d.verdict
+            );
+        }
+    }
+    assert!(
+        memo.hits() > 0,
+        "{name}: the suite revisits isomorphic graphs, the memo must hit"
+    );
+    transports
+}
+
+#[test]
+fn daf_presence_grid_is_certified_by_lassos() {
+    // dAf ⊇ Cutoff(1): the presence machine under round-robin emits lasso
+    // certificates (deterministic replay, no transport by construction).
+    let m = cutoff_one_machine(2, |p| p[1]);
+    let pred = Predicate::threshold(2, 1, 1);
+    certified_grid(&m, &pred, "dAf-presence", |g| {
+        decide_adversarial_round_robin_certified(&m, g, 500_000).unwrap()
+    });
+}
+
+#[test]
+fn daf_ladder_grid_is_certified_with_transport() {
+    // dAF ⊇ Cutoff: the compiled ⟨level⟩ ladder under pseudo-stochastic
+    // fairness. Uniform counts on cliques and cycles have non-trivial
+    // complete automorphism groups, so some runs go through the quotient
+    // and their certificates must carry (and replay) transport.
+    let flat = compile_broadcasts(&threshold_machine(2, 0, 2));
+    let pred = Predicate::threshold(2, 0, 2);
+    let transports = certified_grid(&flat, &pred, "dAF-ladder", |g| {
+        decide_pseudo_stochastic_certified(&flat, g, 3_000_000).unwrap()
+    });
+    assert!(
+        transports > 0,
+        "the grid must include quotient-active (transported) certificates"
+    );
+}
+
+#[test]
+fn daf_majority_grid_is_certified() {
+    // DAF ⊇ NL: population majority, Lemma 4.10-compiled.
+    let flat = compile_rendezvous(&GraphPopulationProtocol::<MajorityState>::majority());
+    let pred = Predicate::majority();
+    certified_grid(&flat, &pred, "DAF-majority", |g| {
+        decide_pseudo_stochastic_certified(&flat, g, 5_000_000).unwrap()
+    });
+}
+
+#[test]
+fn daf_parity_grid_is_certified() {
+    // DAF: parity — the other NL witness outside Cutoff.
+    let flat = compile_rendezvous(&modulo_protocol(vec![1, 0], 2, 1));
+    let pred = Predicate::modulo(vec![1, 0], 2, 1);
+    certified_grid(&flat, &pred, "DAF-parity", |g| {
+        decide_pseudo_stochastic_certified(&flat, g, 5_000_000).unwrap()
+    });
+}

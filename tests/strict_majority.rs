@@ -4,10 +4,17 @@
 
 use weak_async_models::analysis::Predicate;
 use weak_async_models::core::{
-    negate, run_machine_until_stable, RandomScheduler, StabilityOptions,
+    negate, run_machine_until_stable, ExclusiveSystem, Machine, Output, RandomScheduler,
+    StabilityOptions,
 };
+use weak_async_models::extensions::Phased;
 use weak_async_models::graph::{generators, LabelCount};
+use weak_async_models::protocols::homogeneous::{detect_of, FlatState};
 use weak_async_models::protocols::threshold_stack;
+use weak_async_models::sim::{
+    critical_change_score, run_adversarial_until_stable, RotatingAdversary,
+    SmartStarvationAdversary,
+};
 
 #[test]
 fn strict_majority_via_negation() {
@@ -29,4 +36,115 @@ fn strict_majority_via_negation() {
             "strict majority ({a},{b})"
         );
     }
+}
+
+/// Whether a flat §6.1 state currently carries a leader tag, through the
+/// outer broadcast-compilation phase wrapper.
+fn leaderish(f: &FlatState) -> bool {
+    let hom = match f {
+        Phased::Zero(h) | Phased::One(h, _) | Phased::Two(h, _) => h,
+    };
+    detect_of(hom).is_leader()
+}
+
+#[test]
+fn smart_starvation_with_valve_cannot_break_strict_majority() {
+    // The anti-leader adversary routes every step it can around the
+    // leader-tagged nodes; with the fairness valve open every 3rd step the
+    // run is still fair in the limit, so the §6.1 convergence argument must
+    // hold and the verdict must match the predicate.
+    let pred = Predicate::majority();
+    let machine = negate(&threshold_stack(vec![-1, 1], 3).flat());
+    for (a, b) in [(2u64, 1u64), (1, 2)] {
+        let c = LabelCount::from_vec(vec![a, b]);
+        let g = generators::random_degree_bounded(&c, 3, 1, 23);
+        let sys = ExclusiveSystem::new(&machine, &g);
+        let mut adv = SmartStarvationAdversary::new(critical_change_score(leaderish), 3);
+        let r =
+            run_adversarial_until_stable(&sys, &mut adv, StabilityOptions::new(2_000_000, 5_000));
+        assert_eq!(
+            r.verdict.decided(),
+            Some(pred.eval(&c)),
+            "starved strict majority ({a},{b})"
+        );
+    }
+}
+
+#[test]
+fn relentless_anti_leader_starvation_cannot_stall_the_stack() {
+    // Even with the valve removed — an *unfair* schedule that dodges
+    // leader-tagged nodes at every single step — the §6.1 stack still
+    // converges to the correct verdict. This is the dAf model's design
+    // point: the machine must decide under adversarial scheduling, so an
+    // anti-leader adversary gains nothing. (Contrast with the next test,
+    // where the same adversary stalls a fairness-dependent machine.)
+    let pred = Predicate::majority();
+    let machine = negate(&threshold_stack(vec![-1, 1], 3).flat());
+    for (a, b) in [(2u64, 1u64), (1, 2)] {
+        let c = LabelCount::from_vec(vec![a, b]);
+        let g = generators::random_degree_bounded(&c, 3, 1, 23);
+        let sys = ExclusiveSystem::new(&machine, &g);
+        let mut adv = SmartStarvationAdversary::relentless(critical_change_score(leaderish));
+        let r =
+            run_adversarial_until_stable(&sys, &mut adv, StabilityOptions::new(2_000_000, 5_000));
+        assert_eq!(
+            r.verdict.decided(),
+            Some(pred.eval(&c)),
+            "relentlessly starved strict majority ({a},{b})"
+        );
+    }
+}
+
+/// Flag flooding with a perpetual tick bit: flag spread is the *critical*
+/// activity, tick flips are inexhaustible noise the adversary can hide in.
+fn ticking_flood() -> Machine<(bool, bool)> {
+    Machine::new(
+        1,
+        |l| (l.0 == 1, false),
+        |&(f, t), n| (f || n.exists(|&(g, _): &(bool, bool)| g), !t),
+        |&(f, _)| if f { Output::Accept } else { Output::Reject },
+    )
+}
+
+#[test]
+fn relentless_starvation_stalls_where_the_valve_converges() {
+    // Here fairness *is* load-bearing: flag spread only happens at nodes
+    // adjacent to a carrier, while every node can tick forever. The
+    // relentless adversary hides in the tick noise and the flag never
+    // spreads; the fairness valve (and the rotating baseline) force the
+    // critical steps through and the run accepts.
+    let machine = ticking_flood();
+    let critical = |s: &(bool, bool)| s.0;
+    let g = generators::labelled_cycle(&LabelCount::from_vec(vec![4u64, 1]));
+    let sys = ExclusiveSystem::new(&machine, &g);
+
+    let starved = run_adversarial_until_stable(
+        &sys,
+        &mut SmartStarvationAdversary::relentless(critical_change_score(critical)),
+        StabilityOptions::new(50_000, 500),
+    );
+    assert_eq!(
+        starved.verdict.decided(),
+        None,
+        "the relentless adversary must stall the flood: {:?}",
+        starved.verdict
+    );
+
+    let valved = run_adversarial_until_stable(
+        &sys,
+        &mut SmartStarvationAdversary::new(critical_change_score(critical), 3),
+        StabilityOptions::new(50_000, 500),
+    );
+    assert_eq!(
+        valved.verdict.decided(),
+        Some(true),
+        "valve restores fairness"
+    );
+
+    let fair = run_adversarial_until_stable(
+        &sys,
+        &mut RotatingAdversary,
+        StabilityOptions::new(50_000, 500),
+    );
+    assert_eq!(fair.verdict.decided(), Some(true), "rotating baseline");
 }
