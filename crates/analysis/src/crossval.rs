@@ -269,7 +269,7 @@ pub fn counts_with_totals(arity: usize, min_total: u64, max_total: u64) -> Vec<L
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wam_core::{decide_pseudo_stochastic, Machine, Output};
+    use wam_core::{Machine, Output};
     use wam_graph::generators;
 
     #[test]
@@ -287,7 +287,17 @@ mod tests {
             &p,
             &counts,
             |c| Some(generators::labelled_cycle(c)),
-            |g| decide_pseudo_stochastic(&m, g, 100_000).unwrap(),
+            |g| {
+                wam_core::decide(
+                    &m,
+                    g,
+                    wam_core::Schedule::PseudoStochastic,
+                    wam_core::Backend::Auto,
+                    wam_core::ExploreOptions::with_limit(100_000),
+                )
+                .map(|(v, _)| v)
+                .unwrap()
+            },
         );
         assert!(mismatches.is_empty(), "{mismatches:?}");
     }
@@ -336,7 +346,15 @@ mod tests {
                 |c| Some(build(c)),
                 |g| {
                     decided += 1;
-                    decide_pseudo_stochastic(&m, g, 100_000).unwrap()
+                    wam_core::decide(
+                        &m,
+                        g,
+                        wam_core::Schedule::PseudoStochastic,
+                        wam_core::Backend::Auto,
+                        wam_core::ExploreOptions::with_limit(100_000),
+                    )
+                    .map(|(v, _)| v)
+                    .unwrap()
                 },
                 &mut memo,
                 fp,
@@ -372,7 +390,9 @@ mod tests {
 
     #[test]
     fn certified_memo_reuses_certificates_across_isomorphic_graphs() {
-        use wam_certify::{decide_pseudo_stochastic_certified, verify_machine, VerifyOptions};
+        use wam_certify::{
+            verify_machine, CertifiedVerdict, Decider, DecisionCertificate, VerifyOptions,
+        };
 
         let m = Machine::new(
             1,
@@ -386,7 +406,19 @@ mod tests {
         let mut memo = CertifiedMemo::new();
         let fp = system_fingerprint("flood");
         let first = memo.decide(fp, &star, |g| {
-            decide_pseudo_stochastic_certified(&m, g, 100_000).unwrap()
+            let d = Decider::new(&m, g)
+                .backend(wam_core::Backend::Quotient)
+                .certified(true)
+                .limit(100_000)
+                .decide()
+                .unwrap();
+            match d.certificate.unwrap() {
+                DecisionCertificate::Node(certificate) => CertifiedVerdict {
+                    verdict: d.verdict,
+                    certificate,
+                },
+                other => panic!("quotient backend emits node certificates, got {other:?}"),
+            }
         });
         let second = memo.decide(fp, &line, |_| {
             panic!("isomorphic graph must be served from the memo")

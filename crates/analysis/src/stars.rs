@@ -214,7 +214,7 @@ impl<S: State> TransitionSystem for StarSystem<'_, S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wam_core::{decide_pseudo_stochastic, decide_system, Exploration, Machine, Verdict};
+    use wam_core::{Exploration, Machine, Verdict};
     use wam_graph::{generators, LabelCount};
 
     fn flood() -> Machine<bool> {
@@ -240,10 +240,20 @@ mod tests {
             leaves.push((Label(1), b));
             let leaves: Vec<(Label, u64)> = leaves.into_iter().filter(|(_, c)| *c > 0).collect();
             let sys = StarSystem::new(&m, centre, leaves);
-            let reduced = decide_system(&sys, 100_000).unwrap();
+            let reduced = Exploration::explore(&sys, 100_000)
+                .map(|e| e.verdict())
+                .unwrap();
 
             let g = generators::labelled_star(&LabelCount::from_vec(vec![a, b]));
-            let explicit = decide_pseudo_stochastic(&m, &g, 100_000).unwrap();
+            let explicit = wam_core::decide(
+                &m,
+                &g,
+                wam_core::Schedule::PseudoStochastic,
+                wam_core::Backend::Auto,
+                wam_core::ExploreOptions::with_limit(100_000),
+            )
+            .map(|(v, _)| v)
+            .unwrap();
             assert_eq!(reduced, explicit, "({a},{b})");
         }
     }

@@ -7,7 +7,8 @@
 
 use std::sync::Arc;
 use wam_bench::Table;
-use wam_core::{decide_synchronous, Config, Machine, Output, Selection};
+use wam_certify::Decider;
+use wam_core::{Config, Machine, Output, Schedule, Selection};
 use wam_extensions::{compile_broadcasts, BroadcastMachine, ResponseFn};
 use wam_graph::{generators, lambda_fold_cycle_cover, Label, LabelCount};
 use wam_protocols::threshold_machine;
@@ -52,8 +53,18 @@ fn main() {
     let base = generators::labelled_cycle(&LabelCount::from_vec(vec![1, 2]));
     let (cover, map) = lambda_fold_cycle_cover(&base, 3);
 
-    let vb = decide_synchronous(&flat, &base, 1_000_000).unwrap();
-    let vc = decide_synchronous(&flat, &cover, 1_000_000).unwrap();
+    let vb = Decider::new(&flat, &base)
+        .schedule(Schedule::Synchronous)
+        .limit(1_000_000)
+        .decide()
+        .map(|d| d.verdict)
+        .unwrap();
+    let vc = Decider::new(&flat, &cover)
+        .schedule(Schedule::Synchronous)
+        .limit(1_000_000)
+        .decide()
+        .map(|d| d.verdict)
+        .unwrap();
 
     let mut t = Table::new([
         "graph",
@@ -101,16 +112,18 @@ fn main() {
     // the 9-node cover stays tractable; Lemma 4.7 fidelity of the compiled
     // machine is asserted separately in the test suite.)
     let ladder = plain_ladder(2);
-    let vb_f = wam_core::decide_system(
+    let vb_f = wam_core::Exploration::explore(
         &wam_extensions::BroadcastSystem::new(&ladder, &base),
         2_000_000,
     )
-    .unwrap();
-    let vc_f = wam_core::decide_system(
+    .unwrap()
+    .verdict();
+    let vc_f = wam_core::Exploration::explore(
         &wam_extensions::BroadcastSystem::new(&ladder, &cover),
         2_000_000,
     )
-    .unwrap();
+    .unwrap()
+    .verdict();
     let mut t2 = Table::new(["fairness", "base verdict", "cover verdict", "separated?"]);
     t2.row([
         "adversarial (synchronous run)".into(),
@@ -135,7 +148,12 @@ fn main() {
     let mut t3 = Table::new(["x₀", "x₁", "synchronous verdict"]);
     for (a, b) in [(1u64, 2u64), (2, 2), (5, 2)] {
         let g = generators::labelled_cycle(&LabelCount::from_vec(vec![a, b]));
-        let v = decide_synchronous(&flat, &g, 1_000_000).unwrap();
+        let v = Decider::new(&flat, &g)
+            .schedule(Schedule::Synchronous)
+            .limit(1_000_000)
+            .decide()
+            .map(|d| d.verdict)
+            .unwrap();
         t3.row([a.to_string(), b.to_string(), v.to_string()]);
     }
     t3.print("Adversarial verdicts across counts (cutoff behaviour)");
@@ -162,7 +180,12 @@ fn main() {
     let mut t4 = Table::new(["clique count (a,b)", "⌈a⌉_{β+1}", "synchronous verdict"]);
     for a in 1..=6u64 {
         let g = generators::labelled_clique(&LabelCount::from_vec(vec![a, 2]));
-        let v = decide_synchronous(&clique_machine, &g, 100_000).unwrap();
+        let v = Decider::new(&clique_machine, &g)
+            .schedule(Schedule::Synchronous)
+            .limit(100_000)
+            .decide()
+            .map(|d| d.verdict)
+            .unwrap();
         t4.row([
             format!("({a},2)"),
             a.min(u64::from(beta) + 1).to_string(),

@@ -7,7 +7,7 @@
 use std::sync::Arc;
 use wam_analysis::{classify, find_cutoff, Predicate, PropertyClass};
 use wam_bench::Table;
-use wam_core::{decide_system, Machine, Output};
+use wam_core::{Exploration, Machine, Output};
 use wam_extensions::{BroadcastMachine, BroadcastSystem, ResponseFn};
 use wam_graph::{generators, Label, LabelCount};
 
@@ -61,7 +61,9 @@ fn star_cutoff_sweep() {
             // Star with `a` label-a nodes and 3 label-b nodes.
             let g = generators::labelled_star(&LabelCount::from_vec(vec![a, 3]));
             let sys = BroadcastSystem::new(&bm, &g);
-            let v = decide_system(&sys, 1_000_000).unwrap();
+            let v = Exploration::explore(&sys, 1_000_000)
+                .map(|e| e.verdict())
+                .unwrap();
             series.push(v);
             t.row([a.to_string(), v.to_string()]);
         }

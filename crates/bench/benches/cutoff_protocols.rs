@@ -4,7 +4,8 @@
 
 use wam_analysis::{classify, Predicate, PropertyClass};
 use wam_bench::{small_graph_suite, Table};
-use wam_core::{decide_adversarial_round_robin, decide_system};
+use wam_certify::Decider;
+use wam_core::{Exploration, Schedule};
 use wam_extensions::BroadcastSystem;
 use wam_protocols::{cutoff_machine, cutoff_one_machine};
 
@@ -54,7 +55,12 @@ fn cutoff_one_family() {
         for c in wam_bench::two_label_counts(5) {
             for (_, g) in small_graph_suite(&c) {
                 total += 1;
-                let v = decide_adversarial_round_robin(&m, &g, 500_000).unwrap();
+                let v = Decider::new(&m, &g)
+                    .schedule(Schedule::RoundRobin)
+                    .limit(500_000)
+                    .decide()
+                    .map(|d| d.verdict)
+                    .unwrap();
                 if v.decided() == Some(pred.eval(&c)) {
                     ok += 1;
                 }
@@ -102,7 +108,9 @@ fn cutoff_family() {
         for c in wam_bench::two_label_counts(4) {
             let g = wam_graph::generators::labelled_cycle(&c);
             total += 1;
-            let v = decide_system(&BroadcastSystem::new(&bm, &g), 2_000_000).unwrap();
+            let v = Exploration::explore(&BroadcastSystem::new(&bm, &g), 2_000_000)
+                .map(|e| e.verdict())
+                .unwrap();
             if v.decided() == Some(pred.eval(&c)) {
                 ok += 1;
             }

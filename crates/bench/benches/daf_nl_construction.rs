@@ -5,7 +5,7 @@
 
 use wam_analysis::Predicate;
 use wam_bench::Table;
-use wam_core::{decide_system, run_machine_until_stable, RandomScheduler, StabilityOptions};
+use wam_core::{run_machine_until_stable, Exploration, RandomScheduler, StabilityOptions};
 use wam_extensions::{
     compile_broadcasts, compile_strong_broadcast, threshold_protocol, BroadcastSystem,
     GraphPopulationProtocol, MajorityState, StrongBroadcastSystem,
@@ -32,10 +32,14 @@ fn exact_layer_agreement() {
         let sb = threshold_protocol(1);
         let c = LabelCount::from_vec(vec![a, b]);
         let g = generators::labelled_clique(&c);
-        let semantic = decide_system(&StrongBroadcastSystem::new(&sb, &g), 200_000).unwrap();
+        let semantic = Exploration::explore(&StrongBroadcastSystem::new(&sb, &g), 200_000)
+            .map(|e| e.verdict())
+            .unwrap();
         let compiled = compile_strong_broadcast(&sb);
         let sys = BroadcastSystem::new(&compiled, &g).with_choice_cap(1 << 18);
-        let v = decide_system(&sys, 3_000_000).unwrap();
+        let v = Exploration::explore(&sys, 3_000_000)
+            .map(|e| e.verdict())
+            .unwrap();
         t.row([
             format!("({a},{b})"),
             (a >= 1).to_string(),
@@ -91,7 +95,9 @@ fn pp_route() {
     for (a, b) in [(2u64, 1u64), (1, 2), (2, 2)] {
         let c = LabelCount::from_vec(vec![a, b]);
         let g = generators::labelled_clique(&c);
-        let v = decide_system(&StrongBroadcastSystem::new(&sb, &g), 3_000_000).unwrap();
+        let v = Exploration::explore(&StrongBroadcastSystem::new(&sb, &g), 3_000_000)
+            .map(|e| e.verdict())
+            .unwrap();
         t.row([
             "x₀ > x₁".into(),
             format!("({a},{b})"),

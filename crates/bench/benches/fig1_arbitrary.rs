@@ -5,7 +5,8 @@
 
 use wam_analysis::{system_fingerprint, DecisionMemo, Predicate};
 use wam_bench::{small_graph_suite, Table};
-use wam_core::{decide_adversarial_round_robin, decide_pseudo_stochastic, ModelClass, Verdict};
+use wam_certify::Decider;
+use wam_core::{ModelClass, Schedule, Verdict};
 use wam_extensions::{
     compile_broadcasts, compile_rendezvous, GraphPopulationProtocol, MajorityState,
 };
@@ -58,7 +59,12 @@ fn witness_table() {
         let m = cutoff_one_machine(2, |p| p[1]);
         let pred = Predicate::threshold(2, 1, 1);
         let (total, ok) = check(&pred, &mut memo, system_fingerprint("dAf-presence"), |g| {
-            decide_adversarial_round_robin(&m, g, 500_000).unwrap()
+            Decider::new(&m, g)
+                .schedule(Schedule::RoundRobin)
+                .limit(500_000)
+                .decide()
+                .map(|d| d.verdict)
+                .unwrap()
         });
         t.row([
             "dAf".into(),
@@ -75,7 +81,11 @@ fn witness_table() {
         let flat = compile_broadcasts(&threshold_machine(2, 0, 2));
         let pred = Predicate::threshold(2, 0, 2);
         let (total, ok) = check(&pred, &mut memo, system_fingerprint("dAF-ladder"), |g| {
-            decide_pseudo_stochastic(&flat, g, 3_000_000).unwrap()
+            Decider::new(&flat, g)
+                .limit(3_000_000)
+                .decide()
+                .map(|d| d.verdict)
+                .unwrap()
         });
         t.row([
             "dAF".into(),
@@ -92,7 +102,11 @@ fn witness_table() {
         let flat = compile_rendezvous(&pp);
         let pred = Predicate::majority();
         let (total, ok) = check(&pred, &mut memo, system_fingerprint("DAF-majority"), |g| {
-            decide_pseudo_stochastic(&flat, g, 3_000_000).unwrap()
+            Decider::new(&flat, g)
+                .limit(3_000_000)
+                .decide()
+                .map(|d| d.verdict)
+                .unwrap()
         });
         t.row([
             "DAF".into(),
@@ -109,7 +123,11 @@ fn witness_table() {
         let flat = compile_rendezvous(&pp);
         let pred = Predicate::modulo(vec![1, 0], 2, 1);
         let (total, ok) = check(&pred, &mut memo, system_fingerprint("DAF-parity"), |g| {
-            decide_pseudo_stochastic(&flat, g, 3_000_000).unwrap()
+            Decider::new(&flat, g)
+                .limit(3_000_000)
+                .decide()
+                .map(|d| d.verdict)
+                .unwrap()
         });
         t.row([
             "DAF".into(),

@@ -4,7 +4,8 @@
 
 use wam_analysis::{system_fingerprint, DecisionMemo, Predicate};
 use wam_bench::Table;
-use wam_core::{decide_adversarial_round_robin, decide_pseudo_stochastic, ModelClass};
+use wam_certify::Decider;
+use wam_core::{ModelClass, Schedule};
 use wam_extensions::compile_rendezvous;
 use wam_graph::{generators, LabelCount};
 use wam_protocols::{cutoff_one_machine, majority_stack, modulo_protocol};
@@ -65,7 +66,12 @@ fn witness_table() {
             total += 1;
             if memo
                 .decide(fp, &g, |g| {
-                    decide_adversarial_round_robin(&m, g, 500_000).unwrap()
+                    Decider::new(&m, g)
+                        .schedule(Schedule::RoundRobin)
+                        .limit(500_000)
+                        .decide()
+                        .map(|d| d.verdict)
+                        .unwrap()
                 })
                 .decided()
                 == Some(pred.eval(c))
@@ -96,7 +102,11 @@ fn witness_table() {
             total += 1;
             if memo
                 .decide(fp, &g, |g| {
-                    decide_adversarial_round_robin(&flat, g, 5_000_000)
+                    Decider::new(&flat, g)
+                        .schedule(Schedule::RoundRobin)
+                        .limit(5_000_000)
+                        .decide()
+                        .map(|d| d.verdict)
                         .unwrap_or(wam_core::Verdict::NoConsensus)
                 })
                 .decided()
@@ -128,7 +138,11 @@ fn witness_table() {
             total += 1;
             if memo
                 .decide(fp, &g, |g| {
-                    decide_pseudo_stochastic(&flat, g, 3_000_000).unwrap()
+                    Decider::new(&flat, g)
+                        .limit(3_000_000)
+                        .decide()
+                        .map(|d| d.verdict)
+                        .unwrap()
                 })
                 .decided()
                 == Some(pred.eval(c))

@@ -5,9 +5,8 @@
 
 use std::sync::Arc;
 use wam_bench::Table;
-use wam_core::{
-    decide_pseudo_stochastic, decide_system, Config, Machine, Output, Selection, TransitionSystem,
-};
+use wam_certify::Decider;
+use wam_core::{Config, Exploration, Machine, Output, Selection, TransitionSystem};
 use wam_extensions::{compile_broadcasts, BroadcastMachine, BroadcastSystem, Phased, ResponseFn};
 use wam_graph::{Alphabet, GraphBuilder};
 
@@ -147,8 +146,14 @@ fn main() {
     t2.print("Figure 2(b): compiled three-phase extension (superscript = phase)");
 
     // (c) reordering/extension preserves the verdict: semantic vs compiled.
-    let semantic = decide_system(&sys, 2_000_000).unwrap();
-    let flat = decide_pseudo_stochastic(&compiled, &g, 2_000_000).unwrap();
+    let semantic = Exploration::explore(&sys, 2_000_000)
+        .map(|e| e.verdict())
+        .unwrap();
+    let flat = Decider::new(&compiled, &g)
+        .limit(2_000_000)
+        .decide()
+        .map(|d| d.verdict)
+        .unwrap();
     let mut t3 = Table::new(["semantics", "verdict"]);
     t3.row(["atomic weak broadcasts".into(), semantic.to_string()]);
     t3.row(["compiled three-phase".into(), flat.to_string()]);

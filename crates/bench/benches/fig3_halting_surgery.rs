@@ -6,7 +6,8 @@
 //! exists.
 
 use wam_bench::Table;
-use wam_core::{decide_synchronous, Config, Machine, Output, Selection};
+use wam_certify::Decider;
+use wam_core::{Config, Machine, Output, Schedule, Selection};
 use wam_graph::surgery::{find_cycle_edge, halting_composite};
 use wam_graph::{generators, LabelCount};
 
@@ -43,8 +44,18 @@ fn main() {
     // G: all-a cycle (accepted); H: all-b cycle (rejected).
     let g = generators::labelled_cycle(&LabelCount::from_vec(vec![4, 0]));
     let h = generators::labelled_cycle(&LabelCount::from_vec(vec![0, 4]));
-    let vg = decide_synchronous(&m, &g, 10_000).unwrap();
-    let vh = decide_synchronous(&m, &h, 10_000).unwrap();
+    let vg = Decider::new(&m, &g)
+        .schedule(Schedule::Synchronous)
+        .limit(10_000)
+        .decide()
+        .map(|d| d.verdict)
+        .unwrap();
+    let vh = Decider::new(&m, &h)
+        .schedule(Schedule::Synchronous)
+        .limit(10_000)
+        .decide()
+        .map(|d| d.verdict)
+        .unwrap();
 
     let mut t = Table::new(["graph", "nodes", "verdict"]);
     t.row(["G = all-a cycle".into(), "4".into(), vg.to_string()]);
@@ -54,7 +65,12 @@ fn main() {
     let eg = find_cycle_edge(&g).unwrap();
     let eh = find_cycle_edge(&h).unwrap();
     let composite = halting_composite(&g, eg, 7, &h, eh, 7);
-    let vgh = decide_synchronous(&m, &composite.graph, 10_000).unwrap();
+    let vgh = Decider::new(&m, &composite.graph)
+        .schedule(Schedule::Synchronous)
+        .limit(10_000)
+        .decide()
+        .map(|d| d.verdict)
+        .unwrap();
     t.row([
         "GH = surgery composite".into(),
         composite.graph.node_count().to_string(),

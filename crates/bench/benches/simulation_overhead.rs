@@ -5,7 +5,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use wam_core::{decide_pseudo_stochastic, decide_system};
+use wam_certify::Decider;
+use wam_core::Exploration;
 use wam_extensions::{
     compile_broadcasts, compile_rendezvous, BroadcastSystem, GraphPopulationProtocol,
     MajorityState, PopulationSystem,
@@ -21,16 +22,36 @@ fn bench_broadcast_compilation(criterion: &mut Criterion) {
     let flat = compile_broadcasts(&bm);
 
     // Fidelity gate: both must agree before we measure anything.
-    let semantic = decide_system(&BroadcastSystem::new(&bm, &g), 1_000_000).unwrap();
-    let compiled = decide_pseudo_stochastic(&flat, &g, 3_000_000).unwrap();
+    let semantic = Exploration::explore(&BroadcastSystem::new(&bm, &g), 1_000_000)
+        .map(|e| e.verdict())
+        .unwrap();
+    let compiled = Decider::new(&flat, &g)
+        .limit(3_000_000)
+        .decide()
+        .map(|d| d.verdict)
+        .unwrap();
     assert_eq!(semantic, compiled);
     println!("Lemma 4.7 fidelity: semantic = compiled = {semantic}");
 
     group.bench_function("semantic_exact", |b| {
-        b.iter(|| black_box(decide_system(&BroadcastSystem::new(&bm, &g), 1_000_000).unwrap()))
+        b.iter(|| {
+            black_box(
+                Exploration::explore(&BroadcastSystem::new(&bm, &g), 1_000_000)
+                    .map(|e| e.verdict())
+                    .unwrap(),
+            )
+        })
     });
     group.bench_function("compiled_exact", |b| {
-        b.iter(|| black_box(decide_pseudo_stochastic(&flat, &g, 3_000_000).unwrap()))
+        b.iter(|| {
+            black_box(
+                Decider::new(&flat, &g)
+                    .limit(3_000_000)
+                    .decide()
+                    .map(|d| d.verdict)
+                    .unwrap(),
+            )
+        })
     });
     group.finish();
 }
@@ -42,16 +63,36 @@ fn bench_rendezvous_compilation(criterion: &mut Criterion) {
     let c = LabelCount::from_vec(vec![2, 1]);
     let g = generators::labelled_line(&c);
 
-    let semantic = decide_system(&PopulationSystem::new(&pp, &g), 1_000_000).unwrap();
-    let compiled = decide_pseudo_stochastic(&flat, &g, 3_000_000).unwrap();
+    let semantic = Exploration::explore(&PopulationSystem::new(&pp, &g), 1_000_000)
+        .map(|e| e.verdict())
+        .unwrap();
+    let compiled = Decider::new(&flat, &g)
+        .limit(3_000_000)
+        .decide()
+        .map(|d| d.verdict)
+        .unwrap();
     assert_eq!(semantic, compiled);
     println!("Lemma 4.10 fidelity: semantic = compiled = {semantic}");
 
     group.bench_function("semantic_exact", |b| {
-        b.iter(|| black_box(decide_system(&PopulationSystem::new(&pp, &g), 1_000_000).unwrap()))
+        b.iter(|| {
+            black_box(
+                Exploration::explore(&PopulationSystem::new(&pp, &g), 1_000_000)
+                    .map(|e| e.verdict())
+                    .unwrap(),
+            )
+        })
     });
     group.bench_function("compiled_exact", |b| {
-        b.iter(|| black_box(decide_pseudo_stochastic(&flat, &g, 3_000_000).unwrap()))
+        b.iter(|| {
+            black_box(
+                Decider::new(&flat, &g)
+                    .limit(3_000_000)
+                    .decide()
+                    .map(|d| d.verdict)
+                    .unwrap(),
+            )
+        })
     });
     group.finish();
 }

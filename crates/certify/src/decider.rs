@@ -1,0 +1,478 @@
+//! The ergonomic decision entry point: one builder covering every
+//! schedule, every exploration backend, and optional certificate emission.
+//!
+//! [`Decider`] is the user-facing half of the decision API redesign. The
+//! engine half is [`wam_core::decide`], which resolves a
+//! ([`Schedule`], [`Backend`]) pair to a concrete representation and
+//! returns a verdict plus [`DecisionStats`]. `Decider` adds what only this
+//! crate can: machine-checkable witnesses. With `.certified(true)` the
+//! decision is re-run through the certificate emitters and the returned
+//! [`Decision`] carries a [`DecisionCertificate`] that the independent
+//! checker ([`crate::verify`]) re-validates without trusting the engine.
+//!
+//! The certificate is phrased in whatever representation the backend
+//! explored — explicit node configurations, counter vectors over the twin
+//! partition, or ring necklaces — because that is the space in which the
+//! stability/escape arguments are small. [`DecisionCertificate::verify`]
+//! reconstructs the matching abstraction from the machine and graph alone
+//! (re-checking its soundness precondition) and replays the witness
+//! against it.
+//!
+//! ```
+//! use wam_certify::{Decider, VerifyOptions};
+//! use wam_core::{Backend, Machine, Output, Schedule};
+//! use wam_graph::{generators, LabelCount};
+//!
+//! let m = Machine::new(
+//!     1,
+//!     |l: wam_graph::Label| l.0 == 1,
+//!     |&s: &bool, n| s || n.exists(|&t| t),
+//!     |&s| if s { Output::Accept } else { Output::Reject },
+//! );
+//! let g = generators::labelled_cycle(&LabelCount::from_vec(vec![3, 1]));
+//! let decision = Decider::new(&m, &g)
+//!     .schedule(Schedule::PseudoStochastic)
+//!     .backend(Backend::Auto)
+//!     .certified(true)
+//!     .limit(100_000)
+//!     .decide()
+//!     .unwrap();
+//! assert!(decision.verdict.is_accepting());
+//! let cert = decision.certificate.as_ref().unwrap();
+//! assert_eq!(
+//!     cert.verify(&m, &g, &VerifyOptions::default()).unwrap(),
+//!     decision.verdict,
+//! );
+//! ```
+
+use crate::certificate::{Certificate, LassoSchedule};
+use crate::emit::{
+    certify_exploration, certify_lasso, certify_symmetric, relabel_exclusive_path, CertifiedVerdict,
+};
+use crate::verify::{verify_machine, verify_system, CertError, VerifyOptions};
+use wam_core::{
+    Backend, Config, CounterConfig, CounterSystem, DecisionStats, ExclusiveSystem, Exploration,
+    ExploreError, ExploreOptions, Machine, ResolvedBackend, RingConfig, RingSystem, Schedule,
+    Selection, State, Symmetry, TransitionSystem, Verdict,
+};
+use wam_graph::Graph;
+
+/// A verdict witness phrased in the representation the decision ran on.
+///
+/// Exploration certificates are only meaningful relative to the transition
+/// system they were emitted from, so the variant records which abstraction
+/// that was; [`DecisionCertificate::verify`] rebuilds it from the
+/// machine/graph pair (re-checking the abstraction's soundness
+/// precondition) before replaying the witness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecisionCertificate<S: State> {
+    /// A witness over explicit node configurations (explicit or quotient
+    /// backends, and the deterministic lasso schedules).
+    Node(Certificate<Config<S>>),
+    /// A witness over count vectors of the twin partition.
+    Counter(Certificate<CounterConfig<S>>),
+    /// A witness over canonical necklaces of a cycle.
+    Ring(Certificate<RingConfig<S>>),
+}
+
+impl<S: State> DecisionCertificate<S> {
+    /// Independently re-validates the witness against `machine` on
+    /// `graph`, re-deriving the verdict without trusting the engine.
+    ///
+    /// # Errors
+    ///
+    /// A [`CertError`] describing the first failed check —
+    /// [`CertError::BackendUnavailable`] if the certificate's abstraction
+    /// does not apply to this machine/graph pair at all.
+    pub fn verify(
+        &self,
+        machine: &Machine<S>,
+        graph: &Graph,
+        options: &VerifyOptions,
+    ) -> Result<Verdict, CertError> {
+        match self {
+            DecisionCertificate::Node(cert) => verify_machine(machine, graph, cert, options),
+            DecisionCertificate::Counter(cert) => {
+                let system = CounterSystem::new(machine, graph).map_err(|e| {
+                    CertError::BackendUnavailable {
+                        reason: e.to_string(),
+                    }
+                })?;
+                verify_system(&system, cert)
+            }
+            DecisionCertificate::Ring(cert) => {
+                let system =
+                    RingSystem::new(machine, graph).map_err(|e| CertError::BackendUnavailable {
+                        reason: e.to_string(),
+                    })?;
+                verify_system(&system, cert)
+            }
+        }
+    }
+}
+
+/// The outcome of a [`Decider`] run: the verdict, the witness (when
+/// requested), and what the decision cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decision<S: State> {
+    /// The decided verdict.
+    pub verdict: Verdict,
+    /// The machine-checkable witness; `Some` iff `.certified(true)`.
+    pub certificate: Option<DecisionCertificate<S>>,
+    /// The backend that actually ran and how much state it visited.
+    pub stats: DecisionStats,
+}
+
+/// Builder for a single decision of a machine on a graph.
+///
+/// Defaults: [`Schedule::PseudoStochastic`], [`Backend::Auto`], no
+/// certificate, and [`ExploreOptions::default`] (limit 1 000 000).
+#[derive(Debug, Clone)]
+pub struct Decider<'a, S: State> {
+    machine: &'a Machine<S>,
+    graph: &'a Graph,
+    schedule: Schedule,
+    backend: Backend,
+    certified: bool,
+    options: ExploreOptions,
+}
+
+impl<'a, S: State> Decider<'a, S> {
+    /// Starts a decision of `machine` on `graph` with default settings.
+    pub fn new(machine: &'a Machine<S>, graph: &'a Graph) -> Self {
+        Decider {
+            machine,
+            graph,
+            schedule: Schedule::default(),
+            backend: Backend::default(),
+            certified: false,
+            options: ExploreOptions::default(),
+        }
+    }
+
+    /// Selects the fairness regime / schedule to decide under.
+    pub fn schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Selects the state-space representation (ignored by the lasso
+    /// schedules, which walk a single deterministic run).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Requests a machine-checkable certificate alongside the verdict.
+    pub fn certified(mut self, certified: bool) -> Self {
+        self.certified = certified;
+        self
+    }
+
+    /// Bounds the number of interned configurations / lasso steps.
+    pub fn limit(mut self, limit: usize) -> Self {
+        self.options = self.options.limit(limit);
+        self
+    }
+
+    /// Replaces the full exploration options (threads, symmetry policy,
+    /// limit, …).
+    pub fn options(mut self, options: ExploreOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Runs the decision.
+    ///
+    /// # Errors
+    ///
+    /// * [`ExploreError::TooLarge`] / [`ExploreError::NoLasso`] when the
+    ///   limit is exhausted;
+    /// * [`ExploreError::Unsupported`] when [`Backend::Counter`] was
+    ///   requested on a graph that is neither twin-compressible nor a
+    ///   cycle.
+    pub fn decide(self) -> Result<Decision<S>, ExploreError> {
+        if !self.certified {
+            let (verdict, stats) = wam_core::decide(
+                self.machine,
+                self.graph,
+                self.schedule,
+                self.backend,
+                self.options,
+            )?;
+            return Ok(Decision {
+                verdict,
+                certificate: None,
+                stats,
+            });
+        }
+        match self.schedule {
+            Schedule::RoundRobin => {
+                let n = self.graph.node_count();
+                let cv = certify_lasso(
+                    self.machine,
+                    self.graph,
+                    LassoSchedule::RoundRobin,
+                    |t| Selection::exclusive(t % n),
+                    n,
+                    self.options.limit,
+                )?;
+                Ok(lasso_decision(cv))
+            }
+            Schedule::Synchronous => {
+                let all = Selection::all(self.graph);
+                let cv = certify_lasso(
+                    self.machine,
+                    self.graph,
+                    LassoSchedule::Synchronous,
+                    |_| all.clone(),
+                    1,
+                    self.options.limit,
+                )?;
+                Ok(lasso_decision(cv))
+            }
+            Schedule::PseudoStochastic => self.decide_certified_pseudo_stochastic(),
+        }
+    }
+
+    /// Certified pseudo-stochastic decision, mirroring the backend
+    /// resolution of [`wam_core::decide`] exactly so that `certified(true)`
+    /// never changes the verdict or the resolved backend.
+    fn decide_certified_pseudo_stochastic(self) -> Result<Decision<S>, ExploreError> {
+        let Decider {
+            machine,
+            graph,
+            backend,
+            options,
+            ..
+        } = self;
+        let explicit = |options: ExploreOptions| {
+            let (cv, reduced, explored) =
+                certify_symmetric(&ExclusiveSystem::new(machine, graph), options)?;
+            debug_assert!(!reduced);
+            Ok(node_decision(cv, ResolvedBackend::Explicit, explored))
+        };
+        let symmetric = |options: ExploreOptions| {
+            let (cv, reduced, explored) =
+                certify_symmetric(&ExclusiveSystem::new(machine, graph), options)?;
+            let resolved = if reduced {
+                ResolvedBackend::Quotient
+            } else {
+                ResolvedBackend::Explicit
+            };
+            Ok(node_decision(cv, resolved, explored))
+        };
+        match backend {
+            Backend::Explicit => explicit(options.symmetry(Symmetry::Off)),
+            Backend::Quotient => symmetric(options.symmetry(Symmetry::On)),
+            Backend::Counter => match CounterSystem::new(machine, graph) {
+                Ok(counter) => counter_decision(&counter, options),
+                Err(_) => match RingSystem::new(machine, graph) {
+                    Ok(ring) => ring_decision(&ring, options),
+                    Err(_) => Err(ExploreError::Unsupported {
+                        reason: format!(
+                            "the counter backend needs a twin-compressible graph or a \
+                             cycle; the {}-node graph is neither",
+                            graph.node_count()
+                        ),
+                    }),
+                },
+            },
+            Backend::Auto => {
+                if options.symmetry == Symmetry::Off {
+                    return explicit(options);
+                }
+                if let Ok(counter) = CounterSystem::new(machine, graph) {
+                    return counter_decision(&counter, options);
+                }
+                if let Ok(ring) = RingSystem::new(machine, graph) {
+                    return ring_decision(&ring, options);
+                }
+                symmetric(options)
+            }
+        }
+    }
+}
+
+fn lasso_decision<S: State>(cv: CertifiedVerdict<Config<S>>) -> Decision<S> {
+    let steps = match &cv.certificate {
+        Certificate::Lasso(l) => l.stem_len + l.cycle.len(),
+        _ => unreachable!("lasso emission always yields a lasso certificate"),
+    };
+    Decision {
+        verdict: cv.verdict,
+        certificate: Some(DecisionCertificate::Node(cv.certificate)),
+        stats: DecisionStats::new(ResolvedBackend::Lasso, steps),
+    }
+}
+
+fn node_decision<S: State>(
+    mut cv: CertifiedVerdict<Config<S>>,
+    resolved: ResolvedBackend,
+    explored: usize,
+) -> Decision<S> {
+    relabel_exclusive_path(&mut cv.certificate);
+    Decision {
+        verdict: cv.verdict,
+        certificate: Some(DecisionCertificate::Node(cv.certificate)),
+        stats: DecisionStats::new(resolved, explored),
+    }
+}
+
+fn counter_decision<S: State>(
+    counter: &CounterSystem<'_, S>,
+    options: ExploreOptions,
+) -> Result<Decision<S>, ExploreError> {
+    let e = Exploration::explore_with(counter, counter.initial_config(), options)?;
+    let cv = certify_exploration(counter, &e);
+    Ok(Decision {
+        verdict: cv.verdict,
+        certificate: Some(DecisionCertificate::Counter(cv.certificate)),
+        stats: DecisionStats::new(ResolvedBackend::Counter, e.len()),
+    })
+}
+
+fn ring_decision<S: State>(
+    ring: &RingSystem<'_, S>,
+    options: ExploreOptions,
+) -> Result<Decision<S>, ExploreError> {
+    let e = Exploration::explore_with(ring, ring.initial_config(), options)?;
+    let cv = certify_exploration(ring, &e);
+    Ok(Decision {
+        verdict: cv.verdict,
+        certificate: Some(DecisionCertificate::Ring(cv.certificate)),
+        stats: DecisionStats::new(ResolvedBackend::Ring, e.len()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wam_core::{Machine, Output};
+    use wam_graph::{generators, LabelCount};
+
+    fn flood() -> Machine<bool> {
+        Machine::new(
+            1,
+            |l| l.0 == 1,
+            |&s, n| s || n.exists(|&t| t),
+            |&s| if s { Output::Accept } else { Output::Reject },
+        )
+    }
+
+    #[test]
+    fn uncertified_matches_engine_decide() {
+        let m = flood();
+        let g = generators::labelled_clique(&LabelCount::from_vec(vec![3, 1]));
+        let d = Decider::new(&m, &g).limit(100_000).decide().unwrap();
+        let (v, stats) = wam_core::decide(
+            &m,
+            &g,
+            Schedule::PseudoStochastic,
+            Backend::Auto,
+            ExploreOptions::with_limit(100_000),
+        )
+        .unwrap();
+        assert_eq!(d.verdict, v);
+        assert_eq!(d.stats, stats);
+        assert!(d.certificate.is_none());
+    }
+
+    #[test]
+    fn certified_decisions_verify_on_every_backend() {
+        let m = flood();
+        let opts = VerifyOptions::default();
+        for counts in [vec![3u64, 1], vec![4, 0]] {
+            for g in [
+                generators::labelled_clique(&LabelCount::from_vec(counts.clone())),
+                generators::labelled_star(&LabelCount::from_vec(counts.clone())),
+                generators::labelled_cycle(&LabelCount::from_vec(counts.clone())),
+            ] {
+                for backend in [
+                    Backend::Auto,
+                    Backend::Explicit,
+                    Backend::Quotient,
+                    Backend::Counter,
+                ] {
+                    let d = Decider::new(&m, &g)
+                        .backend(backend)
+                        .certified(true)
+                        .limit(1_000_000)
+                        .decide()
+                        .unwrap();
+                    let cert = d.certificate.as_ref().expect("certified run");
+                    assert_eq!(
+                        cert.verify(&m, &g, &opts).unwrap(),
+                        d.verdict,
+                        "{backend:?} on {g:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn certified_and_uncertified_resolve_identically() {
+        let m = flood();
+        for g in [
+            generators::labelled_clique(&LabelCount::from_vec(vec![4, 1])),
+            generators::labelled_cycle(&LabelCount::from_vec(vec![5, 1])),
+            generators::labelled_line(&LabelCount::from_vec(vec![4, 1])),
+        ] {
+            for backend in [Backend::Auto, Backend::Explicit, Backend::Quotient] {
+                let plain = Decider::new(&m, &g).backend(backend).decide().unwrap();
+                let certified = Decider::new(&m, &g)
+                    .backend(backend)
+                    .certified(true)
+                    .decide()
+                    .unwrap();
+                assert_eq!(plain.verdict, certified.verdict);
+                assert_eq!(plain.stats.backend, certified.stats.backend);
+                assert_eq!(plain.stats.explored, certified.stats.explored);
+            }
+        }
+    }
+
+    #[test]
+    fn certified_lasso_schedules_verify() {
+        let m = flood();
+        let g = generators::labelled_cycle(&LabelCount::from_vec(vec![3, 1]));
+        for schedule in [Schedule::RoundRobin, Schedule::Synchronous] {
+            let d = Decider::new(&m, &g)
+                .schedule(schedule)
+                .certified(true)
+                .limit(10_000)
+                .decide()
+                .unwrap();
+            assert_eq!(d.stats.backend, ResolvedBackend::Lasso);
+            let cert = d.certificate.as_ref().unwrap();
+            assert_eq!(
+                cert.verify(&m, &g, &VerifyOptions::default()).unwrap(),
+                d.verdict
+            );
+        }
+    }
+
+    #[test]
+    fn counter_certificate_rejected_on_wrong_graph() {
+        let m = flood();
+        let clique = generators::labelled_clique(&LabelCount::from_vec(vec![4, 1]));
+        let d = Decider::new(&m, &clique)
+            .backend(Backend::Counter)
+            .certified(true)
+            .decide()
+            .unwrap();
+        let cert = d.certificate.unwrap();
+        assert!(matches!(cert, DecisionCertificate::Counter(_)));
+        // Replaying a counter certificate against a twin-free graph must
+        // fail its precondition check, not silently "verify".
+        let line = generators::labelled_line(&LabelCount::from_vec(vec![4, 1]));
+        let err = cert
+            .verify(&m, &line, &VerifyOptions::default())
+            .unwrap_err();
+        assert!(
+            matches!(err, CertError::BackendUnavailable { .. }),
+            "{err:?}"
+        );
+    }
+}

@@ -5,12 +5,13 @@
 //! trusted: a bug in emission produces a certificate the independent
 //! checker rejects, never a wrongly accepted one.
 //!
-//! The `decide_*_certified` functions mirror the plain deciders of
-//! `wam-core` ([`wam_core::decide_system`], [`wam_core::decide_symmetric`],
-//! [`wam_core::decide_pseudo_stochastic`],
-//! [`wam_core::decide_adversarial_round_robin`],
-//! [`wam_core::decide_synchronous`]) — same inputs, same verdicts — but
-//! additionally return a [`Certificate`] witnessing the verdict.
+//! The deprecated `decide_*_certified` functions mirror the equally
+//! deprecated plain deciders of `wam-core` — same inputs, same verdicts —
+//! but additionally return a [`Certificate`] witnessing the verdict. Both
+//! families are one-line shims today: the engine entry point is
+//! [`wam_core::decide`] and the ergonomic certificate-aware builder is
+//! [`crate::Decider`]. The reusable emitters ([`certify_exploration`] and
+//! the `pub(crate)` quotient/lasso helpers) live here.
 //!
 //! # Quotient concretisation
 //!
@@ -386,7 +387,7 @@ where
     }
 }
 
-fn certify_quotient<T>(
+pub(crate) fn certify_quotient<T>(
     system: &T,
     quotient: &QuotientSystem<'_, T>,
     e: &Exploration<T::C>,
@@ -441,13 +442,19 @@ where
 // Certified deciders
 // ---------------------------------------------------------------------------
 
-/// Certified counterpart of [`wam_core::decide_system`]: decides any
-/// [`TransitionSystem`] by full exploration and emits the witness.
+/// Certified counterpart of the deprecated `wam_core::decide_system`:
+/// decides any [`TransitionSystem`] by full exploration and emits the
+/// witness.
 ///
 /// # Errors
 ///
 /// [`ExploreError::TooLarge`] if more than `limit` configurations are
 /// reachable.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `certify_exploration` on an `Exploration` you drive yourself, or \
+            `wam_certify::Decider` for machine-on-graph decisions"
+)]
 pub fn decide_system_certified<T: TransitionSystem + Sync>(
     system: &T,
     limit: usize,
@@ -459,15 +466,20 @@ where
     Ok(certify_exploration(system, &e))
 }
 
-/// Certified counterpart of [`wam_core::decide_symmetric`]: same reduction
-/// policy ([`Symmetry::Auto`]/`On`/`Off` via [`ExploreOptions::symmetry`]),
-/// and when the orbit quotient is active the emitted certificate carries
-/// symmetry transport.
+/// Certified counterpart of the deprecated `wam_core::decide_symmetric`:
+/// same reduction policy ([`Symmetry::Auto`]/`On`/`Off` via
+/// [`ExploreOptions::symmetry`]), and when the orbit quotient is active the
+/// emitted certificate carries symmetry transport.
 ///
 /// # Errors
 ///
 /// [`ExploreError::TooLarge`] if the explored space exceeds
 /// `options.limit`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `wam_certify::Decider` with `Backend::Quotient` (generic systems can \
+            still be certified via `certify_exploration`)"
+)]
 pub fn decide_symmetric_certified<T>(
     system: &T,
     options: ExploreOptions,
@@ -476,10 +488,26 @@ where
     T: NodeSymmetric + Sync,
     T::C: PermuteNodes + Send + Sync,
 {
-    let full = |options: ExploreOptions| -> Result<CertifiedVerdict<T::C>, ExploreError> {
-        let e = Exploration::explore_with(system, system.initial_config(), options)?;
-        Ok(certify_exploration(system, &e))
-    };
+    certify_symmetric(system, options).map(|(cv, _, _)| cv)
+}
+
+/// Engine half of the symmetric certified decision: returns the witness
+/// together with whether the quotient was active and how many
+/// representatives (or explicit configurations) were interned — the stats
+/// [`crate::Decider`] reports.
+pub(crate) fn certify_symmetric<T>(
+    system: &T,
+    options: ExploreOptions,
+) -> Result<(CertifiedVerdict<T::C>, bool, usize), ExploreError>
+where
+    T: NodeSymmetric + Sync,
+    T::C: PermuteNodes + Send + Sync,
+{
+    let full =
+        |options: ExploreOptions| -> Result<(CertifiedVerdict<T::C>, bool, usize), ExploreError> {
+            let e = Exploration::explore_with(system, system.initial_config(), options)?;
+            Ok((certify_exploration(system, &e), false, e.len()))
+        };
     if options.symmetry == Symmetry::Off {
         return full(options);
     }
@@ -494,14 +522,15 @@ where
     }
     let quotient = QuotientSystem::new(system, group);
     let e = Exploration::explore_with(&quotient, quotient.initial_config(), options)?;
-    Ok(certify_quotient(system, &quotient, &e))
+    let explored = e.len();
+    Ok((certify_quotient(system, &quotient, &e), true, explored))
 }
 
 /// Rewrites the `Choice` selections of an exclusive-selection certificate
 /// to `Node` selections by diffing consecutive configurations — exclusive
 /// steps change exactly one node, and `Node` steps are replayable by
 /// [`Config::successor`](wam_core::Config::successor) alone.
-fn relabel_exclusive_path<S: State>(cert: &mut Certificate<Config<S>>) {
+pub(crate) fn relabel_exclusive_path<S: State>(cert: &mut Certificate<Config<S>>) {
     let relabel = |s: &mut StableCertificate<Config<S>>| {
         let mut prev = s.path.start.clone();
         for step in &mut s.path.steps {
@@ -521,27 +550,31 @@ fn relabel_exclusive_path<S: State>(cert: &mut Certificate<Config<S>>) {
     }
 }
 
-/// Certified counterpart of [`wam_core::decide_pseudo_stochastic`]: decides
-/// `machine` on `graph` under pseudo-stochastic fairness and exclusive
-/// selection (orbit-reduced when profitable, per [`Symmetry::Auto`]) and
-/// emits a certificate whose path steps are `Node` selections, verifiable
-/// by [`crate::verify_machine`].
+/// Certified counterpart of the deprecated
+/// `wam_core::decide_pseudo_stochastic`: decides `machine` on `graph` under
+/// pseudo-stochastic fairness and exclusive selection (orbit-reduced when
+/// profitable, per [`Symmetry::Auto`]) and emits a certificate whose path
+/// steps are `Node` selections, verifiable by [`crate::verify_machine`].
 ///
 /// # Errors
 ///
 /// [`ExploreError::TooLarge`] if the explored space exceeds `limit`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `wam_certify::Decider::new(machine, graph).certified(true).limit(n).decide()`"
+)]
 pub fn decide_pseudo_stochastic_certified<S: State>(
     machine: &Machine<S>,
     graph: &Graph,
     limit: usize,
 ) -> Result<CertifiedVerdict<Config<S>>, ExploreError> {
     let system = ExclusiveSystem::new(machine, graph);
-    let mut out = decide_symmetric_certified(&system, ExploreOptions::with_limit(limit))?;
+    let (mut out, _, _) = certify_symmetric(&system, ExploreOptions::with_limit(limit))?;
     relabel_exclusive_path(&mut out.certificate);
     Ok(out)
 }
 
-fn certify_lasso<S: State>(
+pub(crate) fn certify_lasso<S: State>(
     machine: &Machine<S>,
     graph: &Graph,
     schedule: LassoSchedule,
@@ -580,14 +613,18 @@ fn certify_lasso<S: State>(
     Err(ExploreError::NoLasso { limit })
 }
 
-/// Certified counterpart of [`wam_core::decide_adversarial_round_robin`]:
-/// walks the deterministic round-robin run to its lasso and emits the
-/// stem + cycle witness.
+/// Certified counterpart of the deprecated
+/// `wam_core::decide_adversarial_round_robin`: walks the deterministic
+/// round-robin run to its lasso and emits the stem + cycle witness.
 ///
 /// # Errors
 ///
 /// [`ExploreError::NoLasso`] if the run does not become periodic within
 /// `limit` steps.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `wam_certify::Decider` with `Schedule::RoundRobin` and `.certified(true)`"
+)]
 pub fn decide_adversarial_round_robin_certified<S: State>(
     machine: &Machine<S>,
     graph: &Graph,
@@ -604,12 +641,16 @@ pub fn decide_adversarial_round_robin_certified<S: State>(
     )
 }
 
-/// Certified counterpart of [`wam_core::decide_synchronous`].
+/// Certified counterpart of the deprecated `wam_core::decide_synchronous`.
 ///
 /// # Errors
 ///
 /// [`ExploreError::NoLasso`] if the run does not become periodic within
 /// `limit` steps.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `wam_certify::Decider` with `Schedule::Synchronous` and `.certified(true)`"
+)]
 pub fn decide_synchronous_certified<S: State>(
     machine: &Machine<S>,
     graph: &Graph,

@@ -28,7 +28,7 @@ use crate::certificate::{
 };
 use crate::verify::CertError;
 use std::fmt::Write as _;
-use wam_core::{Config, State, Verdict};
+use wam_core::{Config, CounterConfig, RingConfig, State, Verdict};
 
 /// A JSON value. Objects preserve insertion order (emission order is part
 /// of the readable format; lookup is linear, which is fine at certificate
@@ -384,6 +384,28 @@ impl<S: State> StateTable<S> {
     pub fn from_certificate(cert: &Certificate<Config<S>>) -> Self {
         let mut states: Vec<S> = Vec::new();
         cert.for_each_config(|c| states.extend(c.states().iter().cloned()));
+        Self::from_state_list(states)
+    }
+
+    /// Builds the table of distinct states stored in a counter-abstracted
+    /// certificate (count vectors over a twin partition).
+    pub fn from_counter_certificate(cert: &Certificate<CounterConfig<S>>) -> Self {
+        let mut states: Vec<S> = Vec::new();
+        cert.for_each_config(|c| {
+            states.extend(c.entries().iter().map(|(_, s, _)| s.clone()));
+        });
+        Self::from_state_list(states)
+    }
+
+    /// Builds the table of distinct states stored in a ring-abstracted
+    /// certificate (canonical necklaces).
+    pub fn from_ring_certificate(cert: &Certificate<RingConfig<S>>) -> Self {
+        let mut states: Vec<S> = Vec::new();
+        cert.for_each_config(|c| states.extend(c.runs().iter().map(|(s, _)| s.clone())));
+        Self::from_state_list(states)
+    }
+
+    fn from_state_list(mut states: Vec<S>) -> Self {
         states.sort();
         states.dedup();
         StateTable { states }
@@ -462,6 +484,81 @@ impl<S: State> ConfigCodec<Config<S>> for StateTable<S> {
             )));
         }
         Ok(())
+    }
+}
+
+impl<S: State> ConfigCodec<CounterConfig<S>> for StateTable<S> {
+    fn encode_config(&self, c: &CounterConfig<S>) -> Json {
+        Json::Arr(
+            c.entries()
+                .iter()
+                .map(|(cell, s, count)| {
+                    let i = self
+                        .states
+                        .binary_search(s)
+                        .expect("state missing from the table built for this certificate");
+                    Json::Arr(vec![
+                        Json::Num(*cell as f64),
+                        Json::Num(i as f64),
+                        Json::Num(*count as f64),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    fn decode_config(&self, v: &Json) -> Result<CounterConfig<S>, CertError> {
+        let mut entries = Vec::new();
+        for item in v.arr()? {
+            let triple = item.arr()?;
+            if triple.len() != 3 {
+                return Err(err("counter entry is not a [cell, state, count] triple"));
+            }
+            let cell = triple[0].index()?;
+            let i = triple[1].index()?;
+            let count = triple[2].num()?;
+            let s = self
+                .states
+                .get(i)
+                .ok_or_else(|| err("state index out of table range"))?;
+            entries.push((cell as u16, s.clone(), count as u64));
+        }
+        Ok(CounterConfig::from_entries(entries))
+    }
+}
+
+impl<S: State> ConfigCodec<RingConfig<S>> for StateTable<S> {
+    fn encode_config(&self, c: &RingConfig<S>) -> Json {
+        Json::Arr(
+            c.runs()
+                .iter()
+                .map(|(s, len)| {
+                    let i = self
+                        .states
+                        .binary_search(s)
+                        .expect("state missing from the table built for this certificate");
+                    Json::Arr(vec![Json::Num(i as f64), Json::Num(*len as f64)])
+                })
+                .collect(),
+        )
+    }
+
+    fn decode_config(&self, v: &Json) -> Result<RingConfig<S>, CertError> {
+        let mut runs = Vec::new();
+        for item in v.arr()? {
+            let pair = item.arr()?;
+            if pair.len() != 2 {
+                return Err(err("ring run is not a [state, length] pair"));
+            }
+            let i = pair[0].index()?;
+            let len = pair[1].num()?;
+            let s = self
+                .states
+                .get(i)
+                .ok_or_else(|| err("state index out of table range"))?;
+            runs.push((s.clone(), len as u32));
+        }
+        Ok(RingConfig::from_runs(runs))
     }
 }
 

@@ -17,14 +17,16 @@
 //!   claim by direct re-execution of the step semantics. It never touches
 //!   the engine (enforced by an import-grepping test), so engine bugs
 //!   cannot survive verification.
-//! * [`emit`] — the engine-facing emitters: `decide_*_certified`
-//!   counterparts of the exact deciders that return the verdict *plus* its
-//!   witness.
+//! * [`decider`] — the ergonomic entry point: [`Decider`] builds a
+//!   decision over any schedule and backend and (optionally) returns the
+//!   witness as a [`DecisionCertificate`].
+//! * [`emit`] — the engine-facing emitters behind it ([`certify_exploration`]
+//!   and the deprecated `decide_*_certified` shims).
 //! * [`json`] — serde-free JSON export/import with a pluggable
 //!   configuration codec ([`StateTable`]).
 //!
 //! ```
-//! use wam_certify::{decide_pseudo_stochastic_certified, verify_machine, VerifyOptions};
+//! use wam_certify::{Decider, VerifyOptions};
 //! use wam_core::{Machine, Output};
 //! use wam_graph::{generators, LabelCount};
 //!
@@ -35,12 +37,14 @@
 //!     |&s| if s { Output::Accept } else { Output::Reject },
 //! );
 //! let g = generators::labelled_cycle(&LabelCount::from_vec(vec![3, 1]));
-//! let out = decide_pseudo_stochastic_certified(&m, &g, 100_000).unwrap();
-//! let rechecked = verify_machine(&m, &g, &out.certificate, &VerifyOptions::default()).unwrap();
+//! let out = Decider::new(&m, &g).certified(true).limit(100_000).decide().unwrap();
+//! let cert = out.certificate.as_ref().unwrap();
+//! let rechecked = cert.verify(&m, &g, &VerifyOptions::default()).unwrap();
 //! assert_eq!(rechecked, out.verdict);
 //! ```
 
 pub mod certificate;
+pub mod decider;
 pub mod emit;
 pub mod json;
 pub mod verify;
@@ -50,10 +54,12 @@ pub use certificate::{
     NoConsensusCertificate, PathStep, Perm, Polarity, ReachPath, SpaceTransport,
     StabilityInvariant, StableCertificate, StepSelection,
 };
+pub use decider::{Decider, Decision, DecisionCertificate};
+pub use emit::{certify_exploration, CertifiedVerdict};
+#[allow(deprecated)]
 pub use emit::{
-    certify_exploration, decide_adversarial_round_robin_certified,
-    decide_pseudo_stochastic_certified, decide_symmetric_certified, decide_synchronous_certified,
-    decide_system_certified, CertifiedVerdict,
+    decide_adversarial_round_robin_certified, decide_pseudo_stochastic_certified,
+    decide_symmetric_certified, decide_synchronous_certified, decide_system_certified,
 };
 pub use json::{certificate_from_json, certificate_to_json, ConfigCodec, Json, StateTable};
 pub use verify::{verify_machine, verify_symmetric, verify_system, CertError, VerifyOptions};

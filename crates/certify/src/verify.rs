@@ -207,6 +207,13 @@ pub enum CertError {
     /// A lasso certificate was handed to an entry point without a machine
     /// to replay the deterministic schedule on.
     LassoNeedsMachine,
+    /// The abstraction the certificate is phrased in (counter vectors,
+    /// ring necklaces) cannot be reconstructed for this machine/graph pair,
+    /// so the certificate cannot possibly witness a verdict about it.
+    BackendUnavailable {
+        /// Why the abstraction does not apply.
+        reason: String,
+    },
     /// A JSON import failed (malformed text or codec mismatch).
     Json(String),
 }
@@ -310,6 +317,9 @@ impl fmt::Display for CertError {
                     f,
                     "lasso certificates need a machine-level entry point to replay"
                 )
+            }
+            CertError::BackendUnavailable { reason } => {
+                write!(f, "certificate backend does not apply here: {reason}")
             }
             CertError::Json(msg) => write!(f, "JSON import failed: {msg}"),
         }

@@ -4,15 +4,11 @@
 //! with symmetry transport.
 
 use wam_certify::{
-    certificate_from_json, certificate_to_json, decide_adversarial_round_robin_certified,
-    decide_pseudo_stochastic_certified, decide_symmetric_certified, decide_synchronous_certified,
-    decide_system_certified, verify_machine, verify_symmetric, verify_system, Certificate,
-    StateTable, VerifyOptions,
+    certificate_from_json, certificate_to_json, certify_exploration, verify_machine, verify_system,
+    Certificate, Decider, DecisionCertificate, StateTable, VerifyOptions,
 };
-use wam_core::{
-    decide_pseudo_stochastic, ExclusiveSystem, ExploreOptions, Machine, Output, Symmetry, Verdict,
-};
-use wam_graph::{generators, Label, LabelCount};
+use wam_core::{Backend, ExclusiveSystem, Exploration, Machine, Output, State, Verdict};
+use wam_graph::{generators, Graph, Label, LabelCount};
 
 /// "Some node carries label x1", by flag flooding.
 fn flood() -> Machine<bool> {
@@ -63,10 +59,29 @@ fn first_mover_by_label() -> Machine<u8> {
     )
 }
 
-fn roundtrip_machine(
-    m: &Machine<bool>,
-    cert: &Certificate<wam_core::Config<bool>>,
-    g: &wam_graph::Graph,
+/// Runs a certified quotient-backend decision and unwraps its node-space
+/// certificate (the quotient backend always emits one).
+fn certified_node<S: State>(
+    m: &Machine<S>,
+    g: &Graph,
+    limit: usize,
+) -> (Verdict, Certificate<wam_core::Config<S>>) {
+    let d = Decider::new(m, g)
+        .backend(Backend::Quotient)
+        .certified(true)
+        .limit(limit)
+        .decide()
+        .unwrap();
+    match d.certificate.unwrap() {
+        DecisionCertificate::Node(cert) => (d.verdict, cert),
+        other => panic!("quotient backend must emit a node certificate, got {other:?}"),
+    }
+}
+
+fn roundtrip_machine<S: State>(
+    m: &Machine<S>,
+    cert: &Certificate<wam_core::Config<S>>,
+    g: &Graph,
     expected: Verdict,
 ) {
     let table = StateTable::from_certificate(cert);
@@ -87,90 +102,100 @@ fn stable_accept_and_reject_certificates_verify() {
         (vec![4, 0], Verdict::Rejects),
     ] {
         let g = generators::labelled_cycle(&LabelCount::from_vec(counts));
-        let out = decide_pseudo_stochastic_certified(&m, &g, 100_000).unwrap();
-        assert_eq!(out.verdict, expected);
-        assert_eq!(out.verdict, out.certificate.verdict());
+        let (verdict, cert) = certified_node(&m, &g, 100_000);
+        assert_eq!(verdict, expected);
+        assert_eq!(verdict, cert.verdict());
+        let plain = Decider::new(&m, &g).limit(100_000).decide().unwrap();
         assert_eq!(
-            decide_pseudo_stochastic(&m, &g, 100_000).unwrap(),
-            out.verdict,
+            plain.verdict, verdict,
             "certified and plain deciders must agree"
         );
-        let v = verify_machine(&m, &g, &out.certificate, &VerifyOptions::default()).unwrap();
+        let v = verify_machine(&m, &g, &cert, &VerifyOptions::default()).unwrap();
         assert_eq!(v, expected);
-        roundtrip_machine(&m, &out.certificate, &g, expected);
+        roundtrip_machine(&m, &cert, &g, expected);
     }
 }
 
 #[test]
 fn quotient_certificates_carry_and_replay_transport() {
-    // A 6-cycle has |Aut| = 12; Symmetry::On forces the quotient even for
-    // the mixed labelling, so the certificate must carry transport.
+    // A 6-cycle has |Aut| = 12; Backend::Quotient forces the reduction
+    // even for the mixed labelling, so the certificate must carry
+    // transport.
     let m = flood();
     let g = generators::labelled_cycle(&LabelCount::from_vec(vec![5, 1]));
-    let sys = ExclusiveSystem::new(&m, &g);
-    let options = ExploreOptions {
-        symmetry: Symmetry::On,
-        ..ExploreOptions::with_limit(100_000)
-    };
-    let out = decide_symmetric_certified(&sys, options).unwrap();
-    assert_eq!(out.verdict, Verdict::Accepts);
+    let (verdict, cert) = certified_node(&m, &g, 100_000);
+    assert_eq!(verdict, Verdict::Accepts);
     assert!(
-        out.certificate.has_transport(),
+        cert.has_transport(),
         "quotient-mode emission must record transport"
     );
-    let v = verify_symmetric(&sys, &out.certificate, &VerifyOptions::default()).unwrap();
-    assert_eq!(v, Verdict::Accepts);
     // The generic checker has no graph, so it must refuse the transported
     // certificate rather than wrongly accept it.
-    assert!(verify_system(&sys, &out.certificate).is_err());
-    // Machine-level verification handles transport too (after the
-    // Node-selection relabelling done by the pseudo-stochastic decider).
-    let out2 = decide_pseudo_stochastic_certified(&m, &g, 100_000).unwrap();
-    assert!(out2.certificate.has_transport());
-    roundtrip_machine(&m, &out2.certificate, &g, Verdict::Accepts);
+    let sys = ExclusiveSystem::new(&m, &g);
+    assert!(verify_system(&sys, &cert).is_err());
+    // Machine-level verification replays the transport.
+    roundtrip_machine(&m, &cert, &g, Verdict::Accepts);
 }
 
 #[test]
 fn no_consensus_certificate_verifies() {
     let m = toggler();
     let g = generators::cycle(3);
-    let out = decide_pseudo_stochastic_certified(&m, &g, 100_000).unwrap();
-    assert_eq!(out.verdict, Verdict::NoConsensus);
-    roundtrip_machine(&m, &out.certificate, &g, Verdict::NoConsensus);
+    let (verdict, cert) = certified_node(&m, &g, 100_000);
+    assert_eq!(verdict, Verdict::NoConsensus);
+    roundtrip_machine(&m, &cert, &g, Verdict::NoConsensus);
 }
 
 #[test]
 fn inconsistent_certificate_verifies() {
     let m = first_mover_by_label();
     let g = generators::labelled_cycle(&LabelCount::from_vec(vec![2, 2]));
-    let out = decide_pseudo_stochastic_certified(&m, &g, 100_000).unwrap();
-    assert_eq!(out.verdict, Verdict::Inconsistent);
-    let table = StateTable::from_certificate(&out.certificate);
-    let json = certificate_to_json(&out.certificate, &table);
+    let (verdict, cert) = certified_node(&m, &g, 100_000);
+    assert_eq!(verdict, Verdict::Inconsistent);
+    let table = StateTable::from_certificate(&cert);
+    let json = certificate_to_json(&cert, &table);
     let back = certificate_from_json(&json, &table).unwrap();
-    assert_eq!(back, out.certificate);
+    assert_eq!(back, cert);
     assert_eq!(
         verify_machine(&m, &g, &back, &VerifyOptions::default()).unwrap(),
         Verdict::Inconsistent
     );
 }
 
+/// Runs a certified lasso-schedule decision and unwraps its certificate.
+fn certified_lasso<S: State>(
+    m: &Machine<S>,
+    g: &Graph,
+    schedule: wam_core::Schedule,
+) -> (Verdict, Certificate<wam_core::Config<S>>) {
+    let d = Decider::new(m, g)
+        .schedule(schedule)
+        .certified(true)
+        .limit(100_000)
+        .decide()
+        .unwrap();
+    match d.certificate.unwrap() {
+        DecisionCertificate::Node(cert) => (d.verdict, cert),
+        other => panic!("lasso schedules must emit a node certificate, got {other:?}"),
+    }
+}
+
 #[test]
 fn lasso_certificates_verify_for_both_schedules() {
     let m = flood();
     let g = generators::labelled_cycle(&LabelCount::from_vec(vec![3, 1]));
-    let rr = decide_adversarial_round_robin_certified(&m, &g, 100_000).unwrap();
-    assert_eq!(rr.verdict, Verdict::Accepts);
-    roundtrip_machine(&m, &rr.certificate, &g, Verdict::Accepts);
-    let sy = decide_synchronous_certified(&m, &g, 100_000).unwrap();
-    assert_eq!(sy.verdict, Verdict::Accepts);
-    roundtrip_machine(&m, &sy.certificate, &g, Verdict::Accepts);
+    let (rr_verdict, rr_cert) = certified_lasso(&m, &g, wam_core::Schedule::RoundRobin);
+    assert_eq!(rr_verdict, Verdict::Accepts);
+    roundtrip_machine(&m, &rr_cert, &g, Verdict::Accepts);
+    let (sy_verdict, sy_cert) = certified_lasso(&m, &g, wam_core::Schedule::Synchronous);
+    assert_eq!(sy_verdict, Verdict::Accepts);
+    roundtrip_machine(&m, &sy_cert, &g, Verdict::Accepts);
     // The toggler has a no-consensus synchronous lasso.
     let t = toggler();
     let g3 = generators::cycle(3);
-    let nc = decide_synchronous_certified(&t, &g3, 100_000).unwrap();
-    assert_eq!(nc.verdict, Verdict::NoConsensus);
-    roundtrip_machine(&t, &nc.certificate, &g3, Verdict::NoConsensus);
+    let (nc_verdict, nc_cert) = certified_lasso(&t, &g3, wam_core::Schedule::Synchronous);
+    assert_eq!(nc_verdict, Verdict::NoConsensus);
+    roundtrip_machine(&t, &nc_cert, &g3, Verdict::NoConsensus);
 }
 
 #[test]
@@ -178,7 +203,8 @@ fn generic_system_certificates_verify_without_a_graph() {
     let m = flood();
     let g = generators::labelled_line(&LabelCount::from_vec(vec![2, 1]));
     let sys = ExclusiveSystem::new(&m, &g);
-    let out = decide_system_certified(&sys, 100_000).unwrap();
+    let e = Exploration::explore(&sys, 100_000).unwrap();
+    let out = certify_exploration(&sys, &e);
     assert_eq!(out.verdict, Verdict::Accepts);
     // Choice-selection certificates need no graph and no permutation
     // action — the fully generic entry point suffices.
@@ -186,23 +212,64 @@ fn generic_system_certificates_verify_without_a_graph() {
 }
 
 #[test]
+fn counter_and_ring_certificates_roundtrip_through_json() {
+    let m = flood();
+    for g in [
+        generators::labelled_clique(&LabelCount::from_vec(vec![3, 1])),
+        generators::labelled_cycle(&LabelCount::from_vec(vec![4, 1])),
+    ] {
+        let d = Decider::new(&m, &g)
+            .backend(Backend::Counter)
+            .certified(true)
+            .limit(100_000)
+            .decide()
+            .unwrap();
+        let cert = d.certificate.unwrap();
+        assert_eq!(
+            cert.verify(&m, &g, &VerifyOptions::default()).unwrap(),
+            d.verdict
+        );
+        // Abstract certificates round-trip through JSON like node ones.
+        match &cert {
+            DecisionCertificate::Counter(c) => {
+                let sys = wam_core::CounterSystem::new(&m, &g).unwrap();
+                let table = StateTable::from_counter_certificate(c);
+                let json = certificate_to_json(c, &table);
+                let back = certificate_from_json(&json, &table).expect("JSON import");
+                assert_eq!(back, *c);
+                assert_eq!(verify_system(&sys, &back).unwrap(), d.verdict);
+            }
+            DecisionCertificate::Ring(c) => {
+                let sys = wam_core::RingSystem::new(&m, &g).unwrap();
+                let table = StateTable::from_ring_certificate(c);
+                let json = certificate_to_json(c, &table);
+                let back = certificate_from_json(&json, &table).expect("JSON import");
+                assert_eq!(back, *c);
+                assert_eq!(verify_system(&sys, &back).unwrap(), d.verdict);
+            }
+            DecisionCertificate::Node(_) => panic!("counter backend emitted a node certificate"),
+        }
+    }
+}
+
+#[test]
 fn certificate_summaries_mention_kind_and_sizes() {
     let m = flood();
     let g = generators::labelled_cycle(&LabelCount::from_vec(vec![3, 1]));
-    let stable = decide_pseudo_stochastic_certified(&m, &g, 100_000).unwrap();
-    assert!(stable.certificate.summary().contains("stable"));
-    let lasso = decide_synchronous_certified(&m, &g, 100_000).unwrap();
-    assert!(lasso.certificate.summary().contains("lasso"));
-    assert!(stable.certificate.config_count() >= 2);
+    let (_, stable) = certified_node(&m, &g, 100_000);
+    assert!(stable.summary().contains("stable"));
+    let (_, lasso) = certified_lasso(&m, &g, wam_core::Schedule::Synchronous);
+    assert!(lasso.summary().contains("lasso"));
+    assert!(stable.config_count() >= 2);
 }
 
 #[test]
 fn json_import_rejects_malformed_and_mismatched_documents() {
     let m = flood();
     let g = generators::labelled_cycle(&LabelCount::from_vec(vec![3, 1]));
-    let out = decide_pseudo_stochastic_certified(&m, &g, 100_000).unwrap();
-    let table = StateTable::from_certificate(&out.certificate);
-    let json = certificate_to_json(&out.certificate, &table);
+    let (_, cert) = certified_node(&m, &g, 100_000);
+    let table = StateTable::from_certificate(&cert);
+    let json = certificate_to_json(&cert, &table);
     // Malformed syntax.
     for bad in ["", "{", "{\"a\": 1,}", "[1, 2", "\"unterminated"] {
         assert!(certificate_from_json::<wam_core::Config<bool>>(bad, &table).is_err());

@@ -1,0 +1,341 @@
+//! The engine-level decision dispatch: one function covering every
+//! schedule and exploration backend.
+//!
+//! Historically each (schedule, backend) pair grew its own `decide_*`
+//! wrapper — ten functions across `wam-core` and `wam-certify` before the
+//! counter backend would have made it fourteen. [`decide`] replaces them
+//! all at the engine level: callers pick a [`Schedule`] and a [`Backend`]
+//! and get a verdict plus [`DecisionStats`] describing what actually ran.
+//! The ergonomic, certificate-aware entry point is `wam_certify::Decider`,
+//! which builds on this function; the legacy wrappers survive as
+//! `#[deprecated]` one-line shims proven verdict-identical by the
+//! `decider_shims` differential test.
+
+use crate::counter::{CounterSystem, RingSystem};
+use crate::explore::{
+    lasso_verdict, ExclusiveSystem, Exploration, ExploreError, ExploreOptions, Symmetry,
+    TransitionSystem, Verdict,
+};
+use crate::{Machine, Selection, State};
+use std::fmt;
+use wam_graph::Graph;
+
+/// Which fairness regime / schedule to decide under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Schedule {
+    /// Pseudo-stochastic fairness: exhaustive exploration of the reachable
+    /// configuration space and its stable-consensus sets (the paper's
+    /// Prop. D.2 characterisation). The default.
+    #[default]
+    PseudoStochastic,
+    /// The round-robin exclusive run — a fair adversarial schedule with
+    /// period `|V|`, decided by deterministic lasso detection.
+    RoundRobin,
+    /// The synchronous run (every node steps each round; period 1), the
+    /// unique fair schedule of synchronous selection.
+    Synchronous,
+}
+
+/// Which state-space representation to explore under
+/// [`Schedule::PseudoStochastic`]. Lasso schedules walk explicit
+/// configurations regardless (a single deterministic run needs no
+/// abstraction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// Pick the strongest applicable reduction: counter abstraction if the
+    /// twin partition compresses, the ring abstraction on cycles, else the
+    /// orbit quotient per [`ExploreOptions::symmetry`], else the full
+    /// space. Never fails on backend grounds. The default.
+    #[default]
+    Auto,
+    /// The full explicit configuration space, no reduction.
+    Explicit,
+    /// The orbit quotient under the graph's automorphism group (forces
+    /// [`Symmetry::On`]).
+    Quotient,
+    /// The counter abstraction over the twin partition, or the ring
+    /// abstraction on cycles. Errors with [`ExploreError::Unsupported`] on
+    /// graphs where neither applies — the abstraction's soundness
+    /// precondition is checked, not assumed.
+    Counter,
+}
+
+/// The representation a decision actually ran on (recorded in
+/// [`DecisionStats`]; `Auto` resolves to one of these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResolvedBackend {
+    /// Full explicit configuration space.
+    Explicit,
+    /// Orbit quotient under `Aut(G)`.
+    Quotient,
+    /// Count vectors over the twin partition.
+    Counter,
+    /// Canonical necklaces on a cycle.
+    Ring,
+    /// Deterministic lasso walk (round-robin / synchronous schedules).
+    Lasso,
+}
+
+impl fmt::Display for ResolvedBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ResolvedBackend::Explicit => "explicit",
+            ResolvedBackend::Quotient => "quotient",
+            ResolvedBackend::Counter => "counter",
+            ResolvedBackend::Ring => "ring",
+            ResolvedBackend::Lasso => "lasso",
+        })
+    }
+}
+
+/// What a decision cost: the backend that ran and how much state it
+/// visited. `#[non_exhaustive]` so future fields (timings, peak frontier)
+/// are non-breaking.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecisionStats {
+    /// The representation the decision ran on.
+    pub backend: ResolvedBackend,
+    /// Configurations interned (exploration backends) or steps walked
+    /// before the lasso closed (lasso backends).
+    pub explored: usize,
+}
+
+impl DecisionStats {
+    /// Bundles a backend with its explored-state count.
+    pub fn new(backend: ResolvedBackend, explored: usize) -> Self {
+        DecisionStats { backend, explored }
+    }
+}
+
+/// Decides `machine` on `graph` under the given schedule and backend —
+/// the single engine entry point behind every legacy `decide_*` wrapper
+/// and behind `wam_certify::Decider`.
+///
+/// All backends are exact: they differ in how the reachable space is
+/// represented, never in the verdict (the counter and ring backends are
+/// orbit quotients under subgroups of `Aut(G)`, see `wam-core::counter`).
+/// `options.limit` bounds whatever the backend interns — explicit
+/// configurations, orbit representatives, count vectors or necklaces — or
+/// the number of lasso steps.
+///
+/// # Errors
+///
+/// * [`ExploreError::TooLarge`] / [`ExploreError::NoLasso`] when
+///   `options.limit` is exhausted;
+/// * [`ExploreError::Unsupported`] when [`Backend::Counter`] was requested
+///   on a graph that is neither twin-compressible nor a cycle.
+pub fn decide<S: State>(
+    machine: &Machine<S>,
+    graph: &Graph,
+    schedule: Schedule,
+    backend: Backend,
+    options: ExploreOptions,
+) -> Result<(Verdict, DecisionStats), ExploreError> {
+    match schedule {
+        Schedule::RoundRobin => {
+            let n = graph.node_count();
+            let (verdict, steps) = lasso_verdict(
+                machine,
+                graph,
+                |t| Selection::exclusive(t % n),
+                n,
+                options.limit,
+            )?;
+            Ok((verdict, DecisionStats::new(ResolvedBackend::Lasso, steps)))
+        }
+        Schedule::Synchronous => {
+            let all = Selection::all(graph);
+            let (verdict, steps) =
+                lasso_verdict(machine, graph, |_| all.clone(), 1, options.limit)?;
+            Ok((verdict, DecisionStats::new(ResolvedBackend::Lasso, steps)))
+        }
+        Schedule::PseudoStochastic => {
+            decide_pseudo_stochastic_backend(machine, graph, backend, options)
+        }
+    }
+}
+
+fn decide_pseudo_stochastic_backend<S: State>(
+    machine: &Machine<S>,
+    graph: &Graph,
+    backend: Backend,
+    options: ExploreOptions,
+) -> Result<(Verdict, DecisionStats), ExploreError> {
+    let system = ExclusiveSystem::new(machine, graph);
+    let explicit = |options: ExploreOptions| {
+        let e = Exploration::explore_with(&system, system.initial_config(), options)?;
+        Ok((
+            e.verdict(),
+            DecisionStats::new(ResolvedBackend::Explicit, e.len()),
+        ))
+    };
+    let symmetric = |options: ExploreOptions| {
+        let (verdict, reduced, explored) =
+            crate::symmetry::decide_symmetric_stats(&system, options)?;
+        let resolved = if reduced {
+            ResolvedBackend::Quotient
+        } else {
+            ResolvedBackend::Explicit
+        };
+        Ok((verdict, DecisionStats::new(resolved, explored)))
+    };
+    match backend {
+        Backend::Explicit => explicit(options),
+        Backend::Quotient => symmetric(options.symmetry(Symmetry::On)),
+        Backend::Counter => match CounterSystem::new(machine, graph) {
+            Ok(counter) => {
+                let e = Exploration::explore_with(&counter, counter.initial_config(), options)?;
+                Ok((
+                    e.verdict(),
+                    DecisionStats::new(ResolvedBackend::Counter, e.len()),
+                ))
+            }
+            Err(_) => match RingSystem::new(machine, graph) {
+                Ok(ring) => {
+                    let e = Exploration::explore_with(&ring, ring.initial_config(), options)?;
+                    Ok((
+                        e.verdict(),
+                        DecisionStats::new(ResolvedBackend::Ring, e.len()),
+                    ))
+                }
+                Err(_) => Err(ExploreError::Unsupported {
+                    reason: format!(
+                        "the counter backend needs a twin-compressible graph or a \
+                         cycle; the {}-node graph is neither",
+                        graph.node_count()
+                    ),
+                }),
+            },
+        },
+        Backend::Auto => {
+            // `Symmetry::Off` is an explicit request for the unreduced
+            // space; the counter and ring backends are symmetry
+            // reductions, so honour it.
+            if options.symmetry == Symmetry::Off {
+                return explicit(options);
+            }
+            if let Ok(counter) = CounterSystem::new(machine, graph) {
+                let e = Exploration::explore_with(&counter, counter.initial_config(), options)?;
+                return Ok((
+                    e.verdict(),
+                    DecisionStats::new(ResolvedBackend::Counter, e.len()),
+                ));
+            }
+            if let Ok(ring) = RingSystem::new(machine, graph) {
+                let e = Exploration::explore_with(&ring, ring.initial_config(), options)?;
+                return Ok((
+                    e.verdict(),
+                    DecisionStats::new(ResolvedBackend::Ring, e.len()),
+                ));
+            }
+            symmetric(options)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Machine, Output};
+    use wam_graph::{generators, LabelCount};
+
+    fn flood() -> Machine<bool> {
+        Machine::new(
+            1,
+            |l| l.0 == 1,
+            |&s, n| s || n.exists(|&t| t),
+            |&s| if s { Output::Accept } else { Output::Reject },
+        )
+    }
+
+    #[test]
+    fn all_backends_agree_on_flood() {
+        let m = flood();
+        for counts in [vec![3u64, 1], vec![4, 0]] {
+            for g in [
+                generators::labelled_clique(&LabelCount::from_vec(counts.clone())),
+                generators::labelled_star(&LabelCount::from_vec(counts.clone())),
+                generators::labelled_cycle(&LabelCount::from_vec(counts.clone())),
+            ] {
+                let opts = ExploreOptions::with_limit(1_000_000);
+                let reference = decide(&m, &g, Schedule::PseudoStochastic, Backend::Explicit, opts)
+                    .unwrap()
+                    .0;
+                for backend in [Backend::Auto, Backend::Quotient, Backend::Counter] {
+                    let (v, stats) =
+                        decide(&m, &g, Schedule::PseudoStochastic, backend, opts).unwrap();
+                    assert_eq!(v, reference, "{backend:?} on {g:?}");
+                    assert!(stats.explored > 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn auto_resolves_to_counter_on_cliques_and_ring_on_cycles() {
+        let m = flood();
+        let opts = ExploreOptions::with_limit(100_000);
+        let clique = generators::labelled_clique(&LabelCount::from_vec(vec![5, 1]));
+        let (_, stats) =
+            decide(&m, &clique, Schedule::PseudoStochastic, Backend::Auto, opts).unwrap();
+        assert_eq!(stats.backend, ResolvedBackend::Counter);
+        let cycle = generators::labelled_cycle(&LabelCount::from_vec(vec![6, 1]));
+        let (_, stats) =
+            decide(&m, &cycle, Schedule::PseudoStochastic, Backend::Auto, opts).unwrap();
+        assert_eq!(stats.backend, ResolvedBackend::Ring);
+    }
+
+    #[test]
+    fn symmetry_off_forces_explicit_under_auto() {
+        let m = flood();
+        let g = generators::labelled_clique(&LabelCount::from_vec(vec![4, 1]));
+        let opts = ExploreOptions::with_limit(1_000_000).symmetry(Symmetry::Off);
+        let (_, stats) = decide(&m, &g, Schedule::PseudoStochastic, Backend::Auto, opts).unwrap();
+        assert_eq!(stats.backend, ResolvedBackend::Explicit);
+    }
+
+    #[test]
+    fn counter_backend_refuses_rigid_graphs() {
+        // A 5-node path is twin-free and not a cycle.
+        let g = generators::labelled_line(&LabelCount::from_vec(vec![5]));
+        let err = decide(
+            &flood(),
+            &g,
+            Schedule::PseudoStochastic,
+            Backend::Counter,
+            ExploreOptions::with_limit(10_000),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExploreError::Unsupported { .. }), "{err:?}");
+        // Auto falls back instead of failing.
+        let (v, _) = decide(
+            &flood(),
+            &g,
+            Schedule::PseudoStochastic,
+            Backend::Auto,
+            ExploreOptions::with_limit(10_000),
+        )
+        .unwrap();
+        assert_eq!(v, Verdict::Rejects);
+    }
+
+    #[test]
+    fn lasso_schedules_report_steps() {
+        let m = flood();
+        let g = generators::labelled_cycle(&LabelCount::from_vec(vec![3, 1]));
+        for schedule in [Schedule::RoundRobin, Schedule::Synchronous] {
+            let (v, stats) = decide(
+                &m,
+                &g,
+                schedule,
+                Backend::Auto,
+                ExploreOptions::with_limit(10_000),
+            )
+            .unwrap();
+            assert_eq!(v, Verdict::Accepts);
+            assert_eq!(stats.backend, ResolvedBackend::Lasso);
+            assert!(stats.explored > 0);
+        }
+    }
+}

@@ -131,6 +131,14 @@ pub enum ExploreError {
         /// The step limit that was exhausted.
         limit: usize,
     },
+    /// An explicitly requested backend does not apply to the input (e.g.
+    /// [`Backend::Counter`](crate::Backend::Counter) on a graph whose twin
+    /// partition is all singletons and which is not a cycle). `Auto` never
+    /// produces this: it falls back instead.
+    Unsupported {
+        /// Human-readable reason for the refusal.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ExploreError {
@@ -148,6 +156,9 @@ impl fmt::Display for ExploreError {
                 )
             }
             ExploreError::NoLasso { limit } => write!(f, "no lasso within {limit} steps"),
+            ExploreError::Unsupported { reason } => {
+                write!(f, "requested backend is unsupported here: {reason}")
+            }
         }
     }
 }
@@ -338,6 +349,13 @@ pub enum Symmetry {
 }
 
 /// Tuning knobs for [`Exploration::explore_with`].
+///
+/// The struct is `#[non_exhaustive]`: construct it with
+/// [`ExploreOptions::default`] / [`ExploreOptions::with_limit`] and refine
+/// through the builder methods ([`threads`](ExploreOptions::threads),
+/// [`limit`](ExploreOptions::limit), …), so future backend knobs (counter
+/// bounds, spill budgets) can be added without breaking downstream code.
+#[non_exhaustive]
 #[derive(Debug, Clone, Copy)]
 pub struct ExploreOptions {
     /// Worker threads for frontier-parallel BFS. `0` uses the rayon
@@ -384,6 +402,36 @@ impl ExploreOptions {
             limit,
             ..ExploreOptions::default()
         }
+    }
+
+    /// Sets the worker thread count (`0` = rayon default, `1` = sequential).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the minimum frontier width for parallel BFS levels.
+    pub fn frontier_threshold(mut self, frontier_threshold: usize) -> Self {
+        self.frontier_threshold = frontier_threshold;
+        self
+    }
+
+    /// Sets the configuration-count limit.
+    pub fn limit(mut self, limit: usize) -> Self {
+        self.limit = limit;
+        self
+    }
+
+    /// Sets the orbit-quotient reduction policy.
+    pub fn symmetry(mut self, symmetry: Symmetry) -> Self {
+        self.symmetry = symmetry;
+        self
+    }
+
+    /// Sets the cap on the enumerated automorphism group order.
+    pub fn symmetry_cap(mut self, symmetry_cap: usize) -> Self {
+        self.symmetry_cap = symmetry_cap;
+        self
     }
 }
 
@@ -739,6 +787,11 @@ impl<C: Clone + Eq + Hash + fmt::Debug> Exploration<C> {
 ///
 /// [`ExploreError::TooLarge`] if more than `limit` configurations are
 /// reachable.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Exploration::explore(system, limit)?.verdict()` directly, \
+            or `wam_certify::Decider` for machine-on-graph decisions"
+)]
 pub fn decide_system<T: TransitionSystem + Sync>(
     system: &T,
     limit: usize,
@@ -760,24 +813,32 @@ where
 ///
 /// [`ExploreError::TooLarge`] if the explored space (orbit representatives
 /// under reduction) exceeds `limit` configurations.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `wam_core::decide` or `wam_certify::Decider`"
+)]
 pub fn decide_pseudo_stochastic<S: State>(
     machine: &Machine<S>,
     graph: &Graph,
     limit: usize,
 ) -> Result<Verdict, ExploreError> {
-    crate::symmetry::decide_symmetric(
-        &ExclusiveSystem::new(machine, graph),
+    crate::decide(
+        machine,
+        graph,
+        crate::Schedule::PseudoStochastic,
+        crate::Backend::Auto,
         ExploreOptions::with_limit(limit),
     )
+    .map(|(verdict, _)| verdict)
 }
 
-fn decide_lasso<S: State>(
+pub(crate) fn lasso_verdict<S: State>(
     machine: &Machine<S>,
     graph: &Graph,
     selection_at: impl Fn(usize) -> Selection,
     period: usize,
     limit: usize,
-) -> Result<Verdict, ExploreError> {
+) -> Result<(Verdict, usize), ExploreError> {
     // The run is deterministic; its state is (configuration, step mod
     // period). Configurations are interned, so the walk stores and hashes
     // dense ids instead of cloning the configuration at every step.
@@ -797,13 +858,14 @@ fn decide_lasso<S: State>(
             let all_rej = loop_ids
                 .iter()
                 .all(|&i| interner.get(i as usize).is_rejecting(machine));
-            return Ok(if all_acc {
+            let verdict = if all_acc {
                 Verdict::Accepts
             } else if all_rej {
                 Verdict::Rejects
             } else {
                 Verdict::NoConsensus
-            });
+            };
+            return Ok((verdict, t));
         }
         seen.insert(key, t);
         trace.push(id);
@@ -822,13 +884,23 @@ fn decide_lasso<S: State>(
 ///
 /// [`ExploreError::NoLasso`] if the deterministic run does not become
 /// periodic within `limit` steps.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `wam_core::decide` or `wam_certify::Decider`"
+)]
 pub fn decide_adversarial_round_robin<S: State>(
     machine: &Machine<S>,
     graph: &Graph,
     limit: usize,
 ) -> Result<Verdict, ExploreError> {
-    let n = graph.node_count();
-    decide_lasso(machine, graph, |t| Selection::exclusive(t % n), n, limit)
+    crate::decide(
+        machine,
+        graph,
+        crate::Schedule::RoundRobin,
+        crate::Backend::Auto,
+        ExploreOptions::with_limit(limit),
+    )
+    .map(|(verdict, _)| verdict)
 }
 
 /// Decides `machine` on `graph` along the synchronous run (the unique fair
@@ -839,13 +911,23 @@ pub fn decide_adversarial_round_robin<S: State>(
 ///
 /// [`ExploreError::NoLasso`] if the run does not become periodic within
 /// `limit` steps.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `wam_core::decide` or `wam_certify::Decider`"
+)]
 pub fn decide_synchronous<S: State>(
     machine: &Machine<S>,
     graph: &Graph,
     limit: usize,
 ) -> Result<Verdict, ExploreError> {
-    let all = Selection::all(graph);
-    decide_lasso(machine, graph, |_| all.clone(), 1, limit)
+    crate::decide(
+        machine,
+        graph,
+        crate::Schedule::Synchronous,
+        crate::Backend::Auto,
+        ExploreOptions::with_limit(limit),
+    )
+    .map(|(verdict, _)| verdict)
 }
 
 #[cfg(test)]
@@ -864,34 +946,61 @@ mod tests {
         )
     }
 
+    // Schedule-specific shorthands over the unified dispatch, mirroring
+    // what the deprecated wrappers used to provide.
+    fn ps<S: State>(m: &Machine<S>, g: &Graph, limit: usize) -> Result<Verdict, ExploreError> {
+        crate::decide(
+            m,
+            g,
+            crate::Schedule::PseudoStochastic,
+            crate::Backend::Auto,
+            ExploreOptions::with_limit(limit),
+        )
+        .map(|(v, _)| v)
+    }
+
+    fn rr<S: State>(m: &Machine<S>, g: &Graph, limit: usize) -> Result<Verdict, ExploreError> {
+        crate::decide(
+            m,
+            g,
+            crate::Schedule::RoundRobin,
+            crate::Backend::Auto,
+            ExploreOptions::with_limit(limit),
+        )
+        .map(|(v, _)| v)
+    }
+
+    fn sy<S: State>(m: &Machine<S>, g: &Graph, limit: usize) -> Result<Verdict, ExploreError> {
+        crate::decide(
+            m,
+            g,
+            crate::Schedule::Synchronous,
+            crate::Backend::Auto,
+            ExploreOptions::with_limit(limit),
+        )
+        .map(|(v, _)| v)
+    }
+
+    fn dsys<T: TransitionSystem + Sync>(system: &T, limit: usize) -> Result<Verdict, ExploreError>
+    where
+        T::C: Send + Sync,
+    {
+        Ok(Exploration::explore(system, limit)?.verdict())
+    }
+
     #[test]
     fn flood_accepts_when_label_present() {
         let g = generators::labelled_cycle(&LabelCount::from_vec(vec![3, 1]));
-        assert_eq!(
-            decide_pseudo_stochastic(&flood(), &g, 10_000).unwrap(),
-            Verdict::Accepts
-        );
-        assert_eq!(
-            decide_adversarial_round_robin(&flood(), &g, 10_000).unwrap(),
-            Verdict::Accepts
-        );
-        assert_eq!(
-            decide_synchronous(&flood(), &g, 10_000).unwrap(),
-            Verdict::Accepts
-        );
+        assert_eq!(ps(&flood(), &g, 10_000).unwrap(), Verdict::Accepts);
+        assert_eq!(rr(&flood(), &g, 10_000).unwrap(), Verdict::Accepts);
+        assert_eq!(sy(&flood(), &g, 10_000).unwrap(), Verdict::Accepts);
     }
 
     #[test]
     fn flood_rejects_when_label_absent() {
         let g = generators::labelled_cycle(&LabelCount::from_vec(vec![4, 0]));
-        assert_eq!(
-            decide_pseudo_stochastic(&flood(), &g, 10_000).unwrap(),
-            Verdict::Rejects
-        );
-        assert_eq!(
-            decide_adversarial_round_robin(&flood(), &g, 10_000).unwrap(),
-            Verdict::Rejects
-        );
+        assert_eq!(ps(&flood(), &g, 10_000).unwrap(), Verdict::Rejects);
+        assert_eq!(rr(&flood(), &g, 10_000).unwrap(), Verdict::Rejects);
     }
 
     #[test]
@@ -940,14 +1049,8 @@ mod tests {
             |&s| if s { Output::Accept } else { Output::Reject },
         );
         let g = generators::cycle(3);
-        assert_eq!(
-            decide_synchronous(&m, &g, 10_000).unwrap(),
-            Verdict::NoConsensus
-        );
-        assert_eq!(
-            decide_pseudo_stochastic(&m, &g, 10_000).unwrap(),
-            Verdict::NoConsensus
-        );
+        assert_eq!(sy(&m, &g, 10_000).unwrap(), Verdict::NoConsensus);
+        assert_eq!(ps(&m, &g, 10_000).unwrap(), Verdict::NoConsensus);
     }
 
     #[test]
@@ -964,10 +1067,7 @@ mod tests {
             },
         );
         let g = generators::cycle(3);
-        assert_eq!(
-            decide_pseudo_stochastic(&m, &g, 10_000).unwrap(),
-            Verdict::Accepts
-        );
+        assert_eq!(ps(&m, &g, 10_000).unwrap(), Verdict::Accepts);
     }
 
     #[test]
@@ -983,10 +1083,7 @@ mod tests {
             },
         );
         let g = generators::labelled_line(&LabelCount::from_vec(vec![1, 2]));
-        assert_eq!(
-            decide_pseudo_stochastic(&m, &g, 10_000).unwrap(),
-            Verdict::NoConsensus
-        );
+        assert_eq!(ps(&m, &g, 10_000).unwrap(), Verdict::NoConsensus);
     }
 
     #[test]
@@ -995,8 +1092,8 @@ mod tests {
         let m = flood();
         for counts in [vec![3u64, 1], vec![4, 0], vec![2, 2]] {
             let g = generators::labelled_cycle(&LabelCount::from_vec(counts.clone()));
-            let excl = decide_system(&ExclusiveSystem::new(&m, &g), 1_000_000).unwrap();
-            let lib = decide_system(&LiberalSystem::new(&m, &g), 1_000_000).unwrap();
+            let excl = dsys(&ExclusiveSystem::new(&m, &g), 1_000_000).unwrap();
+            let lib = dsys(&LiberalSystem::new(&m, &g), 1_000_000).unwrap();
             assert_eq!(excl, lib, "{counts:?}");
         }
     }
@@ -1018,7 +1115,7 @@ mod tests {
     fn lasso_limit_error() {
         let m = Machine::new(1, |_| 0u64, |&s, _| s + 1, |_| Output::Neutral);
         let g = generators::cycle(3);
-        let err = decide_synchronous(&m, &g, 50).unwrap_err();
+        let err = sy(&m, &g, 50).unwrap_err();
         assert_eq!(err, ExploreError::NoLasso { limit: 50 });
     }
 
@@ -1053,10 +1150,7 @@ mod tests {
             },
         );
         let g = generators::labelled_cycle(&LabelCount::from_vec(vec![2, 2]));
-        assert_eq!(
-            decide_pseudo_stochastic(&m, &g, 100_000).unwrap(),
-            Verdict::Inconsistent
-        );
+        assert_eq!(ps(&m, &g, 100_000).unwrap(), Verdict::Inconsistent);
     }
 
     #[test]

@@ -74,7 +74,7 @@ pub fn make_halting<S: State>(machine: &Machine<S>) -> Machine<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{decide_pseudo_stochastic, Machine, Output, Verdict};
+    use crate::{Machine, Output, Verdict};
     use wam_graph::generators;
 
     /// A non-halting machine: accepting state 1 steps back to 0.
@@ -111,10 +111,15 @@ mod tests {
         let e = Exploration::explore(&sys, 1000).unwrap();
         assert!(halting_violations(&m, &g, &e).is_empty());
         // Once everyone halts in 1, the consensus is stable.
-        assert_eq!(
-            decide_pseudo_stochastic(&m, &g, 1000).unwrap(),
-            Verdict::Accepts
-        );
+        let (v, _) = crate::decide(
+            &m,
+            &g,
+            crate::Schedule::PseudoStochastic,
+            crate::Backend::Auto,
+            crate::ExploreOptions::with_limit(1000),
+        )
+        .unwrap();
+        assert_eq!(v, Verdict::Accepts);
     }
 
     #[test]

@@ -25,7 +25,7 @@
 //! # Example
 //!
 //! ```
-//! use wam_core::{Machine, Output, decide_pseudo_stochastic};
+//! use wam_core::{decide, Backend, ExploreOptions, Machine, Output, Schedule};
 //! use wam_graph::{generators, LabelCount};
 //!
 //! // "Some node carries label 1": flood a flag through the graph.
@@ -36,13 +36,23 @@
 //!     |&s| if s { Output::Accept } else { Output::Reject },
 //! );
 //! let g = generators::labelled_cycle(&LabelCount::from_vec(vec![3, 1]));
-//! let verdict = decide_pseudo_stochastic(&m, &g, 100_000).unwrap();
+//! let (verdict, stats) = decide(
+//!     &m,
+//!     &g,
+//!     Schedule::PseudoStochastic,
+//!     Backend::Auto,
+//!     ExploreOptions::with_limit(100_000),
+//! )
+//! .unwrap();
 //! assert!(verdict.is_accepting());
+//! assert!(stats.explored > 0);
 //! ```
 
 mod bitset;
 mod class;
 mod config;
+pub mod counter;
+mod decider;
 mod explore;
 mod halting;
 mod intern;
@@ -56,8 +66,13 @@ mod system;
 
 pub use class::{Acceptance, Detection, Fairness, ModelClass, PropertyClassBound};
 pub use config::Config;
+pub use counter::{CounterConfig, CounterError, CounterSystem, RingConfig, RingSystem};
+pub use decider::{decide, Backend, DecisionStats, ResolvedBackend, Schedule};
+#[allow(deprecated)]
 pub use explore::{
     decide_adversarial_round_robin, decide_pseudo_stochastic, decide_synchronous, decide_system,
+};
+pub use explore::{
     ExclusiveSystem, Exploration, ExploreError, ExploreOptions, LiberalSystem, Symmetry,
     TransitionSystem, Verdict,
 };
@@ -74,5 +89,7 @@ pub use scheduler::{
     RandomScheduler, RoundRobinScheduler, Scheduler, Selection, SelectionRegime,
     SynchronousScheduler,
 };
-pub use symmetry::{decide_symmetric, NodeSymmetric, PermuteNodes, QuotientSystem};
+#[allow(deprecated)]
+pub use symmetry::decide_symmetric;
+pub use symmetry::{NodeSymmetric, PermuteNodes, QuotientSystem};
 pub use system::{ScheduledSystem, StepOutcome};

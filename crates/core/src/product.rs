@@ -51,7 +51,7 @@ impl Combine {
 /// # Example
 ///
 /// ```
-/// use wam_core::{product, Combine, Machine, Output, decide_pseudo_stochastic};
+/// use wam_core::{decide, product, Backend, Combine, ExploreOptions, Machine, Output, Schedule};
 /// use wam_graph::{generators, LabelCount};
 ///
 /// let has = |label: u16| Machine::new(
@@ -63,7 +63,15 @@ impl Combine {
 /// // "label 0 present AND label 1 present".
 /// let both = product(&has(0), &has(1), Combine::And);
 /// let g = generators::labelled_cycle(&LabelCount::from_vec(vec![2, 1]));
-/// assert!(decide_pseudo_stochastic(&both, &g, 100_000).unwrap().is_accepting());
+/// let (verdict, _) = decide(
+///     &both,
+///     &g,
+///     Schedule::PseudoStochastic,
+///     Backend::Auto,
+///     ExploreOptions::with_limit(100_000),
+/// )
+/// .unwrap();
+/// assert!(verdict.is_accepting());
 /// ```
 pub fn product<A: State, B: State>(
     left: &Machine<A>,
@@ -104,7 +112,31 @@ pub fn negate<S: State>(machine: &Machine<S>) -> Machine<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{decide_adversarial_round_robin, decide_pseudo_stochastic, Machine, Output};
+    use crate::{Backend, ExploreOptions, Machine, Output, Schedule};
+
+    fn ps<S: crate::State>(m: &Machine<S>, g: &wam_graph::Graph, limit: usize) -> crate::Verdict {
+        let (v, _) = crate::decide(
+            m,
+            g,
+            Schedule::PseudoStochastic,
+            Backend::Auto,
+            ExploreOptions::with_limit(limit),
+        )
+        .unwrap();
+        v
+    }
+
+    fn rr<S: crate::State>(m: &Machine<S>, g: &wam_graph::Graph, limit: usize) -> crate::Verdict {
+        let (v, _) = crate::decide(
+            m,
+            g,
+            Schedule::RoundRobin,
+            Backend::Auto,
+            ExploreOptions::with_limit(limit),
+        )
+        .unwrap();
+        v
+    }
     use wam_graph::{generators, Label, LabelCount};
 
     fn has(label: u16) -> Machine<bool> {
@@ -133,9 +165,9 @@ mod tests {
         let both = product(&has(0), &has(1), Combine::And);
         for (a, b, expect) in [(2u64, 1u64, true), (3, 0, false), (0, 3, false)] {
             let g = generators::labelled_cycle(&LabelCount::from_vec(vec![a, b]));
-            let v = decide_pseudo_stochastic(&both, &g, 500_000).unwrap();
+            let v = ps(&both, &g, 500_000);
             assert_eq!(v.decided(), Some(expect), "({a},{b})");
-            let v2 = decide_adversarial_round_robin(&both, &g, 500_000).unwrap();
+            let v2 = rr(&both, &g, 500_000);
             assert_eq!(v2.decided(), Some(expect), "({a},{b}) rr");
         }
     }
@@ -144,13 +176,9 @@ mod tests {
     fn xor_and_negation() {
         let xor = product(&has(0), &has(1), Combine::Xor);
         let g = generators::labelled_cycle(&LabelCount::from_vec(vec![3, 0]));
-        assert!(decide_pseudo_stochastic(&xor, &g, 500_000)
-            .unwrap()
-            .is_accepting());
+        assert!(ps(&xor, &g, 500_000).is_accepting());
         let neg = negate(&xor);
-        assert!(decide_pseudo_stochastic(&neg, &g, 500_000)
-            .unwrap()
-            .is_rejecting());
+        assert!(ps(&neg, &g, 500_000).is_rejecting());
     }
 
     #[test]

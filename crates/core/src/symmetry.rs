@@ -284,14 +284,33 @@ where
 ///
 /// [`ExploreError::TooLarge`] if the explored space exceeds
 /// `options.limit`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `wam_core::decide` with `Backend::Quotient` (or `wam_certify::Decider`); \
+            generic systems can explore a `QuotientSystem` directly"
+)]
 pub fn decide_symmetric<T>(system: &T, options: ExploreOptions) -> Result<Verdict, ExploreError>
+where
+    T: NodeSymmetric + Sync,
+    T::C: PermuteNodes + Send + Sync,
+{
+    decide_symmetric_stats(system, options).map(|(verdict, _, _)| verdict)
+}
+
+/// [`decide_symmetric`]'s engine: additionally reports whether the orbit
+/// quotient was explored and how many configurations (or orbit
+/// representatives) were interned. Consumed by `wam_core::decide`.
+pub(crate) fn decide_symmetric_stats<T>(
+    system: &T,
+    options: ExploreOptions,
+) -> Result<(Verdict, bool, usize), ExploreError>
 where
     T: NodeSymmetric + Sync,
     T::C: PermuteNodes + Send + Sync,
 {
     if options.symmetry == Symmetry::Off {
         let e = Exploration::explore_with(system, system.initial_config(), options)?;
-        return Ok(e.verdict());
+        return Ok((e.verdict(), false, e.len()));
     }
     let group = automorphism_group(system.symmetry_graph(), options.symmetry_cap);
     let reduce = match options.symmetry {
@@ -301,19 +320,19 @@ where
     };
     if !reduce {
         let e = Exploration::explore_with(system, system.initial_config(), options)?;
-        return Ok(e.verdict());
+        return Ok((e.verdict(), false, e.len()));
     }
     // A capped enumeration already degraded to the (complete) trivial
     // group, so the assertion in `new` cannot fire here.
     let quotient = QuotientSystem::new(system, group);
     let e = Exploration::explore_with(&quotient, quotient.initial_config(), options)?;
-    Ok(e.verdict())
+    Ok((e.verdict(), true, e.len()))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{decide_pseudo_stochastic, Machine, Output};
+    use crate::{Machine, Output};
     use wam_graph::{generators, LabelCount};
 
     /// "Some node carries label x1", by flag flooding.
@@ -400,13 +419,13 @@ mod tests {
         let g = generators::labelled_cycle(&LabelCount::from_vec(vec![4, 2]));
         let m = flood();
         let sys = ExclusiveSystem::new(&m, &g);
-        let expected = decide_pseudo_stochastic(&m, &g, 1_000_000).unwrap();
+        let expected = Exploration::explore(&sys, 1_000_000).unwrap().verdict();
         for symmetry in [Symmetry::Auto, Symmetry::On, Symmetry::Off] {
-            let options = ExploreOptions {
-                symmetry,
-                ..ExploreOptions::default()
-            };
-            assert_eq!(decide_symmetric(&sys, options).unwrap(), expected);
+            let options = ExploreOptions::default().symmetry(symmetry);
+            let (verdict, reduced, explored) = decide_symmetric_stats(&sys, options).unwrap();
+            assert_eq!(verdict, expected);
+            assert_eq!(reduced, symmetry != Symmetry::Off);
+            assert!(explored > 0);
         }
     }
 }

@@ -266,7 +266,7 @@ pub fn run_absence_until_stable<S: State>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wam_core::{decide_system, Machine, Verdict};
+    use wam_core::{Exploration, Machine, Verdict};
     use wam_graph::{generators, LabelCount};
 
     /// One-shot "is state B absent" detector: label-0 agents start in `A`
@@ -303,7 +303,10 @@ mod tests {
         let g = generators::labelled_cycle(&c);
         let am = detector();
         let sys = AbsenceSystem::new(&am, &g);
-        assert_eq!(decide_system(&sys, 100_000).unwrap(), Verdict::Accepts);
+        assert_eq!(
+            Exploration::explore(&sys, 100_000).unwrap().verdict(),
+            Verdict::Accepts
+        );
     }
 
     #[test]
@@ -315,7 +318,10 @@ mod tests {
         let g = generators::labelled_cycle(&c);
         let am = detector();
         let sys = AbsenceSystem::new(&am, &g);
-        assert_eq!(decide_system(&sys, 100_000).unwrap(), Verdict::Rejects);
+        assert_eq!(
+            Exploration::explore(&sys, 100_000).unwrap().verdict(),
+            Verdict::Rejects
+        );
     }
 
     #[test]

@@ -200,7 +200,7 @@ fn step<S: State>(
 mod tests {
     use super::*;
     use crate::AbsenceSystem;
-    use wam_core::{decide_pseudo_stochastic, decide_system, Machine, Output};
+    use wam_core::{Exploration, Machine, Output};
     use wam_graph::{generators, Graph, Label, LabelCount};
 
     #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -244,8 +244,18 @@ mod tests {
             for g in graphs(a, b) {
                 let k = g.max_degree();
                 let compiled = compile_absence(&am, k);
-                let semantic = decide_system(&AbsenceSystem::new(&am, &g), 200_000).unwrap();
-                let flat = decide_pseudo_stochastic(&compiled, &g, 500_000).unwrap();
+                let semantic = Exploration::explore(&AbsenceSystem::new(&am, &g), 200_000)
+                    .map(|e| e.verdict())
+                    .unwrap();
+                let flat = wam_core::decide(
+                    &compiled,
+                    &g,
+                    wam_core::Schedule::PseudoStochastic,
+                    wam_core::Backend::Auto,
+                    wam_core::ExploreOptions::with_limit(500_000),
+                )
+                .map(|(v, _)| v)
+                .unwrap();
                 assert_eq!(
                     semantic, flat,
                     "absence compilation diverged on ({a},{b}) {g:?}"
@@ -291,7 +301,15 @@ mod tests {
         let c = LabelCount::from_vec(vec![4, 0]);
         let g = generators::labelled_cycle(&c);
         let compiled = compile_absence(&am, 2);
-        let v = decide_pseudo_stochastic(&compiled, &g, 500_000).unwrap();
+        let v = wam_core::decide(
+            &compiled,
+            &g,
+            wam_core::Schedule::PseudoStochastic,
+            wam_core::Backend::Auto,
+            wam_core::ExploreOptions::with_limit(500_000),
+        )
+        .map(|(v, _)| v)
+        .unwrap();
         assert_eq!(v, wam_core::Verdict::Accepts);
     }
 }

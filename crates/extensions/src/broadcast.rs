@@ -333,7 +333,7 @@ pub fn run_broadcast_until_stable<S: State>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wam_core::{decide_system, Machine};
+    use wam_core::{Exploration, Machine};
     use wam_graph::{generators, LabelCount};
 
     /// The Lemma C.5 threshold protocol `x ≥ k` as a broadcast machine:
@@ -380,7 +380,7 @@ mod tests {
             let g = generators::labelled_cycle(&LabelCount::from_vec(vec![a, b]));
             let bm = threshold(3);
             let sys = BroadcastSystem::new(&bm, &g);
-            let v = decide_system(&sys, 200_000).unwrap();
+            let v = Exploration::explore(&sys, 200_000).unwrap().verdict();
             assert_eq!(v.decided(), Some(expect), "x≥3 on a={a}, b={b} gave {v:?}");
         }
     }

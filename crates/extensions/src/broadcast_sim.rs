@@ -72,7 +72,7 @@ impl<S> Phased<S> {
 ///
 /// ```
 /// use std::sync::Arc;
-/// use wam_core::{decide_pseudo_stochastic, Machine, Output};
+/// use wam_core::{decide, Backend, ExploreOptions, Machine, Output, Schedule};
 /// use wam_extensions::{compile_broadcasts, BroadcastMachine, ResponseFn};
 /// use wam_graph::{generators, LabelCount};
 ///
@@ -90,7 +90,8 @@ impl<S> Phased<S> {
 /// );
 /// let flat = compile_broadcasts(&bm); // plain neighbourhood transitions only
 /// let g = generators::labelled_cycle(&LabelCount::from_vec(vec![1, 3]));
-/// assert!(decide_pseudo_stochastic(&flat, &g, 100_000)?.is_accepting());
+/// let (verdict, _) = decide(&flat, &g, Schedule::PseudoStochastic, Backend::Auto, ExploreOptions::with_limit(100_000))?;
+/// assert!(verdict.is_accepting());
 /// # Ok::<(), wam_core::ExploreError>(())
 /// ```
 pub fn compile_broadcasts<S: State>(bm: &BroadcastMachine<S>) -> Machine<Phased<S>> {
@@ -174,9 +175,7 @@ mod tests {
     use crate::broadcast::ResponseFn;
     use crate::{BroadcastMachine, BroadcastSystem};
     use std::sync::Arc;
-    use wam_core::{
-        decide_adversarial_round_robin, decide_pseudo_stochastic, decide_system, Machine, Output,
-    };
+    use wam_core::{Exploration, Machine, Output};
     use wam_graph::{generators, Graph, Label, LabelCount};
 
     /// The Lemma C.5 threshold-k protocol as a broadcast machine (dAF class).
@@ -226,8 +225,18 @@ mod tests {
             let bm = threshold(2);
             let compiled = compile_broadcasts(&bm);
             for g in graphs(a, b) {
-                let semantic = decide_system(&BroadcastSystem::new(&bm, &g), 500_000).unwrap();
-                let flat = decide_pseudo_stochastic(&compiled, &g, 500_000).unwrap();
+                let semantic = Exploration::explore(&BroadcastSystem::new(&bm, &g), 500_000)
+                    .map(|e| e.verdict())
+                    .unwrap();
+                let flat = wam_core::decide(
+                    &compiled,
+                    &g,
+                    wam_core::Schedule::PseudoStochastic,
+                    wam_core::Backend::Auto,
+                    wam_core::ExploreOptions::with_limit(500_000),
+                )
+                .map(|(v, _)| v)
+                .unwrap();
                 assert_eq!(
                     semantic, flat,
                     "semantic vs compiled diverged on a={a}, b={b}, graph {g:?}"
@@ -309,8 +318,18 @@ mod tests {
             .unwrap();
         let compiled = compile_broadcasts(&bm);
         // The semantic and compiled systems must agree on the verdict.
-        let semantic = decide_system(&BroadcastSystem::new(&bm, &g), 2_000_000).unwrap();
-        let flat = decide_pseudo_stochastic(&compiled, &g, 2_000_000).unwrap();
+        let semantic = Exploration::explore(&BroadcastSystem::new(&bm, &g), 2_000_000)
+            .map(|e| e.verdict())
+            .unwrap();
+        let flat = wam_core::decide(
+            &compiled,
+            &g,
+            wam_core::Schedule::PseudoStochastic,
+            wam_core::Backend::Auto,
+            wam_core::ExploreOptions::with_limit(2_000_000),
+        )
+        .map(|(v, _)| v)
+        .unwrap();
         assert_eq!(semantic, flat);
     }
 
@@ -322,7 +341,15 @@ mod tests {
             let c = LabelCount::from_vec(vec![a, 3]);
             let g = generators::labelled_cycle(&c);
             let compiled = compile_broadcasts(&threshold(1));
-            let v = decide_adversarial_round_robin(&compiled, &g, 1_000_000).unwrap();
+            let v = wam_core::decide(
+                &compiled,
+                &g,
+                wam_core::Schedule::RoundRobin,
+                wam_core::Backend::Auto,
+                wam_core::ExploreOptions::with_limit(1_000_000),
+            )
+            .map(|(v, _)| v)
+            .unwrap();
             assert_eq!(v.decided(), Some(expect), "a={a}");
         }
     }

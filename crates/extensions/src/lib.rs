@@ -40,6 +40,7 @@ mod broadcast;
 mod broadcast_sim;
 mod phases;
 mod population;
+mod population_counter;
 mod rendezvous_sim;
 mod strong_broadcast;
 mod strong_broadcast_sim;
@@ -57,6 +58,7 @@ pub use phases::{check_phase_discipline, project_phase0, PhaseCounter, PhaseOf, 
 #[allow(deprecated)]
 pub use population::run_population_until_stable;
 pub use population::{GraphPopulationProtocol, MajorityState, PopulationSystem};
+pub use population_counter::CounterPopulationSystem;
 pub use rendezvous_sim::{compile_rendezvous, Rv};
 #[allow(deprecated)]
 pub use strong_broadcast::run_strong_broadcast_until_stable;

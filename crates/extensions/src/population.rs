@@ -236,7 +236,7 @@ pub fn run_population_until_stable<S: State>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wam_core::{decide_system, Verdict};
+    use wam_core::{Exploration, Verdict};
     use wam_graph::{generators, LabelCount};
 
     #[test]
@@ -250,7 +250,7 @@ mod tests {
                 generators::labelled_cycle(&c),
             ] {
                 let sys = PopulationSystem::new(&pp, &g);
-                let v = decide_system(&sys, 500_000).unwrap();
+                let v = Exploration::explore(&sys, 500_000).unwrap().verdict();
                 assert_eq!(
                     v.decided(),
                     Some(a > b),
@@ -293,7 +293,10 @@ mod tests {
         let c = LabelCount::from_vec(vec![2, 2]);
         let g = generators::labelled_cycle(&c);
         let sys = PopulationSystem::new(&pp, &g);
-        assert_eq!(decide_system(&sys, 500_000).unwrap(), Verdict::Rejects);
+        assert_eq!(
+            Exploration::explore(&sys, 500_000).unwrap().verdict(),
+            Verdict::Rejects
+        );
     }
 
     #[test]

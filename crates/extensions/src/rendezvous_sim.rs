@@ -70,14 +70,15 @@ fn focus<S: State>(n: &Neighbourhood<Rv<S>>) -> Focus<S> {
 /// # Example
 ///
 /// ```
-/// use wam_core::decide_pseudo_stochastic;
+/// use wam_core::{decide, Backend, ExploreOptions, Schedule};
 /// use wam_extensions::{compile_rendezvous, GraphPopulationProtocol, MajorityState};
 /// use wam_graph::{generators, LabelCount};
 ///
 /// let pp = GraphPopulationProtocol::<MajorityState>::majority();
 /// let machine = compile_rendezvous(&pp); // a DAF-automaton, β = 2
 /// let g = generators::labelled_line(&LabelCount::from_vec(vec![2, 1]));
-/// assert!(decide_pseudo_stochastic(&machine, &g, 1_000_000)?.is_accepting());
+/// let (verdict, _) = decide(&machine, &g, Schedule::PseudoStochastic, Backend::Auto, ExploreOptions::with_limit(1_000_000))?;
+/// assert!(verdict.is_accepting());
 /// # Ok::<(), wam_core::ExploreError>(())
 /// ```
 pub fn compile_rendezvous<S: State>(pp: &GraphPopulationProtocol<S>) -> Machine<Rv<S>> {
@@ -124,7 +125,7 @@ mod tests {
     use super::*;
     use crate::population::{MajorityState, PopulationSystem};
     use crate::GraphPopulationProtocol;
-    use wam_core::{decide_pseudo_stochastic, decide_system, Config, Selection};
+    use wam_core::{Config, Exploration, Selection};
     use wam_graph::{generators, LabelCount};
 
     #[test]
@@ -137,8 +138,18 @@ mod tests {
                 generators::labelled_line(&c),
                 generators::labelled_clique(&c),
             ] {
-                let semantic = decide_system(&PopulationSystem::new(&pp, &g), 500_000).unwrap();
-                let flat = decide_pseudo_stochastic(&compiled, &g, 2_000_000).unwrap();
+                let semantic = Exploration::explore(&PopulationSystem::new(&pp, &g), 500_000)
+                    .map(|e| e.verdict())
+                    .unwrap();
+                let flat = wam_core::decide(
+                    &compiled,
+                    &g,
+                    wam_core::Schedule::PseudoStochastic,
+                    wam_core::Backend::Auto,
+                    wam_core::ExploreOptions::with_limit(2_000_000),
+                )
+                .map(|(v, _)| v)
+                .unwrap();
                 assert_eq!(
                     semantic, flat,
                     "rendezvous compilation diverged on ({a},{b}) {g:?}"

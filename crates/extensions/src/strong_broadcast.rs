@@ -213,7 +213,7 @@ pub fn threshold_protocol(k: u32) -> StrongBroadcastProtocol<u32> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wam_core::{decide_system, Verdict};
+    use wam_core::{Exploration, Verdict};
     use wam_graph::{generators, LabelCount};
 
     #[test]
@@ -228,7 +228,7 @@ mod tests {
             let c = LabelCount::from_vec(vec![a, b]);
             let g = generators::labelled_cycle(&c);
             let sys = StrongBroadcastSystem::new(&sb, &g);
-            let v = decide_system(&sys, 100_000).unwrap();
+            let v = Exploration::explore(&sys, 100_000).unwrap().verdict();
             assert_eq!(v.decided(), Some(expect), "x≥2 on ({a},{b})");
         }
     }

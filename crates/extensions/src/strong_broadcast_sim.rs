@@ -157,7 +157,7 @@ mod tests {
     use crate::strong_broadcast::threshold_protocol;
     use crate::{BroadcastSystem, StrongBroadcastSystem};
     use wam_core::{
-        decide_system, run_machine_until_stable, RandomScheduler, StabilityOptions, Verdict,
+        run_machine_until_stable, Exploration, RandomScheduler, StabilityOptions, Verdict,
     };
     use wam_graph::{generators, LabelCount};
 
@@ -191,12 +191,16 @@ mod tests {
             let sb = threshold_protocol(1);
             let c = LabelCount::from_vec(vec![a, b]);
             let g = generators::labelled_clique(&c);
-            let semantic = decide_system(&StrongBroadcastSystem::new(&sb, &g), 100_000).unwrap();
+            let semantic = Exploration::explore(&StrongBroadcastSystem::new(&sb, &g), 100_000)
+                .map(|e| e.verdict())
+                .unwrap();
             assert_eq!(semantic.decided(), Some(expect));
 
             let compiled = compile_strong_broadcast(&sb);
             let sys = BroadcastSystem::new(&compiled, &g).with_choice_cap(1 << 18);
-            let v = decide_system(&sys, 3_000_000).unwrap();
+            let v = Exploration::explore(&sys, 3_000_000)
+                .map(|e| e.verdict())
+                .unwrap();
             assert_eq!(v, semantic, "Lemma 5.1 diverged on ({a},{b})");
         }
     }

@@ -36,6 +36,7 @@ mod covering;
 mod error;
 pub mod generators;
 mod graph;
+pub mod partition;
 pub mod surgery;
 pub mod trees;
 
@@ -48,3 +49,4 @@ pub use count::LabelCount;
 pub use covering::{is_covering, lambda_fold_cycle_cover, CoveringError, CoveringMap};
 pub use error::GraphError;
 pub use graph::{Graph, GraphBuilder, NodeId};
+pub use partition::{TwinCell, TwinPartition};

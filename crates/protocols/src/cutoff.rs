@@ -121,7 +121,7 @@ pub fn exact_count_machine(arity: usize, label: usize, n: u8) -> BroadcastMachin
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wam_core::{decide_pseudo_stochastic, decide_system, Verdict};
+    use wam_core::{Exploration, Verdict};
     use wam_extensions::{compile_broadcasts, BroadcastSystem};
     use wam_graph::{generators, LabelCount};
 
@@ -137,7 +137,9 @@ mod tests {
             let bm = threshold_machine(2, 0, k);
             let c = LabelCount::from_vec(vec![a, b]);
             let g = generators::labelled_cycle(&c);
-            let v = decide_system(&BroadcastSystem::new(&bm, &g), 500_000).unwrap();
+            let v = Exploration::explore(&BroadcastSystem::new(&bm, &g), 500_000)
+                .map(|e| e.verdict())
+                .unwrap();
             assert_eq!(v.decided(), Some(expect), "x≥{k} on ({a},{b})");
         }
     }
@@ -149,7 +151,9 @@ mod tests {
             let bm = cutoff_machine(2, 3, |est| est[0] == 2);
             let c = LabelCount::from_vec(vec![a, b]);
             let g = generators::labelled_star(&c);
-            let v = decide_system(&BroadcastSystem::new(&bm, &g), 500_000).unwrap();
+            let v = Exploration::explore(&BroadcastSystem::new(&bm, &g), 500_000)
+                .map(|e| e.verdict())
+                .unwrap();
             assert_eq!(v.decided(), Some(expect), "|x|=2 on ({a},{b})");
         }
     }
@@ -162,8 +166,18 @@ mod tests {
             assert!(flat.is_non_counting());
             let c = LabelCount::from_vec(vec![a, b]);
             let g = generators::labelled_line(&c);
-            let semantic = decide_system(&BroadcastSystem::new(&bm, &g), 500_000).unwrap();
-            let compiled = decide_pseudo_stochastic(&flat, &g, 2_000_000).unwrap();
+            let semantic = Exploration::explore(&BroadcastSystem::new(&bm, &g), 500_000)
+                .map(|e| e.verdict())
+                .unwrap();
+            let compiled = wam_core::decide(
+                &flat,
+                &g,
+                wam_core::Schedule::PseudoStochastic,
+                wam_core::Backend::Auto,
+                wam_core::ExploreOptions::with_limit(2_000_000),
+            )
+            .map(|(v, _)| v)
+            .unwrap();
             assert_eq!(semantic, compiled, "({a},{b})");
         }
     }
@@ -175,7 +189,9 @@ mod tests {
         for a in [2u64, 5] {
             let c = LabelCount::from_vec(vec![a, 1]);
             let g = generators::labelled_cycle(&c);
-            let v = decide_system(&BroadcastSystem::new(&bm, &g), 500_000).unwrap();
+            let v = Exploration::explore(&BroadcastSystem::new(&bm, &g), 500_000)
+                .map(|e| e.verdict())
+                .unwrap();
             assert_eq!(v, Verdict::Accepts, "a={a}");
         }
     }
@@ -191,13 +207,17 @@ mod tests {
             let bm = interval_machine(2, 0, lo, hi);
             let c = LabelCount::from_vec(vec![a, b]);
             let g = generators::labelled_cycle(&c);
-            let v = decide_system(&BroadcastSystem::new(&bm, &g), 2_000_000).unwrap();
+            let v = Exploration::explore(&BroadcastSystem::new(&bm, &g), 2_000_000)
+                .map(|e| e.verdict())
+                .unwrap();
             assert_eq!(v.decided(), Some(expect), "{lo}≤{a}≤{hi}");
         }
         let exact = exact_count_machine(2, 1, 2);
         let c = LabelCount::from_vec(vec![2, 2]);
         let g = generators::labelled_star(&c);
-        let v = decide_system(&BroadcastSystem::new(&exact, &g), 2_000_000).unwrap();
+        let v = Exploration::explore(&BroadcastSystem::new(&exact, &g), 2_000_000)
+            .map(|e| e.verdict())
+            .unwrap();
         assert_eq!(v, Verdict::Accepts);
     }
 
@@ -207,7 +227,9 @@ mod tests {
         let bm = threshold_machine(2, 0, 2);
         let c = LabelCount::from_vec(vec![1, 2]);
         let g = generators::labelled_clique(&c);
-        let v = decide_system(&BroadcastSystem::new(&bm, &g), 500_000).unwrap();
+        let v = Exploration::explore(&BroadcastSystem::new(&bm, &g), 500_000)
+            .map(|e| e.verdict())
+            .unwrap();
         assert_eq!(v, Verdict::Rejects);
     }
 }

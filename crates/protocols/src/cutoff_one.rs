@@ -25,14 +25,14 @@ pub const MAX_ARITY: usize = 32;
 ///
 /// ```
 /// use wam_protocols::cutoff_one_machine;
-/// use wam_core::{decide_adversarial_round_robin, Verdict};
+/// use wam_core::{decide, Backend, ExploreOptions, Schedule, Verdict};
 /// use wam_graph::{generators, LabelCount};
 ///
 /// // "label 0 present and label 1 absent".
 /// let m = cutoff_one_machine(2, |p| p[0] && !p[1]);
 /// let g = generators::labelled_cycle(&LabelCount::from_vec(vec![3, 0]));
 /// assert_eq!(
-///     decide_adversarial_round_robin(&m, &g, 100_000).unwrap(),
+///     decide(&m, &g, Schedule::RoundRobin, Backend::Auto, ExploreOptions::with_limit(100_000)).unwrap().0,
 ///     Verdict::Accepts
 /// );
 /// ```
@@ -80,7 +80,6 @@ pub fn exists_label(arity: usize, label: usize) -> Machine<u32> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wam_core::{decide_adversarial_round_robin, decide_pseudo_stochastic, decide_synchronous};
     use wam_graph::{generators, LabelCount};
 
     #[test]
@@ -94,9 +93,33 @@ mod tests {
                 generators::labelled_clique(&c),
             ] {
                 for v in [
-                    decide_pseudo_stochastic(&m, &g, 100_000).unwrap(),
-                    decide_adversarial_round_robin(&m, &g, 100_000).unwrap(),
-                    decide_synchronous(&m, &g, 100_000).unwrap(),
+                    wam_core::decide(
+                        &m,
+                        &g,
+                        wam_core::Schedule::PseudoStochastic,
+                        wam_core::Backend::Auto,
+                        wam_core::ExploreOptions::with_limit(100_000),
+                    )
+                    .map(|(v, _)| v)
+                    .unwrap(),
+                    wam_core::decide(
+                        &m,
+                        &g,
+                        wam_core::Schedule::RoundRobin,
+                        wam_core::Backend::Auto,
+                        wam_core::ExploreOptions::with_limit(100_000),
+                    )
+                    .map(|(v, _)| v)
+                    .unwrap(),
+                    wam_core::decide(
+                        &m,
+                        &g,
+                        wam_core::Schedule::Synchronous,
+                        wam_core::Backend::Auto,
+                        wam_core::ExploreOptions::with_limit(100_000),
+                    )
+                    .map(|(v, _)| v)
+                    .unwrap(),
                 ] {
                     assert_eq!(v.decided(), Some(expect), "({a},{b}) on {g:?}");
                 }
@@ -115,7 +138,15 @@ mod tests {
             (vec![0, 3, 0], false),
         ] {
             let g = generators::labelled_cycle(&LabelCount::from_vec(counts.clone()));
-            let v = decide_adversarial_round_robin(&m, &g, 100_000).unwrap();
+            let v = wam_core::decide(
+                &m,
+                &g,
+                wam_core::Schedule::RoundRobin,
+                wam_core::Backend::Auto,
+                wam_core::ExploreOptions::with_limit(100_000),
+            )
+            .map(|(v, _)| v)
+            .unwrap();
             assert_eq!(v.decided(), Some(expect), "{counts:?}");
         }
     }
@@ -127,8 +158,24 @@ mod tests {
         let small = generators::labelled_cycle(&LabelCount::from_vec(vec![1, 2]));
         let large = generators::labelled_cycle(&LabelCount::from_vec(vec![7, 5]));
         assert_eq!(
-            decide_adversarial_round_robin(&m, &small, 100_000).unwrap(),
-            decide_adversarial_round_robin(&m, &large, 1_000_000).unwrap(),
+            wam_core::decide(
+                &m,
+                &small,
+                wam_core::Schedule::RoundRobin,
+                wam_core::Backend::Auto,
+                wam_core::ExploreOptions::with_limit(100_000)
+            )
+            .map(|(v, _)| v)
+            .unwrap(),
+            wam_core::decide(
+                &m,
+                &large,
+                wam_core::Schedule::RoundRobin,
+                wam_core::Backend::Auto,
+                wam_core::ExploreOptions::with_limit(1_000_000)
+            )
+            .map(|(v, _)| v)
+            .unwrap(),
         );
     }
 

@@ -169,7 +169,7 @@ impl HomogeneousStack {
 /// # Example
 ///
 /// ```
-/// use wam_core::decide_adversarial_round_robin;
+/// use wam_core::{decide, Backend, ExploreOptions, Schedule};
 /// use wam_graph::{generators, LabelCount};
 /// use wam_protocols::threshold_stack;
 ///
@@ -177,7 +177,7 @@ impl HomogeneousStack {
 /// // adversarial schedule — the §6.1 result in action.
 /// let machine = threshold_stack(vec![2, -1], 2).flat();
 /// let g = generators::labelled_line(&LabelCount::from_vec(vec![1, 2]));
-/// let verdict = decide_adversarial_round_robin(&machine, &g, 5_000_000)?;
+/// let (verdict, _) = decide(&machine, &g, Schedule::RoundRobin, Backend::Auto, ExploreOptions::with_limit(5_000_000))?;
 /// assert!(verdict.is_accepting()); // 2·1 − 2 = 0 ≥ 0
 /// # Ok::<(), wam_core::ExploreError>(())
 /// ```
@@ -349,7 +349,7 @@ pub fn majority_stack(k: usize) -> HomogeneousStack {
 mod tests {
     use super::*;
     use wam_core::{
-        decide_system, run_machine_until_stable, Config, RandomScheduler, StabilityOptions,
+        run_machine_until_stable, Config, Exploration, RandomScheduler, StabilityOptions,
         SynchronousScheduler, Verdict,
     };
     use wam_extensions::AbsenceSystem;
@@ -430,7 +430,14 @@ mod tests {
             let flat = stack.flat();
             let c = LabelCount::from_vec(vec![a, b]);
             let g = generators::labelled_line(&c);
-            let v = wam_core::decide_adversarial_round_robin(&flat, &g, 3_000_000);
+            let v = wam_core::decide(
+                &flat,
+                &g,
+                wam_core::Schedule::RoundRobin,
+                wam_core::Backend::Auto,
+                wam_core::ExploreOptions::with_limit(3_000_000),
+            )
+            .map(|(v, _)| v);
             match v {
                 Ok(verdict) => {
                     assert_eq!(verdict.decided(), Some(expect), "({a},{b})")
@@ -468,7 +475,7 @@ mod tests {
             let g = generators::labelled_line(&c);
             let sys =
                 wam_extensions::BroadcastSystem::new(&stack.reset, &g).with_choice_cap(1 << 16);
-            let v = decide_system(&sys, 2_000_000);
+            let v = Exploration::explore(&sys, 2_000_000).map(|e| e.verdict());
             match v {
                 Ok(verdict) => assert_eq!(verdict.decided(), Some(expect), "({a},{b})"),
                 Err(e) => panic!("exploration blew up on ({a},{b}): {e}"),
@@ -486,7 +493,15 @@ mod tests {
         let flat = stack.flat();
         let c = LabelCount::from_vec(vec![2, 1]);
         let g = generators::labelled_line(&c);
-        if let Ok(v) = wam_core::decide_synchronous(&flat, &g, 1_000_000) {
+        if let Ok(v) = wam_core::decide(
+            &flat,
+            &g,
+            wam_core::Schedule::Synchronous,
+            wam_core::Backend::Auto,
+            wam_core::ExploreOptions::with_limit(1_000_000),
+        )
+        .map(|(v, _)| v)
+        {
             assert_ne!(v, Verdict::Rejects);
         }
         let _ = SynchronousScheduler;

@@ -202,7 +202,7 @@ fn response_to_claim<S: State>(p: S, q: S, p2: S, m: u16) -> ResponseFn<Converte
 mod tests {
     use super::*;
     use crate::semilinear::{modulo_protocol, ModState};
-    use wam_core::{decide_system, Verdict};
+    use wam_core::{Exploration, Verdict};
     use wam_extensions::{
         GraphPopulationProtocol, MajorityState, PopulationSystem, StrongBroadcastSystem,
     };
@@ -220,8 +220,12 @@ mod tests {
         for (a, b) in [(2u64, 1u64), (1, 2), (2, 2), (3, 1)] {
             let c = LabelCount::from_vec(vec![a, b]);
             let g = generators::labelled_clique(&c);
-            let pp_v = decide_system(&PopulationSystem::new(&pp, &g), 500_000).unwrap();
-            let sb_v = decide_system(&StrongBroadcastSystem::new(&sb, &g), 2_000_000).unwrap();
+            let pp_v = Exploration::explore(&PopulationSystem::new(&pp, &g), 500_000)
+                .map(|e| e.verdict())
+                .unwrap();
+            let sb_v = Exploration::explore(&StrongBroadcastSystem::new(&sb, &g), 2_000_000)
+                .map(|e| e.verdict())
+                .unwrap();
             assert_eq!(pp_v, sb_v, "conversion diverged on ({a},{b})");
             assert_eq!(sb_v.decided(), Some(a > b));
         }
@@ -235,7 +239,9 @@ mod tests {
         let sb = strong_broadcast_from_population(&pp, majority_universe());
         let c = LabelCount::from_vec(vec![3, 1]);
         let line = generators::labelled_line(&c);
-        let v = decide_system(&StrongBroadcastSystem::new(&sb, &line), 2_000_000).unwrap();
+        let v = Exploration::explore(&StrongBroadcastSystem::new(&sb, &line), 2_000_000)
+            .map(|e| e.verdict())
+            .unwrap();
         assert_eq!(v, Verdict::Accepts);
     }
 
@@ -252,7 +258,9 @@ mod tests {
         for (a, b) in [(3u64, 1u64), (2, 2)] {
             let c = LabelCount::from_vec(vec![a, b]);
             let g = generators::labelled_clique(&c);
-            let v = decide_system(&StrongBroadcastSystem::new(&sb, &g), 2_000_000).unwrap();
+            let v = Exploration::explore(&StrongBroadcastSystem::new(&sb, &g), 2_000_000)
+                .map(|e| e.verdict())
+                .unwrap();
             assert_eq!(v.decided(), Some(a % 2 == 1), "({a},{b})");
         }
     }

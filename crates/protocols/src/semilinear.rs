@@ -70,7 +70,7 @@ pub fn modulo_protocol(weights: Vec<u16>, m: u16, r: u16) -> GraphPopulationProt
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wam_core::{decide_pseudo_stochastic, decide_system};
+    use wam_core::Exploration;
     use wam_extensions::{compile_rendezvous, PopulationSystem};
     use wam_graph::{generators, LabelCount};
 
@@ -90,7 +90,9 @@ mod tests {
                 generators::labelled_clique(&c),
                 generators::labelled_line(&c),
             ] {
-                let v = decide_system(&PopulationSystem::new(&pp, &g), 500_000).unwrap();
+                let v = Exploration::explore(&PopulationSystem::new(&pp, &g), 500_000)
+                    .map(|e| e.verdict())
+                    .unwrap();
                 assert_eq!(v.decided(), Some(expect), "({a},{b}) on {g:?}");
             }
         }
@@ -103,7 +105,9 @@ mod tests {
             let pp = modulo_protocol(vec![1], 3, 0);
             let c = LabelCount::from_vec(vec![n]);
             let g = generators::labelled_cycle(&c);
-            let v = decide_system(&PopulationSystem::new(&pp, &g), 500_000).unwrap();
+            let v = Exploration::explore(&PopulationSystem::new(&pp, &g), 500_000)
+                .map(|e| e.verdict())
+                .unwrap();
             assert_eq!(v.decided(), Some(expect), "n={n}");
         }
     }
@@ -116,7 +120,9 @@ mod tests {
             let expect = (2 * a + b) % 3 == 1;
             let c = LabelCount::from_vec(vec![a, b]);
             let g = generators::labelled_star(&c);
-            let v = decide_system(&PopulationSystem::new(&pp, &g), 500_000).unwrap();
+            let v = Exploration::explore(&PopulationSystem::new(&pp, &g), 500_000)
+                .map(|e| e.verdict())
+                .unwrap();
             assert_eq!(v.decided(), Some(expect), "({a},{b})");
         }
     }
@@ -128,8 +134,18 @@ mod tests {
         for (a, b) in [(3u64, 1u64), (2, 1)] {
             let c = LabelCount::from_vec(vec![a, b]);
             let g = generators::labelled_line(&c);
-            let semantic = decide_system(&PopulationSystem::new(&pp, &g), 500_000).unwrap();
-            let compiled = decide_pseudo_stochastic(&flat, &g, 3_000_000).unwrap();
+            let semantic = Exploration::explore(&PopulationSystem::new(&pp, &g), 500_000)
+                .map(|e| e.verdict())
+                .unwrap();
+            let compiled = wam_core::decide(
+                &flat,
+                &g,
+                wam_core::Schedule::PseudoStochastic,
+                wam_core::Backend::Auto,
+                wam_core::ExploreOptions::with_limit(3_000_000),
+            )
+            .map(|(v, _)| v)
+            .unwrap();
             assert_eq!(semantic, compiled, "({a},{b})");
             assert_eq!(semantic.decided(), Some(a % 2 == 1));
         }

@@ -8,9 +8,10 @@
 //! ```
 
 use weak_async_models::certify::{
-    certificate_from_json, certificate_to_json, decide_pseudo_stochastic_certified, verify_machine,
+    certificate_from_json, certificate_to_json, verify_machine, Decider, DecisionCertificate,
     StateTable, VerifyOptions,
 };
+use weak_async_models::core::Backend;
 use weak_async_models::extensions::{compile_rendezvous, GraphPopulationProtocol, MajorityState};
 use weak_async_models::graph::{generators, LabelCount};
 
@@ -26,37 +27,46 @@ fn main() {
     // The certified decider returns the usual exact verdict *plus* a
     // certificate: a concrete path to a stable configuration and the closed
     // invariant that keeps it stable (or an escape structure / lasso for
-    // the other verdict kinds).
-    let out = decide_pseudo_stochastic_certified(&machine, &graph, 5_000_000)
+    // the other verdict kinds). The quotient backend keeps the witness in
+    // explicit node space.
+    let decision = Decider::new(&machine, &graph)
+        .backend(Backend::Quotient)
+        .certified(true)
+        .limit(5_000_000)
+        .decide()
         .expect("space within limit");
-    println!("verdict:     {}", out.verdict);
-    println!("certificate: {}", out.certificate.summary());
+    let verdict = decision.verdict;
+    let DecisionCertificate::Node(certificate) = decision.certificate.expect("certified run")
+    else {
+        unreachable!("the quotient backend emits node-space certificates");
+    };
+    println!("verdict:     {verdict}");
+    println!("certificate: {}", certificate.summary());
+    println!(
+        "backend:     {:?}, {} configurations explored",
+        decision.stats.backend, decision.stats.explored
+    );
 
     // Verification is independent of the exploration engine: it replays
     // the recorded steps through the machine semantics and re-checks the
     // invariant's closure — no interned id spaces, no CSR.
-    let verdict = verify_machine(
-        &machine,
-        &graph,
-        &out.certificate,
-        &VerifyOptions::default(),
-    )
-    .expect("emitted certificate must verify");
-    assert_eq!(verdict, out.verdict);
-    println!("verified:    {verdict} (independent checker)");
+    let checked = verify_machine(&machine, &graph, &certificate, &VerifyOptions::default())
+        .expect("emitted certificate must verify");
+    assert_eq!(checked, verdict);
+    println!("verified:    {checked} (independent checker)");
 
     // Certificates serialise to a self-contained JSON document; the state
     // table maps the machine's opaque states to stable indices.
-    let table = StateTable::from_certificate(&out.certificate);
-    let json = certificate_to_json(&out.certificate, &table);
+    let table = StateTable::from_certificate(&certificate);
+    let json = certificate_to_json(&certificate, &table);
     println!("exported:    {} bytes of JSON", json.len());
 
     // ...and import losslessly: the round-tripped certificate is the same
     // object and verifies again.
     let back = certificate_from_json(&json, &table).expect("import");
-    assert_eq!(back, out.certificate, "round-trip must be lossless");
+    assert_eq!(back, certificate, "round-trip must be lossless");
     let again = verify_machine(&machine, &graph, &back, &VerifyOptions::default())
         .expect("re-imported certificate must verify");
-    assert_eq!(again, out.verdict);
+    assert_eq!(again, verdict);
     println!("re-verified: {again} (after JSON round-trip)");
 }

@@ -6,7 +6,8 @@
 //! ```
 
 use weak_async_models::analysis::{classify, Predicate};
-use weak_async_models::core::{decide_pseudo_stochastic, ModelClass};
+use weak_async_models::certify::Decider;
+use weak_async_models::core::ModelClass;
 use weak_async_models::extensions::{compile_rendezvous, GraphPopulationProtocol, MajorityState};
 use weak_async_models::graph::{generators, LabelCount};
 
@@ -51,7 +52,10 @@ fn main() {
     for (a, b) in [(3u64, 1u64), (2, 2), (1, 3)] {
         let count = LabelCount::from_vec(vec![a, b]);
         let graph = generators::labelled_cycle(&count);
-        let verdict = decide_pseudo_stochastic(&machine, &graph, 3_000_000)
+        let verdict = Decider::new(&machine, &graph)
+            .limit(3_000_000)
+            .decide()
+            .map(|d| d.verdict)
             .expect("small cycle fits the exact decider");
         println!(
             "  majority({a},{b}) on a cycle: {verdict} (truth: {})",

@@ -7,7 +7,8 @@
 //! cargo run --release --example cover_twins
 //! ```
 
-use weak_async_models::core::{decide_synchronous, Config, Selection};
+use weak_async_models::certify::Decider;
+use weak_async_models::core::{Config, Schedule, Selection};
 use weak_async_models::extensions::compile_broadcasts;
 use weak_async_models::graph::{generators, lambda_fold_cycle_cover, LabelCount};
 use weak_async_models::protocols::threshold_machine;
@@ -46,8 +47,18 @@ fn main() {
     }
     println!("lockstep held for 100 synchronous steps: every fibre mirrors its base node.");
 
-    let vb = decide_synchronous(&machine, &base, 1_000_000).expect("lasso");
-    let vc = decide_synchronous(&machine, &cover, 1_000_000).expect("lasso");
+    let vb = Decider::new(&machine, &base)
+        .schedule(Schedule::Synchronous)
+        .limit(1_000_000)
+        .decide()
+        .map(|d| d.verdict)
+        .expect("lasso");
+    let vc = Decider::new(&machine, &cover)
+        .schedule(Schedule::Synchronous)
+        .limit(1_000_000)
+        .decide()
+        .map(|d| d.verdict)
+        .expect("lasso");
     println!("synchronous verdict on base:  {vb}");
     println!("synchronous verdict on cover: {vc}");
     assert_eq!(vb, vc);

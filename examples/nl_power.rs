@@ -8,7 +8,7 @@
 //! ```
 
 use weak_async_models::core::{
-    decide_system, run_machine_until_stable, RandomScheduler, StabilityOptions,
+    run_machine_until_stable, Exploration, RandomScheduler, StabilityOptions,
 };
 use weak_async_models::extensions::{
     compile_broadcasts, compile_strong_broadcast, threshold_protocol, GraphPopulationProtocol,
@@ -58,7 +58,8 @@ fn main() {
     for (a, b) in [(2u64, 1u64), (1, 2), (2, 2)] {
         let count = LabelCount::from_vec(vec![a, b]);
         let graph = generators::labelled_clique(&count);
-        let verdict = decide_system(&StrongBroadcastSystem::new(&strong, &graph), 3_000_000)
+        let verdict = Exploration::explore(&StrongBroadcastSystem::new(&strong, &graph), 3_000_000)
+            .map(|e| e.verdict())
             .expect("exact exploration fits");
         println!("  majority({a},{b}) → {verdict} (truth: {})", a > b);
         assert_eq!(verdict.decided(), Some(a > b));

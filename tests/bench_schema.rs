@@ -323,6 +323,63 @@ fn bench_explore_json_matches_schema() {
         any_transported,
         "the report must include a quotient-emitted (transported) certificate"
     );
+
+    // E18: the counter-abstracted backend section. Every row must carry
+    // its small-instance cross-validation, the three graph families must
+    // all appear at >= 10^3 nodes, at least three distinct predicates must
+    // be decided, and something must reach 10^4 nodes.
+    let counter = doc.get("counter");
+    counter.get("note").str();
+    let counter_workloads = counter.get("workloads").arr();
+    assert!(!counter_workloads.is_empty(), "counter section is empty");
+    let mut families = std::collections::BTreeSet::new();
+    let mut predicates = std::collections::BTreeSet::new();
+    let mut max_nodes = 0.0f64;
+    for w in counter_workloads {
+        assert!(!w.get("workload").str().is_empty());
+        assert!(matches!(
+            w.get("backend").str(),
+            "counter" | "ring" | "counter-population"
+        ));
+        assert!(w.get("nodes").num() >= 1000.0, "counter rows start at 10^3");
+        assert!(w.get("configs").num() >= 1.0);
+        assert!(w.get("explore_ms").num() > 0.0);
+        // The abstraction is the point: orders of magnitude fewer
+        // configurations than nodes would ever allow explicitly.
+        assert!(w.get("configs").num() < 2f64.powf(w.get("nodes").num()));
+        for key in ["verdict", "small_verdict"] {
+            assert!(matches!(
+                w.get(key).str(),
+                "accepts" | "rejects" | "no consensus" | "inconsistent"
+            ));
+        }
+        // The bench asserts verdict equality against the explicit engine
+        // at small n before writing the row; the report must preserve it.
+        assert_eq!(
+            w.get("verdict").str(),
+            w.get("small_verdict").str(),
+            "a counter verdict diverged from its small-n cross-check"
+        );
+        let small = w.get("small_nodes").num();
+        assert!(small >= 3.0 && small < w.get("nodes").num());
+        families.insert(w.get("family").str().to_string());
+        predicates.insert(w.get("predicate").str().to_string());
+        max_nodes = max_nodes.max(w.get("nodes").num());
+    }
+    for family in ["cycle", "clique", "star"] {
+        assert!(
+            families.contains(family),
+            "counter section must cover the {family} family"
+        );
+    }
+    assert!(
+        predicates.len() >= 3,
+        "counter section must decide at least three distinct predicates, got {predicates:?}"
+    );
+    assert!(
+        max_nodes >= 10_000.0,
+        "counter section must reach 10^4 nodes"
+    );
 }
 
 #[test]

@@ -4,7 +4,8 @@
 //! from several bounded-degree families, including the tree generators.
 
 use weak_async_models::analysis::Predicate;
-use weak_async_models::core::{decide_pseudo_stochastic, negate, product, Combine};
+use weak_async_models::certify::Decider;
+use weak_async_models::core::{negate, product, Combine};
 use weak_async_models::extensions::{compile_rendezvous, GraphPopulationProtocol, MajorityState};
 use weak_async_models::graph::{generators, trees, Graph, LabelCount};
 use weak_async_models::protocols::modulo_protocol;
@@ -26,7 +27,11 @@ fn majority_and_parity_product() {
     for (a, b) in [(2u64, 1u64), (3, 1), (1, 2), (2, 2)] {
         let c = LabelCount::from_vec(vec![a, b]);
         for g in family(&c) {
-            let v = decide_pseudo_stochastic(&both, &g, 5_000_000).unwrap();
+            let v = Decider::new(&both, &g)
+                .limit(5_000_000)
+                .decide()
+                .map(|d| d.verdict)
+                .unwrap();
             assert_eq!(v.decided(), Some(pred.eval(&c)), "({a},{b}) on {g:?}");
         }
     }
@@ -39,7 +44,11 @@ fn negated_majority_is_at_most() {
     for (a, b) in [(2u64, 1u64), (1, 2), (2, 2)] {
         let c = LabelCount::from_vec(vec![a, b]);
         let g = generators::labelled_cycle(&c);
-        let v = decide_pseudo_stochastic(&at_most, &g, 5_000_000).unwrap();
+        let v = Decider::new(&at_most, &g)
+            .limit(5_000_000)
+            .decide()
+            .map(|d| d.verdict)
+            .unwrap();
         assert_eq!(v.decided(), Some(a <= b), "({a},{b})");
     }
 }
@@ -53,7 +62,11 @@ fn xor_of_independent_machines() {
         let c = LabelCount::from_vec(vec![a, b]);
         let g = trees::labelled_binary_tree(&c);
         let expect = (a > b) ^ (a % 2 == 0);
-        let v = decide_pseudo_stochastic(&xor, &g, 5_000_000).unwrap();
+        let v = Decider::new(&xor, &g)
+            .limit(5_000_000)
+            .decide()
+            .map(|d| d.verdict)
+            .unwrap();
         assert_eq!(v.decided(), Some(expect), "({a},{b})");
     }
 }

@@ -7,10 +7,10 @@
 
 use proptest::prelude::*;
 use weak_async_models::certify::{
-    decide_pseudo_stochastic_certified, decide_synchronous_certified, verify_machine, Certificate,
-    Polarity, StepSelection, VerifyOptions,
+    verify_machine, Certificate, Decider, DecisionCertificate, Polarity, StepSelection,
+    VerifyOptions,
 };
-use weak_async_models::core::{Config, Machine, Output, Selection, Verdict};
+use weak_async_models::core::{Backend, Config, Machine, Output, Schedule, Selection, Verdict};
 use weak_async_models::graph::{generators, Graph, LabelCount};
 
 /// "Some node carries label x1", by flag flooding.
@@ -29,6 +29,27 @@ fn verify(
     cert: &Certificate<Config<bool>>,
 ) -> Result<Verdict, String> {
     verify_machine(m, g, cert, &VerifyOptions::default()).map_err(|e| e.to_string())
+}
+
+/// Emits a node-space certificate to mutate: the quotient backend always
+/// produces one (with transport whenever the graph has symmetry), and the
+/// lasso schedules ignore the backend.
+fn certified(
+    m: &Machine<bool>,
+    g: &Graph,
+    schedule: Schedule,
+) -> (Verdict, Certificate<Config<bool>>) {
+    let d = Decider::new(m, g)
+        .schedule(schedule)
+        .backend(Backend::Quotient)
+        .certified(true)
+        .limit(200_000)
+        .decide()
+        .unwrap();
+    match d.certificate.unwrap() {
+        DecisionCertificate::Node(cert) => (d.verdict, cert),
+        other => panic!("expected a node certificate, got {other:?}"),
+    }
 }
 
 /// Replays one recorded step by direct machine semantics — the test's own
@@ -71,8 +92,8 @@ proptest! {
         prop_assume!(a + b >= 3);
         let m = flood();
         let g = generators::labelled_cycle(&LabelCount::from_vec(vec![a, b]));
-        let out = decide_pseudo_stochastic_certified(&m, &g, 200_000).unwrap();
-        let Certificate::Stable(mut s) = out.certificate else {
+        let (_, out_certificate) = certified(&m, &g, Schedule::PseudoStochastic);
+        let Certificate::Stable(mut s) = out_certificate else {
             panic!("flood on mixed labels yields a stable certificate");
         };
         s.polarity = match s.polarity {
@@ -94,8 +115,8 @@ proptest! {
         prop_assume!(a + b >= 3);
         let m = flood();
         let g = generators::labelled_cycle(&LabelCount::from_vec(vec![a, b]));
-        let out = decide_pseudo_stochastic_certified(&m, &g, 200_000).unwrap();
-        let Certificate::Stable(mut s) = out.certificate else {
+        let (_, out_certificate) = certified(&m, &g, Schedule::PseudoStochastic);
+        let Certificate::Stable(mut s) = out_certificate else {
             panic!("expected a stable certificate");
         };
         let i = pick % s.invariant.members.len();
@@ -123,8 +144,8 @@ proptest! {
         prop_assume!(a + b >= 3);
         let m = flood();
         let g = generators::labelled_cycle(&LabelCount::from_vec(vec![a, b]));
-        let out = decide_pseudo_stochastic_certified(&m, &g, 200_000).unwrap();
-        let Certificate::Stable(mut s) = out.certificate else {
+        let (_, out_certificate) = certified(&m, &g, Schedule::PseudoStochastic);
+        let Certificate::Stable(mut s) = out_certificate else {
             panic!("expected a stable certificate");
         };
         prop_assume!(!s.path.steps.is_empty());
@@ -151,8 +172,8 @@ proptest! {
         prop_assume!(a + b >= 3);
         let m = flood();
         let g = generators::labelled_cycle(&LabelCount::from_vec(vec![a, b]));
-        let out = decide_pseudo_stochastic_certified(&m, &g, 200_000).unwrap();
-        let Certificate::Stable(mut s) = out.certificate else {
+        let (out_verdict, out_certificate) = certified(&m, &g, Schedule::PseudoStochastic);
+        let Certificate::Stable(mut s) = out_certificate else {
             panic!("expected a stable certificate");
         };
         prop_assume!(!s.path.steps.is_empty());
@@ -167,7 +188,7 @@ proptest! {
         // independent); in that case re-execution in the test must agree
         // with the verifier.
         if let Ok(v) = verify(&m, &g, &mutated) {
-            prop_assert_eq!(v, out.verdict);
+            prop_assert_eq!(v, out_verdict);
             prop_assert!(
                 path_replays(&m, &g, &mutated),
                 "verifier accepted a path that direct replay refutes"
@@ -182,19 +203,12 @@ proptest! {
         x_pick in 0usize..64,
         y_pick in 0usize..64,
     ) {
-        // A 6-cycle with one marked node under forced quotient exploration:
-        // the certificate carries transport permutations.
-        use weak_async_models::certify::decide_symmetric_certified;
-        use weak_async_models::core::{ExclusiveSystem, ExploreOptions, Symmetry};
+        // A 6-cycle with one marked node under the forced quotient
+        // backend: the certificate carries transport permutations.
         let m = flood();
         let g = generators::labelled_cycle(&LabelCount::from_vec(vec![5, 1]));
-        let sys = ExclusiveSystem::new(&m, &g);
-        let options = ExploreOptions {
-            symmetry: Symmetry::On,
-            ..ExploreOptions::with_limit(200_000)
-        };
-        let out = decide_symmetric_certified(&sys, options).unwrap();
-        let Certificate::Stable(mut s) = out.certificate else {
+        let (out_verdict, out_certificate) = certified(&m, &g, Schedule::PseudoStochastic);
+        let Certificate::Stable(mut s) = out_certificate else {
             panic!("expected a stable certificate");
         };
         let t = s.invariant.transport.as_mut().expect("quotient run carries transport");
@@ -209,13 +223,11 @@ proptest! {
         perm.swap(x, y);
         let swapped: Vec<u32> = perm.clone();
         let mutated = Certificate::Stable(s);
-        if let Ok(v) =
-            weak_async_models::certify::verify_symmetric(&sys, &mutated, &VerifyOptions::default())
-        {
+        if let Ok(v) = verify(&m, &g, &mutated) {
             // The swap kept the map a bijection; acceptance is only
             // legitimate if it is *still* a structural automorphism —
             // checked here directly against the edge relation.
-            prop_assert_eq!(v, out.verdict);
+            prop_assert_eq!(v, out_verdict);
             let is_auto = g.nodes().all(|u| {
                 g.neighbours(u)
                     .iter()
@@ -234,8 +246,8 @@ proptest! {
         prop_assume!(a + b >= 3);
         let m = flood();
         let g = generators::labelled_cycle(&LabelCount::from_vec(vec![a, b]));
-        let out = decide_synchronous_certified(&m, &g, 200_000).unwrap();
-        let Certificate::Lasso(mut l) = out.certificate else {
+        let (_, out_certificate) = certified(&m, &g, Schedule::Synchronous);
+        let Certificate::Lasso(mut l) = out_certificate else {
             panic!("synchronous decider emits lasso certificates");
         };
         l.verdict = match l.verdict {

@@ -7,11 +7,10 @@
 
 use weak_async_models::analysis::{system_fingerprint, CertifiedMemo, Predicate};
 use weak_async_models::certify::{
-    certificate_from_json, certificate_to_json, decide_adversarial_round_robin_certified,
-    decide_pseudo_stochastic_certified, verify_machine, CertifiedVerdict, StateTable,
-    VerifyOptions,
+    certificate_from_json, certificate_to_json, verify_machine, CertifiedVerdict, Decider,
+    DecisionCertificate, StateTable, VerifyOptions,
 };
-use weak_async_models::core::{Config, Machine, State};
+use weak_async_models::core::{Backend, Config, Machine, Schedule, State};
 use weak_async_models::extensions::{
     compile_broadcasts, compile_rendezvous, GraphPopulationProtocol, MajorityState,
 };
@@ -25,6 +24,31 @@ fn suite(c: &LabelCount) -> Vec<Graph> {
         generators::labelled_star(c),
         generators::labelled_clique(c),
     ]
+}
+
+/// One certified decision through the [`Decider`], forced onto the
+/// quotient backend so every certificate lives in node space (the form
+/// [`CertifiedMemo`] transports between isomorphic graphs).
+fn certified<S: State>(
+    m: &Machine<S>,
+    g: &Graph,
+    schedule: Schedule,
+    limit: usize,
+) -> CertifiedVerdict<Config<S>> {
+    let d = Decider::new(m, g)
+        .schedule(schedule)
+        .backend(Backend::Quotient)
+        .certified(true)
+        .limit(limit)
+        .decide()
+        .unwrap();
+    match d.certificate.unwrap() {
+        DecisionCertificate::Node(certificate) => CertifiedVerdict {
+            verdict: d.verdict,
+            certificate,
+        },
+        other => panic!("quotient backend must emit a node certificate, got {other:?}"),
+    }
 }
 
 fn counts() -> Vec<LabelCount> {
@@ -89,7 +113,7 @@ fn daf_presence_grid_is_certified_by_lassos() {
     let m = cutoff_one_machine(2, |p| p[1]);
     let pred = Predicate::threshold(2, 1, 1);
     certified_grid(&m, &pred, "dAf-presence", |g| {
-        decide_adversarial_round_robin_certified(&m, g, 500_000).unwrap()
+        certified(&m, g, Schedule::RoundRobin, 500_000)
     });
 }
 
@@ -102,7 +126,7 @@ fn daf_ladder_grid_is_certified_with_transport() {
     let flat = compile_broadcasts(&threshold_machine(2, 0, 2));
     let pred = Predicate::threshold(2, 0, 2);
     let transports = certified_grid(&flat, &pred, "dAF-ladder", |g| {
-        decide_pseudo_stochastic_certified(&flat, g, 3_000_000).unwrap()
+        certified(&flat, g, Schedule::PseudoStochastic, 3_000_000)
     });
     assert!(
         transports > 0,
@@ -116,7 +140,7 @@ fn daf_majority_grid_is_certified() {
     let flat = compile_rendezvous(&GraphPopulationProtocol::<MajorityState>::majority());
     let pred = Predicate::majority();
     certified_grid(&flat, &pred, "DAF-majority", |g| {
-        decide_pseudo_stochastic_certified(&flat, g, 5_000_000).unwrap()
+        certified(&flat, g, Schedule::PseudoStochastic, 5_000_000)
     });
 }
 
@@ -126,6 +150,6 @@ fn daf_parity_grid_is_certified() {
     let flat = compile_rendezvous(&modulo_protocol(vec![1, 0], 2, 1));
     let pred = Predicate::modulo(vec![1, 0], 2, 1);
     certified_grid(&flat, &pred, "DAF-parity", |g| {
-        decide_pseudo_stochastic_certified(&flat, g, 5_000_000).unwrap()
+        certified(&flat, g, Schedule::PseudoStochastic, 5_000_000)
     });
 }

@@ -3,10 +3,8 @@
 //! Figure 1.
 
 use weak_async_models::analysis::Predicate;
-use weak_async_models::core::{
-    decide_adversarial_round_robin, decide_pseudo_stochastic, decide_synchronous, ModelClass,
-    PropertyClassBound,
-};
+use weak_async_models::certify::Decider;
+use weak_async_models::core::{ModelClass, PropertyClassBound, Schedule};
 use weak_async_models::extensions::{
     compile_broadcasts, compile_rendezvous, GraphPopulationProtocol, MajorityState,
 };
@@ -37,17 +35,30 @@ fn daf_lower_presence_under_all_adversarial_schedules() {
         for g in suite(&c) {
             let expect = Some(pred.eval(&c));
             assert_eq!(
-                decide_adversarial_round_robin(&m, &g, 1_000_000)
+                Decider::new(&m, &g)
+                    .schedule(Schedule::RoundRobin)
+                    .limit(1_000_000)
+                    .decide()
+                    .map(|d| d.verdict)
                     .unwrap()
                     .decided(),
                 expect
             );
             assert_eq!(
-                decide_synchronous(&m, &g, 1_000_000).unwrap().decided(),
+                Decider::new(&m, &g)
+                    .schedule(Schedule::Synchronous)
+                    .limit(1_000_000)
+                    .decide()
+                    .map(|d| d.verdict)
+                    .unwrap()
+                    .decided(),
                 expect
             );
             assert_eq!(
-                decide_pseudo_stochastic(&m, &g, 1_000_000)
+                Decider::new(&m, &g)
+                    .limit(1_000_000)
+                    .decide()
+                    .map(|d| d.verdict)
                     .unwrap()
                     .decided(),
                 expect
@@ -63,7 +74,10 @@ fn daf_upper_threshold_exact_under_pseudo_stochastic() {
     for c in counts() {
         for g in suite(&c) {
             assert_eq!(
-                decide_pseudo_stochastic(&flat, &g, 3_000_000)
+                Decider::new(&flat, &g)
+                    .limit(3_000_000)
+                    .decide()
+                    .map(|d| d.verdict)
                     .unwrap()
                     .decided(),
                 Some(pred.eval(&c)),
@@ -82,14 +96,20 @@ fn daf_top_majority_and_parity_exact() {
     for c in counts() {
         for g in suite(&c) {
             assert_eq!(
-                decide_pseudo_stochastic(&majority, &g, 5_000_000)
+                Decider::new(&majority, &g)
+                    .limit(5_000_000)
+                    .decide()
+                    .map(|d| d.verdict)
                     .unwrap()
                     .decided(),
                 Some(maj_pred.eval(&c)),
                 "majority on {c}"
             );
             assert_eq!(
-                decide_pseudo_stochastic(&parity, &g, 5_000_000)
+                Decider::new(&parity, &g)
+                    .limit(5_000_000)
+                    .decide()
+                    .map(|d| d.verdict)
                     .unwrap()
                     .decided(),
                 Some(par_pred.eval(&c)),

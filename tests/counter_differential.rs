@@ -1,0 +1,182 @@
+//! Differential tests for the counter-abstracted exploration backend: on
+//! random table machines and twin-compressible graph families (cliques,
+//! stars, complete bipartite graphs), exploring dense count vectors over
+//! the twin partition must yield the same [`Verdict`] as exploring the
+//! explicit node space — and on cycles the necklace (`RingSystem`)
+//! abstraction must do the same. This is the empirical half of the
+//! soundness argument in `wam-core::counter`.
+//!
+//! A separate regression pins the counter abstraction against an
+//! independent implementation of the same idea: on uniform-label stars the
+//! reachable counter space must reproduce the configuration count of
+//! `wam-analysis::stars` (centre state + leaf multiset) *exactly*, not
+//! just verdict-wise.
+
+use proptest::prelude::*;
+use weak_async_models::analysis::StarSystem;
+use weak_async_models::core::{
+    Backend, CounterSystem, ExclusiveSystem, Exploration, ExploreError, ExploreOptions, Machine,
+    Output, ResolvedBackend, RingSystem, Schedule,
+};
+use weak_async_models::graph::{generators, trees, Graph, Label, LabelCount};
+
+const STATES: u8 = 3;
+const LIMIT: usize = 500_000;
+
+/// A table-driven machine over states `0..STATES` with counting bound 1
+/// (as in `symmetry_differential.rs`): every table is a well-formed
+/// machine, so sampling tables samples machines.
+fn table_machine(init: [u8; 2], table: Vec<u8>, outs: [u8; STATES as usize]) -> Machine<u8> {
+    assert_eq!(table.len(), (STATES as usize) << STATES);
+    Machine::new(
+        1,
+        move |l: Label| init[l.0 as usize % 2] % STATES,
+        move |&s: &u8, n| {
+            let mask: usize = (0..STATES)
+                .filter(|q| n.exists(|&t| t == *q))
+                .map(|q| 1usize << q)
+                .sum();
+            table[((s as usize) << STATES) | mask] % STATES
+        },
+        move |&s| match outs[s as usize % STATES as usize] % 3 {
+            0 => Output::Reject,
+            1 => Output::Accept,
+            _ => Output::Neutral,
+        },
+    )
+}
+
+fn explicit_verdict(m: &Machine<u8>, g: &Graph) -> weak_async_models::core::Verdict {
+    let sys = ExclusiveSystem::new(m, g);
+    Exploration::explore(&sys, LIMIT).unwrap().verdict()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Cliques, stars and complete bipartite graphs all have non-trivial
+    /// twin partitions, so the counter abstraction applies — and must be
+    /// verdict-exact against full node-space exploration. The engine
+    /// dispatcher must also route `Backend::Counter` to the counter
+    /// representation on these graphs.
+    #[test]
+    fn counter_matches_explicit_on_twin_graphs(
+        init in (0u8..STATES, 0u8..STATES),
+        table in prop::collection::vec(0u8..STATES, (STATES as usize) << STATES..((STATES as usize) << STATES) + 1),
+        outs in (0u8..3, 0u8..3, 0u8..3),
+        a in 1u64..4,
+        b in 1u64..4,
+    ) {
+        prop_assume!(a + b >= 3);
+        let m = table_machine([init.0, init.1], table, [outs.0, outs.1, outs.2]);
+        let c = LabelCount::from_vec(vec![a, b]);
+        for g in [
+            generators::labelled_clique(&c),
+            generators::labelled_star(&c),
+            trees::labelled_complete_bipartite(&c, a as usize),
+        ] {
+            let expected = explicit_verdict(&m, &g);
+            match CounterSystem::new(&m, &g) {
+                Ok(counter) => {
+                    let v = Exploration::explore(&counter, LIMIT).unwrap().verdict();
+                    prop_assert_eq!(v, expected, "counter vs explicit on {:?}", g);
+                    let (dv, stats) = weak_async_models::core::decide(
+                        &m,
+                        &g,
+                        Schedule::PseudoStochastic,
+                        Backend::Counter,
+                        ExploreOptions::with_limit(LIMIT),
+                    )
+                    .unwrap();
+                    prop_assert_eq!(dv, expected);
+                    prop_assert_eq!(stats.backend, ResolvedBackend::Counter);
+                }
+                Err(_) => {
+                    // Degenerate labellings (e.g. a 3-node star with mixed
+                    // leaf labels) have all-singleton twin partitions: the
+                    // abstraction is rejected, and the dispatcher must
+                    // refuse `Backend::Counter` rather than guess.
+                    let r = weak_async_models::core::decide(
+                        &m,
+                        &g,
+                        Schedule::PseudoStochastic,
+                        Backend::Counter,
+                        ExploreOptions::with_limit(LIMIT),
+                    );
+                    prop_assert!(
+                        matches!(r, Err(ExploreError::Unsupported { .. })),
+                        "expected Unsupported, got {:?}",
+                        r
+                    );
+                }
+            }
+        }
+    }
+
+    /// On cycles the necklace abstraction (rotation + reflection canonical
+    /// run-length encodings) is exact for *any* labelling, including
+    /// twin-free ones where the counter abstraction does not apply —
+    /// `Backend::Counter` falls through to the ring representation there.
+    #[test]
+    fn ring_matches_explicit_on_cycles(
+        init in (0u8..STATES, 0u8..STATES),
+        table in prop::collection::vec(0u8..STATES, (STATES as usize) << STATES..((STATES as usize) << STATES) + 1),
+        outs in (0u8..3, 0u8..3, 0u8..3),
+        a in 1u64..5,
+        b in 1u64..5,
+    ) {
+        prop_assume!(a + b >= 3);
+        let m = table_machine([init.0, init.1], table, [outs.0, outs.1, outs.2]);
+        let g = generators::labelled_cycle(&LabelCount::from_vec(vec![a, b]));
+        let expected = explicit_verdict(&m, &g);
+        let ring = RingSystem::new(&m, &g).expect("a labelled cycle is a cycle");
+        let v = Exploration::explore(&ring, LIMIT).unwrap().verdict();
+        prop_assert_eq!(v, expected, "ring vs explicit on C_{}", a + b);
+        let (dv, stats) = weak_async_models::core::decide(
+            &m,
+            &g,
+            Schedule::PseudoStochastic,
+            Backend::Counter,
+            ExploreOptions::with_limit(LIMIT),
+        )
+        .unwrap();
+        prop_assert_eq!(dv, expected);
+        prop_assert!(
+            matches!(stats.backend, ResolvedBackend::Counter | ResolvedBackend::Ring),
+            "Backend::Counter on a cycle must resolve to an abstraction, got {:?}",
+            stats.backend
+        );
+    }
+
+    /// Independent-implementation cross-check: on a uniform-label star the
+    /// twin partition is {centre} ∪ {leaves}, so counter configurations
+    /// (cell, state, count) and `wam-analysis` star configurations
+    /// (centre state + leaf multiset) are in bijection. The two
+    /// explorations must agree on the *exact* number of reachable
+    /// configurations, not just the verdict.
+    #[test]
+    fn counter_counts_equal_star_reduction_on_uniform_stars(
+        init in (0u8..STATES, 0u8..STATES),
+        table in prop::collection::vec(0u8..STATES, (STATES as usize) << STATES..((STATES as usize) << STATES) + 1),
+        outs in (0u8..3, 0u8..3, 0u8..3),
+        n in 4u64..9,
+    ) {
+        let m = table_machine([init.0, init.1], table, [outs.0, outs.1, outs.2]);
+        let g = generators::labelled_star(&LabelCount::from_vec(vec![n]));
+        let counter = CounterSystem::new(&m, &g).expect("uniform star leaves are twins");
+        let ce = Exploration::explore(&counter, LIMIT).unwrap();
+
+        let star = StarSystem::new(&m, Label(0), vec![(Label(0), n - 1)]);
+        let se = Exploration::explore(&star, LIMIT).unwrap();
+
+        prop_assert_eq!(
+            ce.len(),
+            se.len(),
+            "counter explored {} configurations, star reduction {}",
+            ce.len(),
+            se.len()
+        );
+        prop_assert_eq!(ce.verdict(), se.verdict());
+        prop_assert_eq!(ce.verdict(), explicit_verdict(&m, &g));
+    }
+}

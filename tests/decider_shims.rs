@@ -1,0 +1,190 @@
+//! The deprecated-shim equivalence suite: the ten `decide_*` wrappers
+//! (five plain in `wam-core`, five certified in `wam-certify`) survive
+//! only as `#[deprecated]` delegates to the [`Decider`] / `wam_core::decide`
+//! entry points. This is the one in-tree caller they are allowed to keep —
+//! a differential test proving every shim is verdict-identical to the
+//! builder it forwards to, so downstream code can migrate mechanically.
+#![allow(deprecated)]
+
+use weak_async_models::certify::{
+    decide_adversarial_round_robin_certified, decide_pseudo_stochastic_certified,
+    decide_symmetric_certified, decide_synchronous_certified, decide_system_certified,
+    verify_machine, verify_symmetric, verify_system, Decider, VerifyOptions,
+};
+use weak_async_models::core::{
+    decide_adversarial_round_robin, decide_pseudo_stochastic, decide_symmetric, decide_synchronous,
+    decide_system, Backend, ExclusiveSystem, ExploreOptions, Machine, Output, Schedule, Symmetry,
+};
+use weak_async_models::graph::{generators, Graph, LabelCount};
+
+const LIMIT: usize = 200_000;
+
+/// "Some node carries label x1", by flag flooding.
+fn flood() -> Machine<bool> {
+    Machine::new(
+        1,
+        |l| l.0 == 1,
+        |&s, n| s || n.exists(|&t| t),
+        |&s| if s { Output::Accept } else { Output::Reject },
+    )
+}
+
+/// Never stabilises: every node toggles forever.
+fn toggler() -> Machine<bool> {
+    Machine::new(
+        1,
+        |_| false,
+        |&s, _| !s,
+        |&s| if s { Output::Accept } else { Output::Reject },
+    )
+}
+
+fn suite() -> Vec<Graph> {
+    let mixed = LabelCount::from_vec(vec![3, 1]);
+    let uniform = LabelCount::from_vec(vec![4]);
+    vec![
+        generators::labelled_cycle(&mixed),
+        generators::labelled_clique(&mixed),
+        generators::labelled_star(&mixed),
+        generators::labelled_line(&mixed),
+        generators::labelled_cycle(&uniform),
+    ]
+}
+
+#[test]
+fn plain_schedule_shims_match_the_decider() {
+    for m in [flood(), toggler()] {
+        for g in suite() {
+            for (schedule, shim) in [
+                (
+                    Schedule::PseudoStochastic,
+                    decide_pseudo_stochastic(&m, &g, LIMIT).unwrap(),
+                ),
+                (
+                    Schedule::RoundRobin,
+                    decide_adversarial_round_robin(&m, &g, LIMIT).unwrap(),
+                ),
+                (
+                    Schedule::Synchronous,
+                    decide_synchronous(&m, &g, LIMIT).unwrap(),
+                ),
+            ] {
+                let d = Decider::new(&m, &g)
+                    .schedule(schedule)
+                    .limit(LIMIT)
+                    .decide()
+                    .unwrap();
+                assert_eq!(shim, d.verdict, "{schedule:?} on {g:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn plain_system_shims_match_the_decider() {
+    for m in [flood(), toggler()] {
+        for g in suite() {
+            let sys = ExclusiveSystem::new(&m, &g);
+            // `decide_system` is full explicit exploration.
+            let explicit = Decider::new(&m, &g)
+                .backend(Backend::Explicit)
+                .limit(LIMIT)
+                .decide()
+                .unwrap()
+                .verdict;
+            assert_eq!(decide_system(&sys, LIMIT).unwrap(), explicit, "{g:?}");
+            // `decide_symmetric` maps `Symmetry::Off`/`On` to the
+            // `Explicit`/`Quotient` backends; `Auto` must agree with both.
+            let quotient = Decider::new(&m, &g)
+                .backend(Backend::Quotient)
+                .limit(LIMIT)
+                .decide()
+                .unwrap()
+                .verdict;
+            assert_eq!(quotient, explicit);
+            for (symmetry, expected) in [
+                (Symmetry::Off, explicit),
+                (Symmetry::On, quotient),
+                (Symmetry::Auto, explicit),
+            ] {
+                let opts = ExploreOptions::with_limit(LIMIT).symmetry(symmetry);
+                assert_eq!(
+                    decide_symmetric(&sys, opts).unwrap(),
+                    expected,
+                    "{symmetry:?} on {g:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn certified_shims_match_the_decider_and_their_plain_twins() {
+    for m in [flood(), toggler()] {
+        for g in suite() {
+            for (schedule, out) in [
+                (
+                    Schedule::PseudoStochastic,
+                    decide_pseudo_stochastic_certified(&m, &g, LIMIT).unwrap(),
+                ),
+                (
+                    Schedule::RoundRobin,
+                    decide_adversarial_round_robin_certified(&m, &g, LIMIT).unwrap(),
+                ),
+                (
+                    Schedule::Synchronous,
+                    decide_synchronous_certified(&m, &g, LIMIT).unwrap(),
+                ),
+            ] {
+                let d = Decider::new(&m, &g)
+                    .schedule(schedule)
+                    .certified(true)
+                    .limit(LIMIT)
+                    .decide()
+                    .unwrap();
+                assert_eq!(out.verdict, d.verdict, "{schedule:?} on {g:?}");
+                assert_eq!(
+                    verify_machine(&m, &g, &out.certificate, &VerifyOptions::default()).unwrap(),
+                    out.verdict
+                );
+                assert_eq!(
+                    d.certificate
+                        .unwrap()
+                        .verify(&m, &g, &VerifyOptions::default())
+                        .unwrap(),
+                    d.verdict
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn certified_system_shims_verify_and_match() {
+    for m in [flood(), toggler()] {
+        for g in suite() {
+            let sys = ExclusiveSystem::new(&m, &g);
+            let out = decide_system_certified(&sys, LIMIT).unwrap();
+            assert_eq!(out.verdict, decide_system(&sys, LIMIT).unwrap());
+            assert_eq!(verify_system(&sys, &out.certificate).unwrap(), out.verdict);
+
+            // The symmetric certified shim emits quotient-space witnesses
+            // (`Choice` selections + transport) that the symmetric checker
+            // replays — coverage the relabelled `Decider` certificates do
+            // not exercise.
+            let opts = ExploreOptions::with_limit(LIMIT).symmetry(Symmetry::On);
+            let sym = decide_symmetric_certified(&sys, opts).unwrap();
+            let quotient = Decider::new(&m, &g)
+                .backend(Backend::Quotient)
+                .limit(LIMIT)
+                .decide()
+                .unwrap()
+                .verdict;
+            assert_eq!(sym.verdict, quotient, "{g:?}");
+            assert_eq!(
+                verify_symmetric(&sys, &sym.certificate, &VerifyOptions::default()).unwrap(),
+                sym.verdict
+            );
+        }
+    }
+}

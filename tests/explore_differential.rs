@@ -56,20 +56,16 @@ fn explore_pair(
     let seq = Exploration::explore_with(
         sys,
         sys.initial_config(),
-        ExploreOptions {
-            threads: 1,
-            ..ExploreOptions::with_limit(200_000)
-        },
+        ExploreOptions::with_limit(200_000).threads(1),
     )
     .expect("sequential exploration");
     let par = Exploration::explore_with(
         sys,
         sys.initial_config(),
-        ExploreOptions {
-            threads: 4,
-            frontier_threshold: 1, // force the parallel path on every level
-            ..ExploreOptions::with_limit(200_000)
-        },
+        // frontier_threshold 1 forces the parallel path on every level
+        ExploreOptions::with_limit(200_000)
+            .threads(4)
+            .frontier_threshold(1),
     )
     .expect("parallel exploration");
     (seq, par)
@@ -130,11 +126,7 @@ proptest! {
         let m = table_machine([init.0, init.1], table, [0, 1, 2]);
         let g = random_graph(shape, a, b, seed);
         let sys = ExclusiveSystem::new(&m, &g);
-        let opts = ExploreOptions {
-            threads: 4,
-            frontier_threshold: 1,
-            ..ExploreOptions::with_limit(200_000)
-        };
+        let opts = ExploreOptions::with_limit(200_000).threads(4).frontier_threshold(1);
         let e1 = Exploration::explore_with(&sys, sys.initial_config(), opts).unwrap();
         let e2 = Exploration::explore_with(&sys, sys.initial_config(), opts).unwrap();
         prop_assert_eq!(e1.configs(), e2.configs());
@@ -184,11 +176,9 @@ fn parallel_engine_gets_known_verdict_right() {
     let e = Exploration::explore_with(
         &sys,
         sys.initial_config(),
-        ExploreOptions {
-            threads: 4,
-            frontier_threshold: 1,
-            ..ExploreOptions::with_limit(1_000_000)
-        },
+        ExploreOptions::with_limit(1_000_000)
+            .threads(4)
+            .frontier_threshold(1),
     )
     .unwrap();
     assert_eq!(e.verdict(), Verdict::Accepts);

@@ -3,7 +3,8 @@
 //! their semantic models under the exact pseudo-stochastic decider.
 
 use proptest::prelude::*;
-use weak_async_models::core::{decide_pseudo_stochastic, decide_system};
+use weak_async_models::certify::Decider;
+use weak_async_models::core::Exploration;
 use weak_async_models::extensions::{
     compile_broadcasts, compile_rendezvous, BroadcastSystem, GraphPopulationProtocol,
     MajorityState, PopulationSystem,
@@ -27,8 +28,8 @@ proptest! {
         let g = generators::random_degree_bounded(&c, 2, 1, seed);
         let bm = threshold_machine(2, 0, 2);
         let flat = compile_broadcasts(&bm);
-        let semantic = decide_system(&BroadcastSystem::new(&bm, &g), 1_000_000).unwrap();
-        let compiled = decide_pseudo_stochastic(&flat, &g, 3_000_000).unwrap();
+        let semantic = Exploration::explore(&BroadcastSystem::new(&bm, &g), 1_000_000).map(|e| e.verdict()).unwrap();
+        let compiled = Decider::new(&flat, &g).limit(3_000_000).decide().map(|d| d.verdict).unwrap();
         prop_assert_eq!(semantic, compiled);
     }
 
@@ -43,8 +44,8 @@ proptest! {
         let g = generators::random_connected(&c, 0.3, seed);
         let pp = GraphPopulationProtocol::<MajorityState>::majority();
         let flat = compile_rendezvous(&pp);
-        let semantic = decide_system(&PopulationSystem::new(&pp, &g), 1_000_000).unwrap();
-        let compiled = decide_pseudo_stochastic(&flat, &g, 5_000_000).unwrap();
+        let semantic = Exploration::explore(&PopulationSystem::new(&pp, &g), 1_000_000).map(|e| e.verdict()).unwrap();
+        let compiled = Decider::new(&flat, &g).limit(5_000_000).decide().map(|d| d.verdict).unwrap();
         prop_assert_eq!(semantic, compiled);
     }
 }

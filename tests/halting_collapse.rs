@@ -3,9 +3,9 @@
 //! never moves, so the extra recurrence of pseudo-stochastic schedules buys
 //! nothing). Verified for consistent halting machines across inputs.
 
+use weak_async_models::certify::Decider;
 use weak_async_models::core::{
-    decide_adversarial_round_robin, decide_pseudo_stochastic, decide_synchronous,
-    halting_violations, make_halting, ExclusiveSystem, Exploration, Machine, Output,
+    halting_violations, make_halting, ExclusiveSystem, Exploration, Machine, Output, Schedule,
 };
 use weak_async_models::graph::{generators, Label, LabelCount};
 
@@ -32,9 +32,23 @@ fn halting_verdicts_agree_across_fairness() {
     let m = halting_by_label(2);
     for (a, b) in [(4u64, 0u64), (0, 4)] {
         let g = generators::labelled_cycle(&LabelCount::from_vec(vec![a, b]));
-        let ps = decide_pseudo_stochastic(&m, &g, 100_000).unwrap();
-        let rr = decide_adversarial_round_robin(&m, &g, 100_000).unwrap();
-        let sy = decide_synchronous(&m, &g, 100_000).unwrap();
+        let ps = Decider::new(&m, &g)
+            .limit(100_000)
+            .decide()
+            .map(|d| d.verdict)
+            .unwrap();
+        let rr = Decider::new(&m, &g)
+            .schedule(Schedule::RoundRobin)
+            .limit(100_000)
+            .decide()
+            .map(|d| d.verdict)
+            .unwrap();
+        let sy = Decider::new(&m, &g)
+            .schedule(Schedule::Synchronous)
+            .limit(100_000)
+            .decide()
+            .map(|d| d.verdict)
+            .unwrap();
         assert_eq!(ps, rr, "({a},{b})");
         assert_eq!(ps, sy, "({a},{b})");
         assert_eq!(ps.decided(), Some(a > 0));
@@ -64,8 +78,17 @@ fn make_halting_wrapper_collapses_fairness_too() {
     let halted = make_halting(&flood);
     for (a, b) in [(3u64, 1u64), (4, 0)] {
         let g = generators::labelled_cycle(&LabelCount::from_vec(vec![a, b]));
-        let ps = decide_pseudo_stochastic(&halted, &g, 100_000).unwrap();
-        let rr = decide_adversarial_round_robin(&halted, &g, 100_000).unwrap();
+        let ps = Decider::new(&halted, &g)
+            .limit(100_000)
+            .decide()
+            .map(|d| d.verdict)
+            .unwrap();
+        let rr = Decider::new(&halted, &g)
+            .schedule(Schedule::RoundRobin)
+            .limit(100_000)
+            .decide()
+            .map(|d| d.verdict)
+            .unwrap();
         assert_eq!(ps, rr, "({a},{b})");
         if b > 0 {
             assert!(ps.is_accepting());

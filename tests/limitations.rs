@@ -1,9 +1,8 @@
 //! The limitation lemmata of Section 3, demonstrated end to end.
 
 use weak_async_models::analysis::{classify, Predicate, PropertyClass, StarSystem};
-use weak_async_models::core::{
-    decide_synchronous, decide_system, Config, Machine, Output, Selection,
-};
+use weak_async_models::certify::Decider;
+use weak_async_models::core::{Config, Exploration, Machine, Output, Schedule, Selection};
 use weak_async_models::extensions::compile_broadcasts;
 use weak_async_models::graph::surgery::{find_cycle_edge, halting_composite};
 use weak_async_models::graph::{generators, lambda_fold_cycle_cover, Label, LabelCount};
@@ -29,8 +28,20 @@ fn halting_surgery_breaks_consistency() {
     );
     let g = generators::labelled_cycle(&LabelCount::from_vec(vec![4, 0]));
     let h = generators::labelled_cycle(&LabelCount::from_vec(vec![0, 4]));
-    assert!(decide_synchronous(&m, &g, 10_000).unwrap().is_accepting());
-    assert!(decide_synchronous(&m, &h, 10_000).unwrap().is_rejecting());
+    assert!(Decider::new(&m, &g)
+        .schedule(Schedule::Synchronous)
+        .limit(10_000)
+        .decide()
+        .map(|d| d.verdict)
+        .unwrap()
+        .is_accepting());
+    assert!(Decider::new(&m, &h)
+        .schedule(Schedule::Synchronous)
+        .limit(10_000)
+        .decide()
+        .map(|d| d.verdict)
+        .unwrap()
+        .is_rejecting());
 
     let composite = halting_composite(
         &g,
@@ -40,7 +51,12 @@ fn halting_surgery_breaks_consistency() {
         find_cycle_edge(&h).unwrap(),
         5,
     );
-    let v = decide_synchronous(&m, &composite.graph, 10_000).unwrap();
+    let v = Decider::new(&m, &composite.graph)
+        .schedule(Schedule::Synchronous)
+        .limit(10_000)
+        .decide()
+        .map(|d| d.verdict)
+        .unwrap();
     assert_eq!(v.decided(), None, "GH must never reach a consensus");
 }
 
@@ -62,8 +78,18 @@ fn coverings_are_indistinguishable_synchronously() {
         cc = cc.successor(&machine, &cover, &Selection::all(&cover));
     }
     assert_eq!(
-        decide_synchronous(&machine, &base, 1_000_000).unwrap(),
-        decide_synchronous(&machine, &cover, 1_000_000).unwrap(),
+        Decider::new(&machine, &base)
+            .schedule(Schedule::Synchronous)
+            .limit(1_000_000)
+            .decide()
+            .map(|d| d.verdict)
+            .unwrap(),
+        Decider::new(&machine, &cover)
+            .schedule(Schedule::Synchronous)
+            .limit(1_000_000)
+            .decide()
+            .map(|d| d.verdict)
+            .unwrap(),
     );
 }
 
@@ -106,7 +132,11 @@ fn star_verdicts_admit_cutoffs() {
         for a in 0..=4u64 {
             let g = generators::labelled_star(&LabelCount::from_vec(vec![a, 3]));
             let sys = BroadcastSystem::new(&bm, &g);
-            series.push(decide_system(&sys, 1_000_000).unwrap());
+            series.push(
+                Exploration::explore(&sys, 1_000_000)
+                    .map(|e| e.verdict())
+                    .unwrap(),
+            );
         }
         // The verdict changes exactly once (at a = k) and stays constant.
         let flips = series.windows(2).filter(|w| w[0] != w[1]).count();
@@ -123,10 +153,15 @@ fn star_system_agrees_with_explicit_on_compiled_machine() {
     let flat = compile_broadcasts(&threshold_machine(2, 0, 1));
     for a in [1u64, 2] {
         let sys = StarSystem::new(&flat, Label(1), vec![(Label(0), a), (Label(1), 1)]);
-        let reduced = decide_system(&sys, 2_000_000).unwrap();
+        let reduced = Exploration::explore(&sys, 2_000_000)
+            .map(|e| e.verdict())
+            .unwrap();
         let g = generators::labelled_star(&LabelCount::from_vec(vec![a, 2]));
-        let explicit =
-            weak_async_models::core::decide_pseudo_stochastic(&flat, &g, 2_000_000).unwrap();
+        let explicit = weak_async_models::certify::Decider::new(&flat, &g)
+            .limit(2_000_000)
+            .decide()
+            .map(|d| d.verdict)
+            .unwrap();
         // Note: labelled_star places the centre on the first expanded label
         // (a), while the reduced system above centres a b-node; labelling
         // properties make the choice irrelevant for this machine.

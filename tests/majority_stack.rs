@@ -1,9 +1,9 @@
 //! The §6.1 headline, end to end: the bounded-degree DAf majority stack
 //! decides `x₀ − x₁ ≥ 0` under adversarial schedulers, through every layer.
 
+use weak_async_models::certify::Decider;
 use weak_async_models::core::{
-    decide_adversarial_round_robin, run_machine_until_stable, Config, RandomScheduler, Selection,
-    StabilityOptions,
+    run_machine_until_stable, Config, RandomScheduler, Schedule, Selection, StabilityOptions,
 };
 use weak_async_models::graph::{generators, LabelCount};
 use weak_async_models::protocols::homogeneous::{big_e, detect_of, DetectState};
@@ -16,7 +16,12 @@ fn round_robin_decides_majority_exactly() {
         let stack = majority_stack(2);
         let flat = stack.flat();
         let g = generators::labelled_line(&LabelCount::from_vec(vec![a, b]));
-        let v = decide_adversarial_round_robin(&flat, &g, 5_000_000).unwrap();
+        let v = Decider::new(&flat, &g)
+            .schedule(Schedule::RoundRobin)
+            .limit(5_000_000)
+            .decide()
+            .map(|d| d.verdict)
+            .unwrap();
         assert_eq!(v.decided(), Some(a >= b), "({a},{b})");
     }
 }

@@ -12,7 +12,7 @@
 use std::collections::BTreeSet;
 use std::sync::Arc;
 use weak_async_models::core::{
-    decide_system, run_until_stable, Config, Machine, Output, RunReport, StabilityClock,
+    run_until_stable, Config, Exploration, Machine, Output, RunReport, StabilityClock,
     StabilityOptions, State, TransitionSystem, Verdict,
 };
 use weak_async_models::extensions::{
@@ -435,17 +435,23 @@ fn sampled_verdicts_agree_with_exact_deciders() {
         let checks: Vec<(&str, Verdict, Verdict)> = vec![
             (
                 "broadcast",
-                decide_system(&BroadcastSystem::new(&bm, &g), 2_000_000).unwrap(),
+                Exploration::explore(&BroadcastSystem::new(&bm, &g), 2_000_000)
+                    .map(|e| e.verdict())
+                    .unwrap(),
                 run_until_stable(&BroadcastSystem::new(&bm, &g), 11, opts).verdict,
             ),
             (
                 "absence",
-                decide_system(&AbsenceSystem::new(&am, &g), 2_000_000).unwrap(),
+                Exploration::explore(&AbsenceSystem::new(&am, &g), 2_000_000)
+                    .map(|e| e.verdict())
+                    .unwrap(),
                 run_until_stable(&AbsenceSystem::new(&am, &g), 11, opts).verdict,
             ),
             (
                 "population",
-                decide_system(&PopulationSystem::new(&pp, &g), 2_000_000).unwrap(),
+                Exploration::explore(&PopulationSystem::new(&pp, &g), 2_000_000)
+                    .map(|e| e.verdict())
+                    .unwrap(),
                 run_until_stable(&PopulationSystem::new(&pp, &g), 11, opts).verdict,
             ),
         ];

@@ -4,7 +4,8 @@
 //! model on a shared input suite.
 
 use std::collections::BTreeSet;
-use weak_async_models::core::{decide_pseudo_stochastic, decide_system, Machine, Output};
+use weak_async_models::certify::Decider;
+use weak_async_models::core::{Exploration, Machine, Output};
 use weak_async_models::extensions::{
     compile_absence, compile_broadcasts, compile_rendezvous, compile_strong_broadcast,
     threshold_protocol, AbsenceMachine, AbsenceSystem, BroadcastSystem, PopulationSystem,
@@ -34,8 +35,14 @@ fn lemma_4_7_broadcast_compilation_fidelity() {
         let bm = threshold_machine(2, 0, 2);
         let flat = compile_broadcasts(&bm);
         for g in graphs {
-            let semantic = decide_system(&BroadcastSystem::new(&bm, &g), 1_000_000).unwrap();
-            let compiled = decide_pseudo_stochastic(&flat, &g, 3_000_000).unwrap();
+            let semantic = Exploration::explore(&BroadcastSystem::new(&bm, &g), 1_000_000)
+                .map(|e| e.verdict())
+                .unwrap();
+            let compiled = Decider::new(&flat, &g)
+                .limit(3_000_000)
+                .decide()
+                .map(|d| d.verdict)
+                .unwrap();
             assert_eq!(semantic, compiled, "{c} on {g:?}");
         }
     }
@@ -67,8 +74,14 @@ fn lemma_4_9_absence_compilation_fidelity() {
     for (c, graphs) in small_inputs() {
         for g in graphs {
             let compiled = compile_absence(&am, g.max_degree());
-            let semantic = decide_system(&AbsenceSystem::new(&am, &g), 500_000).unwrap();
-            let flat = decide_pseudo_stochastic(&compiled, &g, 1_000_000).unwrap();
+            let semantic = Exploration::explore(&AbsenceSystem::new(&am, &g), 500_000)
+                .map(|e| e.verdict())
+                .unwrap();
+            let flat = Decider::new(&compiled, &g)
+                .limit(1_000_000)
+                .decide()
+                .map(|d| d.verdict)
+                .unwrap();
             assert_eq!(semantic, flat, "{c} on {g:?}");
         }
     }
@@ -80,8 +93,14 @@ fn lemma_4_10_rendezvous_compilation_fidelity() {
     let flat = compile_rendezvous(&pp);
     for (c, graphs) in small_inputs() {
         for g in graphs {
-            let semantic = decide_system(&PopulationSystem::new(&pp, &g), 1_000_000).unwrap();
-            let compiled = decide_pseudo_stochastic(&flat, &g, 5_000_000).unwrap();
+            let semantic = Exploration::explore(&PopulationSystem::new(&pp, &g), 1_000_000)
+                .map(|e| e.verdict())
+                .unwrap();
+            let compiled = Decider::new(&flat, &g)
+                .limit(5_000_000)
+                .decide()
+                .map(|d| d.verdict)
+                .unwrap();
             assert_eq!(semantic, compiled, "{c} on {g:?}");
         }
     }
@@ -95,10 +114,14 @@ fn lemma_5_1_strong_broadcast_compilation_fidelity() {
         let sb = threshold_protocol(1);
         let c = LabelCount::from_vec(vec![a, b]);
         let g = generators::labelled_clique(&c);
-        let semantic = decide_system(&StrongBroadcastSystem::new(&sb, &g), 500_000).unwrap();
+        let semantic = Exploration::explore(&StrongBroadcastSystem::new(&sb, &g), 500_000)
+            .map(|e| e.verdict())
+            .unwrap();
         let compiled = compile_strong_broadcast(&sb);
         let sys = BroadcastSystem::new(&compiled, &g).with_choice_cap(1 << 18);
-        let v = decide_system(&sys, 3_000_000).unwrap();
+        let v = Exploration::explore(&sys, 3_000_000)
+            .map(|e| e.verdict())
+            .unwrap();
         assert_eq!(semantic, v, "({a},{b})");
     }
 }
@@ -137,8 +160,14 @@ fn lemma_4_9_on_tree_families() {
             weak_async_models::graph::trees::labelled_caterpillar(&c),
         ] {
             let compiled = compile_absence(&am, g.max_degree());
-            let semantic = decide_system(&AbsenceSystem::new(&am, &g), 500_000).unwrap();
-            let flat = decide_pseudo_stochastic(&compiled, &g, 1_000_000).unwrap();
+            let semantic = Exploration::explore(&AbsenceSystem::new(&am, &g), 500_000)
+                .map(|e| e.verdict())
+                .unwrap();
+            let flat = Decider::new(&compiled, &g)
+                .limit(1_000_000)
+                .decide()
+                .map(|d| d.verdict)
+                .unwrap();
             assert_eq!(semantic, flat, "{c} on {g:?}");
         }
     }

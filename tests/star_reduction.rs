@@ -4,9 +4,8 @@
 //! the explored space.
 
 use weak_async_models::analysis::StarSystem;
-use weak_async_models::core::{
-    decide_pseudo_stochastic, decide_system, ExclusiveSystem, Exploration,
-};
+use weak_async_models::certify::Decider;
+use weak_async_models::core::{ExclusiveSystem, Exploration};
 use weak_async_models::extensions::{compile_rendezvous, GraphPopulationProtocol, MajorityState};
 use weak_async_models::graph::{generators, Label, LabelCount};
 
@@ -20,13 +19,19 @@ fn reduced_and_explicit_verdicts_agree_on_majority_machine() {
             Label(0),
             vec![(Label(0), a_leaves), (Label(1), b_leaves)],
         );
-        let reduced = decide_system(&sys, 3_000_000).unwrap();
+        let reduced = Exploration::explore(&sys, 3_000_000)
+            .map(|e| e.verdict())
+            .unwrap();
 
         // Explicit star with the same label count (centre gets label 0,
         // which labelled_star assigns to the first expanded label).
         let c = LabelCount::from_vec(vec![a_leaves + 1, b_leaves]);
         let g = generators::labelled_star(&c);
-        let explicit = decide_pseudo_stochastic(&machine, &g, 5_000_000).unwrap();
+        let explicit = Decider::new(&machine, &g)
+            .limit(5_000_000)
+            .decide()
+            .map(|d| d.verdict)
+            .unwrap();
         assert_eq!(reduced, explicit, "({a_leaves},{b_leaves})");
         // Majority of label 0: (a_leaves + 1) vs b_leaves.
         assert_eq!(reduced.decided(), Some(a_leaves + 1 > b_leaves));

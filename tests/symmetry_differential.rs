@@ -16,8 +16,8 @@
 use proptest::prelude::*;
 use weak_async_models::analysis::StarSystem;
 use weak_async_models::core::{
-    decide_symmetric, ExclusiveSystem, Exploration, ExploreOptions, LiberalSystem, Machine,
-    NodeSymmetric, Output, PermuteNodes, QuotientSystem, Symmetry, TransitionSystem,
+    Backend, ExclusiveSystem, Exploration, ExploreOptions, LiberalSystem, Machine, NodeSymmetric,
+    Output, PermuteNodes, QuotientSystem, Schedule, TransitionSystem,
 };
 use weak_async_models::extensions::{
     threshold_protocol, AbsenceMachine, AbsenceSystem, BroadcastSystem, GraphPopulationProtocol,
@@ -119,8 +119,9 @@ proptest! {
     #![proptest_config(ProptestConfig { cases: 20, ..ProptestConfig::default() })]
 
     /// Exclusive and liberal selection: random table machines on random
-    /// graphs. Also cross-checks the `decide_symmetric` policies: `Auto`,
-    /// `On` and `Off` must return the same verdict.
+    /// graphs. Also cross-checks the backend resolution of
+    /// [`weak_async_models::core::decide`]: `Auto`, `Explicit` and
+    /// `Quotient` must return the same verdict.
     #[test]
     fn quotient_preserves_verdicts_exclusive_and_liberal(
         init in (0u8..STATES, 0u8..STATES),
@@ -138,9 +139,16 @@ proptest! {
         let ex = ExclusiveSystem::new(&m, &g);
         let (full, reduced) = assert_quotient_agrees(&ex, 500_000);
         let expected = Exploration::explore(&ex, 500_000).unwrap().verdict();
-        for symmetry in [Symmetry::Auto, Symmetry::On, Symmetry::Off] {
-            let options = ExploreOptions { symmetry, ..ExploreOptions::default() };
-            prop_assert_eq!(decide_symmetric(&ex, options).unwrap(), expected);
+        for backend in [Backend::Auto, Backend::Explicit, Backend::Quotient] {
+            let (v, _) = weak_async_models::core::decide(
+                &m,
+                &g,
+                Schedule::PseudoStochastic,
+                backend,
+                ExploreOptions::with_limit(500_000),
+            )
+            .unwrap();
+            prop_assert_eq!(v, expected);
         }
         prop_assert!(reduced <= full);
 
