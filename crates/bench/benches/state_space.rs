@@ -24,8 +24,9 @@ use wam_certify::{
     StateTable, VerifyOptions,
 };
 use wam_core::{
-    Backend, Config, ExclusiveSystem, Exploration, ExploreOptions, Machine, NodeSymmetric, Output,
-    PermuteNodes, QuotientSystem, ResolvedBackend, Schedule, State, TransitionSystem, Verdict,
+    Backend, Config, ExclusiveSystem, Exploration, ExploreError, ExploreOptions, Machine,
+    NodeSymmetric, Output, PermuteNodes, QuotientSystem, ResolvedBackend, RingSystem, Schedule,
+    State, TransitionSystem, Verdict,
 };
 use wam_extensions::{
     compile_broadcasts, compile_rendezvous, BroadcastSystem, CounterPopulationSystem,
@@ -141,6 +142,18 @@ mod baseline {
     }
 }
 
+/// Per-phase wall times of one full decision on the default (parallel)
+/// engine configuration: exploration, reverse-CSR transpose, the two
+/// stable-set fixpoints, and the `verdict()` call (which re-runs the
+/// fixpoints on the by-then-cached reverse CSR — its time is the
+/// incremental cost of asking for the verdict after the stable sets).
+struct Phases {
+    explore_ms: f64,
+    reverse_csr_ms: f64,
+    fixpoint_ms: f64,
+    verdict_ms: f64,
+}
+
 struct Timing {
     name: String,
     nodes: u64,
@@ -150,6 +163,7 @@ struct Timing {
     baseline_ms: f64,
     sequential_ms: f64,
     parallel_ms: f64,
+    phases: Phases,
 }
 
 /// Best-of-`reps` wall time of `f`, in milliseconds.
@@ -230,6 +244,33 @@ where
     assert_eq!(bv.0, sv.0, "baseline and engine verdicts must agree");
     assert_eq!(sv.0, pv, "sequential and parallel verdicts must agree");
     assert_eq!(bv.1, sv.1, "reachable counts must agree");
+    // One instrumented decision on the default configuration, phase by
+    // phase: `build_reverse` isolates the transpose, the stable-set pair
+    // isolates the fixpoints, and the final `verdict()` shows the cost of
+    // re-deriving the verdict once the reverse CSR is cached.
+    let t0 = Instant::now();
+    let e = Exploration::explore_with(sys, sys.initial_config(), ExploreOptions::with_limit(limit))
+        .expect("within limit");
+    let explore_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    e.build_reverse();
+    let reverse_csr_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let stably_any = e
+        .stably_accepting()
+        .iter()
+        .chain(e.stably_rejecting().iter())
+        .any(|&b| b);
+    let fixpoint_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let verdict = e.verdict();
+    let verdict_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(verdict, sv.0, "instrumented run changed the verdict");
+    assert_eq!(
+        stably_any,
+        verdict != Verdict::NoConsensus,
+        "stable sets and verdict must agree"
+    );
     Timing {
         name: name.to_string(),
         nodes,
@@ -239,6 +280,92 @@ where
         baseline_ms,
         sequential_ms,
         parallel_ms,
+        phases: Phases {
+            explore_ms,
+            reverse_csr_ms,
+            fixpoint_ms,
+            verdict_ms,
+        },
+    }
+}
+
+struct SpillTiming {
+    name: String,
+    nodes: u64,
+    default_limit: usize,
+    raised_limit: usize,
+    budget_bytes: usize,
+    configs: usize,
+    edges: u64,
+    spilled_bytes: u64,
+    in_memory_ms: f64,
+    spilled_ms: f64,
+    verdict: Verdict,
+}
+
+/// One E19 spill row: a ring-backend workload whose configuration space
+/// exceeds the decider's default limit. The row records the refusal at the
+/// default limit, then decides the space twice at a raised limit — fully
+/// in memory and under a small edge-memory budget that spills compact CSR
+/// segments to disk — and asserts both decisions agree. Both timings cover
+/// explore + verdict (the spilled verdict streams the forward relation
+/// instead of building a reverse CSR).
+fn time_spill<S: State>(
+    name: &str,
+    m: &Machine<S>,
+    g: &Graph,
+    default_limit: usize,
+    raised_limit: usize,
+    budget_bytes: usize,
+) -> SpillTiming {
+    let ring = RingSystem::new(m, g).expect("bench cycles compress to rings");
+    let refused = Exploration::explore_with(
+        &ring,
+        ring.initial_config(),
+        ExploreOptions::with_limit(default_limit),
+    );
+    assert!(
+        matches!(refused, Err(ExploreError::TooLarge { .. })),
+        "the spill workload must exceed the default limit, or the row is meaningless"
+    );
+    let t0 = Instant::now();
+    let mem = Exploration::explore_with(
+        &ring,
+        ring.initial_config(),
+        ExploreOptions::with_limit(raised_limit),
+    )
+    .expect("within the raised limit");
+    let mem_verdict = mem.verdict();
+    let in_memory_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(!mem.was_spilled());
+    let t0 = Instant::now();
+    let spill = Exploration::explore_with(
+        &ring,
+        ring.initial_config(),
+        ExploreOptions::with_limit(raised_limit).memory_budget(budget_bytes),
+    )
+    .expect("within the raised limit");
+    let spill_verdict = spill.verdict();
+    let spilled_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        spill.was_spilled(),
+        "the budget must actually force a spill"
+    );
+    assert_eq!(mem_verdict, spill_verdict, "spill changed the verdict");
+    assert_eq!(mem.len(), spill.len());
+    assert_eq!(mem.edge_count(), spill.edge_count());
+    SpillTiming {
+        name: name.to_string(),
+        nodes: g.node_count() as u64,
+        default_limit,
+        raised_limit,
+        budget_bytes,
+        configs: mem.len(),
+        edges: mem.edge_count(),
+        spilled_bytes: spill.spilled_bytes(),
+        in_memory_ms,
+        spilled_ms,
+        verdict: mem_verdict,
     }
 }
 
@@ -512,6 +639,7 @@ fn write_report(
     symmetry: &[SymTiming],
     certificates: &[CertTiming],
     counter: &[CounterTiming],
+    spill: &[SpillTiming],
 ) {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -522,7 +650,7 @@ fn write_report(
             rows.push_str(",\n");
         }
         rows.push_str(&format!(
-            "    {{\n      \"workload\": \"{}\",\n      \"nodes\": {},\n      \"configs\": {},\n      \"edges\": {},\n      \"verdict\": \"{}\",\n      \"baseline_ms\": {:.3},\n      \"sequential_ms\": {:.3},\n      \"parallel_ms\": {:.3},\n      \"speedup_sequential_vs_baseline\": {:.2},\n      \"speedup_parallel_vs_baseline\": {:.2}\n    }}",
+            "    {{\n      \"workload\": \"{}\",\n      \"nodes\": {},\n      \"configs\": {},\n      \"edges\": {},\n      \"verdict\": \"{}\",\n      \"baseline_ms\": {:.3},\n      \"sequential_ms\": {:.3},\n      \"parallel_ms\": {:.3},\n      \"speedup_sequential_vs_baseline\": {:.2},\n      \"speedup_parallel_vs_baseline\": {:.2},\n      \"speedup_parallel_vs_sequential\": {:.2},\n      \"phases\": {{\n        \"explore_ms\": {:.3},\n        \"reverse_csr_ms\": {:.3},\n        \"fixpoint_ms\": {:.3},\n        \"verdict_ms\": {:.3}\n      }}\n    }}",
             json_escape(&t.name),
             t.nodes,
             t.configs,
@@ -533,6 +661,11 @@ fn write_report(
             t.parallel_ms,
             t.baseline_ms / t.sequential_ms,
             t.baseline_ms / t.parallel_ms,
+            t.sequential_ms / t.parallel_ms,
+            t.phases.explore_ms,
+            t.phases.reverse_csr_ms,
+            t.phases.fixpoint_ms,
+            t.phases.verdict_ms,
         ));
     }
     let mut sym_rows = String::new();
@@ -593,8 +726,29 @@ fn write_report(
             k.small_verdict,
         ));
     }
+    let mut spill_rows = String::new();
+    for (i, s) in spill.iter().enumerate() {
+        if i > 0 {
+            spill_rows.push_str(",\n");
+        }
+        spill_rows.push_str(&format!(
+            "      {{\n        \"workload\": \"{}\",\n        \"nodes\": {},\n        \"default_limit\": {},\n        \"refused_at_default_limit\": true,\n        \"raised_limit\": {},\n        \"memory_budget_bytes\": {},\n        \"configs\": {},\n        \"edges\": {},\n        \"spilled_bytes\": {},\n        \"in_memory_ms\": {:.3},\n        \"spilled_ms\": {:.3},\n        \"slowdown\": {:.2},\n        \"verdict\": \"{}\"\n      }}",
+            json_escape(&s.name),
+            s.nodes,
+            s.default_limit,
+            s.raised_limit,
+            s.budget_bytes,
+            s.configs,
+            s.edges,
+            s.spilled_bytes,
+            s.in_memory_ms,
+            s.spilled_ms,
+            s.spilled_ms / s.in_memory_ms,
+            s.verdict,
+        ));
+    }
     let json = format!(
-        "{{\n  \"bench\": \"state_space\",\n  \"baseline\": \"seed HashMap/Vec<Vec> explorer (SipHash, per-query predecessor rebuild)\",\n  \"engine\": \"interned CSR explorer (FxHash shards, bitset Pre*, cached reverse CSR)\",\n  \"cores\": {cores},\n  \"timing\": \"best of repetitions, milliseconds, explore + verdict\",\n  \"workloads\": [\n{rows}\n  ],\n  \"symmetry\": {{\n    \"group_cap\": {DEFAULT_GROUP_CAP},\n    \"note\": \"full vs orbit-quotient exploration, both sequential; quotient timing includes computing Aut(G); the structural (label-free) group applies because labels only seed the initial configuration\",\n    \"workloads\": [\n{sym_rows}\n    ]\n  }},\n  \"certificates\": {{\n    \"note\": \"plain decider vs certificate-emitting decider vs independent verifier; emission_overhead = certified_ms / plain_ms; json_bytes is the serialised certificate size; transported rows were emitted from an orbit-quotient run\",\n    \"workloads\": [\n{cert_rows}\n    ]\n  }},\n  \"counter\": {{\n    \"note\": \"counter-abstracted backend (Backend::Counter / CounterPopulationSystem) on 10^3-10^4-node graphs; every verdict cross-validated against the explicit engine on a ratio-preserving small instance of the same family (small_nodes/small_verdict); backend 'counter' = twin-partition count vectors, 'ring' = canonical necklaces on cycles, 'counter-population' = rendez-vous count moves\",\n    \"workloads\": [\n{counter_rows}\n    ]\n  }}\n}}\n"
+        "{{\n  \"bench\": \"state_space\",\n  \"baseline\": \"seed HashMap/Vec<Vec> explorer (SipHash, per-query predecessor rebuild)\",\n  \"engine\": \"interned CSR explorer (FxHash shards, pipelined level merge, bitset Pre*, cached reverse CSR)\",\n  \"cores\": {cores},\n  \"timing\": \"best of repetitions, milliseconds, explore only; phases are one instrumented run on the default (parallel) configuration, and verdict_ms re-runs the fixpoints on the cached reverse CSR\",\n  \"workloads\": [\n{rows}\n  ],\n  \"symmetry\": {{\n    \"group_cap\": {DEFAULT_GROUP_CAP},\n    \"note\": \"full vs orbit-quotient exploration, both sequential; quotient timing includes computing Aut(G); the structural (label-free) group applies because labels only seed the initial configuration\",\n    \"workloads\": [\n{sym_rows}\n    ]\n  }},\n  \"certificates\": {{\n    \"note\": \"plain decider vs certificate-emitting decider vs independent verifier; emission_overhead = certified_ms / plain_ms; json_bytes is the serialised certificate size; transported rows were emitted from an orbit-quotient run\",\n    \"workloads\": [\n{cert_rows}\n    ]\n  }},\n  \"counter\": {{\n    \"note\": \"counter-abstracted backend (Backend::Counter / CounterPopulationSystem) on 10^3-10^4-node graphs; every verdict cross-validated against the explicit engine on a ratio-preserving small instance of the same family (small_nodes/small_verdict); backend 'counter' = twin-partition count vectors, 'ring' = canonical necklaces on cycles, 'counter-population' = rendez-vous count moves\",\n    \"workloads\": [\n{counter_rows}\n    ]\n  }},\n  \"spill\": {{\n    \"note\": \"E19 out-of-core spill path: workloads refused at the default limit, re-decided at a raised limit fully in memory and under a small edge-memory budget (compact CSR segments flushed to a temp file, fixpoints via streaming forward passes); both decisions must agree\",\n    \"workloads\": [\n{spill_rows}\n    ]\n  }}\n}}\n"
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_explore.json");
     std::fs::write(path, &json).expect("write BENCH_explore.json");
@@ -1130,5 +1284,48 @@ fn main() {
         "E18 — counter-abstracted backend at 10³–10⁴ nodes (verdicts cross-validated at small n)",
     );
 
-    write_report(&timings, &symmetry, &certificates, &counter);
+    // ── E19 — memory-budgeted spill path on a formerly-refused space ──────
+    // The presence-pair predicate on a 300-node cycle reaches ~1.7M ring
+    // configurations — over the decider's default 1M limit. With a raised
+    // limit it fits in memory; with a 2 MiB edge budget the compact CSR
+    // spills to disk and the fixpoints stream the forward relation, so the
+    // decision completes with bounded edge residency either way.
+    let mut spill = Vec::new();
+    {
+        let g = generators::labelled_cycle(&LabelCount::from_vec(vec![150, 150]));
+        spill.push(time_spill(
+            "x₀ ≥ 1 ∧ x₁ ≥ 1 (presence set) ring cycle",
+            &both_present,
+            &g,
+            1_000_000,
+            2_000_000,
+            2 << 20,
+        ));
+    }
+
+    let mut spt = Table::new([
+        "workload",
+        "configs",
+        "edges",
+        "budget",
+        "spilled bytes",
+        "in-memory ms",
+        "spilled ms",
+        "slowdown",
+    ]);
+    for s in &spill {
+        spt.row([
+            s.name.clone(),
+            s.configs.to_string(),
+            s.edges.to_string(),
+            format!("{} KiB", s.budget_bytes / 1024),
+            s.spilled_bytes.to_string(),
+            format!("{:.0}", s.in_memory_ms),
+            format!("{:.0}", s.spilled_ms),
+            format!("{:.2}x", s.spilled_ms / s.in_memory_ms),
+        ]);
+    }
+    spt.print("E19 — spill path: refused at the default limit, decided under a memory budget");
+
+    write_report(&timings, &symmetry, &certificates, &counter, &spill);
 }

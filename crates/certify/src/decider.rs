@@ -328,7 +328,7 @@ fn counter_decision<S: State>(
     Ok(Decision {
         verdict: cv.verdict,
         certificate: Some(DecisionCertificate::Counter(cv.certificate)),
-        stats: DecisionStats::new(ResolvedBackend::Counter, e.len()),
+        stats: DecisionStats::new(ResolvedBackend::Counter, e.len()).with_spilled(e.was_spilled()),
     })
 }
 
@@ -341,7 +341,7 @@ fn ring_decision<S: State>(
     Ok(Decision {
         verdict: cv.verdict,
         certificate: Some(DecisionCertificate::Ring(cv.certificate)),
-        stats: DecisionStats::new(ResolvedBackend::Ring, e.len()),
+        stats: DecisionStats::new(ResolvedBackend::Ring, e.len()).with_spilled(e.was_spilled()),
     })
 }
 

@@ -107,7 +107,7 @@ fn path_ids<C: Clone + Eq + std::hash::Hash + std::fmt::Debug>(
     parent[0] = 0;
     let mut queue = VecDeque::from([0u32]);
     while let Some(i) = queue.pop_front() {
-        for &j in e.successors(i as usize) {
+        for &j in e.successors(i as usize).iter() {
             if parent[j as usize] != u32::MAX {
                 continue;
             }
@@ -137,7 +137,7 @@ fn reach_ids<C: Clone + Eq + std::hash::Hash + std::fmt::Debug>(
     seen[start as usize] = true;
     let mut stack = vec![start];
     while let Some(i) = stack.pop() {
-        for &j in e.successors(i as usize) {
+        for &j in e.successors(i as usize).iter() {
             if !seen[j as usize] {
                 seen[j as usize] = true;
                 stack.push(j);

@@ -99,12 +99,26 @@ pub struct DecisionStats {
     /// Configurations interned (exploration backends) or steps walked
     /// before the lasso closed (lasso backends).
     pub explored: usize,
+    /// Whether the exploration spilled successor storage to disk (see
+    /// [`ExploreOptions::memory_budget`]; always `false` for lasso
+    /// backends and budget-less runs).
+    pub spilled: bool,
 }
 
 impl DecisionStats {
-    /// Bundles a backend with its explored-state count.
+    /// Bundles a backend with its explored-state count (no spill).
     pub fn new(backend: ResolvedBackend, explored: usize) -> Self {
-        DecisionStats { backend, explored }
+        DecisionStats {
+            backend,
+            explored,
+            spilled: false,
+        }
+    }
+
+    /// Records whether the decision's exploration spilled to disk.
+    pub fn with_spilled(mut self, spilled: bool) -> Self {
+        self.spilled = spilled;
+        self
     }
 }
 
@@ -167,18 +181,21 @@ fn decide_pseudo_stochastic_backend<S: State>(
         let e = Exploration::explore_with(&system, system.initial_config(), options)?;
         Ok((
             e.verdict(),
-            DecisionStats::new(ResolvedBackend::Explicit, e.len()),
+            DecisionStats::new(ResolvedBackend::Explicit, e.len()).with_spilled(e.was_spilled()),
         ))
     };
     let symmetric = |options: ExploreOptions| {
-        let (verdict, reduced, explored) =
+        let (verdict, reduced, explored, spilled) =
             crate::symmetry::decide_symmetric_stats(&system, options)?;
         let resolved = if reduced {
             ResolvedBackend::Quotient
         } else {
             ResolvedBackend::Explicit
         };
-        Ok((verdict, DecisionStats::new(resolved, explored)))
+        Ok((
+            verdict,
+            DecisionStats::new(resolved, explored).with_spilled(spilled),
+        ))
     };
     match backend {
         Backend::Explicit => explicit(options),
@@ -188,7 +205,8 @@ fn decide_pseudo_stochastic_backend<S: State>(
                 let e = Exploration::explore_with(&counter, counter.initial_config(), options)?;
                 Ok((
                     e.verdict(),
-                    DecisionStats::new(ResolvedBackend::Counter, e.len()),
+                    DecisionStats::new(ResolvedBackend::Counter, e.len())
+                        .with_spilled(e.was_spilled()),
                 ))
             }
             Err(_) => match RingSystem::new(machine, graph) {
@@ -196,7 +214,8 @@ fn decide_pseudo_stochastic_backend<S: State>(
                     let e = Exploration::explore_with(&ring, ring.initial_config(), options)?;
                     Ok((
                         e.verdict(),
-                        DecisionStats::new(ResolvedBackend::Ring, e.len()),
+                        DecisionStats::new(ResolvedBackend::Ring, e.len())
+                            .with_spilled(e.was_spilled()),
                     ))
                 }
                 Err(_) => Err(ExploreError::Unsupported {
@@ -219,14 +238,16 @@ fn decide_pseudo_stochastic_backend<S: State>(
                 let e = Exploration::explore_with(&counter, counter.initial_config(), options)?;
                 return Ok((
                     e.verdict(),
-                    DecisionStats::new(ResolvedBackend::Counter, e.len()),
+                    DecisionStats::new(ResolvedBackend::Counter, e.len())
+                        .with_spilled(e.was_spilled()),
                 ));
             }
             if let Ok(ring) = RingSystem::new(machine, graph) {
                 let e = Exploration::explore_with(&ring, ring.initial_config(), options)?;
                 return Ok((
                     e.verdict(),
-                    DecisionStats::new(ResolvedBackend::Ring, e.len()),
+                    DecisionStats::new(ResolvedBackend::Ring, e.len())
+                        .with_spilled(e.was_spilled()),
                 ));
             }
             symmetric(options)

@@ -162,19 +162,26 @@ struct ShardWork<'a, C> {
     /// first-occurrence order; a fresh candidate's provisional id is its
     /// index in this list, tagged with `FRESH_BIT`.
     fresh: Vec<u32>,
+    /// Bucket prefix already deduplicated by earlier [`ShardWork::run`]
+    /// calls — the cursor that makes the merge *incremental*, so a level
+    /// can be deduplicated batch by batch while later batches are still
+    /// being generated (the pipelined merge).
+    done: usize,
 }
 
 impl<C: Eq> ShardWork<'_, C> {
-    /// Deduplicates the shard's bucket against the global table and
-    /// against itself, assigning provisional ids to fresh configurations.
+    /// Deduplicates the shard's bucket (the part arrived since the last
+    /// call) against the global table and against itself, assigning
+    /// provisional ids to fresh configurations.
     fn run(&mut self) {
         let ShardWork {
             table,
             configs,
             bucket,
             fresh,
+            done,
         } = self;
-        for i in 0..bucket.len() {
+        for i in *done..bucket.len() {
             let hash = bucket[i].hash;
             let tag = FRESH_BIT | fresh.len() as u32;
             let probe = {
@@ -201,6 +208,7 @@ impl<C: Eq> ShardWork<'_, C> {
                 }
             }
         }
+        *done = bucket.len();
     }
 }
 
@@ -319,16 +327,69 @@ impl<C: Eq + Hash> Interner<C> {
     where
         C: Send + Sync,
     {
-        let total: usize = parts.iter().map(Vec::len).sum();
-        let mut out: Vec<u32> = vec![0; total];
+        let (out, fresh) = {
+            let (mut session, _) = self.level_session();
+            session.push_parts(parts, parallel);
+            session.finish()
+        };
+        self.append_fresh(fresh);
+        out
+    }
 
-        // Route candidates to shard buckets in deterministic flat order.
-        let mut buckets: Vec<Vec<Candidate<C>>> = (0..SHARDS).map(|_| Vec::new()).collect();
-        let mut pos = 0u32;
+    /// Opens an **incremental** level merge: candidates can be pushed in
+    /// several batches ([`LevelSession::push_parts`]), each deduplicated as
+    /// it arrives, and [`LevelSession::finish`] assigns dense ids to the
+    /// whole level at once — in first-occurrence flat order across all
+    /// batches, exactly as one big [`intern_hashed_level`] call (or an
+    /// item-by-item [`intern`](Self::intern) walk) would.
+    ///
+    /// The second return value is the dense configuration store, readable
+    /// while the session is live (the exploration engine's generator
+    /// threads read frontier configurations from it while the main thread
+    /// merges earlier batches — the pipelined level merge). Fresh
+    /// configurations discovered by the session are returned by `finish`
+    /// and must be handed back via [`Self::append_fresh`].
+    pub(crate) fn level_session(&mut self) -> (LevelSession<'_, C>, &[C]) {
+        let Interner { tables, configs } = self;
+        let configs: &[C] = configs;
+        let works = tables
+            .iter_mut()
+            .map(|table| ShardWork {
+                table,
+                configs,
+                bucket: Vec::new(),
+                fresh: Vec::new(),
+                done: 0,
+            })
+            .collect();
+        (LevelSession { works, total: 0 }, configs)
+    }
+
+    /// Appends the fresh configurations a [`LevelSession`] discovered (they
+    /// arrive in dense-id order from [`LevelSession::finish`]).
+    pub(crate) fn append_fresh(&mut self, mut fresh: Vec<C>) {
+        self.configs.append(&mut fresh);
+    }
+}
+
+/// An in-progress incremental level merge (see
+/// [`Interner::level_session`]).
+pub(crate) struct LevelSession<'a, C> {
+    works: Vec<ShardWork<'a, C>>,
+    /// Candidates routed so far (the next candidate's flat position).
+    total: usize,
+}
+
+impl<C: Eq + Hash + Send + Sync> LevelSession<'_, C> {
+    /// Routes one batch of pre-hashed candidates to their shards and
+    /// deduplicates the new arrivals — in parallel across shards when
+    /// `parallel` is set. Flat positions continue across batches.
+    pub(crate) fn push_parts(&mut self, parts: Vec<Vec<(u64, C)>>, parallel: bool) {
+        let mut pos = self.total as u32;
         for part in parts {
             for (hash, cfg) in part {
                 debug_assert_eq!(hash, fx_hash(&cfg), "candidate arrived mis-hashed");
-                buckets[shard_of(hash)].push(Candidate {
+                self.works[shard_of(hash)].bucket.push(Candidate {
                     pos,
                     hash,
                     cfg: Some(cfg),
@@ -337,34 +398,28 @@ impl<C: Eq + Hash> Interner<C> {
                 pos += 1;
             }
         }
-
-        // Per-shard dedup, optionally one thread per shard.
-        let configs = &self.configs;
-        let mut works: Vec<ShardWork<'_, C>> = self
-            .tables
-            .iter_mut()
-            .zip(buckets)
-            .map(|(table, bucket)| ShardWork {
-                table,
-                configs,
-                bucket,
-                fresh: Vec::new(),
-            })
-            .collect();
+        self.total = pos as usize;
         if parallel {
-            works.par_iter_mut().for_each(|work| work.run());
+            self.works.par_iter_mut().for_each(|work| work.run());
         } else {
-            for work in &mut works {
+            for work in &mut self.works {
                 work.run();
             }
         }
+    }
 
-        // Dense id assignment in first-occurrence flat order — the arrival
-        // order of an item-by-item intern() walk. Each fresh candidate has
-        // a unique position, so the sort is a total order.
-        let base = self.configs.len() as u32;
+    /// Assigns dense ids in first-occurrence flat order — the arrival
+    /// order of an item-by-item intern() walk — and resolves every
+    /// candidate. Returns the ids of all pushed candidates (flat, in push
+    /// order) and the fresh configurations in dense-id order; the caller
+    /// must pass the latter to [`Interner::append_fresh`].
+    pub(crate) fn finish(mut self) -> (Vec<u32>, Vec<C>) {
+        let mut out: Vec<u32> = vec![0; self.total];
+        // Each fresh candidate has a unique position, so the sort is a
+        // total order.
+        let base = self.works[0].configs.len() as u32;
         let mut fresh_all: Vec<(u32, u32, u32)> = Vec::new();
-        for (shard, work) in works.iter().enumerate() {
+        for (shard, work) in self.works.iter().enumerate() {
             for (local, &bucket_pos) in work.fresh.iter().enumerate() {
                 let cand = &work.bucket[bucket_pos as usize];
                 fresh_all.push((cand.pos, shard as u32, local as u32));
@@ -377,19 +432,20 @@ impl<C: Eq + Hash> Interner<C> {
         );
 
         // Resolve each shard's provisional ids to final dense ids, and move
-        // fresh configurations into the dense store in id order.
-        let mut final_ids: Vec<Vec<u32>> = works.iter().map(|w| vec![0; w.fresh.len()]).collect();
+        // fresh configurations out of the buckets in id order.
+        let mut final_ids: Vec<Vec<u32>> =
+            self.works.iter().map(|w| vec![0; w.fresh.len()]).collect();
         let mut fresh_cfgs: Vec<C> = Vec::with_capacity(fresh_all.len());
         for (k, &(_, shard, local)) in fresh_all.iter().enumerate() {
             final_ids[shard as usize][local as usize] = base + k as u32;
-            let bucket_pos = works[shard as usize].fresh[local as usize] as usize;
-            let cfg = works[shard as usize].bucket[bucket_pos]
+            let bucket_pos = self.works[shard as usize].fresh[local as usize] as usize;
+            let cfg = self.works[shard as usize].bucket[bucket_pos]
                 .cfg
                 .take()
                 .expect("fresh config owned");
             fresh_cfgs.push(cfg);
         }
-        for (work, ids) in works.iter_mut().zip(&final_ids) {
+        for (work, ids) in self.works.iter_mut().zip(&final_ids) {
             work.table.fixup_fresh(|local| ids[local as usize]);
             for cand in &work.bucket {
                 let id = if cand.id & FRESH_BIT != 0 {
@@ -400,9 +456,7 @@ impl<C: Eq + Hash> Interner<C> {
                 out[cand.pos as usize] = id;
             }
         }
-        drop(works);
-        self.configs.append(&mut fresh_cfgs);
-        out
+        (out, fresh_cfgs)
     }
 }
 
@@ -483,6 +537,40 @@ mod tests {
             .collect();
         assert_eq!(ids, item_ids);
         assert_eq!(by_level.configs(), by_item.configs());
+    }
+
+    #[test]
+    fn batched_session_matches_single_level_call() {
+        // The pipelined level merge feeds a `LevelSession` batch by batch;
+        // the ids and fresh configurations must match one
+        // `intern_hashed_level` call over the whole level, for any batch
+        // split and in both the sequential and parallel dedup modes.
+        let items: Vec<u64> = (0..200).map(|k| (k * 37) % 61).collect();
+        let hash = |c: &u64| fx_hash(c);
+        for parallel in [false, true] {
+            for split in [1usize, 3, 7, 50] {
+                let mut whole: Interner<u64> = Interner::new();
+                whole.intern(999); // pre-seeded entries must survive
+                let all: Vec<Vec<(u64, u64)>> = vec![items.iter().map(|c| (hash(c), *c)).collect()];
+                let expect = whole.intern_hashed_level(all, parallel);
+
+                let mut batched: Interner<u64> = Interner::new();
+                batched.intern(999);
+                let out = {
+                    let (mut session, _) = batched.level_session();
+                    for batch in items.chunks(items.len().div_ceil(split)) {
+                        let parts: Vec<Vec<(u64, u64)>> =
+                            vec![batch.iter().map(|c| (hash(c), *c)).collect()];
+                        session.push_parts(parts, parallel);
+                    }
+                    let (out, fresh) = session.finish();
+                    batched.append_fresh(fresh);
+                    out
+                };
+                assert_eq!(out, expect, "parallel={parallel} split={split}");
+                assert_eq!(batched.configs(), whole.configs());
+            }
+        }
     }
 
     #[test]

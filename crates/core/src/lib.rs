@@ -53,6 +53,7 @@ mod class;
 mod config;
 pub mod counter;
 mod decider;
+mod edges;
 mod explore;
 mod halting;
 mod intern;
@@ -73,8 +74,8 @@ pub use explore::{
     decide_adversarial_round_robin, decide_pseudo_stochastic, decide_synchronous, decide_system,
 };
 pub use explore::{
-    ExclusiveSystem, Exploration, ExploreError, ExploreOptions, LiberalSystem, Symmetry,
-    TransitionSystem, Verdict,
+    EdgeEncoding, ExclusiveSystem, Exploration, ExploreError, ExploreOptions, LevelStat,
+    LiberalSystem, SuccRow, Symmetry, TransitionSystem, Verdict,
 };
 pub use halting::{halting_violations, make_halting};
 pub use intern::Interner;

@@ -294,23 +294,24 @@ where
     T: NodeSymmetric + Sync,
     T::C: PermuteNodes + Send + Sync,
 {
-    decide_symmetric_stats(system, options).map(|(verdict, _, _)| verdict)
+    decide_symmetric_stats(system, options).map(|(verdict, _, _, _)| verdict)
 }
 
 /// [`decide_symmetric`]'s engine: additionally reports whether the orbit
-/// quotient was explored and how many configurations (or orbit
-/// representatives) were interned. Consumed by `wam_core::decide`.
+/// quotient was explored, how many configurations (or orbit
+/// representatives) were interned, and whether the edge relation spilled
+/// to disk. Consumed by `wam_core::decide`.
 pub(crate) fn decide_symmetric_stats<T>(
     system: &T,
     options: ExploreOptions,
-) -> Result<(Verdict, bool, usize), ExploreError>
+) -> Result<(Verdict, bool, usize, bool), ExploreError>
 where
     T: NodeSymmetric + Sync,
     T::C: PermuteNodes + Send + Sync,
 {
     if options.symmetry == Symmetry::Off {
         let e = Exploration::explore_with(system, system.initial_config(), options)?;
-        return Ok((e.verdict(), false, e.len()));
+        return Ok((e.verdict(), false, e.len(), e.was_spilled()));
     }
     let group = automorphism_group(system.symmetry_graph(), options.symmetry_cap);
     let reduce = match options.symmetry {
@@ -320,13 +321,13 @@ where
     };
     if !reduce {
         let e = Exploration::explore_with(system, system.initial_config(), options)?;
-        return Ok((e.verdict(), false, e.len()));
+        return Ok((e.verdict(), false, e.len(), e.was_spilled()));
     }
     // A capped enumeration already degraded to the (complete) trivial
     // group, so the assertion in `new` cannot fire here.
     let quotient = QuotientSystem::new(system, group);
     let e = Exploration::explore_with(&quotient, quotient.initial_config(), options)?;
-    Ok((e.verdict(), true, e.len()))
+    Ok((e.verdict(), true, e.len(), e.was_spilled()))
 }
 
 #[cfg(test)]
@@ -422,10 +423,12 @@ mod tests {
         let expected = Exploration::explore(&sys, 1_000_000).unwrap().verdict();
         for symmetry in [Symmetry::Auto, Symmetry::On, Symmetry::Off] {
             let options = ExploreOptions::default().symmetry(symmetry);
-            let (verdict, reduced, explored) = decide_symmetric_stats(&sys, options).unwrap();
+            let (verdict, reduced, explored, spilled) =
+                decide_symmetric_stats(&sys, options).unwrap();
             assert_eq!(verdict, expected);
             assert_eq!(reduced, symmetry != Symmetry::Off);
             assert!(explored > 0);
+            assert!(!spilled, "no budget set, so nothing should spill");
         }
     }
 }

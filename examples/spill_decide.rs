@@ -1,0 +1,54 @@
+//! Deciding a configuration space that outgrows memory comfort: the
+//! presence-pair predicate `x₀ ≥ 1 ∧ x₁ ≥ 1` on a 300-node cycle reaches
+//! ~1.7 million ring configurations — over the engine's default 1M
+//! interning limit. Raising the limit alone keeps every successor edge
+//! resident; setting a **memory budget** additionally spills compact CSR
+//! segments to a temp file, so the edge relation's resident footprint
+//! stays near the budget while the verdict comes out identical (fixpoints
+//! run as streaming forward passes over the spilled stream).
+//!
+//! ```sh
+//! cargo run --release --example spill_decide
+//! ```
+
+use std::time::Instant;
+use weak_async_models::core::{Exploration, ExploreOptions, RingSystem, TransitionSystem, Verdict};
+use weak_async_models::graph::{generators, LabelCount};
+use weak_async_models::protocols::cutoff_one_machine;
+
+fn main() {
+    let machine = cutoff_one_machine(2, |p| p[0] && p[1]);
+    let graph = generators::labelled_cycle(&LabelCount::from_vec(vec![150, 150]));
+    let ring = RingSystem::new(&machine, &graph).expect("cycles compress to rings");
+
+    // At the default limit the space is refused outright.
+    let refused = Exploration::explore_with(
+        &ring,
+        ring.initial_config(),
+        ExploreOptions::with_limit(1_000_000),
+    );
+    println!("default limit: {}", refused.expect_err("too large"));
+
+    // With a raised limit and a 2 MiB edge budget, the same space decides
+    // out of core: edges are delta/varint-encoded and flushed to disk in
+    // segments, and `Pre*` streams them back chunk by chunk.
+    let t0 = Instant::now();
+    let e = Exploration::explore_with(
+        &ring,
+        ring.initial_config(),
+        ExploreOptions::with_limit(2_000_000).memory_budget(2 << 20),
+    )
+    .expect("fits the raised limit");
+    let verdict = e.verdict();
+    println!(
+        "budgeted run: {} configurations, {} edges, {:.1} MiB spilled, \
+         verdict '{}' in {:.1}s",
+        e.len(),
+        e.edge_count(),
+        e.spilled_bytes() as f64 / (1 << 20) as f64,
+        verdict,
+        t0.elapsed().as_secs_f64(),
+    );
+    assert!(e.was_spilled(), "the budget must actually spill");
+    assert_eq!(verdict, Verdict::Accepts, "both labels are present");
+}
