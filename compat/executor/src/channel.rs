@@ -1,0 +1,408 @@
+//! Async channels: [`oneshot`] for single values (join handles, reply
+//! slots, coalesced waiters) and bounded [`mpsc`] for streams with
+//! backpressure (the service's reply pipe).
+
+/// Single-producer, single-consumer, single-value channel.
+pub mod oneshot {
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::sync::{Arc, Mutex};
+    use std::task::{Context, Poll, Waker};
+
+    enum State<T> {
+        /// Nothing sent yet; the receiver may have parked a waker.
+        Empty(Option<Waker>),
+        /// A value is waiting for the receiver.
+        Value(T),
+        /// The sender was dropped without sending, or the value was taken.
+        Closed,
+    }
+
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+    }
+
+    /// Sending half: consumes itself on [`Sender::send`].
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Receiving half: a future resolving to the sent value.
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// The sender was dropped before sending a value.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("oneshot sender dropped without sending")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Creates a oneshot channel.
+    pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State::Empty(None)),
+        });
+        (
+            Sender {
+                chan: Arc::clone(&chan),
+            },
+            Receiver { chan },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Delivers `value`; returns it back if the receiver is gone.
+        pub fn send(self, value: T) -> Result<(), T> {
+            let mut state = self.chan.state.lock().unwrap();
+            match std::mem::replace(&mut *state, State::Value(value)) {
+                State::Empty(waker) => {
+                    drop(state);
+                    if let Some(w) = waker {
+                        w.wake();
+                    }
+                    Ok(())
+                }
+                State::Closed => {
+                    let State::Value(v) = std::mem::replace(&mut *state, State::Closed) else {
+                        unreachable!("value was just stored");
+                    };
+                    Err(v)
+                }
+                State::Value(_) => unreachable!("oneshot sender used twice"),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.chan.state.lock().unwrap();
+            // Only an un-sent channel closes here; a delivered value must
+            // stay in place for the receiver.
+            if matches!(*state, State::Empty(_)) {
+                let State::Empty(waker) = std::mem::replace(&mut *state, State::Closed) else {
+                    unreachable!("state was just matched as Empty");
+                };
+                drop(state);
+                if let Some(w) = waker {
+                    w.wake();
+                }
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.chan.state.lock().unwrap();
+            if matches!(*state, State::Empty(_)) {
+                *state = State::Closed;
+            }
+        }
+    }
+
+    impl<T> Future for Receiver<T> {
+        type Output = Result<T, RecvError>;
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let mut state = self.chan.state.lock().unwrap();
+            match std::mem::replace(&mut *state, State::Closed) {
+                State::Value(v) => Poll::Ready(Ok(v)),
+                State::Closed => Poll::Ready(Err(RecvError)),
+                State::Empty(_) => {
+                    *state = State::Empty(Some(cx.waker().clone()));
+                    Poll::Pending
+                }
+            }
+        }
+    }
+}
+
+/// Multi-producer, single-consumer bounded channel with async
+/// backpressure.
+pub mod mpsc {
+    use std::collections::VecDeque;
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::sync::{Arc, Mutex};
+    use std::task::{Context, Poll, Waker};
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        capacity: usize,
+        senders: usize,
+        receiver_alive: bool,
+        recv_waker: Option<Waker>,
+        send_wakers: VecDeque<Waker>,
+    }
+
+    struct Chan<T> {
+        inner: Mutex<Inner<T>>,
+    }
+
+    /// Cloneable sending half.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Receiving half.
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Why [`Sender::try_send`] refused a value.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The queue is at capacity.
+        Full(T),
+        /// The receiver is gone.
+        Closed(T),
+    }
+
+    /// The receiver was dropped; awaited sends fail with the value back.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Creates a bounded channel holding at most `capacity` queued values
+    /// (at least one).
+    pub fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                capacity: capacity.max(1),
+                senders: 1,
+                receiver_alive: true,
+                recv_waker: None,
+                send_wakers: VecDeque::new(),
+            }),
+        });
+        (
+            Sender {
+                chan: Arc::clone(&chan),
+            },
+            Receiver { chan },
+        )
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.inner.lock().unwrap().senders += 1;
+            Sender {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.chan.inner.lock().unwrap();
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                let waker = inner.recv_waker.take();
+                drop(inner);
+                if let Some(w) = waker {
+                    w.wake();
+                }
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut inner = self.chan.inner.lock().unwrap();
+            inner.receiver_alive = false;
+            let wakers: Vec<Waker> = inner.send_wakers.drain(..).collect();
+            drop(inner);
+            for w in wakers {
+                w.wake();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues without waiting; fails when full or closed.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut inner = self.chan.inner.lock().unwrap();
+            if !inner.receiver_alive {
+                return Err(TrySendError::Closed(value));
+            }
+            if inner.queue.len() >= inner.capacity {
+                return Err(TrySendError::Full(value));
+            }
+            inner.queue.push_back(value);
+            let waker = inner.recv_waker.take();
+            drop(inner);
+            if let Some(w) = waker {
+                w.wake();
+            }
+            Ok(())
+        }
+
+        /// Enqueues `value`, waiting for space when the queue is full.
+        pub fn send(&self, value: T) -> Send<'_, T> {
+            Send {
+                sender: self,
+                value: Some(value),
+            }
+        }
+    }
+
+    /// Future returned by [`Sender::send`].
+    pub struct Send<'a, T> {
+        sender: &'a Sender<T>,
+        value: Option<T>,
+    }
+
+    // Sound: the future never creates a `Pin<&mut T>` into `value`, so
+    // pinning the future does not pin the payload.
+    impl<T> Unpin for Send<'_, T> {}
+
+    impl<T> Future for Send<'_, T> {
+        type Output = Result<(), SendError<T>>;
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            // `value` is the only pinned-irrelevant state; Send is Unpin.
+            let this = self.get_mut();
+            let value = this.value.take().expect("Send polled after completion");
+            match this.sender.try_send(value) {
+                Ok(()) => Poll::Ready(Ok(())),
+                Err(TrySendError::Closed(v)) => Poll::Ready(Err(SendError(v))),
+                Err(TrySendError::Full(v)) => {
+                    this.value = Some(v);
+                    let mut inner = this.sender.chan.inner.lock().unwrap();
+                    // Re-check under the lock: the receiver may have drained
+                    // the queue between try_send and parking the waker.
+                    if inner.queue.len() < inner.capacity || !inner.receiver_alive {
+                        drop(inner);
+                        cx.waker().wake_by_ref();
+                    } else {
+                        inner.send_wakers.push_back(cx.waker().clone());
+                    }
+                    Poll::Pending
+                }
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues the next value; resolves to `None` once every sender is
+        /// dropped and the queue is drained.
+        pub fn recv(&mut self) -> Recv<'_, T> {
+            Recv { receiver: self }
+        }
+    }
+
+    /// Future returned by [`Receiver::recv`].
+    pub struct Recv<'a, T> {
+        receiver: &'a mut Receiver<T>,
+    }
+
+    impl<T> Future for Recv<'_, T> {
+        type Output = Option<T>;
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let mut inner = self.receiver.chan.inner.lock().unwrap();
+            if let Some(v) = inner.queue.pop_front() {
+                let waker = inner.send_wakers.pop_front();
+                drop(inner);
+                if let Some(w) = waker {
+                    w.wake();
+                }
+                return Poll::Ready(Some(v));
+            }
+            if inner.senders == 0 {
+                return Poll::Ready(None);
+            }
+            inner.recv_waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{block_on, Runtime};
+
+    #[test]
+    fn oneshot_roundtrip() {
+        let (tx, rx) = oneshot::channel();
+        tx.send(5).unwrap();
+        assert_eq!(block_on(rx), Ok(5));
+    }
+
+    #[test]
+    fn oneshot_sender_dropped() {
+        let (tx, rx) = oneshot::channel::<u8>();
+        drop(tx);
+        assert_eq!(block_on(rx), Err(oneshot::RecvError));
+    }
+
+    #[test]
+    fn oneshot_receiver_dropped() {
+        let (tx, rx) = oneshot::channel();
+        drop(rx);
+        assert_eq!(tx.send(9), Err(9));
+    }
+
+    #[test]
+    fn mpsc_backpressure_and_fifo() {
+        let rt = Runtime::new(2);
+        let (tx, mut rx) = mpsc::channel(2);
+        let producer = rt.spawn(async move {
+            for i in 0..100u32 {
+                tx.send(i).await.unwrap();
+            }
+        });
+        let drained = block_on(async move {
+            let mut out = Vec::new();
+            while let Some(v) = rx.recv().await {
+                out.push(v);
+            }
+            out
+        });
+        block_on(producer);
+        assert_eq!(drained, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mpsc_try_send_full_and_closed() {
+        let (tx, rx) = mpsc::channel(1);
+        tx.try_send(1).unwrap();
+        assert!(matches!(tx.try_send(2), Err(mpsc::TrySendError::Full(2))));
+        drop(rx);
+        assert!(matches!(tx.try_send(3), Err(mpsc::TrySendError::Closed(3))));
+    }
+
+    #[test]
+    fn mpsc_multi_producer() {
+        let rt = Runtime::new(4);
+        let (tx, mut rx) = mpsc::channel(4);
+        let producers: Vec<_> = (0..8)
+            .map(|p| {
+                let tx = tx.clone();
+                rt.spawn(async move {
+                    for i in 0..16u32 {
+                        tx.send(p * 100 + i).await.unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let mut seen = Vec::new();
+        block_on(async {
+            while let Some(v) = rx.recv().await {
+                seen.push(v);
+            }
+        });
+        for p in producers {
+            block_on(p);
+        }
+        assert_eq!(seen.len(), 8 * 16);
+    }
+}

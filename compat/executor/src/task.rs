@@ -1,0 +1,316 @@
+//! The executor core: tasks, the injector queue, worker threads,
+//! [`Runtime`] / [`Handle`] / [`JoinHandle`], and [`block_on`].
+
+use crate::channel::oneshot;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::task::{Context, Poll, RawWaker, RawWakerVTable, Waker};
+use std::thread;
+
+type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
+
+/// Runtime state shared by workers, handles, and task wakers.
+struct Shared {
+    queue: Mutex<VecDeque<Arc<Task>>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn enqueue(&self, task: Arc<Task>) {
+        if self.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        self.queue.lock().unwrap().push_back(task);
+        self.available.notify_one();
+    }
+}
+
+/// One spawned future. The `scheduled` flag makes wake-ups idempotent:
+/// a task sits in the injector queue at most once, no matter how many
+/// clones of its waker fire concurrently.
+pub(crate) struct Task {
+    future: Mutex<Option<BoxFuture>>,
+    shared: Weak<Shared>,
+    scheduled: AtomicBool,
+}
+
+impl Task {
+    fn schedule(self: &Arc<Self>) {
+        if self.scheduled.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        if let Some(shared) = self.shared.upgrade() {
+            shared.enqueue(Arc::clone(self));
+        }
+    }
+
+    fn poll(self: &Arc<Self>) {
+        // Clear the flag before polling: a wake arriving *during* the poll
+        // must be able to re-enqueue the task.
+        self.scheduled.store(false, Ordering::Release);
+        let waker = task_waker(Arc::clone(self));
+        let mut cx = Context::from_waker(&waker);
+        let mut slot = self.future.lock().unwrap();
+        if let Some(future) = slot.as_mut() {
+            if future.as_mut().poll(&mut cx).is_ready() {
+                // Drop the finished future eagerly so captured resources
+                // (channel senders, graphs) release without waiting for
+                // the last waker clone to go away.
+                *slot = None;
+            }
+        }
+    }
+}
+
+// Hand-rolled waker vtable over `Arc<Task>` — the std equivalent of the
+// `futures` crate's `ArcWake`, which the offline workspace does not have.
+fn task_waker(task: Arc<Task>) -> Waker {
+    unsafe { Waker::from_raw(raw_waker(task)) }
+}
+
+fn raw_waker(task: Arc<Task>) -> RawWaker {
+    unsafe fn clone(data: *const ()) -> RawWaker {
+        let task = unsafe { Arc::from_raw(data as *const Task) };
+        let cloned = Arc::clone(&task);
+        std::mem::forget(task);
+        raw_waker(cloned)
+    }
+    unsafe fn wake(data: *const ()) {
+        let task = unsafe { Arc::from_raw(data as *const Task) };
+        task.schedule();
+    }
+    unsafe fn wake_by_ref(data: *const ()) {
+        let task = unsafe { Arc::from_raw(data as *const Task) };
+        task.schedule();
+        std::mem::forget(task);
+    }
+    unsafe fn drop_waker(data: *const ()) {
+        drop(unsafe { Arc::from_raw(data as *const Task) });
+    }
+    static VTABLE: RawWakerVTable = RawWakerVTable::new(clone, wake, wake_by_ref, drop_waker);
+    RawWaker::new(Arc::into_raw(task) as *const (), &VTABLE)
+}
+
+/// A multi-worker executor. Dropping the runtime shuts the workers down
+/// after they finish the tasks they currently hold; queued-but-unpolled
+/// tasks are dropped.
+pub struct Runtime {
+    shared: Arc<Shared>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl Runtime {
+    /// Starts a runtime with `workers` poll loops (at least one).
+    pub fn new(workers: usize) -> Runtime {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("executor-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn executor worker")
+            })
+            .collect();
+        Runtime { shared, workers }
+    }
+
+    /// A cloneable handle for spawning tasks onto this runtime.
+    pub fn handle(&self) -> Handle {
+        Handle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Spawns a future onto the worker pool (see [`Handle::spawn`]).
+    pub fn spawn<F>(&self, future: F) -> JoinHandle<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        self.handle().spawn(future)
+    }
+
+    /// Drives `future` on the calling thread while the workers run spawned
+    /// tasks; see the free function [`block_on`].
+    pub fn block_on<F: Future>(&self, future: F) -> F::Output {
+        block_on(future)
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.queue.lock().unwrap().clear();
+        self.shared.available.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let task = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                if let Some(task) = queue.pop_front() {
+                    break task;
+                }
+                queue = shared.available.wait(queue).unwrap();
+            }
+        };
+        task.poll();
+    }
+}
+
+/// A cheap, cloneable spawner for a [`Runtime`].
+#[derive(Clone)]
+pub struct Handle {
+    shared: Arc<Shared>,
+}
+
+impl Handle {
+    /// Spawns `future` onto the worker pool and returns a [`JoinHandle`]
+    /// resolving to its output.
+    pub fn spawn<F>(&self, future: F) -> JoinHandle<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        let (tx, rx) = oneshot::channel();
+        let task = Arc::new(Task {
+            future: Mutex::new(Some(Box::pin(async move {
+                let _ = tx.send(future.await);
+            }))),
+            shared: Arc::downgrade(&self.shared),
+            scheduled: AtomicBool::new(false),
+        });
+        task.schedule();
+        JoinHandle { rx }
+    }
+}
+
+/// Resolves to the output of a spawned task.
+///
+/// # Panics
+///
+/// Polling panics if the task was dropped without completing (runtime
+/// shut down) or panicked; the service layer never lets either happen to
+/// a task whose join handle it awaits.
+pub struct JoinHandle<T> {
+    rx: oneshot::Receiver<T>,
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        match Pin::new(&mut self.rx).poll(cx) {
+            Poll::Ready(Ok(v)) => Poll::Ready(v),
+            Poll::Ready(Err(_)) => panic!("spawned task dropped before completion"),
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+/// Parker for [`block_on`]: a condvar the waker signals.
+struct Parker {
+    woken: Mutex<bool>,
+    cv: Condvar,
+}
+
+fn parker_waker(parker: Arc<Parker>) -> Waker {
+    unsafe fn clone(data: *const ()) -> RawWaker {
+        let parker = unsafe { Arc::from_raw(data as *const Parker) };
+        let cloned = Arc::clone(&parker);
+        std::mem::forget(parker);
+        RawWaker::new(Arc::into_raw(cloned) as *const (), &VTABLE)
+    }
+    unsafe fn wake(data: *const ()) {
+        let parker = unsafe { Arc::from_raw(data as *const Parker) };
+        *parker.woken.lock().unwrap() = true;
+        parker.cv.notify_one();
+    }
+    unsafe fn wake_by_ref(data: *const ()) {
+        let parker = unsafe { Arc::from_raw(data as *const Parker) };
+        *parker.woken.lock().unwrap() = true;
+        parker.cv.notify_one();
+        std::mem::forget(parker);
+    }
+    unsafe fn drop_waker(data: *const ()) {
+        drop(unsafe { Arc::from_raw(data as *const Parker) });
+    }
+    static VTABLE: RawWakerVTable = RawWakerVTable::new(clone, wake, wake_by_ref, drop_waker);
+    unsafe { Waker::from_raw(RawWaker::new(Arc::into_raw(parker) as *const (), &VTABLE)) }
+}
+
+/// Polls `future` to completion on the calling thread, parking between
+/// polls. Usable from any thread — including alongside a running
+/// [`Runtime`], e.g. to await a [`JoinHandle`] from synchronous code.
+pub fn block_on<F: Future>(future: F) -> F::Output {
+    let parker = Arc::new(Parker {
+        woken: Mutex::new(false),
+        cv: Condvar::new(),
+    });
+    let waker = parker_waker(Arc::clone(&parker));
+    let mut cx = Context::from_waker(&waker);
+    let mut future = std::pin::pin!(future);
+    loop {
+        if let Poll::Ready(v) = future.as_mut().poll(&mut cx) {
+            return v;
+        }
+        let mut woken = parker.woken.lock().unwrap();
+        while !*woken {
+            woken = parker.cv.wait(woken).unwrap();
+        }
+        *woken = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_on_ready_future() {
+        assert_eq!(block_on(async { 7 }), 7);
+    }
+
+    #[test]
+    fn spawn_and_join() {
+        let rt = Runtime::new(2);
+        let h = rt.spawn(async { 6 * 7 });
+        assert_eq!(block_on(h), 42);
+    }
+
+    #[test]
+    fn many_tasks_across_workers() {
+        let rt = Runtime::new(4);
+        let handles: Vec<_> = (0..64).map(|i| rt.spawn(async move { i * 2 })).collect();
+        let total: i32 = handles.into_iter().map(block_on).sum();
+        assert_eq!(total, (0..64).map(|i| i * 2).sum());
+    }
+
+    #[test]
+    fn tasks_can_spawn_tasks() {
+        let rt = Runtime::new(2);
+        let handle = rt.handle();
+        let outer = rt.spawn(async move {
+            let inner = handle.spawn(async { 10 });
+            inner.await + 1
+        });
+        assert_eq!(block_on(outer), 11);
+    }
+}

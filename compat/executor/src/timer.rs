@@ -1,0 +1,240 @@
+//! A hashed timer wheel driven by a monotonic clock ([`std::time::Instant`]).
+//!
+//! Deadlines hash into one of [`SLOTS`] buckets by tick index
+//! (`TICK`-millisecond granularity); a lazily-started driver thread
+//! advances a cursor over the wheel, firing every waker whose absolute
+//! deadline has passed and leaving later rounds in place. With no timers
+//! pending the driver parks indefinitely on a condvar, so an idle runtime
+//! costs nothing.
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::task::{Context, Poll, Waker};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Wheel size; one full rotation covers `SLOTS × TICK` = 256 ms.
+const SLOTS: usize = 256;
+/// Wheel granularity. Timers fire no earlier than their deadline and at
+/// most ~one tick late.
+const TICK: Duration = Duration::from_millis(1);
+
+struct Entry {
+    deadline: Instant,
+    waker: Waker,
+}
+
+struct WheelState {
+    slots: Vec<VecDeque<Entry>>,
+    /// Next tick index the driver will inspect.
+    cursor: u64,
+    pending: usize,
+}
+
+struct Wheel {
+    epoch: Instant,
+    state: Mutex<WheelState>,
+    work: Condvar,
+}
+
+impl Wheel {
+    fn tick_of(&self, deadline: Instant) -> u64 {
+        let since = deadline.saturating_duration_since(self.epoch);
+        since.as_millis() as u64 / TICK.as_millis() as u64
+    }
+
+    fn register(&self, deadline: Instant, waker: Waker) {
+        let tick = self.tick_of(deadline);
+        let mut state = self.state.lock().unwrap();
+        // Never schedule behind the cursor: a deadline in an already-swept
+        // tick goes into the cursor's own slot so the next sweep fires it.
+        let tick = tick.max(state.cursor);
+        let slot = (tick % SLOTS as u64) as usize;
+        state.slots[slot].push_back(Entry { deadline, waker });
+        state.pending += 1;
+        self.work.notify_one();
+    }
+
+    fn drive(&self) {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            while state.pending == 0 {
+                state = self.work.wait(state).unwrap();
+            }
+            let now = Instant::now();
+            let now_tick = self.tick_of(now);
+            let mut fired = Vec::new();
+            // Sweep every slot the cursor passes; a full rotation visits
+            // each slot once even when `now_tick` is far ahead.
+            let sweep = (now_tick.saturating_sub(state.cursor) + 1).min(SLOTS as u64);
+            for step in 0..sweep {
+                let slot = ((state.cursor + step) % SLOTS as u64) as usize;
+                let mut keep = VecDeque::new();
+                while let Some(entry) = state.slots[slot].pop_front() {
+                    if entry.deadline <= now {
+                        state.pending -= 1;
+                        fired.push(entry.waker);
+                    } else {
+                        keep.push_back(entry);
+                    }
+                }
+                state.slots[slot] = keep;
+            }
+            state.cursor = now_tick;
+            if !fired.is_empty() {
+                drop(state);
+                for waker in fired {
+                    waker.wake();
+                }
+                state = self.state.lock().unwrap();
+                continue;
+            }
+            // Timers remain but none are due: park one tick.
+            let (s, _) = self.work.wait_timeout(state, TICK).unwrap();
+            state = s;
+        }
+    }
+}
+
+fn wheel() -> &'static Wheel {
+    static WHEEL: OnceLock<&'static Wheel> = OnceLock::new();
+    WHEEL.get_or_init(|| {
+        let wheel: &'static Wheel = Box::leak(Box::new(Wheel {
+            epoch: Instant::now(),
+            state: Mutex::new(WheelState {
+                slots: (0..SLOTS).map(|_| VecDeque::new()).collect(),
+                cursor: 0,
+                pending: 0,
+            }),
+            work: Condvar::new(),
+        }));
+        thread::Builder::new()
+            .name("executor-timer".to_string())
+            .spawn(move || wheel.drive())
+            .expect("spawn timer thread");
+        wheel
+    })
+}
+
+/// Resolves once `duration` has elapsed (from the call, monotonic clock).
+pub fn sleep(duration: Duration) -> Sleep {
+    Sleep {
+        deadline: Instant::now() + duration,
+    }
+}
+
+/// Future returned by [`sleep`].
+pub struct Sleep {
+    deadline: Instant,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if Instant::now() >= self.deadline {
+            return Poll::Ready(());
+        }
+        wheel().register(self.deadline, cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+/// The inner future of a [`timeout`] did not finish in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Elapsed;
+
+impl std::fmt::Display for Elapsed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("deadline elapsed")
+    }
+}
+
+impl std::error::Error for Elapsed {}
+
+/// Races `future` against a deadline `duration` from now.
+pub fn timeout<F: Future>(duration: Duration, future: F) -> Timeout<F> {
+    Timeout {
+        future,
+        sleep: sleep(duration),
+    }
+}
+
+/// Future returned by [`timeout`].
+pub struct Timeout<F> {
+    future: F,
+    sleep: Sleep,
+}
+
+impl<F: Future> Future for Timeout<F> {
+    type Output = Result<F::Output, Elapsed>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // Structural pinning of `future`; `sleep` is Unpin.
+        let this = unsafe { self.get_unchecked_mut() };
+        let future = unsafe { Pin::new_unchecked(&mut this.future) };
+        if let Poll::Ready(v) = future.poll(cx) {
+            return Poll::Ready(Ok(v));
+        }
+        match Pin::new(&mut this.sleep).poll(cx) {
+            Poll::Ready(()) => Poll::Ready(Err(Elapsed)),
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{block_on, Runtime};
+
+    #[test]
+    fn sleep_waits_roughly_right() {
+        let start = Instant::now();
+        block_on(sleep(Duration::from_millis(20)));
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_millis(20), "{elapsed:?}");
+        assert!(elapsed < Duration::from_secs(2), "{elapsed:?}");
+    }
+
+    #[test]
+    fn timeout_passes_fast_futures() {
+        let out = block_on(timeout(Duration::from_secs(5), async { 3 }));
+        assert_eq!(out, Ok(3));
+    }
+
+    #[test]
+    fn timeout_cuts_slow_futures() {
+        let out = block_on(timeout(
+            Duration::from_millis(10),
+            sleep(Duration::from_secs(30)),
+        ));
+        assert_eq!(out, Err(Elapsed));
+    }
+
+    #[test]
+    fn many_concurrent_timers() {
+        let rt = Runtime::new(2);
+        let handles: Vec<_> = (0..32)
+            .map(|i| {
+                rt.spawn(async move {
+                    sleep(Duration::from_millis(5 + (i % 7))).await;
+                    i
+                })
+            })
+            .collect();
+        let sum: u64 = handles.into_iter().map(block_on).sum();
+        assert_eq!(sum, (0..32).sum());
+    }
+
+    #[test]
+    fn deadlines_beyond_one_rotation() {
+        // > SLOTS × TICK = 256 ms: the entry survives rotations until its
+        // absolute deadline passes.
+        let start = Instant::now();
+        block_on(sleep(Duration::from_millis(300)));
+        assert!(start.elapsed() >= Duration::from_millis(300));
+    }
+}

@@ -1,11 +1,12 @@
 //! Cross-validation of decision procedures against reference predicates,
-//! with an exploration memo so sweeps stop re-deciding identical spaces.
+//! with a shared [`VerdictStore`] so sweeps stop re-deciding identical
+//! spaces.
 
+use crate::store::VerdictStore;
 use crate::Predicate;
-use rustc_hash::FxHashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
-use wam_certify::{Certificate, CertifiedVerdict};
+use wam_certify::Certificate;
 use wam_core::Verdict;
 use wam_graph::{Graph, LabelCount};
 
@@ -49,90 +50,25 @@ pub fn cross_validate(
     out
 }
 
-/// The memo key of a graph: its isomorphism-canonical form from
-/// [`wam_graph::canonical_form`]. Exact decisions are invariant under
-/// graph isomorphism (relabelling nodes relabels the whole configuration
-/// space), so two *isomorphic* graphs share a key even when built with
-/// different node orders — the 3-star and the 3-line of a Figure-1 sweep
-/// are the same path and now hit the same entry. When the canonical-form
-/// search falls back to the identity relabelling (`exact == false`, huge
-/// automorphism groups), keys still only collide on isomorphic graphs —
-/// an exact form is itself a relabelled copy of its input — so mixing
-/// exact and fallback keys in one memo stays sound.
-type GraphKey = (Vec<u16>, Vec<(u32, u32)>);
-
-fn graph_key(graph: &Graph) -> GraphKey {
-    wam_graph::canonical_form(graph).key()
-}
-
 /// A stable fingerprint for a decider/system, derived from a caller-chosen
-/// name. Memo entries from different systems never collide as long as their
-/// names differ.
+/// name. Store entries from different systems never collide as long as
+/// their names differ.
+///
+/// Exact decisions are invariant under graph isomorphism (relabelling
+/// nodes relabels the whole configuration space), so the store pairs this
+/// fingerprint with the graph's *canonical form* from
+/// [`wam_graph::canonical_form`]: two isomorphic graphs share an entry
+/// even when built with different node orders — the 3-star and the 3-line
+/// of a Figure-1 sweep are the same path and hit the same entry. When the
+/// canonical-form search falls back to the identity relabelling
+/// (`exact == false`, huge automorphism groups), keys still only collide
+/// on isomorphic graphs — an exact form is itself a relabelled copy of
+/// its input — so mixing exact and fallback keys in one store stays
+/// sound.
 pub fn system_fingerprint(name: &str) -> u64 {
     let mut h = rustc_hash::FxHasher::default();
     name.hash(&mut h);
     h.finish()
-}
-
-/// A verdict memo keyed by `(system fingerprint, canonical graph)`.
-///
-/// Exact decisions depend only on the system and the graph *up to
-/// isomorphism*, so sweeps that revisit the same `(system, graph)` pair —
-/// Figure-1 tables iterate several generator families over the same
-/// counts, and the families produce isomorphic graphs on small counts —
-/// can reuse the verdict instead of re-exploring the configuration space.
-#[derive(Debug, Default)]
-pub struct DecisionMemo {
-    cache: FxHashMap<(u64, GraphKey), Verdict>,
-    hits: usize,
-    misses: usize,
-}
-
-impl DecisionMemo {
-    /// An empty memo.
-    pub fn new() -> Self {
-        DecisionMemo::default()
-    }
-
-    /// The memoised verdict of `decide` on `graph` for the system identified
-    /// by `fingerprint` (see [`system_fingerprint`]); `decide` runs only on
-    /// a miss.
-    pub fn decide(
-        &mut self,
-        fingerprint: u64,
-        graph: &Graph,
-        decide: impl FnOnce(&Graph) -> Verdict,
-    ) -> Verdict {
-        let key = (fingerprint, graph_key(graph));
-        if let Some(&v) = self.cache.get(&key) {
-            self.hits += 1;
-            return v;
-        }
-        self.misses += 1;
-        let v = decide(graph);
-        self.cache.insert(key, v);
-        v
-    }
-
-    /// Lookups answered from the cache.
-    pub fn hits(&self) -> usize {
-        self.hits
-    }
-
-    /// Lookups that ran the decider.
-    pub fn misses(&self) -> usize {
-        self.misses
-    }
-
-    /// Distinct `(system, graph)` pairs decided so far.
-    pub fn len(&self) -> usize {
-        self.cache.len()
-    }
-
-    /// Whether the memo is empty.
-    pub fn is_empty(&self) -> bool {
-        self.cache.is_empty()
-    }
 }
 
 /// One memoised certified decision: the verdict, the certificate that
@@ -167,90 +103,19 @@ impl<C> Clone for CertifiedDecision<C> {
     }
 }
 
-/// A [`DecisionMemo`] that also keeps the verdict's *certificate*, so sweeps
-/// can hand every reused verdict's proof to an independent checker without
-/// re-running the decision procedure.
-#[derive(Debug)]
-pub struct CertifiedMemo<C> {
-    cache: FxHashMap<(u64, GraphKey), CertifiedDecision<C>>,
-    hits: usize,
-    misses: usize,
-}
-
-impl<C> Default for CertifiedMemo<C> {
-    fn default() -> Self {
-        CertifiedMemo::new()
-    }
-}
-
-impl<C> CertifiedMemo<C> {
-    /// An empty memo.
-    pub fn new() -> Self {
-        CertifiedMemo {
-            cache: FxHashMap::default(),
-            hits: 0,
-            misses: 0,
-        }
-    }
-
-    /// The memoised certified decision of `decide` on `graph` for the system
-    /// identified by `fingerprint`; `decide` runs only on a miss, and its
-    /// certificate is stored together with the emission graph.
-    pub fn decide(
-        &mut self,
-        fingerprint: u64,
-        graph: &Graph,
-        decide: impl FnOnce(&Graph) -> CertifiedVerdict<C>,
-    ) -> CertifiedDecision<C> {
-        let key = (fingerprint, graph_key(graph));
-        if let Some(d) = self.cache.get(&key) {
-            self.hits += 1;
-            return d.clone();
-        }
-        self.misses += 1;
-        let out = decide(graph);
-        let decision = CertifiedDecision {
-            verdict: out.verdict,
-            certificate: Arc::new(out.certificate),
-            graph: graph.clone(),
-        };
-        self.cache.insert(key, decision.clone());
-        decision
-    }
-
-    /// Lookups answered from the cache.
-    pub fn hits(&self) -> usize {
-        self.hits
-    }
-
-    /// Lookups that ran the decider.
-    pub fn misses(&self) -> usize {
-        self.misses
-    }
-
-    /// Distinct `(system, graph)` pairs decided so far.
-    pub fn len(&self) -> usize {
-        self.cache.len()
-    }
-
-    /// Whether the memo is empty.
-    pub fn is_empty(&self) -> bool {
-        self.cache.is_empty()
-    }
-}
-
-/// [`cross_validate`] with a [`DecisionMemo`]: verdicts for repeated
-/// `(system, graph)` pairs are reused across calls sharing the memo.
+/// [`cross_validate`] with a shared [`VerdictStore`]: verdicts for
+/// repeated `(system, graph)` pairs are reused across calls (and threads)
+/// sharing the store.
 pub fn cross_validate_memo(
     predicate: &Predicate,
     counts: &[LabelCount],
     mut graph_for: impl FnMut(&LabelCount) -> Option<Graph>,
     mut decide: impl FnMut(&Graph) -> Verdict,
-    memo: &mut DecisionMemo,
+    store: &VerdictStore<Verdict>,
     fingerprint: u64,
 ) -> Vec<Mismatch> {
     cross_validate(predicate, counts, &mut graph_for, |g| {
-        memo.decide(fingerprint, g, &mut decide)
+        store.decide(fingerprint, g, &mut decide)
     })
 }
 
@@ -326,7 +191,7 @@ mod tests {
 
     #[test]
     fn memo_dedups_coinciding_generator_families() {
-        // The 3-cycle and the 3-clique are the same triangle; the memo must
+        // The 3-cycle and the 3-clique are the same triangle; the store must
         // answer the second family's sweep from the first's entries.
         let m = Machine::new(
             1,
@@ -336,16 +201,16 @@ mod tests {
         );
         let p = Predicate::threshold(2, 1, 1);
         let counts: Vec<LabelCount> = counts_with_totals(2, 3, 3);
-        let mut memo = DecisionMemo::new();
+        let store = VerdictStore::new();
         let fp = system_fingerprint("flood");
-        let mut decided = 0usize;
+        let decided = std::cell::Cell::new(0usize);
         for build in [generators::labelled_cycle, generators::labelled_clique] {
             let mismatches = cross_validate_memo(
                 &p,
                 &counts,
                 |c| Some(build(c)),
                 |g| {
-                    decided += 1;
+                    decided.set(decided.get() + 1);
                     wam_core::decide(
                         &m,
                         g,
@@ -356,40 +221,19 @@ mod tests {
                     .map(|(v, _)| v)
                     .unwrap()
                 },
-                &mut memo,
+                &store,
                 fp,
             );
             assert!(mismatches.is_empty(), "{mismatches:?}");
         }
-        assert_eq!(memo.hits(), counts.len());
-        assert_eq!(memo.misses(), counts.len());
-        assert_eq!(decided, counts.len());
-        assert_eq!(memo.len(), counts.len());
+        assert_eq!(store.hits(), counts.len() as u64);
+        assert_eq!(store.misses(), counts.len() as u64);
+        assert_eq!(decided.get(), counts.len());
+        assert_eq!(store.len(), counts.len());
     }
 
     #[test]
-    fn memo_hits_across_isomorphic_graphs() {
-        // A 3-node star and a 3-node line over the same counts are the same
-        // labelled path, but built with different node orders and edge
-        // lists; the canonical key makes the second lookup a hit.
-        let c = LabelCount::from_vec(vec![2, 1]);
-        let star = generators::labelled_star(&c);
-        let line = generators::labelled_line(&c);
-        assert_ne!(star.edges(), line.edges(), "identity keys would differ");
-        let mut memo = DecisionMemo::new();
-        let fp = system_fingerprint("flood");
-        let a = memo.decide(fp, &star, |_| Verdict::Accepts);
-        let b = memo.decide(fp, &line, |_| {
-            panic!("isomorphic graph must be served from the memo")
-        });
-        assert_eq!(a, b);
-        assert_eq!(memo.hits(), 1);
-        assert_eq!(memo.misses(), 1);
-        assert_eq!(memo.len(), 1);
-    }
-
-    #[test]
-    fn certified_memo_reuses_certificates_across_isomorphic_graphs() {
+    fn certified_store_reuses_certificates_across_isomorphic_graphs() {
         use wam_certify::{
             verify_machine, CertifiedVerdict, Decider, DecisionCertificate, VerifyOptions,
         };
@@ -403,9 +247,9 @@ mod tests {
         let c = LabelCount::from_vec(vec![2, 1]);
         let star = generators::labelled_star(&c);
         let line = generators::labelled_line(&c);
-        let mut memo = CertifiedMemo::new();
+        let memo = VerdictStore::new();
         let fp = system_fingerprint("flood");
-        let first = memo.decide(fp, &star, |g| {
+        let first = memo.decide_certified(fp, &star, |g| {
             let d = Decider::new(&m, g)
                 .backend(wam_core::Backend::Quotient)
                 .certified(true)
@@ -420,7 +264,7 @@ mod tests {
                 other => panic!("quotient backend emits node certificates, got {other:?}"),
             }
         });
-        let second = memo.decide(fp, &line, |_| {
+        let second = memo.decide_certified(fp, &line, |_| {
             panic!("isomorphic graph must be served from the memo")
         });
         assert_eq!(first.verdict, Verdict::Accepts);
@@ -441,28 +285,5 @@ mod tests {
         )
         .expect("cached certificate must verify against its emission graph");
         assert_eq!(v, second.verdict);
-    }
-
-    #[test]
-    fn memo_separates_systems_by_fingerprint() {
-        let g = generators::labelled_cycle(&LabelCount::from_vec(vec![2, 1]));
-        let mut memo = DecisionMemo::new();
-        let a = memo.decide(system_fingerprint("always-accept"), &g, |_| {
-            Verdict::Accepts
-        });
-        let b = memo.decide(system_fingerprint("always-reject"), &g, |_| {
-            Verdict::Rejects
-        });
-        assert_eq!(a, Verdict::Accepts);
-        assert_eq!(b, Verdict::Rejects);
-        assert_eq!(memo.misses(), 2);
-        assert_eq!(memo.hits(), 0);
-        // Same fingerprint, same graph: served from cache even if the
-        // decider would now disagree.
-        let c = memo.decide(system_fingerprint("always-accept"), &g, |_| {
-            Verdict::Rejects
-        });
-        assert_eq!(c, Verdict::Accepts);
-        assert_eq!(memo.hits(), 1);
     }
 }

@@ -13,6 +13,10 @@
 //!   stably-rejecting sets, and empirical cutoff extraction.
 //! * [`crossval`] — drive a decision procedure across label counts and graph
 //!   families and diff the verdicts against a reference predicate.
+//! * [`store`] — the sharded concurrent [`VerdictStore`]: `&self`
+//!   get-or-insert keyed by (system fingerprint, canonical graph), with
+//!   in-flight coalescing and optional LRU-ish eviction — the cache the
+//!   verdict service and the Figure-1 sweeps share.
 
 pub mod classes;
 pub mod counter;
@@ -20,13 +24,14 @@ pub mod crossval;
 pub mod decidability;
 pub mod predicate;
 pub mod stars;
+pub mod store;
 
 pub use classes::{classify, find_cutoff, is_cutoff, is_ism, is_trivial, PropertyClass};
 pub use counter::{node_count_is_prime, CounterProgram, Instr};
 pub use crossval::{
-    cross_validate, cross_validate_memo, system_fingerprint, CertifiedDecision, CertifiedMemo,
-    DecisionMemo, Mismatch,
+    cross_validate, cross_validate_memo, system_fingerprint, CertifiedDecision, Mismatch,
 };
 pub use decidability::{decidable_by, is_homogeneous_threshold, Decidability};
 pub use predicate::Predicate;
 pub use stars::{minimal_elements, StarConfig, StarSystem};
+pub use store::{StoreKey, VerdictStore};

@@ -3,7 +3,7 @@
 //! witness protocol for every decidable cell and the blocking lemma for
 //! every undecidable one.
 
-use wam_analysis::{system_fingerprint, DecisionMemo, Predicate};
+use wam_analysis::{system_fingerprint, Predicate, VerdictStore};
 use wam_bench::{small_graph_suite, Table};
 use wam_certify::Decider;
 use wam_core::{ModelClass, Schedule, Verdict};
@@ -50,15 +50,15 @@ fn witness_table() {
     ]);
 
     // Sweeps over the small-graph suite revisit identical graphs (the
-    // 3-cycle is the 3-clique, the 3-star the 3-line); the memo answers
+    // 3-cycle is the 3-clique, the 3-star the 3-line); the shared verdict store answers
     // those repeats without re-exploring the configuration space.
-    let mut memo = DecisionMemo::new();
+    let memo = VerdictStore::new();
 
     // dAf ⊇ Cutoff(1): the presence-set machine under round-robin.
     {
         let m = cutoff_one_machine(2, |p| p[1]);
         let pred = Predicate::threshold(2, 1, 1);
-        let (total, ok) = check(&pred, &mut memo, system_fingerprint("dAf-presence"), |g| {
+        let (total, ok) = check(&pred, &memo, system_fingerprint("dAf-presence"), |g| {
             Decider::new(&m, g)
                 .schedule(Schedule::RoundRobin)
                 .limit(500_000)
@@ -80,7 +80,7 @@ fn witness_table() {
     {
         let flat = compile_broadcasts(&threshold_machine(2, 0, 2));
         let pred = Predicate::threshold(2, 0, 2);
-        let (total, ok) = check(&pred, &mut memo, system_fingerprint("dAF-ladder"), |g| {
+        let (total, ok) = check(&pred, &memo, system_fingerprint("dAF-ladder"), |g| {
             Decider::new(&flat, g)
                 .limit(3_000_000)
                 .decide()
@@ -101,7 +101,7 @@ fn witness_table() {
         let pp = GraphPopulationProtocol::<MajorityState>::majority();
         let flat = compile_rendezvous(&pp);
         let pred = Predicate::majority();
-        let (total, ok) = check(&pred, &mut memo, system_fingerprint("DAF-majority"), |g| {
+        let (total, ok) = check(&pred, &memo, system_fingerprint("DAF-majority"), |g| {
             Decider::new(&flat, g)
                 .limit(3_000_000)
                 .decide()
@@ -122,7 +122,7 @@ fn witness_table() {
         let pp = modulo_protocol(vec![1, 0], 2, 1);
         let flat = compile_rendezvous(&pp);
         let pred = Predicate::modulo(vec![1, 0], 2, 1);
-        let (total, ok) = check(&pred, &mut memo, system_fingerprint("DAF-parity"), |g| {
+        let (total, ok) = check(&pred, &memo, system_fingerprint("DAF-parity"), |g| {
             Decider::new(&flat, g)
                 .limit(3_000_000)
                 .decide()
@@ -163,7 +163,7 @@ fn witness_table() {
 
     t.print("Figure 1 (middle): executable witnesses");
     println!(
-        "exploration memo: {} distinct (system, graph) pairs decided, {} repeats served from cache",
+        "verdict store: {} distinct (system, graph) pairs decided, {} repeats served from cache",
         memo.misses(),
         memo.hits()
     );
@@ -171,7 +171,7 @@ fn witness_table() {
 
 fn check(
     pred: &Predicate,
-    memo: &mut DecisionMemo,
+    memo: &VerdictStore<wam_core::Verdict>,
     fingerprint: u64,
     mut decide: impl FnMut(&wam_graph::Graph) -> Verdict,
 ) -> (usize, usize) {

@@ -2,7 +2,7 @@
 //! graphs. The headline cell is DAf deciding majority under adversarial
 //! scheduling via the §6.1 stack.
 
-use wam_analysis::{system_fingerprint, DecisionMemo, Predicate};
+use wam_analysis::{system_fingerprint, Predicate, VerdictStore};
 use wam_bench::Table;
 use wam_certify::Decider;
 use wam_core::{ModelClass, Schedule};
@@ -52,7 +52,7 @@ fn witness_table() {
 
     // Verdicts are memoised per (system, graph); lines coincide with stars
     // on three nodes, so broader sweeps reuse entries for free.
-    let mut memo = DecisionMemo::new();
+    let memo = VerdictStore::new();
 
     // dAf = Cutoff(1) also on bounded degree: presence flooding on lines.
     {
@@ -169,7 +169,7 @@ fn witness_table() {
 
     t.print("Figure 1 (right): executable witnesses");
     println!(
-        "exploration memo: {} distinct (system, graph) pairs decided, {} repeats served from cache",
+        "verdict store: {} distinct (system, graph) pairs decided, {} repeats served from cache",
         memo.misses(),
         memo.hits()
     );

@@ -85,6 +85,7 @@ impl Default for VerifyOptions {
 
 /// Why a certificate was rejected.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum CertError {
     /// The path does not start at the system's initial configuration.
     WrongStart,

@@ -22,6 +22,7 @@ fn verifier_never_touches_the_engine() {
         "stably_rejecting",
         "reverse_csr",
         "DecisionMemo",
+        "VerdictStore",
         "decide_symmetric",
         "decide_system",
         "decide_pseudo_stochastic",

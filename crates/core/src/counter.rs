@@ -50,6 +50,7 @@ use wam_graph::{Graph, NodeId, TwinPartition};
 
 /// Why a counter-abstracted backend refused a graph.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum CounterError {
     /// The twin partition of the graph is all singletons, so the count
     /// abstraction neither compresses nor (on e.g. long cycles) stays

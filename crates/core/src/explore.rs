@@ -125,6 +125,7 @@ impl fmt::Display for Verdict {
 
 /// Error from an exact decision procedure.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum ExploreError {
     /// The reachable configuration space exceeded the caller's limit.
     TooLarge {

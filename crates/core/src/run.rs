@@ -31,7 +31,7 @@ use wam_graph::Graph;
 ///   walks, exit here).
 ///
 /// Both clocks can misfire on adversarially slow protocols; exact verdicts
-/// come from the deciders such as [`decide_system`](crate::decide_system).
+/// come from the [`decide`](crate::decide) entry point.
 #[derive(Debug, Clone, Copy)]
 pub struct StabilityOptions {
     /// Hard cap on the number of steps.
@@ -205,8 +205,8 @@ where
 /// [`StabilityOptions::window`] steps, or until `max_steps`.
 ///
 /// This verdict is heuristic (a longer run could still change it); exact
-/// verdicts on small graphs come from [`crate::decide_pseudo_stochastic`]
-/// and friends. Use this for scaling experiments.
+/// verdicts on small graphs come from the [`decide`](crate::decide)
+/// entry point. Use this for scaling experiments.
 pub fn run_until_stable<Y: ScheduledSystem + ?Sized>(
     system: &Y,
     seed: u64,

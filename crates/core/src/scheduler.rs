@@ -10,7 +10,7 @@
 //! often).
 //!
 //! Pseudo-stochastic schedules are infinitary objects; exact verdicts under
-//! them are computed by [`decide_pseudo_stochastic`](crate::decide_pseudo_stochastic)
+//! them are computed by [`decide`](crate::decide)
 //! on the configuration graph. The drivers here produce concrete finite
 //! schedules: seeded random schedules (the standard statistical surrogate for
 //! pseudo-stochastic fairness) and deterministic fair schedules (round-robin,

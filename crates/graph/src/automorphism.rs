@@ -490,7 +490,7 @@ pub fn canonical_form_capped(g: &Graph, cap: usize) -> CanonicalForm {
 
 /// The canonical form of a labelled graph under [`DEFAULT_GROUP_CAP`]:
 /// isomorphic graphs map to equal forms (when `exact`), so the form is the
-/// memoisation key that lets `wam-analysis::DecisionMemo` reuse verdicts
+/// memoisation key that lets the `wam-analysis` verdict store reuse verdicts
 /// across isomorphic witness graphs.
 ///
 /// # Example

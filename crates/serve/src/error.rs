@@ -1,0 +1,165 @@
+//! The service error type. Every failure a request can hit is one
+//! variant here, and the underlying engine errors stay reachable through
+//! [`std::error::Error::source`].
+
+use std::error::Error;
+use std::fmt;
+use wam_certify::CertError;
+use wam_core::ExploreError;
+
+/// Why a [`DecideRequest`](crate::proto::DecideRequest) did not produce a
+/// verdict.
+///
+/// The service distinguishes *rejections* (admission control and
+/// deadlines — the request was well-formed but the service declined to
+/// run or finish it) from *errors* (bad input or an engine failure).
+/// [`ServeError::kind`] gives a stable machine-readable tag for each
+/// variant, used as the `kind` field of error replies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The request line was not a valid request (malformed JSON, missing
+    /// or ill-typed fields, wrong label-count arity, too few nodes).
+    BadRequest {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The request named a machine the registry does not know.
+    UnknownMachine {
+        /// The unknown name.
+        name: String,
+    },
+    /// The request named a graph family outside the supported catalog
+    /// (`cycle`, `line`, `star`, `clique`).
+    UnknownFamily {
+        /// The unknown family.
+        name: String,
+    },
+    /// Admission control rejected the request: the in-flight decision
+    /// count already sits at the configured bound. The service *rejects*
+    /// rather than queueing unboundedly — retry later.
+    Overloaded {
+        /// Decisions in flight when the request arrived.
+        in_flight: usize,
+        /// The admission bound.
+        capacity: usize,
+    },
+    /// The request's deadline elapsed before a verdict was available
+    /// (and, for certified requests, no plain verdict was cached to
+    /// degrade to).
+    DeadlineExceeded {
+        /// Total time the request had spent in the service, ms.
+        elapsed_ms: u64,
+    },
+    /// The exact decision procedure failed (state space over the limit,
+    /// no lasso, unsupported backend).
+    Explore(ExploreError),
+    /// The decision produced a certificate the independent verifier
+    /// rejected — the service never serves an unverified certificate.
+    Certificate(CertError),
+    /// An internal invariant broke (decision task panicked or was
+    /// dropped, re-verified verdict disagreed with the engine).
+    Internal {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl ServeError {
+    /// A stable machine-readable tag for the variant (the `kind` field of
+    /// error replies).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeError::BadRequest { .. } => "bad-request",
+            ServeError::UnknownMachine { .. } => "unknown-machine",
+            ServeError::UnknownFamily { .. } => "unknown-family",
+            ServeError::Overloaded { .. } => "overloaded",
+            ServeError::DeadlineExceeded { .. } => "deadline",
+            ServeError::Explore(_) => "explore",
+            ServeError::Certificate(_) => "certificate",
+            ServeError::Internal { .. } => "internal",
+        }
+    }
+
+    /// The `status` field of the reply line: rejections get their own
+    /// statuses so clients can match on them without parsing `kind`.
+    pub fn status(&self) -> &'static str {
+        match self {
+            ServeError::Overloaded { .. } => "overloaded",
+            ServeError::DeadlineExceeded { .. } => "deadline",
+            _ => "error",
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::BadRequest { reason } => write!(f, "bad request: {reason}"),
+            ServeError::UnknownMachine { name } => write!(f, "unknown machine {name:?}"),
+            ServeError::UnknownFamily { name } => write!(f, "unknown graph family {name:?}"),
+            ServeError::Overloaded {
+                in_flight,
+                capacity,
+            } => write!(
+                f,
+                "service overloaded: {in_flight} decisions in flight (bound {capacity})"
+            ),
+            ServeError::DeadlineExceeded { elapsed_ms } => {
+                write!(f, "deadline exceeded after {elapsed_ms} ms")
+            }
+            ServeError::Explore(e) => write!(f, "decision failed: {e}"),
+            ServeError::Certificate(e) => write!(f, "certificate rejected: {e}"),
+            ServeError::Internal { reason } => write!(f, "internal service error: {reason}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Explore(e) => Some(e),
+            ServeError::Certificate(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ExploreError> for ServeError {
+    fn from(e: ExploreError) -> Self {
+        ServeError::Explore(e)
+    }
+}
+
+impl From<CertError> for ServeError {
+    fn from(e: CertError) -> Self {
+        ServeError::Certificate(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explore_errors_stay_reachable_through_source() {
+        let e = ServeError::from(ExploreError::NoLasso { limit: 7 });
+        let src = e.source().expect("explore errors carry a source");
+        assert!(src.to_string().contains("no lasso"));
+        assert_eq!(e.kind(), "explore");
+        assert_eq!(e.status(), "error");
+    }
+
+    #[test]
+    fn rejections_have_their_own_statuses() {
+        let over = ServeError::Overloaded {
+            in_flight: 8,
+            capacity: 8,
+        };
+        assert_eq!(over.status(), "overloaded");
+        assert!(over.source().is_none());
+        let late = ServeError::DeadlineExceeded { elapsed_ms: 12 };
+        assert_eq!(late.status(), "deadline");
+        assert_eq!(late.kind(), "deadline");
+    }
+}

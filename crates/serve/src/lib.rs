@@ -1,0 +1,35 @@
+//! `wam-serve` — an async certified-verdict service over the sharded
+//! [`VerdictStore`](wam_analysis::VerdictStore).
+//!
+//! The crate turns the workspace's exact deciders into a long-running
+//! service: clients submit `(machine, graph)` jobs as line-JSON and get
+//! verdicts — optionally with independently verified certificates — from
+//! a shared cache keyed by `(system fingerprint, canonical graph)`.
+//!
+//! * [`registry`] — named machines (the Figure-1 paper catalog by
+//!   default) erased behind decide closures that render and re-verify
+//!   certificates before anything reaches the cache.
+//! * [`service`] — the core: cache → coalescing → admission gates, with
+//!   deadlines that degrade certified requests to cached plain verdicts
+//!   before rejecting.
+//! * [`proto`] — the framed line-JSON request/reply protocol, built on
+//!   the serde-free [`Json`](wam_certify::Json) codec.
+//! * [`transport`] — the stdin/stdout line loop the `wam-serve` binary
+//!   runs.
+//! * [`error`] — [`ServeError`], one uniform error with engine errors
+//!   reachable through `source()`.
+//!
+//! Everything runs on the vendored `executor` runtime; the crate has no
+//! dependencies outside the workspace.
+
+pub mod error;
+pub mod proto;
+pub mod registry;
+pub mod service;
+pub mod transport;
+
+pub use error::ServeError;
+pub use proto::{build_graph, parse_request, CacheOutcome, DecideRequest, OkReply, Reply, Request};
+pub use registry::{CachedVerdict, CertificateBlob, MachineEntry, MachineRegistry};
+pub use service::{ServiceConfig, ServiceHandle, ServiceStats, VerdictService};
+pub use transport::serve;

@@ -1,0 +1,419 @@
+//! The wire protocol: framed line-JSON requests and replies.
+//!
+//! One request per line, one reply per line, reusing the serde-free
+//! [`Json`] codec from `wam-certify`. Replies carry the request `id`
+//! back, so clients may pipeline: the service replies in completion
+//! order, not submission order.
+//!
+//! Request shapes:
+//!
+//! ```json
+//! {"id":1,"machine":"majority","family":"cycle","counts":[2,1],
+//!  "certified":true,"deadline_ms":250}
+//! {"id":2,"op":"stats"}
+//! {"id":3,"op":"catalog"}
+//! ```
+//!
+//! Reply statuses: `ok`, `overloaded`, `deadline`, `error`, `stats`,
+//! `catalog`.
+
+use crate::error::ServeError;
+use crate::registry::{CachedVerdict, MachineRegistry};
+use crate::service::ServiceStats;
+use wam_certify::Json;
+use wam_graph::{generators, Graph, LabelCount};
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Decide a machine on a graph.
+    Decide(DecideRequest),
+    /// Snapshot the service counters.
+    Stats {
+        /// Echoed request id.
+        id: Option<u64>,
+    },
+    /// List the registered machines.
+    Catalog {
+        /// Echoed request id.
+        id: Option<u64>,
+    },
+}
+
+/// One decision job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecideRequest {
+    /// Client-chosen id echoed in the reply.
+    pub id: Option<u64>,
+    /// Registry name of the machine.
+    pub machine: String,
+    /// Graph family: `cycle`, `line`, `star`, or `clique`.
+    pub family: String,
+    /// Nodes per label; length must match the machine's arity, total ≥ 3.
+    pub counts: Vec<u64>,
+    /// Ask for a verified certificate alongside the verdict.
+    pub certified: bool,
+    /// Per-request deadline. `None` falls back to the service default.
+    pub deadline_ms: Option<u64>,
+}
+
+fn bad(reason: impl Into<String>) -> ServeError {
+    ServeError::BadRequest {
+        reason: reason.into(),
+    }
+}
+
+fn get_u64(v: &Json, key: &str) -> Result<Option<u64>, ServeError> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => Ok(Some(*n as u64)),
+        Some(_) => Err(bad(format!("field {key:?} must be a nonnegative integer"))),
+    }
+}
+
+fn get_str(v: &Json, key: &str) -> Result<Option<String>, ServeError> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Str(s)) => Ok(Some(s.clone())),
+        Some(_) => Err(bad(format!("field {key:?} must be a string"))),
+    }
+}
+
+fn get_bool(v: &Json, key: &str) -> Result<Option<bool>, ServeError> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Bool(b)) => Ok(Some(*b)),
+        Some(_) => Err(bad(format!("field {key:?} must be a boolean"))),
+    }
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, ServeError> {
+    let v = Json::parse(line).map_err(|e| bad(format!("malformed JSON: {e}")))?;
+    if !matches!(v, Json::Obj(_)) {
+        return Err(bad("request must be a JSON object"));
+    }
+    let id = get_u64(&v, "id")?;
+    let op = get_str(&v, "op")?.unwrap_or_else(|| "decide".to_string());
+    match op.as_str() {
+        "stats" => Ok(Request::Stats { id }),
+        "catalog" => Ok(Request::Catalog { id }),
+        "decide" => {
+            let machine =
+                get_str(&v, "machine")?.ok_or_else(|| bad("missing field \"machine\""))?;
+            let family = get_str(&v, "family")?.ok_or_else(|| bad("missing field \"family\""))?;
+            let counts = match v.get("counts") {
+                Some(Json::Arr(items)) => items
+                    .iter()
+                    .map(|item| match item {
+                        Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as u64),
+                        _ => Err(bad("\"counts\" entries must be nonnegative integers")),
+                    })
+                    .collect::<Result<Vec<u64>, ServeError>>()?,
+                _ => return Err(bad("missing or non-array field \"counts\"")),
+            };
+            Ok(Request::Decide(DecideRequest {
+                id,
+                machine,
+                family,
+                counts,
+                certified: get_bool(&v, "certified")?.unwrap_or(false),
+                deadline_ms: get_u64(&v, "deadline_ms")?,
+            }))
+        }
+        other => Err(bad(format!("unknown op {other:?}"))),
+    }
+}
+
+/// Builds the requested graph, enforcing the ≥ 3-node model convention.
+pub fn build_graph(family: &str, counts: &[u64]) -> Result<Graph, ServeError> {
+    if counts.iter().sum::<u64>() < 3 {
+        return Err(bad("the model convention requires at least 3 nodes"));
+    }
+    let c = LabelCount::from_vec(counts.to_vec());
+    match family {
+        "cycle" => Ok(generators::labelled_cycle(&c)),
+        "line" => Ok(generators::labelled_line(&c)),
+        "star" => Ok(generators::labelled_star(&c)),
+        "clique" => Ok(generators::labelled_clique(&c)),
+        other => Err(ServeError::UnknownFamily {
+            name: other.to_string(),
+        }),
+    }
+}
+
+/// How the cache answered a successful request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served from a ready store entry.
+    Hit,
+    /// This request ran the decision.
+    Miss,
+    /// Joined a decision another request already had in flight.
+    Coalesced,
+}
+
+impl CacheOutcome {
+    /// The wire rendering.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Miss => "miss",
+            CacheOutcome::Coalesced => "coalesced",
+        }
+    }
+}
+
+/// A successful decision reply.
+#[derive(Debug, Clone)]
+pub struct OkReply {
+    /// Echoed request id.
+    pub id: Option<u64>,
+    /// Machine name.
+    pub machine: String,
+    /// The verdict and (optionally) its certificate.
+    pub result: CachedVerdict,
+    /// How the cache answered.
+    pub cache: CacheOutcome,
+    /// Whether a certified request was degraded to a plain verdict to
+    /// meet its deadline.
+    pub degraded: bool,
+    /// Wall-clock service time for this request, µs.
+    pub micros: u64,
+}
+
+/// One reply line.
+#[derive(Debug, Clone)]
+pub enum Reply {
+    /// The decision succeeded.
+    Ok(OkReply),
+    /// The request was rejected or failed.
+    Error {
+        /// Echoed request id.
+        id: Option<u64>,
+        /// What went wrong.
+        error: ServeError,
+    },
+    /// Counter snapshot.
+    Stats {
+        /// Echoed request id.
+        id: Option<u64>,
+        /// The snapshot.
+        stats: ServiceStats,
+    },
+    /// Registry listing.
+    Catalog {
+        /// Echoed request id.
+        id: Option<u64>,
+        /// `(name, summary, arity)` per machine.
+        machines: Vec<(String, String, usize)>,
+    },
+}
+
+impl Reply {
+    /// The reply id (for routing in tests and clients).
+    pub fn id(&self) -> Option<u64> {
+        match self {
+            Reply::Ok(ok) => ok.id,
+            Reply::Error { id, .. } => *id,
+            Reply::Stats { id, .. } => *id,
+            Reply::Catalog { id, .. } => *id,
+        }
+    }
+
+    /// Renders the reply as one compact JSON line (no trailing newline).
+    pub fn render(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// The reply as a [`Json`] value.
+    pub fn to_json(&self) -> Json {
+        let id_json = |id: Option<u64>| id.map_or(Json::Null, |n| Json::Num(n as f64));
+        match self {
+            Reply::Ok(ok) => {
+                let mut obj = vec![
+                    ("id".to_string(), id_json(ok.id)),
+                    ("status".to_string(), Json::Str("ok".to_string())),
+                    ("machine".to_string(), Json::Str(ok.machine.clone())),
+                    (
+                        "verdict".to_string(),
+                        Json::Str(ok.result.verdict.to_string()),
+                    ),
+                    (
+                        "decided".to_string(),
+                        ok.result.verdict.decided().map_or(Json::Null, Json::Bool),
+                    ),
+                    ("backend".to_string(), Json::Str(ok.result.backend.clone())),
+                    ("explored".to_string(), Json::Num(ok.result.explored as f64)),
+                    (
+                        "cache".to_string(),
+                        Json::Str(ok.cache.as_str().to_string()),
+                    ),
+                    (
+                        "certified".to_string(),
+                        Json::Bool(ok.result.certificate.is_some()),
+                    ),
+                    ("degraded".to_string(), Json::Bool(ok.degraded)),
+                    ("micros".to_string(), Json::Num(ok.micros as f64)),
+                ];
+                if let Some(blob) = &ok.result.certificate {
+                    obj.push((
+                        "certificate_kind".to_string(),
+                        Json::Str(blob.kind.to_string()),
+                    ));
+                    // The blob was rendered by the same codec, so it
+                    // re-parses; fall back to embedding as a string if a
+                    // foreign registry entry handed us something else.
+                    let cert =
+                        Json::parse(&blob.json).unwrap_or_else(|_| Json::Str(blob.json.clone()));
+                    obj.push(("certificate".to_string(), cert));
+                }
+                Json::Obj(obj)
+            }
+            Reply::Error { id, error } => Json::Obj(vec![
+                ("id".to_string(), id_json(*id)),
+                ("status".to_string(), Json::Str(error.status().to_string())),
+                ("kind".to_string(), Json::Str(error.kind().to_string())),
+                ("error".to_string(), Json::Str(error.to_string())),
+            ]),
+            Reply::Stats { id, stats } => Json::Obj(vec![
+                ("id".to_string(), id_json(*id)),
+                ("status".to_string(), Json::Str("stats".to_string())),
+                ("received".to_string(), Json::Num(stats.received as f64)),
+                ("completed".to_string(), Json::Num(stats.completed as f64)),
+                ("cache_hits".to_string(), Json::Num(stats.cache_hits as f64)),
+                ("coalesced".to_string(), Json::Num(stats.coalesced as f64)),
+                ("decided".to_string(), Json::Num(stats.decided as f64)),
+                (
+                    "decide_errors".to_string(),
+                    Json::Num(stats.decide_errors as f64),
+                ),
+                (
+                    "rejected_overload".to_string(),
+                    Json::Num(stats.rejected_overload as f64),
+                ),
+                (
+                    "rejected_deadline".to_string(),
+                    Json::Num(stats.rejected_deadline as f64),
+                ),
+                ("degraded".to_string(), Json::Num(stats.degraded as f64)),
+            ]),
+            Reply::Catalog { id, machines } => Json::Obj(vec![
+                ("id".to_string(), id_json(*id)),
+                ("status".to_string(), Json::Str("catalog".to_string())),
+                (
+                    "machines".to_string(),
+                    Json::Arr(
+                        machines
+                            .iter()
+                            .map(|(name, summary, arity)| {
+                                Json::Obj(vec![
+                                    ("name".to_string(), Json::Str(name.clone())),
+                                    ("summary".to_string(), Json::Str(summary.clone())),
+                                    ("arity".to_string(), Json::Num(*arity as f64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        }
+    }
+}
+
+/// The catalog listing for a registry, in registration order.
+pub fn catalog_of(registry: &MachineRegistry) -> Vec<(String, String, usize)> {
+    registry
+        .entries()
+        .map(|e| (e.name().to_string(), e.summary().to_string(), e.arity()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_decide_request() {
+        let r = parse_request(
+            r#"{"id":7,"machine":"majority","family":"cycle","counts":[2,1],"certified":true,"deadline_ms":250}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            r,
+            Request::Decide(DecideRequest {
+                id: Some(7),
+                machine: "majority".to_string(),
+                family: "cycle".to_string(),
+                counts: vec![2, 1],
+                certified: true,
+                deadline_ms: Some(250),
+            })
+        );
+    }
+
+    #[test]
+    fn defaults_and_ops() {
+        let r = parse_request(r#"{"machine":"m","family":"line","counts":[3,0]}"#).unwrap();
+        match r {
+            Request::Decide(d) => {
+                assert_eq!(d.id, None);
+                assert!(!d.certified);
+                assert_eq!(d.deadline_ms, None);
+            }
+            other => panic!("expected decide, got {other:?}"),
+        }
+        assert_eq!(
+            parse_request(r#"{"id":1,"op":"stats"}"#).unwrap(),
+            Request::Stats { id: Some(1) }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"catalog"}"#).unwrap(),
+            Request::Catalog { id: None }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for line in [
+            "not json",
+            "[1,2]",
+            r#"{"op":"fry"}"#,
+            r#"{"machine":"m","family":"line"}"#,
+            r#"{"machine":"m","family":"line","counts":[1.5]}"#,
+            r#"{"machine":"m","family":"line","counts":[3],"certified":"yes"}"#,
+        ] {
+            let e = parse_request(line).unwrap_err();
+            assert_eq!(e.kind(), "bad-request", "{line}");
+        }
+    }
+
+    #[test]
+    fn graph_building_enforces_the_catalog_and_size() {
+        assert!(build_graph("cycle", &[2, 1]).is_ok());
+        assert!(matches!(
+            build_graph("torus", &[2, 1]),
+            Err(ServeError::UnknownFamily { .. })
+        ));
+        assert!(matches!(
+            build_graph("cycle", &[1, 1]),
+            Err(ServeError::BadRequest { .. })
+        ));
+    }
+
+    #[test]
+    fn replies_render_to_single_json_lines() {
+        let reply = Reply::Error {
+            id: Some(3),
+            error: ServeError::Overloaded {
+                in_flight: 4,
+                capacity: 4,
+            },
+        };
+        let line = reply.render();
+        assert!(!line.contains('\n'));
+        let v = Json::parse(&line).unwrap();
+        assert_eq!(v.get("status"), Some(&Json::Str("overloaded".to_string())));
+        assert_eq!(v.get("id"), Some(&Json::Num(3.0)));
+    }
+}

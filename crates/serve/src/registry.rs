@@ -1,0 +1,315 @@
+//! The machine registry: named decision procedures the service exposes.
+//!
+//! Each entry erases a concrete `Machine<S>` behind a `Fn(&Graph, bool)`
+//! closure returning a [`CachedVerdict`] — the state type stays private
+//! to the closure, so one registry can hold the whole heterogeneous
+//! Figure-1 catalog. Certificates are rendered to JSON *inside* the
+//! closure (where `S` is still known) and re-checked by the independent
+//! verifier before they are allowed into the cache: the service never
+//! serves a certificate it has not verified.
+
+use crate::error::ServeError;
+use std::sync::Arc;
+use wam_analysis::system_fingerprint;
+use wam_certify::{certificate_to_json, Decider, DecisionCertificate, StateTable, VerifyOptions};
+use wam_core::{Backend, Machine, Schedule, State, Verdict};
+use wam_extensions::{
+    compile_broadcasts, compile_rendezvous, GraphPopulationProtocol, MajorityState,
+};
+use wam_graph::Graph;
+use wam_protocols::{cutoff_one_machine, modulo_protocol, threshold_machine};
+
+/// One verdict as the cache stores it: the decision outcome plus the
+/// pre-rendered certificate JSON (shared behind an [`Arc`] so cache hits
+/// never re-render).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedVerdict {
+    /// The decided verdict.
+    pub verdict: Verdict,
+    /// The backend that ran, rendered (`explicit`, `quotient`, …).
+    pub backend: String,
+    /// Configurations (or lasso steps) the decision visited.
+    pub explored: usize,
+    /// The verified certificate, when the decision was certified.
+    pub certificate: Option<Arc<CertificateBlob>>,
+}
+
+/// A certificate rendered to its JSON wire form, tagged with the
+/// abstraction it lives in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CertificateBlob {
+    /// `"node"`, `"counter"`, or `"ring"` — which transition system the
+    /// witness replays in.
+    pub kind: &'static str,
+    /// The certificate as compact JSON text.
+    pub json: String,
+}
+
+type DecideFn = Box<dyn Fn(&Graph, bool) -> Result<CachedVerdict, ServeError> + Send + Sync>;
+
+/// One named machine the service can decide.
+pub struct MachineEntry {
+    name: String,
+    summary: String,
+    arity: usize,
+    fingerprint_plain: u64,
+    fingerprint_certified: u64,
+    decide: DecideFn,
+}
+
+impl MachineEntry {
+    /// The registry name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// A one-line human description (for the `catalog` op).
+    pub fn summary(&self) -> &str {
+        &self.summary
+    }
+
+    /// The label arity requests must supply counts for.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The store fingerprint for this entry. Plain and certified results
+    /// have different shapes, so they live in disjoint key namespaces.
+    pub fn fingerprint(&self, certified: bool) -> u64 {
+        if certified {
+            self.fingerprint_certified
+        } else {
+            self.fingerprint_plain
+        }
+    }
+
+    /// Runs the decision (uncached — the service layers the store on top).
+    pub fn decide(&self, graph: &Graph, certified: bool) -> Result<CachedVerdict, ServeError> {
+        (self.decide)(graph, certified)
+    }
+}
+
+impl std::fmt::Debug for MachineEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MachineEntry")
+            .field("name", &self.name)
+            .field("arity", &self.arity)
+            .finish()
+    }
+}
+
+/// The set of machines a [`VerdictService`](crate::service::VerdictService)
+/// exposes, looked up by name.
+#[derive(Debug, Default)]
+pub struct MachineRegistry {
+    entries: Vec<MachineEntry>,
+}
+
+impl MachineRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MachineRegistry::default()
+    }
+
+    /// Registers `machine` under `name`, deciding through the
+    /// [`Decider`] with the given schedule and exploration limit
+    /// (backend [`Backend::Auto`]). Certified decisions are re-checked
+    /// by the independent verifier before they are returned.
+    pub fn register<S: State>(
+        &mut self,
+        name: &str,
+        summary: &str,
+        arity: usize,
+        machine: Machine<S>,
+        schedule: Schedule,
+        limit: usize,
+    ) {
+        let decide: DecideFn = Box::new(move |graph, certified| {
+            let d = Decider::new(&machine, graph)
+                .schedule(schedule)
+                .backend(Backend::Auto)
+                .certified(certified)
+                .limit(limit)
+                .decide()
+                .map_err(ServeError::Explore)?;
+            let certificate = match &d.certificate {
+                None => None,
+                Some(cert) => {
+                    let verified = cert
+                        .verify(&machine, graph, &VerifyOptions::default())
+                        .map_err(ServeError::Certificate)?;
+                    if verified != d.verdict {
+                        return Err(ServeError::Internal {
+                            reason: format!(
+                                "verifier derived {verified} but the engine decided {}",
+                                d.verdict
+                            ),
+                        });
+                    }
+                    Some(Arc::new(render_certificate(cert)))
+                }
+            };
+            Ok(CachedVerdict {
+                verdict: d.verdict,
+                backend: d.stats.backend.to_string(),
+                explored: d.stats.explored,
+                certificate,
+            })
+        });
+        self.register_with(name, summary, arity, decide);
+    }
+
+    /// Registers a pre-erased decision closure. This is the raw hook the
+    /// typed [`register`](Self::register) goes through; tests use it to
+    /// install instrumented or artificially slow deciders.
+    pub fn register_with(&mut self, name: &str, summary: &str, arity: usize, decide: DecideFn) {
+        self.entries.push(MachineEntry {
+            name: name.to_string(),
+            summary: summary.to_string(),
+            arity,
+            fingerprint_plain: system_fingerprint(&format!("serve/{name}")),
+            fingerprint_certified: system_fingerprint(&format!("serve/{name}/certified")),
+            decide,
+        });
+    }
+
+    /// Looks an entry up by name.
+    pub fn get(&self, name: &str) -> Option<&MachineEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// All entries, in registration order.
+    pub fn entries(&self) -> impl Iterator<Item = &MachineEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of registered machines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The paper's Figure-1 witness catalog — the same four machines the
+    /// E1 certified grid exercises:
+    ///
+    /// * `presence` — Cutoff(1) flooding (`dAf`), round-robin lassos;
+    /// * `ladder` — the compiled ⟨level⟩ threshold ladder (`dAF ⊇ Cutoff`);
+    /// * `majority` — Lemma 4.10-compiled population majority (`DAF ⊇ NL`);
+    /// * `parity` — the modulo-2 witness outside Cutoff.
+    ///
+    /// All four are binary-labelled (arity 2).
+    pub fn paper_catalog() -> Self {
+        let mut reg = MachineRegistry::new();
+        reg.register(
+            "presence",
+            "Cutoff(1) flooding: accepts iff a node labelled 1 is present",
+            2,
+            cutoff_one_machine(2, |p| p[1]),
+            Schedule::RoundRobin,
+            500_000,
+        );
+        reg.register(
+            "ladder",
+            "compiled broadcast ladder: accepts iff at least two nodes are labelled 0",
+            2,
+            compile_broadcasts(&threshold_machine(2, 0, 2)),
+            Schedule::PseudoStochastic,
+            3_000_000,
+        );
+        reg.register(
+            "majority",
+            "compiled population majority: accepts iff #0 > #1",
+            2,
+            compile_rendezvous(&GraphPopulationProtocol::<MajorityState>::majority()),
+            Schedule::PseudoStochastic,
+            5_000_000,
+        );
+        reg.register(
+            "parity",
+            "compiled modulo protocol: accepts iff #0 is odd",
+            2,
+            compile_rendezvous(&modulo_protocol(vec![1, 0], 2, 1)),
+            Schedule::PseudoStochastic,
+            5_000_000,
+        );
+        reg
+    }
+}
+
+/// Renders a [`DecisionCertificate`] to its tagged JSON wire form while
+/// the state type is still known.
+fn render_certificate<S: State>(cert: &DecisionCertificate<S>) -> CertificateBlob {
+    match cert {
+        DecisionCertificate::Node(c) => {
+            let table = StateTable::from_certificate(c);
+            CertificateBlob {
+                kind: "node",
+                json: certificate_to_json(c, &table),
+            }
+        }
+        DecisionCertificate::Counter(c) => {
+            let table = StateTable::from_counter_certificate(c);
+            CertificateBlob {
+                kind: "counter",
+                json: certificate_to_json(c, &table),
+            }
+        }
+        DecisionCertificate::Ring(c) => {
+            let table = StateTable::from_ring_certificate(c);
+            CertificateBlob {
+                kind: "ring",
+                json: certificate_to_json(c, &table),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wam_graph::{generators, LabelCount};
+
+    #[test]
+    fn catalog_has_the_four_witnesses() {
+        let reg = MachineRegistry::paper_catalog();
+        assert_eq!(reg.len(), 4);
+        for name in ["presence", "ladder", "majority", "parity"] {
+            let e = reg.get(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(e.arity(), 2);
+            assert_ne!(e.fingerprint(false), e.fingerprint(true));
+        }
+        assert!(reg.get("nonesuch").is_none());
+    }
+
+    #[test]
+    fn presence_decides_and_certifies() {
+        let reg = MachineRegistry::paper_catalog();
+        let e = reg.get("presence").unwrap();
+        let g = generators::labelled_cycle(&LabelCount::from_vec(vec![2, 1]));
+        let plain = e.decide(&g, false).unwrap();
+        assert_eq!(plain.verdict, Verdict::Accepts);
+        assert!(plain.certificate.is_none());
+        let certified = e.decide(&g, true).unwrap();
+        assert_eq!(certified.verdict, Verdict::Accepts);
+        let blob = certified.certificate.expect("certified run carries a blob");
+        assert!(!blob.json.is_empty());
+    }
+
+    #[test]
+    fn fingerprints_are_stable_per_name() {
+        let a = MachineRegistry::paper_catalog();
+        let b = MachineRegistry::paper_catalog();
+        assert_eq!(
+            a.get("parity").unwrap().fingerprint(true),
+            b.get("parity").unwrap().fingerprint(true)
+        );
+        assert_ne!(
+            a.get("parity").unwrap().fingerprint(false),
+            a.get("majority").unwrap().fingerprint(false)
+        );
+    }
+}

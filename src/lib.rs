@@ -17,6 +17,8 @@
 //! * [`analysis`] — labelling predicates, property-class checkers
 //!   (Trivial / Cutoff / ISM / NL witnesses), and star-configuration `Pre*`.
 //! * [`sim`] — the experiment harness: adversaries, batch runners, statistics.
+//! * [`serve`] — the async certified-verdict service: the Figure-1 catalog
+//!   behind a sharded verdict cache, spoken over framed line-JSON.
 
 pub use wam_analysis as analysis;
 pub use wam_certify as certify;
@@ -24,4 +26,5 @@ pub use wam_core as core;
 pub use wam_extensions as extensions;
 pub use wam_graph as graph;
 pub use wam_protocols as protocols;
+pub use wam_serve as serve;
 pub use wam_sim as sim;

@@ -1,6 +1,7 @@
-//! Schema check for `BENCH_explore.json`: the engine benchmark report at
-//! the repository root must stay parseable and keep the fields that the
-//! documentation (EXPERIMENTS.md E13/E16) and downstream tooling read.
+//! Schema checks for `BENCH_explore.json` and `BENCH_serve.json`: the
+//! benchmark reports at the repository root must stay parseable and keep
+//! the fields that the documentation (EXPERIMENTS.md E13/E16/E20) and
+//! downstream tooling read.
 //! The parser is a ~60-line hand-rolled recursive descent — the workspace
 //! deliberately has no JSON dependency — strict enough to reject the
 //! usual hand-editing accidents (trailing commas, unquoted keys,
@@ -448,6 +449,62 @@ fn bench_explore_json_matches_schema() {
             "accepts" | "rejects" | "no consensus" | "inconsistent"
         ));
     }
+}
+
+#[test]
+fn bench_serve_json_matches_schema() {
+    let raw = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_serve.json"))
+        .expect("BENCH_serve.json at the repository root");
+    let doc = parse(&raw);
+
+    assert_eq!(doc.get("bench").str(), "serve_traffic");
+    doc.get("note").str();
+    for key in ["workers", "admission", "clients"] {
+        assert!(doc.get(key).num() >= 1.0, "{key} must be at least 1");
+    }
+
+    // Traffic accounting: the steady phase is a subset of the total, and
+    // the closed loop must have pushed real volume through the service.
+    let requests = doc.get("requests").num();
+    let steady = doc.get("steady_requests").num();
+    assert!(steady >= 1.0 && steady <= requests);
+    assert!(doc.get("steady_elapsed_ms").num() > 0.0);
+    assert!(doc.get("requests_per_sec").num() > 0.0);
+
+    // Latency percentiles are steady-phase only and must be ordered.
+    let p50 = doc.get("p50_us").num();
+    let p99 = doc.get("p99_us").num();
+    assert!(p50 > 0.0, "p50 must be positive");
+    assert!(p99 >= p50, "p99 below p50");
+
+    // The acceptance pins of the tentpole: a skewed workload keeps the
+    // sharded memo hot, concurrent duplicates join in-flight decisions,
+    // and admission control sheds (rather than queues) the overload burst.
+    assert!(
+        doc.get("cache_hit_rate").num() >= 0.5,
+        "cache hit rate below 0.5"
+    );
+    let coalesced_fraction = doc.get("coalesced_fraction").num();
+    assert!(
+        coalesced_fraction > 0.0 && coalesced_fraction <= 1.0,
+        "coalesced fraction must be in (0, 1]"
+    );
+    assert!(doc.get("cache_hits").num() >= 1.0);
+    assert!(doc.get("coalesced").num() >= 1.0);
+    assert!(doc.get("rejected_overload").num() >= 1.0);
+    assert!(doc.get("rejected_deadline").num() >= 0.0);
+    assert!(doc.get("degraded").num() >= 1.0);
+
+    // Every decision is cached under its canonical key: the distinct-key
+    // count bounds how many decisions may ever have run.
+    let decided = doc.get("decided").num();
+    let distinct = doc.get("distinct_keys").num();
+    assert!(decided >= 1.0);
+    assert!(distinct >= 1.0 && distinct <= decided);
+    assert!(
+        decided < requests,
+        "the cache must absorb most of the workload"
+    );
 }
 
 #[test]

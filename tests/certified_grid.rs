@@ -2,10 +2,10 @@
 //! the small-graph suite is emitted together with a certificate, checked by
 //! the independent verifier, round-tripped through JSON and re-verified —
 //! including the quotient-active runs, whose certificates carry symmetry
-//! transport. The certified sweeps also run through [`CertifiedMemo`], so
+//! transport. The certified sweeps also run through the shared [`VerdictStore`], so
 //! repeated isomorphism classes are served with their cached proofs.
 
-use weak_async_models::analysis::{system_fingerprint, CertifiedMemo, Predicate};
+use weak_async_models::analysis::{system_fingerprint, Predicate, VerdictStore};
 use weak_async_models::certify::{
     certificate_from_json, certificate_to_json, verify_machine, CertifiedVerdict, Decider,
     DecisionCertificate, StateTable, VerifyOptions,
@@ -28,7 +28,7 @@ fn suite(c: &LabelCount) -> Vec<Graph> {
 
 /// One certified decision through the [`Decider`], forced onto the
 /// quotient backend so every certificate lives in node space (the form
-/// [`CertifiedMemo`] transports between isomorphic graphs).
+/// [`VerdictStore`] transports between isomorphic graphs).
 fn certified<S: State>(
     m: &Machine<S>,
     g: &Graph,
@@ -60,7 +60,7 @@ fn counts() -> Vec<LabelCount> {
 
 /// Runs one witness family over the whole grid: every verdict must match
 /// the predicate, every certificate must verify (before and after a JSON
-/// round-trip), and the memo must serve the suite's repeated isomorphism
+/// round-trip), and the store must serve the suite's repeated isomorphism
 /// classes from cache. Returns the number of transported certificates.
 fn certified_grid<S: State>(
     machine: &Machine<S>,
@@ -68,12 +68,12 @@ fn certified_grid<S: State>(
     name: &str,
     mut decide: impl FnMut(&Graph) -> CertifiedVerdict<Config<S>>,
 ) -> usize {
-    let mut memo = CertifiedMemo::new();
+    let memo = VerdictStore::new();
     let fp = system_fingerprint(name);
     let mut transports = 0;
     for c in counts() {
         for g in suite(&c) {
-            let d = memo.decide(fp, &g, |g| decide(g));
+            let d = memo.decide_certified(fp, &g, |g| decide(g));
             assert_eq!(
                 d.verdict.decided(),
                 Some(pred.eval(&c)),
@@ -101,7 +101,7 @@ fn certified_grid<S: State>(
     }
     assert!(
         memo.hits() > 0,
-        "{name}: the suite revisits isomorphic graphs, the memo must hit"
+        "{name}: the suite revisits isomorphic graphs, the store must hit"
     );
     transports
 }

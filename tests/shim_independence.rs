@@ -1,0 +1,148 @@
+//! Textual independence of the deprecated `decide_*` shims: the ten
+//! free-function deciders kept for backward compatibility may be
+//! *defined* (and re-exported) but no longer *used* anywhere in the
+//! tree except `tests/decider_shims.rs`, the one test that pins their
+//! behaviour against the [`Decider`](wam_certify::Decider) builder.
+//!
+//! The check is a word-boundary scan of every `.rs` file in the
+//! repository, so a new caller fails this test even if it compiles
+//! cleanly against the deprecated functions.
+
+use std::path::{Path, PathBuf};
+
+/// The deprecated shims: five plain deciders in `wam-core`, five
+/// certified counterparts in `wam-certify`.
+const SHIMS: [&str; 10] = [
+    "decide_system",
+    "decide_pseudo_stochastic",
+    "decide_adversarial_round_robin",
+    "decide_synchronous",
+    "decide_symmetric",
+    "decide_system_certified",
+    "decide_pseudo_stochastic_certified",
+    "decide_adversarial_round_robin_certified",
+    "decide_synchronous_certified",
+    "decide_symmetric_certified",
+];
+
+/// Files allowed to mention a shim name: the definition sites, the two
+/// `lib.rs` files that re-export them (removing the re-exports is a
+/// semver question for a later major bump), the compatibility test that
+/// is their one sanctioned caller, the verifier-independence test that
+/// lists them as forbidden strings, and this file.
+const ALLOWED: [&str; 8] = [
+    "crates/core/src/explore.rs",
+    "crates/core/src/symmetry.rs",
+    "crates/core/src/lib.rs",
+    "crates/certify/src/emit.rs",
+    "crates/certify/src/lib.rs",
+    "crates/certify/tests/independence.rs",
+    "tests/decider_shims.rs",
+    "tests/shim_independence.rs",
+];
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Whether `text` contains `word` delimited on both sides by
+/// non-identifier characters (so `decide_system` does not match inside
+/// `decide_system_certified`, and `decide_symmetric` does not match
+/// inside `decide_symmetric_stats`).
+fn contains_word(text: &str, word: &str) -> bool {
+    let bytes = text.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = text[from..].find(word) {
+        let start = from + pos;
+        let end = start + word.len();
+        let left_ok = start == 0 || !is_ident_char(bytes[start - 1]);
+        let right_ok = end == bytes.len() || !is_ident_char(bytes[end]);
+        if left_ok && right_ok {
+            return true;
+        }
+        from = start + 1;
+    }
+    false
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).expect("readable directory") {
+        let entry = entry.expect("directory entry");
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            // `target/` holds build products (including expanded macro
+            // sources); hidden directories hold VCS state.
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn deprecated_shims_have_no_callers_outside_the_compat_test() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files);
+    assert!(
+        files.len() > 50,
+        "the scan found only {} .rs files — is the walk broken?",
+        files.len()
+    );
+
+    let mut violations = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .expect("path under the repository root")
+            .to_string_lossy()
+            .replace('\\', "/");
+        if ALLOWED.contains(&rel.as_str()) {
+            continue;
+        }
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("unreadable source file {rel}: {e}"));
+        for shim in SHIMS {
+            if contains_word(&text, shim) {
+                violations.push(format!("{rel} mentions {shim}"));
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "deprecated shims are referenced outside their sanctioned files \
+         (migrate the caller to the Decider builder):\n  {}",
+        violations.join("\n  ")
+    );
+}
+
+#[test]
+fn the_sanctioned_files_still_exist() {
+    // If a definition file is renamed, the allowlist must move with it —
+    // otherwise the main scan silently stops covering the definitions.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    for rel in ALLOWED {
+        assert!(
+            root.join(rel).is_file(),
+            "allowlisted file {rel} is missing; update the allowlist"
+        );
+    }
+}
+
+#[test]
+fn word_boundary_matching_is_exact() {
+    assert!(contains_word("x = decide_system(&s, o);", "decide_system"));
+    assert!(contains_word("decide_system", "decide_system"));
+    assert!(!contains_word(
+        "decide_system_certified(x)",
+        "decide_system"
+    ));
+    assert!(!contains_word("my_decide_system", "decide_system"));
+    assert!(!contains_word("decide_symmetric_stats", "decide_symmetric"));
+    assert!(contains_word("(decide_symmetric)", "decide_symmetric"));
+}
