@@ -2,8 +2,10 @@
 //! [`Runtime`] / [`Handle`] / [`JoinHandle`], and [`block_on`].
 
 use crate::channel::oneshot;
+use std::any::Any;
 use std::collections::VecDeque;
 use std::future::Future;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::pin::Pin;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, Weak};
@@ -56,12 +58,38 @@ impl Task {
         let mut cx = Context::from_waker(&waker);
         let mut slot = self.future.lock().unwrap();
         if let Some(future) = slot.as_mut() {
-            if future.as_mut().poll(&mut cx).is_ready() {
-                // Drop the finished future eagerly so captured resources
-                // (channel senders, graphs) release without waiting for
-                // the last waker clone to go away.
-                *slot = None;
+            // Panic isolation: a panicking task must not unwind into the
+            // worker loop (killing the worker thread) or out through this
+            // frame while the future mutex is held (poisoning it). Spawned
+            // futures carry their own `CatchUnwind` wrapper that routes
+            // the payload to the join handle; this outer catch is the
+            // backstop for panics escaping any other path.
+            match catch_unwind(AssertUnwindSafe(|| future.as_mut().poll(&mut cx))) {
+                Ok(Poll::Pending) => {}
+                // Drop the finished (or panicked) future eagerly so
+                // captured resources (channel senders, graphs) release
+                // without waiting for the last waker clone to go away.
+                Ok(Poll::Ready(())) | Err(_) => *slot = None,
             }
+        }
+    }
+}
+
+/// Polls the wrapped future inside [`catch_unwind`], turning a panic into
+/// a `Result::Err` carrying the payload — how spawned tasks deliver their
+/// panics to the [`JoinHandle`] instead of unwinding through the worker.
+struct CatchUnwind<F>(F);
+
+impl<F: Future> Future for CatchUnwind<F> {
+    type Output = Result<F::Output, Box<dyn Any + Send + 'static>>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // Structural pinning of the single field.
+        let inner = unsafe { self.map_unchecked_mut(|this| &mut this.0) };
+        match catch_unwind(AssertUnwindSafe(|| inner.poll(cx))) {
+            Ok(Poll::Ready(v)) => Poll::Ready(Ok(v)),
+            Ok(Poll::Pending) => Poll::Pending,
+            Err(payload) => Poll::Ready(Err(payload)),
         }
     }
 }
@@ -192,7 +220,7 @@ impl Handle {
         let (tx, rx) = oneshot::channel();
         let task = Arc::new(Task {
             future: Mutex::new(Some(Box::pin(async move {
-                let _ = tx.send(future.await);
+                let _ = tx.send(CatchUnwind(future).await);
             }))),
             shared: Arc::downgrade(&self.shared),
             scheduled: AtomicBool::new(false),
@@ -206,11 +234,13 @@ impl Handle {
 ///
 /// # Panics
 ///
-/// Polling panics if the task was dropped without completing (runtime
-/// shut down) or panicked; the service layer never lets either happen to
-/// a task whose join handle it awaits.
+/// A panic inside the task never kills its worker thread; it is caught
+/// and *resumed here*, at the join point, when the handle is polled —
+/// the same contract as [`std::thread::JoinHandle::join`] followed by an
+/// unwrap. Polling also panics if the task was dropped without completing
+/// (runtime shut down).
 pub struct JoinHandle<T> {
-    rx: oneshot::Receiver<T>,
+    rx: oneshot::Receiver<Result<T, Box<dyn Any + Send + 'static>>>,
 }
 
 impl<T> Future for JoinHandle<T> {
@@ -218,7 +248,8 @@ impl<T> Future for JoinHandle<T> {
 
     fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
         match Pin::new(&mut self.rx).poll(cx) {
-            Poll::Ready(Ok(v)) => Poll::Ready(v),
+            Poll::Ready(Ok(Ok(v))) => Poll::Ready(v),
+            Poll::Ready(Ok(Err(payload))) => resume_unwind(payload),
             Poll::Ready(Err(_)) => panic!("spawned task dropped before completion"),
             Poll::Pending => Poll::Pending,
         }
@@ -301,6 +332,30 @@ mod tests {
         let handles: Vec<_> = (0..64).map(|i| rt.spawn(async move { i * 2 })).collect();
         let total: i32 = handles.into_iter().map(block_on).sum();
         assert_eq!(total, (0..64).map(|i| i * 2).sum());
+    }
+
+    #[test]
+    fn panicking_task_does_not_kill_its_worker() {
+        // One worker: if the panic unwound through the poll loop, the
+        // second task could never run and block_on would hang.
+        let rt = Runtime::new(1);
+        let bad = rt.spawn(async { panic!("task exploded") });
+        let good = rt.spawn(async { 42 });
+        assert_eq!(block_on(good), 42);
+        let joined = catch_unwind(AssertUnwindSafe(|| block_on(bad)));
+        let payload = joined.expect_err("join must resume the task's panic");
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"task exploded"));
+    }
+
+    #[test]
+    fn workers_survive_many_panics() {
+        let rt = Runtime::new(2);
+        for _ in 0..16 {
+            drop(rt.spawn(async { panic!("boom") }));
+        }
+        let handles: Vec<_> = (0..16).map(|i| rt.spawn(async move { i })).collect();
+        let total: i32 = handles.into_iter().map(block_on).sum();
+        assert_eq!(total, (0..16).sum());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
-use std::sync::{Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::task::{Context, Poll, Waker};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -21,9 +21,27 @@ const SLOTS: usize = 256;
 /// most ~one tick late.
 const TICK: Duration = Duration::from_millis(1);
 
+/// Lifecycle of one registered timer, shared between the wheel entry and
+/// the [`Sleep`] that registered it.
+enum SlotState {
+    /// Armed; the wheel wakes this waker at the deadline. [`Sleep::poll`]
+    /// refreshes the waker in place instead of registering a new entry.
+    Waiting(Waker),
+    /// The wheel fired the waker; the deadline has passed.
+    Fired,
+    /// The [`Sleep`] was dropped early; the entry is a tombstone the
+    /// driver discards when it next sweeps the slot, without waking.
+    Cancelled,
+}
+
+/// Shared handle pairing a wheel [`Entry`] with its [`Sleep`].
+struct TimerSlot {
+    state: Mutex<SlotState>,
+}
+
 struct Entry {
     deadline: Instant,
-    waker: Waker,
+    slot: Arc<TimerSlot>,
 }
 
 struct WheelState {
@@ -45,14 +63,14 @@ impl Wheel {
         since.as_millis() as u64 / TICK.as_millis() as u64
     }
 
-    fn register(&self, deadline: Instant, waker: Waker) {
+    fn register(&self, deadline: Instant, slot: Arc<TimerSlot>) {
         let tick = self.tick_of(deadline);
         let mut state = self.state.lock().unwrap();
         // Never schedule behind the cursor: a deadline in an already-swept
         // tick goes into the cursor's own slot so the next sweep fires it.
         let tick = tick.max(state.cursor);
-        let slot = (tick % SLOTS as u64) as usize;
-        state.slots[slot].push_back(Entry { deadline, waker });
+        let index = (tick % SLOTS as u64) as usize;
+        state.slots[index].push_back(Entry { deadline, slot });
         state.pending += 1;
         self.work.notify_one();
     }
@@ -73,11 +91,24 @@ impl Wheel {
                 let slot = ((state.cursor + step) % SLOTS as u64) as usize;
                 let mut keep = VecDeque::new();
                 while let Some(entry) = state.slots[slot].pop_front() {
-                    if entry.deadline <= now {
-                        state.pending -= 1;
-                        fired.push(entry.waker);
-                    } else {
-                        keep.push_back(entry);
+                    let mut slot_state = entry.slot.state.lock().unwrap();
+                    match &*slot_state {
+                        // A dropped Sleep leaves a tombstone; collect it
+                        // whenever the sweep reaches it, due or not.
+                        SlotState::Cancelled | SlotState::Fired => {
+                            state.pending -= 1;
+                        }
+                        SlotState::Waiting(_) if entry.deadline <= now => {
+                            state.pending -= 1;
+                            let prev = std::mem::replace(&mut *slot_state, SlotState::Fired);
+                            if let SlotState::Waiting(waker) = prev {
+                                fired.push(waker);
+                            }
+                        }
+                        SlotState::Waiting(_) => {
+                            drop(slot_state);
+                            keep.push_back(entry);
+                        }
                     }
                 }
                 state.slots[slot] = keep;
@@ -122,23 +153,73 @@ fn wheel() -> &'static Wheel {
 pub fn sleep(duration: Duration) -> Sleep {
     Sleep {
         deadline: Instant::now() + duration,
+        registration: None,
     }
 }
 
 /// Future returned by [`sleep`].
+///
+/// Each `Sleep` registers at most one wheel entry, no matter how often it
+/// is polled (re-polls refresh the stored waker in place), and dropping
+/// it early tombstones the entry so the wheel never fires a stale waker.
 pub struct Sleep {
     deadline: Instant,
+    registration: Option<Arc<TimerSlot>>,
 }
 
 impl Future for Sleep {
     type Output = ();
 
-    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if let Some(slot) = &self.registration {
+            let mut state = slot.state.lock().unwrap();
+            match &mut *state {
+                SlotState::Fired => {
+                    drop(state);
+                    self.registration = None;
+                    return Poll::Ready(());
+                }
+                SlotState::Waiting(_) if Instant::now() >= self.deadline => {
+                    // Done by the clock before the wheel got to us; retire
+                    // the entry so the sweep discards it without waking.
+                    *state = SlotState::Cancelled;
+                    drop(state);
+                    self.registration = None;
+                    return Poll::Ready(());
+                }
+                SlotState::Waiting(waker) => {
+                    // Registered already: refresh the waker (the task may
+                    // have moved) instead of adding a duplicate entry.
+                    if !waker.will_wake(cx.waker()) {
+                        *waker = cx.waker().clone();
+                    }
+                    return Poll::Pending;
+                }
+                SlotState::Cancelled => unreachable!("live Sleep holds a cancelled slot"),
+            }
+        }
         if Instant::now() >= self.deadline {
             return Poll::Ready(());
         }
-        wheel().register(self.deadline, cx.waker().clone());
+        let slot = Arc::new(TimerSlot {
+            state: Mutex::new(SlotState::Waiting(cx.waker().clone())),
+        });
+        self.registration = Some(Arc::clone(&slot));
+        wheel().register(self.deadline, slot);
         Poll::Pending
+    }
+}
+
+impl Drop for Sleep {
+    fn drop(&mut self) {
+        if let Some(slot) = self.registration.take() {
+            let mut state = slot.state.lock().unwrap();
+            // Dropping the waker here releases the task immediately; the
+            // wheel collects the tombstoned entry on its next sweep.
+            if matches!(*state, SlotState::Waiting(_)) {
+                *state = SlotState::Cancelled;
+            }
+        }
     }
 }
 
@@ -227,6 +308,67 @@ mod tests {
             .collect();
         let sum: u64 = handles.into_iter().map(block_on).sum();
         assert_eq!(sum, (0..32).sum());
+    }
+
+    #[test]
+    fn sleep_registers_at_most_once_per_deadline() {
+        let mut s = sleep(Duration::from_millis(150));
+        let mut cx = Context::from_waker(Waker::noop());
+        for _ in 0..64 {
+            assert_eq!(Pin::new(&mut s).poll(&mut cx), Poll::Pending);
+        }
+        // Exactly two owners of the slot: this Sleep and one wheel entry.
+        // Register-per-poll would leave 65 owners.
+        let slot = s.registration.as_ref().expect("polling registered");
+        assert_eq!(Arc::strong_count(slot), 2);
+        block_on(s);
+    }
+
+    #[test]
+    fn dropping_a_sleep_tombstones_its_entry() {
+        let mut s = sleep(Duration::from_secs(300));
+        let mut cx = Context::from_waker(Waker::noop());
+        assert_eq!(Pin::new(&mut s).poll(&mut cx), Poll::Pending);
+        let slot = Arc::clone(s.registration.as_ref().unwrap());
+        drop(s);
+        // The waker is released immediately; the wheel discards the entry
+        // on its next sweep of that slot instead of firing it.
+        assert!(matches!(
+            *slot.state.lock().unwrap(),
+            SlotState::Cancelled
+        ));
+    }
+
+    #[test]
+    fn early_inner_completion_retires_the_timeout_timer() {
+        // Register the timeout's sleep by letting the inner future go
+        // pending once before completing.
+        let mut polled = false;
+        let inner = std::future::poll_fn(move |cx| {
+            if polled {
+                Poll::Ready(7)
+            } else {
+                polled = true;
+                cx.waker().wake_by_ref();
+                Poll::Pending
+            }
+        });
+        let mut t = timeout(Duration::from_secs(300), inner);
+        let mut cx = Context::from_waker(Waker::noop());
+        let mut out = None;
+        for _ in 0..4 {
+            if let Poll::Ready(v) = unsafe { Pin::new_unchecked(&mut t) }.poll(&mut cx) {
+                out = Some(v);
+                break;
+            }
+        }
+        assert_eq!(out, Some(Ok(7)));
+        let slot = Arc::clone(t.sleep.registration.as_ref().unwrap());
+        drop(t);
+        assert!(matches!(
+            *slot.state.lock().unwrap(),
+            SlotState::Cancelled
+        ));
     }
 
     #[test]

@@ -25,7 +25,10 @@
 //!
 //! Hit / miss / coalesced / eviction counts are kept in atomics and
 //! partition the lookups: `hits + misses + coalesced` equals the number
-//! of [`VerdictStore::get_or_insert_with`] calls that returned.
+//! of [`VerdictStore::get_or_insert_with`] calls that returned. The
+//! fallible [`VerdictStore::try_get_or_insert_with`] lets the decision
+//! closure abort with an error — nothing is cached, no miss is counted,
+//! and the key stays decidable by the next caller.
 
 use crate::crossval::CertifiedDecision;
 use rustc_hash::{FxHashMap, FxHasher};
@@ -253,6 +256,23 @@ impl<V: Clone> VerdictStore<V> {
     /// outside the shard lock, so decisions for different keys proceed in
     /// parallel even within one shard.
     pub fn get_or_insert_with(&self, key: &StoreKey, decide: impl FnOnce() -> V) -> V {
+        match self.try_get_or_insert_with(key, || Ok::<V, std::convert::Infallible>(decide())) {
+            Ok(v) => v,
+            Err(infallible) => match infallible {},
+        }
+    }
+
+    /// Fallible [`get_or_insert_with`](Self::get_or_insert_with): on
+    /// `Err` nothing is stored, the pending slot is removed, and waiters
+    /// are woken so one of them can retry the decision. A caller that
+    /// needs at-most-once *successful* decisions can therefore run the
+    /// decision itself inside the closure instead of peeking first and
+    /// racing the publish.
+    pub fn try_get_or_insert_with<E>(
+        &self,
+        key: &StoreKey,
+        decide: impl FnOnce() -> Result<V, E>,
+    ) -> Result<V, E> {
         let shard = self.shard(key);
         let mut state = shard.state.lock().unwrap();
         let mut waited = false;
@@ -268,7 +288,7 @@ impl<V: Clone> VerdictStore<V> {
                     } else {
                         self.hits.fetch_add(1, Ordering::Relaxed);
                     }
-                    return value;
+                    return Ok(value);
                 }
                 Some(Slot::Pending) => {
                     waited = true;
@@ -285,7 +305,10 @@ impl<V: Clone> VerdictStore<V> {
             key,
             armed: true,
         };
-        let value = decide();
+        // Both an `Err` return and a panic leave the guard armed: the
+        // pending slot is removed and the waiters woken, so the key stays
+        // decidable and the error never poisons the cache.
+        let value = decide()?;
         guard.armed = false;
 
         let mut state = shard.state.lock().unwrap();
@@ -325,7 +348,7 @@ impl<V: Clone> VerdictStore<V> {
         drop(state);
         shard.ready.notify_all();
         self.misses.fetch_add(1, Ordering::Relaxed);
-        value
+        Ok(value)
     }
 }
 
@@ -458,6 +481,40 @@ mod tests {
         assert_eq!(decided.load(Ordering::SeqCst), 1, "decided more than once");
         assert_eq!(store.misses(), 1);
         assert_eq!(store.hits() + store.coalesced(), 7);
+    }
+
+    #[test]
+    fn failed_decision_leaves_the_key_decidable() {
+        let store: VerdictStore<u32> = VerdictStore::new();
+        let k = key("a", &[4, 2]);
+        let err = store.try_get_or_insert_with(&k, || Err::<u32, &str>("engine exploded"));
+        assert_eq!(err, Err("engine exploded"));
+        assert_eq!(store.peek(&k), None, "errors must not populate the cache");
+        assert_eq!(store.misses(), 0, "a failed decision is not a miss");
+        // The pending slot is gone: a later call decides fresh.
+        assert_eq!(store.try_get_or_insert_with(&k, || Ok::<u32, &str>(9)), Ok(9));
+        assert_eq!(store.peek(&k), Some(9));
+        assert_eq!(store.misses(), 1);
+    }
+
+    #[test]
+    fn failed_decision_wakes_coalesced_waiters() {
+        let store: Arc<VerdictStore<u32>> = Arc::new(VerdictStore::new());
+        let k = key("a", &[5, 2]);
+        let failer = {
+            let store = Arc::clone(&store);
+            let k = k.clone();
+            std::thread::spawn(move || {
+                store.try_get_or_insert_with(&k, || {
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    Err::<u32, &str>("nope")
+                })
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let v = store.get_or_insert_with(&k, || 6);
+        assert_eq!(failer.join().unwrap(), Err("nope"));
+        assert_eq!(v, 6, "a waiter must take over after the error");
     }
 
     #[test]

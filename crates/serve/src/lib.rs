@@ -29,7 +29,10 @@ pub mod service;
 pub mod transport;
 
 pub use error::ServeError;
-pub use proto::{build_graph, parse_request, CacheOutcome, DecideRequest, OkReply, Reply, Request};
+pub use proto::{
+    build_graph, build_graph_bounded, parse_request, CacheOutcome, DecideRequest, OkReply, Reply,
+    Request, DEFAULT_MAX_NODES, MAX_CLIQUE_NODES,
+};
 pub use registry::{CachedVerdict, CertificateBlob, MachineEntry, MachineRegistry};
 pub use service::{ServiceConfig, ServiceHandle, ServiceStats, VerdictService};
 pub use transport::serve;

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! wam-serve [--workers N] [--admission N] [--shards N] [--capacity N]
-//!           [--deadline-ms N] [--catalog]
+//!           [--deadline-ms N] [--max-nodes N] [--catalog]
 //! ```
 
 use std::io::{BufReader, Write as _};
@@ -15,7 +15,7 @@ use wam_serve::{serve, ServiceConfig, VerdictService};
 fn usage() -> ! {
     eprintln!(
         "usage: wam-serve [--workers N] [--admission N] [--shards N] \
-         [--capacity N] [--deadline-ms N] [--catalog]"
+         [--capacity N] [--deadline-ms N] [--max-nodes N] [--catalog]"
     );
     std::process::exit(2);
 }
@@ -39,6 +39,7 @@ fn main() -> ExitCode {
             "--deadline-ms" => {
                 config.default_deadline = Some(Duration::from_millis(num("--deadline-ms") as u64))
             }
+            "--max-nodes" => config.max_nodes = (num("--max-nodes") as u64).max(3),
             "--catalog" => print_catalog = true,
             "--help" | "-h" => usage(),
             other => {

@@ -125,10 +125,48 @@ pub fn parse_request(line: &str) -> Result<Request, ServeError> {
     }
 }
 
-/// Builds the requested graph, enforcing the ≥ 3-node model convention.
+/// Default cap on the total node count [`build_graph`] accepts. A request
+/// is untrusted input; without a bound one line can demand a graph whose
+/// allocation aborts the whole service.
+pub const DEFAULT_MAX_NODES: u64 = 1 << 20;
+
+/// Tighter cap for `clique` requests, whose edge set grows as *n²*:
+/// 2048 nodes is ~2.1 M edges, the largest allocation one request may
+/// force regardless of the configured node bound.
+pub const MAX_CLIQUE_NODES: u64 = 2048;
+
+/// Builds the requested graph, enforcing the ≥ 3-node model convention
+/// and the [`DEFAULT_MAX_NODES`] size cap.
 pub fn build_graph(family: &str, counts: &[u64]) -> Result<Graph, ServeError> {
-    if counts.iter().sum::<u64>() < 3 {
+    build_graph_bounded(family, counts, DEFAULT_MAX_NODES)
+}
+
+/// [`build_graph`] with a caller-chosen node bound (the service plumbs
+/// its configured `max_nodes` here). The clique edge bound
+/// ([`MAX_CLIQUE_NODES`]) applies on top of `max_nodes`.
+pub fn build_graph_bounded(
+    family: &str,
+    counts: &[u64],
+    max_nodes: u64,
+) -> Result<Graph, ServeError> {
+    // Checked sum: `counts` comes off the wire, and a wrapping sum in a
+    // release build would slip a gigantic request past both bounds.
+    let total = counts
+        .iter()
+        .try_fold(0u64, |acc, &c| acc.checked_add(c))
+        .ok_or_else(|| bad("total node count overflows"))?;
+    if total < 3 {
         return Err(bad("the model convention requires at least 3 nodes"));
+    }
+    if total > max_nodes {
+        return Err(bad(format!(
+            "total node count {total} exceeds the service bound {max_nodes}"
+        )));
+    }
+    if family == "clique" && total > MAX_CLIQUE_NODES {
+        return Err(bad(format!(
+            "clique on {total} nodes exceeds the {MAX_CLIQUE_NODES}-node edge bound"
+        )));
     }
     let c = LabelCount::from_vec(counts.to_vec());
     match family {
@@ -399,6 +437,31 @@ mod tests {
             build_graph("cycle", &[1, 1]),
             Err(ServeError::BadRequest { .. })
         ));
+    }
+
+    #[test]
+    fn graph_building_bounds_hostile_sizes() {
+        // Past the node bound: rejected before any allocation.
+        assert!(matches!(
+            build_graph("cycle", &[DEFAULT_MAX_NODES, 1]),
+            Err(ServeError::BadRequest { .. })
+        ));
+        assert!(matches!(
+            build_graph_bounded("cycle", &[50, 51], 100),
+            Err(ServeError::BadRequest { .. })
+        ));
+        assert!(build_graph_bounded("cycle", &[50, 50], 100).is_ok());
+        // A wrapping sum must not sneak past the bounds.
+        assert!(matches!(
+            build_graph("cycle", &[u64::MAX, 2]),
+            Err(ServeError::BadRequest { .. })
+        ));
+        // Cliques hit their own O(n²) edge bound below the node bound.
+        assert!(matches!(
+            build_graph("clique", &[MAX_CLIQUE_NODES, 1]),
+            Err(ServeError::BadRequest { .. })
+        ));
+        assert!(build_graph("clique", &[3, 1]).is_ok());
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! populates the cache for later requests either way.
 
 use crate::error::ServeError;
-use crate::proto::{build_graph, catalog_of, CacheOutcome, DecideRequest, OkReply, Reply};
+use crate::proto::{build_graph_bounded, catalog_of, CacheOutcome, DecideRequest, OkReply, Reply};
 use crate::registry::{CachedVerdict, MachineRegistry};
 use executor::{block_on, oneshot, timeout, Runtime};
 use rustc_hash::FxHashMap;
@@ -41,6 +41,9 @@ pub struct ServiceConfig {
     pub store_capacity: Option<usize>,
     /// Deadline applied to requests that do not carry their own.
     pub default_deadline: Option<Duration>,
+    /// Largest total node count a request may ask for (cliques are
+    /// further bounded by [`crate::proto::MAX_CLIQUE_NODES`]).
+    pub max_nodes: u64,
 }
 
 impl Default for ServiceConfig {
@@ -51,6 +54,7 @@ impl Default for ServiceConfig {
             store_shards: 16,
             store_capacity: None,
             default_deadline: None,
+            max_nodes: crate::proto::DEFAULT_MAX_NODES,
         }
     }
 }
@@ -291,7 +295,7 @@ impl ServiceHandle {
                 ),
             });
         }
-        let graph = build_graph(&req.family, &req.counts)?;
+        let graph = build_graph_bounded(&req.family, &req.counts, inner.config.max_nodes)?;
         let deadline = req
             .deadline_ms
             .map(Duration::from_millis)
@@ -411,13 +415,16 @@ impl ServiceHandle {
                     .registry
                     .get(&machine)
                     .expect("entry existed when the decision was admitted");
-                match entry.decide(&graph, certified) {
-                    // The store's own in-flight slot makes the insert
-                    // at-most-once even against callers that bypass the
-                    // service and hammer the store directly.
-                    Ok(v) => Ok(inner.store.get_or_insert_with(&key, move || v)),
-                    Err(e) => Err(e),
-                }
+                // The decision runs *inside* the store's in-flight slot:
+                // a racer that slipped past the Gate-1 peek just as the
+                // previous decision published hits the ready entry here
+                // and never re-decides, keeping the at-most-once
+                // guarantee even against callers that bypass the service
+                // and hammer the store directly. An Err caches nothing
+                // and leaves the key decidable.
+                inner
+                    .store
+                    .try_get_or_insert_with(&key, || entry.decide(&graph, certified))
             }))
             .unwrap_or_else(|panic| {
                 let reason = panic

@@ -157,4 +157,48 @@ mod tests {
         // verdicts agree; at least one decision ran.
         assert!(stats.decided >= 1);
     }
+
+    #[test]
+    fn hostile_sizes_are_rejected_not_served() {
+        // A million-node clique once drove an O(n²) allocation that could
+        // panic a worker and hang `serve` in writer.join(); now the size
+        // bounds reject it up front and the loop keeps answering.
+        let service = VerdictService::with_paper_catalog(ServiceConfig::default());
+        let input = Cursor::new(
+            [
+                r#"{"id":1,"machine":"presence","family":"clique","counts":[1000000,1000000]}"#,
+                r#"{"id":2,"machine":"presence","family":"cycle","counts":[18446744073709551615,2]}"#,
+                r#"{"id":3,"machine":"presence","family":"cycle","counts":[2,1]}"#,
+            ]
+            .join("\n"),
+        );
+        let buf = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+        let stats = serve(&service, input, buf.clone()).unwrap();
+        assert_eq!(stats.completed, 1);
+
+        let raw = buf.0.lock().unwrap();
+        let text = String::from_utf8(raw.clone()).unwrap();
+        let mut statuses: Vec<(u64, String)> = text
+            .lines()
+            .map(|line| {
+                let v = Json::parse(line).unwrap();
+                let Some(Json::Num(id)) = v.get("id") else {
+                    panic!("reply without id: {line}");
+                };
+                let Some(Json::Str(status)) = v.get("status") else {
+                    panic!("reply without status: {line}");
+                };
+                (*id as u64, status.clone())
+            })
+            .collect();
+        statuses.sort();
+        assert_eq!(
+            statuses,
+            vec![
+                (1, "error".to_string()),
+                (2, "error".to_string()),
+                (3, "ok".to_string()),
+            ]
+        );
+    }
 }
