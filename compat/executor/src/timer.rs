@@ -333,10 +333,7 @@ mod tests {
         drop(s);
         // The waker is released immediately; the wheel discards the entry
         // on its next sweep of that slot instead of firing it.
-        assert!(matches!(
-            *slot.state.lock().unwrap(),
-            SlotState::Cancelled
-        ));
+        assert!(matches!(*slot.state.lock().unwrap(), SlotState::Cancelled));
     }
 
     #[test]
@@ -365,10 +362,7 @@ mod tests {
         assert_eq!(out, Some(Ok(7)));
         let slot = Arc::clone(t.sleep.registration.as_ref().unwrap());
         drop(t);
-        assert!(matches!(
-            *slot.state.lock().unwrap(),
-            SlotState::Cancelled
-        ));
+        assert!(matches!(*slot.state.lock().unwrap(), SlotState::Cancelled));
     }
 
     #[test]

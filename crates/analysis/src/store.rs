@@ -492,7 +492,10 @@ mod tests {
         assert_eq!(store.peek(&k), None, "errors must not populate the cache");
         assert_eq!(store.misses(), 0, "a failed decision is not a miss");
         // The pending slot is gone: a later call decides fresh.
-        assert_eq!(store.try_get_or_insert_with(&k, || Ok::<u32, &str>(9)), Ok(9));
+        assert_eq!(
+            store.try_get_or_insert_with(&k, || Ok::<u32, &str>(9)),
+            Ok(9)
+        );
         assert_eq!(store.peek(&k), Some(9));
         assert_eq!(store.misses(), 1);
     }

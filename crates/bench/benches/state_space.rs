@@ -24,9 +24,9 @@ use wam_certify::{
     StateTable, VerifyOptions,
 };
 use wam_core::{
-    Backend, Config, ExclusiveSystem, Exploration, ExploreError, ExploreOptions, Machine,
-    NodeSymmetric, Output, PermuteNodes, QuotientSystem, ResolvedBackend, RingSystem, Schedule,
-    State, TransitionSystem, Verdict,
+    explore_kernel, Backend, Config, ExclusiveSystem, Exploration, ExploreError, ExploreOptions,
+    Machine, NodeSymmetric, Output, PermuteNodes, QuotientSystem, ResolvedBackend, RingSystem,
+    Schedule, State, TransitionSystem, Verdict,
 };
 use wam_extensions::{
     compile_broadcasts, compile_rendezvous, BroadcastSystem, CounterPopulationSystem,
@@ -286,6 +286,85 @@ where
             fixpoint_ms,
             verdict_ms,
         },
+    }
+}
+
+struct KernelTiming {
+    name: String,
+    nodes: u64,
+    configs: usize,
+    verdict: Verdict,
+    generic_explore_ms: f64,
+    kernel_explore_ms: f64,
+    /// Bytes held by the packed configuration arena (inline rows count
+    /// their struct size; heap rows add their word storage).
+    memory_bytes: u64,
+    delta_entries: u64,
+    delta_hit_rate: f64,
+    states: usize,
+    sigs: usize,
+    bits: u32,
+    restarts: u32,
+}
+
+/// Times the dense successor kernel against the generic engine on the
+/// same exclusive workload — explore phase only, both single-threaded,
+/// interleaved with alternating order (same drift defence as
+/// [`time_workload`]) — and asserts the two explorations agree on verdict
+/// and reachable count on every repetition.
+fn time_kernel<S: State>(
+    name: &str,
+    m: &Machine<S>,
+    g: &Graph,
+    limit: usize,
+    reps: usize,
+) -> KernelTiming {
+    let sys = ExclusiveSystem::new(m, g);
+    let opts = ExploreOptions::with_limit(limit).threads(1);
+    let mut generic_ms = f64::INFINITY;
+    let mut kernel_ms = f64::INFINITY;
+    let mut gv = None;
+    let mut kv = None;
+    let mut stats = None;
+    let run_generic = |gv: &mut Option<_>, generic_ms: &mut f64| {
+        let t0 = Instant::now();
+        let e = Exploration::explore_with(&sys, sys.initial_config(), opts).expect("within limit");
+        *generic_ms = generic_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        *gv = Some((e.verdict(), e.len()));
+    };
+    let run_kernel = |kv: &mut Option<_>, stats: &mut Option<_>, kernel_ms: &mut f64| {
+        let t0 = Instant::now();
+        let e = explore_kernel(m, g, opts).expect("within limit");
+        *kernel_ms = kernel_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        *kv = Some((e.verdict(), e.len()));
+        *stats = Some(e.stats());
+    };
+    for rep in 0..reps {
+        if rep % 2 == 0 {
+            run_generic(&mut gv, &mut generic_ms);
+            run_kernel(&mut kv, &mut stats, &mut kernel_ms);
+        } else {
+            run_kernel(&mut kv, &mut stats, &mut kernel_ms);
+            run_generic(&mut gv, &mut generic_ms);
+        }
+        assert_eq!(gv, kv, "kernel and generic engine must agree on {name}");
+    }
+    let (verdict, configs) = gv.unwrap();
+    let stats = stats.unwrap();
+    KernelTiming {
+        name: name.to_string(),
+        nodes: g.node_count() as u64,
+        configs,
+        verdict,
+        generic_explore_ms: generic_ms,
+        kernel_explore_ms: kernel_ms,
+        memory_bytes: stats.arena_bytes,
+        delta_entries: stats.delta_entries,
+        delta_hit_rate: stats.hit_rate(),
+        states: stats.states,
+        sigs: stats.sigs,
+        bits: stats.bits,
+        restarts: stats.restarts,
     }
 }
 
@@ -636,6 +715,7 @@ fn json_escape(s: &str) -> String {
 
 fn write_report(
     timings: &[Timing],
+    kernel: &[KernelTiming],
     symmetry: &[SymTiming],
     certificates: &[CertTiming],
     counter: &[CounterTiming],
@@ -666,6 +746,29 @@ fn write_report(
             t.phases.reverse_csr_ms,
             t.phases.fixpoint_ms,
             t.phases.verdict_ms,
+        ));
+    }
+    let mut kernel_rows = String::new();
+    for (i, k) in kernel.iter().enumerate() {
+        if i > 0 {
+            kernel_rows.push_str(",\n");
+        }
+        kernel_rows.push_str(&format!(
+            "      {{\n        \"workload\": \"{}\",\n        \"nodes\": {},\n        \"configs\": {},\n        \"verdict\": \"{}\",\n        \"generic_explore_ms\": {:.3},\n        \"kernel_explore_ms\": {:.3},\n        \"speedup\": {:.2},\n        \"memory_bytes\": {},\n        \"delta_entries\": {},\n        \"delta_hit_rate\": {:.4},\n        \"states\": {},\n        \"sigs\": {},\n        \"bits\": {},\n        \"restarts\": {}\n      }}",
+            json_escape(&k.name),
+            k.nodes,
+            k.configs,
+            k.verdict,
+            k.generic_explore_ms,
+            k.kernel_explore_ms,
+            k.generic_explore_ms / k.kernel_explore_ms,
+            k.memory_bytes,
+            k.delta_entries,
+            k.delta_hit_rate,
+            k.states,
+            k.sigs,
+            k.bits,
+            k.restarts,
         ));
     }
     let mut sym_rows = String::new();
@@ -748,7 +851,7 @@ fn write_report(
         ));
     }
     let json = format!(
-        "{{\n  \"bench\": \"state_space\",\n  \"baseline\": \"seed HashMap/Vec<Vec> explorer (SipHash, per-query predecessor rebuild)\",\n  \"engine\": \"interned CSR explorer (FxHash shards, pipelined level merge, bitset Pre*, cached reverse CSR)\",\n  \"cores\": {cores},\n  \"timing\": \"best of repetitions, milliseconds, explore only; phases are one instrumented run on the default (parallel) configuration, and verdict_ms re-runs the fixpoints on the cached reverse CSR\",\n  \"workloads\": [\n{rows}\n  ],\n  \"symmetry\": {{\n    \"group_cap\": {DEFAULT_GROUP_CAP},\n    \"note\": \"full vs orbit-quotient exploration, both sequential; quotient timing includes computing Aut(G); the structural (label-free) group applies because labels only seed the initial configuration\",\n    \"workloads\": [\n{sym_rows}\n    ]\n  }},\n  \"certificates\": {{\n    \"note\": \"plain decider vs certificate-emitting decider vs independent verifier; emission_overhead = certified_ms / plain_ms; json_bytes is the serialised certificate size; transported rows were emitted from an orbit-quotient run\",\n    \"workloads\": [\n{cert_rows}\n    ]\n  }},\n  \"counter\": {{\n    \"note\": \"counter-abstracted backend (Backend::Counter / CounterPopulationSystem) on 10^3-10^4-node graphs; every verdict cross-validated against the explicit engine on a ratio-preserving small instance of the same family (small_nodes/small_verdict); backend 'counter' = twin-partition count vectors, 'ring' = canonical necklaces on cycles, 'counter-population' = rendez-vous count moves\",\n    \"workloads\": [\n{counter_rows}\n    ]\n  }},\n  \"spill\": {{\n    \"note\": \"E19 out-of-core spill path: workloads refused at the default limit, re-decided at a raised limit fully in memory and under a small edge-memory budget (compact CSR segments flushed to a temp file, fixpoints via streaming forward passes); both decisions must agree\",\n    \"workloads\": [\n{spill_rows}\n    ]\n  }}\n}}\n"
+        "{{\n  \"bench\": \"state_space\",\n  \"baseline\": \"seed HashMap/Vec<Vec> explorer (SipHash, per-query predecessor rebuild)\",\n  \"engine\": \"interned CSR explorer (FxHash shards, pipelined level merge, bitset Pre*, cached reverse CSR)\",\n  \"cores\": {cores},\n  \"timing\": \"best of repetitions, milliseconds, explore only; phases are one instrumented run on the default (parallel) configuration, and verdict_ms re-runs the fixpoints on the cached reverse CSR\",\n  \"workloads\": [\n{rows}\n  ],\n  \"kernel\": {{\n    \"note\": \"dense successor kernel vs the generic engine on the same exclusive workloads, explore phase only, both sequential; the kernel interns reachable states to u16 ids, memoizes δ per local view (raw u64 keys for degree ≤ 3, sorted clipped-count signatures above), stores configurations as bit-packed rows, and derives successors by patching one field; memory_bytes is the packed config arena, delta_hit_rate counts memoized-row hits over all configuration expansions\",\n    \"workloads\": [\n{kernel_rows}\n    ]\n  }},\n  \"symmetry\": {{\n    \"group_cap\": {DEFAULT_GROUP_CAP},\n    \"note\": \"full vs orbit-quotient exploration, both sequential; quotient timing includes computing Aut(G); the structural (label-free) group applies because labels only seed the initial configuration\",\n    \"workloads\": [\n{sym_rows}\n    ]\n  }},\n  \"certificates\": {{\n    \"note\": \"plain decider vs certificate-emitting decider vs independent verifier; emission_overhead = certified_ms / plain_ms; json_bytes is the serialised certificate size; transported rows were emitted from an orbit-quotient run\",\n    \"workloads\": [\n{cert_rows}\n    ]\n  }},\n  \"counter\": {{\n    \"note\": \"counter-abstracted backend (Backend::Counter / CounterPopulationSystem) on 10^3-10^4-node graphs; every verdict cross-validated against the explicit engine on a ratio-preserving small instance of the same family (small_nodes/small_verdict); backend 'counter' = twin-partition count vectors, 'ring' = canonical necklaces on cycles, 'counter-population' = rendez-vous count moves\",\n    \"workloads\": [\n{counter_rows}\n    ]\n  }},\n  \"spill\": {{\n    \"note\": \"E19 out-of-core spill path: workloads refused at the default limit, re-decided at a raised limit fully in memory and under a small edge-memory budget (compact CSR segments flushed to a temp file, fixpoints via streaming forward passes); both decisions must agree\",\n    \"workloads\": [\n{spill_rows}\n    ]\n  }}\n}}\n"
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_explore.json");
     std::fs::write(path, &json).expect("write BENCH_explore.json");
@@ -900,6 +1003,71 @@ fn main() {
         ]);
     }
     tt.print("Exploration engine: seed baseline vs interned CSR engine (explore + verdict)");
+
+    // ── Dense successor kernel: generic engine vs interned δ-table kernel ──
+    // The three plain-machine (exclusive) workloads again, explore phase
+    // only, both sides sequential: the generic engine enumerates successors
+    // by cloning state rows and re-running δ per node, while the kernel
+    // interns states to u16 ids, memoizes δ per local view, and patches
+    // packed configuration rows in place.
+    let mut kernel = Vec::new();
+
+    {
+        let c = LabelCount::from_vec(vec![13, 1]);
+        let g = generators::labelled_cycle(&c);
+        let m = flood();
+        kernel.push(time_kernel("flood cycle", &m, &g, 10_000_000, 25));
+    }
+    {
+        let c = LabelCount::from_vec(vec![4, 2]);
+        let g = generators::labelled_cycle(&c);
+        let m = compile_rendezvous(&GraphPopulationProtocol::<MajorityState>::majority());
+        kernel.push(time_kernel(
+            "majority via Lemma 4.10 cycle",
+            &m,
+            &g,
+            10_000_000,
+            9,
+        ));
+    }
+    {
+        let c = LabelCount::from_vec(vec![4, 1]);
+        let g = generators::labelled_line(&c);
+        let m = compile_broadcasts(&threshold_machine(2, 0, 2));
+        kernel.push(time_kernel(
+            "x₀ ≥ 2 via Lemma 4.7 line",
+            &m,
+            &g,
+            10_000_000,
+            9,
+        ));
+    }
+
+    let mut kt = Table::new([
+        "workload",
+        "configs",
+        "generic ms",
+        "kernel ms",
+        "speedup",
+        "states",
+        "δ entries",
+        "hit rate",
+        "arena bytes",
+    ]);
+    for k in &kernel {
+        kt.row([
+            k.name.clone(),
+            k.configs.to_string(),
+            format!("{:.1}", k.generic_explore_ms),
+            format!("{:.1}", k.kernel_explore_ms),
+            format!("{:.2}x", k.generic_explore_ms / k.kernel_explore_ms),
+            k.states.to_string(),
+            k.delta_entries.to_string(),
+            format!("{:.4}", k.delta_hit_rate),
+            k.memory_bytes.to_string(),
+        ]);
+    }
+    kt.print("Dense successor kernel: generic engine vs memoized δ-table kernel (explore only)");
 
     // ── Orbit-quotient exploration: full space vs Aut(G) quotient ──────────
     // The engine-timing workloads again, plus highly symmetric graphs
@@ -1327,5 +1495,12 @@ fn main() {
     }
     spt.print("E19 — spill path: refused at the default limit, decided under a memory budget");
 
-    write_report(&timings, &symmetry, &certificates, &counter, &spill);
+    write_report(
+        &timings,
+        &kernel,
+        &symmetry,
+        &certificates,
+        &counter,
+        &spill,
+    );
 }

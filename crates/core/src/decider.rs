@@ -178,11 +178,27 @@ fn decide_pseudo_stochastic_backend<S: State>(
 ) -> Result<(Verdict, DecisionStats), ExploreError> {
     let system = ExclusiveSystem::new(machine, graph);
     let explicit = |options: ExploreOptions| {
-        let e = Exploration::explore_with(&system, system.initial_config(), options)?;
-        Ok((
-            e.verdict(),
-            DecisionStats::new(ResolvedBackend::Explicit, e.len()).with_spilled(e.was_spilled()),
-        ))
+        // The dense kernel explores the same space over packed rows with
+        // memoized δ steps — observationally identical (pinned by the
+        // kernel differential suite), so the stats are too. It refuses
+        // machines whose reachable state set overflows `u16` ids; only
+        // then fall back to the generic engine.
+        match crate::kernel::explore_kernel(machine, graph, options) {
+            Ok(e) => Ok((
+                e.verdict(),
+                DecisionStats::new(ResolvedBackend::Explicit, e.len())
+                    .with_spilled(e.was_spilled()),
+            )),
+            Err(ExploreError::Unsupported { .. }) => {
+                let e = Exploration::explore_with(&system, system.initial_config(), options)?;
+                Ok((
+                    e.verdict(),
+                    DecisionStats::new(ResolvedBackend::Explicit, e.len())
+                        .with_spilled(e.was_spilled()),
+                ))
+            }
+            Err(e) => Err(e),
+        }
     };
     let symmetric = |options: ExploreOptions| {
         let (verdict, reduced, explored, spilled) =

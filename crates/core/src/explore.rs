@@ -210,11 +210,99 @@ pub trait TransitionSystem {
     /// scanning for duplicates configuration-by-configuration here.
     fn successors(&self, c: &Self::C) -> Vec<Self::C>;
 
+    /// Writes the successors of `c` into a reusable buffer instead of
+    /// returning a fresh `Vec` — the engine's allocation-free frontier
+    /// path. Must emit exactly the configurations [`successors`] returns,
+    /// **in the same order** (the interner assigns dense ids in arrival
+    /// order, so ordering is part of the observable contract).
+    ///
+    /// The default forwards to [`successors`]; the model families in this
+    /// workspace override it natively (and implement `successors` on top),
+    /// so steady-state exploration reuses one buffer per worker and
+    /// performs no per-configuration `Vec` allocation.
+    ///
+    /// Implementations must only push — the engine clears or drains the
+    /// buffer between calls and relies on its retained capacity.
+    ///
+    /// [`successors`]: Self::successors
+    fn successors_into(&self, c: &Self::C, out: &mut SuccBuf<Self::C>) {
+        out.items.extend(self.successors(c));
+    }
+
     /// Whether every node is in an accepting state.
     fn is_accepting(&self, c: &Self::C) -> bool;
 
     /// Whether every node is in a rejecting state.
     fn is_rejecting(&self, c: &Self::C) -> bool;
+}
+
+/// A reusable successor buffer for [`TransitionSystem::successors_into`]:
+/// a growable list whose capacity survives across frontier rows, so the
+/// BFS level loops allocate successor storage once per worker instead of
+/// once per configuration.
+#[derive(Debug, Clone)]
+pub struct SuccBuf<C> {
+    items: Vec<C>,
+}
+
+impl<C> Default for SuccBuf<C> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<C> SuccBuf<C> {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        SuccBuf { items: Vec::new() }
+    }
+
+    /// Appends one successor.
+    #[inline]
+    pub fn push(&mut self, c: C) {
+        self.items.push(c);
+    }
+
+    /// Number of buffered successors.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Clears the buffer, retaining capacity.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    /// The buffered successors, in push order.
+    pub fn as_slice(&self) -> &[C] {
+        &self.items
+    }
+
+    /// Moves the successors out, leaving the buffer empty with its
+    /// capacity retained — how the engine hands configurations to the
+    /// interner without copying them.
+    pub fn drain(&mut self) -> std::vec::Drain<'_, C> {
+        self.items.drain(..)
+    }
+
+    /// Consumes the buffer into a plain `Vec` (the `successors` adapter
+    /// used by systems whose native implementation is `successors_into`).
+    pub fn into_vec(self) -> Vec<C> {
+        self.items
+    }
+}
+
+impl<C: PartialEq> SuccBuf<C> {
+    /// Whether `c` is already buffered (families that deduplicate
+    /// configuration-by-configuration keep their semantics through this).
+    pub fn contains(&self, c: &C) -> bool {
+        self.items.contains(c)
+    }
 }
 
 /// The exclusive-selection transition system of a plain machine on a graph:
@@ -250,7 +338,12 @@ impl<S: State> TransitionSystem for ExclusiveSystem<'_, S> {
     }
 
     fn successors(&self, c: &Config<S>) -> Vec<Config<S>> {
-        let mut out = Vec::new();
+        let mut out = SuccBuf::new();
+        self.successors_into(c, &mut out);
+        out.into_vec()
+    }
+
+    fn successors_into(&self, c: &Config<S>, out: &mut SuccBuf<Config<S>>) {
         for v in self.graph.nodes() {
             let stepped = c.stepped_state(self.machine, self.graph, v);
             if stepped == *c.state(v) {
@@ -260,7 +353,6 @@ impl<S: State> TransitionSystem for ExclusiveSystem<'_, S> {
             next[v] = stepped;
             out.push(Config::from_states(next));
         }
-        out
     }
 
     fn is_accepting(&self, c: &Config<S>) -> bool {
@@ -317,6 +409,12 @@ impl<S: State> TransitionSystem for LiberalSystem<'_, S> {
     }
 
     fn successors(&self, c: &Config<S>) -> Vec<Config<S>> {
+        let mut out = SuccBuf::new();
+        self.successors_into(c, &mut out);
+        out.into_vec()
+    }
+
+    fn successors_into(&self, c: &Config<S>, out: &mut SuccBuf<Config<S>>) {
         let n = self.graph.node_count();
         // Precompute each node's stepped state once; a simultaneous step of
         // set S applies exactly these (all against the same pre-step view).
@@ -329,7 +427,6 @@ impl<S: State> TransitionSystem for LiberalSystem<'_, S> {
         // Selections that differ only on silent nodes yield the same config,
         // so it suffices to enumerate subsets of the moving nodes. Distinct
         // masks yield distinct configurations, so no dedup is needed.
-        let mut out = Vec::with_capacity((1usize << moving.len()).saturating_sub(1));
         for mask in 1usize..(1 << moving.len()) {
             let mut states = c.states().to_vec();
             for (i, &v) in moving.iter().enumerate() {
@@ -339,7 +436,6 @@ impl<S: State> TransitionSystem for LiberalSystem<'_, S> {
             }
             out.push(Config::from_states(states));
         }
-        out
     }
 
     fn is_accepting(&self, c: &Config<S>) -> bool {
@@ -604,10 +700,15 @@ where
             let end = (begin + chunk).min(n);
             let mut lens: Vec<u32> = Vec::with_capacity(end - begin);
             let mut flat: Vec<(u64, C)> = Vec::new();
+            // One successor buffer per worker, reused across the chunk's
+            // rows — generation itself allocates nothing per configuration
+            // for systems with a native `successors_into`.
+            let mut buf: SuccBuf<C> = SuccBuf::new();
             for c in &frontier[begin..end] {
-                let succs = system.successors(c);
-                lens.push(succs.len() as u32);
-                flat.extend(succs.into_iter().map(|s| (crate::intern::fx_hash(&s), s)));
+                buf.clear();
+                system.successors_into(c, &mut buf);
+                lens.push(buf.len() as u32);
+                flat.extend(buf.drain().map(|s| (crate::intern::fx_hash(&s), s)));
             }
             (lens, flat)
         })
@@ -702,6 +803,7 @@ impl<C: Clone + Eq + Hash + fmt::Debug + Send + Sync> Exploration<C> {
         let mut lo = 0usize;
         let mut depth = 0usize;
         let mut row_scratch: Vec<u32> = Vec::new();
+        let mut succ_scratch: SuccBuf<C> = SuccBuf::new();
         while lo < interner.len() {
             let hi = interner.len();
             let width = hi - lo;
@@ -729,12 +831,15 @@ impl<C: Clone + Eq + Hash + fmt::Debug + Send + Sync> Exploration<C> {
                 )
                 .map_err(spill_err)?;
             } else {
-                // Sequential: intern each successor as it is generated — no
-                // level materialisation, no bucketing, one scratch row.
+                // Sequential: generate into the reusable buffer (the borrow
+                // of the interner ends with the `successors_into` call),
+                // then intern each successor — no level materialisation, no
+                // bucketing, one scratch row, one successor buffer.
                 for i in lo..hi {
-                    let succs = system.successors(interner.get(i));
+                    succ_scratch.clear();
+                    system.successors_into(interner.get(i), &mut succ_scratch);
                     row_scratch.clear();
-                    for s in succs {
+                    for s in succ_scratch.drain() {
                         row_scratch.push(interner.intern(s).0);
                     }
                     row_scratch.sort_unstable();

@@ -1,0 +1,897 @@
+//! The dense successor kernel: interned states, memoized δ-tables, and a
+//! packed configuration arena.
+//!
+//! The machines of the paper only ever observe the β-clipped neighbourhood
+//! multiset, and their reachable state sets are tiny — which makes δ fully
+//! memoizable and configurations densely packable. The kernel exploits
+//! both, per (machine, graph) session:
+//!
+//! * **State interning**: reachable states get dense `u16` ids in
+//!   first-sighting order; outputs (`Accept`/`Reject`/`Neutral`) are
+//!   memoized per id, so accept/reject scans are table walks over packed
+//!   fields instead of boxed-closure calls over cloned states.
+//! * **δ-table memoization**, two-level. The *raw* level handles nodes of
+//!   degree at most [`RAW_DEG`]: the whole local view — own state id plus
+//!   the neighbour ids in adjacency order — packs into one `u64` key of a
+//!   flat `u64 → u16` memo, so the steady-state cost of a node step is a
+//!   single hash lookup with no sorting or canonicalisation at all. The
+//!   *canonical* level handles the rest: a step is keyed by `(state id,
+//!   signature id)`, where a *signature* is the β-clipped count vector of
+//!   neighbour state ids (sorted, canonical for the clipped multiset), so
+//!   high-degree nodes stay compact under clipping. Either way the first
+//!   sighting of a key pays one real `Machine::step` — allocating the
+//!   sorted `Neighbourhood` and calling the boxed closure — and every
+//!   later sighting is a table lookup.
+//! * **Packed configs**: configurations are [`PackedConfig`] rows —
+//!   power-of-two bits per node in `u64` words, inline (no heap) for rows
+//!   of at most two words. Exclusive successors copy the parent row and
+//!   patch one bit-field; interner hashing and equality run word-wise.
+//!
+//! The per-node bit width must cover every state id, but states are
+//! *discovered during* exploration — so the session starts at the smallest
+//! power-of-two width covering the initial states and **restarts** when a
+//! fresh state overflows it: the overflow flag flips, successor generation
+//! drains (returns no successors, finishing the doomed exploration
+//! quickly), and the session re-explores at double width. The state and
+//! δ tables persist across restarts, so the re-run replays memoized
+//! lookups instead of recomputing δ; widths are capped at 16 bits, which
+//! covers every possible id, so at most four restarts can ever happen.
+//!
+//! The kernel is **observationally bit-identical** to exploring
+//! [`ExclusiveSystem`](crate::ExclusiveSystem) directly: successors are
+//! enumerated in the same node order with the same silent-step skipping,
+//! and packing is injective, so interned ids arrive in the same order and
+//! verdicts, id order and explored counts all coincide — pinned by the
+//! `kernel_differential` suite. (State ids themselves may be assigned in a
+//! different order by a multi-threaded run — concurrent δ misses race to
+//! the write lock — but no observable depends on the numbering.)
+
+use crate::explore::{
+    Exploration, ExploreError, ExploreOptions, SuccBuf, TransitionSystem, Verdict,
+};
+use crate::{Config, Machine, Neighbourhood, Output, PackedConfig, State};
+use rustc_hash::FxHashMap;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::RwLock;
+use wam_graph::Graph;
+
+/// Sentinel for a δ-table entry that has not been computed yet.
+const UNKNOWN: u16 = u16::MAX;
+
+/// Hard cap on interned states: ids must stay below the [`UNKNOWN`]
+/// sentinel. Machines in this workspace have dozens of reachable states;
+/// the cap exists so the kernel degrades into a clean refusal (and the
+/// decider falls back to the generic engine) instead of a wrong answer.
+const MAX_STATES: usize = UNKNOWN as usize;
+
+/// Degree bound of the raw fast path: a local view of at most `1 +
+/// RAW_DEG` state ids packs into one `u64` key (four 16-bit lanes).
+const RAW_DEG: usize = 3;
+
+/// Open-addressing `u64 → u16` table behind the raw δ memo: linear
+/// probing over `(key, value)` pairs, one multiplicative spread and
+/// typically one cache line per steady-state lookup — measurably cheaper
+/// than a general hash map on the kernel's hottest path. The all-ones
+/// key is free to serve as the vacant marker: a real raw key always
+/// carries a state id below `0xFFFF` in its low lane.
+#[derive(Debug)]
+struct RawMap {
+    entries: Vec<(u64, u16)>,
+    live: usize,
+    bits: u32,
+}
+
+/// Vacant-slot marker in [`RawMap`]; never a valid raw key.
+const RAW_EMPTY: u64 = u64::MAX;
+
+impl RawMap {
+    fn new() -> Self {
+        const INITIAL_BITS: u32 = 6;
+        RawMap {
+            entries: vec![(RAW_EMPTY, 0); 1 << INITIAL_BITS],
+            live: 0,
+            bits: INITIAL_BITS,
+        }
+    }
+
+    #[inline]
+    fn slot(key: u64, bits: u32) -> usize {
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - bits)) as usize
+    }
+
+    #[inline]
+    fn get(&self, key: u64) -> Option<u16> {
+        let mask = self.entries.len() - 1;
+        let mut idx = Self::slot(key, self.bits) & mask;
+        loop {
+            let (k, v) = self.entries[idx];
+            if k == key {
+                return Some(v);
+            }
+            if k == RAW_EMPTY {
+                return None;
+            }
+            idx = (idx + 1) & mask;
+        }
+    }
+
+    fn insert(&mut self, key: u64, value: u16) {
+        if (self.live + 1) * 8 > self.entries.len() * 7 {
+            let bits = self.bits + 1;
+            let mut next = vec![(RAW_EMPTY, 0u16); 1 << bits];
+            let mask = next.len() - 1;
+            for &(k, v) in &self.entries {
+                if k == RAW_EMPTY {
+                    continue;
+                }
+                let mut idx = Self::slot(k, bits) & mask;
+                while next[idx].0 != RAW_EMPTY {
+                    idx = (idx + 1) & mask;
+                }
+                next[idx] = (k, v);
+            }
+            self.entries = next;
+            self.bits = bits;
+        }
+        let mask = self.entries.len() - 1;
+        let mut idx = Self::slot(key, self.bits) & mask;
+        while self.entries[idx].0 != RAW_EMPTY {
+            if self.entries[idx].0 == key {
+                self.entries[idx].1 = value;
+                return;
+            }
+            idx = (idx + 1) & mask;
+        }
+        self.entries[idx] = (key, value);
+        self.live += 1;
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+}
+
+/// The memo tables of one kernel session: state interner, per-state
+/// outputs, the raw low-degree δ memo, signature interner, and the
+/// canonical δ table.
+#[derive(Debug)]
+struct Tables<S> {
+    /// States by dense id, in first-sighting order.
+    states: Vec<S>,
+    ids: FxHashMap<S, u16>,
+    /// Raw δ memo for nodes of degree ≤ [`RAW_DEG`]: the key packs the
+    /// node's own state id with its neighbour ids in adjacency order
+    /// (unused lanes filled with `0xFFFF`, which is never a real id);
+    /// the value is the stepped state id. Finer-grained than the
+    /// canonical signature — order and unclipped repeats distinguish
+    /// keys — so it stays trivially sound while skipping sorting and
+    /// clipping entirely on the hot path.
+    raw: RawMap,
+    /// Signature interner: the canonical key of a β-clipped neighbour
+    /// multiset is its sorted `(sid << 16) | clipped_count` vector.
+    sigs: FxHashMap<Box<[u32]>, u32>,
+    /// `delta[sig][sid]` memoizes the stepped state id ([`UNKNOWN`] =
+    /// never computed). Rows grow lazily as states are discovered.
+    delta: Vec<Vec<u16>>,
+}
+
+impl<S: State> Tables<S> {
+    fn new() -> Self {
+        Tables {
+            states: Vec::new(),
+            ids: FxHashMap::default(),
+            raw: RawMap::new(),
+            sigs: FxHashMap::default(),
+            delta: Vec::new(),
+        }
+    }
+
+    /// Interns a state, memoizing its output into the session's lock-free
+    /// output table; `None` when the `u16` id space is exhausted.
+    fn intern_state(&mut self, machine: &Machine<S>, s: S, outputs: &[AtomicU8]) -> Option<u16> {
+        if let Some(&id) = self.ids.get(&s) {
+            return Some(id);
+        }
+        if self.states.len() >= MAX_STATES {
+            return None;
+        }
+        let id = self.states.len() as u16;
+        outputs[id as usize].store(encode_output(machine.output(&s)), Ordering::Release);
+        self.ids.insert(s.clone(), id);
+        self.states.push(s);
+        Some(id)
+    }
+
+    /// Number of filled δ-memo entries across both levels (raw keys plus
+    /// non-sentinel canonical entries).
+    fn delta_entries(&self) -> u64 {
+        self.raw.len() as u64
+            + self
+                .delta
+                .iter()
+                .map(|row| row.iter().filter(|&&e| e != UNKNOWN).count() as u64)
+                .sum::<u64>()
+    }
+}
+
+/// Shared, thread-safe session state: the memo tables behind a read/write
+/// lock (reads are the steady state; a write is one δ or signature miss),
+/// the lock-free per-id output table, and lock-free hit/miss counters for
+/// the bench's hit-rate column.
+#[derive(Debug)]
+struct SessionState<S> {
+    tables: RwLock<Tables<S>>,
+    /// `outputs[sid]` is the encoded output of state `sid`, written once
+    /// under the write lock at intern time and read lock-free by the
+    /// accept/reject scans (the engine calls them once per interned
+    /// configuration — taking the read lock there would double the
+    /// per-configuration lock traffic). Pre-sized to the whole `u16` id
+    /// space (64 KiB), so a slot exists before any id can reach a reader.
+    outputs: Box<[AtomicU8]>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Lock-free encoding of [`Output`] for the session output table.
+const OUT_NEUTRAL: u8 = 0;
+const OUT_ACCEPT: u8 = 1;
+const OUT_REJECT: u8 = 2;
+
+#[inline]
+fn encode_output(o: Output) -> u8 {
+    match o {
+        Output::Neutral => OUT_NEUTRAL,
+        Output::Accept => OUT_ACCEPT,
+        Output::Reject => OUT_REJECT,
+    }
+}
+
+thread_local! {
+    /// Per-thread scratch: the configuration unpacked to per-node ids (one
+    /// packed extraction per node per call — raw keys and signature keys
+    /// alike then read plain array slots), the sorted neighbour list and
+    /// the RLE signature key. Reused across every `successors_into` call
+    /// on the thread, so steady-state successor generation allocates
+    /// nothing.
+    static SIG_SCRATCH: RefCell<(Vec<u16>, Vec<u16>, Vec<u32>)> =
+        const { RefCell::new((Vec::new(), Vec::new(), Vec::new())) };
+}
+
+/// Builds the canonical signature key of a node's β-clipped neighbour
+/// multiset into `key`: neighbour state ids, sorted, run-length encoded as
+/// `(sid << 16) | count` with counts clipped at β.
+#[inline]
+fn build_sig_key(ids: &[u16], nbrs: &[usize], beta: u32, nbr: &mut Vec<u16>, key: &mut Vec<u32>) {
+    nbr.clear();
+    for &u in nbrs {
+        nbr.push(ids[u]);
+    }
+    nbr.sort_unstable();
+    key.clear();
+    for &sid in nbr.iter() {
+        match key.last_mut() {
+            Some(e) if (*e >> 16) as u16 == sid => {
+                let count = (*e & 0xFFFF).min(beta - 1) + 1; // clip at β
+                *e = (u32::from(sid) << 16) | count;
+            }
+            _ => key.push((u32::from(sid) << 16) | 1),
+        }
+    }
+}
+
+/// Packs node `v`'s raw local view — its own state id plus its neighbour
+/// ids in adjacency order — into the `u64` key of the raw δ memo. The
+/// caller guarantees degree ≤ [`RAW_DEG`]; unused lanes are filled with
+/// `0xFFFF` ([`UNKNOWN`], never a real id), so views of different degrees
+/// can never collide.
+#[inline]
+fn raw_key(ids: &[u16], nbrs: &[usize], v: usize) -> u64 {
+    let mut k = u64::from(ids[v]);
+    let mut shift = 16;
+    for &u in nbrs {
+        k |= u64::from(ids[u]) << shift;
+        shift += 16;
+    }
+    while shift < 64 {
+        k |= u64::from(u16::MAX) << shift;
+        shift += 16;
+    }
+    k
+}
+
+/// A [`TransitionSystem`] over [`PackedConfig`]s that replays the
+/// exclusive-selection semantics through the session's memo tables. One
+/// instance per width attempt; the tables outlive it across restarts.
+#[derive(Debug)]
+struct KernelSystem<'a, S: State> {
+    machine: &'a Machine<S>,
+    graph: &'a Graph,
+    session: &'a SessionState<S>,
+    nodes: usize,
+    /// Per-node field width of this attempt (power of two, ≤ 16).
+    bits: u32,
+    /// Flips when a fresh state id no longer fits `bits`; successor
+    /// generation then drains so the doomed exploration finishes fast.
+    overflow: AtomicBool,
+    /// Flips when the `u16` state-id space is exhausted (the session must
+    /// refuse rather than restart).
+    exhausted: AtomicBool,
+}
+
+impl<S: State> KernelSystem<'_, S> {
+    /// Fast path: resolve every node step against the memo tables under
+    /// the read lock. Returns the number of δ hits, or `None` on the
+    /// first signature or δ miss (the caller retries under the write
+    /// lock). On a state-width overflow the overflow flag is set and the
+    /// call reports success with an empty buffer — the drain behaviour.
+    fn try_successors(
+        &self,
+        t: &Tables<S>,
+        c: &PackedConfig,
+        ids: &[u16],
+        out: &mut SuccBuf<PackedConfig>,
+        nbr: &mut Vec<u16>,
+        key: &mut Vec<u32>,
+    ) -> Option<u64> {
+        let bits = self.bits;
+        let beta = self.machine.beta();
+        let mut hits = 0u64;
+        for v in 0..self.nodes {
+            let sid = ids[v];
+            let nbrs = self.graph.neighbours(v);
+            let nid = if nbrs.len() <= RAW_DEG {
+                t.raw.get(raw_key(ids, nbrs, v))?
+            } else {
+                build_sig_key(ids, nbrs, beta, nbr, key);
+                let &sig = t.sigs.get(key.as_slice())?;
+                let nid = *t.delta[sig as usize].get(sid as usize)?;
+                if nid == UNKNOWN {
+                    return None;
+                }
+                nid
+            };
+            hits += 1;
+            if nid == sid {
+                continue; // silent
+            }
+            if u32::from(nid) >> bits != 0 {
+                self.overflow.store(true, Ordering::Relaxed);
+                out.clear();
+                return Some(hits);
+            }
+            out.push(c.with_patched(v, nid, bits));
+        }
+        Some(hits)
+    }
+
+    /// Slow path: recompute the call under the write lock, interning
+    /// missing signatures and δ entries (each miss reconstructs the real
+    /// state and [`Neighbourhood`] and pays one `Machine::step`).
+    fn fill_successors(
+        &self,
+        t: &mut Tables<S>,
+        c: &PackedConfig,
+        ids: &[u16],
+        out: &mut SuccBuf<PackedConfig>,
+        nbr: &mut Vec<u16>,
+        key: &mut Vec<u32>,
+    ) {
+        let bits = self.bits;
+        let beta = self.machine.beta();
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        for v in 0..self.nodes {
+            let sid = ids[v];
+            let nbrs = self.graph.neighbours(v);
+            let nid = if nbrs.len() <= RAW_DEG {
+                // Raw level: memoize the exact low-degree local view,
+                // reconstructing the neighbourhood straight from the
+                // neighbour ids on the first sighting.
+                let rk = raw_key(ids, nbrs, v);
+                match t.raw.get(rk) {
+                    Some(nid) => {
+                        hits += 1;
+                        nid
+                    }
+                    None => {
+                        misses += 1;
+                        let s = t.states[sid as usize].clone();
+                        let view = Neighbourhood::from_states(
+                            nbrs.iter()
+                                .map(|&u| t.states[ids[u] as usize].clone())
+                                .collect::<Vec<_>>(),
+                            beta,
+                        );
+                        let next = self.machine.step(&s, &view);
+                        let Some(nid) = t.intern_state(self.machine, next, &self.session.outputs)
+                        else {
+                            self.exhausted.store(true, Ordering::Relaxed);
+                            out.clear();
+                            return;
+                        };
+                        t.raw.insert(rk, nid);
+                        nid
+                    }
+                }
+            } else {
+                build_sig_key(ids, nbrs, beta, nbr, key);
+                let sig = match t.sigs.get(key.as_slice()) {
+                    Some(&sig) => sig,
+                    None => {
+                        let sig = t.delta.len() as u32;
+                        t.sigs.insert(key.as_slice().into(), sig);
+                        t.delta.push(vec![UNKNOWN; t.states.len()]);
+                        sig
+                    }
+                };
+                if t.delta[sig as usize].len() <= sid as usize {
+                    let n = t.states.len().max(sid as usize + 1);
+                    t.delta[sig as usize].resize(n, UNKNOWN);
+                }
+                let mut nid = t.delta[sig as usize][sid as usize];
+                if nid == UNKNOWN {
+                    misses += 1;
+                    // Reconstruct the clip-exact neighbourhood from the
+                    // signature and pay the one real δ call for this key.
+                    let s = t.states[sid as usize].clone();
+                    let view = Neighbourhood::from_counts(
+                        key.iter().map(|&e| {
+                            (t.states[(e >> 16) as usize].clone(), u64::from(e & 0xFFFF))
+                        }),
+                        beta,
+                    );
+                    let next = self.machine.step(&s, &view);
+                    match t.intern_state(self.machine, next, &self.session.outputs) {
+                        Some(id) => nid = id,
+                        None => {
+                            self.exhausted.store(true, Ordering::Relaxed);
+                            out.clear();
+                            return;
+                        }
+                    }
+                    t.delta[sig as usize][sid as usize] = nid;
+                } else {
+                    hits += 1;
+                }
+                nid
+            };
+            if nid == sid {
+                continue; // silent
+            }
+            if u32::from(nid) >> bits != 0 {
+                self.overflow.store(true, Ordering::Relaxed);
+                out.clear();
+                break;
+            }
+            out.push(c.with_patched(v, nid, bits));
+        }
+        self.session.hits.fetch_add(hits, Ordering::Relaxed);
+        self.session.misses.fetch_add(misses, Ordering::Relaxed);
+    }
+
+    /// Packs the initial configuration, interning the initial states.
+    /// `None` when the state-id space is exhausted.
+    fn pack_initial(&self) -> Option<PackedConfig> {
+        let mut t = self.session.tables.write().expect("kernel tables poisoned");
+        let mut ids = Vec::with_capacity(self.nodes);
+        for v in self.graph.nodes() {
+            let s = self.machine.initial(self.graph.label(v));
+            ids.push(t.intern_state(self.machine, s, &self.session.outputs)?);
+        }
+        if ids.iter().any(|&id| u32::from(id) >> self.bits != 0) {
+            self.overflow.store(true, Ordering::Relaxed);
+        }
+        Some(PackedConfig::pack(ids, self.nodes, self.bits))
+    }
+}
+
+impl<S: State> TransitionSystem for KernelSystem<'_, S> {
+    type C = PackedConfig;
+
+    fn initial_config(&self) -> PackedConfig {
+        self.pack_initial()
+            .expect("state-id space exhausted while packing the initial configuration")
+    }
+
+    fn successors(&self, c: &PackedConfig) -> Vec<PackedConfig> {
+        let mut out = SuccBuf::new();
+        self.successors_into(c, &mut out);
+        out.into_vec()
+    }
+
+    fn successors_into(&self, c: &PackedConfig, out: &mut SuccBuf<PackedConfig>) {
+        if self.overflow.load(Ordering::Relaxed) || self.exhausted.load(Ordering::Relaxed) {
+            return; // drain: the attempt's result will be discarded
+        }
+        SIG_SCRATCH.with(|scratch| {
+            let (ids, nbr, key) = &mut *scratch.borrow_mut();
+            ids.clear();
+            c.unpack_into(self.nodes, self.bits, ids);
+            let done = {
+                let t = self.session.tables.read().expect("kernel tables poisoned");
+                self.try_successors(&t, c, ids, out, nbr, key)
+            };
+            match done {
+                Some(hits) => {
+                    self.session.hits.fetch_add(hits, Ordering::Relaxed);
+                }
+                None => {
+                    out.clear();
+                    let mut t = self.session.tables.write().expect("kernel tables poisoned");
+                    self.fill_successors(&mut t, c, ids, out, nbr, key);
+                }
+            }
+        });
+    }
+
+    fn is_accepting(&self, c: &PackedConfig) -> bool {
+        let o = &self.session.outputs;
+        (0..self.nodes)
+            .all(|v| o[c.get(v, self.bits) as usize].load(Ordering::Acquire) == OUT_ACCEPT)
+    }
+
+    fn is_rejecting(&self, c: &PackedConfig) -> bool {
+        let o = &self.session.outputs;
+        (0..self.nodes)
+            .all(|v| o[c.get(v, self.bits) as usize].load(Ordering::Acquire) == OUT_REJECT)
+    }
+}
+
+/// Table sizes and counters of a finished kernel session — the numbers
+/// behind BENCH_explore.json's `kernel` section.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Distinct machine states interned over the session.
+    pub states: usize,
+    /// Distinct neighbourhood signatures interned.
+    pub sigs: usize,
+    /// Filled `(state, signature)` δ-table entries — each one real
+    /// `Machine::step` call, ever.
+    pub delta_entries: u64,
+    /// Node steps resolved by a memoized δ entry.
+    pub delta_hits: u64,
+    /// Node steps that computed (and memoized) a fresh δ entry.
+    pub delta_misses: u64,
+    /// Final per-node field width in bits (power of two).
+    pub bits: u32,
+    /// Width-overflow restarts the session performed (0 almost always).
+    pub restarts: u32,
+    /// Bytes held by the packed configuration arena (inline words plus
+    /// heap spill-over of every interned row).
+    pub arena_bytes: u64,
+}
+
+impl KernelStats {
+    /// δ hits as a fraction of all node-step lookups.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.delta_hits + self.delta_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.delta_hits as f64 / total as f64
+    }
+}
+
+/// A finished kernel exploration: the packed configuration graph plus the
+/// session tables needed to unpack rows back into [`Config`]s.
+#[derive(Debug)]
+pub struct KernelExploration<S: State> {
+    exploration: Exploration<PackedConfig>,
+    session: SessionState<S>,
+    nodes: usize,
+    bits: u32,
+    restarts: u32,
+}
+
+impl<S: State> KernelExploration<S> {
+    /// The verdict under pseudo-stochastic fairness.
+    pub fn verdict(&self) -> Verdict {
+        self.exploration.verdict()
+    }
+
+    /// Number of reachable configurations (identical to the generic
+    /// engine's count: packing is injective).
+    pub fn len(&self) -> usize {
+        self.exploration.len()
+    }
+
+    /// Whether the exploration is empty (never: the start is present).
+    pub fn is_empty(&self) -> bool {
+        self.exploration.is_empty()
+    }
+
+    /// Whether successor storage spilled to disk.
+    pub fn was_spilled(&self) -> bool {
+        self.exploration.was_spilled()
+    }
+
+    /// The underlying packed exploration (edges, fixpoints, level stats).
+    pub fn exploration(&self) -> &Exploration<PackedConfig> {
+        &self.exploration
+    }
+
+    /// Unpacks configuration `i` back into per-node states.
+    pub fn config(&self, i: usize) -> Config<S> {
+        let t = self.session.tables.read().expect("kernel tables poisoned");
+        let packed = &self.exploration.configs()[i];
+        Config::from_states(
+            (0..self.nodes)
+                .map(|v| t.states[packed.get(v, self.bits) as usize].clone())
+                .collect(),
+        )
+    }
+
+    /// Unpacks every configuration, dense by id — the differential suites
+    /// compare this against the generic engine's `configs()`.
+    pub fn configs_unpacked(&self) -> Vec<Config<S>> {
+        (0..self.len()).map(|i| self.config(i)).collect()
+    }
+
+    /// Session statistics: table sizes, δ hit counters, arena footprint.
+    pub fn stats(&self) -> KernelStats {
+        let t = self.session.tables.read().expect("kernel tables poisoned");
+        let arena_bytes = self
+            .exploration
+            .configs()
+            .iter()
+            .map(|c| (std::mem::size_of::<PackedConfig>() + c.heap_bytes()) as u64)
+            .sum();
+        KernelStats {
+            states: t.states.len(),
+            sigs: t.sigs.len(),
+            delta_entries: t.delta_entries(),
+            delta_hits: self.session.hits.load(Ordering::Relaxed),
+            delta_misses: self.session.misses.load(Ordering::Relaxed),
+            bits: self.bits,
+            restarts: self.restarts,
+            arena_bytes,
+        }
+    }
+}
+
+/// The smallest supported width covering state ids `0..states`.
+fn width_for(states: usize) -> u32 {
+    *PackedConfig::WIDTHS
+        .iter()
+        .find(|&&bits| states <= 1usize << bits)
+        .unwrap_or(&16)
+}
+
+/// The starting width of a session: wide enough for the states seen so
+/// far, but never narrower than free width. A doomed attempt costs a
+/// partial re-exploration, so width is only worth rationing when it
+/// costs memory: any width whose row still fits the two inline words is
+/// free (no heap, same hash cost), so small graphs start at the widest
+/// such width and never restart. Rows that need the heap anyway start at
+/// no less than 4 bits — 16 states covers every machine in this
+/// workspace's test fleet, and a restart doubles from there if not.
+fn start_width(states: usize, nodes: usize) -> u32 {
+    let inline_max = PackedConfig::WIDTHS
+        .iter()
+        .rev()
+        .find(|&&bits| PackedConfig::words_for(nodes, bits) <= 2)
+        .copied()
+        .unwrap_or(1);
+    let floor = if inline_max > 1 { inline_max } else { 4 };
+    width_for(states.max(2)).max(floor)
+}
+
+/// Explores the exclusive-selection configuration space of `machine` on
+/// `graph` through the dense successor kernel. Observationally identical
+/// to `Exploration::explore_with(&ExclusiveSystem::new(machine, graph),
+/// …)` — same interned-id order (after unpacking), same edges, same
+/// verdict, same explored count — but with memoized δ steps and packed,
+/// mostly allocation-free successor construction.
+///
+/// # Errors
+///
+/// [`ExploreError::TooLarge`] when `options.limit` is exhausted (the
+/// kernel interns exactly as many configurations as the generic engine
+/// would), and [`ExploreError::Unsupported`] in the pathological case of
+/// more than 65 534 distinct reachable states (the `u16` id space; the
+/// decider falls back to the generic engine on this error).
+pub fn explore_kernel<S: State>(
+    machine: &Machine<S>,
+    graph: &Graph,
+    options: ExploreOptions,
+) -> Result<KernelExploration<S>, ExploreError> {
+    let session = SessionState {
+        tables: RwLock::new(Tables::new()),
+        outputs: std::iter::repeat_with(|| AtomicU8::new(OUT_NEUTRAL))
+            .take(1 << 16)
+            .collect(),
+        hits: AtomicU64::new(0),
+        misses: AtomicU64::new(0),
+    };
+    let nodes = graph.node_count();
+    let mut restarts = 0u32;
+    loop {
+        let states = session
+            .tables
+            .read()
+            .expect("kernel tables poisoned")
+            .states
+            .len();
+        let bits = start_width(states, nodes);
+        let system = KernelSystem {
+            machine,
+            graph,
+            session: &session,
+            nodes,
+            bits,
+            overflow: AtomicBool::new(false),
+            exhausted: AtomicBool::new(false),
+        };
+        let start = system
+            .pack_initial()
+            .ok_or_else(|| ExploreError::Unsupported {
+                reason: format!(
+                    "the dense kernel interns states to u16 ids; this machine \
+                 exceeded {MAX_STATES} distinct reachable states"
+                ),
+            })?;
+        let exploration = Exploration::explore_with(&system, start, options)?;
+        if system.exhausted.load(Ordering::Relaxed) {
+            return Err(ExploreError::Unsupported {
+                reason: format!(
+                    "the dense kernel interns states to u16 ids; this machine \
+                     exceeded {MAX_STATES} distinct reachable states"
+                ),
+            });
+        }
+        if system.overflow.load(Ordering::Relaxed) {
+            // A fresh state overflowed the field width: discard the drained
+            // attempt and re-explore wider. The tables persist, so the
+            // re-run replays memoized δ lookups.
+            restarts += 1;
+            debug_assert!(restarts <= PackedConfig::WIDTHS.len() as u32);
+            continue;
+        }
+        return Ok(KernelExploration {
+            exploration,
+            session,
+            nodes,
+            bits,
+            restarts,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExclusiveSystem, Machine};
+    use wam_graph::{generators, LabelCount};
+
+    fn flood() -> Machine<bool> {
+        Machine::new(
+            1,
+            |l| l.0 == 1,
+            |&s, n| s || n.exists(|&t| t),
+            |&s| {
+                if s {
+                    Output::Accept
+                } else {
+                    Output::Reject
+                }
+            },
+        )
+    }
+
+    /// A counter machine with a deliberately wide state space: label-1
+    /// nodes walk `1..=cap` in steps of 1 while label-0 nodes stay frozen
+    /// at 0 — `cap + 1` reachable states over a narrow configuration
+    /// space, forcing the kernel through width restarts on large caps.
+    fn ladder(cap: u32) -> Machine<u32> {
+        Machine::new(
+            2,
+            |l| u32::from(l.0),
+            move |&s, _| if s == 0 { 0 } else { (s + 1).min(cap) },
+            move |&s| {
+                if s >= cap {
+                    Output::Accept
+                } else {
+                    Output::Neutral
+                }
+            },
+        )
+    }
+
+    #[test]
+    fn kernel_matches_generic_engine_on_flood() {
+        let m = flood();
+        for counts in [vec![3u64, 1], vec![4, 0], vec![2, 2]] {
+            let g = generators::labelled_cycle(&LabelCount::from_vec(counts.clone()));
+            let sys = ExclusiveSystem::new(&m, &g);
+            let generic = Exploration::explore(&sys, 100_000).unwrap();
+            let kernel = explore_kernel(&m, &g, ExploreOptions::with_limit(100_000)).unwrap();
+            assert_eq!(kernel.len(), generic.len(), "{counts:?}");
+            assert_eq!(kernel.verdict(), generic.verdict(), "{counts:?}");
+            assert_eq!(kernel.configs_unpacked(), generic.configs(), "{counts:?}");
+            for i in 0..generic.len() {
+                assert_eq!(
+                    &*kernel.exploration().successors(i),
+                    &*generic.successors(i),
+                    "row {i} of {counts:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_restarts_on_width_overflow() {
+        // 41 reachable states on a 140-node line: the row needs the heap,
+        // so the session starts at the 4-bit floor and must widen to
+        // 8 bits when state id 16 appears mid-exploration.
+        let m = ladder(40);
+        let g = generators::labelled_line(&LabelCount::from_vec(vec![139, 1]));
+        let sys = ExclusiveSystem::new(&m, &g);
+        let generic = Exploration::explore(&sys, 1_000_000).unwrap();
+        let kernel = explore_kernel(&m, &g, ExploreOptions::with_limit(1_000_000)).unwrap();
+        let stats = kernel.stats();
+        assert!(stats.restarts >= 1, "expected a width restart: {stats:?}");
+        assert_eq!(stats.bits, 8);
+        assert_eq!(stats.states, 41);
+        assert_eq!(kernel.len(), generic.len());
+        assert_eq!(kernel.configs_unpacked(), generic.configs());
+        assert_eq!(kernel.verdict(), generic.verdict());
+    }
+
+    #[test]
+    fn kernel_stats_account_for_memoization() {
+        let m = flood();
+        // A star exercises both memo levels: the hub (degree 7) goes
+        // through canonical signatures, the leaves (degree 1) through the
+        // raw low-degree memo.
+        let g = generators::labelled_star(&LabelCount::from_vec(vec![6, 2]));
+        let kernel = explore_kernel(&m, &g, ExploreOptions::with_limit(100_000)).unwrap();
+        let stats = kernel.stats();
+        assert_eq!(stats.states, 2);
+        assert!(stats.sigs >= 1 && stats.sigs <= 8, "{stats:?}");
+        // Every filled entry was exactly one real δ call.
+        assert_eq!(stats.delta_entries, stats.delta_misses);
+        // The memo pays for itself many times over even on this tiny space.
+        assert!(stats.delta_hits > stats.delta_misses * 4, "{stats:?}");
+        assert!(stats.hit_rate() > 0.8, "{stats:?}");
+        assert!(stats.arena_bytes > 0);
+        // Inline storage makes width free: 8 nodes at 16 bits still fit
+        // two inline words, so the session starts (and stays) at 16 and
+        // the arena never touches the heap.
+        assert_eq!(stats.bits, 16);
+        assert_eq!(
+            stats.arena_bytes,
+            (kernel.len() * std::mem::size_of::<PackedConfig>()) as u64
+        );
+    }
+
+    #[test]
+    fn kernel_respects_limit_like_the_generic_engine() {
+        let m = flood();
+        let g = generators::labelled_line(&LabelCount::from_vec(vec![5, 1]));
+        let err = explore_kernel(&m, &g, ExploreOptions::with_limit(2)).unwrap_err();
+        assert!(
+            matches!(err, ExploreError::TooLarge { limit: 2, .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn kernel_parallel_paths_match_sequential() {
+        let m = flood();
+        let g = generators::labelled_cycle(&LabelCount::from_vec(vec![5, 2]));
+        let seq = explore_kernel(&m, &g, ExploreOptions::with_limit(1_000_000).threads(1)).unwrap();
+        let par = explore_kernel(
+            &m,
+            &g,
+            ExploreOptions::with_limit(1_000_000)
+                .threads(4)
+                .frontier_threshold(1),
+        )
+        .unwrap();
+        assert_eq!(seq.len(), par.len());
+        assert_eq!(seq.verdict(), par.verdict());
+        assert_eq!(seq.configs_unpacked(), par.configs_unpacked());
+    }
+}

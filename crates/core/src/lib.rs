@@ -57,6 +57,7 @@ mod edges;
 mod explore;
 mod halting;
 mod intern;
+mod kernel;
 mod machine;
 mod neighbourhood;
 mod product;
@@ -66,7 +67,7 @@ mod symmetry;
 mod system;
 
 pub use class::{Acceptance, Detection, Fairness, ModelClass, PropertyClassBound};
-pub use config::Config;
+pub use config::{Config, PackedConfig};
 pub use counter::{CounterConfig, CounterError, CounterSystem, RingConfig, RingSystem};
 pub use decider::{decide, Backend, DecisionStats, ResolvedBackend, Schedule};
 #[allow(deprecated)]
@@ -75,10 +76,11 @@ pub use explore::{
 };
 pub use explore::{
     EdgeEncoding, ExclusiveSystem, Exploration, ExploreError, ExploreOptions, LevelStat,
-    LiberalSystem, SuccRow, Symmetry, TransitionSystem, Verdict,
+    LiberalSystem, SuccBuf, SuccRow, Symmetry, TransitionSystem, Verdict,
 };
 pub use halting::{halting_violations, make_halting};
 pub use intern::Interner;
+pub use kernel::{explore_kernel, KernelExploration, KernelStats};
 pub use machine::{Machine, Output, State};
 pub use neighbourhood::Neighbourhood;
 pub use product::{negate, product, Combine};

@@ -46,14 +46,18 @@ impl<S: Clone + Ord> Neighbourhood<S> {
     /// clipped multiset, as the model requires.
     pub fn from_states<I: IntoIterator<Item = S>>(states: I, beta: u32) -> Self {
         assert!(beta >= 1, "counting bound must be at least 1");
+        // Sort + run-length encode: O(d log d) over the degree instead of
+        // the linear `find` per neighbour (O(d·k)) this used to do — this
+        // constructor runs once per node per step on the hottest paths.
+        let mut raw: Vec<S> = states.into_iter().collect();
+        raw.sort_unstable();
         let mut entries: Vec<(S, u32)> = Vec::new();
-        for s in states {
-            match entries.iter_mut().find(|(t, _)| *t == s) {
-                Some((_, c)) => *c = (*c + 1).min(beta),
-                None => entries.push((s, 1)),
+        for s in raw {
+            match entries.last_mut() {
+                Some((t, c)) if *t == s => *c = (*c + 1).min(beta),
+                _ => entries.push((s, 1)),
             }
         }
-        entries.sort_by(|(a, _), (b, _)| a.cmp(b));
         Neighbourhood { entries, beta }
     }
 
@@ -218,6 +222,43 @@ mod tests {
         let n = Neighbourhood::from_states(raw.iter().copied(), 3);
         let p = n.project(|&(x, _)| x);
         assert_eq!(p.count(&1), 3);
+    }
+
+    /// The pre-RLE construction: linear `find` per neighbour, final sort.
+    /// Kept verbatim as the reference for the equality pin below.
+    fn from_states_linear<S: Clone + Ord>(states: &[S], beta: u32) -> Neighbourhood<S> {
+        let mut entries: Vec<(S, u32)> = Vec::new();
+        for s in states {
+            match entries.iter_mut().find(|(t, _)| t == s) {
+                Some((_, c)) => *c = (*c + 1).min(beta),
+                None => entries.push((s.clone(), 1)),
+            }
+        }
+        entries.sort_by(|(a, _), (b, _)| a.cmp(b));
+        Neighbourhood { entries, beta }
+    }
+
+    #[test]
+    fn rle_construction_matches_linear_on_permuted_inputs() {
+        // The sort+RLE rewrite must be observationally identical to the old
+        // construction — same entries, same clipping — on every input
+        // order. Walk a deterministic family of multisets and rotations.
+        for beta in [1u32, 2, 3, 7] {
+            for n in 0..9usize {
+                let base: Vec<u8> = (0..n).map(|i| ((i * 5 + 3) % 4) as u8).collect();
+                for rot in 0..=n {
+                    let mut perm = base.clone();
+                    perm.rotate_left(rot % n.max(1));
+                    if rot % 2 == 1 {
+                        perm.reverse();
+                    }
+                    let fast = Neighbourhood::from_states(perm.iter().copied(), beta);
+                    let slow = from_states_linear(&perm, beta);
+                    assert_eq!(fast.entries, slow.entries, "beta={beta} perm={perm:?}");
+                    assert_eq!(fast.beta, slow.beta);
+                }
+            }
+        }
     }
 
     #[test]

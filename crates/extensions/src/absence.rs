@@ -10,7 +10,7 @@ use std::fmt;
 use std::sync::Arc;
 use wam_core::{
     run_until_stable, Config, Machine, NodeSymmetric, Output, RunReport, ScheduledSystem,
-    StabilityOptions, State, StepOutcome, TransitionSystem,
+    StabilityOptions, State, StepOutcome, SuccBuf, TransitionSystem,
 };
 use wam_graph::{Graph, Label, NodeId};
 
@@ -164,6 +164,12 @@ impl<S: State> TransitionSystem for AbsenceSystem<'_, S> {
     }
 
     fn successors(&self, c: &Config<S>) -> Vec<Config<S>> {
+        let mut out = SuccBuf::new();
+        self.successors_into(c, &mut out);
+        out.into_vec()
+    }
+
+    fn successors_into(&self, c: &Config<S>, out: &mut SuccBuf<Config<S>>) {
         let c1 = self.am.sync_step(self.graph, c);
         let initiators: Vec<NodeId> = self
             .graph
@@ -172,14 +178,13 @@ impl<S: State> TransitionSystem for AbsenceSystem<'_, S> {
             .collect();
         if initiators.is_empty() {
             // The computation hangs: C'' = C, a silent self-loop.
-            return Vec::new();
+            return;
         }
         let supp: BTreeSet<S> = c1.states().iter().cloned().collect();
         let options: Vec<Vec<BTreeSet<S>>> = initiators
             .iter()
             .map(|&v| subsets_containing(&supp, c1.state(v)))
             .collect();
-        let mut out = Vec::new();
         for family in cartesian_product(&options, self.choice_cap) {
             // Joint coverage: every observed state must appear in some T_v.
             let mut union: BTreeSet<S> = BTreeSet::new();
@@ -198,7 +203,6 @@ impl<S: State> TransitionSystem for AbsenceSystem<'_, S> {
                 out.push(next);
             }
         }
-        out
     }
 
     fn is_accepting(&self, c: &Config<S>) -> bool {

@@ -8,7 +8,7 @@ use std::fmt;
 use std::sync::Arc;
 use wam_core::{
     run_until_stable, Config, Machine, NodeSymmetric, Output, RunReport, ScheduledSystem,
-    StabilityOptions, State, StepOutcome, TransitionSystem,
+    StabilityOptions, State, StepOutcome, SuccBuf, TransitionSystem,
 };
 use wam_graph::{Graph, Label, NodeId};
 
@@ -231,13 +231,36 @@ impl<S: State> TransitionSystem for BroadcastSystem<'_, S> {
     }
 
     fn successors(&self, c: &Config<S>) -> Vec<Config<S>> {
-        let mut out = self.neighbourhood_successors(c);
+        let mut out = SuccBuf::new();
+        self.successors_into(c, &mut out);
+        out.into_vec()
+    }
+
+    fn successors_into(&self, c: &Config<S>, out: &mut SuccBuf<Config<S>>) {
+        // Single-agent neighbourhood steps first, then weak broadcasts —
+        // the emission order and dedup of the Vec-returning enumeration,
+        // with the neighbourhood steps written straight into the reusable
+        // buffer.
+        for v in self.graph.nodes() {
+            if self.bm.initiates(c.state(v)) {
+                continue;
+            }
+            let stepped = c.stepped_state(self.bm.machine(), self.graph, v);
+            if stepped == *c.state(v) {
+                continue;
+            }
+            let mut states = c.states().to_vec();
+            states[v] = stepped;
+            let next = Config::from_states(states);
+            if !out.contains(&next) {
+                out.push(next);
+            }
+        }
         for next in self.broadcast_successors(c) {
             if !out.contains(&next) {
                 out.push(next);
             }
         }
-        out
     }
 
     fn is_accepting(&self, c: &Config<S>) -> bool {

@@ -7,7 +7,7 @@ use std::fmt;
 use std::sync::Arc;
 use wam_core::{
     run_until_stable, Config, NodeSymmetric, Output, RunReport, ScheduledSystem, StabilityOptions,
-    State, StepOutcome, TransitionSystem,
+    State, StepOutcome, SuccBuf, TransitionSystem,
 };
 use wam_graph::{Graph, Label};
 
@@ -157,7 +157,12 @@ impl<S: State> TransitionSystem for PopulationSystem<'_, S> {
     }
 
     fn successors(&self, c: &Config<S>) -> Vec<Config<S>> {
-        let mut out = Vec::new();
+        let mut out = SuccBuf::new();
+        self.successors_into(c, &mut out);
+        out.into_vec()
+    }
+
+    fn successors_into(&self, c: &Config<S>, out: &mut SuccBuf<Config<S>>) {
         for &(u, v) in self.graph.edges() {
             for (a, b) in [(u, v), (v, u)] {
                 let (pa, pb) = self.pp.interact(c.state(a), c.state(b));
@@ -173,7 +178,6 @@ impl<S: State> TransitionSystem for PopulationSystem<'_, S> {
                 }
             }
         }
-        out
     }
 
     fn is_accepting(&self, c: &Config<S>) -> bool {

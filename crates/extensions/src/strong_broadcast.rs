@@ -8,7 +8,7 @@ use std::fmt;
 use std::sync::Arc;
 use wam_core::{
     run_until_stable, Config, NodeSymmetric, Output, RunReport, ScheduledSystem, StabilityOptions,
-    State, StepOutcome, TransitionSystem,
+    State, StepOutcome, SuccBuf, TransitionSystem,
 };
 use wam_graph::{Graph, Label};
 
@@ -115,7 +115,12 @@ impl<S: State> TransitionSystem for StrongBroadcastSystem<'_, S> {
     }
 
     fn successors(&self, c: &Config<S>) -> Vec<Config<S>> {
-        let mut out = Vec::new();
+        let mut out = SuccBuf::new();
+        self.successors_into(c, &mut out);
+        out.into_vec()
+    }
+
+    fn successors_into(&self, c: &Config<S>, out: &mut SuccBuf<Config<S>>) {
         for v in self.graph.nodes() {
             let (q2, f) = self.sb.broadcast(c.state(v));
             let states: Vec<S> = self
@@ -128,7 +133,6 @@ impl<S: State> TransitionSystem for StrongBroadcastSystem<'_, S> {
                 out.push(next);
             }
         }
-        out
     }
 
     fn is_accepting(&self, c: &Config<S>) -> bool {

@@ -29,8 +29,8 @@
 //!   memoisation key, because keys coincide only on isomorphic graphs.
 
 use crate::Graph;
+use rustc_hash::FxHashSet;
 use std::cmp::Ordering;
-use std::collections::HashSet;
 
 /// Default cap on the order of an enumerated automorphism group.
 ///
@@ -100,7 +100,7 @@ impl AutomorphismGroup {
     pub fn generators(&self) -> Vec<Vec<u32>> {
         let id = identity(self.node_count());
         let mut gens: Vec<Vec<u32>> = Vec::new();
-        let mut closure: HashSet<Vec<u32>> = HashSet::from([id]);
+        let mut closure: FxHashSet<Vec<u32>> = FxHashSet::from_iter([id]);
         for p in &self.perms {
             if closure.contains(p) {
                 continue;
@@ -141,7 +141,7 @@ fn compose(a: &[u32], b: &[u32]) -> Vec<u32> {
 fn refine(g: &Graph, mut colours: Vec<u32>) -> Vec<u32> {
     let n = g.node_count();
     loop {
-        let classes = colours.iter().collect::<HashSet<_>>().len();
+        let classes = colours.iter().collect::<FxHashSet<_>>().len();
         let sigs: Vec<(u32, Vec<u32>)> = (0..n)
             .map(|v| {
                 let mut nb: Vec<u32> = g.neighbours(v).iter().map(|&u| colours[u]).collect();
@@ -571,7 +571,7 @@ mod tests {
     fn group_is_closed_and_contains_identity() {
         let g = generators::cycle(5);
         let aut = automorphism_group(&g, 1000);
-        let set: HashSet<&Vec<u32>> = aut.elements().iter().collect();
+        let set: FxHashSet<&Vec<u32>> = aut.elements().iter().collect();
         assert!(set.contains(&identity(5)));
         assert_eq!(aut.elements()[0], identity(5), "identity sorts first");
         for a in aut.elements() {
@@ -596,7 +596,7 @@ mod tests {
         let aut = automorphism_group(&g, 1000);
         let gens = aut.generators();
         assert!(gens.len() <= 3, "dihedral groups need two generators");
-        let mut closure: HashSet<Vec<u32>> = HashSet::from([identity(6)]);
+        let mut closure: FxHashSet<Vec<u32>> = FxHashSet::from_iter([identity(6)]);
         let mut frontier: Vec<Vec<u32>> = vec![identity(6)];
         while let Some(q) = frontier.pop() {
             for gen in &gens {

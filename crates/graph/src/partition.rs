@@ -52,7 +52,7 @@
 //! ≥ 5 are all singletons.
 
 use crate::{Graph, NodeId};
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 
 /// One cell of a [`TwinPartition`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -93,7 +93,7 @@ impl TwinPartition {
 
         // False twins: group by the borrowed sorted neighbour slice — exact,
         // zero-copy. Refine by label so cells are label-homogeneous.
-        let mut open: HashMap<(&[NodeId], u32), Vec<NodeId>> = HashMap::new();
+        let mut open: FxHashMap<(&[NodeId], u32), Vec<NodeId>> = FxHashMap::default();
         for v in graph.nodes() {
             open.entry((graph.neighbours(v), graph.label(v).index() as u32))
                 .or_default()
@@ -108,7 +108,7 @@ impl TwinPartition {
         // True twins: bucket by (label, degree, commutative fingerprint of
         // N[v]), then split buckets exactly with `true_twins`. Collisions
         // only cost time, never correctness.
-        let mut closed: HashMap<(u32, usize, u64), Vec<NodeId>> = HashMap::new();
+        let mut closed: FxHashMap<(u32, usize, u64), Vec<NodeId>> = FxHashMap::default();
         for v in graph.nodes() {
             let fp = fingerprint(v)
                 ^ graph

@@ -1,6 +1,6 @@
 //! Schema checks for `BENCH_explore.json` and `BENCH_serve.json`: the
 //! benchmark reports at the repository root must stay parseable and keep
-//! the fields that the documentation (EXPERIMENTS.md E13/E16/E20) and
+//! the fields that the documentation (EXPERIMENTS.md E13/E16/E20/E21) and
 //! downstream tooling read.
 //! The parser is a ~60-line hand-rolled recursive descent — the workspace
 //! deliberately has no JSON dependency — strict enough to reject the
@@ -291,6 +291,66 @@ fn bench_explore_json_matches_schema() {
             w.get("workload").str()
         );
     }
+
+    // §3a.7: the dense successor kernel. Every row compares the memoized
+    // δ-table kernel against the generic engine on the same workload, both
+    // sequential, explore phase only — the bench asserts verdict and
+    // reachable-count equality on every repetition before writing a row.
+    // A no-regression floor holds on all rows; the flagship Lemma-4.10
+    // majority workload must hold the tentpole's 2x.
+    let kernel = doc.get("kernel");
+    kernel.get("note").str();
+    let kernel_workloads = kernel.get("workloads").arr();
+    assert!(!kernel_workloads.is_empty(), "kernel section is empty");
+    let mut majority_speedup = None;
+    for w in kernel_workloads {
+        assert!(!w.get("workload").str().is_empty());
+        for key in [
+            "nodes",
+            "configs",
+            "generic_explore_ms",
+            "kernel_explore_ms",
+            "speedup",
+            "memory_bytes",
+            "delta_entries",
+            "states",
+            "bits",
+        ] {
+            assert!(w.get(key).num() > 0.0, "{key} must be positive");
+        }
+        for key in ["sigs", "restarts"] {
+            assert!(w.get(key).num() >= 0.0, "{key} must be present");
+        }
+        assert!(matches!(
+            w.get("verdict").str(),
+            "accepts" | "rejects" | "no consensus" | "inconsistent"
+        ));
+        // Interned ids are u16: the packed rows could not hold more.
+        assert!(w.get("states").num() <= 65535.0);
+        let hit_rate = w.get("delta_hit_rate").num();
+        assert!(
+            (0.0..=1.0).contains(&hit_rate),
+            "delta_hit_rate must be a fraction, got {hit_rate}"
+        );
+        // Memoization is the mechanism: on these reachable spaces almost
+        // every configuration expansion replays an already-computed row.
+        assert!(hit_rate >= 0.5, "delta hit rate {hit_rate:.3} below 0.5");
+        let s = w.get("speedup").num();
+        assert!(
+            s >= 0.85,
+            "kernel slower than the generic engine ({s:.2}x) on {:?}",
+            w.get("workload").str()
+        );
+        if w.get("workload").str() == "majority via Lemma 4.10 cycle" {
+            majority_speedup = Some(s);
+        }
+    }
+    let majority_speedup =
+        majority_speedup.expect("the Lemma 4.10 majority-cycle kernel row must be present");
+    assert!(
+        majority_speedup >= 2.0,
+        "flagship kernel speedup fell below 2x: {majority_speedup:.2}"
+    );
 
     let symmetry = doc.get("symmetry");
     assert!(symmetry.get("group_cap").num() >= 1.0);

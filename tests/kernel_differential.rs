@@ -1,0 +1,301 @@
+//! Differential tests for the dense successor kernel: on random machines
+//! and random graphs, the kernel exploration (interned `u16` states,
+//! memoized δ-tables, packed configuration rows) must be observationally
+//! *identical* to the generic engine over `ExclusiveSystem` — same dense
+//! id order (after unpacking), same CSR edges, same verdicts, same
+//! explored counts — and the `successors_into` buffer API of every model
+//! family must emit exactly what its `successors` returns, in order.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use weak_async_models::core::{
+    decide, explore_kernel, Backend, ExclusiveSystem, Exploration, ExploreOptions, LiberalSystem,
+    Machine, Output, Schedule, SuccBuf, Symmetry, TransitionSystem,
+};
+use weak_async_models::extensions::{
+    threshold_protocol, AbsenceMachine, AbsenceSystem, BroadcastMachine, BroadcastSystem,
+    GraphPopulationProtocol, MajorityState, PopulationSystem, ResponseFn, StrongBroadcastSystem,
+};
+use weak_async_models::graph::{generators, Graph, Label, LabelCount};
+
+const STATES: u8 = 3;
+
+/// A table-driven machine over states `0..STATES` with counting bound 1:
+/// δ reads only the presence bitmask of neighbouring states, so every
+/// table is a well-formed machine and sampling tables samples machines.
+fn table_machine(init: [u8; 2], table: Vec<u8>, outs: [u8; STATES as usize]) -> Machine<u8> {
+    assert_eq!(table.len(), (STATES as usize) << STATES);
+    Machine::new(
+        1,
+        move |l: Label| init[l.0 as usize % 2] % STATES,
+        move |&s: &u8, n| {
+            let mask: usize = (0..STATES)
+                .filter(|q| n.exists(|&t| t == *q))
+                .map(|q| 1usize << q)
+                .sum();
+            table[((s as usize) << STATES) | mask] % STATES
+        },
+        move |&s| match outs[s as usize % STATES as usize] % 3 {
+            0 => Output::Reject,
+            1 => Output::Accept,
+            _ => Output::Neutral,
+        },
+    )
+}
+
+/// A counting variant (β = 2): δ reads the base-3 digit vector of clipped
+/// neighbour counts, exercising the kernel's signature keys beyond
+/// presence bits.
+fn counting_machine(init: [u8; 2], table: Vec<u8>, outs: [u8; STATES as usize]) -> Machine<u8> {
+    assert_eq!(table.len(), (STATES as usize) * 27);
+    Machine::new(
+        2,
+        move |l: Label| init[l.0 as usize % 2] % STATES,
+        move |&s: &u8, n| {
+            let idx: usize = (0..STATES)
+                .map(|q| (n.count(&q) as usize) * 3usize.pow(u32::from(q)))
+                .sum();
+            table[(s as usize) * 27 + idx] % STATES
+        },
+        move |&s| match outs[s as usize % STATES as usize] % 3 {
+            0 => Output::Reject,
+            1 => Output::Accept,
+            _ => Output::Neutral,
+        },
+    )
+}
+
+fn random_graph(shape: u8, a: u64, b: u64, seed: u64) -> Graph {
+    let c = LabelCount::from_vec(vec![a, b]);
+    match shape % 4 {
+        0 => generators::labelled_cycle(&c),
+        1 => generators::labelled_line(&c),
+        // Stars drive the hub past the kernel's raw-memo degree bound,
+        // covering the canonical signature path.
+        2 => generators::labelled_star(&c),
+        _ => generators::random_degree_bounded(&c, 3, 2, seed),
+    }
+}
+
+/// Full observational-equality check: kernel exploration vs the generic
+/// engine on `ExclusiveSystem`, plus `decide`'s explicit backend (which
+/// routes through the kernel) vs the generic engine's counts.
+fn assert_kernel_matches_naive(m: &Machine<u8>, g: &Graph) {
+    let sys = ExclusiveSystem::new(m, g);
+    let naive = Exploration::explore(&sys, 200_000).expect("naive exploration");
+    let kernel = explore_kernel(m, g, ExploreOptions::with_limit(200_000)).expect("kernel");
+
+    assert_eq!(kernel.len(), naive.len(), "explored counts differ");
+    // Identical interned id order: unpacked kernel config i == naive config i.
+    assert_eq!(kernel.configs_unpacked(), naive.configs());
+    for i in 0..naive.len() {
+        assert_eq!(
+            &*kernel.exploration().successors(i),
+            &*naive.successors(i),
+            "successor row {i} differs"
+        );
+        assert_eq!(kernel.exploration().is_accepting(i), naive.is_accepting(i));
+        assert_eq!(kernel.exploration().is_rejecting(i), naive.is_rejecting(i));
+    }
+    assert_eq!(kernel.verdict(), naive.verdict());
+
+    // The decide() explicit backend rides the kernel: same verdict, same
+    // DecisionStats.explored as the generic engine's interned count.
+    let (verdict, stats) = decide(
+        m,
+        g,
+        Schedule::PseudoStochastic,
+        Backend::Explicit,
+        ExploreOptions::with_limit(200_000),
+    )
+    .expect("decide explicit");
+    assert_eq!(verdict, naive.verdict());
+    assert_eq!(stats.explored, naive.len());
+}
+
+/// Asserts `successors_into` emits exactly `successors`, in order, for
+/// every configuration reachable in `sys` (the buffer API is part of the
+/// observable contract — ids are assigned in arrival order).
+fn assert_buffer_api_matches<T: TransitionSystem + Sync>(sys: &T, limit: usize)
+where
+    T::C: Send + Sync,
+{
+    let e = Exploration::explore(sys, limit).expect("exploration");
+    let mut buf: SuccBuf<T::C> = SuccBuf::new();
+    for c in e.configs() {
+        buf.clear();
+        sys.successors_into(c, &mut buf);
+        assert_eq!(buf.as_slice(), &sys.successors(c)[..]);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Kernel ≡ naive on random non-counting machines × random graphs.
+    #[test]
+    fn kernel_matches_naive_noncounting(
+        init in (0u8..STATES, 0u8..STATES),
+        table in prop::collection::vec(0u8..STATES, (STATES as usize) << STATES..((STATES as usize) << STATES) + 1),
+        outs in (0u8..3, 0u8..3, 0u8..3),
+        shape in 0u8..4,
+        a in 1u64..5,
+        b in 1u64..5,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(a + b >= 3);
+        let m = table_machine([init.0, init.1], table, [outs.0, outs.1, outs.2]);
+        let g = random_graph(shape, a, b, seed);
+        assert_kernel_matches_naive(&m, &g);
+    }
+
+    /// Kernel ≡ naive on random counting machines (β = 2), whose signature
+    /// keys carry genuine clipped counts rather than presence bits.
+    #[test]
+    fn kernel_matches_naive_counting(
+        init in (0u8..STATES, 0u8..STATES),
+        table in prop::collection::vec(0u8..STATES, (STATES as usize) * 27..(STATES as usize) * 27 + 1),
+        outs in (0u8..3, 0u8..3, 0u8..3),
+        shape in 0u8..4,
+        a in 1u64..4,
+        b in 1u64..4,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(a + b >= 3);
+        let m = counting_machine([init.0, init.1], table, [outs.0, outs.1, outs.2]);
+        let g = random_graph(shape, a, b, seed);
+        assert_kernel_matches_naive(&m, &g);
+    }
+
+    /// The exclusive and liberal families' buffer API matches their
+    /// Vec-returning enumeration on random machines × random graphs.
+    #[test]
+    fn buffer_api_matches_core_families(
+        init in (0u8..STATES, 0u8..STATES),
+        table in prop::collection::vec(0u8..STATES, (STATES as usize) << STATES..((STATES as usize) << STATES) + 1),
+        outs in (0u8..3, 0u8..3, 0u8..3),
+        shape in 0u8..4,
+        a in 1u64..4,
+        b in 1u64..4,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(a + b >= 3);
+        let m = table_machine([init.0, init.1], table, [outs.0, outs.1, outs.2]);
+        let g = random_graph(shape, a, b, seed);
+        assert_buffer_api_matches(&ExclusiveSystem::new(&m, &g), 50_000);
+        assert_buffer_api_matches(&LiberalSystem::new(&m, &g), 50_000);
+    }
+}
+
+/// The Lemma C.5 threshold broadcast machine `x₀ ≥ k` (same construction
+/// as the unit tests in `wam-extensions`).
+fn broadcast_threshold(k: u32) -> BroadcastMachine<u32> {
+    let machine = Machine::new(
+        1,
+        move |l: Label| if l.0 == 0 { 1 } else { 0 },
+        |&s: &u32, _| s,
+        move |&s| {
+            if s == k {
+                Output::Accept
+            } else {
+                Output::Reject
+            }
+        },
+    );
+    BroadcastMachine::new(
+        machine,
+        move |&s| s >= 1,
+        move |&s| {
+            if s == k {
+                (k, Arc::new(move |_: &u32| k) as ResponseFn<u32>)
+            } else {
+                (
+                    s,
+                    Arc::new(move |&r: &u32| if r == s && r < k { r + 1 } else { r })
+                        as ResponseFn<u32>,
+                )
+            }
+        },
+    )
+}
+
+/// A one-shot absence detector: `A`-agents initiate once and accept iff no
+/// `B` appears in their observed support.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+enum D {
+    A,
+    B,
+    Acc,
+    Rej,
+}
+
+fn absence_detector() -> AbsenceMachine<D> {
+    let machine = Machine::new(
+        1,
+        |l: Label| if l.0 == 0 { D::A } else { D::B },
+        |&s, _| s,
+        |&s| match s {
+            D::A | D::Acc => Output::Accept,
+            D::B | D::Rej => Output::Reject,
+        },
+    );
+    AbsenceMachine::new(
+        machine,
+        |&s| s == D::A,
+        |_, supp| if supp.contains(&D::B) { D::Rej } else { D::Acc },
+    )
+}
+
+fn small_graphs() -> Vec<Graph> {
+    [
+        LabelCount::from_vec(vec![3, 1]),
+        LabelCount::from_vec(vec![2, 2]),
+        LabelCount::from_vec(vec![1, 3]),
+    ]
+    .iter()
+    .flat_map(|c| {
+        [
+            generators::labelled_cycle(c),
+            generators::labelled_line(c),
+            generators::labelled_star(c),
+        ]
+    })
+    .collect()
+}
+
+/// All four extension families' buffer API matches their Vec-returning
+/// enumeration on every reachable configuration of a grid of small
+/// instances.
+#[test]
+fn buffer_api_matches_extension_families() {
+    let bm = broadcast_threshold(2);
+    let am = absence_detector();
+    let pp = GraphPopulationProtocol::<MajorityState>::majority();
+    let sb = threshold_protocol(2);
+    for g in small_graphs() {
+        assert_buffer_api_matches(&BroadcastSystem::new(&bm, &g), 100_000);
+        assert_buffer_api_matches(&AbsenceSystem::new(&am, &g), 100_000);
+        assert_buffer_api_matches(&PopulationSystem::new(&pp, &g), 100_000);
+        assert_buffer_api_matches(&StrongBroadcastSystem::new(&sb, &g), 100_000);
+    }
+}
+
+/// `Backend::Auto` with `Symmetry::Off` (the other route into the explicit
+/// closure) also rides the kernel and stays observationally identical.
+#[test]
+fn auto_backend_symmetry_off_matches_naive() {
+    let m = table_machine([1, 0], vec![1; (STATES as usize) << STATES], [1, 0, 2]);
+    let g = generators::labelled_cycle(&LabelCount::from_vec(vec![3, 2]));
+    let sys = ExclusiveSystem::new(&m, &g);
+    let naive = Exploration::explore(&sys, 200_000).unwrap();
+    let (verdict, stats) = decide(
+        &m,
+        &g,
+        Schedule::PseudoStochastic,
+        Backend::Auto,
+        ExploreOptions::with_limit(200_000).symmetry(Symmetry::Off),
+    )
+    .unwrap();
+    assert_eq!(verdict, naive.verdict());
+    assert_eq!(stats.explored, naive.len());
+}
