@@ -1,0 +1,137 @@
+//! Cooperative yielding: [`yield_now`].
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+
+/// Yields control back to the executor once.
+///
+/// The first poll wakes the task (re-enqueuing it at the *back* of the
+/// injector queue) and returns `Pending`; the second poll completes. A
+/// long-running loop that awaits `yield_now()` each iteration therefore
+/// interleaves round-robin with every other runnable task instead of
+/// monopolising its worker — the `wam-net` node actors do exactly this
+/// after each handled message, so one chatty node cannot starve the rest
+/// of the fleet on a small worker pool.
+pub fn yield_now() -> YieldNow {
+    YieldNow { yielded: false }
+}
+
+/// Future returned by [`yield_now`].
+#[derive(Debug)]
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            return Poll::Ready(());
+        }
+        self.yielded = true;
+        // Wake *before* returning Pending: the task's `scheduled` flag was
+        // cleared at the top of this poll, so the wake re-enqueues it
+        // behind everything already queued.
+        cx.waker().wake_by_ref();
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{block_on, Runtime};
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn yield_now_completes_under_block_on() {
+        block_on(async {
+            yield_now().await;
+            yield_now().await;
+        });
+    }
+
+    /// Round-robin progress on ONE worker: a spinning task that yields
+    /// each iteration must let a second task run to completion. Without
+    /// the yield the spinner would never return `Pending`, the single
+    /// worker would never poll the setter, and the loop below would spin
+    /// forever instead of observing the flag.
+    #[test]
+    fn single_worker_round_robins_across_yielding_tasks() {
+        let rt = Runtime::new(1);
+        let flag = Arc::new(AtomicBool::new(false));
+        let spins = Arc::new(AtomicUsize::new(0));
+
+        let spinner = {
+            let flag = Arc::clone(&flag);
+            let spins = Arc::clone(&spins);
+            rt.spawn(async move {
+                while !flag.load(Ordering::Acquire) {
+                    spins.fetch_add(1, Ordering::Relaxed);
+                    yield_now().await;
+                }
+                spins.load(Ordering::Relaxed)
+            })
+        };
+        let setter = {
+            let flag = Arc::clone(&flag);
+            rt.spawn(async move {
+                flag.store(true, Ordering::Release);
+            })
+        };
+
+        block_on(setter);
+        let spun = block_on(spinner);
+        assert!(spun >= 1, "the spinner must have run at least once");
+    }
+
+    /// Two spinning tasks on one worker interleave: each observes the
+    /// other's progress between its own iterations. A start gate keeps
+    /// the first task parked (yielding) until the second is spawned —
+    /// otherwise the worker could drain the whole first loop against an
+    /// empty queue before the spawning thread ever enqueues its peer.
+    #[test]
+    fn yielding_tasks_interleave_on_one_worker() {
+        let rt = Runtime::new(1);
+        let a = Arc::new(AtomicUsize::new(0));
+        let b = Arc::new(AtomicUsize::new(0));
+        let start = Arc::new(AtomicBool::new(false));
+        const ROUNDS: usize = 64;
+
+        let run = |mine: Arc<AtomicUsize>, theirs: Arc<AtomicUsize>| {
+            let start = Arc::clone(&start);
+            async move {
+                while !start.load(Ordering::Acquire) {
+                    yield_now().await;
+                }
+                let mut saw_other_move = 0usize;
+                let mut last_theirs = theirs.load(Ordering::Relaxed);
+                for _ in 0..ROUNDS {
+                    mine.fetch_add(1, Ordering::Relaxed);
+                    yield_now().await;
+                    let now = theirs.load(Ordering::Relaxed);
+                    if now != last_theirs {
+                        saw_other_move += 1;
+                        last_theirs = now;
+                    }
+                }
+                saw_other_move
+            }
+        };
+
+        let ha = rt.spawn(run(Arc::clone(&a), Arc::clone(&b)));
+        let hb = rt.spawn(run(Arc::clone(&b), Arc::clone(&a)));
+        start.store(true, Ordering::Release);
+        let (ia, ib) = (block_on(ha), block_on(hb));
+        // Strict alternation would give ROUNDS-ish observations; demand
+        // well over half to pin genuine round-robin rather than one task
+        // running to completion before the other starts.
+        assert!(
+            ia > ROUNDS / 2 && ib > ROUNDS / 2,
+            "tasks did not interleave: {ia} / {ib} of {ROUNDS} iterations saw the peer move"
+        );
+    }
+}

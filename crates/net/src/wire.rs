@@ -1,0 +1,453 @@
+//! The wire protocol: typed line-JSON messages between nodes and the hub.
+//!
+//! One message per line, Maelstrom-style: an [`Envelope`] names a source
+//! and destination, its [`Body`] carries an optional `msg_id`, an optional
+//! `in_reply_to` correlating replies to requests, and a typed [`Payload`].
+//! The codec is serde-free, built on the [`Json`] value type of
+//! `wam-certify` (the same codec the certificate wire format uses), and
+//! strict: adversarial or truncated lines are rejected as
+//! [`NetError::BadMessage`], never partially decoded.
+//!
+//! ```json
+//! {"src":"hub","dest":"n0","body":{"type":"init","msg_id":1,"node":0,"label":1}}
+//! {"src":"n0","dest":"n1","body":{"type":"state","msg_id":4,"ver":0,"state":2}}
+//! {"src":"n1","dest":"n0","body":{"type":"state_ok","in_reply_to":4,"ver":3,"state":5}}
+//! ```
+//!
+//! Machine states have no canonical serial form (they are arbitrary Rust
+//! values), so `state` fields carry indices into a run-shared
+//! [`StateIntern`](crate::StateIntern) — the in-process analogue of the
+//! `StateTable` context the certificate codec ships alongside its JSON.
+
+use std::fmt;
+use wam_certify::Json;
+
+/// A codec or protocol error. `#[non_exhaustive]` so future variants are
+/// not a breaking change.
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The line is not a well-formed wire message (malformed JSON, missing
+    /// or ill-typed fields, unknown message type). The harness treats this
+    /// as a bad request: the message is counted and discarded, never
+    /// half-applied.
+    BadMessage {
+        /// What was wrong with the line.
+        reason: String,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::BadMessage { reason } => write!(f, "bad wire message: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+fn bad(reason: impl Into<String>) -> NetError {
+    NetError::BadMessage {
+        reason: reason.into(),
+    }
+}
+
+/// The address of the chaos hub (the harness-side endpoint that drives
+/// activations and collects step reports).
+pub const HUB: &str = "hub";
+
+/// The wire address of node `v`.
+pub fn node_addr(v: usize) -> String {
+    format!("n{v}")
+}
+
+/// Parses a node address back to its id (`None` for the hub or anything
+/// malformed).
+pub fn parse_node_addr(addr: &str) -> Option<usize> {
+    addr.strip_prefix('n')?.parse().ok()
+}
+
+/// One wire message: source, destination, body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Sender address (`"hub"` or `"n<k>"`).
+    pub src: String,
+    /// Receiver address.
+    pub dest: String,
+    /// The body: correlation ids plus the typed payload.
+    pub body: Body,
+}
+
+/// The body of a wire message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Body {
+    /// Sender-unique message id (for reply correlation and duplicate
+    /// detection).
+    pub msg_id: Option<u64>,
+    /// The `msg_id` of the message this one answers.
+    pub in_reply_to: Option<u64>,
+    /// The typed payload.
+    pub payload: Payload,
+}
+
+/// The typed payloads of the protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Payload {
+    /// Hub → node: you are node `node`, your graph label is `label`.
+    /// (Re)initialises the node to `δ₀(label)` — also the restart message
+    /// after a crash, which is how restarts lose all soft state.
+    Init {
+        /// The node id.
+        node: u64,
+        /// The node's graph label (`Label.0`).
+        label: u64,
+    },
+    /// Node → hub: initialised.
+    InitOk,
+    /// Hub → node: your neighbours.
+    Topology {
+        /// Neighbour node ids.
+        neighbours: Vec<u64>,
+    },
+    /// Node → hub: topology installed.
+    TopologyOk,
+    /// Node → node: my state is `state` (intern index) at version `ver`;
+    /// tell me yours. The probe of the read round an activation performs.
+    State {
+        /// Sender's state version (bumped on every state change).
+        ver: u64,
+        /// Sender's state, as a [`StateIntern`](crate::StateIntern) index.
+        state: u64,
+    },
+    /// Node → node: reply to [`Payload::State`] carrying the responder's
+    /// own current state.
+    StateOk {
+        /// Responder's state version.
+        ver: u64,
+        /// Responder's state index.
+        state: u64,
+    },
+    /// Hub → node: perform one activation (read round + δ step) for
+    /// activation `round`. Re-sent with the same `round` on retry;
+    /// completing a round twice is prevented node-side.
+    Activate {
+        /// The activation round this belongs to.
+        round: u64,
+    },
+    /// Node → hub: activation `round` completed.
+    ActivateOk {
+        /// The completed round.
+        round: u64,
+        /// Whether the δ step changed the node's state.
+        changed: bool,
+        /// The node's output after the step (`accept` / `reject` /
+        /// `neutral`).
+        output: WireOutput,
+        /// The node's post-step state index.
+        state: u64,
+    },
+    /// Hub → node: crash. All node state is lost; only a fresh
+    /// [`Payload::Init`] brings the node back.
+    Crash,
+    /// Node → hub: crashed (sent before the state is wiped).
+    CrashOk,
+}
+
+impl Payload {
+    /// The wire `type` tag.
+    pub fn type_tag(&self) -> &'static str {
+        match self {
+            Payload::Init { .. } => "init",
+            Payload::InitOk => "init_ok",
+            Payload::Topology { .. } => "topology",
+            Payload::TopologyOk => "topology_ok",
+            Payload::State { .. } => "state",
+            Payload::StateOk { .. } => "state_ok",
+            Payload::Activate { .. } => "activate",
+            Payload::ActivateOk { .. } => "activate_ok",
+            Payload::Crash => "crash",
+            Payload::CrashOk => "crash_ok",
+        }
+    }
+}
+
+/// A node output on the wire. Mirrors [`wam_core::Output`] — redeclared
+/// here so the wire layer has a type with a fixed textual form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireOutput {
+    /// The state is accepting.
+    Accept,
+    /// The state is rejecting.
+    Reject,
+    /// Neither.
+    Neutral,
+}
+
+impl WireOutput {
+    /// The wire rendering.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            WireOutput::Accept => "accept",
+            WireOutput::Reject => "reject",
+            WireOutput::Neutral => "neutral",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, NetError> {
+        match s {
+            "accept" => Ok(WireOutput::Accept),
+            "reject" => Ok(WireOutput::Reject),
+            "neutral" => Ok(WireOutput::Neutral),
+            other => Err(bad(format!("unknown output {other:?}"))),
+        }
+    }
+}
+
+impl From<wam_core::Output> for WireOutput {
+    fn from(o: wam_core::Output) -> Self {
+        match o {
+            wam_core::Output::Accept => WireOutput::Accept,
+            wam_core::Output::Reject => WireOutput::Reject,
+            wam_core::Output::Neutral => WireOutput::Neutral,
+        }
+    }
+}
+
+impl From<WireOutput> for wam_core::Output {
+    fn from(o: WireOutput) -> Self {
+        match o {
+            WireOutput::Accept => wam_core::Output::Accept,
+            WireOutput::Reject => wam_core::Output::Reject,
+            WireOutput::Neutral => wam_core::Output::Neutral,
+        }
+    }
+}
+
+fn num(n: u64) -> Json {
+    Json::Num(n as f64)
+}
+
+/// Renders an envelope as one compact JSON line (no trailing newline).
+pub fn render_line(e: &Envelope) -> String {
+    let mut body = vec![(
+        "type".to_string(),
+        Json::Str(e.body.payload.type_tag().to_string()),
+    )];
+    if let Some(id) = e.body.msg_id {
+        body.push(("msg_id".to_string(), num(id)));
+    }
+    if let Some(id) = e.body.in_reply_to {
+        body.push(("in_reply_to".to_string(), num(id)));
+    }
+    match &e.body.payload {
+        Payload::Init { node, label } => {
+            body.push(("node".to_string(), num(*node)));
+            body.push(("label".to_string(), num(*label)));
+        }
+        Payload::Topology { neighbours } => {
+            body.push((
+                "neighbours".to_string(),
+                Json::Arr(neighbours.iter().map(|&v| num(v)).collect()),
+            ));
+        }
+        Payload::State { ver, state } | Payload::StateOk { ver, state } => {
+            body.push(("ver".to_string(), num(*ver)));
+            body.push(("state".to_string(), num(*state)));
+        }
+        Payload::Activate { round } => {
+            body.push(("round".to_string(), num(*round)));
+        }
+        Payload::ActivateOk {
+            round,
+            changed,
+            output,
+            state,
+        } => {
+            body.push(("round".to_string(), num(*round)));
+            body.push(("changed".to_string(), Json::Bool(*changed)));
+            body.push(("output".to_string(), Json::Str(output.as_str().to_string())));
+            body.push(("state".to_string(), num(*state)));
+        }
+        Payload::InitOk | Payload::TopologyOk | Payload::Crash | Payload::CrashOk => {}
+    }
+    Json::Obj(vec![
+        ("src".to_string(), Json::Str(e.src.clone())),
+        ("dest".to_string(), Json::Str(e.dest.clone())),
+        ("body".to_string(), Json::Obj(body)),
+    ])
+    .render()
+}
+
+fn get_u64(v: &Json, key: &str) -> Result<Option<u64>, NetError> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Num(n)) if *n >= 0.0 && n.fract() == 0.0 && *n < 9e15 => Ok(Some(*n as u64)),
+        Some(_) => Err(bad(format!("field {key:?} must be a nonnegative integer"))),
+    }
+}
+
+fn need_u64(v: &Json, key: &str) -> Result<u64, NetError> {
+    get_u64(v, key)?.ok_or_else(|| bad(format!("missing field {key:?}")))
+}
+
+fn need_str<'j>(v: &'j Json, key: &str) -> Result<&'j str, NetError> {
+    match v.get(key) {
+        Some(Json::Str(s)) => Ok(s),
+        Some(_) => Err(bad(format!("field {key:?} must be a string"))),
+        None => Err(bad(format!("missing field {key:?}"))),
+    }
+}
+
+fn need_bool(v: &Json, key: &str) -> Result<bool, NetError> {
+    match v.get(key) {
+        Some(Json::Bool(b)) => Ok(*b),
+        Some(_) => Err(bad(format!("field {key:?} must be a boolean"))),
+        None => Err(bad(format!("missing field {key:?}"))),
+    }
+}
+
+/// Parses one wire line.
+///
+/// # Errors
+///
+/// [`NetError::BadMessage`] on anything that is not a complete, well-typed
+/// message: malformed JSON (including truncation), non-object envelopes,
+/// missing or ill-typed fields, unknown `type` tags.
+pub fn parse_line(line: &str) -> Result<Envelope, NetError> {
+    let v = Json::parse(line).map_err(|e| bad(format!("malformed JSON: {e}")))?;
+    if !matches!(v, Json::Obj(_)) {
+        return Err(bad("envelope must be a JSON object"));
+    }
+    let src = need_str(&v, "src")?.to_string();
+    let dest = need_str(&v, "dest")?.to_string();
+    let body = v.get("body").ok_or_else(|| bad("missing field \"body\""))?;
+    if !matches!(body, Json::Obj(_)) {
+        return Err(bad("body must be a JSON object"));
+    }
+    let msg_id = get_u64(body, "msg_id")?;
+    let in_reply_to = get_u64(body, "in_reply_to")?;
+    let payload = match need_str(body, "type")? {
+        "init" => Payload::Init {
+            node: need_u64(body, "node")?,
+            label: need_u64(body, "label")?,
+        },
+        "init_ok" => Payload::InitOk,
+        "topology" => {
+            let neighbours = match body.get("neighbours") {
+                Some(Json::Arr(items)) => items
+                    .iter()
+                    .map(|item| match item {
+                        Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as u64),
+                        _ => Err(bad("\"neighbours\" entries must be nonnegative integers")),
+                    })
+                    .collect::<Result<Vec<u64>, NetError>>()?,
+                _ => return Err(bad("missing or non-array field \"neighbours\"")),
+            };
+            Payload::Topology { neighbours }
+        }
+        "topology_ok" => Payload::TopologyOk,
+        "state" => Payload::State {
+            ver: need_u64(body, "ver")?,
+            state: need_u64(body, "state")?,
+        },
+        "state_ok" => Payload::StateOk {
+            ver: need_u64(body, "ver")?,
+            state: need_u64(body, "state")?,
+        },
+        "activate" => Payload::Activate {
+            round: need_u64(body, "round")?,
+        },
+        "activate_ok" => Payload::ActivateOk {
+            round: need_u64(body, "round")?,
+            changed: need_bool(body, "changed")?,
+            output: WireOutput::parse(need_str(body, "output")?)?,
+            state: need_u64(body, "state")?,
+        },
+        "crash" => Payload::Crash,
+        "crash_ok" => Payload::CrashOk,
+        other => return Err(bad(format!("unknown message type {other:?}"))),
+    };
+    Ok(Envelope {
+        src,
+        dest,
+        body: Body {
+            msg_id,
+            in_reply_to,
+            payload,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(payload: Payload) -> Envelope {
+        Envelope {
+            src: "n0".to_string(),
+            dest: "n1".to_string(),
+            body: Body {
+                msg_id: Some(7),
+                in_reply_to: None,
+                payload,
+            },
+        }
+    }
+
+    #[test]
+    fn state_round_trips() {
+        let e = env(Payload::State { ver: 3, state: 12 });
+        let line = render_line(&e);
+        assert!(!line.contains('\n'));
+        assert_eq!(parse_line(&line).unwrap(), e);
+    }
+
+    #[test]
+    fn activate_ok_round_trips() {
+        let e = Envelope {
+            src: "n2".to_string(),
+            dest: HUB.to_string(),
+            body: Body {
+                msg_id: Some(40),
+                in_reply_to: Some(39),
+                payload: Payload::ActivateOk {
+                    round: 17,
+                    changed: true,
+                    output: WireOutput::Accept,
+                    state: 4,
+                },
+            },
+        };
+        assert_eq!(parse_line(&render_line(&e)).unwrap(), e);
+    }
+
+    #[test]
+    fn rejects_adversarial_lines() {
+        for line in [
+            "",
+            "not json",
+            "[1,2]",
+            r#"{"src":"n0"}"#,
+            r#"{"src":"n0","dest":"n1","body":{"type":"warp"}}"#,
+            r#"{"src":"n0","dest":"n1","body":{"type":"state","ver":1}}"#,
+            r#"{"src":"n0","dest":"n1","body":{"type":"state","ver":-1,"state":0}}"#,
+            r#"{"src":"n0","dest":"n1","body":{"type":"state","ver":1.5,"state":0}}"#,
+            r#"{"src":"n0","dest":"n1","body":{"type":"state","ver":1,"state":0}"#,
+            r#"{"src":1,"dest":"n1","body":{"type":"crash"}}"#,
+            r#"{"src":"n0","dest":"n1","body":"crash"}"#,
+        ] {
+            assert!(
+                matches!(parse_line(line), Err(NetError::BadMessage { .. })),
+                "accepted adversarial line {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn node_addresses_round_trip() {
+        assert_eq!(parse_node_addr(&node_addr(17)), Some(17));
+        assert_eq!(parse_node_addr(HUB), None);
+        assert_eq!(parse_node_addr("x3"), None);
+    }
+}

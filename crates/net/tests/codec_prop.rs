@@ -1,0 +1,102 @@
+//! Property tests over the wire codec: every message kind round-trips
+//! through its line-JSON rendering, and damaged frames are rejected as
+//! bad requests rather than half-decoded.
+
+use proptest::prelude::*;
+use wam_net::{
+    node_addr, parse_line, render_line, Body, Envelope, NetError, Payload, WireOutput, HUB,
+};
+
+const OUTPUTS: [WireOutput; 3] = [WireOutput::Accept, WireOutput::Reject, WireOutput::Neutral];
+
+fn build_payload(
+    kind: usize,
+    a: u64,
+    b: u64,
+    flag: bool,
+    out_sel: usize,
+    neigh: &[u64],
+) -> Payload {
+    match kind {
+        0 => Payload::Init { node: a, label: b },
+        1 => Payload::InitOk,
+        2 => Payload::Topology {
+            neighbours: neigh.to_vec(),
+        },
+        3 => Payload::TopologyOk,
+        4 => Payload::State { ver: a, state: b },
+        5 => Payload::StateOk { ver: a, state: b },
+        6 => Payload::Activate { round: a },
+        7 => Payload::ActivateOk {
+            round: a,
+            changed: flag,
+            output: OUTPUTS[out_sel],
+            state: b,
+        },
+        8 => Payload::Crash,
+        _ => Payload::CrashOk,
+    }
+}
+
+proptest! {
+    /// Render → parse is the identity for every payload kind, with and
+    /// without the correlation ids.
+    #[test]
+    fn every_wire_message_round_trips(
+        kind in 0usize..10,
+        src in 0usize..64,
+        to_hub in 0u8..2,
+        dest in 0usize..64,
+        msg_id in 0u64..1_000_000,
+        reply in 0u64..1_000_000,
+        has_msg_id in 0u8..2,
+        has_reply in 0u8..2,
+        a in 0u64..1_000_000,
+        b in 0u64..1_000_000,
+        flag in 0u8..2,
+        out_sel in 0usize..3,
+        neigh in prop::collection::vec(0u64..64, 0..6),
+    ) {
+        let env = Envelope {
+            src: node_addr(src),
+            dest: if to_hub == 1 { HUB.to_string() } else { node_addr(dest) },
+            body: Body {
+                msg_id: (has_msg_id == 1).then_some(msg_id),
+                in_reply_to: (has_reply == 1).then_some(reply),
+                payload: build_payload(kind, a, b, flag == 1, out_sel, &neigh),
+            },
+        };
+        let line = render_line(&env);
+        prop_assert!(!line.contains('\n'), "one message per line");
+        prop_assert_eq!(parse_line(&line).expect("own rendering must parse"), env);
+    }
+
+    /// No strict prefix of a valid frame parses: a truncated line is a
+    /// bad request, never a partially-applied message.
+    #[test]
+    fn truncated_frames_are_rejected(
+        kind in 0usize..10,
+        a in 0u64..1_000_000,
+        b in 0u64..1_000_000,
+        cut in 1usize..200,
+    ) {
+        let env = Envelope {
+            src: node_addr(3),
+            dest: node_addr(4),
+            body: Body {
+                msg_id: Some(9),
+                in_reply_to: Some(8),
+                payload: build_payload(kind, a, b, true, 1, &[1, 2, 3]),
+            },
+        };
+        let line = render_line(&env);
+        prop_assume!(cut < line.len());
+        // The rendering is pure ASCII, so byte slicing is char-safe.
+        let truncated = &line[..line.len() - cut];
+        prop_assert!(
+            matches!(parse_line(truncated), Err(NetError::BadMessage { .. })),
+            "accepted truncated frame {:?}",
+            truncated
+        );
+    }
+}

@@ -1,0 +1,328 @@
+//! The optional `--net` backend: chaos runs as service requests.
+//!
+//! The main registry erases every machine behind a decide closure, which
+//! is exactly wrong for [`wam_net::run_chaos`] — the network harness
+//! needs the concrete `Machine<S>` to hand to the node actors. So the
+//! chaos backend keeps its own small catalog: the same four Figure-1
+//! constructions the paper registry serves, each captured *un-erased*
+//! inside a closure that runs [`wam_net::cross_validate`] with the
+//! machine's schedule limit and stabilisation budget.
+//!
+//! A chaos run is a diagnostic, not a cached decision: it is rerun on
+//! every request (the seed is part of the point — same seed, same trace
+//! digest), never touches the verdict store, and executes synchronously
+//! on the transport's read loop. Because each node is a real actor and
+//! the exact decider runs alongside, the backend bounds requests far
+//! tighter than the decide path: at most [`MAX_CHAOS_NODES`] nodes and
+//! [`MAX_CHAOS_ROUNDS`] activations per run.
+
+use crate::error::ServeError;
+use crate::proto::{build_graph_bounded, ChaosReply, ChaosRequest};
+use wam_core::ExploreOptions;
+use wam_extensions::{
+    compile_broadcasts, compile_rendezvous, GraphPopulationProtocol, MajorityState,
+};
+use wam_graph::Graph;
+use wam_net::{ChaosOptions, CrossValidation, FaultPlan};
+use wam_protocols::{cutoff_one_machine, modulo_protocol, threshold_machine};
+
+/// Hard cap on the node count of one chaos run. Every node is a live
+/// actor exchanging correlated probe rounds; a request is untrusted
+/// input and must not be able to spawn an unbounded actor fleet.
+pub const MAX_CHAOS_NODES: u64 = 32;
+
+/// Hard cap on the activation budget a request may ask for.
+pub const MAX_CHAOS_ROUNDS: u64 = 200_000;
+
+/// Hard cap on the per-message delay bound a request may ask for (huge
+/// delays just stall the virtual clock without exploring anything new).
+pub const MAX_CHAOS_DELAY: u64 = 1_000;
+
+type ChaosFn = Box<
+    dyn Fn(&Graph, &FaultPlan, u64, &ChaosOptions) -> Result<CrossValidation, ServeError>
+        + Send
+        + Sync,
+>;
+
+/// One machine the chaos backend can run, with its un-erased runner and
+/// per-machine stabilisation defaults.
+pub struct ChaosEntry {
+    name: String,
+    arity: usize,
+    defaults: ChaosOptions,
+    run: ChaosFn,
+}
+
+impl std::fmt::Debug for ChaosEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChaosEntry")
+            .field("name", &self.name)
+            .field("arity", &self.arity)
+            .finish()
+    }
+}
+
+/// The machines the `--net` backend exposes, looked up by name.
+#[derive(Debug, Default)]
+pub struct ChaosCatalog {
+    entries: Vec<ChaosEntry>,
+}
+
+impl ChaosCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        ChaosCatalog::default()
+    }
+
+    /// Registers `machine` under `name`. `limit` bounds the exact
+    /// decider's exploration; `defaults` sets the stabilisation budget a
+    /// request inherits when it does not override `max_rounds`/`window`.
+    pub fn register<S: wam_core::State>(
+        &mut self,
+        name: &str,
+        arity: usize,
+        machine: wam_core::Machine<S>,
+        limit: usize,
+        defaults: ChaosOptions,
+    ) {
+        let run: ChaosFn = Box::new(move |graph, plan, seed, opts| {
+            wam_net::cross_validate(
+                &machine,
+                graph,
+                plan,
+                seed,
+                opts,
+                ExploreOptions::with_limit(limit),
+            )
+            .map_err(ServeError::Explore)
+        });
+        self.entries.push(ChaosEntry {
+            name: name.to_string(),
+            arity,
+            defaults,
+            run,
+        });
+    }
+
+    /// Number of registered machines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The registered machine names, in registration order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|e| e.name.as_str())
+    }
+
+    /// The four Figure-1 witnesses, mirroring
+    /// [`MachineRegistry::paper_catalog`](crate::registry::MachineRegistry::paper_catalog)
+    /// name for name. The compiled simulation machines (ladder, majority,
+    /// parity) never quiesce state-wise and stabilise through the
+    /// long-consensus clock, so they get a much larger default budget
+    /// than the directly-written flooding machine.
+    pub fn paper_catalog() -> Self {
+        let mut cat = ChaosCatalog::new();
+        cat.register(
+            "presence",
+            2,
+            cutoff_one_machine(2, |p| p[1]),
+            500_000,
+            ChaosOptions::budget(6_000, 150),
+        );
+        cat.register(
+            "ladder",
+            2,
+            compile_broadcasts(&threshold_machine(2, 0, 2)),
+            3_000_000,
+            ChaosOptions::budget(60_000, 600),
+        );
+        cat.register(
+            "majority",
+            2,
+            compile_rendezvous(&GraphPopulationProtocol::<MajorityState>::majority()),
+            5_000_000,
+            ChaosOptions::budget(60_000, 600),
+        );
+        cat.register(
+            "parity",
+            2,
+            compile_rendezvous(&modulo_protocol(vec![1, 0], 2, 1)),
+            5_000_000,
+            ChaosOptions::budget(60_000, 600),
+        );
+        cat
+    }
+
+    /// Validates and executes one chaos request: builds the graph and
+    /// fault plan, runs the network harness and the exact decider, and
+    /// packages the cross-validation as a reply (`micros` is left at 0
+    /// for the caller to stamp).
+    ///
+    /// # Errors
+    ///
+    /// `UnknownMachine` for names outside the catalog, `BadRequest` for
+    /// arity mismatches, out-of-range fault knobs, or over-cap sizes, and
+    /// `Explore` when the exact decider exceeds its limit.
+    pub fn run(&self, req: &ChaosRequest, max_nodes: u64) -> Result<ChaosReply, ServeError> {
+        let bad = |reason: String| ServeError::BadRequest { reason };
+        let entry = self
+            .entries
+            .iter()
+            .find(|e| e.name == req.machine)
+            .ok_or_else(|| ServeError::UnknownMachine {
+                name: req.machine.clone(),
+            })?;
+        if req.counts.len() != entry.arity {
+            return Err(bad(format!(
+                "machine {:?} has arity {}, got {} counts",
+                req.machine,
+                entry.arity,
+                req.counts.len()
+            )));
+        }
+        let graph = build_graph_bounded(&req.family, &req.counts, max_nodes.min(MAX_CHAOS_NODES))?;
+        let (lo, hi) = req.delay;
+        if lo > hi {
+            return Err(bad(format!("empty delay range {lo}..={hi}")));
+        }
+        if hi > MAX_CHAOS_DELAY {
+            return Err(bad(format!(
+                "delay bound {hi} exceeds the {MAX_CHAOS_DELAY}-tick cap"
+            )));
+        }
+        for (knob, p) in [("drop", req.drop_p), ("dup", req.dup_p)] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(bad(format!("{knob:?} must be a probability in [0, 1]")));
+            }
+        }
+        let plan = FaultPlan::chaotic((lo.max(1), hi.max(1)), req.drop_p, req.dup_p);
+
+        let mut opts = entry.defaults.clone();
+        if let Some(rounds) = req.max_rounds {
+            if rounds == 0 || rounds > MAX_CHAOS_ROUNDS {
+                return Err(bad(format!(
+                    "max_rounds must be in 1..={MAX_CHAOS_ROUNDS}, got {rounds}"
+                )));
+            }
+            opts.max_rounds = rounds;
+        }
+        if let Some(window) = req.window {
+            if window == 0 || window > opts.max_rounds {
+                return Err(bad(format!(
+                    "window must be in 1..=max_rounds ({}), got {window}",
+                    opts.max_rounds
+                )));
+            }
+            opts.window = window;
+        }
+
+        let cv = (entry.run)(&graph, &plan, req.seed, &opts)?;
+        Ok(ChaosReply {
+            id: req.id,
+            machine: req.machine.clone(),
+            expected: cv.expected,
+            emergent: cv.outcome.verdict,
+            agreed: cv.agrees(),
+            fairness_preserved: plan.preserves_fairness(),
+            seed: req.seed,
+            digest: format!("{:016x}", cv.outcome.digest),
+            rounds: cv.outcome.stats.rounds,
+            stabilised_at: cv.outcome.stabilised_at,
+            starved: cv.outcome.stats.starved,
+            dropped: cv.outcome.stats.dropped_random + cv.outcome.stats.dropped_blocked,
+            duplicated: cv.outcome.stats.duplicated,
+            divergence: cv.divergence.map(|d| d.to_string()),
+            micros: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::DEFAULT_MAX_NODES;
+
+    fn req(machine: &str, counts: Vec<u64>) -> ChaosRequest {
+        ChaosRequest {
+            id: Some(1),
+            machine: machine.to_string(),
+            family: "cycle".to_string(),
+            counts,
+            seed: 7,
+            drop_p: 0.1,
+            dup_p: 0.05,
+            delay: (1, 3),
+            max_rounds: None,
+            window: None,
+        }
+    }
+
+    #[test]
+    fn catalog_mirrors_the_registry_names() {
+        let cat = ChaosCatalog::paper_catalog();
+        let names: Vec<&str> = cat.names().collect();
+        assert_eq!(names, ["presence", "ladder", "majority", "parity"]);
+        assert_eq!(cat.len(), 4);
+        assert!(!cat.is_empty());
+    }
+
+    #[test]
+    fn presence_agrees_and_replays_by_seed() {
+        let cat = ChaosCatalog::paper_catalog();
+        let a = cat
+            .run(&req("presence", vec![3, 1]), DEFAULT_MAX_NODES)
+            .unwrap();
+        assert!(a.agreed, "fairness-preserving chaos must agree");
+        assert_eq!(a.expected, wam_core::Verdict::Accepts);
+        assert!(a.fairness_preserved);
+        assert!(a.divergence.is_none());
+        let b = cat
+            .run(&req("presence", vec![3, 1]), DEFAULT_MAX_NODES)
+            .unwrap();
+        assert_eq!(a.digest, b.digest, "same seed, same trace");
+    }
+
+    #[test]
+    fn hostile_requests_are_rejected_before_any_run() {
+        let cat = ChaosCatalog::paper_catalog();
+        assert!(matches!(
+            cat.run(&req("nonesuch", vec![3, 1]), DEFAULT_MAX_NODES),
+            Err(ServeError::UnknownMachine { .. })
+        ));
+        assert!(matches!(
+            cat.run(&req("presence", vec![3, 1, 1]), DEFAULT_MAX_NODES),
+            Err(ServeError::BadRequest { .. })
+        ));
+        // Over the actor-fleet cap even though the decide path would take it.
+        assert!(matches!(
+            cat.run(
+                &req("presence", vec![MAX_CHAOS_NODES, 1]),
+                DEFAULT_MAX_NODES
+            ),
+            Err(ServeError::BadRequest { .. })
+        ));
+        let mut r = req("presence", vec![3, 1]);
+        r.drop_p = 1.5;
+        assert!(matches!(
+            cat.run(&r, DEFAULT_MAX_NODES),
+            Err(ServeError::BadRequest { .. })
+        ));
+        let mut r = req("presence", vec![3, 1]);
+        r.delay = (5, 2);
+        assert!(matches!(
+            cat.run(&r, DEFAULT_MAX_NODES),
+            Err(ServeError::BadRequest { .. })
+        ));
+        let mut r = req("presence", vec![3, 1]);
+        r.max_rounds = Some(MAX_CHAOS_ROUNDS + 1);
+        assert!(matches!(
+            cat.run(&r, DEFAULT_MAX_NODES),
+            Err(ServeError::BadRequest { .. })
+        ));
+    }
+}

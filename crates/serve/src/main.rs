@@ -4,8 +4,13 @@
 //!
 //! ```text
 //! wam-serve [--workers N] [--admission N] [--shards N] [--capacity N]
-//!           [--deadline-ms N] [--max-nodes N] [--catalog]
+//!           [--deadline-ms N] [--max-nodes N] [--net] [--catalog]
 //! ```
+//!
+//! `--net` enables the chaos backend: `{"op":"chaos",...}` requests run
+//! catalog machines as real communicating nodes over a simulated faulty
+//! network and cross-validate the emergent verdict against the exact
+//! decider.
 
 use std::io::{BufReader, Write as _};
 use std::process::ExitCode;
@@ -15,7 +20,7 @@ use wam_serve::{serve, ServiceConfig, VerdictService};
 fn usage() -> ! {
     eprintln!(
         "usage: wam-serve [--workers N] [--admission N] [--shards N] \
-         [--capacity N] [--deadline-ms N] [--max-nodes N] [--catalog]"
+         [--capacity N] [--deadline-ms N] [--max-nodes N] [--net] [--catalog]"
     );
     std::process::exit(2);
 }
@@ -40,6 +45,7 @@ fn main() -> ExitCode {
                 config.default_deadline = Some(Duration::from_millis(num("--deadline-ms") as u64))
             }
             "--max-nodes" => config.max_nodes = (num("--max-nodes") as u64).max(3),
+            "--net" => config.net = true,
             "--catalog" => print_catalog = true,
             "--help" | "-h" => usage(),
             other => {

@@ -21,6 +21,7 @@ use crate::error::ServeError;
 use crate::registry::{CachedVerdict, MachineRegistry};
 use crate::service::ServiceStats;
 use wam_certify::Json;
+use wam_core::Verdict;
 use wam_graph::{generators, Graph, LabelCount};
 
 /// A parsed request line.
@@ -38,6 +39,10 @@ pub enum Request {
         /// Echoed request id.
         id: Option<u64>,
     },
+    /// Run a machine as real communicating nodes over a faulty simulated
+    /// network and cross-validate the emergent verdict (the `--net`
+    /// backend; rejected unless the service enables it).
+    Chaos(ChaosRequest),
 }
 
 /// One decision job.
@@ -55,6 +60,37 @@ pub struct DecideRequest {
     pub certified: bool,
     /// Per-request deadline. `None` falls back to the service default.
     pub deadline_ms: Option<u64>,
+}
+
+/// One chaos job for the `--net` backend.
+///
+/// ```json
+/// {"id":4,"op":"chaos","machine":"presence","family":"cycle",
+///  "counts":[3,1],"seed":7,"drop":0.15,"dup":0.1,"delay_max":4}
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosRequest {
+    /// Client-chosen id echoed in the reply.
+    pub id: Option<u64>,
+    /// Chaos-catalog name of the machine.
+    pub machine: String,
+    /// Graph family: `cycle`, `line`, `star`, or `clique`.
+    pub family: String,
+    /// Nodes per label; length must match the machine's arity, total ≥ 3.
+    pub counts: Vec<u64>,
+    /// RNG seed — a `(request, seed)` pair replays bit-identically.
+    pub seed: u64,
+    /// Bernoulli drop probability for data messages (`drop` on the wire).
+    pub drop_p: f64,
+    /// Bernoulli duplication probability (`dup` on the wire).
+    pub dup_p: f64,
+    /// Inclusive per-message delay range in virtual ticks
+    /// (`delay_min`/`delay_max` on the wire; a wide range reorders).
+    pub delay: (u64, u64),
+    /// Activation budget override; `None` uses the machine's default.
+    pub max_rounds: Option<u64>,
+    /// Stability-window override; `None` uses the machine's default.
+    pub window: Option<u64>,
 }
 
 fn bad(reason: impl Into<String>) -> ServeError {
@@ -87,6 +123,27 @@ fn get_bool(v: &Json, key: &str) -> Result<Option<bool>, ServeError> {
     }
 }
 
+fn get_f64(v: &Json, key: &str) -> Result<Option<f64>, ServeError> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Num(n)) if n.is_finite() => Ok(Some(*n)),
+        Some(_) => Err(bad(format!("field {key:?} must be a finite number"))),
+    }
+}
+
+fn get_counts(v: &Json) -> Result<Vec<u64>, ServeError> {
+    match v.get("counts") {
+        Some(Json::Arr(items)) => items
+            .iter()
+            .map(|item| match item {
+                Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as u64),
+                _ => Err(bad("\"counts\" entries must be nonnegative integers")),
+            })
+            .collect::<Result<Vec<u64>, ServeError>>(),
+        _ => Err(bad("missing or non-array field \"counts\"")),
+    }
+}
+
 /// Parses one request line.
 pub fn parse_request(line: &str) -> Result<Request, ServeError> {
     let v = Json::parse(line).map_err(|e| bad(format!("malformed JSON: {e}")))?;
@@ -102,23 +159,32 @@ pub fn parse_request(line: &str) -> Result<Request, ServeError> {
             let machine =
                 get_str(&v, "machine")?.ok_or_else(|| bad("missing field \"machine\""))?;
             let family = get_str(&v, "family")?.ok_or_else(|| bad("missing field \"family\""))?;
-            let counts = match v.get("counts") {
-                Some(Json::Arr(items)) => items
-                    .iter()
-                    .map(|item| match item {
-                        Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as u64),
-                        _ => Err(bad("\"counts\" entries must be nonnegative integers")),
-                    })
-                    .collect::<Result<Vec<u64>, ServeError>>()?,
-                _ => return Err(bad("missing or non-array field \"counts\"")),
-            };
             Ok(Request::Decide(DecideRequest {
                 id,
                 machine,
                 family,
-                counts,
+                counts: get_counts(&v)?,
                 certified: get_bool(&v, "certified")?.unwrap_or(false),
                 deadline_ms: get_u64(&v, "deadline_ms")?,
+            }))
+        }
+        "chaos" => {
+            let machine =
+                get_str(&v, "machine")?.ok_or_else(|| bad("missing field \"machine\""))?;
+            let family = get_str(&v, "family")?.ok_or_else(|| bad("missing field \"family\""))?;
+            let delay_min = get_u64(&v, "delay_min")?.unwrap_or(1);
+            let delay_max = get_u64(&v, "delay_max")?.unwrap_or(delay_min);
+            Ok(Request::Chaos(ChaosRequest {
+                id,
+                machine,
+                family,
+                counts: get_counts(&v)?,
+                seed: get_u64(&v, "seed")?.unwrap_or(0),
+                drop_p: get_f64(&v, "drop")?.unwrap_or(0.0),
+                dup_p: get_f64(&v, "dup")?.unwrap_or(0.0),
+                delay: (delay_min, delay_max),
+                max_rounds: get_u64(&v, "max_rounds")?,
+                window: get_u64(&v, "window")?,
             }))
         }
         other => Err(bad(format!("unknown op {other:?}"))),
@@ -220,6 +286,43 @@ pub struct OkReply {
     pub micros: u64,
 }
 
+/// A successful chaos-run reply (the `--net` backend).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosReply {
+    /// Echoed request id.
+    pub id: Option<u64>,
+    /// Machine name.
+    pub machine: String,
+    /// What the exact decider says under fault-free semantics.
+    pub expected: Verdict,
+    /// What emerged over the faulty network.
+    pub emergent: Verdict,
+    /// Whether the two verdicts agree.
+    pub agreed: bool,
+    /// Whether the requested fault model preserves the paper's fairness
+    /// premises (disagreement with `true` here is a bug; with `false` it
+    /// is the expected demonstration).
+    pub fairness_preserved: bool,
+    /// The seed that replays the run.
+    pub seed: u64,
+    /// FNV-1a trace digest, 16 hex digits — the replay fingerprint.
+    pub digest: String,
+    /// Concluded activations.
+    pub rounds: u64,
+    /// Activation count at which stabilisation was declared, if it was.
+    pub stabilised_at: Option<u64>,
+    /// Activations written off as starved.
+    pub starved: u64,
+    /// Data messages dropped (random + blocked).
+    pub dropped: u64,
+    /// Data messages duplicated in flight.
+    pub duplicated: u64,
+    /// Structured divergence report, present iff the verdicts disagree.
+    pub divergence: Option<String>,
+    /// Wall-clock service time for this request, µs.
+    pub micros: u64,
+}
+
 /// One reply line.
 #[derive(Debug, Clone)]
 pub enum Reply {
@@ -246,6 +349,8 @@ pub enum Reply {
         /// `(name, summary, arity)` per machine.
         machines: Vec<(String, String, usize)>,
     },
+    /// A completed chaos run.
+    Chaos(ChaosReply),
 }
 
 impl Reply {
@@ -256,6 +361,7 @@ impl Reply {
             Reply::Error { id, .. } => *id,
             Reply::Stats { id, .. } => *id,
             Reply::Catalog { id, .. } => *id,
+            Reply::Chaos(c) => c.id,
         }
     }
 
@@ -335,7 +441,37 @@ impl Reply {
                     Json::Num(stats.rejected_deadline as f64),
                 ),
                 ("degraded".to_string(), Json::Num(stats.degraded as f64)),
+                ("chaos_runs".to_string(), Json::Num(stats.chaos_runs as f64)),
             ]),
+            Reply::Chaos(c) => {
+                let mut obj = vec![
+                    ("id".to_string(), id_json(c.id)),
+                    ("status".to_string(), Json::Str("chaos".to_string())),
+                    ("machine".to_string(), Json::Str(c.machine.clone())),
+                    ("expected".to_string(), Json::Str(c.expected.to_string())),
+                    ("emergent".to_string(), Json::Str(c.emergent.to_string())),
+                    ("agreed".to_string(), Json::Bool(c.agreed)),
+                    (
+                        "fairness_preserved".to_string(),
+                        Json::Bool(c.fairness_preserved),
+                    ),
+                    ("seed".to_string(), Json::Num(c.seed as f64)),
+                    ("digest".to_string(), Json::Str(c.digest.clone())),
+                    ("rounds".to_string(), Json::Num(c.rounds as f64)),
+                    (
+                        "stabilised_at".to_string(),
+                        c.stabilised_at.map_or(Json::Null, |r| Json::Num(r as f64)),
+                    ),
+                    ("starved".to_string(), Json::Num(c.starved as f64)),
+                    ("dropped".to_string(), Json::Num(c.dropped as f64)),
+                    ("duplicated".to_string(), Json::Num(c.duplicated as f64)),
+                    ("micros".to_string(), Json::Num(c.micros as f64)),
+                ];
+                if let Some(d) = &c.divergence {
+                    obj.push(("divergence".to_string(), Json::Str(d.clone())));
+                }
+                Json::Obj(obj)
+            }
             Reply::Catalog { id, machines } => Json::Obj(vec![
                 ("id".to_string(), id_json(*id)),
                 ("status".to_string(), Json::Str("catalog".to_string())),

@@ -18,8 +18,11 @@
 //! it reject with `deadline`. The in-flight decision keeps running and
 //! populates the cache for later requests either way.
 
+use crate::chaos::ChaosCatalog;
 use crate::error::ServeError;
-use crate::proto::{build_graph_bounded, catalog_of, CacheOutcome, DecideRequest, OkReply, Reply};
+use crate::proto::{
+    build_graph_bounded, catalog_of, CacheOutcome, ChaosRequest, DecideRequest, OkReply, Reply,
+};
 use crate::registry::{CachedVerdict, MachineRegistry};
 use executor::{block_on, oneshot, timeout, Runtime};
 use rustc_hash::FxHashMap;
@@ -44,6 +47,12 @@ pub struct ServiceConfig {
     /// Largest total node count a request may ask for (cliques are
     /// further bounded by [`crate::proto::MAX_CLIQUE_NODES`]).
     pub max_nodes: u64,
+    /// Enable the `--net` chaos backend: the `chaos` op runs catalog
+    /// machines as real communicating nodes over a simulated faulty
+    /// network and cross-validates the emergent verdict. Off by default —
+    /// chaos runs are uncached diagnostics that block the transport's
+    /// read loop while they run.
+    pub net: bool,
 }
 
 impl Default for ServiceConfig {
@@ -55,6 +64,7 @@ impl Default for ServiceConfig {
             store_capacity: None,
             default_deadline: None,
             max_nodes: crate::proto::DEFAULT_MAX_NODES,
+            net: false,
         }
     }
 }
@@ -81,6 +91,8 @@ pub struct ServiceStats {
     /// Certified requests degraded to a cached plain verdict to meet
     /// their deadline.
     pub degraded: u64,
+    /// Chaos runs completed by the `--net` backend.
+    pub chaos_runs: u64,
 }
 
 #[derive(Default)]
@@ -94,6 +106,7 @@ struct Counters {
     rejected_overload: AtomicU64,
     rejected_deadline: AtomicU64,
     degraded: AtomicU64,
+    chaos_runs: AtomicU64,
 }
 
 type Waiters = Vec<oneshot::Sender<Result<CachedVerdict, ServeError>>>;
@@ -105,6 +118,8 @@ struct Inner {
     in_flight_decisions: AtomicUsize,
     config: ServiceConfig,
     stats: Counters,
+    /// `Some` iff the `--net` backend is enabled.
+    chaos: Option<ChaosCatalog>,
 }
 
 impl Inner {
@@ -120,6 +135,7 @@ impl Inner {
             rejected_overload: s.rejected_overload.load(Ordering::Relaxed),
             rejected_deadline: s.rejected_deadline.load(Ordering::Relaxed),
             degraded: s.degraded.load(Ordering::Relaxed),
+            chaos_runs: s.chaos_runs.load(Ordering::Relaxed),
         }
     }
 
@@ -163,6 +179,10 @@ impl VerdictService {
             None => VerdictStore::with_shards(config.store_shards),
         };
         let runtime = Runtime::new(config.workers);
+        // The chaos backend holds its own un-erased copy of the paper
+        // catalog: the registry's decide closures cannot drive node
+        // actors (see the `chaos` module docs).
+        let chaos = config.net.then(ChaosCatalog::paper_catalog);
         VerdictService {
             inner: Arc::new(Inner {
                 registry,
@@ -171,6 +191,7 @@ impl VerdictService {
                 in_flight_decisions: AtomicUsize::new(0),
                 config,
                 stats: Counters::default(),
+                chaos,
             }),
             runtime,
         }
@@ -238,6 +259,30 @@ impl ServiceHandle {
         Reply::Catalog {
             id,
             machines: catalog_of(&self.inner.registry),
+        }
+    }
+
+    /// Runs one chaos request to completion on the calling thread and
+    /// packages the cross-validation as a reply. Chaos runs are uncached
+    /// diagnostics — deliberately synchronous (a `(request, seed)` pair
+    /// replays bit-identically, so there is nothing to coalesce) and
+    /// rejected unless the service was built with
+    /// [`ServiceConfig::net`].
+    pub fn chaos_reply(&self, req: &ChaosRequest) -> Reply {
+        let start = Instant::now();
+        let result = match &self.inner.chaos {
+            None => Err(ServeError::BadRequest {
+                reason: "the chaos op requires the service to run with --net".to_string(),
+            }),
+            Some(catalog) => catalog.run(req, self.inner.config.max_nodes),
+        };
+        match result {
+            Ok(mut reply) => {
+                reply.micros = start.elapsed().as_micros() as u64;
+                self.inner.stats.chaos_runs.fetch_add(1, Ordering::Relaxed);
+                Reply::Chaos(reply)
+            }
+            Err(error) => Reply::Error { id: req.id, error },
         }
     }
 

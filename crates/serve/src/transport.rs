@@ -61,6 +61,13 @@ where
             Ok(Request::Catalog { id }) => {
                 let _ = block_on(tx.send(handle.catalog_reply(id).render()));
             }
+            Ok(Request::Chaos(req)) => {
+                // Chaos runs execute synchronously on the read loop: they
+                // are opt-in (`--net`) diagnostics whose determinism is
+                // the point, so interleaving them with decide traffic
+                // would buy nothing and cost reproducible ordering.
+                let _ = block_on(tx.send(handle.chaos_reply(&req).render()));
+            }
             Ok(Request::Decide(req)) => {
                 // Dropping the join handle is fine: the task owns a tx
                 // clone, so the writer drains it before shutting down.

@@ -147,6 +147,105 @@ impl Scheduler for UnfairScheduler {
     }
 }
 
+/// A scheduler-side adversarial scenario expressed in the vocabulary the
+/// network harness (`wam-net`) understands: a set of starved links and the
+/// window during which they carry no information.
+///
+/// The two execution worlds interpret it identically: in the simulator a
+/// node incident to a starved link is never *selected* while the window is
+/// active (it cannot complete an atomic read of its neighbourhood, so it
+/// cannot step — see [`LinkStarvedScheduler`]); in the network harness the
+/// listed links drop every message, which starves the read rounds of
+/// exactly the same nodes. Exporting one `LinkStarvation` to both worlds
+/// therefore runs *the same* adversarial scenario twice, and a differential
+/// test can demand that both diverge-or-agree identically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkStarvation {
+    /// The starved links, as unordered node pairs.
+    pub links: Vec<(NodeId, NodeId)>,
+    /// First scheduler step (or scaled network tick) the starvation holds.
+    pub from_step: usize,
+    /// First step at which the links heal (`None` = permanent — an unfair
+    /// scenario in both worlds).
+    pub heal_at: Option<usize>,
+}
+
+impl LinkStarvation {
+    /// Scale factor between simulator steps and network virtual ticks: one
+    /// activation in the harness costs a probe and a reply per neighbour,
+    /// so a handful of ticks per step keeps the two windows commensurate.
+    pub const TICKS_PER_STEP: u64 = 8;
+
+    /// Starves every link incident to `victim` — the link-level rendering
+    /// of [`UnfairScheduler`]'s node starvation — permanently.
+    pub fn isolate(victim: NodeId, graph: &Graph) -> Self {
+        LinkStarvation {
+            links: graph
+                .neighbours(victim)
+                .iter()
+                .map(|&u| (victim, u))
+                .collect(),
+            from_step: 0,
+            heal_at: None,
+        }
+    }
+
+    /// Same, but the links heal at step `heal_at` (a fair scenario: the
+    /// disruption is transient).
+    pub fn isolate_until(victim: NodeId, graph: &Graph, heal_at: usize) -> Self {
+        LinkStarvation {
+            heal_at: Some(heal_at),
+            ..LinkStarvation::isolate(victim, graph)
+        }
+    }
+
+    /// Is node `v` blocked at step `t` (incident to a starved link while
+    /// the window is active)?
+    pub fn blocks_node(&self, v: NodeId, t: usize) -> bool {
+        t >= self.from_step
+            && self.heal_at.is_none_or(|h| t < h)
+            && self.links.iter().any(|&(a, b)| a == v || b == v)
+    }
+}
+
+/// Realises a [`LinkStarvation`] as a scheduler: while the window is
+/// active, nodes incident to a starved link are never selected (they could
+/// not complete a read of their neighbourhood); the remaining nodes
+/// round-robin. After healing, all nodes round-robin. With a permanent
+/// window this is unfair by construction, like [`UnfairScheduler`].
+#[derive(Debug, Clone)]
+pub struct LinkStarvedScheduler {
+    starvation: LinkStarvation,
+}
+
+impl LinkStarvedScheduler {
+    /// Schedules around `starvation`.
+    pub fn new(starvation: LinkStarvation) -> Self {
+        LinkStarvedScheduler { starvation }
+    }
+}
+
+impl Scheduler for LinkStarvedScheduler {
+    fn next_selection(&mut self, graph: &Graph, t: usize) -> Selection {
+        let allowed: Vec<NodeId> = graph
+            .nodes()
+            .filter(|&v| !self.starvation.blocks_node(v, t))
+            .collect();
+        if allowed.is_empty() {
+            // Everything is starved: select node 0 anyway (the selection
+            // cannot be empty); its read round would stall in the network
+            // world too, so the configuration stays frozen either way.
+            Selection::exclusive(0)
+        } else {
+            Selection::exclusive(allowed[t % allowed.len()])
+        }
+    }
+
+    fn regime(&self) -> SelectionRegime {
+        SelectionRegime::Exclusive
+    }
+}
+
 /// An adversary picks one of the enumerated one-step choices of a
 /// [`ScheduledSystem`] at each step.
 ///

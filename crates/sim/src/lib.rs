@@ -16,9 +16,10 @@ mod batch;
 mod trace;
 
 pub use adversary::{
-    critical_change_score, run_adversarial_until_stable, Adversary, ProcrastinatingAdversary,
-    RotatingAdversary, SeededAdversary, SkewedScheduler, SmartStarvationAdversary,
-    StarvationScheduler, SweepScheduler, UnfairScheduler,
+    critical_change_score, run_adversarial_until_stable, Adversary, LinkStarvation,
+    LinkStarvedScheduler, ProcrastinatingAdversary, RotatingAdversary, SeededAdversary,
+    SkewedScheduler, SmartStarvationAdversary, StarvationScheduler, SweepScheduler,
+    UnfairScheduler,
 };
 pub use batch::{run_batch, run_machine_batch, BatchConfig, BatchSummary};
 pub use trace::{record_machine_trace, record_trace, Trace, TraceStep};

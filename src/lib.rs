@@ -17,6 +17,9 @@
 //! * [`analysis`] — labelling predicates, property-class checkers
 //!   (Trivial / Cutoff / ISM / NL witnesses), and star-configuration `Pre*`.
 //! * [`sim`] — the experiment harness: adversaries, batch runners, statistics.
+//! * [`net`] — the message-passing chaos harness: machines as communicating
+//!   node actors over a seeded faulty virtual network, emergent verdicts
+//!   cross-validated against the exact deciders.
 //! * [`serve`] — the async certified-verdict service: the Figure-1 catalog
 //!   behind a sharded verdict cache, spoken over framed line-JSON.
 
@@ -25,6 +28,7 @@ pub use wam_certify as certify;
 pub use wam_core as core;
 pub use wam_extensions as extensions;
 pub use wam_graph as graph;
+pub use wam_net as net;
 pub use wam_protocols as protocols;
 pub use wam_serve as serve;
 pub use wam_sim as sim;

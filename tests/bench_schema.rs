@@ -1,7 +1,7 @@
-//! Schema checks for `BENCH_explore.json` and `BENCH_serve.json`: the
-//! benchmark reports at the repository root must stay parseable and keep
-//! the fields that the documentation (EXPERIMENTS.md E13/E16/E20/E21) and
-//! downstream tooling read.
+//! Schema checks for `BENCH_explore.json`, `BENCH_serve.json`, and
+//! `BENCH_net.json`: the benchmark reports at the repository root must
+//! stay parseable and keep the fields that the documentation
+//! (EXPERIMENTS.md E13/E16/E20/E21/E22) and downstream tooling read.
 //! The parser is a ~60-line hand-rolled recursive descent — the workspace
 //! deliberately has no JSON dependency — strict enough to reject the
 //! usual hand-editing accidents (trailing commas, unquoted keys,
@@ -565,6 +565,86 @@ fn bench_serve_json_matches_schema() {
         decided < requests,
         "the cache must absorb most of the workload"
     );
+}
+
+#[test]
+fn bench_net_json_matches_schema() {
+    let raw = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_net.json"))
+        .expect("BENCH_net.json at the repository root");
+    let doc = parse(&raw);
+
+    assert_eq!(doc.get("bench").str(), "net_chaos");
+    doc.get("note").str();
+    assert!(doc.get("workers").num() >= 1.0);
+    assert!(doc.get("seed").num() >= 0.0);
+
+    let verdicts = ["accepts", "rejects", "no consensus", "inconsistent"];
+    let check_row = |w: &Json| {
+        assert!(!w.get("workload").str().is_empty());
+        assert!(!w.get("machine").str().is_empty());
+        assert!(w.get("nodes").num() >= 3.0, "the model needs >= 3 nodes");
+        assert!(w.get("seed").num() >= 0.0);
+        assert!(!w.get("plan").str().is_empty());
+        assert!(verdicts.contains(&w.get("expected").str()));
+        assert!(verdicts.contains(&w.get("emergent").str()));
+        // Every row is a determinism check: the bench reruns the seed and
+        // asserts digest equality before writing.
+        assert_eq!(w.get("replayed"), &Json::Bool(true));
+        let digest = w.get("digest").str();
+        assert_eq!(digest.len(), 16, "FNV-1a digest is 16 hex digits");
+        assert!(digest.bytes().all(|b| b.is_ascii_hexdigit()));
+        assert!(w.get("rounds").num() >= 1.0);
+        assert!(w.get("delivered").num() >= 1.0);
+        for key in ["dropped", "duplicated", "starved"] {
+            assert!(w.get(key).num() >= 0.0, "{key} must be present");
+        }
+        assert!(w.get("elapsed_ms").num() > 0.0);
+        assert!(w.get("activations_per_sec").num() > 0.0);
+    };
+
+    // E22 agreement matrix: under fairness-preserving plans the emergent
+    // verdict equals the exact one on every row, at least four distinct
+    // Figure-1 machines appear, and both non-trivial verdicts show up.
+    let agreement = doc.get("agreement").arr();
+    assert!(agreement.len() >= 4, "agreement matrix too small");
+    let mut machines = std::collections::BTreeSet::new();
+    let mut seen_verdicts = std::collections::BTreeSet::new();
+    for w in agreement {
+        check_row(w);
+        assert_eq!(w.get("fairness_preserved"), &Json::Bool(true));
+        assert_eq!(w.get("agreed"), &Json::Bool(true));
+        assert_eq!(
+            w.get("expected").str(),
+            w.get("emergent").str(),
+            "a fair-plan row diverged"
+        );
+        let stabilised = w.get("stabilised_at").num();
+        assert!(stabilised >= 1.0 && stabilised <= w.get("rounds").num());
+        machines.insert(w.get("machine").str().to_string());
+        seen_verdicts.insert(w.get("expected").str().to_string());
+    }
+    assert!(
+        machines.len() >= 4,
+        "agreement must cover >= 4 Figure-1 machines, got {machines:?}"
+    );
+    assert!(seen_verdicts.contains("accepts") && seen_verdicts.contains("rejects"));
+
+    // The documented divergence: an unfair plan (permanent partition) run
+    // on purpose, recorded as data — expected and emergent must differ
+    // and the isolated region must have starved.
+    let divergence = doc.get("divergence").arr();
+    assert!(!divergence.is_empty(), "divergence section is empty");
+    for w in divergence {
+        check_row(w);
+        assert_eq!(w.get("fairness_preserved"), &Json::Bool(false));
+        assert_eq!(w.get("agreed"), &Json::Bool(false));
+        assert_ne!(w.get("expected").str(), w.get("emergent").str());
+        assert!(w.get("starved").num() >= 1.0, "the cut region must starve");
+        assert!(
+            w.get("plan").str().contains("partition"),
+            "the divergence row must name its fault"
+        );
+    }
 }
 
 #[test]
